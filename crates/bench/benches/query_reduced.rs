@@ -1,0 +1,81 @@
+//! Experiment E5 and ablations A1/A2: query latency on reduced vs.
+//! unreduced warehouses.
+//!
+//! Reproduces the paper's core economic argument: after reduction the
+//! warehouse answers the same aggregate queries over far fewer facts.
+//! Ablations measure the three selection modes (conservative / liberal /
+//! weighted, Section 6.1) and the three aggregation approaches
+//! (availability / strict / LUB, Section 6.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sdr_bench::bench_warehouse;
+use sdr_mdm::time_cat as tc;
+use sdr_query::{aggregate_ids, select, AggApproach, SelectMode};
+use sdr_reduce::reduce;
+use sdr_spec::parse_pexp;
+
+fn bench_query(c: &mut Criterion) {
+    let w = bench_warehouse(24, 400);
+    let raw = &w.cs.mo;
+    // Mid-life reduction: raw/month/quarter tiers coexist.
+    let red = reduce(raw, &w.spec, w.mid).unwrap();
+    let schema = raw.schema();
+    let grp = w.cs.url_cats.domain_grp;
+    let pred = parse_pexp(schema, "Time.quarter <= 2000Q4 AND URL.domain_grp = .com").unwrap();
+
+    let mut g = c.benchmark_group("E5_query_raw_vs_reduced");
+    g.sample_size(10);
+    for (label, mo) in [("raw", raw), ("reduced", &red)] {
+        g.bench_with_input(
+            BenchmarkId::new("select_aggregate", format!("{label}_{}facts", mo.len())),
+            mo,
+            |b, mo| {
+                b.iter(|| {
+                    let s = select(mo, &pred, w.mid, SelectMode::Conservative).unwrap();
+                    black_box(
+                        aggregate_ids(&s, &[tc::QUARTER, grp], AggApproach::Availability)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("A1_selection_modes");
+    g.sample_size(10);
+    for (label, mode) in [
+        ("conservative", SelectMode::Conservative),
+        ("liberal", SelectMode::Liberal),
+        ("weighted", SelectMode::Weighted { threshold: 0.5 }),
+    ] {
+        g.bench_with_input(BenchmarkId::new("mode", label), &mode, |b, &mode| {
+            b.iter(|| black_box(select(&red, &pred, w.mid, mode).unwrap()));
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("A2_aggregation_approaches");
+    g.sample_size(10);
+    for (label, approach) in [
+        ("availability", AggApproach::Availability),
+        ("strict", AggApproach::Strict),
+        ("lub", AggApproach::Lub),
+    ] {
+        g.bench_with_input(
+            BenchmarkId::new("approach", label),
+            &approach,
+            |b, &approach| {
+                b.iter(|| {
+                    black_box(aggregate_ids(&red, &[tc::MONTH, w.cs.url_cats.domain], approach).unwrap())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

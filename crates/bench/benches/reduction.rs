@@ -1,0 +1,45 @@
+//! Experiment E4: reduction throughput (Definition 2).
+//!
+//! Measures `reduce(O, V, t)` across fact counts, reporting facts/second.
+//! The paper gives no absolute numbers (its evaluation is qualitative);
+//! the claim reproduced here is that specification-driven reduction is a
+//! bulk, scan-speed operation suitable for scheduled maintenance windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sdr_bench::bench_warehouse;
+use sdr_reduce::reduce;
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("E4_reduce_throughput");
+    g.sample_size(10);
+    for clicks_per_day in [50usize, 200, 800] {
+        let w = bench_warehouse(24, clicks_per_day);
+        let n = w.cs.mo.len();
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("facts", n), &w, |b, w| {
+            b.iter(|| black_box(reduce(&w.cs.mo, &w.spec, w.now).unwrap()));
+        });
+    }
+    g.finish();
+
+    // Ablation: reduction cost when nothing qualifies (early time) vs
+    // everything at the deepest tier (late time).
+    let mut g = c.benchmark_group("E4_reduce_by_age");
+    g.sample_size(10);
+    let w = bench_warehouse(24, 200);
+    for (label, now) in [
+        ("nothing_old", sdr_mdm::calendar::days_from_civil(1999, 6, 1)),
+        ("month_tier", sdr_mdm::calendar::days_from_civil(2001, 6, 1)),
+        ("quarter_tier", w.now),
+    ] {
+        g.bench_with_input(BenchmarkId::new("now", label), &now, |b, &now| {
+            b.iter(|| black_box(reduce(&w.cs.mo, &w.spec, now).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Experiments E2 and E3: cost of the specification soundness checks.
+//!
+//! The paper argues (Section 5.2) that the `|A|²` pairwise NonCrossing
+//! check "offers ample performance" because specifications are small and
+//! checks only run on update, and (Section 5.3) that the Growing check is
+//! a syntactic fast path for growing actions plus a prover obligation for
+//! shrinking ones. These benches measure both as the action count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sdr_reduce::{check_growing, check_noncrossing};
+use sdr_spec::parse_action;
+use sdr_workload::{generate, prover_heavy_policy, tiered_policy, ClickstreamConfig};
+
+fn bench_checks(c: &mut Criterion) {
+    // A schema with 8 domain groups so tiered policies scale to 24 actions.
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 0,
+        n_domain_grps: 8,
+        horizon: ((1998, 1, 1), (2004, 12, 31)),
+        ..Default::default()
+    });
+    let schema = Arc::clone(&cs.schema);
+
+    let mut g = c.benchmark_group("E2_noncrossing_check");
+    g.sample_size(10);
+    for n_grps in [2usize, 4, 8] {
+        let actions: Vec<_> = tiered_policy(n_grps, 3)
+            .iter()
+            .map(|s| parse_action(&schema, s).unwrap())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("actions", actions.len()),
+            &actions,
+            |b, actions| {
+                b.iter(|| {
+                    check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap()
+                });
+            },
+        );
+    }
+    // Unordered granularities with disjoint predicates: every cross-pair
+    // takes the prover path (grounding + step-day overlap search).
+    for n_grps in [2usize, 4, 8] {
+        let actions: Vec<_> = prover_heavy_policy(n_grps)
+            .iter()
+            .map(|s| parse_action(&schema, s).unwrap())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("prover_path_actions", actions.len()),
+            &actions,
+            |b, actions| {
+                b.iter(|| {
+                    check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap()
+                });
+            },
+        );
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("E3_growing_check");
+    g.sample_size(10);
+    // Growing-only sets (syntactic fast path, Theorem 1)…
+    for n_grps in [2usize, 8] {
+        let actions: Vec<_> = tiered_policy(n_grps, 3)
+            .iter()
+            .map(|s| parse_action(&schema, s).unwrap())
+            .collect();
+        g.bench_with_input(
+            BenchmarkId::new("growing_only", actions.len()),
+            &actions,
+            |b, actions| {
+                b.iter(|| check_growing(&schema, black_box(actions).iter().collect()).unwrap());
+            },
+        );
+    }
+    // …vs a set with a shrinking action (category F → three-step prover
+    // check with step-day enumeration).
+    let shrinking: Vec<_> = sdr_workload::retention_policy(6, 36)
+        .iter()
+        .map(|s| parse_action(&schema, s).unwrap())
+        .collect();
+    g.bench_function("with_shrinking_action", |b| {
+        b.iter(|| check_growing(&schema, black_box(&shrinking).iter().collect()).unwrap());
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_checks);
+criterion_main!(benches);

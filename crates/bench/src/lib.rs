@@ -1,0 +1,68 @@
+//! # sdr-bench — shared fixtures for the benchmark harness
+//!
+//! One Criterion bench target per experiment of `DESIGN.md`'s index
+//! (E1–E8 plus the A1/A2 ablations); this library crate holds the shared
+//! workload construction so every bench measures the same data shapes.
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+
+use sdr_mdm::{calendar::days_from_civil, DayNum, Mo, Schema};
+use sdr_reduce::DataReductionSpec;
+use sdr_workload::{generate, retention_policy, Clickstream, ClickstreamConfig};
+
+/// A standard bench warehouse: `months` months of clicks at
+/// `clicks_per_day`, with the 6/36-month retention policy of experiment
+/// E1 and a `NOW` three years past the last click.
+pub struct BenchWarehouse {
+    /// The generated click-stream.
+    pub cs: Clickstream,
+    /// The validated retention policy.
+    pub spec: DataReductionSpec,
+    /// A late evaluation day (3 years past the stream): everything has
+    /// reached the deepest tier.
+    pub now: DayNum,
+    /// A mid-life evaluation day (18 months into the stream): raw,
+    /// month-tier, and quarter-tier data coexist — the representative
+    /// state for query/sync measurements.
+    pub mid: DayNum,
+}
+
+/// Builds the standard bench warehouse.
+pub fn bench_warehouse(months: u32, clicks_per_day: usize) -> BenchWarehouse {
+    let end_year = 1999 + (months / 12) as i32;
+    let end_month = months % 12;
+    let (ey, em) = if end_month == 0 {
+        (end_year - 1, 12)
+    } else {
+        (end_year, end_month)
+    };
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let spec = policy_spec(&cs.schema);
+    BenchWarehouse {
+        spec,
+        cs,
+        now: days_from_civil(ey + 3, em, 28),
+        mid: days_from_civil(2000, 6, 15),
+    }
+}
+
+/// The 6/36-month retention policy parsed against `schema`.
+pub fn policy_spec(schema: &Arc<Schema>) -> DataReductionSpec {
+    let actions: Vec<_> = retention_policy(6, 36)
+        .iter()
+        .map(|s| sdr_spec::parse_action(schema, s).expect("policy parses"))
+        .collect();
+    DataReductionSpec::new(Arc::clone(schema), actions).expect("policy is sound")
+}
+
+/// Convenience: total facts of an MO (for throughput reporting).
+pub fn fact_count(mo: &Mo) -> u64 {
+    mo.len() as u64
+}

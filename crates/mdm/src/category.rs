@@ -1,0 +1,431 @@
+//! Category types and their partial order (Section 3 of the paper).
+//!
+//! A dimension type `T = (C, ≤_T, ⊤_T, ⊥_T)` has a set of *category types*
+//! ordered by containment. [`CatGraph`] stores that order as a DAG of
+//! immediate edges, validates the paper's structural requirements (unique
+//! bottom `⊥_T`, unique top `⊤_T`, acyclicity), and precomputes the derived
+//! relations the rest of the system needs constantly: full reachability
+//! (`≤_T`), immediate ancestors (`Anc`), greatest lower bounds (`GLB_i`,
+//! Equation 33) and least upper bounds.
+
+use crate::error::MdmError;
+
+/// Index of a category type within its dimension (small and dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CatId(pub u8);
+
+impl CatId {
+    /// The raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for CatId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The category-type DAG of one dimension, with precomputed order tables.
+///
+/// Construction validates the paper's requirements and fails with a
+/// descriptive [`MdmError`] otherwise. All queries after construction are
+/// O(1) table lookups.
+#[derive(Debug, Clone)]
+pub struct CatGraph {
+    names: Vec<String>,
+    /// Immediate containment edges `(child, parent)`, i.e. child `<_T` parent.
+    edges: Vec<(CatId, CatId)>,
+    n: usize,
+    /// Row-major `n×n` reachability: `leq[a*n+b]` ⇔ `a ≤_T b`.
+    leq: Vec<bool>,
+    /// Precomputed GLB per pair (always defined thanks to `⊥_T`).
+    glb: Vec<CatId>,
+    /// Precomputed LUB per pair (always defined thanks to `⊤_T`).
+    lub: Vec<CatId>,
+    /// `Anc(c)`: immediate ancestors of each category.
+    anc: Vec<Vec<CatId>>,
+    bottom: CatId,
+    top: CatId,
+}
+
+impl CatGraph {
+    /// Builds and validates a category graph.
+    ///
+    /// `names` are the category-type names (unique); `edges` are immediate
+    /// containment edges `(child, parent)`.
+    ///
+    /// # Errors
+    /// * [`MdmError::InvalidCategoryGraph`] on duplicate names, dangling
+    ///   edges, cycles, or when a unique bottom/top does not exist.
+    pub fn new<S: Into<String>>(
+        names: Vec<S>,
+        edges: &[(&str, &str)],
+    ) -> Result<Self, MdmError> {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        let n = names.len();
+        if n == 0 {
+            return Err(MdmError::InvalidCategoryGraph("no categories".into()));
+        }
+        if n > 64 {
+            return Err(MdmError::InvalidCategoryGraph(
+                "more than 64 categories in one dimension".into(),
+            ));
+        }
+        for (i, a) in names.iter().enumerate() {
+            if names[i + 1..].contains(a) {
+                return Err(MdmError::InvalidCategoryGraph(format!(
+                    "duplicate category name `{a}`"
+                )));
+            }
+        }
+        let idx = |s: &str| -> Result<CatId, MdmError> {
+            names
+                .iter()
+                .position(|x| x == s)
+                .map(|i| CatId(i as u8))
+                .ok_or_else(|| {
+                    MdmError::InvalidCategoryGraph(format!("unknown category `{s}` in edge"))
+                })
+        };
+        let mut e = Vec::with_capacity(edges.len());
+        for &(c, p) in edges {
+            let (c, p) = (idx(c)?, idx(p)?);
+            if c == p {
+                return Err(MdmError::InvalidCategoryGraph(format!(
+                    "self edge on `{}`",
+                    names[c.index()]
+                )));
+            }
+            e.push((c, p));
+        }
+
+        // Floyd–Warshall-style reachability closure (n ≤ 64, trivial cost).
+        let mut leq = vec![false; n * n];
+        for i in 0..n {
+            leq[i * n + i] = true;
+        }
+        for &(c, p) in &e {
+            leq[c.index() * n + p.index()] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if leq[i * n + k] {
+                    for j in 0..n {
+                        if leq[k * n + j] {
+                            leq[i * n + j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Acyclicity: a ≤ b and b ≤ a with a ≠ b means a cycle.
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && leq[i * n + j] && leq[j * n + i] {
+                    return Err(MdmError::InvalidCategoryGraph(format!(
+                        "cycle between `{}` and `{}`",
+                        names[i], names[j]
+                    )));
+                }
+            }
+        }
+        // Unique bottom: ≤ everything. Unique top: everything ≤ it.
+        let bottoms: Vec<usize> = (0..n).filter(|&i| (0..n).all(|j| leq[i * n + j])).collect();
+        let tops: Vec<usize> = (0..n).filter(|&j| (0..n).all(|i| leq[i * n + j])).collect();
+        let bottom = match bottoms.as_slice() {
+            [b] => CatId(*b as u8),
+            _ => {
+                return Err(MdmError::InvalidCategoryGraph(format!(
+                    "expected exactly one bottom category, found {}",
+                    bottoms.len()
+                )))
+            }
+        };
+        let top = match tops.as_slice() {
+            [t] => CatId(*t as u8),
+            _ => {
+                return Err(MdmError::InvalidCategoryGraph(format!(
+                    "expected exactly one top category, found {}",
+                    tops.len()
+                )))
+            }
+        };
+
+        // GLB / LUB tables. With a unique bottom & top, lower/upper bounds
+        // always exist; the paper (Section 6.1) notes that when the graph is
+        // not a lattice any maximal lower bound will do — we pick the one
+        // with the most ancestors (highest granularity), deterministically.
+        let mut glb = vec![CatId(0); n * n];
+        let mut lub = vec![CatId(0); n * n];
+        let height =
+            |i: usize| -> usize { (0..n).filter(|&j| leq[i * n + j] && j != i).count() };
+        for a in 0..n {
+            for b in 0..n {
+                // Lower bounds of {a, b}.
+                let mut best: Option<usize> = None;
+                for c in 0..n {
+                    if leq[c * n + a] && leq[c * n + b] {
+                        let better = match best {
+                            None => true,
+                            // Prefer c that is ≥ current best (higher).
+                            Some(cur) => leq[cur * n + c] && cur != c,
+                        };
+                        if better {
+                            best = Some(c);
+                        }
+                    }
+                }
+                glb[a * n + b] = CatId(best.expect("bottom is a lower bound") as u8);
+                let mut bestu: Option<usize> = None;
+                for c in 0..n {
+                    if leq[a * n + c] && leq[b * n + c] {
+                        let better = match bestu {
+                            None => true,
+                            Some(cur) => leq[c * n + cur] && cur != c,
+                        };
+                        if better {
+                            bestu = Some(c);
+                        }
+                    }
+                }
+                lub[a * n + b] = CatId(bestu.expect("top is an upper bound") as u8);
+            }
+        }
+        let _ = height; // retained for documentation symmetry
+
+        let mut anc = vec![Vec::new(); n];
+        for &(c, p) in &e {
+            if !anc[c.index()].contains(&p) {
+                anc[c.index()].push(p);
+            }
+        }
+        for a in &mut anc {
+            a.sort();
+        }
+
+        Ok(Self {
+            names,
+            edges: e,
+            n,
+            leq,
+            glb,
+            lub,
+            anc,
+            bottom,
+            top,
+        })
+    }
+
+    /// Number of category types in the dimension.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the graph has no categories (never true for a valid graph).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Name of category `c`.
+    #[inline]
+    pub fn name(&self, c: CatId) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// All category names in id order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks a category up by name.
+    pub fn by_name(&self, name: &str) -> Option<CatId> {
+        self.names.iter().position(|x| x == name).map(|i| CatId(i as u8))
+    }
+
+    /// The immediate containment edges `(child, parent)`.
+    pub fn immediate_edges(&self) -> &[(CatId, CatId)] {
+        &self.edges
+    }
+
+    /// `a ≤_T b` — category `a` is at or below `b` in the containment order.
+    #[inline]
+    pub fn leq(&self, a: CatId, b: CatId) -> bool {
+        self.leq[a.index() * self.n + b.index()]
+    }
+
+    /// Strict order `a <_T b`.
+    #[inline]
+    pub fn lt(&self, a: CatId, b: CatId) -> bool {
+        a != b && self.leq(a, b)
+    }
+
+    /// True when `a` and `b` are comparable under `≤_T`.
+    #[inline]
+    pub fn comparable(&self, a: CatId, b: CatId) -> bool {
+        self.leq(a, b) || self.leq(b, a)
+    }
+
+    /// `GLB_i` of Equation 33: the chosen greatest lower bound of two
+    /// categories (a maximal lower bound when the order is not a lattice).
+    #[inline]
+    pub fn glb(&self, a: CatId, b: CatId) -> CatId {
+        self.glb[a.index() * self.n + b.index()]
+    }
+
+    /// GLB of an arbitrary non-empty set of categories.
+    pub fn glb_many(&self, cats: impl IntoIterator<Item = CatId>) -> Option<CatId> {
+        let mut it = cats.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, c| self.glb(acc, c)))
+    }
+
+    /// Least upper bound of two categories.
+    #[inline]
+    pub fn lub(&self, a: CatId, b: CatId) -> CatId {
+        self.lub[a.index() * self.n + b.index()]
+    }
+
+    /// LUB of an arbitrary non-empty set of categories.
+    pub fn lub_many(&self, cats: impl IntoIterator<Item = CatId>) -> Option<CatId> {
+        let mut it = cats.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, c| self.lub(acc, c)))
+    }
+
+    /// `Anc(c)`: the immediate ancestors of `c`.
+    #[inline]
+    pub fn anc(&self, c: CatId) -> &[CatId] {
+        &self.anc[c.index()]
+    }
+
+    /// The bottom category type `⊥_T` (finest granularity).
+    #[inline]
+    pub fn bottom(&self) -> CatId {
+        self.bottom
+    }
+
+    /// The top category type `⊤_T` (single `⊤` value).
+    #[inline]
+    pub fn top(&self) -> CatId {
+        self.top
+    }
+
+    /// All category ids.
+    pub fn all(&self) -> impl Iterator<Item = CatId> + '_ {
+        (0..self.n as u8).map(CatId)
+    }
+
+    /// True when `≤_T` is a total order (the paper's *linear* hierarchy).
+    pub fn is_linear(&self) -> bool {
+        self.all()
+            .all(|a| self.all().all(|b| self.comparable(a, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url_graph() -> CatGraph {
+        CatGraph::new(
+            vec!["url", "domain", "domain_grp", "T"],
+            &[("url", "domain"), ("domain", "domain_grp"), ("domain_grp", "T")],
+        )
+        .unwrap()
+    }
+
+    fn time_graph() -> CatGraph {
+        CatGraph::new(
+            vec!["day", "week", "month", "quarter", "year", "T"],
+            &[
+                ("day", "week"),
+                ("day", "month"),
+                ("month", "quarter"),
+                ("quarter", "year"),
+                ("week", "T"),
+                ("year", "T"),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn url_hierarchy_is_linear() {
+        let g = url_graph();
+        assert!(g.is_linear());
+        assert_eq!(g.name(g.bottom()), "url");
+        assert_eq!(g.name(g.top()), "T");
+        let url = g.by_name("url").unwrap();
+        let grp = g.by_name("domain_grp").unwrap();
+        assert!(g.leq(url, grp));
+        assert!(!g.leq(grp, url));
+    }
+
+    #[test]
+    fn time_hierarchy_is_non_linear() {
+        let g = time_graph();
+        assert!(!g.is_linear());
+        let week = g.by_name("week").unwrap();
+        let month = g.by_name("month").unwrap();
+        let quarter = g.by_name("quarter").unwrap();
+        let day = g.by_name("day").unwrap();
+        assert!(!g.comparable(week, month));
+        // Paper Section 6.1: GLB(week, quarter) = day.
+        assert_eq!(g.glb(week, quarter), day);
+        assert_eq!(g.lub(week, month), g.top());
+        assert_eq!(g.glb(month, quarter), month);
+    }
+
+    #[test]
+    fn anc_matches_paper() {
+        let g = url_graph();
+        let domain = g.by_name("domain").unwrap();
+        let grp = g.by_name("domain_grp").unwrap();
+        // Anc(domain) = {domain_grp}.
+        assert_eq!(g.anc(domain), &[grp]);
+    }
+
+    #[test]
+    fn rejects_cycles_and_duplicates() {
+        assert!(CatGraph::new(vec!["a", "b"], &[("a", "b"), ("b", "a")]).is_err());
+        assert!(CatGraph::new(vec!["a", "a"], &[]).is_err());
+        assert!(CatGraph::new(vec!["a", "b"], &[("a", "c")]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_unique_bottom_or_top() {
+        // Two minimal elements: no unique bottom.
+        assert!(CatGraph::new(vec!["a", "b", "t"], &[("a", "t"), ("b", "t")]).is_err());
+        // Two maximal elements: no unique top.
+        assert!(CatGraph::new(vec!["b", "x", "y"], &[("b", "x"), ("b", "y")]).is_err());
+    }
+
+    #[test]
+    fn glb_lub_laws() {
+        let g = time_graph();
+        for a in g.all() {
+            for b in g.all() {
+                let m = g.glb(a, b);
+                assert!(g.leq(m, a) && g.leq(m, b));
+                let j = g.lub(a, b);
+                assert!(g.leq(a, j) && g.leq(b, j));
+                assert_eq!(g.glb(a, b), g.glb(b, a));
+                assert_eq!(g.lub(a, b), g.lub(b, a));
+                assert_eq!(g.glb(a, a), a);
+                assert_eq!(g.lub(a, a), a);
+            }
+        }
+    }
+
+    #[test]
+    fn single_category_graph() {
+        let g = CatGraph::new(vec!["only"], &[]).unwrap();
+        assert_eq!(g.bottom(), g.top());
+        assert!(g.is_linear());
+    }
+}

@@ -1,0 +1,459 @@
+//! Multidimensional objects (MOs) and their columnar fact store.
+//!
+//! An MO is the five-tuple `O = (S, F, D, R, M)` of Section 3. The schema
+//! `S` owns the dimensions `D`; the fact set `F`, fact–dimension relations
+//! `R`, and measures `M` are stored columnar (struct-of-arrays) in
+//! [`FactStore`]: per dimension a category column and a code column (the
+//! direct fact–dimension relation `R_i`), and per measure a value column.
+//!
+//! The model's invariants are enforced on insert:
+//! * no missing values — every fact maps to exactly one value per
+//!   dimension (use `⊤` for "unknown", as the paper prescribes);
+//! * facts inserted by *users* map to bottom-category values only; the
+//!   reduction machinery uses [`Mo::insert_fact_at`] to create facts at
+//!   coarser granularities.
+
+use std::sync::Arc;
+
+use crate::dimension::{DimId, DimValue};
+use crate::error::MdmError;
+use crate::schema::{Granularity, MeasureId, Schema};
+
+/// Identifies a fact within one MO (dense row index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The raw row index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Provenance tag for a fact: which reduction action produced it.
+///
+/// `ORIGIN_USER` marks user-inserted facts. The paper requires that for
+/// every fact one can determine the action responsible for its current
+/// granularity ("to communicate to users why data is aggregated the way it
+/// is", Section 4).
+pub const ORIGIN_USER: u32 = u32::MAX;
+
+/// Columnar store backing one MO.
+#[derive(Debug, Clone, Default)]
+pub struct FactStore {
+    /// Per dimension: the category of each fact's direct value.
+    pub cats: Vec<Vec<u8>>,
+    /// Per dimension: the packed code of each fact's direct value.
+    pub codes: Vec<Vec<u64>>,
+    /// Per measure: the measure value of each fact.
+    pub measures: Vec<Vec<i64>>,
+    /// Per fact: the id of the reduction action that produced it, or
+    /// [`ORIGIN_USER`].
+    pub origin: Vec<u32>,
+    len: usize,
+}
+
+impl FactStore {
+    /// An empty store shaped for `n_dims` dimensions and `n_measures`
+    /// measures.
+    pub fn new(n_dims: usize, n_measures: usize) -> Self {
+        FactStore {
+            cats: vec![Vec::new(); n_dims],
+            codes: vec![Vec::new(); n_dims],
+            measures: vec![Vec::new(); n_measures],
+            origin: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of facts.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the store holds no facts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reserves room for `additional` more facts in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.cats {
+            c.reserve(additional);
+        }
+        for c in &mut self.codes {
+            c.reserve(additional);
+        }
+        for m in &mut self.measures {
+            m.reserve(additional);
+        }
+        self.origin.reserve(additional);
+    }
+
+    /// Appends a fact row; the caller guarantees shape consistency.
+    pub fn push(&mut self, coords: &[DimValue], measures: &[i64], origin: u32) -> FactId {
+        debug_assert_eq!(coords.len(), self.cats.len());
+        debug_assert_eq!(measures.len(), self.measures.len());
+        for (i, v) in coords.iter().enumerate() {
+            self.cats[i].push(v.cat.0);
+            self.codes[i].push(v.code);
+        }
+        for (j, &m) in measures.iter().enumerate() {
+            self.measures[j].push(m);
+        }
+        self.origin.push(origin);
+        let id = FactId(self.len as u32);
+        self.len += 1;
+        id
+    }
+
+    /// The direct value of fact `f` in dimension `d`.
+    #[inline]
+    pub fn value(&self, f: FactId, d: DimId) -> DimValue {
+        DimValue {
+            cat: crate::category::CatId(self.cats[d.index()][f.index()]),
+            code: self.codes[d.index()][f.index()],
+        }
+    }
+
+    /// The measure value of fact `f` for measure `m`.
+    #[inline]
+    pub fn measure(&self, f: FactId, m: MeasureId) -> i64 {
+        self.measures[m.index()][f.index()]
+    }
+
+    /// Estimated resident bytes of the store (columnar payload only).
+    pub fn approx_bytes(&self) -> usize {
+        self.cats.iter().map(|c| c.len()).sum::<usize>()
+            + self.codes.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.measures.iter().map(|c| c.len() * 8).sum::<usize>()
+            + self.origin.len() * 4
+    }
+}
+
+/// A multidimensional object `O = (S, F, D, R, M)`.
+#[derive(Debug, Clone)]
+pub struct Mo {
+    schema: Arc<Schema>,
+    store: FactStore,
+}
+
+impl Mo {
+    /// An empty MO over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Self {
+        let store = FactStore::new(schema.n_dims(), schema.n_measures());
+        Mo { schema, store }
+    }
+
+    /// The schema `S` (which owns the dimensions `D`).
+    #[inline]
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Direct read access to the columnar store.
+    #[inline]
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Number of facts `|F|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// True when the MO holds no facts.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// Iterates all fact ids.
+    pub fn facts(&self) -> impl Iterator<Item = FactId> {
+        (0..self.store.len() as u32).map(FactId)
+    }
+
+    /// Inserts a *user* fact: all coordinates must be bottom-category
+    /// values (Section 3: "facts inserted by users are mapped to dimension
+    /// values in bottom categories"), except `⊤` which is allowed to model
+    /// an unknown value.
+    ///
+    /// # Errors
+    /// [`MdmError::InvalidFact`] when a coordinate is at an intermediate
+    /// category or the measure count is wrong.
+    pub fn insert_fact(&mut self, coords: &[DimValue], measures: &[i64]) -> Result<FactId, MdmError> {
+        self.validate_shape(coords, measures)?;
+        for (i, v) in coords.iter().enumerate() {
+            let g = self.schema.dims[i].graph();
+            if v.cat != g.bottom() && v.cat != g.top() {
+                return Err(MdmError::InvalidFact(format!(
+                    "user fact must map to bottom (or ⊤) in dimension `{}`, got `{}`",
+                    self.schema.dims[i].name(),
+                    g.name(v.cat)
+                )));
+            }
+        }
+        Ok(self.store.push(coords, measures, ORIGIN_USER))
+    }
+
+    /// Inserts a fact at an arbitrary granularity, tagging it with the
+    /// reduction action that produced it. Used by the data-reduction
+    /// machinery (Definition 2) — not by user ingest paths.
+    pub fn insert_fact_at(
+        &mut self,
+        coords: &[DimValue],
+        measures: &[i64],
+        origin: u32,
+    ) -> Result<FactId, MdmError> {
+        self.validate_shape(coords, measures)?;
+        Ok(self.store.push(coords, measures, origin))
+    }
+
+    fn validate_shape(&self, coords: &[DimValue], measures: &[i64]) -> Result<(), MdmError> {
+        if coords.len() != self.schema.n_dims() {
+            return Err(MdmError::InvalidFact(format!(
+                "expected {} coordinates, got {}",
+                self.schema.n_dims(),
+                coords.len()
+            )));
+        }
+        if measures.len() != self.schema.n_measures() {
+            return Err(MdmError::InvalidFact(format!(
+                "expected {} measures, got {}",
+                self.schema.n_measures(),
+                measures.len()
+            )));
+        }
+        for (i, v) in coords.iter().enumerate() {
+            let g = self.schema.dims[i].graph();
+            if v.cat.index() >= g.len() {
+                return Err(MdmError::InvalidFact(format!(
+                    "coordinate {i} references unknown category {}",
+                    v.cat
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The direct value of a fact in a dimension (its `R_i` entry).
+    #[inline]
+    pub fn value(&self, f: FactId, d: DimId) -> DimValue {
+        self.store.value(f, d)
+    }
+
+    /// The measure value of a fact.
+    #[inline]
+    pub fn measure(&self, f: FactId, m: MeasureId) -> i64 {
+        self.store.measure(f, m)
+    }
+
+    /// All coordinates of a fact.
+    pub fn coords(&self, f: FactId) -> Vec<DimValue> {
+        (0..self.schema.n_dims())
+            .map(|i| self.store.value(f, DimId(i as u16)))
+            .collect()
+    }
+
+    /// All measure values of a fact.
+    pub fn measures_of(&self, f: FactId) -> Vec<i64> {
+        (0..self.schema.n_measures())
+            .map(|j| self.store.measure(f, MeasureId(j as u16)))
+            .collect()
+    }
+
+    /// `Gran(f)` — the fact's current granularity (Equation 10).
+    pub fn gran(&self, f: FactId) -> Granularity {
+        Granularity(
+            (0..self.schema.n_dims())
+                .map(|i| self.store.value(f, DimId(i as u16)).cat)
+                .collect(),
+        )
+    }
+
+    /// Characterization `f ⤳ v` in dimension `d` (Section 3): true when
+    /// the fact's direct value is contained in `v`.
+    pub fn characterizes(&self, f: FactId, d: DimId, v: DimValue) -> bool {
+        self.schema.dim(d).characterizes(self.store.value(f, d), v)
+    }
+
+    /// Creates an MO with the same schema and no facts.
+    pub fn empty_like(&self) -> Mo {
+        Mo::new(Arc::clone(&self.schema))
+    }
+
+    /// Appends all facts of `other` (same schema required) into `self`.
+    pub fn absorb(&mut self, other: &Mo) -> Result<(), MdmError> {
+        if !Arc::ptr_eq(&self.schema, &other.schema)
+            && self.schema.fact_type != other.schema.fact_type
+        {
+            return Err(MdmError::SchemaMismatch(
+                "absorb requires identical schemas".into(),
+            ));
+        }
+        self.store.reserve(other.len());
+        for f in other.facts() {
+            self.store.push(
+                &other.coords(f),
+                &other.measures_of(f),
+                other.store.origin[f.index()],
+            );
+        }
+        Ok(())
+    }
+
+    /// Renders one fact like the paper's figures:
+    /// `fact(1999Q4, amazon.com | 2, 689, 3, 68000)`.
+    pub fn render_fact(&self, f: FactId) -> String {
+        let coords: Vec<String> = (0..self.schema.n_dims())
+            .map(|i| {
+                let d = DimId(i as u16);
+                self.schema.dim(d).render(self.store.value(f, d))
+            })
+            .collect();
+        let ms: Vec<String> = self.measures_of(f).iter().map(|m| m.to_string()).collect();
+        format!("fact({} | {})", coords.join(", "), ms.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::CatGraph;
+    use crate::dimension::{Dimension, EnumDimensionBuilder};
+    use crate::schema::{AggFn, MeasureDef};
+    use crate::time::{cat as tcat, TimeDimension, TimeValue};
+
+    fn tiny_schema() -> Arc<Schema> {
+        let time = Dimension::Time(TimeDimension::new((1999, 1, 1), (2001, 12, 31)).unwrap());
+        let g = CatGraph::new(vec!["url", "domain", "T"], &[("url", "domain"), ("domain", "T")])
+            .unwrap();
+        let url = g.by_name("url").unwrap();
+        let domain = g.by_name("domain").unwrap();
+        let mut b = EnumDimensionBuilder::new("URL", g);
+        b.add_value(domain, "cnn.com", &[]).unwrap();
+        b.add_value(url, "a", &[(domain, "cnn.com")]).unwrap();
+        b.add_value(url, "b", &[(domain, "cnn.com")]).unwrap();
+        Schema::new(
+            "Click",
+            vec![time, Dimension::Enum(b.build().unwrap())],
+            vec![
+                MeasureDef::new("Number_of", AggFn::Count),
+                MeasureDef::new("Dwell_time", AggFn::Sum),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn day(y: i32, m: u32, d: u32) -> DimValue {
+        let v = TimeValue::Day(crate::calendar::days_from_civil(y, m, d));
+        DimValue::new(tcat::DAY, v.code())
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let s = tiny_schema();
+        let mut mo = Mo::new(Arc::clone(&s));
+        let url_dim = DimId(1);
+        let Dimension::Enum(e) = s.dim(url_dim) else {
+            unreachable!()
+        };
+        let urlcat = e.graph().by_name("url").unwrap();
+        let a = e.value(urlcat, "a").unwrap();
+        let f = mo.insert_fact(&[day(2000, 5, 7), a], &[1, 42]).unwrap();
+        assert_eq!(mo.len(), 1);
+        assert_eq!(mo.value(f, url_dim), a);
+        assert_eq!(mo.measure(f, MeasureId(1)), 42);
+        assert_eq!(mo.gran(f), s.bottom_granularity());
+        assert_eq!(mo.store().origin[0], ORIGIN_USER);
+    }
+
+    #[test]
+    fn user_insert_rejects_intermediate_categories() {
+        let s = tiny_schema();
+        let mut mo = Mo::new(Arc::clone(&s));
+        let Dimension::Enum(e) = s.dim(DimId(1)) else {
+            unreachable!()
+        };
+        let domain = e.graph().by_name("domain").unwrap();
+        let cnn = e.value(domain, "cnn.com").unwrap();
+        assert!(mo.insert_fact(&[day(2000, 5, 7), cnn], &[1, 42]).is_err());
+        // But ⊤ is allowed (unknown value).
+        let top = s.dim(DimId(1)).top_value();
+        assert!(mo.insert_fact(&[day(2000, 5, 7), top], &[1, 42]).is_ok());
+        // And insert_fact_at accepts intermediate categories.
+        assert!(mo.insert_fact_at(&[day(2000, 5, 7), cnn], &[1, 42], 3).is_ok());
+        assert_eq!(mo.store().origin[0], ORIGIN_USER);
+        assert_eq!(mo.store().origin[1], 3);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let s = tiny_schema();
+        let mut mo = Mo::new(s);
+        assert!(mo.insert_fact(&[day(2000, 5, 7)], &[1, 42]).is_err());
+        let top = mo.schema().dim(DimId(1)).top_value();
+        assert!(mo.insert_fact(&[day(2000, 5, 7), top], &[1]).is_err());
+    }
+
+    #[test]
+    fn characterization_through_fact() {
+        let s = tiny_schema();
+        let mut mo = Mo::new(Arc::clone(&s));
+        let Dimension::Enum(e) = s.dim(DimId(1)) else {
+            unreachable!()
+        };
+        let urlcat = e.graph().by_name("url").unwrap();
+        let domain = e.graph().by_name("domain").unwrap();
+        let a = e.value(urlcat, "a").unwrap();
+        let cnn = e.value(domain, "cnn.com").unwrap();
+        let f = mo.insert_fact(&[day(2000, 5, 7), a], &[1, 42]).unwrap();
+        assert!(mo.characterizes(f, DimId(1), a));
+        assert!(mo.characterizes(f, DimId(1), cnn));
+        let month = DimValue::new(
+            tcat::MONTH,
+            TimeValue::Month {
+                year: 2000,
+                month: 5,
+            }
+            .code(),
+        );
+        assert!(mo.characterizes(f, DimId(0), month));
+        let other_month = DimValue::new(
+            tcat::MONTH,
+            TimeValue::Month {
+                year: 2000,
+                month: 6,
+            }
+            .code(),
+        );
+        assert!(!mo.characterizes(f, DimId(0), other_month));
+    }
+
+    #[test]
+    fn absorb_appends() {
+        let s = tiny_schema();
+        let mut a = Mo::new(Arc::clone(&s));
+        let mut b = Mo::new(Arc::clone(&s));
+        let top = s.dim(DimId(1)).top_value();
+        a.insert_fact(&[day(2000, 1, 1), top], &[1, 10]).unwrap();
+        b.insert_fact(&[day(2000, 1, 2), top], &[1, 20]).unwrap();
+        a.absorb(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.measure(FactId(1), MeasureId(1)), 20);
+    }
+
+    #[test]
+    fn bytes_accounting_grows() {
+        let s = tiny_schema();
+        let mut mo = Mo::new(Arc::clone(&s));
+        let before = mo.store().approx_bytes();
+        let top = s.dim(DimId(1)).top_value();
+        mo.insert_fact(&[day(2000, 1, 1), top], &[1, 10]).unwrap();
+        assert!(mo.store().approx_bytes() > before);
+    }
+}

@@ -1,0 +1,178 @@
+//! Human-readable rendering of multidimensional objects.
+//!
+//! Produces aligned tables in the spirit of the paper's Table 2, used by
+//! the examples and the CLI. Pure formatting — no side effects.
+
+use crate::dimension::DimId;
+use crate::mo::{Mo, ORIGIN_USER};
+use crate::schema::MeasureId;
+
+/// Options for [`render_table`].
+#[derive(Debug, Clone, Copy)]
+pub struct TableOptions {
+    /// Maximum number of rows to print (`usize::MAX` for all).
+    pub max_rows: usize,
+    /// Include the provenance (responsible action) column.
+    pub show_origin: bool,
+    /// Sort rows lexicographically by rendered coordinates.
+    pub sorted: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            max_rows: 50,
+            show_origin: false,
+            sorted: true,
+        }
+    }
+}
+
+/// Renders an MO as an aligned text table.
+pub fn render_table(mo: &Mo, opts: TableOptions) -> String {
+    let schema = mo.schema();
+    let n_dims = schema.n_dims();
+    let n_measures = schema.n_measures();
+    let mut header: Vec<String> = (0..n_dims)
+        .map(|i| schema.dims[i].name().to_string())
+        .chain(schema.measures.iter().map(|m| m.name.clone()))
+        .collect();
+    if opts.show_origin {
+        header.push("origin".into());
+    }
+    let mut rows: Vec<Vec<String>> = mo
+        .facts()
+        .map(|f| {
+            let mut row: Vec<String> = (0..n_dims)
+                .map(|i| {
+                    let d = DimId(i as u16);
+                    schema.dim(d).render(mo.value(f, d))
+                })
+                .collect();
+            for j in 0..n_measures {
+                row.push(mo.measure(f, MeasureId(j as u16)).to_string());
+            }
+            if opts.show_origin {
+                let o = mo.store().origin[f.index()];
+                row.push(if o == ORIGIN_USER {
+                    "user".into()
+                } else {
+                    format!("a{o}")
+                });
+            }
+            row
+        })
+        .collect();
+    if opts.sorted {
+        rows.sort();
+    }
+    let truncated = rows.len() > opts.max_rows;
+    rows.truncate(opts.max_rows);
+
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for r in &rows {
+        for (i, c) in r.iter().enumerate() {
+            widths[i] = widths[i].max(c.chars().count());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+            .trim_end()
+            .to_string()
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(&header));
+    out.push('\n');
+    out.push_str(
+        &widths
+            .iter()
+            .map(|&w| "-".repeat(w))
+            .collect::<Vec<_>>()
+            .join("  "),
+    );
+    out.push('\n');
+    for r in &rows {
+        out.push_str(&fmt_row(r));
+        out.push('\n');
+    }
+    if truncated {
+        out.push_str(&format!("… ({} more rows)\n", mo.len() - opts.max_rows));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::category::CatGraph;
+    use crate::dimension::{DimValue, Dimension, EnumDimensionBuilder};
+    use crate::schema::{AggFn, MeasureDef, Schema};
+    use crate::time::{cat as tcat, TimeDimension, TimeValue};
+    use std::sync::Arc;
+
+    fn tiny_mo() -> Mo {
+        let time = Dimension::Time(TimeDimension::new((1999, 1, 1), (2001, 12, 31)).unwrap());
+        let g = CatGraph::new(vec!["x", "T"], &[("x", "T")]).unwrap();
+        let x = g.by_name("x").unwrap();
+        let mut b = EnumDimensionBuilder::new("X", g);
+        b.add_value(x, "alpha", &[]).unwrap();
+        b.add_value(x, "b", &[]).unwrap();
+        let schema = Schema::new(
+            "F",
+            vec![time, Dimension::Enum(b.build().unwrap())],
+            vec![MeasureDef::new("n", AggFn::Count)],
+        )
+        .unwrap();
+        let mut mo = Mo::new(Arc::clone(&schema));
+        let d = DimValue::new(
+            tcat::DAY,
+            TimeValue::Day(crate::calendar::days_from_civil(2000, 1, 2)).code(),
+        );
+        let Dimension::Enum(e) = schema.dim(DimId(1)) else {
+            unreachable!()
+        };
+        let a = e.value(x, "alpha").unwrap();
+        let bb = e.value(x, "b").unwrap();
+        mo.insert_fact(&[d, a], &[1]).unwrap();
+        mo.insert_fact(&[d, bb], &[7]).unwrap();
+        mo
+    }
+
+    #[test]
+    fn renders_aligned_table() {
+        let mo = tiny_mo();
+        let t = render_table(&mo, TableOptions::default());
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Time"));
+        assert!(lines[0].contains('n'));
+        assert!(lines[2].contains("alpha"));
+        assert!(lines[3].contains("b"));
+        // Column alignment: both data rows start the measure at the same
+        // column.
+        let pos1 = lines[2].rfind('1').unwrap();
+        let pos7 = lines[3].rfind('7').unwrap();
+        assert_eq!(pos1, pos7);
+    }
+
+    #[test]
+    fn truncation_and_origin() {
+        let mo = tiny_mo();
+        let t = render_table(
+            &mo,
+            TableOptions {
+                max_rows: 1,
+                show_origin: true,
+                sorted: true,
+            },
+        );
+        assert!(t.contains("(1 more rows)"));
+        assert!(t.contains("origin"));
+        assert!(t.contains("user"));
+    }
+}

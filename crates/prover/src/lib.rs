@@ -1,0 +1,34 @@
+//! # sdr-prover — decision procedure for reduction-action predicates
+//!
+//! The paper (Sections 5.2–5.3) discharges the logical obligations of the
+//! *NonCrossing* and *Growing* checks to "a standard theorem prover such as
+//! PVS". The predicates of the specification language (Table 1) are far
+//! simpler than what a general prover handles: after DNF normalization,
+//! every disjunct is a conjunction of
+//!
+//! * range constraints over a discrete, totally ordered **time** domain
+//!   whose endpoints are constants or `NOW ± span`, and
+//! * equality/membership constraints over **finite** non-time dimension
+//!   domains.
+//!
+//! Grounding each disjunct at a fixed evaluation time `t` yields a
+//! [`Region`]: a product (one [`GroundSet`] per dimension) of a day
+//! interval and finite value sets. Satisfiability, intersection, and the
+//! implication `A ⇒ B₁ ∨ … ∨ Bₙ` are then decidable *exactly* by interval
+//! and set algebra — this module implements that decision procedure, which
+//! is complete for every formula the grammar can produce.
+//!
+//! The only subtlety is the ∃t quantifier in the NonCrossing check and the
+//! ∀t quantifier in the Growing check. Since all `NOW`-affine endpoints
+//! are *staircase* functions of `t` that only step when `t` crosses a
+//! calendar-granularity boundary, quantifiers over `t` reduce to a finite
+//! set of sample days (every granularity boundary in the horizon), which
+//! the caller (`sdr-reduce`) enumerates.
+
+#![warn(missing_docs)]
+
+pub mod region;
+pub mod sets;
+
+pub use region::{implies_union, Region};
+pub use sets::{BitSet, DayInterval, GroundSet};

@@ -1,0 +1,340 @@
+//! Ground value sets: day intervals and finite bitsets.
+
+/// A closed interval of days `[lo, hi]` (inclusive); empty when `lo > hi`.
+///
+/// Time constraints ground to day intervals because every time category's
+/// values are contiguous day ranges, so "the set of bottom-level days whose
+/// roll-up satisfies the constraint" is always one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DayInterval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl DayInterval {
+    /// The canonical empty interval.
+    pub const EMPTY: DayInterval = DayInterval {
+        lo: 1,
+        hi: 0,
+    };
+    /// The full line (used for `⊤`/unconstrained time).
+    pub const FULL: DayInterval = DayInterval {
+        lo: i64::MIN / 4,
+        hi: i64::MAX / 4,
+    };
+
+    /// Constructs `[lo, hi]`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        DayInterval { lo, hi }
+    }
+
+    /// True when the interval holds no days.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Number of days (0 when empty).
+    pub fn len(self) -> i64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.hi - self.lo + 1
+        }
+    }
+
+    /// Intersection.
+    pub fn intersect(self, other: DayInterval) -> DayInterval {
+        DayInterval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, d: i64) -> bool {
+        self.lo <= d && d <= self.hi
+    }
+
+    /// Subset test (empty ⊆ anything).
+    pub fn subset_of(self, other: DayInterval) -> bool {
+        self.is_empty() || (other.lo <= self.lo && self.hi <= other.hi)
+    }
+
+    /// Set difference, producing at most two intervals (empties dropped).
+    pub fn subtract(self, other: DayInterval) -> Vec<DayInterval> {
+        if self.is_empty() {
+            return vec![];
+        }
+        let cut = self.intersect(other);
+        if cut.is_empty() {
+            return vec![self];
+        }
+        let mut out = Vec::with_capacity(2);
+        let left = DayInterval::new(self.lo, cut.lo - 1);
+        if !left.is_empty() {
+            out.push(left);
+        }
+        let right = DayInterval::new(cut.hi + 1, self.hi);
+        if !right.is_empty() {
+            out.push(right);
+        }
+        out
+    }
+}
+
+/// A finite set of small non-negative integers (dimension value ids).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// A set containing `0..n`.
+    pub fn full(n: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![u64::MAX; n.div_ceil(64)],
+        };
+        let extra = s.words.len() * 64 - n;
+        if extra > 0 && !s.words.is_empty() {
+            let last = s.words.len() - 1;
+            s.words[last] >>= extra;
+        }
+        s
+    }
+
+    /// Inserts an element.
+    pub fn insert(&mut self, v: u32) {
+        let (w, b) = ((v / 64) as usize, v % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << b;
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: u32) -> bool {
+        let (w, b) = ((v / 64) as usize, v % 64);
+        self.words.get(w).is_some_and(|x| x & (1 << b) != 0)
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `self ∩ other`.
+    pub fn intersect(&self, other: &BitSet) -> BitSet {
+        let n = self.words.len().min(other.words.len());
+        BitSet {
+            words: (0..n).map(|i| self.words[i] & other.words[i]).collect(),
+        }
+    }
+
+    /// `self ∪ other`.
+    pub fn union(&self, other: &BitSet) -> BitSet {
+        let n = self.words.len().max(other.words.len());
+        let g = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        BitSet {
+            words: (0..n)
+                .map(|i| g(&self.words, i) | g(&other.words, i))
+                .collect(),
+        }
+    }
+
+    /// `self \ other`.
+    pub fn subtract(&self, other: &BitSet) -> BitSet {
+        let g = |v: &Vec<u64>, i: usize| v.get(i).copied().unwrap_or(0);
+        BitSet {
+            words: (0..self.words.len())
+                .map(|i| self.words[i] & !g(&other.words, i))
+                .collect(),
+        }
+    }
+
+    /// Subset test.
+    pub fn subset_of(&self, other: &BitSet) -> bool {
+        self.subtract(other).is_empty()
+    }
+
+    /// Iterates the contained values in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64)
+                .filter(move |b| w & (1u64 << b) != 0)
+                .map(move |b| (wi * 64 + b) as u32)
+        })
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = BitSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+/// The grounded constraint of one dimension inside a [`Region`](crate::Region).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundSet {
+    /// Unconstrained (the whole dimension).
+    All,
+    /// A day interval (time dimension).
+    Interval(DayInterval),
+    /// A finite set of bottom-level value ids (enumerated dimension).
+    Bits(BitSet),
+}
+
+impl GroundSet {
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            GroundSet::All => false,
+            GroundSet::Interval(i) => i.is_empty(),
+            GroundSet::Bits(b) => b.is_empty(),
+        }
+    }
+
+    /// Intersection (panics on mixing `Interval` with `Bits`, which a
+    /// well-typed caller never does).
+    pub fn intersect(&self, other: &GroundSet) -> GroundSet {
+        match (self, other) {
+            (GroundSet::All, x) | (x, GroundSet::All) => x.clone(),
+            (GroundSet::Interval(a), GroundSet::Interval(b)) => {
+                GroundSet::Interval(a.intersect(*b))
+            }
+            (GroundSet::Bits(a), GroundSet::Bits(b)) => GroundSet::Bits(a.intersect(b)),
+            _ => panic!("mixed ground-set kinds in one dimension"),
+        }
+    }
+
+    /// Difference `self \ other`, as a union of disjoint ground sets.
+    pub fn subtract(&self, other: &GroundSet) -> Vec<GroundSet> {
+        match (self, other) {
+            (_, GroundSet::All) => vec![],
+            (GroundSet::All, GroundSet::Interval(b)) => DayInterval::FULL
+                .subtract(*b)
+                .into_iter()
+                .map(GroundSet::Interval)
+                .collect(),
+            (GroundSet::All, GroundSet::Bits(_)) => {
+                panic!("cannot subtract a finite set from an unbounded domain; ground `All` first")
+            }
+            (GroundSet::Interval(a), GroundSet::Interval(b)) => a
+                .subtract(*b)
+                .into_iter()
+                .map(GroundSet::Interval)
+                .collect(),
+            (GroundSet::Bits(a), GroundSet::Bits(b)) => {
+                let d = a.subtract(b);
+                if d.is_empty() {
+                    vec![]
+                } else {
+                    vec![GroundSet::Bits(d)]
+                }
+            }
+            _ => panic!("mixed ground-set kinds in one dimension"),
+        }
+    }
+
+    /// Subset test `self ⊆ other`.
+    pub fn subset_of(&self, other: &GroundSet) -> bool {
+        match (self, other) {
+            (_, GroundSet::All) => true,
+            (GroundSet::All, GroundSet::Interval(b)) => DayInterval::FULL.subset_of(*b),
+            (GroundSet::All, GroundSet::Bits(_)) => false,
+            (GroundSet::Interval(a), GroundSet::Interval(b)) => a.subset_of(*b),
+            (GroundSet::Bits(a), GroundSet::Bits(b)) => a.subset_of(b),
+            _ => panic!("mixed ground-set kinds in one dimension"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_algebra() {
+        let a = DayInterval::new(0, 10);
+        let b = DayInterval::new(5, 15);
+        assert_eq!(a.intersect(b), DayInterval::new(5, 10));
+        assert!(DayInterval::new(5, 4).is_empty());
+        assert_eq!(a.len(), 11);
+        assert!(DayInterval::new(3, 7).subset_of(a));
+        assert!(!b.subset_of(a));
+        assert!(DayInterval::EMPTY.subset_of(DayInterval::EMPTY));
+    }
+
+    #[test]
+    fn interval_subtract() {
+        let a = DayInterval::new(0, 10);
+        assert_eq!(
+            a.subtract(DayInterval::new(3, 7)),
+            vec![DayInterval::new(0, 2), DayInterval::new(8, 10)]
+        );
+        assert_eq!(a.subtract(DayInterval::new(-5, 20)), vec![]);
+        assert_eq!(a.subtract(DayInterval::new(20, 30)), vec![a]);
+        assert_eq!(a.subtract(DayInterval::new(-5, 4)), vec![DayInterval::new(5, 10)]);
+        assert_eq!(a.subtract(DayInterval::new(8, 30)), vec![DayInterval::new(0, 7)]);
+    }
+
+    #[test]
+    fn bitset_algebra() {
+        let a: BitSet = [1u32, 3, 64, 100].into_iter().collect();
+        let b: BitSet = [3u32, 100, 200].into_iter().collect();
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(64));
+        assert!(!a.contains(2));
+        let i = a.intersect(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![3, 100]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 5);
+        let d = a.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 64]);
+        assert!(i.subset_of(&a));
+        assert!(!a.subset_of(&b));
+        let full = BitSet::full(70);
+        assert_eq!(full.len(), 70);
+        // a contains 100 ≥ 70, so it is not a subset of full(70)…
+        assert!(!a.subset_of(&full));
+        // …but it is a subset of full(128).
+        assert!(a.subset_of(&BitSet::full(128)));
+    }
+
+    #[test]
+    fn ground_set_ops() {
+        let i = GroundSet::Interval(DayInterval::new(0, 9));
+        let j = GroundSet::Interval(DayInterval::new(5, 20));
+        assert!(!i.intersect(&j).is_empty());
+        assert_eq!(i.subtract(&j).len(), 1);
+        assert!(i.intersect(&GroundSet::All) == i);
+        let b = GroundSet::Bits([1u32, 2].into_iter().collect());
+        assert!(b.subset_of(&GroundSet::All));
+        assert!(GroundSet::Bits(BitSet::new()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed ground-set kinds")]
+    fn mixed_kinds_panic() {
+        let i = GroundSet::Interval(DayInterval::new(0, 9));
+        let b = GroundSet::Bits(BitSet::new());
+        let _ = i.intersect(&b);
+    }
+}

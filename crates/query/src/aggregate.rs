@@ -1,0 +1,230 @@
+//! The aggregate formation operator `α[C₁, …, Cₙ](O)` (Section 6.3,
+//! Definition 6).
+//!
+//! Aggregates the facts of a (possibly reduced) MO to the requested
+//! categories. The varying-granularity problem — some facts may already
+//! sit *above* the requested level — is handled per the paper's three
+//! implemented approaches:
+//!
+//! * [`AggApproach::Availability`] (the paper's and our default):
+//!   `Group_high` (Equation 38) keeps coarser facts at their own finest
+//!   available granularity, so the answer is the most detailed one that is
+//!   still guaranteed correct;
+//! * [`AggApproach::Strict`] — only facts at or below the requested
+//!   granularity contribute; the answer has exactly the requested level;
+//! * [`AggApproach::Lub`] — everything is aggregated to the least upper
+//!   bound of the requested level and all fact granularities: one uniform
+//!   (coarser) granularity covering every fact.
+//!
+//! * [`AggApproach::Disaggregated`] — the paper's fourth approach: facts
+//!   *above* the requested level are spread back down to it, yielding an
+//!   answer of exactly the requested granularity at the cost of
+//!   imprecision (reference 5 of the paper). Additive measures are apportioned
+//!   uniformly over the fact's footprint with largest-remainder rounding,
+//!   so totals are conserved *exactly*; MIN/MAX values are replicated
+//!   (their disaggregation is inherently undefined).
+
+use std::collections::BTreeMap;
+
+use sdr_mdm::{AggFn, CatId, DimId, DimValue, Mo, ORIGIN_USER};
+
+use crate::error::QueryError;
+
+/// Varying-granularity handling for aggregate formation (Section 6.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggApproach {
+    /// Finest available granularity per fact (`Group_high`).
+    Availability,
+    /// Only facts at or below the requested granularity.
+    Strict,
+    /// One uniform granularity: the LUB of request and fact levels.
+    Lub,
+    /// Spread coarse facts back down to the requested granularity
+    /// (imprecise but uniform-granularity answers; sums conserved).
+    Disaggregated,
+}
+
+/// Aggregates `mo` to the categories named `Dim.cat` in `levels`.
+pub fn aggregate(mo: &Mo, levels: &[&str], approach: AggApproach) -> Result<Mo, QueryError> {
+    let schema = mo.schema();
+    let mut cats: Vec<Option<CatId>> = vec![None; schema.n_dims()];
+    for l in levels {
+        let (d, c) = schema.resolve_cat(l)?;
+        cats[d.index()] = Some(c);
+    }
+    let cats: Vec<CatId> = cats
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| c.unwrap_or_else(|| schema.dims[i].graph().bottom()))
+        .collect();
+    aggregate_ids(mo, &cats, approach)
+}
+
+/// Aggregate formation with resolved category ids (one per dimension).
+pub fn aggregate_ids(
+    mo: &Mo,
+    levels: &[CatId],
+    approach: AggApproach,
+) -> Result<Mo, QueryError> {
+    let schema = mo.schema();
+    debug_assert_eq!(levels.len(), schema.n_dims());
+    // For the LUB approach, first compute the uniform target granularity.
+    let lub_target: Option<Vec<CatId>> = match approach {
+        AggApproach::Lub => {
+            let mut t = levels.to_vec();
+            for f in mo.facts() {
+                for (i, tc) in t.iter_mut().enumerate() {
+                    let c = mo.value(f, DimId(i as u16)).cat;
+                    *tc = schema.dims[i].graph().lub(*tc, c);
+                }
+            }
+            Some(t)
+        }
+        _ => None,
+    };
+
+    let mut groups: BTreeMap<Vec<DimValue>, Vec<i64>> = BTreeMap::new();
+    let mut add_to_group = |key: Vec<DimValue>, values: &[i64]| {
+        let acc = groups.entry(key).or_insert_with(|| {
+            schema
+                .measures
+                .iter()
+                .map(|m| m.agg.identity())
+                .collect()
+        });
+        for (j, a) in acc.iter_mut().enumerate() {
+            *a = schema.measures[j].agg.combine(*a, values[j]);
+        }
+    };
+    'facts: for f in mo.facts() {
+        if approach == AggApproach::Disaggregated {
+            disaggregate_fact(mo, f, levels, &mut add_to_group)?;
+            continue;
+        }
+        let mut key = Vec::with_capacity(levels.len());
+        for (i, &req) in levels.iter().enumerate() {
+            let d = DimId(i as u16);
+            let dim = schema.dim(d);
+            let g = dim.graph();
+            let v = mo.value(f, d);
+            let target = match approach {
+                AggApproach::Availability => {
+                    // Group_high: the finest category ≥ both the request
+                    // and the fact's own level (their LUB; equals the
+                    // request when the fact is at or below it).
+                    g.lub(req, v.cat)
+                }
+                AggApproach::Strict => {
+                    if !g.leq(v.cat, req) {
+                        continue 'facts; // fact too coarse: excluded
+                    }
+                    req
+                }
+                AggApproach::Lub => lub_target.as_ref().expect("computed above")[i],
+                AggApproach::Disaggregated => unreachable!("handled above"),
+            };
+            key.push(dim.rollup(v, target)?);
+        }
+        add_to_group(key, &mo.measures_of(f));
+    }
+    // End the closure's mutable borrow of `groups`.
+    let _ = &mut add_to_group;
+    let mut out = mo.empty_like();
+    for (coords, ms) in groups {
+        out.insert_fact_at(&coords, &ms, ORIGIN_USER)?;
+    }
+    Ok(out)
+}
+
+/// Safety valve for the disaggregated approach: refuse to explode one
+/// coarse fact into more than this many target cells.
+const MAX_DISAGG_CELLS: usize = 100_000;
+
+/// Spreads a fact down to the requested granularity (Section 6.3's
+/// disaggregated approach). Additive (SUM/COUNT) measures are apportioned
+/// uniformly over the target cells with largest-remainder rounding so
+/// totals are exactly conserved; MIN/MAX are replicated.
+fn disaggregate_fact(
+    mo: &Mo,
+    f: sdr_mdm::FactId,
+    levels: &[CatId],
+    add_to_group: &mut impl FnMut(Vec<DimValue>, &[i64]),
+) -> Result<(), QueryError> {
+    let schema = mo.schema();
+    // Per dimension: the list of target values the fact covers.
+    let mut per_dim: Vec<Vec<DimValue>> = Vec::with_capacity(levels.len());
+    let mut cells = 1usize;
+    for (i, &req) in levels.iter().enumerate() {
+        let d = DimId(i as u16);
+        let dim = schema.dim(d);
+        let g = dim.graph();
+        let v = mo.value(f, d);
+        let targets = if g.leq(v.cat, req) {
+            vec![dim.rollup(v, req)?]
+        } else if g.leq(req, v.cat) {
+            dim.drill_down(v, req)?
+        } else {
+            // Parallel branches: drill to the GLB, roll each piece up to
+            // the request, and deduplicate (weights stay uniform per
+            // GLB piece, so we spread over GLB pieces instead).
+            let glb = g.glb(v.cat, req);
+            let mut ups: Vec<DimValue> = dim
+                .drill_down(v, glb)?
+                .into_iter()
+                .map(|x| dim.rollup(x, req))
+                .collect::<Result<_, _>>()?;
+            ups.sort();
+            ups.dedup();
+            ups
+        };
+        cells = cells.saturating_mul(targets.len().max(1));
+        if cells > MAX_DISAGG_CELLS {
+            return Err(QueryError::Unsupported(format!(
+                "disaggregation of fact {} would produce more than {MAX_DISAGG_CELLS} cells",
+                f.0
+            )));
+        }
+        per_dim.push(targets);
+    }
+    let k = per_dim.iter().map(|t| t.len()).product::<usize>();
+    if k == 0 {
+        return Ok(());
+    }
+    let measures = mo.measures_of(f);
+    // Largest-remainder apportionment per additive measure.
+    let mut spread: Vec<Vec<i64>> = vec![vec![0; schema.n_measures()]; k];
+    for (j, &total) in measures.iter().enumerate() {
+        match schema.measures[j].agg {
+            AggFn::Sum | AggFn::Count => {
+                let base = total.div_euclid(k as i64);
+                let mut rem = total.rem_euclid(k as i64);
+                for s in spread.iter_mut() {
+                    s[j] = base + if rem > 0 { 1 } else { 0 };
+                    if rem > 0 {
+                        rem -= 1;
+                    }
+                }
+            }
+            AggFn::Min | AggFn::Max => {
+                for s in spread.iter_mut() {
+                    s[j] = total;
+                }
+            }
+        }
+    }
+    // Enumerate the Cartesian product of per-dimension targets.
+    let mut idx = vec![0usize; per_dim.len()];
+    for s in spread.iter() {
+        let key: Vec<DimValue> = idx.iter().zip(&per_dim).map(|(&i, t)| t[i]).collect();
+        add_to_group(key, s);
+        // Advance the mixed-radix counter.
+        for (pos, t) in idx.iter_mut().zip(&per_dim).rev() {
+            *pos += 1;
+            if *pos < t.len() {
+                break;
+            }
+            *pos = 0;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! Query-layer errors.
+
+use sdr_mdm::MdmError;
+use sdr_spec::SpecError;
+
+/// Errors raised by query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// Underlying model error.
+    Model(MdmError),
+    /// Predicate-language error.
+    Spec(SpecError),
+    /// The strict aggregation approach found no admissible facts in a
+    /// dimension (informational wrapper for callers that care).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Model(e) => write!(f, "{e}"),
+            QueryError::Spec(e) => write!(f, "{e}"),
+            QueryError::Unsupported(m) => write!(f, "unsupported query: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<MdmError> for QueryError {
+    fn from(e: MdmError) -> Self {
+        QueryError::Model(e)
+    }
+}
+
+impl From<SpecError> for QueryError {
+    fn from(e: SpecError) -> Self {
+        QueryError::Spec(e)
+    }
+}

@@ -1,0 +1,50 @@
+//! The projection operator `π[D₁..Dₖ][M₁..Mₗ](O)` (Section 6.2,
+//! Equation 37).
+//!
+//! Retains the named dimensions and measures; the fact set stays the same
+//! (no duplicate elimination — the same value combination may characterize
+//! several facts, as in regular star schemas).
+
+use std::sync::Arc;
+
+use sdr_mdm::{DimId, MeasureId, Mo, Schema};
+
+use crate::error::QueryError;
+
+/// Projects `mo` onto the given dimensions and measures.
+///
+/// # Errors
+/// [`QueryError::Model`] when a name does not resolve.
+pub fn project(mo: &Mo, dims: &[&str], measures: &[&str]) -> Result<Mo, QueryError> {
+    let schema = mo.schema();
+    let dim_ids: Result<Vec<DimId>, _> = dims.iter().map(|d| schema.dim_by_name(d)).collect();
+    let dim_ids = dim_ids?;
+    let measure_ids: Result<Vec<MeasureId>, _> =
+        measures.iter().map(|m| schema.measure_by_name(m)).collect();
+    let measure_ids = measure_ids?;
+    project_ids(mo, &dim_ids, &measure_ids)
+}
+
+/// Projection by resolved ids.
+pub fn project_ids(
+    mo: &Mo,
+    dims: &[DimId],
+    measures: &[MeasureId],
+) -> Result<Mo, QueryError> {
+    let schema = mo.schema();
+    let new_schema = Schema::new(
+        schema.fact_type.clone(),
+        dims.iter().map(|&d| schema.dim(d).clone()).collect(),
+        measures
+            .iter()
+            .map(|&m| schema.measures[m.index()].clone())
+            .collect(),
+    )?;
+    let mut out = Mo::new(Arc::clone(&new_schema));
+    for f in mo.facts() {
+        let coords: Vec<_> = dims.iter().map(|&d| mo.value(f, d)).collect();
+        let ms: Vec<i64> = measures.iter().map(|&m| mo.measure(f, m)).collect();
+        out.insert_fact_at(&coords, &ms, mo.store().origin[f.index()])?;
+    }
+    Ok(out)
+}

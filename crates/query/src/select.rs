@@ -1,0 +1,162 @@
+//! The selection operator `σ[p](O)` (Section 6.1, Equation 36).
+//!
+//! Restricts the fact set to the facts characterized by values where `p`
+//! evaluates to true; fact–dimension relations and measures are restricted
+//! accordingly, dimensions and schema stay unchanged. Atoms are evaluated
+//! with Definition 5's varying-granularity comparison semantics under the
+//! chosen [`SelectMode`].
+
+use sdr_mdm::{DayNum, FactId, Mo};
+use sdr_spec::{to_dnf, Atom, AtomKind, Pexp};
+
+use crate::compare::{compare, compare_weight, member_of, member_weight, SelectMode};
+use crate::error::QueryError;
+
+/// Evaluates one atom against a fact under `mode` at time `now`.
+fn eval_atom(
+    mo: &Mo,
+    atom: &Atom,
+    f: FactId,
+    now: DayNum,
+    mode: SelectMode,
+) -> Result<bool, QueryError> {
+    let schema = mo.schema();
+    let dim = schema.dim(atom.dim);
+    let v = mo.value(f, atom.dim);
+    match &atom.kind {
+        AtomKind::Cmp { op, term } => {
+            let op = if atom.negated { op.negate() } else { *op };
+            let c = sdr_spec::eval::term_value(schema, atom, term, now)?;
+            compare(dim, v, op, c, mode)
+        }
+        AtomKind::In { terms } => {
+            let consts: Result<Vec<_>, _> = terms
+                .iter()
+                .map(|t| sdr_spec::eval::term_value(schema, atom, t, now))
+                .collect();
+            let consts = consts?;
+            if atom.negated {
+                // NOT IN: conservative ⇔ footprint disjoint from the union;
+                // liberal ⇔ not fully covered; weighted ⇔ 1 − coverage.
+                let w = 1.0 - member_weight(dim, v, &consts)?;
+                Ok(match mode {
+                    SelectMode::Conservative => w >= 1.0,
+                    SelectMode::Liberal => w > 0.0,
+                    SelectMode::Weighted { threshold } => w >= threshold,
+                })
+            } else {
+                member_of(dim, v, &consts, mode)
+            }
+        }
+    }
+}
+
+/// The satisfaction weight of a full predicate for one fact (used by the
+/// weighted approach; conjunction multiplies, disjunction takes the
+/// maximum — the standard independence heuristic).
+pub fn predicate_weight(
+    mo: &Mo,
+    p: &Pexp,
+    f: FactId,
+    now: DayNum,
+) -> Result<f64, QueryError> {
+    let dnf = to_dnf(p);
+    let mut best = 0.0f64;
+    for conj in &dnf {
+        let mut w = 1.0f64;
+        for atom in conj {
+            let schema = mo.schema();
+            let dim = schema.dim(atom.dim);
+            let v = mo.value(f, atom.dim);
+            let aw = match &atom.kind {
+                AtomKind::Cmp { op, term } => {
+                    let op = if atom.negated { op.negate() } else { *op };
+                    let c = sdr_spec::eval::term_value(schema, atom, term, now)?;
+                    compare_weight(dim, v, op, c)?
+                }
+                AtomKind::In { terms } => {
+                    let consts: Result<Vec<_>, _> = terms
+                        .iter()
+                        .map(|t| sdr_spec::eval::term_value(schema, atom, t, now))
+                        .collect();
+                    let mw = member_weight(dim, v, &consts?)?;
+                    if atom.negated {
+                        1.0 - mw
+                    } else {
+                        mw
+                    }
+                }
+            };
+            w *= aw;
+            if w == 0.0 {
+                break;
+            }
+        }
+        best = best.max(w);
+    }
+    Ok(best)
+}
+
+/// Decides whether fact `f` satisfies `p` under `mode` at `now`.
+///
+/// The predicate is normalized to DNF first so that negation reaches the
+/// atoms, where each mode has an exact interpretation (Definition 5 and
+/// its liberal/weighted variants).
+pub fn satisfies(
+    mo: &Mo,
+    p: &Pexp,
+    f: FactId,
+    now: DayNum,
+    mode: SelectMode,
+) -> Result<bool, QueryError> {
+    if let SelectMode::Weighted { threshold } = mode {
+        return Ok(predicate_weight(mo, p, f, now)? >= threshold);
+    }
+    let dnf = to_dnf(p);
+    for conj in &dnf {
+        let mut all = true;
+        for atom in conj {
+            if !eval_atom(mo, atom, f, now, mode)? {
+                all = false;
+                break;
+            }
+        }
+        if all {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// The selection operator `σ[p](O)` (Equation 36) under `mode`.
+pub fn select(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, QueryError> {
+    let mut out = mo.empty_like();
+    for f in mo.facts() {
+        if satisfies(mo, p, f, now, mode)? {
+            out.insert_fact_at(
+                &mo.coords(f),
+                &mo.measures_of(f),
+                mo.store().origin[f.index()],
+            )?;
+        }
+    }
+    Ok(out)
+}
+
+/// Weighted selection returning each qualifying fact with its weight
+/// (Section 6.1's weighted approach exposes the certainty to the caller).
+pub fn select_weighted(
+    mo: &Mo,
+    p: &Pexp,
+    now: DayNum,
+    threshold: f64,
+) -> Result<Vec<(FactId, f64)>, QueryError> {
+    let mut out = Vec::new();
+    for f in mo.facts() {
+        let w = predicate_weight(mo, p, f, now)?;
+        if w >= threshold && w > 0.0 {
+            out.push((f, w));
+        }
+    }
+    Ok(out)
+}

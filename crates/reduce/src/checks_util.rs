@@ -1,0 +1,48 @@
+//! Shared helpers for the operational NonCrossing/Growing checks.
+
+use sdr_mdm::{DayNum, Dimension, Schema};
+use sdr_prover::{BitSet, DayInterval, GroundSet, Region};
+
+/// The day horizon the checks quantify `t` (and time cells) over: the time
+/// dimension's declared range. Schemas without a time dimension get a
+/// degenerate single-day horizon (their predicates are all static).
+pub fn time_horizon(schema: &Schema) -> (DayNum, DayNum) {
+    for d in &schema.dims {
+        if let Dimension::Time(t) = d {
+            return (t.min_day, t.max_day);
+        }
+    }
+    (0, 0)
+}
+
+/// Concretizes a region against the schema's domains: time constraints are
+/// clipped to the horizon and `All` components are replaced by the full
+/// domain, so subset/coverage tests compare like with like.
+pub fn concretize(schema: &Schema, r: &Region) -> Region {
+    let dims = r
+        .dims
+        .iter()
+        .enumerate()
+        .map(|(i, g)| match (&schema.dims[i], g) {
+            (Dimension::Time(t), GroundSet::All) => {
+                GroundSet::Interval(DayInterval::new(t.min_day as i64, t.max_day as i64))
+            }
+            (Dimension::Time(t), GroundSet::Interval(iv)) => GroundSet::Interval(
+                iv.intersect(DayInterval::new(t.min_day as i64, t.max_day as i64)),
+            ),
+            (Dimension::Enum(e), GroundSet::All) => {
+                GroundSet::Bits(BitSet::full(e.cardinality(e.graph().bottom())))
+            }
+            (_, g) => g.clone(),
+        })
+        .collect();
+    Region { dims }
+}
+
+/// Concretizes a list of regions, dropping the ones that became empty.
+pub fn concretize_all(schema: &Schema, rs: &[Region]) -> Vec<Region> {
+    rs.iter()
+        .map(|r| concretize(schema, r))
+        .filter(|r| !r.is_empty())
+        .collect()
+}

@@ -1,0 +1,85 @@
+//! Errors of the reduction engine.
+
+use sdr_mdm::MdmError;
+use sdr_spec::SpecError;
+
+/// Errors raised by reduction, soundness checking, and specification
+/// evolution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReduceError {
+    /// A specification-language error.
+    Spec(SpecError),
+    /// A model error.
+    Model(MdmError),
+    /// The specification violates the NonCrossing property (Equation 14):
+    /// the two named actions overlap at some time but are unordered.
+    NotNonCrossing {
+        /// Rendered first action.
+        a: String,
+        /// Rendered second action.
+        b: String,
+        /// A day at which their predicates overlap.
+        witness_day: String,
+    },
+    /// The specification violates the Growing property (Equation 17): the
+    /// named action drops cells that no higher-aggregating action catches.
+    NotGrowing {
+        /// Rendered offending action.
+        action: String,
+        /// The day at which uncovered cells fall out of the predicate.
+        witness_day: String,
+    },
+    /// Two applicable granularities for a fact were incomparable — cannot
+    /// happen for specifications that passed the NonCrossing check.
+    IncomparableGranularities {
+        /// The fact's rendered coordinates.
+        fact: String,
+    },
+    /// `insert` rejected: the combined specification would be unsound.
+    InsertRejected(Box<ReduceError>),
+    /// `delete` rejected, with the reason.
+    DeleteRejected(String),
+    /// An action id was not found in the specification.
+    UnknownAction(u32),
+}
+
+impl std::fmt::Display for ReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReduceError::Spec(e) => write!(f, "{e}"),
+            ReduceError::Model(e) => write!(f, "{e}"),
+            ReduceError::NotNonCrossing { a, b, witness_day } => write!(
+                f,
+                "NonCrossing violated: `{a}` and `{b}` overlap at {witness_day} but are unordered"
+            ),
+            ReduceError::NotGrowing {
+                action,
+                witness_day,
+            } => write!(
+                f,
+                "Growing violated: `{action}` drops uncovered cells at {witness_day}"
+            ),
+            ReduceError::IncomparableGranularities { fact } => write!(
+                f,
+                "incomparable applicable granularities for fact {fact} (spec not NonCrossing?)"
+            ),
+            ReduceError::InsertRejected(e) => write!(f, "insert rejected: {e}"),
+            ReduceError::DeleteRejected(m) => write!(f, "delete rejected: {m}"),
+            ReduceError::UnknownAction(id) => write!(f, "unknown action id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ReduceError {}
+
+impl From<SpecError> for ReduceError {
+    fn from(e: SpecError) -> Self {
+        ReduceError::Spec(e)
+    }
+}
+
+impl From<MdmError> for ReduceError {
+    fn from(e: MdmError) -> Self {
+        ReduceError::Model(e)
+    }
+}

@@ -1,0 +1,109 @@
+//! The Growing property and its operational check (Sections 4.3, 5.3).
+//!
+//! `Growing(V, O)` (Equation 17): for every cell, the aggregation level in
+//! every dimension never decreases as time passes — without it, a
+//! shrinking `NOW`-relative predicate would demand "reclaiming" already
+//! aggregated (irreversibly reduced) facts, the violation illustrated in
+//! Figure 2.
+//!
+//! The check follows the paper's two-case structure:
+//!
+//! * **Syntactically growing actions** (categories A–E: fixed bounds, or a
+//!   `NOW`-relative *upper* bound) keep the set growing by Theorem 1 — no
+//!   prover work needed.
+//! * **Shrinking actions** (categories F–H: a `NOW`-relative *lower*
+//!   bound) require the three-step check: at every instant where cells
+//!   "fall over" the moving bound, the fallen cells must be covered by
+//!   actions aggregating at least as high (`A' = {a_j | a ≤_V a_j}`,
+//!   Equation 23). The implication goes through `sdr-prover`'s exact
+//!   region-coverage decision, evaluated at the finitely many step days of
+//!   the moving bound.
+
+use sdr_mdm::{Schema, TimeValue};
+use sdr_spec::{classify_conj, step_days, to_dnf, ActionSpec, Conj, GrowthClass};
+use sdr_prover::{implies_union, Region};
+
+use crate::checks_util::{concretize_all, time_horizon};
+use crate::error::ReduceError;
+
+/// Checks the Growing property for a whole action set.
+pub fn check_growing(schema: &Schema, actions: Vec<&ActionSpec>) -> Result<(), ReduceError> {
+    // Pre-processing (Section 5.3): normalize to DNF and split per
+    // disjunct, remembering each disjunct's owning action grain.
+    for (idx, a) in actions.iter().enumerate() {
+        let dnf = to_dnf(&a.pred);
+        for conj in &dnf {
+            if classify_conj(schema, conj) == GrowthClass::Growing {
+                // Theorem 1: a growing action cannot break the property.
+                continue;
+            }
+            check_shrinking_disjunct(schema, &actions, idx, a, conj)?;
+        }
+    }
+    Ok(())
+}
+
+/// The operational check for one shrinking disjunct: every batch of cells
+/// leaving the predicate must be covered — at the moment it leaves — by
+/// the predicates of actions aggregating at least as high.
+fn check_shrinking_disjunct(
+    schema: &Schema,
+    actions: &[&ActionSpec],
+    owner_idx: usize,
+    owner: &ActionSpec,
+    conj: &Conj,
+) -> Result<(), ReduceError> {
+    let (from, to) = time_horizon(schema);
+    // Step 2 of the paper's algorithm: the candidate catchers
+    // A' = {a_j | a ≤_V a_j} — including the owner itself (another of its
+    // disjuncts may cover).
+    let catchers: Vec<&ActionSpec> = actions
+        .iter()
+        .enumerate()
+        .filter(|(j, c)| *j == owner_idx || owner.leq_v(c, schema))
+        .map(|(_, c)| *c)
+        .collect();
+    let steps = step_days(schema, conj, from, to)?;
+    let mut prev_t = steps[0];
+    let mut prev: Vec<Region> =
+        concretize_all(schema, &sdr_spec::ground_conj(schema, conj, prev_t)?);
+    for &t in &steps[1..] {
+        let cur = concretize_all(schema, &sdr_spec::ground_conj(schema, conj, t)?);
+        // Cells selected at prev_t but no longer at t.
+        let mut fallen: Vec<Region> = Vec::new();
+        for p in &prev {
+            let mut residue = vec![p.clone()];
+            for c in &cur {
+                let mut next = Vec::new();
+                for r in residue {
+                    next.extend(r.subtract(c));
+                }
+                residue = next;
+            }
+            fallen.extend(residue);
+        }
+        if !fallen.is_empty() {
+            // Step 3: the catchers' predicates, grounded at time t, must
+            // cover every fallen region.
+            let mut cover: Vec<Region> = Vec::new();
+            for c in &catchers {
+                cover.extend(concretize_all(
+                    schema,
+                    &sdr_spec::ground_pexp(schema, &c.pred, t)?,
+                ));
+            }
+            for f in &fallen {
+                if !implies_union(f, &cover) {
+                    return Err(ReduceError::NotGrowing {
+                        action: owner.render(schema),
+                        witness_day: TimeValue::Day(t).render(),
+                    });
+                }
+            }
+        }
+        prev = cur;
+        prev_t = t;
+    }
+    let _ = prev_t;
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! The NonCrossing property and its operational check (Sections 4.3, 5.2).
+//!
+//! `NonCrossing(V)` (Equation 14): any two actions whose predicates can
+//! overlap at some time must be ordered under `≤_V`. This guarantees that
+//! (a) action predicates stay evaluable on the facts they may see, and
+//! (b) non-linear hierarchies cause no ambiguity about the resulting
+//! granularity.
+//!
+//! The check follows the paper's algorithm:
+//!
+//! ```text
+//! 1) IF a1 ≤_V a2 ∨ a2 ≤_V a1            THEN true            (syntactic)
+//! 2) IF P1, P2 independent of time        THEN ¬sat(P1 ∧ P2)  (prover)
+//! 3) IF ∃t (P1(t) ∧ P2(t)) satisfiable    THEN false           (prover)
+//! 4) true
+//! ```
+//!
+//! Steps 2–3 go through `sdr-prover`: predicates ground to exact regions,
+//! and the `∃t` quantifier reduces to the finitely many *step days* at
+//! which either grounding changes (all `NOW`-affine bounds are staircase
+//! functions of `t`).
+
+use sdr_mdm::{Schema, TimeValue};
+use sdr_spec::{step_days_union, to_dnf, ActionSpec};
+
+use crate::checks_util::{concretize_all, time_horizon};
+use crate::error::ReduceError;
+
+/// Checks the NonCrossing property for a whole action set (`|A|²` pairwise
+/// checks, as the paper prescribes — cheap because checks only run when
+/// the specification is updated).
+pub fn check_noncrossing(
+    schema: &Schema,
+    actions: Vec<&ActionSpec>,
+) -> Result<(), ReduceError> {
+    for i in 0..actions.len() {
+        for j in (i + 1)..actions.len() {
+            noncrossing_pair(schema, actions[i], actions[j])?;
+        }
+    }
+    Ok(())
+}
+
+/// Checks one pair; `Err(NotNonCrossing)` carries an overlap witness day.
+pub fn noncrossing_pair(
+    schema: &Schema,
+    a1: &ActionSpec,
+    a2: &ActionSpec,
+) -> Result<(), ReduceError> {
+    // Line 2 of the paper's algorithm: ordered actions never cross.
+    if a1.leq_v(a2, schema) || a2.leq_v(a1, schema) {
+        return Ok(());
+    }
+    // Lines 3–4: search for a time at which both predicates select a
+    // common cell. Grounding is exact; quantification over t reduces to
+    // the union of both predicates' step days.
+    let (from, to) = time_horizon(schema);
+    let d1 = to_dnf(&a1.pred);
+    let d2 = to_dnf(&a2.pred);
+    let conjs: Vec<&sdr_spec::Conj> = d1.iter().chain(d2.iter()).collect();
+    let samples = step_days_union(schema, &conjs, from, to)?;
+    for &t in &samples {
+        let r1 = concretize_all(schema, &sdr_spec::ground_pexp(schema, &a1.pred, t)?);
+        let r2 = concretize_all(schema, &sdr_spec::ground_pexp(schema, &a2.pred, t)?);
+        for x in &r1 {
+            for y in &r2 {
+                if x.overlaps(y) {
+                    return Err(ReduceError::NotNonCrossing {
+                        a: a1.render(schema),
+                        b: a2.render(schema),
+                        witness_day: TimeValue::Day(t).render(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}

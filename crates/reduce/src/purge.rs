@@ -1,0 +1,97 @@
+//! Specification-based fact deletion (extension).
+//!
+//! Section 8 lists "the deletion of facts" as a future extension of the
+//! technique, and the related-work discussion contrasts the paper with
+//! pure vacuuming (reference 16 of the paper). This module adds *purge rules* — predicates in
+//! the same language as reduction actions — that physically delete the
+//! facts they select, typically the final tier of a retention policy
+//! ("…and drop even the yearly summaries after ten years").
+//!
+//! Deletion is even more irreversible than aggregation, so the soundness
+//! condition mirrors the Growing property: a purge rule must never
+//! *unselect* a cell it once selected. Unlike aggregation there is no
+//! "catching" action that can repair a shrinking rule — a deleted fact is
+//! gone — so purge rules are required to be **syntactically growing**
+//! (categories A–E of Section 5.3); shrinking rules are rejected
+//! outright.
+
+use sdr_mdm::{DayNum, Mo, Schema};
+use sdr_spec::{classify_conj, eval_pred, to_dnf, GrowthClass, Pexp};
+
+use crate::error::ReduceError;
+
+/// A validated set of purge rules.
+#[derive(Debug, Clone)]
+pub struct PurgeSpec {
+    rules: Vec<Pexp>,
+}
+
+impl PurgeSpec {
+    /// Validates the rules: every DNF disjunct must be syntactically
+    /// growing (see module docs).
+    pub fn new(schema: &Schema, rules: Vec<Pexp>) -> Result<Self, ReduceError> {
+        for rule in &rules {
+            for conj in to_dnf(rule) {
+                if classify_conj(schema, &conj) != GrowthClass::Growing {
+                    return Err(ReduceError::NotGrowing {
+                        action: format!(
+                            "purge rule `{}`",
+                            sdr_spec::ast::render_pexp(rule, schema)
+                        ),
+                        witness_day: "shrinking rule rejected syntactically".into(),
+                    });
+                }
+            }
+        }
+        Ok(PurgeSpec { rules })
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Pexp] {
+        &self.rules
+    }
+
+    /// True when a fact's direct cell is selected for deletion at `now`.
+    pub fn selects(
+        &self,
+        schema: &Schema,
+        coords: &[sdr_mdm::DimValue],
+        now: DayNum,
+    ) -> Result<bool, ReduceError> {
+        for rule in &self.rules {
+            if eval_pred(schema, rule, coords, now)? {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Physically deletes the selected facts, returning the surviving MO
+    /// and the number of facts removed.
+    pub fn purge(&self, mo: &Mo, now: DayNum) -> Result<(Mo, usize), ReduceError> {
+        let schema = mo.schema();
+        let mut out = mo.empty_like();
+        let mut removed = 0usize;
+        for f in mo.facts() {
+            let coords = mo.coords(f);
+            if self.selects(schema, &coords, now)? {
+                removed += 1;
+            } else {
+                out.insert_fact_at(&coords, &mo.measures_of(f), mo.store().origin[f.index()])?;
+            }
+        }
+        Ok((out, removed))
+    }
+}
+
+/// Convenience: reduce then purge — the combined aging pipeline
+/// (aggregate the middle tiers, drop the oldest tier).
+pub fn reduce_and_purge(
+    mo: &Mo,
+    spec: &crate::spec_set::DataReductionSpec,
+    purge: &PurgeSpec,
+    now: DayNum,
+) -> Result<(Mo, usize), ReduceError> {
+    let reduced = crate::semantics::reduce(mo, spec, now)?;
+    purge.purge(&reduced, now)
+}

@@ -1,0 +1,195 @@
+//! Data-reduction specifications: validated sets of actions.
+//!
+//! A specification `V = (A, ≤_V)` (Definition 1) is a *set* of actions —
+//! unordered, effect independent of insertion order — partially ordered by
+//! the component-wise granularity order `≤_V`. [`DataReductionSpec`] is
+//! the checked container: constructing or evolving one re-establishes the
+//! NonCrossing and Growing properties, so any value of this type is sound
+//! by construction.
+
+use std::sync::Arc;
+
+use sdr_mdm::{DayNum, Schema};
+use sdr_spec::{ActionId, ActionSpec};
+
+use crate::error::ReduceError;
+use crate::{growing, noncrossing};
+
+/// A validated data-reduction specification `V = (A, ≤_V)`.
+#[derive(Debug, Clone)]
+pub struct DataReductionSpec {
+    schema: Arc<Schema>,
+    actions: Vec<(ActionId, ActionSpec)>,
+    next_id: u32,
+}
+
+impl DataReductionSpec {
+    /// Creates an empty specification (trivially sound).
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        DataReductionSpec {
+            schema,
+            actions: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Creates a specification from an initial action set, verifying the
+    /// NonCrossing and Growing properties.
+    ///
+    /// # Errors
+    /// [`ReduceError::NotNonCrossing`] / [`ReduceError::NotGrowing`] with a
+    /// witness when the set is unsound.
+    pub fn new(schema: Arc<Schema>, actions: Vec<ActionSpec>) -> Result<Self, ReduceError> {
+        let mut spec = Self::empty(schema);
+        for a in &actions {
+            a.validate(&spec.schema)?;
+        }
+        let tagged: Vec<(ActionId, ActionSpec)> = actions
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| (ActionId(i as u32), a))
+            .collect();
+        spec.next_id = tagged.len() as u32;
+        spec.actions = tagged;
+        noncrossing::check_noncrossing(&spec.schema, spec.action_specs())?;
+        growing::check_growing(&spec.schema, spec.action_specs())?;
+        Ok(spec)
+    }
+
+    /// The schema this specification targets.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The actions with their ids.
+    pub fn actions(&self) -> &[(ActionId, ActionSpec)] {
+        &self.actions
+    }
+
+    /// The action specs without ids.
+    pub fn action_specs(&self) -> Vec<&ActionSpec> {
+        self.actions.iter().map(|(_, a)| a).collect()
+    }
+
+    /// Looks an action up by id.
+    pub fn get(&self, id: ActionId) -> Result<&ActionSpec, ReduceError> {
+        self.actions
+            .iter()
+            .find(|(i, _)| *i == id)
+            .map(|(_, a)| a)
+            .ok_or(ReduceError::UnknownAction(id.0))
+    }
+
+    /// Number of actions `|A|`.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// True when the specification holds no actions.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The `insert` operator (Definition 3): adds a *set* of actions if and
+    /// only if the combined specification remains Growing and NonCrossing;
+    /// otherwise the specification is left unchanged and an error
+    /// describing the violation is returned.
+    ///
+    /// Consistency is checked on the action specifications alone — never on
+    /// the facts of any MO (the paper requires insertability to be
+    /// instance-independent).
+    pub fn insert(&mut self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, ReduceError> {
+        for a in &new {
+            a.validate(&self.schema)?;
+        }
+        let mut candidate: Vec<&ActionSpec> = self.actions.iter().map(|(_, a)| a).collect();
+        candidate.extend(new.iter());
+        if let Err(e) = noncrossing::check_noncrossing(&self.schema, candidate.clone()) {
+            return Err(ReduceError::InsertRejected(Box::new(e)));
+        }
+        if let Err(e) = growing::check_growing(&self.schema, candidate) {
+            return Err(ReduceError::InsertRejected(Box::new(e)));
+        }
+        let mut ids = Vec::with_capacity(new.len());
+        for a in new {
+            let id = ActionId(self.next_id);
+            self.next_id += 1;
+            ids.push(id);
+            self.actions.push((id, a));
+        }
+        Ok(ids)
+    }
+
+    /// The `delete` operator (Definition 4): removes a set of actions if
+    /// (a) the remaining specification stays Growing and NonCrossing, and
+    /// (b) none of the deleted actions is currently *responsible* for any
+    /// fact in `mo` at time `now` — i.e. for every fact whose cell
+    /// satisfies a deleted action's predicate, either the action would not
+    /// raise the fact's granularity, or a remaining action aggregates the
+    /// cell at least as high.
+    ///
+    /// All-or-nothing: on any violation the specification is unchanged.
+    pub fn delete(
+        &mut self,
+        ids: &[ActionId],
+        mo: &sdr_mdm::Mo,
+        now: DayNum,
+    ) -> Result<(), ReduceError> {
+        for id in ids {
+            self.get(*id)?;
+        }
+        let remaining: Vec<&ActionSpec> = self
+            .actions
+            .iter()
+            .filter(|(i, _)| !ids.contains(i))
+            .map(|(_, a)| a)
+            .collect();
+        if let Err(e) = noncrossing::check_noncrossing(&self.schema, remaining.clone()) {
+            return Err(ReduceError::DeleteRejected(e.to_string()));
+        }
+        if let Err(e) = growing::check_growing(&self.schema, remaining.clone()) {
+            return Err(ReduceError::DeleteRejected(e.to_string()));
+        }
+        // Responsibility check against the actual facts (Definition 4's
+        // deliberate instance dependence — see the paper's discussion).
+        for id in ids {
+            let a = self.get(*id)?;
+            for f in mo.facts() {
+                let coords = mo.coords(f);
+                let sat = sdr_spec::eval_pred(&self.schema, &a.pred, &coords, now)?;
+                if !sat {
+                    continue;
+                }
+                // The action has no effect when it would not raise the
+                // fact's granularity…
+                if a.grain.leq(&mo.gran(f), &self.schema) {
+                    continue;
+                }
+                // …or when a remaining action aggregates at least as high.
+                let covered = remaining.iter().any(|r| {
+                    a.grain.leq(&r.grain, &self.schema)
+                        && sdr_spec::eval_pred(&self.schema, &r.pred, &coords, now)
+                            .unwrap_or(false)
+                });
+                if !covered {
+                    return Err(ReduceError::DeleteRejected(format!(
+                        "action {} is responsible for fact {}",
+                        id.0,
+                        mo.render_fact(f)
+                    )));
+                }
+            }
+        }
+        self.actions.retain(|(i, _)| !ids.contains(i));
+        Ok(())
+    }
+
+    /// Renders the whole specification.
+    pub fn render(&self) -> String {
+        self.actions
+            .iter()
+            .map(|(id, a)| format!("a{} = {}", id.0, a.render(&self.schema)))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}

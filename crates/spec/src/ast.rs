@@ -1,0 +1,297 @@
+//! Abstract syntax of data-reduction action specifications (Table 1).
+//!
+//! An action `a = ρ(α[Clist] σ[Pexp](O))` aggregates the facts selected by
+//! `Pexp` to the granularity `Clist` and removes the finer facts. The AST
+//! here is fully *resolved* against a schema: category references are
+//! `(DimId, CatId)` pairs and value literals are interned [`DimValue`]s,
+//! so evaluation never touches strings.
+
+use sdr_mdm::{CatId, DimId, DimValue, Granularity, Schema, Span, TimeValue};
+
+use crate::error::SpecError;
+
+/// Identifier of an action within a data-reduction specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u32);
+
+/// Comparison operators of the predicate grammar (`op` in Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=` (the paper's `≤`)
+    Le,
+    /// `>`
+    Gt,
+    /// `>=` (the paper's `≥`)
+    Ge,
+    /// `=`
+    Eq,
+    /// `!=` / `<>` (the paper's `≠`)
+    Ne,
+}
+
+impl CmpOp {
+    /// The operator satisfied exactly when `self` is not (classical
+    /// negation on a totally ordered domain).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Applies the operator to a total order result.
+    #[inline]
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        matches!(
+            (self, ord),
+            (CmpOp::Lt, Less)
+                | (CmpOp::Le, Less | Equal)
+                | (CmpOp::Gt, Greater)
+                | (CmpOp::Ge, Greater | Equal)
+                | (CmpOp::Eq, Equal)
+                | (CmpOp::Ne, Less | Greater)
+        )
+    }
+
+    /// Renders the operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// A term `tt` of the grammar: a constant dimension value, or a
+/// `NOW ± span…` expression for the time dimension (the dynamic actions of
+/// Clifford et al. that make reduction progress as time passes).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant value (already resolved to the atom's category).
+    Value(DimValue),
+    /// `NOW` followed by signed spans, evaluated day-level then rolled to
+    /// the atom's category (`signum` is `+1` or `-1`).
+    NowExpr {
+        /// The signed span applications, in order.
+        ops: Vec<(i8, Span)>,
+    },
+}
+
+impl Term {
+    /// True when the term references `NOW` (a *dynamic* term).
+    pub fn is_dynamic(&self) -> bool {
+        matches!(self, Term::NowExpr { .. })
+    }
+
+    /// Evaluates a time term at evaluation time `now` (a day number),
+    /// rolled to `cat`.
+    pub fn eval_time(&self, now: sdr_mdm::DayNum, cat: CatId) -> Result<DimValue, SpecError> {
+        match self {
+            Term::Value(v) => Ok(*v),
+            Term::NowExpr { ops } => {
+                let mut d = now;
+                for &(sg, sp) in ops {
+                    d = sdr_mdm::time::shift_day(d, sp, sg as i32);
+                }
+                let tv = TimeValue::Day(d)
+                    .rollup(cat)
+                    .map_err(SpecError::Model)?;
+                Ok(DimValue::new(cat, tv.code()))
+            }
+        }
+    }
+}
+
+/// The payload of an atomic predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AtomKind {
+    /// `C op tt` — comparison against one term.
+    Cmp {
+        /// The comparison operator.
+        op: CmpOp,
+        /// The right-hand term.
+        term: Term,
+    },
+    /// `C ∈ {tt, …, tt}` — membership in a term set.
+    In {
+        /// The member terms.
+        terms: Vec<Term>,
+    },
+}
+
+/// An atomic predicate over one dimension category.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The constrained dimension.
+    pub dim: DimId,
+    /// The category the constraint is expressed at (`C_ij_pred`).
+    pub cat: CatId,
+    /// The constraint itself.
+    pub kind: AtomKind,
+    /// Set when the atom is under an odd number of negations (introduced
+    /// only by DNF normalization; the surface syntax uses `NOT`).
+    pub negated: bool,
+}
+
+/// A predicate expression `Pexp` (Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pexp {
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// Conjunction.
+    And(Vec<Pexp>),
+    /// Disjunction.
+    Or(Vec<Pexp>),
+    /// Negation.
+    Not(Box<Pexp>),
+    /// An atomic predicate.
+    Atom(Atom),
+}
+
+/// A fully resolved action specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSpec {
+    /// The target granularity (the `Clist`), one category per dimension.
+    pub grain: Granularity,
+    /// The selection predicate.
+    pub pred: Pexp,
+}
+
+impl ActionSpec {
+    /// `Cat_i(a)` (Equation 7): the category the action aggregates to in
+    /// dimension `i`.
+    #[inline]
+    pub fn cat_i(&self, d: DimId) -> CatId {
+        self.grain.cat(d)
+    }
+
+    /// `Cat(a)` (Equation 8): the full target granularity.
+    #[inline]
+    pub fn cat(&self) -> &Granularity {
+        &self.grain
+    }
+
+    /// The action partial order `≤_V` (Definition 1, Equation 3):
+    /// component-wise `≤_T` on target granularities.
+    pub fn leq_v(&self, other: &ActionSpec, schema: &Schema) -> bool {
+        self.grain.leq(&other.grain, schema)
+    }
+
+    /// Validates the paper's well-formedness conventions (Section 4.1):
+    ///
+    /// * the `Clist` names exactly one category per dimension (enforced
+    ///   structurally by [`Granularity`]);
+    /// * for every atom on dimension `i` at category `C_sel`, the target
+    ///   category obeys `Cat_i(a) ≤_T C_sel`, so the predicate stays
+    ///   evaluable on the aggregated facts.
+    pub fn validate(&self, schema: &Schema) -> Result<(), SpecError> {
+        if self.grain.0.len() != schema.n_dims() {
+            return Err(SpecError::ClistArity {
+                expected: schema.n_dims(),
+                got: self.grain.0.len(),
+            });
+        }
+        let mut stack = vec![&self.pred];
+        while let Some(p) = stack.pop() {
+            match p {
+                Pexp::Atom(a) => {
+                    let g = schema.dim(a.dim).graph();
+                    let target = self.grain.cat(a.dim);
+                    if !g.leq(target, a.cat) {
+                        return Err(SpecError::PredicateBelowTarget {
+                            dim: schema.dim(a.dim).name().to_string(),
+                            pred_cat: g.name(a.cat).to_string(),
+                            target_cat: g.name(target).to_string(),
+                        });
+                    }
+                }
+                Pexp::And(xs) | Pexp::Or(xs) => stack.extend(xs.iter()),
+                Pexp::Not(x) => stack.push(x),
+                Pexp::True | Pexp::False => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the action in the paper's notation.
+    pub fn render(&self, schema: &Schema) -> String {
+        format!(
+            "p(a{} o[{}](O))",
+            schema.render_granularity(&self.grain).replace('(', "[").replace(')', "]"),
+            render_pexp(&self.pred, schema)
+        )
+    }
+}
+
+/// Renders a predicate expression.
+pub fn render_pexp(p: &Pexp, schema: &Schema) -> String {
+    match p {
+        Pexp::True => "true".into(),
+        Pexp::False => "false".into(),
+        Pexp::Not(x) => format!("NOT ({})", render_pexp(x, schema)),
+        Pexp::And(xs) => xs
+            .iter()
+            .map(|x| maybe_paren(x, schema))
+            .collect::<Vec<_>>()
+            .join(" AND "),
+        Pexp::Or(xs) => xs
+            .iter()
+            .map(|x| maybe_paren(x, schema))
+            .collect::<Vec<_>>()
+            .join(" OR "),
+        Pexp::Atom(a) => render_atom(a, schema),
+    }
+}
+
+fn maybe_paren(p: &Pexp, schema: &Schema) -> String {
+    match p {
+        Pexp::Or(_) | Pexp::And(_) => format!("({})", render_pexp(p, schema)),
+        _ => render_pexp(p, schema),
+    }
+}
+
+fn render_term(t: &Term, schema: &Schema, dim: DimId) -> String {
+    match t {
+        Term::Value(v) => schema.dim(dim).render(*v),
+        Term::NowExpr { ops } => {
+            let mut s = "NOW".to_string();
+            for (sg, sp) in ops {
+                s.push_str(if *sg >= 0 { " + " } else { " - " });
+                s.push_str(&sp.to_string());
+            }
+            s
+        }
+    }
+}
+
+fn render_atom(a: &Atom, schema: &Schema) -> String {
+    let d = schema.dim(a.dim);
+    let lhs = format!("{}.{}", d.name(), d.graph().name(a.cat));
+    let body = match &a.kind {
+        AtomKind::Cmp { op, term } => {
+            format!("{lhs} {} {}", op.symbol(), render_term(term, schema, a.dim))
+        }
+        AtomKind::In { terms } => {
+            let items: Vec<String> = terms.iter().map(|t| render_term(t, schema, a.dim)).collect();
+            format!("{lhs} IN {{{}}}", items.join(", "))
+        }
+    };
+    if a.negated {
+        format!("NOT ({body})")
+    } else {
+        body
+    }
+}

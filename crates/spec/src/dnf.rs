@@ -1,0 +1,94 @@
+//! Disjunctive-normal-form normalization and action splitting.
+//!
+//! Section 5.3's pre-processing step: predicates are transformed into DNF
+//! and each action is split into one action per disjunct, so that every
+//! predicate becomes a conjunction of (range) constraints per dimension.
+//! The normalized set has exactly the same effect as the original.
+
+use crate::ast::{ActionSpec, Atom, Pexp};
+
+/// A conjunction of (possibly negated) atoms. The empty conjunction is
+/// `true`.
+pub type Conj = Vec<Atom>;
+
+/// Normalizes a predicate into DNF: a disjunction (outer `Vec`) of
+/// conjunctions of atoms. `vec![]` is `false`; `vec![vec![]]` is `true`.
+///
+/// Negations are pushed onto atoms (`Atom::negated`), so the result
+/// contains no `Not`/`And`/`Or` structure.
+pub fn to_dnf(p: &Pexp) -> Vec<Conj> {
+    nnf_dnf(p, false)
+}
+
+fn nnf_dnf(p: &Pexp, neg: bool) -> Vec<Conj> {
+    match (p, neg) {
+        (Pexp::True, false) | (Pexp::False, true) => vec![vec![]],
+        (Pexp::True, true) | (Pexp::False, false) => vec![],
+        (Pexp::Not(x), _) => nnf_dnf(x, !neg),
+        (Pexp::Atom(a), _) => {
+            let mut a = a.clone();
+            a.negated ^= neg;
+            vec![vec![a]]
+        }
+        (Pexp::And(xs), false) | (Pexp::Or(xs), true) => {
+            // Conjunction: distribute over the children's disjuncts.
+            let mut acc: Vec<Conj> = vec![vec![]];
+            for x in xs {
+                let d = nnf_dnf(x, neg);
+                let mut next = Vec::with_capacity(acc.len() * d.len());
+                for left in &acc {
+                    for right in &d {
+                        let mut c = left.clone();
+                        c.extend(right.iter().cloned());
+                        next.push(c);
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    return acc;
+                }
+            }
+            acc
+        }
+        (Pexp::Or(xs), false) | (Pexp::And(xs), true) => {
+            xs.iter().flat_map(|x| nnf_dnf(x, neg)).collect()
+        }
+    }
+}
+
+/// Rebuilds a `Pexp` from a DNF (used after splitting).
+pub fn from_dnf(dnf: &[Conj]) -> Pexp {
+    if dnf.is_empty() {
+        return Pexp::False;
+    }
+    let disjuncts: Vec<Pexp> = dnf
+        .iter()
+        .map(|c| {
+            if c.is_empty() {
+                Pexp::True
+            } else if c.len() == 1 {
+                Pexp::Atom(c[0].clone())
+            } else {
+                Pexp::And(c.iter().cloned().map(Pexp::Atom).collect())
+            }
+        })
+        .collect();
+    if disjuncts.len() == 1 {
+        disjuncts.into_iter().next().unwrap()
+    } else {
+        Pexp::Or(disjuncts)
+    }
+}
+
+/// Section 5.3 pre-processing: splits an action into one action per DNF
+/// disjunct of its predicate. The returned set has the same effect as the
+/// input action; every returned predicate is a pure conjunction.
+pub fn split_action(a: &ActionSpec) -> Vec<ActionSpec> {
+    to_dnf(&a.pred)
+        .into_iter()
+        .map(|conj| ActionSpec {
+            grain: a.grain.clone(),
+            pred: from_dnf(&[conj]),
+        })
+        .collect()
+}

@@ -1,0 +1,74 @@
+//! Errors of the specification language.
+
+use sdr_mdm::MdmError;
+
+/// Errors raised while parsing, validating, or evaluating action
+/// specifications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// Lexical or syntactic error, with byte offset and message.
+    Parse {
+        /// Byte offset into the source.
+        at: usize,
+        /// Human-readable message.
+        msg: String,
+    },
+    /// The `Clist` does not name exactly one category per dimension.
+    ClistArity {
+        /// Number of dimensions in the schema.
+        expected: usize,
+        /// Number of categories given.
+        got: usize,
+    },
+    /// A dimension appears more than once (or not at all) in a `Clist`.
+    ClistCoverage(String),
+    /// A predicate constrains a category below the action's target
+    /// granularity in that dimension (violates Section 4.1's convention).
+    PredicateBelowTarget {
+        /// Dimension name.
+        dim: String,
+        /// Category the predicate uses.
+        pred_cat: String,
+        /// Category the action aggregates to.
+        target_cat: String,
+    },
+    /// `NOW` arithmetic or value literals used on a non-time dimension.
+    TimeSyntaxOnNonTime(String),
+    /// An ordered comparison was used on an unordered enumerated category.
+    UnorderedComparison(String),
+    /// An underlying model error.
+    Model(MdmError),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
+            SpecError::ClistArity { expected, got } => {
+                write!(f, "Clist must name {expected} categories, got {got}")
+            }
+            SpecError::ClistCoverage(m) => write!(f, "Clist coverage error: {m}"),
+            SpecError::PredicateBelowTarget {
+                dim,
+                pred_cat,
+                target_cat,
+            } => write!(
+                f,
+                "predicate on {dim}.{pred_cat} is below the action's target {dim}.{target_cat}"
+            ),
+            SpecError::TimeSyntaxOnNonTime(m) => {
+                write!(f, "time syntax on non-time dimension: {m}")
+            }
+            SpecError::UnorderedComparison(m) => write!(f, "unordered comparison: {m}"),
+            SpecError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<MdmError> for SpecError {
+    fn from(e: MdmError) -> Self {
+        SpecError::Model(e)
+    }
+}

@@ -1,0 +1,117 @@
+//! Predicate evaluation against fact cells.
+//!
+//! `Pred(a, t)` (Equation 9) is the set of cells satisfying an action's
+//! predicate at time `t`, with `NOW ← t`. Materializing that set is
+//! neither possible (it is huge) nor needed: reduction only ever asks
+//! *membership* questions — "does the cell this fact maps to satisfy the
+//! predicate right now?" — which [`eval_pred`] answers directly on the
+//! fact's direct coordinates.
+
+use sdr_mdm::{DayNum, DimValue, Schema};
+
+use crate::ast::{Atom, AtomKind, Pexp, Term};
+use crate::error::SpecError;
+
+/// Evaluates a predicate on a cell of direct coordinates at time `now`.
+///
+/// Follows the paper's conventions:
+/// * an atom at category `C` is evaluated by rolling the cell's value in
+///   that dimension up to `C`; this is always possible for the facts an
+///   action may legally see (guaranteed by the Section 4.1 constraint
+///   `Cat_i(a) ≤_T C_pred` and the NonCrossing property);
+/// * if the cell's value is *coarser* than `C` the predicate cannot be
+///   evaluated and the atom is unsatisfied (this situation only arises for
+///   actions that can never apply to the fact).
+pub fn eval_pred(
+    schema: &Schema,
+    p: &Pexp,
+    coords: &[DimValue],
+    now: DayNum,
+) -> Result<bool, SpecError> {
+    Ok(match p {
+        Pexp::True => true,
+        Pexp::False => false,
+        Pexp::Not(x) => !eval_pred(schema, x, coords, now)?,
+        Pexp::And(xs) => {
+            for x in xs {
+                if !eval_pred(schema, x, coords, now)? {
+                    return Ok(false);
+                }
+            }
+            true
+        }
+        Pexp::Or(xs) => {
+            for x in xs {
+                if eval_pred(schema, x, coords, now)? {
+                    return Ok(true);
+                }
+            }
+            false
+        }
+        Pexp::Atom(a) => eval_atom(schema, a, coords, now)?,
+    })
+}
+
+/// Evaluates a single atom on a cell.
+pub fn eval_atom(
+    schema: &Schema,
+    a: &Atom,
+    coords: &[DimValue],
+    now: DayNum,
+) -> Result<bool, SpecError> {
+    let dim = schema.dim(a.dim);
+    let v = coords[a.dim.index()];
+    // The value must be at or below the predicate category to be
+    // evaluable; otherwise the atom is unsatisfied (see module docs).
+    if !dim.graph().leq(v.cat, a.cat) {
+        return Ok(false);
+    }
+    let rv = dim.rollup(v, a.cat)?;
+    let raw = match &a.kind {
+        AtomKind::Cmp { op, term } => {
+            let tv = term_value(schema, a, term, now)?;
+            op.test(rv.code.cmp(&tv.code))
+        }
+        AtomKind::In { terms } => {
+            let mut hit = false;
+            for t in terms {
+                if term_value(schema, a, t, now)?.code == rv.code {
+                    hit = true;
+                    break;
+                }
+            }
+            hit
+        }
+    };
+    Ok(raw ^ a.negated)
+}
+
+/// Resolves a term to a concrete value of the atom's category at `now`.
+pub fn term_value(
+    schema: &Schema,
+    a: &Atom,
+    term: &Term,
+    now: DayNum,
+) -> Result<DimValue, SpecError> {
+    match term {
+        Term::Value(v) => Ok(*v),
+        Term::NowExpr { .. } => {
+            debug_assert!(schema.dim(a.dim).is_time());
+            term.eval_time(now, a.cat)
+        }
+    }
+}
+
+/// True when the predicate contains a `NOW` reference anywhere (a
+/// *dynamic* predicate, §5.2 line 3's "independent of time" test).
+pub fn is_dynamic(p: &Pexp) -> bool {
+    match p {
+        Pexp::True | Pexp::False => false,
+        Pexp::Not(x) => is_dynamic(x),
+        Pexp::And(xs) | Pexp::Or(xs) => xs.iter().any(is_dynamic),
+        Pexp::Atom(a) => match &a.kind {
+            AtomKind::Cmp { term, .. } => term.is_dynamic(),
+            AtomKind::In { terms } => terms.iter().any(Term::is_dynamic),
+        },
+    }
+}

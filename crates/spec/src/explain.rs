@@ -1,0 +1,129 @@
+//! Plain-language explanation of reduction actions.
+//!
+//! Section 4 requires that "for any fact in a reduced MO, it is important
+//! to be able to determine the specific action that caused the fact to be
+//! aggregated to its current level, e.g., to communicate to users why
+//! data is aggregated the way it is". This module renders actions — and
+//! a fact's provenance — as English sentences for that communication.
+
+use sdr_mdm::Schema;
+
+use crate::analyze::classify_conj;
+use crate::ast::{ActionSpec, Atom, AtomKind, CmpOp, Pexp, Term};
+use crate::dnf::to_dnf;
+use crate::GrowthClass;
+
+/// Explains an action in one English sentence plus its growth class.
+pub fn explain_action(a: &ActionSpec, schema: &Schema) -> String {
+    let grain = schema.render_granularity(&a.grain);
+    let dnf = to_dnf(&a.pred);
+    let when = match dnf.len() {
+        0 => "never (predicate is unsatisfiable)".to_string(),
+        1 => explain_conj(&dnf[0], schema),
+        _ => dnf
+            .iter()
+            .map(|c| explain_conj(c, schema))
+            .collect::<Vec<_>>()
+            .join("; or "),
+    };
+    let class = dnf
+        .iter()
+        .map(|c| classify_conj(schema, c))
+        .fold(GrowthClass::Growing, |acc, c| {
+            if c == GrowthClass::Shrinking {
+                GrowthClass::Shrinking
+            } else {
+                acc
+            }
+        });
+    let class_note = match class {
+        GrowthClass::Growing => "growing by itself",
+        GrowthClass::Shrinking => {
+            "shrinking by itself — other actions must catch the cells it drops"
+        }
+    };
+    format!("aggregates facts to {grain} when {when} [{class_note}]")
+}
+
+fn explain_conj(conj: &[Atom], schema: &Schema) -> String {
+    if conj.is_empty() {
+        return "always".to_string();
+    }
+    conj.iter()
+        .map(|a| explain_atom(a, schema))
+        .collect::<Vec<_>>()
+        .join(" and ")
+}
+
+fn explain_atom(a: &Atom, schema: &Schema) -> String {
+    let dim = schema.dim(a.dim);
+    let lhs = format!("{}.{}", dim.name(), dim.graph().name(a.cat));
+    let body = match &a.kind {
+        AtomKind::Cmp { op, term } => {
+            let t = explain_term(term, schema, a);
+            match op {
+                CmpOp::Lt => format!("{lhs} is before {t}"),
+                CmpOp::Le => format!("{lhs} is at or before {t}"),
+                CmpOp::Gt => format!("{lhs} is after {t}"),
+                CmpOp::Ge => format!("{lhs} is at or after {t}"),
+                CmpOp::Eq => format!("{lhs} is {t}"),
+                CmpOp::Ne => format!("{lhs} is not {t}"),
+            }
+        }
+        AtomKind::In { terms } => {
+            let items: Vec<String> = terms.iter().map(|t| explain_term(t, schema, a)).collect();
+            format!("{lhs} is one of {}", items.join(", "))
+        }
+    };
+    if a.negated {
+        format!("not ({body})")
+    } else {
+        body
+    }
+}
+
+fn explain_term(t: &Term, schema: &Schema, a: &Atom) -> String {
+    match t {
+        Term::Value(v) => schema.dim(a.dim).render(*v),
+        Term::NowExpr { ops } if ops.is_empty() => "the current time".to_string(),
+        Term::NowExpr { ops } => {
+            let parts: Vec<String> = ops
+                .iter()
+                .map(|(sg, sp)| {
+                    if *sg >= 0 {
+                        format!("{sp} after")
+                    } else {
+                        format!("{sp} before")
+                    }
+                })
+                .collect();
+            format!("{} now", parts.join(", "))
+        }
+    }
+}
+
+/// Explains the provenance tag of a fact: which action (if any) is
+/// responsible for its current granularity.
+pub fn explain_origin(origin: u32, actions: &[(crate::ActionId, ActionSpec)], schema: &Schema) -> String {
+    if origin == sdr_mdm::ORIGIN_USER {
+        return "inserted by a user at bottom granularity".to_string();
+    }
+    match actions.iter().find(|(id, _)| id.0 == origin) {
+        Some((id, a)) => format!("aggregated by action a{} ({})", id.0, explain_action(a, schema)),
+        None => format!("aggregated by a since-deleted action (id {origin})"),
+    }
+}
+
+/// Explains a bare predicate (used for purge rules and queries).
+pub fn explain_pexp(p: &Pexp, schema: &Schema) -> String {
+    let dnf = to_dnf(p);
+    match dnf.len() {
+        0 => "never (unsatisfiable)".to_string(),
+        1 => explain_conj(&dnf[0], schema),
+        _ => dnf
+            .iter()
+            .map(|c| explain_conj(c, schema))
+            .collect::<Vec<_>>()
+            .join("; or "),
+    }
+}

@@ -1,0 +1,561 @@
+//! Parser for the action-specification syntax of Table 1.
+//!
+//! The concrete syntax is an ASCII rendering of the paper's notation:
+//!
+//! ```text
+//! p(a[Time.month, URL.domain]
+//!   o[URL.domain_grp = .com AND NOW - 12 months < Time.month <= NOW - 6 months](O))
+//! ```
+//!
+//! * `p`/`rho`, `a`/`alpha`, `o`/`sigma` are interchangeable;
+//!   the `p(...)` wrapper may be omitted.
+//! * Predicates support `AND`, `OR`, `NOT`, parentheses, `true`/`false`,
+//!   chained comparisons (`tt < C <= tt` desugars to a conjunction), and
+//!   `C IN {tt, ..., tt}`.
+//! * Time terms are `NOW` with signed spans (`NOW - 6 months`) or literal
+//!   values in the paper's notation (`1999/12`, `1999Q4`, `1999W48`,
+//!   `1999/12/4`). Span arithmetic requires whitespace around `+`/`-`.
+//! * Non-time values are bare words (`.com`, `gatech.edu`,
+//!   `http://www.cnn.com/health`) or double-quoted strings.
+//!
+//! Everything is resolved against a [`Schema`] at parse time, so the
+//! result is a fully typed [`ActionSpec`].
+
+use sdr_mdm::{CatId, DimId, Granularity, Schema, Span, TimeUnit};
+
+use crate::ast::{ActionSpec, Atom, AtomKind, CmpOp, Pexp, Term};
+use crate::error::SpecError;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Word(String),
+    Quoted(String),
+    Op(CmpOp),
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Comma,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '[' => {
+                toks.push((Tok::LBracket, i));
+                i += 1;
+            }
+            ']' => {
+                toks.push((Tok::RBracket, i));
+                i += 1;
+            }
+            '{' => {
+                toks.push((Tok::LBrace, i));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, i));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, i));
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < b.len() && b[j] as char != '"' {
+                    j += 1;
+                }
+                if j >= b.len() {
+                    return Err(SpecError::Parse {
+                        at: i,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                toks.push((Tok::Quoted(src[start..j].to_string()), i));
+                i = j + 1;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Op(CmpOp::Le), i));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'>') {
+                    toks.push((Tok::Op(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Op(CmpOp::Lt), i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Op(CmpOp::Ge), i));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Op(CmpOp::Gt), i));
+                    i += 1;
+                }
+            }
+            '=' => {
+                toks.push((Tok::Op(CmpOp::Eq), i));
+                i += 1;
+            }
+            '!' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    toks.push((Tok::Op(CmpOp::Ne), i));
+                    i += 2;
+                } else {
+                    return Err(SpecError::Parse {
+                        at: i,
+                        msg: "stray `!` (use `!=` or NOT)".into(),
+                    });
+                }
+            }
+            _ => {
+                // A word: run of characters outside whitespace/punctuation.
+                let start = i;
+                while i < b.len() {
+                    let c = b[i] as char;
+                    if " \t\n\r[]{}(),<>=!\"".contains(c) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push((Tok::Word(src[start..i].to_string()), start));
+            }
+        }
+    }
+    Ok(toks)
+}
+
+/// Unresolved term syntax collected during parsing.
+#[derive(Debug, Clone)]
+struct TermSyntax {
+    base: TermBase,
+    ops: Vec<(i8, Span)>,
+    at: usize,
+}
+
+#[derive(Debug, Clone)]
+enum TermBase {
+    Now,
+    Lit(String),
+}
+
+#[derive(Debug, Clone)]
+enum Operand {
+    Cat(DimId, CatId),
+    Term(TermSyntax),
+}
+
+struct Parser<'a> {
+    schema: &'a Schema,
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, SpecError> {
+        let at = self
+            .toks
+            .get(self.pos)
+            .map(|t| t.1)
+            .unwrap_or(usize::MAX);
+        Err(SpecError::Parse {
+            at,
+            msg: msg.into(),
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.0)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.0.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, t: Tok, what: &str) -> Result<(), SpecError> {
+        match self.next() {
+            Some(x) if x == t => Ok(()),
+            other => self.err(format!("expected {what}, found {other:?}")),
+        }
+    }
+
+    fn word_is(&self, kws: &[&str]) -> bool {
+        matches!(self.peek(), Some(Tok::Word(w)) if kws.iter().any(|k| w.eq_ignore_ascii_case(k)))
+    }
+
+    fn take_word_if(&mut self, kws: &[&str]) -> bool {
+        if self.word_is(kws) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn action(&mut self) -> Result<ActionSpec, SpecError> {
+        let wrapped = self.take_word_if(&["p", "rho", "ρ"]);
+        if wrapped {
+            self.expect(Tok::LParen, "`(` after p")?;
+        }
+        if !self.take_word_if(&["a", "alpha", "α"]) {
+            return self.err("expected `a[` (the aggregation operator)");
+        }
+        self.expect(Tok::LBracket, "`[` after a")?;
+        let grain = self.clist()?;
+        self.expect(Tok::RBracket, "`]` closing the Clist")?;
+        if !self.take_word_if(&["o", "sigma", "σ"]) {
+            return self.err("expected `o[` (the selection operator)");
+        }
+        self.expect(Tok::LBracket, "`[` after o")?;
+        let pred = self.pexp()?;
+        self.expect(Tok::RBracket, "`]` closing the predicate")?;
+        self.expect(Tok::LParen, "`(` before the object name")?;
+        match self.next() {
+            Some(Tok::Word(_)) => {}
+            _ => return self.err("expected the object name (e.g. `O`)"),
+        }
+        self.expect(Tok::RParen, "`)` after the object name")?;
+        if wrapped {
+            self.expect(Tok::RParen, "`)` closing p(...)")?;
+        }
+        if self.pos != self.toks.len() {
+            return self.err("trailing input after action");
+        }
+        let spec = ActionSpec { grain, pred };
+        spec.validate(self.schema)?;
+        Ok(spec)
+    }
+
+    fn clist(&mut self) -> Result<Granularity, SpecError> {
+        let n = self.schema.n_dims();
+        let mut seen: Vec<Option<CatId>> = vec![None; n];
+        loop {
+            let (d, c) = match self.next() {
+                Some(Tok::Word(w)) => self.schema.resolve_cat(&w).map_err(SpecError::Model)?,
+                other => return self.err(format!("expected Dim.category, found {other:?}")),
+            };
+            if seen[d.index()].is_some() {
+                return Err(SpecError::ClistCoverage(format!(
+                    "dimension `{}` listed twice",
+                    self.schema.dim(d).name()
+                )));
+            }
+            seen[d.index()] = Some(c);
+            if self.peek() == Some(&Tok::Comma) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let cats: Option<Vec<CatId>> = seen.into_iter().collect();
+        match cats {
+            Some(v) => Ok(Granularity(v)),
+            None => Err(SpecError::ClistCoverage(
+                "every dimension must appear exactly once".into(),
+            )),
+        }
+    }
+
+    fn pexp(&mut self) -> Result<Pexp, SpecError> {
+        let mut parts = vec![self.and_exp()?];
+        while self.take_word_if(&["or", "∨"]) {
+            parts.push(self.and_exp()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Pexp::Or(parts)
+        })
+    }
+
+    fn and_exp(&mut self) -> Result<Pexp, SpecError> {
+        let mut parts = vec![self.unary()?];
+        while self.take_word_if(&["and", "∧"]) {
+            parts.push(self.unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Pexp::And(parts)
+        })
+    }
+
+    fn unary(&mut self) -> Result<Pexp, SpecError> {
+        if self.take_word_if(&["not", "¬"]) {
+            return Ok(Pexp::Not(Box::new(self.unary()?)));
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let p = self.pexp()?;
+            self.expect(Tok::RParen, "`)`")?;
+            return Ok(p);
+        }
+        if self.take_word_if(&["true"]) {
+            return Ok(Pexp::True);
+        }
+        if self.take_word_if(&["false"]) {
+            return Ok(Pexp::False);
+        }
+        self.predicate()
+    }
+
+    /// Parses a (possibly chained) comparison or an `IN` membership.
+    fn predicate(&mut self) -> Result<Pexp, SpecError> {
+        let first = self.operand()?;
+        // IN form requires the catref first.
+        if self.word_is(&["in", "∈"]) {
+            let Operand::Cat(d, c) = first else {
+                return self.err("left side of IN must be Dim.category");
+            };
+            self.pos += 1;
+            self.expect(Tok::LBrace, "`{` after IN")?;
+            let mut terms = Vec::new();
+            loop {
+                let t = self.term_syntax()?;
+                terms.push(self.resolve_term(d, c, t)?);
+                match self.next() {
+                    Some(Tok::Comma) => continue,
+                    Some(Tok::RBrace) => break,
+                    other => return self.err(format!("expected `,` or `}}`, found {other:?}")),
+                }
+            }
+            return Ok(Pexp::Atom(Atom {
+                dim: d,
+                cat: c,
+                kind: AtomKind::In { terms },
+                negated: false,
+            }));
+        }
+        // Chain: operand (op operand)+
+        let mut chain = vec![first];
+        let mut ops = Vec::new();
+        while let Some(Tok::Op(op)) = self.peek().cloned() {
+            self.pos += 1;
+            ops.push(op);
+            chain.push(self.operand()?);
+        }
+        if ops.is_empty() {
+            return self.err("expected a comparison operator");
+        }
+        let mut atoms = Vec::new();
+        for (k, op) in ops.into_iter().enumerate() {
+            let (lhs, rhs) = (&chain[k], &chain[k + 1]);
+            let atom = match (lhs, rhs) {
+                (Operand::Cat(d, c), Operand::Term(t)) => Atom {
+                    dim: *d,
+                    cat: *c,
+                    kind: AtomKind::Cmp {
+                        op,
+                        term: self.resolve_term(*d, *c, t.clone())?,
+                    },
+                    negated: false,
+                },
+                (Operand::Term(t), Operand::Cat(d, c)) => Atom {
+                    dim: *d,
+                    cat: *c,
+                    kind: AtomKind::Cmp {
+                        // `tt op C` flips to `C op' tt`.
+                        op: match op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            other => other,
+                        },
+                        term: self.resolve_term(*d, *c, t.clone())?,
+                    },
+                    negated: false,
+                },
+                _ => {
+                    return self.err(
+                        "each comparison must have Dim.category on exactly one side",
+                    )
+                }
+            };
+            // Ordered comparisons need an ordered domain: the time
+            // dimension is ordered; enumerated categories support only
+            // equality and membership (Section 4.1's `op defined for
+            // elements of this type`).
+            if !self.schema.dim(atom.dim).is_time() {
+                if let AtomKind::Cmp { op, .. } = &atom.kind {
+                    if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                        return Err(SpecError::UnorderedComparison(format!(
+                            "`{}` values only support = and != (got {})",
+                            self.schema.dim(atom.dim).name(),
+                            op.symbol()
+                        )));
+                    }
+                }
+            }
+            atoms.push(Pexp::Atom(atom));
+        }
+        Ok(if atoms.len() == 1 {
+            atoms.pop().unwrap()
+        } else {
+            Pexp::And(atoms)
+        })
+    }
+
+    fn operand(&mut self) -> Result<Operand, SpecError> {
+        let at = self.toks.get(self.pos).map(|t| t.1).unwrap_or(0);
+        match self.peek().cloned() {
+            Some(Tok::Quoted(q)) => {
+                self.pos += 1;
+                Ok(Operand::Term(TermSyntax {
+                    base: TermBase::Lit(q),
+                    ops: vec![],
+                    at,
+                }))
+            }
+            Some(Tok::Word(w)) => {
+                // A word containing '.' that resolves as Dim.category is a
+                // category reference; anything else is a term base.
+                if w.contains('.') {
+                    if let Ok((d, c)) = self.schema.resolve_cat(&w) {
+                        self.pos += 1;
+                        return Ok(Operand::Cat(d, c));
+                    }
+                }
+                self.pos += 1;
+                let base = if w.eq_ignore_ascii_case("now") {
+                    TermBase::Now
+                } else {
+                    TermBase::Lit(w)
+                };
+                Ok(Operand::Term(self.span_ops(base, at)?))
+            }
+            other => self.err(format!("expected an operand, found {other:?}")),
+        }
+    }
+
+    /// Parses an operand that must be a term (not a category reference).
+    fn term_syntax(&mut self) -> Result<TermSyntax, SpecError> {
+        match self.operand()? {
+            Operand::Term(t) => Ok(t),
+            Operand::Cat(..) => self.err("expected a term, found a category reference"),
+        }
+    }
+
+    /// Consumes `(+|-) <n> <unit>` suffixes after a term base.
+    fn span_ops(&mut self, base: TermBase, at: usize) -> Result<TermSyntax, SpecError> {
+        let mut ops = Vec::new();
+        loop {
+            let sg = match self.peek() {
+                Some(Tok::Word(w)) if w == "-" => -1i8,
+                Some(Tok::Word(w)) if w == "+" => 1i8,
+                _ => break,
+            };
+            self.pos += 1;
+            let n: i32 = match self.next() {
+                Some(Tok::Word(w)) => w
+                    .parse()
+                    .map_err(|_| SpecError::Parse {
+                        at,
+                        msg: format!("expected a span count, found `{w}`"),
+                    })?,
+                other => return self.err(format!("expected a span count, found {other:?}")),
+            };
+            let unit = match self.next() {
+                Some(Tok::Word(w)) => TimeUnit::parse(&w).ok_or(SpecError::Parse {
+                    at,
+                    msg: format!("unknown span unit `{w}`"),
+                })?,
+                other => return self.err(format!("expected a span unit, found {other:?}")),
+            };
+            ops.push((sg, Span::new(n, unit)));
+        }
+        Ok(TermSyntax { base, ops, at })
+    }
+
+    fn resolve_term(&self, d: DimId, c: CatId, t: TermSyntax) -> Result<Term, SpecError> {
+        let dim = self.schema.dim(d);
+        match t.base {
+            TermBase::Now => {
+                if !dim.is_time() {
+                    return Err(SpecError::TimeSyntaxOnNonTime(format!(
+                        "NOW used on dimension `{}`",
+                        dim.name()
+                    )));
+                }
+                Ok(Term::NowExpr { ops: t.ops })
+            }
+            TermBase::Lit(s) => {
+                if !t.ops.is_empty() {
+                    return Err(SpecError::Parse {
+                        at: t.at,
+                        msg: "span arithmetic is only supported on NOW".into(),
+                    });
+                }
+                let v = dim.parse_value(c, &s).map_err(SpecError::Model)?;
+                Ok(Term::Value(v))
+            }
+        }
+    }
+}
+
+/// Parses one action specification against `schema`.
+///
+/// # Errors
+/// [`SpecError::Parse`] for syntax errors, [`SpecError::Model`] for
+/// unresolvable categories/values, and the well-formedness errors of
+/// [`ActionSpec::validate`].
+pub fn parse_action(schema: &Schema, src: &str) -> Result<ActionSpec, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        schema,
+        toks,
+        pos: 0,
+    };
+    p.action()
+}
+
+/// Parses a bare predicate expression (no `a[...]`/`o[...]` wrapper)
+/// against `schema`. Used by the query layer (Section 6), whose selection
+/// operator takes the same predicate language as reduction actions —
+/// without the Clist well-formedness constraints.
+pub fn parse_pexp(schema: &Schema, src: &str) -> Result<Pexp, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        schema,
+        toks,
+        pos: 0,
+    };
+    let e = p.pexp()?;
+    if p.pos != p.toks.len() {
+        return p.err("trailing input after predicate");
+    }
+    Ok(e)
+}
+
+/// Parses a whitespace/semicolon-separated list of actions (one per
+/// `p(...)` group or per line when unwrapped).
+pub fn parse_actions(schema: &Schema, src: &str) -> Result<Vec<ActionSpec>, SpecError> {
+    src.split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty() && !s.starts_with("--"))
+        .map(|s| parse_action(schema, s))
+        .collect()
+}

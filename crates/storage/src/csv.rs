@@ -1,0 +1,221 @@
+//! CSV interchange for fact data.
+//!
+//! Warehouses live longer than libraries: operators need to get facts in
+//! and out as plain text. This module exports an MO with *rendered*
+//! dimension values (so files are human-readable and diff-able) and
+//! imports bottom-granularity fact files against a schema, resolving
+//! values through the dimensions' parsers.
+//!
+//! Dialect: comma-separated, first line is a header
+//! (`<Dim>…,<Measure>…`), values containing commas/quotes/newlines are
+//! double-quoted with `""` escaping — the common denominator of
+//! spreadsheet tools. No external crate is needed for this subset.
+
+use std::sync::Arc;
+
+use sdr_mdm::{DimId, MeasureId, Mo, Schema};
+
+use crate::error::StorageError;
+
+/// Escapes one CSV field.
+fn esc(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Splits one CSV record (no embedded newlines across records in our
+/// exports; quoted fields may contain commas and doubled quotes).
+fn split_record(line: &str) -> Result<Vec<String>, StorageError> {
+    let mut out = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        quoted = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => quoted = true,
+                ',' => out.push(std::mem::take(&mut field)),
+                _ => field.push(c),
+            }
+        }
+    }
+    if quoted {
+        return Err(StorageError::Corrupt("unterminated quoted field".into()));
+    }
+    out.push(field);
+    Ok(out)
+}
+
+/// Exports an MO to CSV (header + one line per fact, values rendered in
+/// the paper's notation).
+pub fn export_csv(mo: &Mo) -> String {
+    let schema = mo.schema();
+    let mut out = String::new();
+    let header: Vec<String> = schema
+        .dims
+        .iter()
+        .map(|d| d.name().to_string())
+        .chain(schema.measures.iter().map(|m| m.name.clone()))
+        .collect();
+    out.push_str(&header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for f in mo.facts() {
+        let mut cells: Vec<String> = (0..schema.n_dims())
+            .map(|i| {
+                let d = DimId(i as u16);
+                esc(&schema.dim(d).render(mo.value(f, d)))
+            })
+            .collect();
+        for j in 0..schema.n_measures() {
+            cells.push(mo.measure(f, MeasureId(j as u16)).to_string());
+        }
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Imports bottom-granularity facts from CSV text produced by
+/// [`export_csv`] (or by hand, matching its header) into a new MO over
+/// `schema`.
+///
+/// # Errors
+/// [`StorageError::Corrupt`] on malformed CSV, a header that does not
+/// match the schema, unparsable values, or non-integer measures.
+pub fn import_csv(schema: Arc<Schema>, text: &str) -> Result<Mo, StorageError> {
+    let mut lines = text.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| StorageError::Corrupt("empty file".into()))?;
+    let cols = split_record(header)?;
+    let expected: Vec<String> = schema
+        .dims
+        .iter()
+        .map(|d| d.name().to_string())
+        .chain(schema.measures.iter().map(|m| m.name.clone()))
+        .collect();
+    if cols != expected {
+        return Err(StorageError::Corrupt(format!(
+            "header mismatch: expected {expected:?}, found {cols:?}"
+        )));
+    }
+    let n_dims = schema.n_dims();
+    let n_measures = schema.n_measures();
+    let mut mo = Mo::new(Arc::clone(&schema));
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells = split_record(line)?;
+        if cells.len() != n_dims + n_measures {
+            return Err(StorageError::Corrupt(format!(
+                "line {}: expected {} fields, found {}",
+                lineno + 2,
+                n_dims + n_measures,
+                cells.len()
+            )));
+        }
+        let mut coords = Vec::with_capacity(n_dims);
+        for (i, cell) in cells.iter().take(n_dims).enumerate() {
+            let d = DimId(i as u16);
+            let dim = schema.dim(d);
+            let bottom = dim.graph().bottom();
+            let v = dim.parse_value(bottom, cell).map_err(|e| {
+                StorageError::Corrupt(format!("line {}: {e}", lineno + 2))
+            })?;
+            coords.push(v);
+        }
+        let mut measures = Vec::with_capacity(n_measures);
+        for cell in cells.iter().skip(n_dims) {
+            measures.push(cell.trim().parse::<i64>().map_err(|_| {
+                StorageError::Corrupt(format!(
+                    "line {}: `{cell}` is not an integer measure",
+                    lineno + 2
+                ))
+            })?);
+        }
+        mo.insert_fact(&coords, &measures)
+            .map_err(StorageError::Model)?;
+    }
+    Ok(mo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_workload::paper_mo;
+
+    #[test]
+    fn export_import_roundtrip() {
+        let (mo, _) = paper_mo();
+        let csv = export_csv(&mo);
+        assert!(csv.starts_with("Time,URL,Number_of,Dwell_time,Delivery_time,Datasize\n"));
+        assert_eq!(csv.lines().count(), 8);
+        let back = import_csv(Arc::clone(mo.schema()), &csv).unwrap();
+        assert_eq!(back.len(), mo.len());
+        for (a, b) in mo.facts().zip(back.facts()) {
+            assert_eq!(mo.render_fact(a), back.render_fact(b));
+        }
+    }
+
+    #[test]
+    fn quoting_roundtrip() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("say \"hi\""), "\"say \"\"hi\"\"\"");
+        let rec = split_record("a,\"b,c\",\"d\"\"e\"").unwrap();
+        assert_eq!(rec, vec!["a", "b,c", "d\"e"]);
+        assert!(split_record("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn import_rejects_bad_input() {
+        let (mo, _) = paper_mo();
+        let schema = Arc::clone(mo.schema());
+        assert!(import_csv(Arc::clone(&schema), "").is_err());
+        assert!(import_csv(Arc::clone(&schema), "Wrong,Header\n").is_err());
+        let good_header = "Time,URL,Number_of,Dwell_time,Delivery_time,Datasize\n";
+        // Wrong field count.
+        assert!(import_csv(Arc::clone(&schema), &format!("{good_header}1999/1/1,x\n")).is_err());
+        // Unknown URL value.
+        assert!(import_csv(
+            Arc::clone(&schema),
+            &format!("{good_header}1999/1/1,http://nope/,1,2,3,4\n")
+        )
+        .is_err());
+        // Bad date.
+        assert!(import_csv(
+            Arc::clone(&schema),
+            &format!("{good_header}1999/2/30,http://www.cnn.com/,1,2,3,4\n")
+        )
+        .is_err());
+        // Non-integer measure.
+        assert!(import_csv(
+            Arc::clone(&schema),
+            &format!("{good_header}1999/1/1,http://www.cnn.com/,1,2,x,4\n")
+        )
+        .is_err());
+        // Blank lines are fine.
+        let ok = import_csv(
+            Arc::clone(&schema),
+            &format!("{good_header}\n1999/1/1,http://www.cnn.com/,1,2,3,4\n\n"),
+        )
+        .unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+}

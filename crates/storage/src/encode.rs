@@ -1,0 +1,328 @@
+//! Column encodings for sealed segments.
+//!
+//! Sealed (immutable) segments encode each column with the smallest of
+//! plain, run-length, or delta (zigzag-varint) layout. Reduced warehouses
+//! are extremely compression-friendly: after aggregation, coordinate
+//! columns contain long runs (facts grouped by cell), category columns
+//! are near-constant within a subcube, and append-ordered time columns
+//! are near-sorted — this is where a large share of the paper's "huge
+//! storage gains" materializes physically.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// An encoded `u64` column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnEnc {
+    /// Plain fixed-width values.
+    Plain(Vec<u64>),
+    /// Run-length encoded `(value, run_length)` pairs.
+    Rle(Vec<(u64, u32)>),
+    /// Delta encoding: a base value plus zigzag-varint deltas. Near-sorted
+    /// columns — time coordinates of append-ordered click streams — shrink
+    /// to ~1 byte per row.
+    Delta {
+        /// First value of the column.
+        base: u64,
+        /// Zigzag-varint encoded successive deltas.
+        deltas: Vec<u8>,
+        /// Number of logical values (including the base).
+        count: u64,
+    },
+}
+
+/// Zigzag-encodes a signed delta to an unsigned varint payload.
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        buf.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    buf.push(v as u8);
+}
+
+fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+impl ColumnEnc {
+    /// Encodes a column, choosing the smallest of plain, RLE, and delta.
+    pub fn encode(values: &[u64]) -> ColumnEnc {
+        let plain_bytes = values.len() * 8;
+        // Candidate 1: RLE.
+        let mut runs: Vec<(u64, u32)> = Vec::new();
+        for &v in values {
+            match runs.last_mut() {
+                Some((rv, n)) if *rv == v && *n < u32::MAX => *n += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        let rle_bytes = runs.len() * 12;
+        // Candidate 2: delta (only meaningful with ≥ 2 values).
+        let delta = if values.len() >= 2 {
+            let base = values[0];
+            let mut deltas = Vec::with_capacity(values.len());
+            for w in values.windows(2) {
+                put_varint(&mut deltas, zigzag((w[1] as i64).wrapping_sub(w[0] as i64)));
+            }
+            Some(ColumnEnc::Delta {
+                base,
+                count: values.len() as u64,
+                deltas,
+            })
+        } else {
+            None
+        };
+        let delta_bytes = delta
+            .as_ref()
+            .map(|d| d.encoded_bytes())
+            .unwrap_or(usize::MAX);
+        let best = plain_bytes.min(rle_bytes).min(delta_bytes);
+        if best == delta_bytes {
+            delta.expect("delta computed")
+        } else if best == rle_bytes {
+            ColumnEnc::Rle(runs)
+        } else {
+            ColumnEnc::Plain(values.to_vec())
+        }
+    }
+
+    /// Number of logical values.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnEnc::Plain(v) => v.len(),
+            ColumnEnc::Rle(r) => r.iter().map(|(_, n)| *n as usize).sum(),
+            ColumnEnc::Delta { count, .. } => *count as usize,
+        }
+    }
+
+    /// True when the column holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encoded size in bytes (payload only).
+    pub fn encoded_bytes(&self) -> usize {
+        match self {
+            ColumnEnc::Plain(v) => v.len() * 8,
+            ColumnEnc::Rle(r) => r.len() * 12,
+            ColumnEnc::Delta { deltas, .. } => 16 + deltas.len(),
+        }
+    }
+
+    /// Decodes back to plain values.
+    pub fn decode(&self) -> Vec<u64> {
+        match self {
+            ColumnEnc::Plain(v) => v.clone(),
+            ColumnEnc::Rle(r) => {
+                let mut out = Vec::with_capacity(self.len());
+                for &(v, n) in r {
+                    out.extend(std::iter::repeat_n(v, n as usize));
+                }
+                out
+            }
+            ColumnEnc::Delta {
+                base,
+                deltas,
+                count,
+            } => {
+                let mut out = Vec::with_capacity(*count as usize);
+                let mut cur = *base;
+                out.push(cur);
+                let mut pos = 0usize;
+                for _ in 1..*count {
+                    let d = get_varint(deltas, &mut pos).expect("well-formed deltas");
+                    cur = (cur as i64).wrapping_add(unzigzag(d)) as u64;
+                    out.push(cur);
+                }
+                out
+            }
+        }
+    }
+
+    /// Serializes the column into `buf` (tag + length + payload).
+    pub fn write(&self, buf: &mut BytesMut) {
+        match self {
+            ColumnEnc::Plain(v) => {
+                buf.put_u8(0);
+                buf.put_u64_le(v.len() as u64);
+                for &x in v {
+                    buf.put_u64_le(x);
+                }
+            }
+            ColumnEnc::Rle(r) => {
+                buf.put_u8(1);
+                buf.put_u64_le(r.len() as u64);
+                for &(v, n) in r {
+                    buf.put_u64_le(v);
+                    buf.put_u32_le(n);
+                }
+            }
+            ColumnEnc::Delta {
+                base,
+                deltas,
+                count,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64_le(*count);
+                buf.put_u64_le(*base);
+                buf.put_u64_le(deltas.len() as u64);
+                buf.put_slice(deltas);
+            }
+        }
+    }
+
+    /// Deserializes a column previously written with [`ColumnEnc::write`].
+    ///
+    /// Returns `None` on malformed input.
+    pub fn read(buf: &mut Bytes) -> Option<ColumnEnc> {
+        if buf.remaining() < 9 {
+            return None;
+        }
+        let tag = buf.get_u8();
+        let n = buf.get_u64_le() as usize;
+        match tag {
+            0 => {
+                if buf.remaining() < n * 8 {
+                    return None;
+                }
+                Some(ColumnEnc::Plain((0..n).map(|_| buf.get_u64_le()).collect()))
+            }
+            1 => {
+                if buf.remaining() < n * 12 {
+                    return None;
+                }
+                Some(ColumnEnc::Rle(
+                    (0..n).map(|_| (buf.get_u64_le(), buf.get_u32_le())).collect(),
+                ))
+            }
+            2 => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let base = buf.get_u64_le();
+                let dlen = buf.get_u64_le() as usize;
+                if buf.remaining() < dlen {
+                    return None;
+                }
+                let deltas = buf.copy_to_bytes(dlen).to_vec();
+                // Validate the payload decodes to exactly count-1 deltas.
+                let mut pos = 0usize;
+                for _ in 1..n {
+                    get_varint(&deltas, &mut pos)?;
+                }
+                if pos != deltas.len() {
+                    return None;
+                }
+                Some(ColumnEnc::Delta {
+                    base,
+                    deltas,
+                    count: n as u64,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rle_wins_on_runs() {
+        let col: Vec<u64> = std::iter::repeat_n(7u64, 1000)
+            .chain(std::iter::repeat_n(9u64, 500))
+            .collect();
+        let e = ColumnEnc::encode(&col);
+        assert!(matches!(e, ColumnEnc::Rle(_)));
+        assert_eq!(e.encoded_bytes(), 24);
+        assert_eq!(e.decode(), col);
+        assert_eq!(e.len(), 1500);
+    }
+
+    #[test]
+    fn delta_wins_on_sorted() {
+        let col: Vec<u64> = (0..1000u64).map(|i| i * 3).collect();
+        let e = ColumnEnc::encode(&col);
+        assert!(matches!(e, ColumnEnc::Delta { .. }), "{e:?}");
+        // ~1 byte per row instead of 8.
+        assert!(e.encoded_bytes() < 1100, "{}", e.encoded_bytes());
+        assert_eq!(e.decode(), col);
+    }
+
+    #[test]
+    fn plain_wins_on_noise() {
+        // Wide pseudo-random values: every delta needs ≥ 9 varint bytes,
+        // so plain fixed-width is the smallest.
+        let col: Vec<u64> = (0..1000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .collect();
+        let e = ColumnEnc::encode(&col);
+        assert!(matches!(e, ColumnEnc::Plain(_)), "{e:?}");
+        assert_eq!(e.encoded_bytes(), 8000);
+        assert_eq!(e.decode(), col);
+    }
+
+    #[test]
+    fn delta_handles_negative_steps_and_extremes() {
+        let col = vec![100u64, 50, 75, 0, u64::MAX / 4, 3];
+        let e = ColumnEnc::encode(&col);
+        assert_eq!(e.decode(), col);
+        // Zigzag varints roundtrip through serialization too.
+        let mut buf = BytesMut::new();
+        e.write(&mut buf);
+        let mut b = buf.freeze();
+        assert_eq!(ColumnEnc::read(&mut b).unwrap().decode(), col);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for col in [
+            vec![],
+            vec![42u64],
+            std::iter::repeat_n(7u64, 100).collect::<Vec<_>>(),
+            (0..100u64).collect::<Vec<_>>(),
+        ] {
+            let e = ColumnEnc::encode(&col);
+            let mut buf = BytesMut::new();
+            e.write(&mut buf);
+            let mut b = buf.freeze();
+            let d = ColumnEnc::read(&mut b).unwrap();
+            assert_eq!(d.decode(), col);
+        }
+    }
+
+    #[test]
+    fn read_rejects_truncation() {
+        let e = ColumnEnc::encode(&(0..100u64).collect::<Vec<_>>());
+        let mut buf = BytesMut::new();
+        e.write(&mut buf);
+        let full = buf.freeze();
+        let mut truncated = full.slice(0..full.len() - 4);
+        assert!(ColumnEnc::read(&mut truncated).is_none());
+        let mut empty = Bytes::new();
+        assert!(ColumnEnc::read(&mut empty).is_none());
+    }
+}

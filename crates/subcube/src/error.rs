@@ -1,0 +1,39 @@
+//! Subcube-layer errors.
+
+use sdr_query::QueryError;
+use sdr_reduce::ReduceError;
+
+/// Errors raised by the subcube manager.
+#[derive(Debug)]
+pub enum SubcubeError {
+    /// An error from the reduction engine.
+    Reduce(ReduceError),
+    /// An error from the query layer.
+    Query(QueryError),
+    /// An error from the storage layer.
+    Storage(String),
+}
+
+impl std::fmt::Display for SubcubeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubcubeError::Reduce(e) => write!(f, "{e}"),
+            SubcubeError::Query(e) => write!(f, "{e}"),
+            SubcubeError::Storage(m) => write!(f, "storage: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SubcubeError {}
+
+impl From<ReduceError> for SubcubeError {
+    fn from(e: ReduceError) -> Self {
+        SubcubeError::Reduce(e)
+    }
+}
+
+impl From<QueryError> for SubcubeError {
+    fn from(e: QueryError) -> Self {
+        SubcubeError::Query(e)
+    }
+}

@@ -1,0 +1,353 @@
+//! The subcube manager (Section 7).
+//!
+//! The implementation strategy of the paper: the logical MO is stored as a
+//! set of physical *subcubes*, one per distinct target granularity of the
+//! (disjoint) action set, plus one bottom-granularity subcube that
+//! receives all new data (Figure 6). Because at most one action is
+//! responsible for each fact (NonCrossing), every fact has exactly one
+//! *home* cube at any time; synchronization migrates facts along the
+//! parent→child DAG as `NOW` advances.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use sdr_mdm::{DayNum, DimValue, Granularity, Mo, Schema, ORIGIN_USER};
+use sdr_reduce::{cell_for, DataReductionSpec, ReduceError};
+use sdr_spec::ActionId;
+
+use crate::error::SubcubeError;
+
+/// Identifies a subcube within a manager. Cube `0` is always the
+/// bottom-granularity cube.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CubeId(pub usize);
+
+/// One physical subcube: a fixed granularity plus the actions it
+/// represents (empty for the bottom cube).
+#[derive(Debug)]
+pub struct Subcube {
+    /// The cube's fixed granularity.
+    pub grain: Granularity,
+    /// The actions whose target granularity this cube holds (grouping of
+    /// disjoint actions on identical granularities, Section 7.1).
+    pub actions: Vec<ActionId>,
+    /// The cube's facts. Guarded for parallel query evaluation.
+    pub data: RwLock<Mo>,
+}
+
+/// Statistics from one synchronization pass (used by experiment E6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// Facts that stayed in their cube.
+    pub kept: usize,
+    /// Facts migrated to a different cube.
+    pub migrated: usize,
+    /// Facts merged away by the final per-cube re-aggregation.
+    pub merged: usize,
+}
+
+/// The subcube manager: the physical MO of Section 7.
+pub struct SubcubeManager {
+    schema: Arc<Schema>,
+    spec: DataReductionSpec,
+    cubes: Vec<Subcube>,
+    /// Immediate parent edges of the data-flow DAG (Hasse diagram of the
+    /// cube granularities; the bottom cube is the ultimate ancestor).
+    parents: Vec<Vec<CubeId>>,
+    /// The last day the cubes were synchronized to.
+    pub last_sync: Option<DayNum>,
+    /// Set by [`SubcubeManager::bulk_load`]; cleared by a sync pass.
+    dirty: bool,
+}
+
+impl SubcubeManager {
+    /// Builds the cube set for a validated specification: one cube per
+    /// distinct action granularity plus the bottom cube.
+    pub fn new(spec: DataReductionSpec) -> Self {
+        let schema = Arc::clone(spec.schema());
+        let mut cubes: Vec<Subcube> = vec![Subcube {
+            grain: schema.bottom_granularity(),
+            actions: Vec::new(),
+            data: RwLock::new(Mo::new(Arc::clone(&schema))),
+        }];
+        for (id, a) in spec.actions() {
+            if let Some(c) = cubes.iter_mut().find(|c| c.grain == a.grain) {
+                c.actions.push(*id);
+            } else {
+                cubes.push(Subcube {
+                    grain: a.grain.clone(),
+                    actions: vec![*id],
+                    data: RwLock::new(Mo::new(Arc::clone(&schema))),
+                });
+            }
+        }
+        // Hasse diagram on cube granularities: P is a parent of C when
+        // grain_P < grain_C with no cube strictly between.
+        let n = cubes.len();
+        let mut parents = vec![Vec::new(); n];
+        let lt = |a: usize, b: usize| {
+            cubes[a].grain != cubes[b].grain && cubes[a].grain.leq(&cubes[b].grain, &schema)
+        };
+        for (c, slot) in parents.iter_mut().enumerate() {
+            for p in 0..n {
+                if p != c && lt(p, c) {
+                    let between = (0..n).any(|q| q != p && q != c && lt(p, q) && lt(q, c));
+                    if !between {
+                        slot.push(CubeId(p));
+                    }
+                }
+            }
+        }
+        SubcubeManager {
+            schema,
+            spec,
+            cubes,
+            parents,
+            last_sync: None,
+            dirty: false,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The specification driving the cubes.
+    pub fn spec(&self) -> &DataReductionSpec {
+        &self.spec
+    }
+
+    /// The subcubes (cube 0 is the bottom cube).
+    pub fn cubes(&self) -> &[Subcube] {
+        &self.cubes
+    }
+
+    /// Immediate parents of a cube in the data-flow DAG.
+    pub fn parents(&self, c: CubeId) -> &[CubeId] {
+        &self.parents[c.0]
+    }
+
+    /// Total number of facts across all cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.iter().map(|c| c.data.read().len()).sum()
+    }
+
+    /// True when no cube holds facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bulk-loads new bottom-granularity facts into the bottom cube
+    /// (Section 7.2: "all new data enter into the subcube having the
+    /// bottom-level granularity"). Synchronize afterwards to migrate any
+    /// facts that immediately satisfy an action.
+    pub fn bulk_load(&mut self, facts: &Mo) -> Result<usize, SubcubeError> {
+        if facts.schema().fact_type != self.schema.fact_type {
+            return Err(SubcubeError::Reduce(ReduceError::Model(
+                sdr_mdm::MdmError::SchemaMismatch("bulk load schema".into()),
+            )));
+        }
+        let mut bottom = self.cubes[0].data.write();
+        bottom.absorb(facts).map_err(ReduceError::Model)?;
+        drop(bottom);
+        self.dirty = true;
+        Ok(facts.len())
+    }
+
+    /// The home cube of a cell at time `now`: the cube of the responsible
+    /// action's granularity, or the bottom cube.
+    pub fn home_cube(&self, coords: &[DimValue], now: DayNum) -> Result<(CubeId, Vec<DimValue>), SubcubeError> {
+        let c = cell_for(&self.spec, coords, now)?;
+        let grain = Granularity(c.coords.iter().map(|v| v.cat).collect());
+        let id = self
+            .cubes
+            .iter()
+            .position(|k| k.grain == grain)
+            .map(CubeId)
+            // A fact whose own granularity exceeds every action's target
+            // (possible after spec changes) stays where it is; fall back to
+            // the best matching cube by grain, else bottom.
+            .unwrap_or(CubeId(0));
+        Ok((id, c.coords))
+    }
+
+    /// True when a sync pass at `now` could move any fact: either new
+    /// data was bulk-loaded since the last pass, or some action's
+    /// (dynamic) predicate stepped between `last_sync` and `now`. Checking
+    /// costs a handful of groundings — far cheaper than a full scan — and
+    /// makes frequent scheduled syncs nearly free (Section 7.2's argument
+    /// that synchronization is not a bottleneck).
+    pub fn needs_sync(&self, now: DayNum) -> Result<bool, SubcubeError> {
+        if self.dirty {
+            return Ok(true);
+        }
+        let Some(last) = self.last_sync else {
+            return Ok(true);
+        };
+        if now <= last {
+            return Ok(false);
+        }
+        for (_, a) in self.spec.actions() {
+            for conj in sdr_spec::to_dnf(&a.pred) {
+                let steps = sdr_spec::step_days(&self.schema, &conj, last, now)
+                    .map_err(ReduceError::Spec)?;
+                // step_days always returns the endpoints; anything in
+                // between means the grounded set changed.
+                if steps.len() > 2 {
+                    return Ok(true);
+                }
+                // The grounding may also change exactly at `now`.
+                if steps.len() == 2
+                    && sdr_spec::ground_conj(&self.schema, &conj, last)
+                        .map_err(ReduceError::Spec)?
+                        != sdr_spec::ground_conj(&self.schema, &conj, now)
+                            .map_err(ReduceError::Spec)?
+                {
+                    return Ok(true);
+                }
+            }
+        }
+        Ok(false)
+    }
+
+    /// Synchronizes all cubes to time `now` (Section 7.2): facts whose
+    /// home cube changed are aggregated to the target granularity and
+    /// moved; each cube is then re-aggregated once so multi-parent inflows
+    /// merge (the "final aggregation" of the paper). A cheap
+    /// [`needs_sync`](SubcubeManager::needs_sync) pre-check skips the scan
+    /// entirely when nothing can have changed.
+    pub fn sync(&mut self, now: DayNum) -> Result<SyncStats, SubcubeError> {
+        if !self.needs_sync(now)? {
+            self.last_sync = Some(now);
+            return Ok(SyncStats {
+                kept: self.len(),
+                ..SyncStats::default()
+            });
+        }
+        let n = self.cubes.len();
+        let schema = Arc::clone(&self.schema);
+        // Collect per-cube rebuilt groups.
+        type Key = Vec<DimValue>;
+        let mut groups: Vec<std::collections::BTreeMap<Key, (Vec<i64>, u32)>> =
+            (0..n).map(|_| std::collections::BTreeMap::new()).collect();
+        let mut stats = SyncStats::default();
+        for (ci, cube) in self.cubes.iter().enumerate() {
+            let mo = cube.data.read();
+            for f in mo.facts() {
+                let coords = mo.coords(f);
+                let (home, target) = self.home_cube(&coords, now)?;
+                if home.0 == ci && target == coords {
+                    stats.kept += 1;
+                } else {
+                    stats.migrated += 1;
+                }
+                let origin = {
+                    let cell = cell_for(&self.spec, &coords, now)?;
+                    match cell.responsible {
+                        Some(id) => id.0,
+                        None => mo.store().origin[f.index()],
+                    }
+                };
+                let entry = groups[home.0].entry(target).or_insert_with(|| {
+                    (
+                        schema.measures.iter().map(|m| m.agg.identity()).collect(),
+                        origin,
+                    )
+                });
+                for j in 0..schema.n_measures() {
+                    entry.0[j] = schema.measures[j]
+                        .agg
+                        .combine(entry.0[j], mo.measure(f, sdr_mdm::MeasureId(j as u16)));
+                }
+                if origin != ORIGIN_USER {
+                    entry.1 = origin;
+                }
+            }
+        }
+        let before = self.len();
+        for (ci, g) in groups.into_iter().enumerate() {
+            let mut mo = Mo::new(Arc::clone(&schema));
+            for (coords, (ms, origin)) in g {
+                mo.insert_fact_at(&coords, &ms, origin)
+                    .map_err(ReduceError::Model)?;
+            }
+            *self.cubes[ci].data.write() = mo;
+        }
+        stats.merged = before.saturating_sub(self.len());
+        self.last_sync = Some(now);
+        self.dirty = false;
+        Ok(stats)
+    }
+
+    /// The next day strictly after `after` at which a scheduled sync pass
+    /// would have work to do (the minimum step day of any action's
+    /// grounding, searched to the time horizon). `None` when no further
+    /// migration can ever happen — the scheduling primitive Section 8
+    /// leaves as future work.
+    pub fn next_sync_due(&self, after: DayNum) -> Result<Option<DayNum>, SubcubeError> {
+        let horizon_end = match self.schema.dims.iter().find_map(|d| match d {
+            sdr_mdm::Dimension::Time(t) => Some(t.max_day),
+            _ => None,
+        }) {
+            Some(d) => d,
+            None => return Ok(None),
+        };
+        let mut best: Option<DayNum> = None;
+        for (_, a) in self.spec.actions() {
+            for conj in sdr_spec::to_dnf(&a.pred) {
+                let until = best.map(|b| b - 1).unwrap_or(horizon_end);
+                if until <= after {
+                    continue;
+                }
+                if let Some(d) = sdr_spec::next_step_day(&self.schema, &conj, after, until)
+                    .map_err(ReduceError::Spec)?
+                {
+                    best = Some(best.map_or(d, |b: DayNum| b.min(d)));
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Materializes the whole warehouse as one MO (union of all cubes).
+    pub fn to_mo(&self) -> Result<Mo, SubcubeError> {
+        let mut out = Mo::new(Arc::clone(&self.schema));
+        for c in &self.cubes {
+            out.absorb(&c.data.read()).map_err(ReduceError::Model)?;
+        }
+        Ok(out)
+    }
+
+    /// Storage statistics per cube (rows, raw and encoded bytes), via the
+    /// `sdr-storage` layer.
+    pub fn storage_stats(&self) -> Result<Vec<(CubeId, sdr_storage::TableStats)>, SubcubeError> {
+        let mut out = Vec::with_capacity(self.cubes.len());
+        for (i, c) in self.cubes.iter().enumerate() {
+            let t = sdr_storage::FactTable::from_mo(&c.data.read(), 1 << 16)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+            out.push((CubeId(i), t.stats()));
+        }
+        Ok(out)
+    }
+
+    /// A human-readable description of the cube layout (Figure 6 / the
+    /// disjoint-action example of Section 7.1).
+    pub fn describe(&self) -> String {
+        let mut s = String::new();
+        for (i, c) in self.cubes.iter().enumerate() {
+            let acts: Vec<String> = c.actions.iter().map(|a| format!("a{}", a.0)).collect();
+            let parents: Vec<String> =
+                self.parents[i].iter().map(|p| format!("K{}", p.0)).collect();
+            s.push_str(&format!(
+                "K{i} {} actions=[{}] parents=[{}] rows={}\n",
+                self.schema.render_granularity(&c.grain),
+                acts.join(","),
+                parents.join(","),
+                c.data.read().len()
+            ));
+        }
+        s
+    }
+}

@@ -1,0 +1,77 @@
+//! Subcube persistence: each cube is stored as one `sdr-storage` fact
+//! table file, so a warehouse survives restarts and can be shipped
+//! between machines. The cube *layout* is not persisted — it is a pure
+//! function of the (already validated) specification, which callers keep
+//! in their configuration, exactly as Section 7 assumes the action set is
+//! metadata of the warehouse.
+
+use std::path::Path;
+
+use sdr_reduce::DataReductionSpec;
+use sdr_storage::FactTable;
+
+use crate::error::SubcubeError;
+use crate::manager::SubcubeManager;
+
+impl SubcubeManager {
+    /// Writes every cube into `dir` as `cube-<i>.sdr` (creating the
+    /// directory), sealing segments and applying column encoding.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), SubcubeError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        for (i, cube) in self.cubes().iter().enumerate() {
+            let mo = cube.data.read();
+            let mut t = FactTable::from_mo(&mo, sdr_storage::DEFAULT_SEGMENT_ROWS)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+            t.save_to(dir.join(format!("cube-{i}.sdr")))
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds a manager from `spec` and a directory written by
+    /// [`SubcubeManager::save_to_dir`] with the *same* specification.
+    ///
+    /// # Errors
+    /// [`SubcubeError::Storage`] when a cube file is missing, corrupt, or
+    /// the layout (cube count) does not match the specification.
+    pub fn load_from_dir(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+    ) -> Result<SubcubeManager, SubcubeError> {
+        let dir = dir.as_ref();
+        let m = SubcubeManager::new(spec);
+        for (i, cube) in m.cubes().iter().enumerate() {
+            let path = dir.join(format!("cube-{i}.sdr"));
+            let t = FactTable::load_from(std::sync::Arc::clone(m.schema()), &path)
+                .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
+            let mo = t
+                .to_mo()
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+            // A persisted non-bottom cube must hold facts of its own
+            // granularity; reject mismatched layouts early. (The bottom
+            // cube may legitimately hold ⊤-coordinate facts and fallback
+            // rows, so it is exempt.)
+            if i != 0 {
+                for f in mo.facts() {
+                    if mo.gran(f) != cube.grain {
+                        return Err(SubcubeError::Storage(format!(
+                            "{}: fact at foreign granularity — was the directory written \
+                             with a different specification?",
+                            path.display()
+                        )));
+                    }
+                }
+            }
+            *cube.data.write() = mo;
+        }
+        let extra = dir.join(format!("cube-{}.sdr", m.cubes().len()));
+        if extra.exists() {
+            return Err(SubcubeError::Storage(format!(
+                "{}: more cubes on disk than the specification defines",
+                extra.display()
+            )));
+        }
+        Ok(m)
+    }
+}

@@ -1,0 +1,166 @@
+//! Querying a set of subcubes (Section 7.3).
+//!
+//! A query is evaluated on every subcube *separately and in parallel*,
+//! producing up to `m` sub-results that are combined by a final
+//! aggregation — exact because all default aggregate functions are
+//! distributive (Section 3). Two states are supported:
+//!
+//! * **synchronized** — each cube holds exactly its own facts; the query
+//!   runs per cube and the sub-results are unioned and re-aggregated
+//!   (Figure 8);
+//! * **un-synchronized** — facts may still sit in ancestor cubes; each
+//!   sub-query therefore scans the cube *and its ancestors*, keeping only
+//!   the rows whose *home* is the queried cube, aggregated to the cube's
+//!   granularity first (the `α[G_i]σ[P_i](K_i ∪ parents)` strategy of
+//!   Figure 9). This makes query answers independent of the sync state,
+//!   which the test suite verifies.
+
+use sdr_mdm::{DayNum, Mo};
+use sdr_query::{aggregate_ids, select, AggApproach, SelectMode};
+use sdr_spec::Pexp;
+
+use crate::error::SubcubeError;
+use crate::manager::{CubeId, SubcubeManager};
+
+/// A query against the subcube warehouse: optional selection followed by
+/// aggregate formation (the operators of Section 6).
+#[derive(Debug, Clone)]
+pub struct CubeQuery {
+    /// Selection predicate (`None` = all facts).
+    pub pred: Option<Pexp>,
+    /// Selection mode for varying granularities.
+    pub mode: SelectMode,
+    /// Aggregation target, one category per dimension.
+    pub levels: Vec<sdr_mdm::CatId>,
+    /// Aggregation approach for varying granularities.
+    pub approach: AggApproach,
+}
+
+impl SubcubeManager {
+    /// Evaluates `q` assuming synchronized cubes, with one worker per cube
+    /// (crossbeam scoped threads) when `parallel`.
+    pub fn query(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+    ) -> Result<Mo, SubcubeError> {
+        let subresults = self.eval_per_cube(q, now, parallel, false)?;
+        self.combine(q, subresults)
+    }
+
+    /// Evaluates `q` without assuming synchronization: every sub-query
+    /// additionally scans ancestor cubes for not-yet-migrated facts and
+    /// filters rows to the queried cube's responsibility.
+    pub fn query_unsync(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+    ) -> Result<Mo, SubcubeError> {
+        let subresults = self.eval_per_cube(q, now, parallel, true)?;
+        self.combine(q, subresults)
+    }
+
+    fn eval_per_cube(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+        unsync: bool,
+    ) -> Result<Vec<Mo>, SubcubeError> {
+        let n = self.cubes().len();
+        let run = |input: &Mo| -> Result<Mo, SubcubeError> {
+            let selected = match &q.pred {
+                Some(p) => select(input, p, now, q.mode)?,
+                None => input.clone(),
+            };
+            Ok(aggregate_ids(&selected, &q.levels, q.approach)?)
+        };
+        let eval_one = |i: usize| -> Result<Mo, SubcubeError> {
+            if unsync {
+                let input = self.cube_view_unsync(CubeId(i), now)?;
+                run(&input)
+            } else {
+                // Evaluate under the read guard — no clone of the cube.
+                let guard = self.cubes()[i].data.read();
+                run(&guard)
+            }
+        };
+        if !parallel || n <= 1 {
+            return (0..n).map(eval_one).collect();
+        }
+        // One worker per cube; results streamed back over a channel so the
+        // combination step can start as soon as everything arrived.
+        let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<Mo, SubcubeError>)>(n);
+        std::thread::scope(|s| {
+            for i in 0..n {
+                let tx = tx.clone();
+                let eval_one = &eval_one;
+                s.spawn(move || {
+                    let r = eval_one(i);
+                    let _ = tx.send((i, r));
+                });
+            }
+        });
+        drop(tx);
+        let mut results: Vec<Option<Mo>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx.iter() {
+            results[i] = Some(r?);
+        }
+        Ok(results.into_iter().map(|r| r.expect("worker sent")).collect())
+    }
+
+    /// The consistent content of one cube in the un-synchronized state:
+    /// rows of the cube and all its ancestors whose *home* is this cube,
+    /// aggregated to the cube's granularity (`α[G_i]σ[P_i](K_i ∪ parents)`,
+    /// Section 7.3). Scanning *all* ancestors generalizes the paper's
+    /// one-generation staleness assumption.
+    fn cube_view_unsync(&self, id: CubeId, now: DayNum) -> Result<Mo, SubcubeError> {
+        // Ancestor closure of `id` (including itself).
+        let mut anc = vec![false; self.cubes().len()];
+        let mut stack = vec![id];
+        while let Some(c) = stack.pop() {
+            if std::mem::replace(&mut anc[c.0], true) {
+                continue;
+            }
+            stack.extend(self.parents(c).iter().copied());
+        }
+        let schema = std::sync::Arc::clone(self.schema());
+        let mut view = Mo::new(std::sync::Arc::clone(&schema));
+        for (ci, cube) in self.cubes().iter().enumerate() {
+            if !anc[ci] {
+                continue;
+            }
+            let mo = cube.data.read();
+            for f in mo.facts() {
+                let coords = mo.coords(f);
+                let (home, target) = self.home_cube(&coords, now)?;
+                if home == id {
+                    view.insert_fact_at(
+                        &target,
+                        &mo.measures_of(f),
+                        mo.store().origin[f.index()],
+                    )
+                    .map_err(sdr_reduce::ReduceError::Model)?;
+                }
+            }
+        }
+        // Aggregate duplicates created by migration-pending rows (the
+        // final per-cube aggregation of Section 7.2 applied on the fly).
+        let grain = &self.cubes()[id.0].grain;
+        Ok(aggregate_ids(&view, &grain.0, AggApproach::Availability)?)
+    }
+
+    /// Unions sub-results and applies the final aggregation step (exact
+    /// for distributive aggregates).
+    fn combine(&self, q: &CubeQuery, subresults: Vec<Mo>) -> Result<Mo, SubcubeError> {
+        let mut union = Mo::new(std::sync::Arc::clone(self.schema()));
+        for s in &subresults {
+            union
+                .absorb(s)
+                .map_err(sdr_reduce::ReduceError::Model)?;
+        }
+        Ok(aggregate_ids(&union, &q.levels, q.approach)?)
+    }
+}

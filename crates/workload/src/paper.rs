@@ -1,0 +1,136 @@
+//! The paper's running example (Section 2, Appendix A, Table 2): the ISP
+//! click-stream warehouse with seven facts over the `Time` and `URL`
+//! dimensions, plus the example reduction actions a1/a2 (Equations 4–5).
+//!
+//! Every figure-exact integration test and example binary builds on this
+//! fixture, so it mirrors the paper's data *exactly* (including the `34k`
+//! data sizes, stored as bytes: `34_000`).
+
+use std::sync::Arc;
+
+use sdr_mdm::{
+    calendar::days_from_civil, time_cat, AggFn, CatGraph, CatId, DimId, DimValue, Dimension,
+    EnumDimensionBuilder, MeasureDef, Mo, Schema, TimeDimension, TimeValue,
+};
+
+/// Handles into the paper schema's URL dimension categories.
+#[derive(Debug, Clone, Copy)]
+pub struct UrlCats {
+    /// `url` — the bottom category.
+    pub url: CatId,
+    /// `domain`.
+    pub domain: CatId,
+    /// `domain_grp`.
+    pub domain_grp: CatId,
+    /// `⊤_URL`.
+    pub top: CatId,
+}
+
+/// The paper's Click fact schema: `Time × URL`, measures `Number_of`,
+/// `Dwell_time`, `Delivery_time`, `Datasize` (all SUM-aggregated; the
+/// paper's `Number_of` is a count realized as a sum of ones).
+pub fn paper_schema() -> (Arc<Schema>, UrlCats) {
+    let time = Dimension::Time(TimeDimension::new((1998, 1, 1), (2002, 12, 31)).unwrap());
+    let g = CatGraph::new(
+        vec!["url", "domain", "domain_grp", "T"],
+        &[
+            ("url", "domain"),
+            ("domain", "domain_grp"),
+            ("domain_grp", "T"),
+        ],
+    )
+    .unwrap();
+    let cats = UrlCats {
+        url: g.by_name("url").unwrap(),
+        domain: g.by_name("domain").unwrap(),
+        domain_grp: g.by_name("domain_grp").unwrap(),
+        top: g.top(),
+    };
+    let mut b = EnumDimensionBuilder::new("URL", g);
+    b.add_value(cats.domain_grp, ".com", &[]).unwrap();
+    b.add_value(cats.domain_grp, ".edu", &[]).unwrap();
+    b.add_value(cats.domain, "gatech.edu", &[(cats.domain_grp, ".edu")])
+        .unwrap();
+    b.add_value(cats.domain, "cnn.com", &[(cats.domain_grp, ".com")])
+        .unwrap();
+    b.add_value(cats.domain, "amazon.com", &[(cats.domain_grp, ".com")])
+        .unwrap();
+    b.add_value(
+        cats.url,
+        "http://www.cc.gatech.edu/",
+        &[(cats.domain, "gatech.edu")],
+    )
+    .unwrap();
+    b.add_value(cats.url, "http://www.cnn.com/", &[(cats.domain, "cnn.com")])
+        .unwrap();
+    b.add_value(
+        cats.url,
+        "http://www.cnn.com/health",
+        &[(cats.domain, "cnn.com")],
+    )
+    .unwrap();
+    b.add_value(
+        cats.url,
+        "http://www.amazon.com/exec/...",
+        &[(cats.domain, "amazon.com")],
+    )
+    .unwrap();
+    let schema = Schema::new(
+        "Click",
+        vec![time, Dimension::Enum(b.build().unwrap())],
+        vec![
+            MeasureDef::new("Number_of", AggFn::Count),
+            MeasureDef::new("Dwell_time", AggFn::Sum),
+            MeasureDef::new("Delivery_time", AggFn::Sum),
+            MeasureDef::new("Datasize", AggFn::Sum),
+        ],
+    )
+    .unwrap();
+    (schema, cats)
+}
+
+/// Builds the example MO with the seven facts of Table 2.
+pub fn paper_mo() -> (Mo, UrlCats) {
+    let (schema, cats) = paper_schema();
+    let mut mo = Mo::new(Arc::clone(&schema));
+    let Dimension::Enum(e) = schema.dim(DimId(1)) else {
+        unreachable!("URL is enumerated")
+    };
+    let day = |y, m, d| DimValue::new(time_cat::DAY, TimeValue::Day(days_from_civil(y, m, d)).code());
+    let url = |s: &str| e.value(cats.url, s).unwrap();
+    // (fact, day, url, number_of, dwell, delivery, datasize-in-bytes)
+    type Row = (&'static str, (i32, u32, u32), &'static str, i64, i64, i64, i64);
+    let rows: [Row; 7] = [
+        ("fact_0", (1999, 11, 23), "http://www.amazon.com/exec/...", 1, 677, 2, 34_000),
+        ("fact_1", (1999, 12, 4), "http://www.cnn.com/health", 1, 2335, 5, 52_000),
+        ("fact_2", (1999, 12, 4), "http://www.cnn.com/", 1, 154, 2, 42_000),
+        ("fact_3", (1999, 12, 31), "http://www.amazon.com/exec/...", 1, 12, 1, 34_000),
+        ("fact_4", (2000, 1, 4), "http://www.cnn.com/", 1, 654, 4, 47_000),
+        ("fact_5", (2000, 1, 4), "http://www.cnn.com/health", 1, 301, 6, 52_000),
+        ("fact_6", (2000, 1, 20), "http://www.cc.gatech.edu/", 1, 32, 1, 12_000),
+    ];
+    for (_, d, u, n, dw, de, sz) in rows {
+        mo.insert_fact(&[day(d.0, d.1, d.2), url(u)], &[n, dw, de, sz])
+            .unwrap();
+    }
+    (mo, cats)
+}
+
+/// Action a1 of the paper (Equation 4): aggregate 6–12-month-old `.com`
+/// facts to `(Time.month, URL.domain)`.
+pub const ACTION_A1: &str = "p(a[Time.month, URL.domain] o[URL.domain_grp = .com AND \
+                             NOW - 12 months < Time.month <= NOW - 6 months](O))";
+
+/// Action a2 of the paper (Equation 5): aggregate `.com` facts older than
+/// four quarters to `(Time.quarter, URL.domain)`.
+pub const ACTION_A2: &str = "p(a[Time.quarter, URL.domain] o[URL.domain_grp = .com AND \
+                             Time.quarter <= NOW - 4 quarters](O))";
+
+/// The evaluation times of Figure 3's three snapshots.
+pub fn snapshot_days() -> [sdr_mdm::DayNum; 3] {
+    [
+        days_from_civil(2000, 4, 5),
+        days_from_civil(2000, 6, 5),
+        days_from_civil(2000, 11, 5),
+    ]
+}

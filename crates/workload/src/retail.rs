@@ -1,0 +1,198 @@
+//! A three-dimensional retail schema and generator.
+//!
+//! The paper's running example is two-dimensional (Time × URL); its model
+//! and all our operators are n-dimensional. This module provides the
+//! retail warehouse the paper's introduction motivates ("retail, finance,
+//! telecommunication…"): `Time × Product × Store` with two linear
+//! hierarchies (`sku < brand < category < ⊤`,
+//! `store < city < region < ⊤`), used by the 3-D test suite to exercise
+//! every code path at n = 3 — box subtraction, cell computation,
+//! grounding, subcube layout, and the query operators.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdr_mdm::{
+    calendar::days_from_civil, time_cat, AggFn, CatGraph, CatId, DimValue, Dimension,
+    EnumDimensionBuilder, MeasureDef, Mo, Schema, TimeDimension, TimeValue,
+};
+
+/// Category handles for the retail dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct RetailCats {
+    /// `Product.sku` (bottom).
+    pub sku: CatId,
+    /// `Product.brand`.
+    pub brand: CatId,
+    /// `Product.category`.
+    pub category: CatId,
+    /// `Store.store` (bottom).
+    pub store: CatId,
+    /// `Store.city`.
+    pub city: CatId,
+    /// `Store.region`.
+    pub region: CatId,
+}
+
+/// Configuration for the retail generator.
+#[derive(Debug, Clone)]
+pub struct RetailConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Product categories; each holds `brands_per_category` brands of
+    /// `skus_per_brand` SKUs.
+    pub n_categories: usize,
+    /// Brands per category.
+    pub brands_per_category: usize,
+    /// SKUs per brand.
+    pub skus_per_brand: usize,
+    /// Regions; each holds `cities_per_region` cities of
+    /// `stores_per_city` stores.
+    pub n_regions: usize,
+    /// Cities per region.
+    pub cities_per_region: usize,
+    /// Stores per city.
+    pub stores_per_city: usize,
+    /// First sale day (inclusive).
+    pub start: (i32, u32, u32),
+    /// Last sale day (inclusive).
+    pub end: (i32, u32, u32),
+    /// Mean sales per day.
+    pub sales_per_day: usize,
+}
+
+impl Default for RetailConfig {
+    fn default() -> Self {
+        RetailConfig {
+            seed: 0x5A1E_5A1E,
+            n_categories: 3,
+            brands_per_category: 4,
+            skus_per_brand: 8,
+            n_regions: 3,
+            cities_per_region: 3,
+            stores_per_city: 2,
+            start: (1999, 1, 1),
+            end: (2000, 12, 31),
+            sales_per_day: 50,
+        }
+    }
+}
+
+/// A generated retail warehouse.
+pub struct Retail {
+    /// Bottom-granularity sale facts (`Count`, `Revenue`).
+    pub mo: Mo,
+    /// The three-dimensional schema.
+    pub schema: Arc<Schema>,
+    /// Category handles.
+    pub cats: RetailCats,
+}
+
+/// Builds the `Time × Product × Store` schema and generates sales.
+pub fn generate_retail(cfg: &RetailConfig) -> Retail {
+    let time = Dimension::Time(TimeDimension::new((1998, 1, 1), (2006, 12, 31)).unwrap());
+    let pg = CatGraph::new(
+        vec!["sku", "brand", "category", "T"],
+        &[("sku", "brand"), ("brand", "category"), ("category", "T")],
+    )
+    .unwrap();
+    let sg = CatGraph::new(
+        vec!["store", "city", "region", "T"],
+        &[("store", "city"), ("city", "region"), ("region", "T")],
+    )
+    .unwrap();
+    let cats = RetailCats {
+        sku: pg.by_name("sku").unwrap(),
+        brand: pg.by_name("brand").unwrap(),
+        category: pg.by_name("category").unwrap(),
+        store: sg.by_name("store").unwrap(),
+        city: sg.by_name("city").unwrap(),
+        region: sg.by_name("region").unwrap(),
+    };
+    let mut pb = EnumDimensionBuilder::new("Product", pg);
+    let mut skus: Vec<DimValue> = Vec::new();
+    for c in 0..cfg.n_categories {
+        let cat = format!("category-{c}");
+        pb.add_value(cats.category, &cat, &[]).unwrap();
+        for b in 0..cfg.brands_per_category {
+            let brand = format!("brand-{c}-{b}");
+            pb.add_value(cats.brand, &brand, &[(cats.category, &cat)])
+                .unwrap();
+            for s in 0..cfg.skus_per_brand {
+                let sku = format!("sku-{c}-{b}-{s}");
+                let id = pb.add_value(cats.sku, &sku, &[(cats.brand, &brand)]).unwrap();
+                skus.push(DimValue::new(cats.sku, id as u64));
+            }
+        }
+    }
+    let mut sb = EnumDimensionBuilder::new("Store", sg);
+    let mut stores: Vec<DimValue> = Vec::new();
+    for r in 0..cfg.n_regions {
+        let region = format!("region-{r}");
+        sb.add_value(cats.region, &region, &[]).unwrap();
+        for ci in 0..cfg.cities_per_region {
+            let city = format!("city-{r}-{ci}");
+            sb.add_value(cats.city, &city, &[(cats.region, &region)])
+                .unwrap();
+            for st in 0..cfg.stores_per_city {
+                let store = format!("store-{r}-{ci}-{st}");
+                let id = sb
+                    .add_value(cats.store, &store, &[(cats.city, &city)])
+                    .unwrap();
+                stores.push(DimValue::new(cats.store, id as u64));
+            }
+        }
+    }
+    let schema = Schema::new(
+        "Sale",
+        vec![
+            time,
+            Dimension::Enum(pb.build().unwrap()),
+            Dimension::Enum(sb.build().unwrap()),
+        ],
+        vec![
+            MeasureDef::new("Count", AggFn::Count),
+            MeasureDef::new("Revenue", AggFn::Sum),
+        ],
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut mo = Mo::new(Arc::clone(&schema));
+    let start = days_from_civil(cfg.start.0, cfg.start.1, cfg.start.2);
+    let end = days_from_civil(cfg.end.0, cfg.end.1, cfg.end.2);
+    for d in start..=end {
+        let day = DimValue::new(time_cat::DAY, TimeValue::Day(d).code());
+        let k = cfg.sales_per_day;
+        let today = if k == 0 {
+            0
+        } else {
+            k * 3 / 4 + rng.random_range(0..=k / 2)
+        };
+        for _ in 0..today {
+            let sku = skus[rng.random_range(0..skus.len())];
+            let store = stores[rng.random_range(0..stores.len())];
+            let revenue = rng.random_range(100..=10_000);
+            mo.insert_fact(&[day, sku, store], &[1, revenue])
+                .expect("generated sale is valid");
+        }
+    }
+    Retail { mo, schema, cats }
+}
+
+/// A three-tier retail retention policy across all three dimensions:
+/// after 6 months aggregate to (month, sku, city); after 24 months to
+/// (quarter, brand, region); after 48 months to (year, category, ⊤).
+pub fn retail_policy() -> Vec<String> {
+    vec![
+        "p(a[Time.month, Product.sku, Store.city] o[NOW - 24 months < Time.month AND \
+         Time.month <= NOW - 6 months](O))"
+            .to_string(),
+        "p(a[Time.quarter, Product.brand, Store.region] o[NOW - 16 quarters < Time.quarter AND \
+         Time.quarter <= NOW - 8 quarters](O))"
+            .to_string(),
+        "p(a[Time.year, Product.category, Store.T] o[Time.year <= NOW - 4 years](O))"
+            .to_string(),
+    ]
+}

@@ -1,0 +1,156 @@
+//! Sessionized click-stream generation.
+//!
+//! The flat generator in [`gen`](crate::gen) draws independent clicks;
+//! real ISP logs (the paper's motivating workload) are *sessionized*:
+//! users arrive, click a handful of correlated pages within one domain,
+//! and leave. Session structure matters for the storage experiments
+//! because it produces *heavier per-cell skew* (many clicks share a
+//! (day, url) cell), which is exactly the case where Definition 2's
+//! cell-grouping already pays before any action fires.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sdr_mdm::{calendar::days_from_civil, time_cat, DimValue, Mo, TimeValue};
+
+use crate::gen::{generate, Clickstream, ClickstreamConfig};
+
+/// Configuration for the sessionized generator (wraps the flat config's
+/// dimension shape).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Dimension shape and horizon (clicks_per_day is ignored).
+    pub base: ClickstreamConfig,
+    /// Mean sessions per day.
+    pub sessions_per_day: usize,
+    /// Mean clicks per session (geometric-ish, min 1).
+    pub mean_session_len: usize,
+    /// Probability that a session stays within one domain per click.
+    pub domain_affinity: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            base: ClickstreamConfig::default(),
+            sessions_per_day: 30,
+            mean_session_len: 6,
+            domain_affinity: 0.8,
+        }
+    }
+}
+
+/// Generates a sessionized click-stream with the same schema as the flat
+/// generator.
+pub fn generate_sessions(cfg: &SessionConfig) -> Clickstream {
+    // Build the schema (and url universe) via the flat generator with no
+    // clicks, then fill facts session by session.
+    let shell = generate(&ClickstreamConfig {
+        clicks_per_day: 0,
+        ..cfg.base.clone()
+    });
+    let schema = shell.schema;
+    let cats = shell.url_cats;
+    let sdr_mdm::Dimension::Enum(e) = schema.dim(sdr_mdm::DimId(1)) else {
+        unreachable!("URL dimension is enumerated")
+    };
+    let urls: Vec<DimValue> = e.values(cats.url).collect();
+    let urls_per_domain = cfg.base.urls_per_domain.max(1);
+
+    let mut rng = StdRng::seed_from_u64(cfg.base.seed ^ 0x5E55_1005u64);
+    let start = days_from_civil(cfg.base.start.0, cfg.base.start.1, cfg.base.start.2);
+    let end = days_from_civil(cfg.base.end.0, cfg.base.end.1, cfg.base.end.2);
+    let mut mo = Mo::new(std::sync::Arc::clone(&schema));
+    for d in start..=end {
+        let dayv = DimValue::new(time_cat::DAY, TimeValue::Day(d).code());
+        let sessions = if cfg.sessions_per_day == 0 {
+            0
+        } else {
+            cfg.sessions_per_day * 3 / 4 + rng.random_range(0..=cfg.sessions_per_day / 2)
+        };
+        for _ in 0..sessions {
+            // Entry page: uniform over urls (domain skew comes from the
+            // shape config).
+            let mut cur = rng.random_range(0..urls.len());
+            let len = 1 + sample_geometric(&mut rng, cfg.mean_session_len);
+            for _ in 0..len {
+                let u = urls[cur];
+                let dwell = 1 + rng.random_range(0..300);
+                let delivery = rng.random_range(1..=10);
+                let datasize = rng.random_range(1_000..=100_000);
+                mo.insert_fact(&[dayv, u], &[1, dwell, delivery, datasize])
+                    .expect("generated fact valid");
+                // Next click: within the domain with high probability.
+                if rng.random::<f64>() < cfg.domain_affinity {
+                    let domain_base = cur - cur % urls_per_domain;
+                    cur = domain_base + rng.random_range(0..urls_per_domain);
+                } else {
+                    cur = rng.random_range(0..urls.len());
+                }
+            }
+        }
+    }
+    Clickstream {
+        mo,
+        schema,
+        url_cats: cats,
+    }
+}
+
+/// Geometric-ish sample with the given mean (p = 1/mean), capped at 10×
+/// the mean to bound tails.
+fn sample_geometric(rng: &mut StdRng, mean: usize) -> usize {
+    let mean = mean.max(1);
+    let p = 1.0 / mean as f64;
+    let mut n = 0usize;
+    while rng.random::<f64>() > p && n < mean * 10 {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_mdm::DimId;
+
+    #[test]
+    fn sessions_generate_and_cluster() {
+        let cfg = SessionConfig {
+            base: ClickstreamConfig {
+                start: (2000, 1, 1),
+                end: (2000, 1, 14),
+                ..Default::default()
+            },
+            sessions_per_day: 20,
+            mean_session_len: 5,
+            domain_affinity: 0.9,
+        };
+        let c = generate_sessions(&cfg);
+        assert!(c.mo.len() > 14 * 20, "{}", c.mo.len());
+        // Deterministic.
+        let c2 = generate_sessions(&cfg);
+        assert_eq!(c.mo.len(), c2.mo.len());
+        // Session affinity produces duplicate (day, url) cells far more
+        // often than independence would: count distinct cells.
+        let mut cells = std::collections::HashSet::new();
+        for f in c.mo.facts() {
+            cells.insert((c.mo.value(f, DimId(0)).code, c.mo.value(f, DimId(1)).code));
+        }
+        assert!(cells.len() < c.mo.len(), "no cell sharing at all?");
+    }
+
+    #[test]
+    fn zero_sessions() {
+        let cfg = SessionConfig {
+            base: ClickstreamConfig {
+                start: (2000, 1, 1),
+                end: (2000, 1, 2),
+                ..Default::default()
+            },
+            sessions_per_day: 0,
+            ..Default::default()
+        };
+        assert_eq!(generate_sessions(&cfg).mo.len(), 0);
+    }
+}

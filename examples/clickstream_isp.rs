@@ -1,0 +1,58 @@
+//! The paper's running example end to end: the ISP click-stream warehouse
+//! of Section 2 / Appendix A, reduced by actions a1/a2 (Equations 4–5),
+//! printed as the three snapshots of Figure 3 plus the query results of
+//! Figures 4 and 5.
+//!
+//! ```text
+//! cargo run --example clickstream_isp
+//! ```
+
+use specdr::mdm::calendar::{civil_from_days, days_from_civil};
+use specdr::mdm::Mo;
+use specdr::query::{aggregate, project, AggApproach};
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::parse_action;
+use specdr::workload::{paper_mo, snapshot_days, ACTION_A1, ACTION_A2};
+
+fn dump(title: &str, mo: &Mo) {
+    println!("\n== {title} ({} facts)", mo.len());
+    let mut rows: Vec<String> = mo.facts().map(|f| mo.render_fact(f)).collect();
+    rows.sort();
+    for r in rows {
+        println!("   {r}");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mo, _) = paper_mo();
+    let schema = std::sync::Arc::clone(mo.schema());
+    println!("Example MO of Figure 1 / Table 2 — measures are");
+    println!("(Number_of, Dwell_time, Delivery_time, Datasize):");
+    dump("initial MO", &mo);
+
+    let a1 = parse_action(&schema, ACTION_A1)?;
+    let a2 = parse_action(&schema, ACTION_A2)?;
+    println!("\nData reduction specification V = ({{a1, a2}}, ≤_V):");
+    println!("  a1 = {}", a1.render(&schema));
+    println!("  a2 = {}", a2.render(&schema));
+    let spec = DataReductionSpec::new(std::sync::Arc::clone(&schema), vec![a1, a2])?;
+
+    // Figure 3: three snapshots of the reduced MO.
+    for now in snapshot_days() {
+        let (y, m, d) = civil_from_days(now);
+        let red = reduce(&mo, &spec, now)?;
+        dump(&format!("Figure 3 — reduced MO at {y}/{m}/{d}"), &red);
+    }
+
+    // Figure 4: projection of the final snapshot.
+    let now = days_from_civil(2000, 11, 5);
+    let red = reduce(&mo, &spec, now)?;
+    let proj = project(&red, &["URL"], &["Number_of", "Dwell_time"])?;
+    dump("Figure 4 — π[URL][Number_of, Dwell_time] at 2000/11/5", &proj);
+
+    // Figure 5: aggregate formation with the availability approach.
+    let agg = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Availability)?;
+    dump("Figure 5 — α[Time.month, URL.domain] at 2000/11/5", &agg);
+
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Experiment E1 as a runnable report: storage gains of a retention
+//! policy over a synthetic click-stream warehouse (the paper's headline
+//! "huge storage gains" claim, quantified).
+//!
+//! Simulates a 24-month click-stream under the policy *raw < 6 months,
+//! month×domain until 36 months, quarter×domain-group afterwards*, then
+//! sweeps `NOW` forward and reports fact counts, raw and encoded bytes,
+//! and the reduction factor. Also verifies that SUM measures are exactly
+//! conserved at every step.
+//!
+//! ```text
+//! cargo run --release --example retention_policy
+//! ```
+
+use std::sync::Arc;
+
+use specdr::mdm::calendar::{civil_from_days, days_from_civil};
+use specdr::mdm::{MeasureId, Span, TimeUnit};
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::parse_action;
+use specdr::storage::FactTable;
+use specdr::workload::{generate, retention_policy, ClickstreamConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 400,
+        start: (1999, 1, 1),
+        end: (2000, 12, 28),
+        ..Default::default()
+    });
+    let actions: Result<Vec<_>, _> = retention_policy(6, 36)
+        .iter()
+        .map(|s| parse_action(&cs.schema, s))
+        .collect();
+    let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions?)?;
+    println!("Retention policy (checked NonCrossing + Growing):");
+    println!("{}", spec.render());
+
+    let raw = FactTable::from_mo(&cs.mo, 1 << 16)?.stats();
+    println!(
+        "\nGenerated warehouse: {} facts, {} raw bytes, {} encoded bytes",
+        raw.rows, raw.raw_bytes, raw.encoded_bytes
+    );
+
+    let total_dwell: i64 = cs
+        .mo
+        .facts()
+        .map(|f| cs.mo.measure(f, MeasureId(1)))
+        .sum();
+
+    println!(
+        "\n{:>10} {:>10} {:>13} {:>13} {:>9}  {:>10}",
+        "NOW", "facts", "raw bytes", "enc bytes", "factor", "conserved?"
+    );
+    let mut now = days_from_civil(1999, 7, 1);
+    for _ in 0..11 {
+        let red = reduce(&cs.mo, &spec, now)?;
+        let st = FactTable::from_mo(&red, 1 << 16)?.stats();
+        let dwell: i64 = red.facts().map(|f| red.measure(f, MeasureId(1))).sum();
+        let (y, m, _) = civil_from_days(now);
+        println!(
+            "{:>7}/{:<2} {:>10} {:>13} {:>13} {:>8.1}x  {}",
+            y,
+            m,
+            st.rows,
+            st.raw_bytes,
+            st.encoded_bytes,
+            raw.raw_bytes as f64 / st.encoded_bytes.max(1) as f64,
+            if dwell == total_dwell { "yes" } else { "NO!" }
+        );
+        now = specdr::mdm::time::shift_day(now, Span::new(6, TimeUnit::Month), 1);
+    }
+    println!(
+        "\nEvery row keeps the exact aggregate content (total dwell time = {total_dwell}),\n\
+         while storage shrinks by the factors above — the paper's gradual,\n\
+         specification-driven reduction."
+    );
+    Ok(())
+}

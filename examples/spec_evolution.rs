@@ -1,0 +1,73 @@
+//! The dynamics of data reduction (Sections 4.3 and 5): soundness checks
+//! in action — the Growing violation of Figure 2, a crossing rejection,
+//! and the insert/delete operators including the paper's a7/a8 example.
+//!
+//! ```text
+//! cargo run --example spec_evolution
+//! ```
+
+use std::sync::Arc;
+
+use specdr::mdm::calendar::days_from_civil;
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::{parse_action, ActionId};
+use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+
+    // --- Figure 2: a1 alone is not Growing ------------------------------
+    println!("1. Inserting a1 alone (the Figure 2 violation):");
+    let a1 = parse_action(&schema, ACTION_A1)?;
+    match DataReductionSpec::new(Arc::clone(&schema), vec![a1.clone()]) {
+        Err(e) => println!("   rejected, as the paper requires:\n   {e}\n"),
+        Ok(_) => println!("   UNEXPECTEDLY accepted!\n"),
+    }
+
+    println!("2. Inserting {{a1, a2}} together (Definition 3 checks the set):");
+    let a2 = parse_action(&schema, ACTION_A2)?;
+    let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2])?;
+    println!("   accepted:\n{}\n", spec.render());
+
+    // --- NonCrossing rejection -------------------------------------------
+    println!("3. Inserting a crossing action (higher in URL, lower in Time):");
+    let mut spec2 = spec.clone();
+    let crossing = parse_action(
+        &schema,
+        "p(a[Time.month, URL.domain_grp] o[Time.month <= 1999/12](O))",
+    )?;
+    match spec2.insert(vec![crossing]) {
+        Err(e) => println!("   rejected:\n   {e}\n"),
+        Ok(_) => println!("   UNEXPECTEDLY accepted!\n"),
+    }
+
+    // --- The a7/a8 delete example (Section 5.1) --------------------------
+    println!("4. The paper's a7/a8 example — stopping a NOW-relative action:");
+    let a7 = parse_action(
+        &schema,
+        "p(a[Time.month, URL.domain] o[Time.month <= NOW - 12 months](O))",
+    )?;
+    let mut spec3 = DataReductionSpec::new(Arc::clone(&schema), vec![a7])?;
+    let now = days_from_civil(2000, 12, 15);
+    let reduced = reduce(&mo, &spec3, now)?;
+    println!(
+        "   a7 reduced the warehouse to {} facts at 2000/12/15",
+        reduced.len()
+    );
+    println!("   deleting a7 against the *unreduced* MO:");
+    match spec3.delete(&[ActionId(0)], &mo, now) {
+        Err(e) => println!("   rejected (a7 is responsible for facts): {e}"),
+        Ok(()) => println!("   UNEXPECTEDLY deleted!"),
+    }
+    let a8 = parse_action(
+        &schema,
+        "p(a[Time.month, URL.domain] o[Time.month <= 1999/12](O))",
+    )?;
+    spec3.insert(vec![a8])?;
+    println!("   after inserting the fixed a8 (month ≤ 1999/12):");
+    spec3.delete(&[ActionId(0)], &reduced, now)?;
+    println!("   a7 deleted; remaining specification:\n{}", spec3.render());
+
+    Ok(())
+}

@@ -1,0 +1,269 @@
+//! `specdr` — command-line driver for the specification-based data
+//! reduction library.
+//!
+//! ```text
+//! specdr demo
+//!     Run the paper's ISP example end to end (Figures 1, 3, 4, 5).
+//!
+//! specdr explain [--spec-file FILE]
+//!     Parse a reduction specification (one action per line or
+//!     semicolon-separated; `--` starts a comment), check NonCrossing and
+//!     Growing, and print a plain-language explanation of every action.
+//!     Without a file, explains the built-in 6/36-month retention policy.
+//!
+//! specdr simulate [--months N] [--clicks K] [--raw-months A]
+//!                 [--month-months B] [--sessions]
+//!     Generate a synthetic click-stream, validate the retention policy,
+//!     and print the storage-gain series as NOW sweeps forward.
+//!
+//! specdr query --where PRED [--roll-up LEVELS] [--mode MODE]
+//!              [--months N] [--clicks K] [--now Y/M/D]
+//!     Generate + reduce a synthetic warehouse and run a query against it
+//!     (e.g. --where "URL.domain_grp = .com" --roll-up Time.quarter,URL.domain
+//!     --mode liberal).
+//! ```
+//!
+//! All data is synthetic/deterministic; the CLI exists to exercise every
+//! public API from the outside, exactly like a downstream user would.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use specdr::mdm::calendar::{civil_from_days, days_from_civil};
+use specdr::mdm::{render_table, MeasureId, Span, TableOptions, TimeUnit};
+use specdr::query::{AggApproach, Query, SelectMode};
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::{explain_action, parse_actions, parse_pexp};
+use specdr::storage::FactTable;
+use specdr::workload::{
+    generate, generate_sessions, paper_mo, retention_policy, snapshot_days, ClickstreamConfig,
+    SessionConfig, ACTION_A1, ACTION_A2,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let rest = &args[1.min(args.len())..];
+    let result = match cmd {
+        "demo" => cmd_demo(),
+        "explain" => cmd_explain(rest),
+        "simulate" => cmd_simulate(rest),
+        "query" => cmd_query(rest),
+        "help" | "--help" | "-h" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `specdr help`").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("specdr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: specdr <demo|explain|simulate|query|help> [options]\n\
+  demo                        run the paper's ISP example\n\
+  explain [--spec-file FILE]  check + explain a reduction specification\n\
+  simulate [--months N] [--clicks K] [--raw-months A] [--month-months B] [--sessions]\n\
+                              storage-gain simulation under a retention policy\n\
+  query --where PRED [--roll-up LEVELS] [--mode conservative|liberal|weighted:T]\n\
+        [--months N] [--clicks K] [--now Y/M/D]\n";
+
+type AnyError = Box<dyn std::error::Error>;
+
+/// Fetches the value of `--flag` from an option list.
+fn opt<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag(rest: &[String], name: &str) -> bool {
+    rest.iter().any(|a| a == name)
+}
+
+fn parse_date(s: &str) -> Result<i32, AnyError> {
+    let parts: Vec<&str> = s.split('/').collect();
+    if parts.len() != 3 {
+        return Err(format!("bad date `{s}` (expected Y/M/D)").into());
+    }
+    Ok(days_from_civil(
+        parts[0].parse()?,
+        parts[1].parse()?,
+        parts[2].parse()?,
+    ))
+}
+
+fn cmd_demo() -> Result<(), AnyError> {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    println!("The paper's example MO (Table 2 / Figure 1):\n");
+    println!("{}", render_table(&mo, TableOptions::default()));
+    let a1 = specdr::spec::parse_action(&schema, ACTION_A1)?;
+    let a2 = specdr::spec::parse_action(&schema, ACTION_A2)?;
+    println!("Actions:");
+    println!("  a1 {}", explain_action(&a1, &schema));
+    println!("  a2 {}", explain_action(&a2, &schema));
+    let spec = DataReductionSpec::new(schema, vec![a1, a2])?;
+    for now in snapshot_days() {
+        let (y, m, d) = civil_from_days(now);
+        let red = reduce(&mo, &spec, now)?;
+        println!("\nReduced MO at {y}/{m}/{d} (Figure 3):\n");
+        println!(
+            "{}",
+            render_table(
+                &red,
+                TableOptions {
+                    show_origin: true,
+                    ..Default::default()
+                }
+            )
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(rest: &[String]) -> Result<(), AnyError> {
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 0,
+        ..Default::default()
+    });
+    let src = match opt(rest, "--spec-file") {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => retention_policy(6, 36).join(";\n"),
+    };
+    let actions = parse_actions(&cs.schema, &src)?;
+    println!("{} action(s) parsed against the click-stream schema:\n", actions.len());
+    for (i, a) in actions.iter().enumerate() {
+        println!("  a{i} {}", explain_action(a, &cs.schema));
+    }
+    match DataReductionSpec::new(Arc::clone(&cs.schema), actions) {
+        Ok(_) => println!("\nspecification is sound: NonCrossing ✓ Growing ✓"),
+        Err(e) => {
+            println!("\nspecification is UNSOUND:\n  {e}");
+            return Err("specification rejected".into());
+        }
+    }
+    Ok(())
+}
+
+fn cmd_simulate(rest: &[String]) -> Result<(), AnyError> {
+    let months: u32 = opt(rest, "--months").unwrap_or("24").parse()?;
+    let clicks: usize = opt(rest, "--clicks").unwrap_or("200").parse()?;
+    let raw_months: u32 = opt(rest, "--raw-months").unwrap_or("6").parse()?;
+    let month_months: u32 = opt(rest, "--month-months").unwrap_or("36").parse()?;
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let base = ClickstreamConfig {
+        clicks_per_day: clicks,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    };
+    let cs = if flag(rest, "--sessions") {
+        generate_sessions(&SessionConfig {
+            base: ClickstreamConfig {
+                clicks_per_day: 0,
+                ..base
+            },
+            sessions_per_day: clicks / 5,
+            ..Default::default()
+        })
+    } else {
+        generate(&base)
+    };
+    let actions: Result<Vec<_>, _> = retention_policy(raw_months, month_months)
+        .iter()
+        .map(|s| specdr::spec::parse_action(&cs.schema, s))
+        .collect();
+    let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions?)?;
+    let raw = FactTable::from_mo(&cs.mo, 1 << 16)?.stats();
+    println!(
+        "{} months of clicks: {} facts, {} bytes raw ({} encoded)\n",
+        months, raw.rows, raw.raw_bytes, raw.encoded_bytes
+    );
+    println!(
+        "{:>10} {:>10} {:>13} {:>13} {:>9}",
+        "NOW", "facts", "raw bytes", "enc bytes", "factor"
+    );
+    let mut now = days_from_civil(1999, 1 + raw_months.min(11), 1);
+    for _ in 0..(months / 6 + 6) {
+        let red = reduce(&cs.mo, &spec, now)?;
+        let st = FactTable::from_mo(&red, 1 << 16)?.stats();
+        let (y, m, _) = civil_from_days(now);
+        println!(
+            "{:>7}/{:<2} {:>10} {:>13} {:>13} {:>8.1}x",
+            y,
+            m,
+            st.rows,
+            st.raw_bytes,
+            st.encoded_bytes,
+            raw.raw_bytes as f64 / st.encoded_bytes.max(1) as f64
+        );
+        now = specdr::mdm::time::shift_day(now, Span::new(6, TimeUnit::Month), 1);
+    }
+    Ok(())
+}
+
+fn cmd_query(rest: &[String]) -> Result<(), AnyError> {
+    let months: u32 = opt(rest, "--months").unwrap_or("24").parse()?;
+    let clicks: usize = opt(rest, "--clicks").unwrap_or("100").parse()?;
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: clicks,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let now = match opt(rest, "--now") {
+        Some(s) => parse_date(s)?,
+        None => days_from_civil(ey + 2, em, 28),
+    };
+    let actions: Result<Vec<_>, _> = retention_policy(6, 36)
+        .iter()
+        .map(|s| specdr::spec::parse_action(&cs.schema, s))
+        .collect();
+    let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions?)?;
+    let red = reduce(&cs.mo, &spec, now)?;
+    println!(
+        "warehouse: {} facts raw → {} facts reduced at NOW = {}",
+        cs.mo.len(),
+        red.len(),
+        {
+            let (y, m, d) = civil_from_days(now);
+            format!("{y}/{m}/{d}")
+        }
+    );
+
+    let mut q = Query::new();
+    if let Some(w) = opt(rest, "--where") {
+        q = q.filter(parse_pexp(&cs.schema, w)?);
+    }
+    if let Some(mode) = opt(rest, "--mode") {
+        q = q.mode(match mode {
+            "conservative" => SelectMode::Conservative,
+            "liberal" => SelectMode::Liberal,
+            m if m.starts_with("weighted:") => SelectMode::Weighted {
+                threshold: m["weighted:".len()..].parse()?,
+            },
+            other => return Err(format!("unknown mode `{other}`").into()),
+        });
+    }
+    if let Some(levels) = opt(rest, "--roll-up") {
+        let ls: Vec<&str> = levels.split(',').map(str::trim).collect();
+        q = q.roll_up(&ls).approach(AggApproach::Availability);
+    }
+    let result = q.run(&red, now)?;
+    println!("\n{}", render_table(&result, TableOptions::default()));
+    let total: i64 = result
+        .facts()
+        .map(|f| result.measure(f, MeasureId(0)))
+        .sum();
+    println!("{} rows, total Number_of = {total}", result.len());
+    Ok(())
+}

@@ -1,0 +1,31 @@
+//! # specdr — Specification-Based Data Reduction in Dimensional Data Warehouses
+//!
+//! A complete Rust reproduction of Skyt, Jensen & Pedersen,
+//! *Specification-Based Data Reduction in Dimensional Data Warehouses*
+//! (ICDE 2002 / TimeCenter TR-61).
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`mdm`] — the multidimensional data model (Section 3);
+//! * [`spec`] — the reduction-action specification language (Section 4.1);
+//! * [`prover`] — the decision procedure replacing PVS (Sections 5.2–5.3);
+//! * [`reduce`] — the reduction semantics, soundness checks, and
+//!   specification evolution (Sections 4–5);
+//! * [`query`] — the query algebra over reduced MOs (Section 6);
+//! * [`storage`] — the columnar star-schema substrate (Section 7);
+//! * [`subcube`] — the subcube implementation strategy (Section 7);
+//! * [`workload`] — the paper's example dataset and synthetic click-stream
+//!   generators for the experiments.
+//!
+//! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the experiment index.
+
+pub use sdr_mdm as mdm;
+pub use sdr_prover as prover;
+pub use sdr_spec as spec;
+
+pub use sdr_query as query;
+pub use sdr_reduce as reduce;
+pub use sdr_storage as storage;
+pub use sdr_subcube as subcube;
+pub use sdr_workload as workload;

@@ -1,0 +1,195 @@
+//! Integration tests for the Section 8 future-work extensions implemented
+//! in this reproduction: purge (fact deletion), dimension collapse, and
+//! the disaggregated aggregation approach.
+
+use std::sync::Arc;
+
+use specdr::mdm::calendar::days_from_civil;
+use specdr::mdm::{time_cat, DimId, MeasureId, Mo};
+use specdr::query::{aggregate, collapse_dimensions, AggApproach};
+use specdr::reduce::{reduce, reduce_and_purge, DataReductionSpec, PurgeSpec, ReduceError};
+use specdr::spec::{parse_action, parse_pexp};
+use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+fn setup() -> (Mo, DataReductionSpec) {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    (mo, DataReductionSpec::new(schema, vec![a1, a2]).unwrap())
+}
+
+fn sorted_rows(mo: &Mo) -> Vec<String> {
+    let mut v: Vec<String> = mo.facts().map(|f| mo.render_fact(f)).collect();
+    v.sort();
+    v
+}
+
+// ---------------------------------------------------------------- purge
+
+#[test]
+fn purge_deletes_oldest_tier() {
+    let (mo, spec) = setup();
+    let schema = Arc::clone(mo.schema());
+    // Drop everything older than 7 quarters entirely. The rule is stated
+    // at quarter level so it stays evaluable on the quarter-aggregated
+    // facts (the same evaluability convention as reduction actions).
+    let rule = parse_pexp(&schema, "Time.quarter <= NOW - 7 quarters").unwrap();
+    let purge = PurgeSpec::new(&schema, vec![rule]).unwrap();
+    // At 2000/11/5 nothing is 7 quarters old yet.
+    let (kept, removed) =
+        reduce_and_purge(&mo, &spec, &purge, days_from_civil(2000, 11, 5)).unwrap();
+    assert_eq!(removed, 0);
+    assert_eq!(kept.len(), 4);
+    // At 2001/8/1 (2001Q3), the 1999Q4 facts cross the line: purged.
+    let (kept, removed) =
+        reduce_and_purge(&mo, &spec, &purge, days_from_civil(2001, 8, 1)).unwrap();
+    assert_eq!(removed, 2); // fact_03 and fact_12 (quarter-level)
+    assert!(sorted_rows(&kept).iter().all(|r| !r.contains("1999")));
+}
+
+#[test]
+fn purge_is_monotone() {
+    // Once a fact is purged at t₁, it stays purged at every later t₂
+    // (syntactically growing rules guarantee it).
+    let (mo, spec) = setup();
+    let schema = Arc::clone(mo.schema());
+    let rule = parse_pexp(&schema, "Time.month <= NOW - 12 months").unwrap();
+    let purge = PurgeSpec::new(&schema, vec![rule]).unwrap();
+    let mut prev_removed = 0;
+    for months in [10, 14, 20, 30] {
+        let now = sdr_shift(days_from_civil(2000, 1, 5), months);
+        let (_, removed) = reduce_and_purge(&mo, &spec, &purge, now).unwrap();
+        assert!(removed >= prev_removed, "purge shrank at +{months} months");
+        prev_removed = removed;
+    }
+    assert!(prev_removed > 0);
+}
+
+fn sdr_shift(d: i32, months: i32) -> i32 {
+    specdr::mdm::time::shift_day(
+        d,
+        specdr::mdm::Span::new(months, specdr::mdm::TimeUnit::Month),
+        1,
+    )
+}
+
+#[test]
+fn shrinking_purge_rule_rejected() {
+    let (mo, _) = setup();
+    let schema = Arc::clone(mo.schema());
+    // A NOW-relative *lower* bound shrinks — deleted facts would need to
+    // come back. Must be rejected.
+    let rule = parse_pexp(&schema, "Time.month > NOW - 12 months").unwrap();
+    let err = PurgeSpec::new(&schema, vec![rule]).unwrap_err();
+    assert!(matches!(err, ReduceError::NotGrowing { .. }));
+}
+
+// ------------------------------------------------------------- collapse
+
+#[test]
+fn collapse_url_dimension() {
+    let (mo, spec) = setup();
+    let red = reduce(&mo, &spec, days_from_civil(2000, 11, 5)).unwrap();
+    let c = collapse_dimensions(&red, &["URL"]).unwrap();
+    assert_eq!(c.schema().n_dims(), 1);
+    // fact_03 and fact_12 share 1999Q4 and merge; the two 2000/1-related
+    // facts stay apart (different granularities: month vs day).
+    assert_eq!(
+        sorted_rows(&c),
+        vec![
+            "fact(1999Q4 | 4, 3178, 10, 162000)",
+            "fact(2000/1 | 2, 955, 10, 99000)",
+            "fact(2000/1/20 | 1, 32, 1, 12000)",
+        ]
+    );
+    // Totals conserved.
+    let before: i64 = red.facts().map(|f| red.measure(f, MeasureId(1))).sum();
+    let after: i64 = c.facts().map(|f| c.measure(f, MeasureId(1))).sum();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn collapse_rejects_degenerate_cases() {
+    let (mo, _) = setup();
+    assert!(collapse_dimensions(&mo, &["Time", "URL"]).is_err());
+    assert!(collapse_dimensions(&mo, &["Nope"]).is_err());
+    // Collapsing nothing is a (merging) no-op on distinct-cell data.
+    let c = collapse_dimensions(&mo, &[]).unwrap();
+    assert_eq!(c.len(), mo.len());
+}
+
+// -------------------------------------------------------- disaggregated
+
+#[test]
+fn disaggregated_gives_uniform_granularity_and_conserves_sums() {
+    let (mo, spec) = setup();
+    let red = reduce(&mo, &spec, days_from_civil(2000, 11, 5)).unwrap();
+    let a = aggregate(
+        &red,
+        &["Time.month", "URL.domain"],
+        AggApproach::Disaggregated,
+    )
+    .unwrap();
+    // Every result fact sits exactly at (month, domain) — the quarter
+    // facts were spread over their three months.
+    for f in a.facts() {
+        assert_eq!(a.value(f, DimId(0)).cat, time_cat::MONTH);
+    }
+    // Totals exactly conserved despite integer apportionment.
+    for j in 0..red.schema().n_measures() {
+        let m = MeasureId(j as u16);
+        let before: i64 = red.facts().map(|f| red.measure(f, m)).sum();
+        let after: i64 = a.facts().map(|f| a.measure(f, m)).sum();
+        assert_eq!(before, after, "measure {j}");
+    }
+    // The 1999Q4 amazon fact (dwell 689) spreads over Oct/Nov/Dec:
+    // 230+230+229 with largest-remainder rounding.
+    let rows = sorted_rows(&a);
+    let amazon: Vec<&String> = rows.iter().filter(|r| r.contains("amazon")).collect();
+    assert_eq!(amazon.len(), 3, "{rows:?}");
+    let dwell_sum: i64 = a
+        .facts()
+        .filter(|&f| a.schema().dim(DimId(1)).render(a.value(f, DimId(1))) == "amazon.com")
+        .map(|f| a.measure(f, MeasureId(1)))
+        .sum();
+    assert_eq!(dwell_sum, 689);
+}
+
+#[test]
+fn disaggregated_handles_parallel_branches() {
+    // A fact at quarter level disaggregated to *weeks* must go through
+    // the GLB (day): weeks overlapping the quarter receive shares.
+    let (mo, spec) = setup();
+    let red = reduce(&mo, &spec, days_from_civil(2000, 11, 5)).unwrap();
+    let a = aggregate(&red, &["Time.week", "URL.domain"], AggApproach::Disaggregated).unwrap();
+    for f in a.facts() {
+        assert_eq!(a.value(f, DimId(0)).cat, time_cat::WEEK);
+    }
+    // Count measure conserved.
+    let before: i64 = red.facts().map(|f| red.measure(f, MeasureId(0))).sum();
+    let after: i64 = a.facts().map(|f| a.measure(f, MeasureId(0))).sum();
+    assert_eq!(before, after);
+}
+
+#[test]
+fn disaggregated_explosion_guard() {
+    // Spreading a ⊤-level fact to days would explode; the operator must
+    // refuse rather than melt.
+    let (mo, _) = setup();
+    let schema = Arc::clone(mo.schema());
+    let mut coarse = Mo::new(Arc::clone(&schema));
+    let top_t = schema.dim(DimId(0)).top_value();
+    let top_u = schema.dim(DimId(1)).top_value();
+    coarse
+        .insert_fact_at(&[top_t, top_u], &[1, 100, 1, 1000], 0)
+        .unwrap();
+    let r = aggregate(&coarse, &["Time.day", "URL.url"], AggApproach::Disaggregated);
+    // The horizon is 5 years ≈ 1826 days × 4 urls ≈ 7k cells — under the
+    // guard, so this one actually succeeds…
+    assert!(r.is_ok());
+    // …and conserves the count.
+    let a = r.unwrap();
+    let total: i64 = a.facts().map(|f| a.measure(f, MeasureId(0))).sum();
+    assert_eq!(total, 1);
+}

@@ -1,0 +1,159 @@
+//! Integration tests for the query algebra of Section 6, run end to end
+//! (reduce → select → project → aggregate) through the facade, including
+//! the section's worked examples Q1–Q5 and operator-semantics cases.
+
+use std::sync::Arc;
+
+use specdr::mdm::calendar::days_from_civil;
+use specdr::mdm::{time_cat, DimId, MeasureId, Mo};
+use specdr::query::{
+    aggregate, compare, member_of, project, select, AggApproach, SelectMode,
+};
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::{parse_action, parse_pexp, CmpOp};
+use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+fn reduced() -> (Mo, i32) {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
+    let now = days_from_civil(2000, 11, 5);
+    (reduce(&mo, &spec, now).unwrap(), now)
+}
+
+#[test]
+fn q1_q2_q3_selection_examples() {
+    let (red, now) = reduced();
+    let s = red.schema();
+    // Q1: quarter ≤ 1999Q3 — unaffected by reduction, empty here.
+    let q1 = parse_pexp(s, "Time.quarter <= 1999Q3").unwrap();
+    assert!(select(&red, &q1, now, SelectMode::Conservative)
+        .unwrap()
+        .is_empty());
+    // Q2: month ≤ 1999/10 — quarter-level facts only partly satisfy it.
+    let q2 = parse_pexp(s, "Time.month <= 1999/10").unwrap();
+    assert!(select(&red, &q2, now, SelectMode::Conservative)
+        .unwrap()
+        .is_empty());
+    assert_eq!(
+        select(&red, &q2, now, SelectMode::Liberal).unwrap().len(),
+        2
+    );
+    // Q3: week ≤ 1999W48 — evaluated through GLB(week, quarter) = day.
+    let q3 = parse_pexp(s, "Time.week <= 1999W48").unwrap();
+    assert!(select(&red, &q3, now, SelectMode::Conservative)
+        .unwrap()
+        .is_empty());
+    let q3b = parse_pexp(s, "Time.week <= 2000W1").unwrap();
+    assert_eq!(
+        select(&red, &q3b, now, SelectMode::Conservative)
+            .unwrap()
+            .len(),
+        2
+    );
+}
+
+#[test]
+fn definition5_worked_comparisons() {
+    let (red, _) = reduced();
+    let time = red.schema().dim(DimId(0));
+    let q4 = time.parse_value(time_cat::QUARTER, "1999Q4").unwrap();
+    // The paper's example: 1999Q4 < 1999W48 is FALSE, < 2000W1 is TRUE.
+    let w48 = time.parse_value(time_cat::WEEK, "1999W48").unwrap();
+    let w1 = time.parse_value(time_cat::WEEK, "2000W1").unwrap();
+    assert!(!compare(time, q4, CmpOp::Lt, w48, SelectMode::Conservative).unwrap());
+    assert!(compare(time, q4, CmpOp::Lt, w1, SelectMode::Conservative).unwrap());
+    // The ∈ example with full and truncated week sets.
+    let mk_weeks = |range: std::ops::RangeInclusive<u32>, with_w1: bool| {
+        let mut v: Vec<_> = range
+            .map(|w| time.parse_value(time_cat::WEEK, &format!("1999W{w}")).unwrap())
+            .collect();
+        if with_w1 {
+            v.push(w1);
+        }
+        v
+    };
+    assert!(member_of(time, q4, &mk_weeks(39..=52, true), SelectMode::Conservative).unwrap());
+    assert!(!member_of(time, q4, &mk_weeks(39..=51, false), SelectMode::Conservative).unwrap());
+}
+
+#[test]
+fn pipeline_select_project_aggregate() {
+    // Full pipeline on the reduced MO: restrict to .com, project away
+    // Delivery_time/Datasize, then aggregate per year.
+    let (red, now) = reduced();
+    let p = parse_pexp(red.schema(), "URL.domain_grp = .com").unwrap();
+    let sel = select(&red, &p, now, SelectMode::Conservative).unwrap();
+    assert_eq!(sel.len(), 3);
+    let proj = project(&sel, &["Time", "URL"], &["Number_of", "Dwell_time"]).unwrap();
+    assert_eq!(proj.schema().n_measures(), 2);
+    let agg = aggregate(&proj, &["Time.year", "URL.domain_grp"], AggApproach::Availability)
+        .unwrap();
+    let mut rows: Vec<String> = agg.facts().map(|f| agg.render_fact(f)).collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec![
+            "fact(1999, .com | 4, 3178)",
+            "fact(2000, .com | 2, 955)",
+        ]
+    );
+}
+
+#[test]
+fn aggregation_approach_comparison() {
+    let (red, _) = reduced();
+    let avail = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Availability)
+        .unwrap();
+    let strict = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Strict).unwrap();
+    let lub = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Lub).unwrap();
+    // Strict drops the coarse facts; availability keeps everything at
+    // mixed levels; LUB unifies everything at quarter level.
+    assert_eq!(strict.len(), 2);
+    assert_eq!(avail.len(), 4);
+    assert_eq!(lub.len(), 4);
+    for f in lub.facts() {
+        assert_eq!(lub.value(f, DimId(0)).cat, time_cat::QUARTER);
+    }
+    // Strict's content is a subset of availability's totals.
+    let total = |m: &Mo| -> i64 { m.facts().map(|f| m.measure(f, MeasureId(1))).sum() };
+    assert!(total(&strict) < total(&avail));
+    assert_eq!(total(&avail), total(&lub));
+}
+
+#[test]
+fn queries_on_raw_equal_queries_on_reduced_at_coarse_level() {
+    // The central promise of the paper: for queries at or above the
+    // retained granularity, the reduced warehouse gives the same answer
+    // as the original.
+    let (mo, _) = paper_mo();
+    let (red, now) = reduced();
+    for levels in [
+        ["Time.year", "URL.domain"],
+        ["Time.year", "URL.domain_grp"],
+        ["Time.T", "URL.T"],
+    ] {
+        let a = aggregate(&mo, &levels, AggApproach::Availability).unwrap();
+        let b = aggregate(&red, &levels, AggApproach::Availability).unwrap();
+        let mut ra: Vec<String> = a.facts().map(|f| a.render_fact(f)).collect();
+        let mut rb: Vec<String> = b.facts().map(|f| b.render_fact(f)).collect();
+        ra.sort();
+        rb.sort();
+        assert_eq!(ra, rb, "levels {levels:?}");
+    }
+    let _ = now;
+}
+
+#[test]
+fn weighted_selection_exposes_certainty() {
+    let (red, now) = reduced();
+    let p = parse_pexp(red.schema(), "Time.month <= 1999/11").unwrap();
+    let weighted = specdr::query::select_weighted(&red, &p, now, 0.0).unwrap();
+    // Only the two quarter-level facts have partial weights.
+    assert_eq!(weighted.len(), 2);
+    for (_, w) in weighted {
+        assert!(w > 0.0 && w < 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Integration tests for the tooling layer: persistence, the fluent query
+//! builder, explanations, table rendering, and workload soundness.
+
+use std::sync::Arc;
+
+use specdr::mdm::calendar::days_from_civil;
+use specdr::mdm::{render_table, MeasureId, TableOptions};
+use specdr::query::{AggApproach, Query, SelectMode};
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::{explain_action, explain_origin, parse_action, parse_pexp};
+use specdr::subcube::SubcubeManager;
+use specdr::workload::{
+    generate, paper_mo, prover_heavy_policy, retention_policy, ClickstreamConfig, ACTION_A1,
+    ACTION_A2,
+};
+
+fn paper_spec() -> (specdr::mdm::Mo, DataReductionSpec) {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    (mo, DataReductionSpec::new(schema, vec![a1, a2]).unwrap())
+}
+
+#[test]
+fn subcube_persistence_roundtrip() {
+    let (mo, spec) = paper_spec();
+    let mut m = SubcubeManager::new(spec.clone());
+    m.bulk_load(&mo).unwrap();
+    m.sync(days_from_civil(2000, 11, 5)).unwrap();
+    let dir = std::env::temp_dir().join(format!("specdr-test-{}", std::process::id()));
+    m.save_to_dir(&dir).unwrap();
+    let loaded = SubcubeManager::load_from_dir(spec, &dir).unwrap();
+    assert_eq!(loaded.len(), m.len());
+    let a = m.to_mo().unwrap();
+    let b = loaded.to_mo().unwrap();
+    let mut ra: Vec<String> = a.facts().map(|f| a.render_fact(f)).collect();
+    let mut rb: Vec<String> = b.facts().map(|f| b.render_fact(f)).collect();
+    ra.sort();
+    rb.sort();
+    assert_eq!(ra, rb);
+    // Loading with a *different* spec (different layout) must fail.
+    let (schema2, _) = specdr::workload::paper_schema();
+    let only_a2 = parse_action(&schema2, ACTION_A2).unwrap();
+    let small_spec = DataReductionSpec::new(schema2, vec![only_a2]).unwrap();
+    assert!(SubcubeManager::load_from_dir(small_spec, &dir).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistence_missing_dir_fails() {
+    let (_, spec) = paper_spec();
+    assert!(SubcubeManager::load_from_dir(spec, "/nonexistent/specdr-dir").is_err());
+}
+
+#[test]
+fn query_builder_composes_operators() {
+    let (mo, spec) = paper_spec();
+    let now = days_from_civil(2000, 11, 5);
+    let red = reduce(&mo, &spec, now).unwrap();
+    let result = Query::new()
+        .filter(parse_pexp(red.schema(), "URL.domain_grp = .com").unwrap())
+        .mode(SelectMode::Conservative)
+        .project(&["Time", "URL"], &["Number_of", "Dwell_time"])
+        .roll_up(&["Time.year", "URL.domain_grp"])
+        .approach(AggApproach::Availability)
+        .run(&red, now)
+        .unwrap();
+    let mut rows: Vec<String> = result.facts().map(|f| result.render_fact(f)).collect();
+    rows.sort();
+    assert_eq!(
+        rows,
+        vec!["fact(1999, .com | 4, 3178)", "fact(2000, .com | 2, 955)"]
+    );
+    // An empty query is the identity.
+    let id = Query::new().run(&red, now).unwrap();
+    assert_eq!(id.len(), red.len());
+    // Builder surfaces resolution errors.
+    assert!(Query::new()
+        .roll_up(&["Nope.x"])
+        .run(&red, now)
+        .is_err());
+}
+
+#[test]
+fn explanations_are_english() {
+    let (mo, spec) = paper_spec();
+    let schema = mo.schema();
+    let a1 = spec.actions()[0].1.clone();
+    let text = explain_action(&a1, schema);
+    assert!(text.contains("aggregates facts to (Time.month, URL.domain)"), "{text}");
+    assert!(text.contains(".com"), "{text}");
+    assert!(text.contains("shrinking by itself"), "{text}");
+    let a2 = spec.actions()[1].1.clone();
+    let t2 = explain_action(&a2, schema);
+    assert!(t2.contains("growing by itself"), "{t2}");
+    // Origin explanations.
+    let now = days_from_civil(2000, 11, 5);
+    let red = reduce(&mo, &spec, now).unwrap();
+    let mut seen_user = false;
+    let mut seen_action = false;
+    for f in red.facts() {
+        let o = red.store().origin[f.index()];
+        let e = explain_origin(o, spec.actions(), schema);
+        if e.contains("inserted by a user") {
+            seen_user = true;
+        }
+        if e.contains("aggregated by action") {
+            seen_action = true;
+        }
+    }
+    assert!(seen_user && seen_action);
+    assert!(explain_origin(999, spec.actions(), schema).contains("since-deleted"));
+}
+
+#[test]
+fn table_rendering_shows_paper_data() {
+    let (mo, _) = paper_mo();
+    let t = render_table(&mo, TableOptions::default());
+    assert!(t.contains("Time"), "{t}");
+    assert!(t.contains("Dwell_time"));
+    assert!(t.contains("1999/12/4"));
+    assert!(t.contains("2335"));
+    assert_eq!(t.lines().count(), 2 + 7);
+}
+
+#[test]
+fn prover_heavy_policy_is_sound() {
+    // Cross-pairs have unordered granularities; the prover must verify
+    // their predicates never overlap — and accept the set.
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 0,
+        n_domain_grps: 4,
+        ..Default::default()
+    });
+    let actions: Vec<_> = prover_heavy_policy(4)
+        .iter()
+        .map(|s| parse_action(&cs.schema, s).unwrap())
+        .collect();
+    DataReductionSpec::new(Arc::clone(&cs.schema), actions).unwrap();
+    // Making two groups share a predicate breaks it: same .com group with
+    // both grains overlaps and is unordered → rejected.
+    let a = parse_action(
+        &cs.schema,
+        "p(a[Time.quarter, URL.domain] o[URL.domain_grp = .com AND Time.quarter <= NOW - 8 quarters](O))",
+    )
+    .unwrap();
+    let b = parse_action(
+        &cs.schema,
+        "p(a[Time.month, URL.domain_grp] o[URL.domain_grp = .com AND Time.month <= NOW - 24 months](O))",
+    )
+    .unwrap();
+    assert!(DataReductionSpec::new(Arc::clone(&cs.schema), vec![a, b]).is_err());
+}
+
+#[test]
+fn retention_policy_end_to_end_totals() {
+    // A medium synthetic warehouse: the reduced MO answers the same
+    // top-level totals as the raw one at every sweep point.
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 60,
+        start: (1999, 1, 1),
+        end: (2000, 6, 28),
+        ..Default::default()
+    });
+    let actions: Vec<_> = retention_policy(6, 36)
+        .iter()
+        .map(|s| parse_action(&cs.schema, s).unwrap())
+        .collect();
+    let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions).unwrap();
+    let raw_total: i64 = cs.mo.facts().map(|f| cs.mo.measure(f, MeasureId(3))).sum();
+    for k in 0..6 {
+        let now = specdr::mdm::time::shift_day(
+            days_from_civil(1999, 9, 1),
+            specdr::mdm::Span::new(6 * k, specdr::mdm::TimeUnit::Month),
+            1,
+        );
+        let red = reduce(&cs.mo, &spec, now).unwrap();
+        let total: i64 = red.facts().map(|f| red.measure(f, MeasureId(3))).sum();
+        assert_eq!(total, raw_total);
+    }
+}
