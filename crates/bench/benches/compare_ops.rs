@@ -34,9 +34,7 @@ fn bench_compare(c: &mut Criterion) {
         ("quarter_vs_week_eq", quarter, week, CmpOp::Eq),
     ] {
         g.bench_function(BenchmarkId::new("op", label), |bch| {
-            bch.iter(|| {
-                black_box(compare(time, a, op, b_, SelectMode::Conservative).unwrap())
-            });
+            bch.iter(|| black_box(compare(time, a, op, b_, SelectMode::Conservative).unwrap()));
         });
     }
     // Weighted mode does the same interval math plus a division.

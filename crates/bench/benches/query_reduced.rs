@@ -17,6 +17,7 @@ use sdr_reduce::reduce;
 use sdr_spec::parse_pexp;
 
 fn bench_query(c: &mut Criterion) {
+    sdr_bench::obs_begin();
     let w = bench_warehouse(24, 400);
     let raw = &w.cs.mo;
     // Mid-life reduction: raw/month/quarter tiers coexist.
@@ -35,8 +36,7 @@ fn bench_query(c: &mut Criterion) {
                 b.iter(|| {
                     let s = select(mo, &pred, w.mid, SelectMode::Conservative).unwrap();
                     black_box(
-                        aggregate_ids(&s, &[tc::QUARTER, grp], AggApproach::Availability)
-                            .unwrap(),
+                        aggregate_ids(&s, &[tc::QUARTER, grp], AggApproach::Availability).unwrap(),
                     )
                 });
             },
@@ -69,12 +69,15 @@ fn bench_query(c: &mut Criterion) {
             &approach,
             |b, &approach| {
                 b.iter(|| {
-                    black_box(aggregate_ids(&red, &[tc::MONTH, w.cs.url_cats.domain], approach).unwrap())
+                    black_box(
+                        aggregate_ids(&red, &[tc::MONTH, w.cs.url_cats.domain], approach).unwrap(),
+                    )
                 });
             },
         );
     }
     g.finish();
+    sdr_bench::obs_record("query_reduced");
 }
 
 criterion_group!(benches, bench_query);

@@ -12,6 +12,7 @@ use sdr_bench::bench_warehouse;
 use sdr_reduce::reduce;
 
 fn bench_reduce(c: &mut Criterion) {
+    sdr_bench::obs_begin();
     let mut g = c.benchmark_group("E4_reduce_throughput");
     g.sample_size(10);
     for clicks_per_day in [50usize, 200, 800] {
@@ -30,7 +31,10 @@ fn bench_reduce(c: &mut Criterion) {
     g.sample_size(10);
     let w = bench_warehouse(24, 200);
     for (label, now) in [
-        ("nothing_old", sdr_mdm::calendar::days_from_civil(1999, 6, 1)),
+        (
+            "nothing_old",
+            sdr_mdm::calendar::days_from_civil(1999, 6, 1),
+        ),
         ("month_tier", sdr_mdm::calendar::days_from_civil(2001, 6, 1)),
         ("quarter_tier", w.now),
     ] {
@@ -39,6 +43,7 @@ fn bench_reduce(c: &mut Criterion) {
         });
     }
     g.finish();
+    sdr_bench::obs_record("reduction");
 }
 
 criterion_group!(benches, bench_reduce);

@@ -35,9 +35,7 @@ fn bench_checks(c: &mut Criterion) {
             BenchmarkId::new("actions", actions.len()),
             &actions,
             |b, actions| {
-                b.iter(|| {
-                    check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap()
-                });
+                b.iter(|| check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap());
             },
         );
     }
@@ -52,9 +50,7 @@ fn bench_checks(c: &mut Criterion) {
             BenchmarkId::new("prover_path_actions", actions.len()),
             &actions,
             |b, actions| {
-                b.iter(|| {
-                    check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap()
-                });
+                b.iter(|| check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap());
             },
         );
     }

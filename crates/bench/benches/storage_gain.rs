@@ -17,6 +17,7 @@ use sdr_reduce::reduce;
 use sdr_storage::FactTable;
 
 fn bench_storage_gain(c: &mut Criterion) {
+    sdr_bench::obs_begin();
     let w = bench_warehouse(24, 400);
     let raw_stats = FactTable::from_mo(&w.cs.mo, 1 << 16).unwrap().stats();
     eprintln!("\nE1 storage-gain series (24 months of clicks, policy 6/36):");
@@ -50,6 +51,7 @@ fn bench_storage_gain(c: &mut Criterion) {
         });
     });
     g.finish();
+    sdr_bench::obs_record("storage_gain");
 }
 
 criterion_group!(benches, bench_storage_gain);

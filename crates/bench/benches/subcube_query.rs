@@ -11,6 +11,7 @@ use sdr_spec::parse_pexp;
 use sdr_subcube::{CubeQuery, SubcubeManager};
 
 fn bench_subcube_query(c: &mut Criterion) {
+    sdr_bench::obs_begin();
     let w = bench_warehouse(36, 400);
     let mut m = SubcubeManager::new(policy_spec(&w.cs.schema));
     m.bulk_load(&w.cs.mo).unwrap();
@@ -43,6 +44,7 @@ fn bench_subcube_query(c: &mut Criterion) {
         });
     }
     g.finish();
+    sdr_bench::obs_record("subcube_query");
 }
 
 criterion_group!(benches, bench_subcube_query);

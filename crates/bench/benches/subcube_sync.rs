@@ -25,17 +25,19 @@ fn settled_manager(clicks_per_day: usize) -> (SubcubeManager, i32) {
 }
 
 fn bench_sync(c: &mut Criterion) {
+    sdr_bench::obs_begin();
     let mut g = c.benchmark_group("E6_sync_tick");
     g.sample_size(10);
     for clicks in [100usize, 400] {
         let (m, now) = settled_manager(clicks);
-        let next = sdr_mdm::time::shift_day(now, sdr_mdm::Span::new(1, sdr_mdm::TimeUnit::Month), 1);
+        let next =
+            sdr_mdm::time::shift_day(now, sdr_mdm::Span::new(1, sdr_mdm::TimeUnit::Month), 1);
         g.bench_with_input(
             BenchmarkId::new("clicks_per_day", format!("{clicks}_{}rows", m.len())),
             &next,
             |b, &next| {
-            // Sync is idempotent on a settled warehouse at a fixed time, so
-            // iterating is safe; the measured cost is the scan + regroup.
+                // Sync is idempotent on a settled warehouse at a fixed time, so
+                // iterating is safe; the measured cost is the scan + regroup.
                 b.iter_batched(
                     || {
                         let (m, _) = settled_manager(clicks);
@@ -86,6 +88,7 @@ fn bench_sync(c: &mut Criterion) {
         b.iter(|| black_box(m.needs_sync(tomorrow).unwrap()));
     });
     g.finish();
+    sdr_bench::obs_record("subcube_sync");
 }
 
 criterion_group!(benches, bench_sync);

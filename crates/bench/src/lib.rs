@@ -66,3 +66,32 @@ pub fn policy_spec(schema: &Arc<Schema>) -> DataReductionSpec {
 pub fn fact_count(mo: &Mo) -> u64 {
     mo.len() as u64
 }
+
+/// Turns metric recording on for a benchmark run and clears anything a
+/// previous target left behind. Call once at the top of a bench `main`.
+pub fn obs_begin() {
+    sdr_obs::set_enabled(true);
+    sdr_obs::reset();
+}
+
+/// Writes the accumulated metric snapshot of a bench target to
+/// `target/obs/<label>.jsonl` (JSON-lines, same schema as
+/// `specdr --metrics=json`) so criterion timings and the operation-level
+/// counters/percentiles land side by side. Failures to write are reported
+/// to stderr but never fail the bench.
+pub fn obs_record(label: &str) {
+    let snap = sdr_obs::snapshot();
+    if snap.is_empty() {
+        return;
+    }
+    let dir = std::path::Path::new("target").join("obs");
+    let path = dir.join(format!("{label}.jsonl"));
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        std::fs::write(&path, snap.to_jsonl())
+    };
+    match write() {
+        Ok(()) => eprintln!("obs: wrote metric snapshot to {}", path.display()),
+        Err(e) => eprintln!("obs: could not write {}: {e}", path.display()),
+    }
+}

@@ -60,10 +60,7 @@ impl CatGraph {
     /// # Errors
     /// * [`MdmError::InvalidCategoryGraph`] on duplicate names, dangling
     ///   edges, cycles, or when a unique bottom/top does not exist.
-    pub fn new<S: Into<String>>(
-        names: Vec<S>,
-        edges: &[(&str, &str)],
-    ) -> Result<Self, MdmError> {
+    pub fn new<S: Into<String>>(names: Vec<S>, edges: &[(&str, &str)]) -> Result<Self, MdmError> {
         let names: Vec<String> = names.into_iter().map(Into::into).collect();
         let n = names.len();
         if n == 0 {
@@ -160,8 +157,7 @@ impl CatGraph {
         // with the most ancestors (highest granularity), deterministically.
         let mut glb = vec![CatId(0); n * n];
         let mut lub = vec![CatId(0); n * n];
-        let height =
-            |i: usize| -> usize { (0..n).filter(|&j| leq[i * n + j] && j != i).count() };
+        let height = |i: usize| -> usize { (0..n).filter(|&j| leq[i * n + j] && j != i).count() };
         for a in 0..n {
             for b in 0..n {
                 // Lower bounds of {a, b}.
@@ -244,7 +240,10 @@ impl CatGraph {
 
     /// Looks a category up by name.
     pub fn by_name(&self, name: &str) -> Option<CatId> {
-        self.names.iter().position(|x| x == name).map(|i| CatId(i as u8))
+        self.names
+            .iter()
+            .position(|x| x == name)
+            .map(|i| CatId(i as u8))
     }
 
     /// The immediate containment edges `(child, parent)`.
@@ -334,7 +333,11 @@ mod tests {
     fn url_graph() -> CatGraph {
         CatGraph::new(
             vec!["url", "domain", "domain_grp", "T"],
-            &[("url", "domain"), ("domain", "domain_grp"), ("domain_grp", "T")],
+            &[
+                ("url", "domain"),
+                ("domain", "domain_grp"),
+                ("domain_grp", "T"),
+            ],
         )
         .unwrap()
     }

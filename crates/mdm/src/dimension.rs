@@ -514,8 +514,12 @@ mod tests {
             .unwrap();
         b.add_value(url, "http://www.cnn.com/health", &[(domain, "cnn.com")])
             .unwrap();
-        b.add_value(url, "http://www.amazon.com/exec/...", &[(domain, "amazon.com")])
-            .unwrap();
+        b.add_value(
+            url,
+            "http://www.amazon.com/exec/...",
+            &[(domain, "amazon.com")],
+        )
+        .unwrap();
         b.build().unwrap()
     }
 

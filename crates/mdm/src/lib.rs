@@ -31,7 +31,9 @@ pub mod time;
 
 pub use calendar::DayNum;
 pub use category::{CatGraph, CatId};
-pub use dimension::{DimId, DimValue, Dimension, EnumDimension, EnumDimensionBuilder, SubDimension};
+pub use dimension::{
+    DimId, DimValue, Dimension, EnumDimension, EnumDimensionBuilder, SubDimension,
+};
 pub use error::MdmError;
 pub use mo::{FactId, FactStore, Mo, ORIGIN_USER};
 pub use print::{render_table, TableOptions};

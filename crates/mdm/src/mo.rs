@@ -185,7 +185,11 @@ impl Mo {
     /// # Errors
     /// [`MdmError::InvalidFact`] when a coordinate is at an intermediate
     /// category or the measure count is wrong.
-    pub fn insert_fact(&mut self, coords: &[DimValue], measures: &[i64]) -> Result<FactId, MdmError> {
+    pub fn insert_fact(
+        &mut self,
+        coords: &[DimValue],
+        measures: &[i64],
+    ) -> Result<FactId, MdmError> {
         self.validate_shape(coords, measures)?;
         for (i, v) in coords.iter().enumerate() {
             let g = self.schema.dims[i].graph();
@@ -330,8 +334,11 @@ mod tests {
 
     fn tiny_schema() -> Arc<Schema> {
         let time = Dimension::Time(TimeDimension::new((1999, 1, 1), (2001, 12, 31)).unwrap());
-        let g = CatGraph::new(vec!["url", "domain", "T"], &[("url", "domain"), ("domain", "T")])
-            .unwrap();
+        let g = CatGraph::new(
+            vec!["url", "domain", "T"],
+            &[("url", "domain"), ("domain", "T")],
+        )
+        .unwrap();
         let url = g.by_name("url").unwrap();
         let domain = g.by_name("domain").unwrap();
         let mut b = EnumDimensionBuilder::new("URL", g);
@@ -386,7 +393,9 @@ mod tests {
         let top = s.dim(DimId(1)).top_value();
         assert!(mo.insert_fact(&[day(2000, 5, 7), top], &[1, 42]).is_ok());
         // And insert_fact_at accepts intermediate categories.
-        assert!(mo.insert_fact_at(&[day(2000, 5, 7), cnn], &[1, 42], 3).is_ok());
+        assert!(mo
+            .insert_fact_at(&[day(2000, 5, 7), cnn], &[1, 42], 3)
+            .is_ok());
         assert_eq!(mo.store().origin[0], ORIGIN_USER);
         assert_eq!(mo.store().origin[1], 3);
     }

@@ -183,12 +183,11 @@ impl Schema {
 
     /// Renders a granularity as `(Time.month, URL.domain)`.
     pub fn render_granularity(&self, g: &Granularity) -> String {
-        let parts: Vec<String> = g
-            .0
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| format!("{}.{}", self.dims[i].name(), self.dims[i].graph().name(c)))
-            .collect();
+        let parts: Vec<String> =
+            g.0.iter()
+                .enumerate()
+                .map(|(i, &c)| format!("{}.{}", self.dims[i].name(), self.dims[i].graph().name(c)))
+                .collect();
         format!("({})", parts.join(", "))
     }
 }

@@ -83,9 +83,7 @@ impl TimeValue {
             TimeValue::Day(d) => d,
             TimeValue::Week { iso_year, week } => iso_week_start(iso_year, week),
             TimeValue::Month { year, month } => days_from_civil(year, month, 1),
-            TimeValue::Quarter { year, quarter } => {
-                days_from_civil(year, (quarter - 1) * 3 + 1, 1)
-            }
+            TimeValue::Quarter { year, quarter } => days_from_civil(year, (quarter - 1) * 3 + 1, 1),
             TimeValue::Year(y) => days_from_civil(y, 1, 1),
             TimeValue::Top => return None,
         })
@@ -143,11 +141,7 @@ impl TimeValue {
             },
             cat::YEAR => TimeValue::Year(v as i32),
             cat::TOP => TimeValue::Top,
-            other => {
-                return Err(MdmError::UnknownCategory(format!(
-                    "time category {other}"
-                )))
-            }
+            other => return Err(MdmError::UnknownCategory(format!("time category {other}"))),
         })
     }
 
@@ -205,11 +199,7 @@ impl TimeValue {
                 quarter: (m - 1) / 3 + 1,
             },
             cat::YEAR => TimeValue::Year(y),
-            other => {
-                return Err(MdmError::UnknownCategory(format!(
-                    "time category {other}"
-                )))
-            }
+            other => return Err(MdmError::UnknownCategory(format!("time category {other}"))),
         })
     }
 
@@ -303,9 +293,7 @@ impl TimeValue {
             TimeValue::Day(d) => d as i64,
             // ISO week starts are Mondays; day 4 (1970-01-05) is the first
             // Monday at or after the epoch, so (start − 4) is divisible by 7.
-            TimeValue::Week { iso_year, week } => {
-                (iso_week_start(iso_year, week) as i64 - 4) / 7
-            }
+            TimeValue::Week { iso_year, week } => (iso_week_start(iso_year, week) as i64 - 4) / 7,
             TimeValue::Month { year, month } => year as i64 * 12 + (month as i64 - 1),
             TimeValue::Quarter { year, quarter } => year as i64 * 4 + (quarter as i64 - 1),
             TimeValue::Year(y) => y as i64,

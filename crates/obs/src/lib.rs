@@ -1,0 +1,113 @@
+//! # sdr-obs — zero-dependency metrics and tracing
+//!
+//! The observability layer for the specification-based-data-reduction
+//! workspace: atomic [`Counter`]s and [`Gauge`]s, fixed-bucket log₂
+//! [`Histogram`]s with p50/p90/p99 summaries, RAII [`SpanTimer`] guards,
+//! a bounded multi-producer [`EventRing`], and a named-metric
+//! [`Registry`] whose [`Snapshot`] serializes to JSON-lines or an
+//! aligned table.
+//!
+//! ## Design rules
+//!
+//! * **Zero dependencies.** Everything is `std` atomics and locks;
+//!   `cargo tree -p sdr-obs` is one line.
+//! * **Disabled by default, cheap when disabled.** The global registry
+//!   starts off; every free function below early-returns after one
+//!   relaxed atomic-bool load, and instrumented crates accumulate into
+//!   plain locals first, publishing once per operation. `specdr` runs
+//!   without `--metrics` are indistinguishable from un-instrumented
+//!   builds.
+//! * **Names are `crate.subsystem.name`** (e.g.
+//!   `reduce.facts_collapsed`, `subcube.sync.migrated`,
+//!   `query.select.cells_visited`). Span histograms record nanoseconds.
+//! * **Metrics never drift from authoritative numbers.** Instrumented
+//!   code publishes the same locals it returns to callers (e.g.
+//!   `SyncStats`); the integration suite asserts equality.
+//!
+//! ## Usage
+//!
+//! ```
+//! sdr_obs::set_enabled(true);
+//! {
+//!     let _t = sdr_obs::span("demo.work");      // records on drop
+//!     sdr_obs::add("demo.items", 3);
+//! }
+//! let snap = sdr_obs::snapshot();
+//! assert_eq!(snap.counter("demo.items"), Some(3));
+//! assert_eq!(snap.span("demo.work").unwrap().count, 1);
+//! println!("{}", snap.to_jsonl());
+//! # sdr_obs::set_enabled(false);
+//! # sdr_obs::reset();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod registry;
+pub mod report;
+pub mod ring;
+
+pub use metrics::{bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSummary};
+pub use registry::{global, Registry, SpanTimer};
+pub use report::Snapshot;
+pub use ring::{Event, EventRing};
+
+/// True when the global registry is recording.
+pub fn enabled() -> bool {
+    global().enabled()
+}
+
+/// Turns the global registry on or off.
+pub fn set_enabled(on: bool) {
+    global().set_enabled(on);
+}
+
+/// Adds `n` to the named global counter (no-op while disabled).
+pub fn add(name: &str, n: u64) {
+    let g = global();
+    if g.enabled() {
+        g.counter(name).add(n);
+    }
+}
+
+/// Increments the named global counter by one (no-op while disabled).
+pub fn inc(name: &str) {
+    add(name, 1);
+}
+
+/// Sets the named global gauge (no-op while disabled).
+pub fn gauge_set(name: &str, v: i64) {
+    let g = global();
+    if g.enabled() {
+        g.gauge(name).set(v);
+    }
+}
+
+/// Records a sample into the named global histogram (no-op while
+/// disabled).
+pub fn record(name: &str, v: u64) {
+    let g = global();
+    if g.enabled() {
+        g.histogram(name).record(v);
+    }
+}
+
+/// Starts a global span timer (inert guard while disabled).
+pub fn span(name: &str) -> SpanTimer {
+    global().span(name)
+}
+
+/// Records a global event (no-op while disabled).
+pub fn event(name: &str, detail: impl Into<String>) {
+    global().event(name, detail);
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> Snapshot {
+    global().snapshot()
+}
+
+/// Zeroes the global registry's metrics and events.
+pub fn reset() {
+    global().reset();
+}

@@ -1,0 +1,308 @@
+//! Atomic metric primitives: [`Counter`], [`Gauge`], and the fixed-bucket
+//! log₂ [`Histogram`].
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (test/CLI support).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (test/CLI support).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets: one per bit position of a `u64` value.
+pub const N_BUCKETS: usize = 64;
+
+/// A fixed-bucket log₂ histogram of `u64` samples (typically latencies in
+/// nanoseconds or sizes in bytes).
+///
+/// Bucket `i` holds samples `v` with `⌊log₂ v⌋ = i`, i.e. `v ∈ [2^i,
+/// 2^(i+1))`; samples `0` and `1` land in bucket 0. Recording is a single
+/// relaxed `fetch_add` — safe from any number of threads, never blocking.
+/// Percentiles are estimated by linear interpolation inside the winning
+/// bucket, so they are exact at bucket boundaries and within a factor of
+/// 2 everywhere (the classic HdrHistogram-style trade-off at 64 buckets).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [(); N_BUCKETS].map(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bucket index a value lands in.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    63 - (v | 1).leading_zeros() as usize
+}
+
+/// The inclusive value range `[lo, hi]` of bucket `i`.
+#[inline]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 1)
+    } else {
+        (1u64 << i, (1u64 << i) | ((1u64 << i) - 1))
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable summary with percentile estimates.
+    pub fn summarize(&self) -> HistogramSummary {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        // Derive the count from the bucket array so the percentile walk
+        // is internally consistent even while writers race.
+        let count: u64 = buckets.iter().sum();
+        let min = self.min.load(Ordering::Relaxed);
+        let mut s = HistogramSummary {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+        s.p50 = percentile_from_buckets(&buckets, count, 0.50);
+        s.p90 = percentile_from_buckets(&buckets, count, 0.90);
+        s.p99 = percentile_from_buckets(&buckets, count, 0.99);
+        s
+    }
+
+    /// Resets all buckets and aggregates (test/CLI support).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Estimates the `q`-quantile (0 < q ≤ 1) from a bucket array: find the
+/// bucket containing the ⌈q·count⌉-th sample, then interpolate linearly
+/// inside its `[lo, hi]` range.
+fn percentile_from_buckets(buckets: &[u64], count: u64, q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cum + n >= rank {
+            let (lo, hi) = bucket_bounds(i);
+            let within = rank - cum; // 1-based position inside this bucket
+            let frac = within as f64 / n as f64;
+            return lo + ((hi - lo) as f64 * frac).round() as u64;
+        }
+        cum += n;
+    }
+    // Unreachable when the bucket sum equals `count`.
+    bucket_bounds(N_BUCKETS - 1).1
+}
+
+/// A point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(7), 2);
+        assert_eq!(bucket_index(8), 3);
+        assert_eq!(bucket_index(1023), 9);
+        assert_eq!(bucket_index(1024), 10);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..N_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            if hi < u64::MAX {
+                assert_eq!(bucket_index(hi + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles_exact_on_single_bucket_boundary() {
+        let h = Histogram::new();
+        // 100 samples all equal to 1024 → every percentile is inside
+        // bucket 10 ([1024, 2047]).
+        for _ in 0..100 {
+            h.record(1024);
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1024);
+        assert_eq!(s.max, 1024);
+        let (lo, hi) = bucket_bounds(10);
+        for p in [s.p50, s.p90, s.p99] {
+            assert!((lo..=hi).contains(&p), "{p} outside bucket 10");
+        }
+    }
+
+    #[test]
+    fn percentiles_order_and_interpolation() {
+        let h = Histogram::new();
+        // 90 fast samples (bucket 0: value 1), 10 slow (bucket 20).
+        for _ in 0..90 {
+            h.record(1);
+        }
+        for _ in 0..10 {
+            h.record(1 << 20);
+        }
+        let s = h.summarize();
+        assert_eq!(s.count, 100);
+        assert!(s.p50 <= 1, "median in the fast bucket, got {}", s.p50);
+        // p90 is the 90th sample → still fast; p99 must be in the slow
+        // bucket.
+        assert!(s.p90 <= 1, "{}", s.p90);
+        let (lo, hi) = bucket_bounds(20);
+        assert!((lo..=hi).contains(&s.p99), "{}", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99);
+        assert_eq!(s.sum, 90 + 10 * (1 << 20));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1 << 20);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Histogram::new().summarize();
+        assert_eq!(s, HistogramSummary::default());
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(5);
+        h.reset();
+        assert_eq!(h.summarize(), HistogramSummary::default());
+    }
+}

@@ -1,0 +1,251 @@
+//! Serializable snapshot reports: JSON-lines for machines, an aligned
+//! table for humans. Hand-rolled JSON keeps the crate zero-dependency.
+
+use crate::metrics::HistogramSummary;
+use crate::ring::Event;
+
+/// A point-in-time copy of every metric in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram summaries by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+    /// Span-duration summaries by name (nanoseconds).
+    pub spans: Vec<(String, HistogramSummary)>,
+    /// Retained events, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hist_line(kind: &str, name: &str, s: &HistogramSummary) -> String {
+    format!(
+        "{{\"kind\":\"{kind}\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        json_escape(name),
+        s.count,
+        s.sum,
+        s.min,
+        s.max,
+        s.p50,
+        s.p90,
+        s.p99
+    )
+}
+
+impl Snapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Looks up a histogram summary by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Looks up a span summary by name.
+    pub fn span(&self, name: &str) -> Option<&HistogramSummary> {
+        self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
+    }
+
+    /// Serializes as JSON-lines: one object per metric/event, each with a
+    /// `kind` of `counter`, `gauge`, `histogram`, `span`, or `event` (see
+    /// the schema in `DESIGN.md`). Machine-readable and diff/append
+    /// friendly for benchmark trajectories.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}\n",
+                json_escape(n)
+            ));
+        }
+        for (n, v) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"kind\":\"gauge\",\"name\":\"{}\",\"value\":{v}}}\n",
+                json_escape(n)
+            ));
+        }
+        for (n, s) in &self.histograms {
+            out.push_str(&hist_line("histogram", n, s));
+            out.push('\n');
+        }
+        for (n, s) in &self.spans {
+            out.push_str(&hist_line("span", n, s));
+            out.push('\n');
+        }
+        for e in &self.events {
+            out.push_str(&format!(
+                "{{\"kind\":\"event\",\"seq\":{},\"at_ns\":{},\"name\":\"{}\",\"detail\":\"{}\"}}\n",
+                e.seq,
+                e.at_ns,
+                json_escape(&e.name),
+                json_escape(&e.detail)
+            ));
+        }
+        out
+    }
+
+    /// Renders an aligned human-readable table (what `specdr stats`
+    /// prints).
+    pub fn to_table(&self) -> String {
+        fn ns(v: u64) -> String {
+            if v < 1_000 {
+                format!("{v}ns")
+            } else if v < 1_000_000 {
+                format!("{:.1}µs", v as f64 / 1e3)
+            } else if v < 1_000_000_000 {
+                format!("{:.1}ms", v as f64 / 1e6)
+            } else {
+                format!("{:.2}s", v as f64 / 1e9)
+            }
+        }
+        let mut out = String::new();
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (n, v) in &self.counters {
+                out.push_str(&format!("  {n:<44} {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (n, v) in &self.gauges {
+                out.push_str(&format!("  {n:<44} {v:>12}\n"));
+            }
+        }
+        // Span values are nanoseconds and get duration formatting; plain
+        // histograms hold domain values (rows, bytes) and stay numeric.
+        for (title, rows, as_ns) in [
+            ("histograms:", &self.histograms, false),
+            ("spans:", &self.spans, true),
+        ] {
+            if rows.is_empty() {
+                continue;
+            }
+            out.push_str(title);
+            out.push('\n');
+            out.push_str(&format!(
+                "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "name", "count", "mean", "p50", "p90", "p99"
+            ));
+            for (n, s) in rows {
+                let fmt = |v: u64| if as_ns { ns(v) } else { v.to_string() };
+                out.push_str(&format!(
+                    "  {:<44} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    n,
+                    s.count,
+                    fmt(s.mean()),
+                    fmt(s.p50),
+                    fmt(s.p90),
+                    fmt(s.p99)
+                ));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("events (most recent):\n");
+            for e in self.events.iter().rev().take(12).rev() {
+                out.push_str(&format!(
+                    "  [{:>10}] {} {}\n",
+                    ns(e.at_ns),
+                    e.name,
+                    e.detail
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded — was the registry enabled?)\n");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_escapes_and_parses_line_shapes() {
+        let snap = Snapshot {
+            counters: vec![("a.b\"quoted\"".into(), 7)],
+            gauges: vec![("g".into(), -3)],
+            histograms: vec![(
+                "h".into(),
+                HistogramSummary {
+                    count: 1,
+                    sum: 5,
+                    min: 5,
+                    max: 5,
+                    p50: 5,
+                    p90: 5,
+                    p99: 5,
+                },
+            )],
+            spans: vec![],
+            events: vec![Event {
+                seq: 0,
+                at_ns: 9,
+                name: "e".into(),
+                detail: "line\nbreak".into(),
+            }],
+        };
+        let jsonl = snap.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3 + 1);
+        assert!(jsonl.contains("\\\"quoted\\\""));
+        assert!(jsonl.contains("\\n"));
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"kind\":\""));
+        }
+        assert_eq!(snap.counter("a.b\"quoted\""), Some(7));
+        assert_eq!(snap.gauge("g"), Some(-3));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn table_mentions_every_metric() {
+        let mut snap = Snapshot::default();
+        assert!(snap.to_table().contains("no metrics"));
+        snap.counters.push(("c.x".into(), 1));
+        snap.spans.push(("s.y".into(), HistogramSummary::default()));
+        let t = snap.to_table();
+        assert!(t.contains("c.x") && t.contains("s.y"), "{t}");
+    }
+}

@@ -97,7 +97,11 @@ impl Region {
 /// the predicates of the higher-aggregating actions. Implemented by
 /// iterated region subtraction; exact for any inputs.
 pub fn implies_union(a: &Region, bs: &[Region]) -> bool {
-    let mut residue: Vec<Region> = if a.is_empty() { vec![] } else { vec![a.clone()] };
+    let mut residue: Vec<Region> = if a.is_empty() {
+        vec![]
+    } else {
+        vec![a.clone()]
+    };
     for b in bs {
         let mut next = Vec::new();
         for r in residue {

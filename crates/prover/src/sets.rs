@@ -15,10 +15,7 @@ pub struct DayInterval {
 
 impl DayInterval {
     /// The canonical empty interval.
-    pub const EMPTY: DayInterval = DayInterval {
-        lo: 1,
-        hi: 0,
-    };
+    pub const EMPTY: DayInterval = DayInterval { lo: 1, hi: 0 };
     /// The full line (used for `⊤`/unconstrained time).
     pub const FULL: DayInterval = DayInterval {
         lo: i64::MIN / 4,
@@ -291,8 +288,14 @@ mod tests {
         );
         assert_eq!(a.subtract(DayInterval::new(-5, 20)), vec![]);
         assert_eq!(a.subtract(DayInterval::new(20, 30)), vec![a]);
-        assert_eq!(a.subtract(DayInterval::new(-5, 4)), vec![DayInterval::new(5, 10)]);
-        assert_eq!(a.subtract(DayInterval::new(8, 30)), vec![DayInterval::new(0, 7)]);
+        assert_eq!(
+            a.subtract(DayInterval::new(-5, 4)),
+            vec![DayInterval::new(5, 10)]
+        );
+        assert_eq!(
+            a.subtract(DayInterval::new(8, 30)),
+            vec![DayInterval::new(0, 7)]
+        );
     }
 
     #[test]

@@ -61,11 +61,8 @@ pub fn aggregate(mo: &Mo, levels: &[&str], approach: AggApproach) -> Result<Mo, 
 }
 
 /// Aggregate formation with resolved category ids (one per dimension).
-pub fn aggregate_ids(
-    mo: &Mo,
-    levels: &[CatId],
-    approach: AggApproach,
-) -> Result<Mo, QueryError> {
+pub fn aggregate_ids(mo: &Mo, levels: &[CatId], approach: AggApproach) -> Result<Mo, QueryError> {
+    let _span = sdr_obs::span("query.aggregate");
     let schema = mo.schema();
     debug_assert_eq!(levels.len(), schema.n_dims());
     // For the LUB approach, first compute the uniform target granularity.
@@ -85,13 +82,9 @@ pub fn aggregate_ids(
 
     let mut groups: BTreeMap<Vec<DimValue>, Vec<i64>> = BTreeMap::new();
     let mut add_to_group = |key: Vec<DimValue>, values: &[i64]| {
-        let acc = groups.entry(key).or_insert_with(|| {
-            schema
-                .measures
-                .iter()
-                .map(|m| m.agg.identity())
-                .collect()
-        });
+        let acc = groups
+            .entry(key)
+            .or_insert_with(|| schema.measures.iter().map(|m| m.agg.identity()).collect());
         for (j, a) in acc.iter_mut().enumerate() {
             *a = schema.measures[j].agg.combine(*a, values[j]);
         }
@@ -132,6 +125,19 @@ pub fn aggregate_ids(
     let mut out = mo.empty_like();
     for (coords, ms) in groups {
         out.insert_fact_at(&coords, &ms, ORIGIN_USER)?;
+    }
+    if sdr_obs::enabled() {
+        let approach_name = match approach {
+            AggApproach::Availability => "availability",
+            AggApproach::Strict => "strict",
+            AggApproach::Lub => "lub",
+            AggApproach::Disaggregated => "disaggregated",
+        };
+        sdr_obs::add(
+            &format!("query.aggregate.{approach_name}.cells_visited"),
+            mo.len() as u64,
+        );
+        sdr_obs::add("query.aggregate.cells_produced", out.len() as u64);
     }
     Ok(out)
 }

@@ -47,11 +47,7 @@ impl Query {
     }
 
     /// Projects onto the named dimensions and measures (π).
-    pub fn project(
-        mut self,
-        dims: &[&str],
-        measures: &[&str],
-    ) -> Self {
+    pub fn project(mut self, dims: &[&str], measures: &[&str]) -> Self {
         self.keep_dims = Some(dims.iter().map(|s| s.to_string()).collect());
         self.keep_measures = Some(measures.iter().map(|s| s.to_string()).collect());
         self
@@ -72,12 +68,7 @@ impl Query {
     /// Runs the query against `mo` at time `now`.
     pub fn run(&self, mo: &Mo, now: DayNum) -> Result<Mo, QueryError> {
         let mut cur = match &self.pred {
-            Some(p) => select(
-                mo,
-                p,
-                now,
-                self.mode.unwrap_or(SelectMode::Conservative),
-            )?,
+            Some(p) => select(mo, p, now, self.mode.unwrap_or(SelectMode::Conservative))?,
             None => mo.clone(),
         };
         if let (Some(d), Some(m)) = (&self.keep_dims, &self.keep_measures) {

@@ -63,11 +63,7 @@ fn footprint(dim: &Dimension, v: DimValue, glb: CatId) -> Result<Footprint, Quer
             }
         }
         Dimension::Enum(e) => {
-            let mut ids: Vec<u64> = e
-                .drill_down(v, glb)?
-                .iter()
-                .map(|x| x.code)
-                .collect();
+            let mut ids: Vec<u64> = e.drill_down(v, glb)?.iter().map(|x| x.code).collect();
             ids.sort_unstable();
             Ok(Footprint::Set(ids))
         }
@@ -330,10 +326,7 @@ pub fn member_weight(
             }
             union.sort_unstable();
             union.dedup();
-            let sat = fs
-                .iter()
-                .filter(|x| union.binary_search(x).is_ok())
-                .count();
+            let sat = fs.iter().filter(|x| union.binary_search(x).is_ok()).count();
             Ok(sat as f64 / fs.len() as f64)
         }
     }

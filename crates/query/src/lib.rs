@@ -29,7 +29,7 @@ pub use collapse::collapse_dimensions;
 pub use compare::{compare, compare_weight, member_of, member_weight, SelectMode};
 pub use error::QueryError;
 pub use project::{project, project_ids};
-pub use select::{satisfies, select, select_weighted, predicate_weight};
+pub use select::{predicate_weight, satisfies, select, select_weighted};
 
 #[cfg(test)]
 mod tests {
@@ -112,7 +112,9 @@ mod tests {
         let (red, _) = reduced_paper_mo();
         let schema = red.schema();
         let dim = schema.dim(DimId(0));
-        let q4 = dim.parse_value(sdr_mdm::time_cat::QUARTER, "1999Q4").unwrap();
+        let q4 = dim
+            .parse_value(sdr_mdm::time_cat::QUARTER, "1999Q4")
+            .unwrap();
         let w48 = dim.parse_value(sdr_mdm::time_cat::WEEK, "1999W48").unwrap();
         let w1 = dim.parse_value(sdr_mdm::time_cat::WEEK, "2000W1").unwrap();
         assert!(!compare(dim, q4, CmpOp::Lt, w48, SelectMode::Conservative).unwrap());
@@ -128,14 +130,22 @@ mod tests {
         let (red, _) = reduced_paper_mo();
         let schema = red.schema();
         let dim = schema.dim(DimId(0));
-        let q4 = dim.parse_value(sdr_mdm::time_cat::QUARTER, "1999Q4").unwrap();
+        let q4 = dim
+            .parse_value(sdr_mdm::time_cat::QUARTER, "1999Q4")
+            .unwrap();
         let weeks_full: Vec<_> = (39..=52)
-            .map(|w| dim.parse_value(sdr_mdm::time_cat::WEEK, &format!("1999W{w}")).unwrap())
+            .map(|w| {
+                dim.parse_value(sdr_mdm::time_cat::WEEK, &format!("1999W{w}"))
+                    .unwrap()
+            })
             .chain([dim.parse_value(sdr_mdm::time_cat::WEEK, "2000W1").unwrap()])
             .collect();
         assert!(member_of(dim, q4, &weeks_full, SelectMode::Conservative).unwrap());
         let weeks_short: Vec<_> = (39..=51)
-            .map(|w| dim.parse_value(sdr_mdm::time_cat::WEEK, &format!("1999W{w}")).unwrap())
+            .map(|w| {
+                dim.parse_value(sdr_mdm::time_cat::WEEK, &format!("1999W{w}"))
+                    .unwrap()
+            })
             .collect();
         assert!(!member_of(dim, q4, &weeks_short, SelectMode::Conservative).unwrap());
         // …but it's liberally possible.
@@ -150,9 +160,15 @@ mod tests {
         // documented deviation from Definition 5's literal set equality).
         let (red, _) = reduced_paper_mo();
         let dim = red.schema().dim(DimId(0));
-        let day = dim.parse_value(sdr_mdm::time_cat::DAY, "1999/12/4").unwrap();
-        let month = dim.parse_value(sdr_mdm::time_cat::MONTH, "1999/12").unwrap();
-        let quarter = dim.parse_value(sdr_mdm::time_cat::QUARTER, "1999Q4").unwrap();
+        let day = dim
+            .parse_value(sdr_mdm::time_cat::DAY, "1999/12/4")
+            .unwrap();
+        let month = dim
+            .parse_value(sdr_mdm::time_cat::MONTH, "1999/12")
+            .unwrap();
+        let quarter = dim
+            .parse_value(sdr_mdm::time_cat::QUARTER, "1999Q4")
+            .unwrap();
         // Finer inside coarser: = holds.
         assert!(compare(dim, day, CmpOp::Eq, month, SelectMode::Conservative).unwrap());
         assert!(compare(dim, month, CmpOp::Eq, quarter, SelectMode::Conservative).unwrap());
@@ -193,7 +209,10 @@ mod tests {
         let p = project(&red, &["URL"], &["Number_of", "Dwell_time"]).unwrap();
         assert_eq!(p.len(), 4);
         let r = renders(&p);
-        assert!(r.contains(&"fact(amazon.com | 2, 689)".to_string()), "{r:?}");
+        assert!(
+            r.contains(&"fact(amazon.com | 2, 689)".to_string()),
+            "{r:?}"
+        );
         assert!(r.contains(&"fact(cnn.com | 2, 2489)".to_string()));
         assert!(r.contains(&"fact(cnn.com | 2, 955)".to_string()));
         assert!(r.contains(&"fact(http://www.cc.gatech.edu/ | 1, 32)".to_string()));
@@ -209,8 +228,12 @@ mod tests {
         // land at month level; fact_03/fact_12 stay at quarter (their
         // finest available level).
         let (red, _) = reduced_paper_mo();
-        let a = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Availability)
-            .unwrap();
+        let a = aggregate(
+            &red,
+            &["Time.month", "URL.domain"],
+            AggApproach::Availability,
+        )
+        .unwrap();
         let r = renders(&a);
         assert_eq!(a.len(), 4, "{r:?}");
         assert!(r.contains(&"fact(1999Q4, amazon.com | 2, 689, 3, 68000)".to_string()));
@@ -224,11 +247,18 @@ mod tests {
         // Q4 = α[Time.year, URL.domain]: year and domain are available for
         // every fact → the whole answer has the requested granularity.
         let (red, _) = reduced_paper_mo();
-        let a = aggregate(&red, &["Time.year", "URL.domain"], AggApproach::Availability)
-            .unwrap();
+        let a = aggregate(
+            &red,
+            &["Time.year", "URL.domain"],
+            AggApproach::Availability,
+        )
+        .unwrap();
         let r = renders(&a);
         assert_eq!(a.len(), 4);
-        assert!(r.contains(&"fact(1999, amazon.com | 2, 689, 3, 68000)".to_string()), "{r:?}");
+        assert!(
+            r.contains(&"fact(1999, amazon.com | 2, 689, 3, 68000)".to_string()),
+            "{r:?}"
+        );
         assert!(r.contains(&"fact(1999, cnn.com | 2, 2489, 7, 94000)".to_string()));
         assert!(r.contains(&"fact(2000, cnn.com | 2, 955, 10, 99000)".to_string()));
         assert!(r.contains(&"fact(2000, gatech.edu | 1, 32, 1, 12000)".to_string()));

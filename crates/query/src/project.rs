@@ -26,11 +26,7 @@ pub fn project(mo: &Mo, dims: &[&str], measures: &[&str]) -> Result<Mo, QueryErr
 }
 
 /// Projection by resolved ids.
-pub fn project_ids(
-    mo: &Mo,
-    dims: &[DimId],
-    measures: &[MeasureId],
-) -> Result<Mo, QueryError> {
+pub fn project_ids(mo: &Mo, dims: &[DimId], measures: &[MeasureId]) -> Result<Mo, QueryError> {
     let schema = mo.schema();
     let new_schema = Schema::new(
         schema.fact_type.clone(),

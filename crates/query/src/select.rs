@@ -54,12 +54,7 @@ fn eval_atom(
 /// The satisfaction weight of a full predicate for one fact (used by the
 /// weighted approach; conjunction multiplies, disjunction takes the
 /// maximum — the standard independence heuristic).
-pub fn predicate_weight(
-    mo: &Mo,
-    p: &Pexp,
-    f: FactId,
-    now: DayNum,
-) -> Result<f64, QueryError> {
+pub fn predicate_weight(mo: &Mo, p: &Pexp, f: FactId, now: DayNum) -> Result<f64, QueryError> {
     let dnf = to_dnf(p);
     let mut best = 0.0f64;
     for conj in &dnf {
@@ -130,6 +125,7 @@ pub fn satisfies(
 
 /// The selection operator `σ[p](O)` (Equation 36) under `mode`.
 pub fn select(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, QueryError> {
+    let _span = sdr_obs::span("query.select");
     let mut out = mo.empty_like();
     for f in mo.facts() {
         if satisfies(mo, p, f, now, mode)? {
@@ -139,6 +135,10 @@ pub fn select(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, Qu
                 mo.store().origin[f.index()],
             )?;
         }
+    }
+    if sdr_obs::enabled() {
+        sdr_obs::add("query.select.cells_visited", mo.len() as u64);
+        sdr_obs::add("query.select.cells_kept", out.len() as u64);
     }
     Ok(out)
 }

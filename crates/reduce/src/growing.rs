@@ -20,8 +20,8 @@
 //!   the moving bound.
 
 use sdr_mdm::{Schema, TimeValue};
-use sdr_spec::{classify_conj, step_days, to_dnf, ActionSpec, Conj, GrowthClass};
 use sdr_prover::{implies_union, Region};
+use sdr_spec::{classify_conj, step_days, to_dnf, ActionSpec, Conj, GrowthClass};
 
 use crate::checks_util::{concretize_all, time_horizon};
 use crate::error::ReduceError;

@@ -158,9 +158,8 @@ mod tests {
         // Unchanged detail facts.
         assert!(rendered
             .contains(&"fact(2000/1/4, http://www.cnn.com/ | 1, 654, 4, 47000)".to_string()));
-        assert!(rendered.contains(
-            &"fact(2000/1/20, http://www.cc.gatech.edu/ | 1, 32, 1, 12000)".to_string()
-        ));
+        assert!(rendered
+            .contains(&"fact(2000/1/20, http://www.cc.gatech.edu/ | 1, 32, 1, 12000)".to_string()));
     }
 
     #[test]
@@ -177,9 +176,8 @@ mod tests {
         );
         assert!(rendered.contains(&"fact(1999Q4, cnn.com | 2, 2489, 7, 94000)".to_string()));
         assert!(rendered.contains(&"fact(2000/1, cnn.com | 2, 955, 10, 99000)".to_string()));
-        assert!(rendered.contains(
-            &"fact(2000/1/20, http://www.cc.gatech.edu/ | 1, 32, 1, 12000)".to_string()
-        ));
+        assert!(rendered
+            .contains(&"fact(2000/1/20, http://www.cc.gatech.edu/ | 1, 32, 1, 12000)".to_string()));
     }
 
     #[test]
@@ -190,7 +188,10 @@ mod tests {
         let mid = reduce(&mo, &spec, days_from_civil(2000, 6, 5)).unwrap();
         let late_direct = reduce(&mo, &spec, days_from_civil(2000, 11, 5)).unwrap();
         let late_via_mid = reduce(&mid, &spec, days_from_civil(2000, 11, 5)).unwrap();
-        let a: Vec<String> = late_direct.facts().map(|f| late_direct.render_fact(f)).collect();
+        let a: Vec<String> = late_direct
+            .facts()
+            .map(|f| late_direct.render_fact(f))
+            .collect();
         let b: Vec<String> = late_via_mid
             .facts()
             .map(|f| late_via_mid.render_fact(f))
@@ -382,7 +383,13 @@ mod tests {
         // time dominates the earlier one.
         let (mo, spec) = paper_spec();
         let times: Vec<i32> = (0..14)
-            .map(|k| sdr_mdm::time::shift_day(days_from_civil(2000, 1, 5), sdr_mdm::Span::new(k, sdr_mdm::TimeUnit::Month), 1))
+            .map(|k| {
+                sdr_mdm::time::shift_day(
+                    days_from_civil(2000, 1, 5),
+                    sdr_mdm::Span::new(k, sdr_mdm::TimeUnit::Month),
+                    1,
+                )
+            })
             .collect();
         let schema = spec.schema();
         for w in times.windows(2) {

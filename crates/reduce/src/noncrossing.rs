@@ -29,10 +29,7 @@ use crate::error::ReduceError;
 /// Checks the NonCrossing property for a whole action set (`|A|²` pairwise
 /// checks, as the paper prescribes — cheap because checks only run when
 /// the specification is updated).
-pub fn check_noncrossing(
-    schema: &Schema,
-    actions: Vec<&ActionSpec>,
-) -> Result<(), ReduceError> {
+pub fn check_noncrossing(schema: &Schema, actions: Vec<&ActionSpec>) -> Result<(), ReduceError> {
     for i in 0..actions.len() {
         for j in (i + 1)..actions.len() {
             noncrossing_pair(schema, actions[i], actions[j])?;

@@ -152,6 +152,7 @@ pub fn agg_level(
 /// * measure-conserving for SUM/COUNT measures;
 /// * schema-preserving (new facts can still be inserted at the bottom).
 pub fn reduce(mo: &Mo, spec: &DataReductionSpec, now: DayNum) -> Result<Mo, ReduceError> {
+    let _span = sdr_obs::span("reduce.reduce");
     let schema = spec.schema();
     let n_measures = schema.n_measures();
     // Grouping is keyed on the target coordinates. BTreeMap keeps the
@@ -164,14 +165,19 @@ pub fn reduce(mo: &Mo, spec: &DataReductionSpec, now: DayNum) -> Result<Mo, Redu
         members: u32,
     }
     let mut groups: BTreeMap<Vec<DimValue>, Group> = BTreeMap::new();
+    // Per-action raise counts, accumulated locally and published once
+    // after the loop (the hot loop pays one hoisted bool while disabled).
+    let obs_on = sdr_obs::enabled();
+    let mut raised_by: BTreeMap<u32, u64> = BTreeMap::new();
     for f in mo.facts() {
         let c = cell(mo, spec, f, now)?;
+        if obs_on {
+            if let Some(id) = c.responsible {
+                *raised_by.entry(id.0).or_insert(0) += 1;
+            }
+        }
         let entry = groups.entry(c.coords).or_insert_with(|| Group {
-            acc: schema
-                .measures
-                .iter()
-                .map(|m| m.agg.identity())
-                .collect(),
+            acc: schema.measures.iter().map(|m| m.agg.identity()).collect(),
             origin: ORIGIN_USER,
             members: 0,
         });
@@ -195,8 +201,26 @@ pub fn reduce(mo: &Mo, spec: &DataReductionSpec, now: DayNum) -> Result<Mo, Redu
         }
     }
     let mut out = mo.empty_like();
+    // Handle looked up once; recording is a few relaxed atomics per group.
+    let members_hist = obs_on.then(|| sdr_obs::global().histogram("reduce.group_members"));
     for (coords, grp) in groups {
+        if let Some(h) = &members_hist {
+            h.record(grp.members as u64);
+        }
         out.insert_fact_at(&coords, &grp.acc, grp.origin)?;
+    }
+    if obs_on {
+        // Published from the same values the caller observes:
+        // scanned = collapsed + kept always holds (the integration suite
+        // asserts it against the input fact count).
+        let scanned = mo.len() as u64;
+        let kept = out.len() as u64;
+        sdr_obs::add("reduce.facts_scanned", scanned);
+        sdr_obs::add("reduce.facts_kept", kept);
+        sdr_obs::add("reduce.facts_collapsed", scanned - kept);
+        for (action, n) in raised_by {
+            sdr_obs::add(&format!("reduce.action.a{action}.facts_raised"), n);
+        }
     }
     Ok(out)
 }

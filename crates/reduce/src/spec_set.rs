@@ -168,8 +168,7 @@ impl DataReductionSpec {
                 // …or when a remaining action aggregates at least as high.
                 let covered = remaining.iter().any(|r| {
                     a.grain.leq(&r.grain, &self.schema)
-                        && sdr_spec::eval_pred(&self.schema, &r.pred, &coords, now)
-                            .unwrap_or(false)
+                        && sdr_spec::eval_pred(&self.schema, &r.pred, &coords, now).unwrap_or(false)
                 });
                 if !covered {
                     return Err(ReduceError::DeleteRejected(format!(

@@ -104,9 +104,7 @@ impl Term {
                 for &(sg, sp) in ops {
                     d = sdr_mdm::time::shift_day(d, sp, sg as i32);
                 }
-                let tv = TimeValue::Day(d)
-                    .rollup(cat)
-                    .map_err(SpecError::Model)?;
+                let tv = TimeValue::Day(d).rollup(cat).map_err(SpecError::Model)?;
                 Ok(DimValue::new(cat, tv.code()))
             }
         }
@@ -230,7 +228,10 @@ impl ActionSpec {
     pub fn render(&self, schema: &Schema) -> String {
         format!(
             "p(a{} o[{}](O))",
-            schema.render_granularity(&self.grain).replace('(', "[").replace(')', "]"),
+            schema
+                .render_granularity(&self.grain)
+                .replace('(', "[")
+                .replace(')', "]"),
             render_pexp(&self.pred, schema)
         )
     }
@@ -285,7 +286,10 @@ fn render_atom(a: &Atom, schema: &Schema) -> String {
             format!("{lhs} {} {}", op.symbol(), render_term(term, schema, a.dim))
         }
         AtomKind::In { terms } => {
-            let items: Vec<String> = terms.iter().map(|t| render_term(t, schema, a.dim)).collect();
+            let items: Vec<String> = terms
+                .iter()
+                .map(|t| render_term(t, schema, a.dim))
+                .collect();
             format!("{lhs} IN {{{}}}", items.join(", "))
         }
     };

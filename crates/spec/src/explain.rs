@@ -26,16 +26,16 @@ pub fn explain_action(a: &ActionSpec, schema: &Schema) -> String {
             .collect::<Vec<_>>()
             .join("; or "),
     };
-    let class = dnf
-        .iter()
-        .map(|c| classify_conj(schema, c))
-        .fold(GrowthClass::Growing, |acc, c| {
-            if c == GrowthClass::Shrinking {
-                GrowthClass::Shrinking
-            } else {
-                acc
-            }
-        });
+    let class =
+        dnf.iter()
+            .map(|c| classify_conj(schema, c))
+            .fold(GrowthClass::Growing, |acc, c| {
+                if c == GrowthClass::Shrinking {
+                    GrowthClass::Shrinking
+                } else {
+                    acc
+                }
+            });
     let class_note = match class {
         GrowthClass::Growing => "growing by itself",
         GrowthClass::Shrinking => {
@@ -104,12 +104,20 @@ fn explain_term(t: &Term, schema: &Schema, a: &Atom) -> String {
 
 /// Explains the provenance tag of a fact: which action (if any) is
 /// responsible for its current granularity.
-pub fn explain_origin(origin: u32, actions: &[(crate::ActionId, ActionSpec)], schema: &Schema) -> String {
+pub fn explain_origin(
+    origin: u32,
+    actions: &[(crate::ActionId, ActionSpec)],
+    schema: &Schema,
+) -> String {
     if origin == sdr_mdm::ORIGIN_USER {
         return "inserted by a user at bottom granularity".to_string();
     }
     match actions.iter().find(|(id, _)| id.0 == origin) {
-        Some((id, a)) => format!("aggregated by action a{} ({})", id.0, explain_action(a, schema)),
+        Some((id, a)) => format!(
+            "aggregated by action a{} ({})",
+            id.0,
+            explain_action(a, schema)
+        ),
         None => format!("aggregated by a since-deleted action (id {origin})"),
     }
 }

@@ -143,9 +143,7 @@ mod tests {
         // NOW on a non-time dimension.
         assert!(parse_action(&s, "a[Time.month, URL.domain] o[URL.domain = NOW](O)").is_err());
         // Ordered comparison on an enumerated dimension.
-        assert!(
-            parse_action(&s, "a[Time.month, URL.domain] o[URL.domain_grp < .com](O)").is_err()
-        );
+        assert!(parse_action(&s, "a[Time.month, URL.domain] o[URL.domain_grp < .com](O)").is_err());
         // Unknown value.
         assert!(parse_action(&s, "a[Time.month, URL.domain] o[URL.domain_grp = .org](O)").is_err());
         // Unterminated string.
@@ -187,9 +185,7 @@ mod tests {
         };
         let health = e.value(urlcat, "http://www.cnn.com/health").unwrap();
         let gatech = e.value(urlcat, "http://www.cc.gatech.edu/").unwrap();
-        let day = |y, m, d| {
-            DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code())
-        };
+        let day = |y, m, d| DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code());
         // 1999/12/4 × cnn.com/health: in 1999Q4 and .com → satisfied.
         assert!(eval_pred(&s, &a2.pred, &[day(1999, 12, 4), health], now).unwrap());
         // 2000/1/4 × cnn.com/health: 2000Q1 > 1999Q4 → not satisfied.
@@ -208,12 +204,8 @@ mod tests {
             unreachable!()
         };
         let urlcat = s.dim(DimId(1)).graph().by_name("url").unwrap();
-        let amazon = e
-            .value(urlcat, "http://www.amazon.com/exec/...")
-            .unwrap();
-        let day = |y, m, d| {
-            DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code())
-        };
+        let amazon = e.value(urlcat, "http://www.amazon.com/exec/...").unwrap();
+        let day = |y, m, d| DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code());
         assert!(eval_pred(&s, &a1.pred, &[day(1999, 11, 23), amazon], now).unwrap());
         assert!(eval_pred(&s, &a1.pred, &[day(2000, 4, 30), amazon], now).unwrap());
         assert!(!eval_pred(&s, &a1.pred, &[day(1999, 10, 31), amazon], now).unwrap());
@@ -270,9 +262,7 @@ mod tests {
             unreachable!()
         };
         let urlcat = s.dim(DimId(1)).graph().by_name("url").unwrap();
-        let day = |y, m, d| {
-            DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code())
-        };
+        let day = |y, m, d| DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code());
         for u in e.values(urlcat).collect::<Vec<_>>() {
             for d in [day(1999, 11, 1), day(2000, 1, 1), day(2000, 7, 1)] {
                 let orig = eval_pred(&s, &a.pred, &[d, u], now).unwrap();
@@ -410,9 +400,7 @@ mod tests {
         .unwrap();
         let now = days_from_civil(2000, 1, 1);
         let top = s.dim(DimId(1)).top_value();
-        let day = |y, m, d| {
-            DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code())
-        };
+        let day = |y, m, d| DimValue::new(tc::DAY, TimeValue::Day(days_from_civil(y, m, d)).code());
         assert!(eval_pred(&s, &a.pred, &[day(1999, 11, 23), top], now).unwrap());
         assert!(eval_pred(&s, &a.pred, &[day(1999, 12, 4), top], now).unwrap());
         assert!(!eval_pred(&s, &a.pred, &[day(1999, 12, 31), top], now).unwrap());
@@ -435,10 +423,7 @@ mod tests {
         let next = analyze::next_step_day(&s, &dnf[0], after, until)
             .unwrap()
             .unwrap();
-        assert_eq!(
-            sdr_mdm::calendar::civil_from_days(next),
-            (2000, 7, 1)
-        );
+        assert_eq!(sdr_mdm::calendar::civil_from_days(next), (2000, 7, 1));
         // Static predicates never step.
         let fixed =
             parse_action(&s, "a[Time.month, URL.domain] o[Time.month <= 1999/12](O)").unwrap();

@@ -172,11 +172,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, SpecError> {
-        let at = self
-            .toks
-            .get(self.pos)
-            .map(|t| t.1)
-            .unwrap_or(usize::MAX);
+        let at = self.toks.get(self.pos).map(|t| t.1).unwrap_or(usize::MAX);
         Err(SpecError::Parse {
             at,
             msg: msg.into(),
@@ -389,11 +385,7 @@ impl<'a> Parser<'a> {
                     },
                     negated: false,
                 },
-                _ => {
-                    return self.err(
-                        "each comparison must have Dim.category on exactly one side",
-                    )
-                }
+                _ => return self.err("each comparison must have Dim.category on exactly one side"),
             };
             // Ordered comparisons need an ordered domain: the time
             // dimension is ordered; enumerated categories support only
@@ -470,12 +462,10 @@ impl<'a> Parser<'a> {
             };
             self.pos += 1;
             let n: i32 = match self.next() {
-                Some(Tok::Word(w)) => w
-                    .parse()
-                    .map_err(|_| SpecError::Parse {
-                        at,
-                        msg: format!("expected a span count, found `{w}`"),
-                    })?,
+                Some(Tok::Word(w)) => w.parse().map_err(|_| SpecError::Parse {
+                    at,
+                    msg: format!("expected a span count, found `{w}`"),
+                })?,
                 other => return self.err(format!("expected a span count, found {other:?}")),
             };
             let unit = match self.next() {

@@ -135,9 +135,9 @@ pub fn import_csv(schema: Arc<Schema>, text: &str) -> Result<Mo, StorageError> {
             let d = DimId(i as u16);
             let dim = schema.dim(d);
             let bottom = dim.graph().bottom();
-            let v = dim.parse_value(bottom, cell).map_err(|e| {
-                StorageError::Corrupt(format!("line {}: {e}", lineno + 2))
-            })?;
+            let v = dim
+                .parse_value(bottom, cell)
+                .map_err(|e| StorageError::Corrupt(format!("line {}: {e}", lineno + 2)))?;
             coords.push(v);
         }
         let mut measures = Vec::with_capacity(n_measures);

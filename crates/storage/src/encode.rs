@@ -214,7 +214,9 @@ impl ColumnEnc {
                     return None;
                 }
                 Some(ColumnEnc::Rle(
-                    (0..n).map(|_| (buf.get_u64_le(), buf.get_u32_le())).collect(),
+                    (0..n)
+                        .map(|_| (buf.get_u64_le(), buf.get_u32_le()))
+                        .collect(),
                 ))
             }
             2 => {

@@ -97,11 +97,10 @@ mod tests {
         let (mo, _) = paper_mo();
         let schema = Arc::clone(mo.schema());
         assert!(FactTable::deserialize(Arc::clone(&schema), bytes::Bytes::new()).is_err());
-        assert!(FactTable::deserialize(
-            Arc::clone(&schema),
-            bytes::Bytes::from_static(&[0u8; 64])
-        )
-        .is_err());
+        assert!(
+            FactTable::deserialize(Arc::clone(&schema), bytes::Bytes::from_static(&[0u8; 64]))
+                .is_err()
+        );
         // Truncation of a valid stream.
         let mut t = FactTable::from_mo(&mo, 4).unwrap();
         let full = t.serialize();

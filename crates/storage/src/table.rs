@@ -79,7 +79,11 @@ impl SealedSegment {
     /// Encoded size in bytes.
     pub fn encoded_bytes(&self) -> usize {
         self.cat.iter().map(ColumnEnc::encoded_bytes).sum::<usize>()
-            + self.code.iter().map(ColumnEnc::encoded_bytes).sum::<usize>()
+            + self
+                .code
+                .iter()
+                .map(ColumnEnc::encoded_bytes)
+                .sum::<usize>()
             + self
                 .measures
                 .iter()
@@ -171,17 +175,25 @@ impl FactTable {
     }
 
     fn seal_open(&mut self) {
+        let span = sdr_obs::span("storage.encode");
         let open = std::mem::replace(
             &mut self.open,
             OpenSegment::new(self.schema.n_dims(), self.schema.n_measures()),
         );
-        self.sealed.push(SealedSegment {
+        let seg = SealedSegment {
             cat: open.cat.iter().map(|c| ColumnEnc::encode(c)).collect(),
             code: open.code.iter().map(|c| ColumnEnc::encode(c)).collect(),
             measures: open.measures.iter().map(|c| ColumnEnc::encode(c)).collect(),
             origin: ColumnEnc::encode(&open.origin),
             len: open.len,
-        });
+        };
+        drop(span);
+        if sdr_obs::enabled() {
+            sdr_obs::add("storage.rows_sealed", seg.len as u64);
+            sdr_obs::add("storage.encoded_bytes", seg.encoded_bytes() as u64);
+            sdr_obs::record("storage.segment_bytes", seg.encoded_bytes() as u64);
+        }
+        self.sealed.push(seg);
     }
 
     /// Scans every row in insertion order.
@@ -189,17 +201,18 @@ impl FactTable {
         let n_dims = self.schema.n_dims();
         let n_measures = self.schema.n_measures();
         let mut out = Vec::with_capacity(self.len());
-        let mut emit = |cat: &[Vec<u64>], code: &[Vec<u64>], ms: &[Vec<u64>], org: &[u64], len: usize| {
-            for r in 0..len {
-                out.push(FactRow {
-                    coords: (0..n_dims)
-                        .map(|i| DimValue::new(CatId(cat[i][r] as u8), code[i][r]))
-                        .collect(),
-                    measures: (0..n_measures).map(|j| ms[j][r] as i64).collect(),
-                    origin: org[r] as u32,
-                });
-            }
-        };
+        let mut emit =
+            |cat: &[Vec<u64>], code: &[Vec<u64>], ms: &[Vec<u64>], org: &[u64], len: usize| {
+                for r in 0..len {
+                    out.push(FactRow {
+                        coords: (0..n_dims)
+                            .map(|i| DimValue::new(CatId(cat[i][r] as u8), code[i][r]))
+                            .collect(),
+                        measures: (0..n_measures).map(|j| ms[j][r] as i64).collect(),
+                        origin: org[r] as u32,
+                    });
+                }
+            };
         for s in &self.sealed {
             let cat: Vec<Vec<u64>> = s.cat.iter().map(ColumnEnc::decode).collect();
             let code: Vec<Vec<u64>> = s.code.iter().map(ColumnEnc::decode).collect();
@@ -257,6 +270,7 @@ impl FactTable {
 
     /// Serializes the table (all segments sealed first) to a byte buffer.
     pub fn serialize(&mut self) -> Bytes {
+        let _span = sdr_obs::span("storage.serialize");
         self.seal();
         let mut buf = BytesMut::new();
         buf.put_u64_le(0x5344_5246_4143_5431); // magic "SDRFACT1"
@@ -270,7 +284,9 @@ impl FactTable {
             }
             s.origin.write(&mut buf);
         }
-        buf.freeze()
+        let out = buf.freeze();
+        sdr_obs::add("storage.serialized_bytes", out.len() as u64);
+        out
     }
 
     /// Persists the table (all segments sealed) to a file.

@@ -230,7 +230,12 @@ mod tests {
         let sdr_mdm::Dimension::Enum(e) = mo.schema().dim(sdr_mdm::DimId(1)) else {
             unreachable!()
         };
-        let urlcat = mo.schema().dim(sdr_mdm::DimId(1)).graph().by_name("url").unwrap();
+        let urlcat = mo
+            .schema()
+            .dim(sdr_mdm::DimId(1))
+            .graph()
+            .by_name("url")
+            .unwrap();
         let u = e.value(urlcat, "http://www.cnn.com/").unwrap();
         let d = sdr_mdm::DimValue::new(
             tc::DAY,

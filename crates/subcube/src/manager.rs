@@ -149,16 +149,22 @@ impl SubcubeManager {
                 sdr_mdm::MdmError::SchemaMismatch("bulk load schema".into()),
             )));
         }
+        let _span = sdr_obs::span("subcube.bulk_load");
         let mut bottom = self.cubes[0].data.write();
         bottom.absorb(facts).map_err(ReduceError::Model)?;
         drop(bottom);
         self.dirty = true;
+        sdr_obs::add("subcube.bulk_load.facts", facts.len() as u64);
         Ok(facts.len())
     }
 
     /// The home cube of a cell at time `now`: the cube of the responsible
     /// action's granularity, or the bottom cube.
-    pub fn home_cube(&self, coords: &[DimValue], now: DayNum) -> Result<(CubeId, Vec<DimValue>), SubcubeError> {
+    pub fn home_cube(
+        &self,
+        coords: &[DimValue],
+        now: DayNum,
+    ) -> Result<(CubeId, Vec<DimValue>), SubcubeError> {
         let c = cell_for(&self.spec, coords, now)?;
         let grain = Granularity(c.coords.iter().map(|v| v.cat).collect());
         let id = self
@@ -219,13 +225,17 @@ impl SubcubeManager {
     /// [`needs_sync`](SubcubeManager::needs_sync) pre-check skips the scan
     /// entirely when nothing can have changed.
     pub fn sync(&mut self, now: DayNum) -> Result<SyncStats, SubcubeError> {
+        let _span = sdr_obs::span("subcube.sync");
         if !self.needs_sync(now)? {
             self.last_sync = Some(now);
+            sdr_obs::inc("subcube.sync.skipped");
             return Ok(SyncStats {
                 kept: self.len(),
                 ..SyncStats::default()
             });
         }
+        let obs_on = sdr_obs::enabled();
+        let scan_span = sdr_obs::span("subcube.sync.scan");
         let n = self.cubes.len();
         let schema = Arc::clone(&self.schema);
         // Collect per-cube rebuilt groups.
@@ -233,6 +243,8 @@ impl SubcubeManager {
         let mut groups: Vec<std::collections::BTreeMap<Key, (Vec<i64>, u32)>> =
             (0..n).map(|_| std::collections::BTreeMap::new()).collect();
         let mut stats = SyncStats::default();
+        // Per-source-cube migration counts, published once after the scan.
+        let mut migrated_from = vec![0u64; n];
         for (ci, cube) in self.cubes.iter().enumerate() {
             let mo = cube.data.read();
             for f in mo.facts() {
@@ -242,6 +254,7 @@ impl SubcubeManager {
                     stats.kept += 1;
                 } else {
                     stats.migrated += 1;
+                    migrated_from[ci] += 1;
                 }
                 let origin = {
                     let cell = cell_for(&self.spec, &coords, now)?;
@@ -266,6 +279,8 @@ impl SubcubeManager {
                 }
             }
         }
+        drop(scan_span);
+        let rebuild_span = sdr_obs::span("subcube.sync.rebuild");
         let before = self.len();
         for (ci, g) in groups.into_iter().enumerate() {
             let mut mo = Mo::new(Arc::clone(&schema));
@@ -278,6 +293,26 @@ impl SubcubeManager {
         stats.merged = before.saturating_sub(self.len());
         self.last_sync = Some(now);
         self.dirty = false;
+        drop(rebuild_span);
+        if obs_on {
+            // Same locals returned to the caller — the metrics cannot
+            // disagree with `SyncStats` (asserted by the integration suite).
+            sdr_obs::add("subcube.sync.kept", stats.kept as u64);
+            sdr_obs::add("subcube.sync.migrated", stats.migrated as u64);
+            sdr_obs::add("subcube.sync.merged", stats.merged as u64);
+            for (ci, &m) in migrated_from.iter().enumerate() {
+                if m > 0 {
+                    sdr_obs::add(&format!("subcube.sync.migrated_from.K{ci}"), m);
+                }
+            }
+            sdr_obs::event(
+                "subcube.sync",
+                format!(
+                    "day={now} kept={} migrated={} merged={}",
+                    stats.kept, stats.migrated, stats.merged
+                ),
+            );
+        }
         Ok(stats)
     }
 
@@ -338,8 +373,10 @@ impl SubcubeManager {
         let mut s = String::new();
         for (i, c) in self.cubes.iter().enumerate() {
             let acts: Vec<String> = c.actions.iter().map(|a| format!("a{}", a.0)).collect();
-            let parents: Vec<String> =
-                self.parents[i].iter().map(|p| format!("K{}", p.0)).collect();
+            let parents: Vec<String> = self.parents[i]
+                .iter()
+                .map(|p| format!("K{}", p.0))
+                .collect();
             s.push_str(&format!(
                 "K{i} {} actions=[{}] parents=[{}] rows={}\n",
                 self.schema.render_granularity(&c.grain),

@@ -39,12 +39,7 @@ pub struct CubeQuery {
 impl SubcubeManager {
     /// Evaluates `q` assuming synchronized cubes, with one worker per cube
     /// (crossbeam scoped threads) when `parallel`.
-    pub fn query(
-        &self,
-        q: &CubeQuery,
-        now: DayNum,
-        parallel: bool,
-    ) -> Result<Mo, SubcubeError> {
+    pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
         let subresults = self.eval_per_cube(q, now, parallel, false)?;
         self.combine(q, subresults)
     }
@@ -69,6 +64,7 @@ impl SubcubeManager {
         parallel: bool,
         unsync: bool,
     ) -> Result<Vec<Mo>, SubcubeError> {
+        let _span = sdr_obs::span("subcube.query");
         let n = self.cubes().len();
         let run = |input: &Mo| -> Result<Mo, SubcubeError> {
             let selected = match &q.pred {
@@ -78,6 +74,9 @@ impl SubcubeManager {
             Ok(aggregate_ids(&selected, &q.levels, q.approach)?)
         };
         let eval_one = |i: usize| -> Result<Mo, SubcubeError> {
+            // Fan-out latency: one sample per sub-query, so the span's
+            // p50/p99 spread exposes cube-size skew across workers.
+            let _sub = sdr_obs::span("subcube.query.subquery");
             if unsync {
                 let input = self.cube_view_unsync(CubeId(i), now)?;
                 run(&input)
@@ -90,6 +89,7 @@ impl SubcubeManager {
         if !parallel || n <= 1 {
             return (0..n).map(eval_one).collect();
         }
+        sdr_obs::add("subcube.query.fanout", n as u64);
         // One worker per cube; results streamed back over a channel so the
         // combination step can start as soon as everything arrived.
         let (tx, rx) = crossbeam::channel::bounded::<(usize, Result<Mo, SubcubeError>)>(n);
@@ -108,7 +108,10 @@ impl SubcubeManager {
         for (i, r) in rx.iter() {
             results[i] = Some(r?);
         }
-        Ok(results.into_iter().map(|r| r.expect("worker sent")).collect())
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("worker sent"))
+            .collect())
     }
 
     /// The consistent content of one cube in the un-synchronized state:
@@ -137,12 +140,8 @@ impl SubcubeManager {
                 let coords = mo.coords(f);
                 let (home, target) = self.home_cube(&coords, now)?;
                 if home == id {
-                    view.insert_fact_at(
-                        &target,
-                        &mo.measures_of(f),
-                        mo.store().origin[f.index()],
-                    )
-                    .map_err(sdr_reduce::ReduceError::Model)?;
+                    view.insert_fact_at(&target, &mo.measures_of(f), mo.store().origin[f.index()])
+                        .map_err(sdr_reduce::ReduceError::Model)?;
                 }
             }
         }
@@ -157,9 +156,7 @@ impl SubcubeManager {
     fn combine(&self, q: &CubeQuery, subresults: Vec<Mo>) -> Result<Mo, SubcubeError> {
         let mut union = Mo::new(std::sync::Arc::clone(self.schema()));
         for s in &subresults {
-            union
-                .absorb(s)
-                .map_err(sdr_reduce::ReduceError::Model)?;
+            union.absorb(s).map_err(sdr_reduce::ReduceError::Model)?;
         }
         Ok(aggregate_ids(&union, &q.levels, q.approach)?)
     }

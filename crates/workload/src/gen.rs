@@ -234,9 +234,15 @@ pub fn prover_heavy_policy(n_grps: usize) -> Vec<String> {
     for gi in 0..n_grps {
         let grp = grp_name(gi);
         let (grain, window) = if gi % 2 == 0 {
-            ("Time.quarter, URL.domain", "Time.quarter <= NOW - 8 quarters")
+            (
+                "Time.quarter, URL.domain",
+                "Time.quarter <= NOW - 8 quarters",
+            )
         } else {
-            ("Time.month, URL.domain_grp", "Time.month <= NOW - 24 months")
+            (
+                "Time.month, URL.domain_grp",
+                "Time.month <= NOW - 24 months",
+            )
         };
         out.push(format!(
             "p(a[{grain}] o[URL.domain_grp = {grp} AND {window}](O))"
@@ -252,7 +258,10 @@ pub fn tiered_policy(n_grps: usize, n_tiers: usize) -> Vec<String> {
     assert!(n_tiers <= 3, "hierarchy supports three aggregation tiers");
     let tiers = [
         ("Time.month, URL.domain", "Time.month <= NOW - 6 months"),
-        ("Time.quarter, URL.domain", "Time.quarter <= NOW - 8 quarters"),
+        (
+            "Time.quarter, URL.domain",
+            "Time.quarter <= NOW - 8 quarters",
+        ),
         ("Time.year, URL.domain_grp", "Time.year <= NOW - 4 years"),
     ];
     let mut out = Vec::new();

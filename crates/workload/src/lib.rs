@@ -16,8 +16,8 @@ pub mod retail;
 pub mod sessions;
 
 pub use gen::{
-    generate, prover_heavy_policy, retention_policy, tiered_policy, Clickstream,
-    ClickstreamConfig, SimClock, UrlCatIds,
+    generate, prover_heavy_policy, retention_policy, tiered_policy, Clickstream, ClickstreamConfig,
+    SimClock, UrlCatIds,
 };
 pub use paper::{paper_mo, paper_schema, snapshot_days, UrlCats, ACTION_A1, ACTION_A2};
 pub use retail::{generate_retail, retail_policy, Retail, RetailCats, RetailConfig};
@@ -66,7 +66,11 @@ mod tests {
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.mo.len(), b.mo.len());
-        assert!(a.mo.len() >= 31 * 15 && a.mo.len() <= 31 * 25, "{}", a.mo.len());
+        assert!(
+            a.mo.len() >= 31 * 15 && a.mo.len() <= 31 * 25,
+            "{}",
+            a.mo.len()
+        );
         // Same facts in the same order.
         for f in a.mo.facts().take(50) {
             assert_eq!(a.mo.coords(f), b.mo.coords(f));

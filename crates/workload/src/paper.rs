@@ -96,18 +96,87 @@ pub fn paper_mo() -> (Mo, UrlCats) {
     let Dimension::Enum(e) = schema.dim(DimId(1)) else {
         unreachable!("URL is enumerated")
     };
-    let day = |y, m, d| DimValue::new(time_cat::DAY, TimeValue::Day(days_from_civil(y, m, d)).code());
+    let day = |y, m, d| {
+        DimValue::new(
+            time_cat::DAY,
+            TimeValue::Day(days_from_civil(y, m, d)).code(),
+        )
+    };
     let url = |s: &str| e.value(cats.url, s).unwrap();
     // (fact, day, url, number_of, dwell, delivery, datasize-in-bytes)
-    type Row = (&'static str, (i32, u32, u32), &'static str, i64, i64, i64, i64);
+    type Row = (
+        &'static str,
+        (i32, u32, u32),
+        &'static str,
+        i64,
+        i64,
+        i64,
+        i64,
+    );
     let rows: [Row; 7] = [
-        ("fact_0", (1999, 11, 23), "http://www.amazon.com/exec/...", 1, 677, 2, 34_000),
-        ("fact_1", (1999, 12, 4), "http://www.cnn.com/health", 1, 2335, 5, 52_000),
-        ("fact_2", (1999, 12, 4), "http://www.cnn.com/", 1, 154, 2, 42_000),
-        ("fact_3", (1999, 12, 31), "http://www.amazon.com/exec/...", 1, 12, 1, 34_000),
-        ("fact_4", (2000, 1, 4), "http://www.cnn.com/", 1, 654, 4, 47_000),
-        ("fact_5", (2000, 1, 4), "http://www.cnn.com/health", 1, 301, 6, 52_000),
-        ("fact_6", (2000, 1, 20), "http://www.cc.gatech.edu/", 1, 32, 1, 12_000),
+        (
+            "fact_0",
+            (1999, 11, 23),
+            "http://www.amazon.com/exec/...",
+            1,
+            677,
+            2,
+            34_000,
+        ),
+        (
+            "fact_1",
+            (1999, 12, 4),
+            "http://www.cnn.com/health",
+            1,
+            2335,
+            5,
+            52_000,
+        ),
+        (
+            "fact_2",
+            (1999, 12, 4),
+            "http://www.cnn.com/",
+            1,
+            154,
+            2,
+            42_000,
+        ),
+        (
+            "fact_3",
+            (1999, 12, 31),
+            "http://www.amazon.com/exec/...",
+            1,
+            12,
+            1,
+            34_000,
+        ),
+        (
+            "fact_4",
+            (2000, 1, 4),
+            "http://www.cnn.com/",
+            1,
+            654,
+            4,
+            47_000,
+        ),
+        (
+            "fact_5",
+            (2000, 1, 4),
+            "http://www.cnn.com/health",
+            1,
+            301,
+            6,
+            52_000,
+        ),
+        (
+            "fact_6",
+            (2000, 1, 20),
+            "http://www.cc.gatech.edu/",
+            1,
+            32,
+            1,
+            12_000,
+        ),
     ];
     for (_, d, u, n, dw, de, sz) in rows {
         mo.insert_fact(&[day(d.0, d.1, d.2), url(u)], &[n, dw, de, sz])

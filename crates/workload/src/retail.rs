@@ -122,7 +122,9 @@ pub fn generate_retail(cfg: &RetailConfig) -> Retail {
                 .unwrap();
             for s in 0..cfg.skus_per_brand {
                 let sku = format!("sku-{c}-{b}-{s}");
-                let id = pb.add_value(cats.sku, &sku, &[(cats.brand, &brand)]).unwrap();
+                let id = pb
+                    .add_value(cats.sku, &sku, &[(cats.brand, &brand)])
+                    .unwrap();
                 skus.push(DimValue::new(cats.sku, id as u64));
             }
         }
@@ -192,7 +194,6 @@ pub fn retail_policy() -> Vec<String> {
         "p(a[Time.quarter, Product.brand, Store.region] o[NOW - 16 quarters < Time.quarter AND \
          Time.quarter <= NOW - 8 quarters](O))"
             .to_string(),
-        "p(a[Time.year, Product.category, Store.T] o[Time.year <= NOW - 4 years](O))"
-            .to_string(),
+        "p(a[Time.year, Product.category, Store.T] o[Time.year <= NOW - 4 years](O))".to_string(),
     ]
 }

@@ -50,7 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (kept, removed) = reduce_and_purge(&cs.mo, &spec, &purge, now)?;
         let dwell: i64 = kept.facts().map(|f| kept.measure(f, MeasureId(1))).sum();
         let (y, m, _) = civil_from_days(now);
-        println!("{:>7}/{:<2} {:>9} {:>9} {:>14}", y, m, kept.len(), removed, dwell);
+        println!(
+            "{:>7}/{:<2} {:>9} {:>9} {:>14}",
+            y,
+            m,
+            kept.len(),
+            removed,
+            dwell
+        );
         if k == 4 {
             mid_life = Some(kept); // 2005: partially purged, still populated
         }
@@ -77,8 +84,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the old data only exists at quarter level — the disaggregated
     // approach spreads it back down, conserving totals exactly.
     let uniform = aggregate(&no_url, &["Time.month"], AggApproach::Disaggregated)?;
-    let dwell_before: i64 = no_url.facts().map(|f| no_url.measure(f, MeasureId(1))).sum();
-    let dwell_after: i64 = uniform.facts().map(|f| uniform.measure(f, MeasureId(1))).sum();
+    let dwell_before: i64 = no_url
+        .facts()
+        .map(|f| no_url.measure(f, MeasureId(1)))
+        .sum();
+    let dwell_after: i64 = uniform
+        .facts()
+        .map(|f| uniform.measure(f, MeasureId(1)))
+        .sum();
     println!(
         "disaggregated α[Time.month]: {} uniform month rows; dwell conserved: {}",
         uniform.len(),

@@ -48,10 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let now = days_from_civil(2000, 11, 5);
     let red = reduce(&mo, &spec, now)?;
     let proj = project(&red, &["URL"], &["Number_of", "Dwell_time"])?;
-    dump("Figure 4 — π[URL][Number_of, Dwell_time] at 2000/11/5", &proj);
+    dump(
+        "Figure 4 — π[URL][Number_of, Dwell_time] at 2000/11/5",
+        &proj,
+    );
 
     // Figure 5: aggregate formation with the availability approach.
-    let agg = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Availability)?;
+    let agg = aggregate(
+        &red,
+        &["Time.month", "URL.domain"],
+        AggApproach::Availability,
+    )?;
     dump("Figure 5 — α[Time.month, URL.domain] at 2000/11/5", &agg);
 
     Ok(())

@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "p(a[Time.year, Product.category] o[Time.year <= NOW - 3 years](O))",
     )?;
     let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2])?;
-    println!("\nreduction specification (NonCrossing ✓, Growing ✓):\n{}", spec.render());
+    println!(
+        "\nreduction specification (NonCrossing ✓, Growing ✓):\n{}",
+        spec.render()
+    );
 
     // 4. Reduce at two points in time and watch the warehouse shrink.
     for (y, m, d) in [(2024, 1, 15), (2026, 6, 1)] {
@@ -83,7 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             mo.len() as f64 / red.len() as f64
         );
         // 5. Query the reduced object: revenue per category and year.
-        let per_year = aggregate(&red, &["Time.year", "Product.category"], AggApproach::Availability)?;
+        let per_year = aggregate(
+            &red,
+            &["Time.year", "Product.category"],
+            AggApproach::Availability,
+        )?;
         let mut rows: Vec<String> = per_year.facts().map(|f| per_year.render_fact(f)).collect();
         rows.sort();
         println!("  revenue by (year, category), first 6 rows:");
@@ -94,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         //    the year level only *partially* overlap "month ≤ 2020/6", so
         //    the conservative approach (the paper's default) excludes them
         //    while the liberal approach keeps the maybes.
-        let p = parse_pexp(&schema, "Time.month <= 2020/6 AND Product.category = coffee")?;
+        let p = parse_pexp(
+            &schema,
+            "Time.month <= 2020/6 AND Product.category = coffee",
+        )?;
         let cons = select(&red, &p, now, SelectMode::Conservative)?;
         let lib = select(&red, &p, now, SelectMode::Liberal)?;
         println!(

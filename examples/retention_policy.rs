@@ -42,11 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         raw.rows, raw.raw_bytes, raw.encoded_bytes
     );
 
-    let total_dwell: i64 = cs
-        .mo
-        .facts()
-        .map(|f| cs.mo.measure(f, MeasureId(1)))
-        .sum();
+    let total_dwell: i64 = cs.mo.facts().map(|f| cs.mo.measure(f, MeasureId(1))).sum();
 
     println!(
         "\n{:>10} {:>10} {:>13} {:>13} {:>9}  {:>10}",

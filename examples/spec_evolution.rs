@@ -67,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     spec3.insert(vec![a8])?;
     println!("   after inserting the fixed a8 (month ≤ 1999/12):");
     spec3.delete(&[ActionId(0)], &reduced, now)?;
-    println!("   a7 deleted; remaining specification:\n{}", spec3.render());
+    println!(
+        "   a7 deleted; remaining specification:\n{}",
+        spec3.render()
+    );
 
     Ok(())
 }

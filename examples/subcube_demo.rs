@@ -55,7 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         approach: AggApproach::Availability,
     };
     let r = m.query(&q, now, true)?;
-    println!("\nFigure 8 — Q = α[month, domain_grp](σ[1999/6 < month ≤ 2000/5]) over synced cubes:");
+    println!(
+        "\nFigure 8 — Q = α[month, domain_grp](σ[1999/6 < month ≤ 2000/5]) over synced cubes:"
+    );
     let mut rows: Vec<String> = r.facts().map(|f| r.render_fact(f)).collect();
     rows.sort();
     for row in rows {

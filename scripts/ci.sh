@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local CI gate. Run from the repo root: ./scripts/ci.sh
+# Mirrors what a hosted pipeline would run; everything works offline
+# (all third-party deps are vendored path crates).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run() {
+  echo "==> $*"
+  "$@"
+}
+
+run cargo build --release
+run cargo test -q
+run cargo test -q --workspace
+run cargo fmt --check
+run cargo clippy --workspace -- -D warnings
+
+echo "==> CI green"

@@ -21,7 +21,16 @@
 //!     Generate + reduce a synthetic warehouse and run a query against it
 //!     (e.g. --where "URL.domain_grp = .com" --roll-up Time.quarter,URL.domain
 //!     --mode liberal).
+//!
+//! specdr stats [--months N] [--clicks K] [--format json|table]
+//!     Run the full pipeline (generate → reduce → subcube load/sync/query
+//!     → storage) with metric recording on and print the snapshot.
 //! ```
+//!
+//! `demo`, `simulate`, and `query` also accept `--metrics[=json|table]`,
+//! which enables the `sdr-obs` registry for the run and prints the metric
+//! snapshot after the normal output (JSON-lines with `--metrics=json`).
+//! Unknown flags are rejected with a non-zero exit.
 //!
 //! All data is synthetic/deterministic; the CLI exists to exercise every
 //! public API from the outside, exactly like a downstream user would.
@@ -35,6 +44,7 @@ use specdr::query::{AggApproach, Query, SelectMode};
 use specdr::reduce::{reduce, DataReductionSpec};
 use specdr::spec::{explain_action, parse_actions, parse_pexp};
 use specdr::storage::FactTable;
+use specdr::subcube::{CubeQuery, SubcubeManager};
 use specdr::workload::{
     generate, generate_sessions, paper_mo, retention_policy, snapshot_days, ClickstreamConfig,
     SessionConfig, ACTION_A1, ACTION_A2,
@@ -44,17 +54,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let rest = &args[1.min(args.len())..];
-    let result = match cmd {
-        "demo" => cmd_demo(),
-        "explain" => cmd_explain(rest),
-        "simulate" => cmd_simulate(rest),
-        "query" => cmd_query(rest),
-        "help" | "--help" | "-h" => {
-            print!("{}", USAGE);
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`; try `specdr help`").into()),
-    };
+    let result = run_command(cmd, rest);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -64,26 +64,230 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: specdr <demo|explain|simulate|query|help> [options]\n\
+fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
+    match cmd {
+        "demo" => {
+            let opts = Opts::parse(rest, "demo", &[], &[("--metrics", ArgKind::OptValue)])?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_demo()?;
+            metrics.emit();
+            Ok(())
+        }
+        "explain" => {
+            let opts = Opts::parse(rest, "explain", &["--spec-file"], &[])?;
+            cmd_explain(&opts)
+        }
+        "simulate" => {
+            let opts = Opts::parse(
+                rest,
+                "simulate",
+                &["--months", "--clicks", "--raw-months", "--month-months"],
+                &[
+                    ("--sessions", ArgKind::Bool),
+                    ("--metrics", ArgKind::OptValue),
+                ],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_simulate(&opts)?;
+            metrics.emit();
+            Ok(())
+        }
+        "query" => {
+            let opts = Opts::parse(
+                rest,
+                "query",
+                &[
+                    "--where",
+                    "--roll-up",
+                    "--mode",
+                    "--months",
+                    "--clicks",
+                    "--now",
+                ],
+                &[("--metrics", ArgKind::OptValue)],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_query(&opts)?;
+            metrics.emit();
+            Ok(())
+        }
+        "stats" => {
+            let opts = Opts::parse(rest, "stats", &["--months", "--clicks", "--format"], &[])?;
+            cmd_stats(&opts)
+        }
+        "help" | "--help" | "-h" => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`; try `specdr help`").into()),
+    }
+}
+
+const USAGE: &str = "usage: specdr <demo|explain|simulate|query|stats|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
   simulate [--months N] [--clicks K] [--raw-months A] [--month-months B] [--sessions]\n\
                               storage-gain simulation under a retention policy\n\
   query --where PRED [--roll-up LEVELS] [--mode conservative|liberal|weighted:T]\n\
-        [--months N] [--clicks K] [--now Y/M/D]\n";
+        [--months N] [--clicks K] [--now Y/M/D]\n\
+  stats [--months N] [--clicks K] [--format json|table]\n\
+                              run the pipeline with metrics on, print the snapshot\n\
+  demo/simulate/query also take --metrics[=json|table]\n";
 
 type AnyError = Box<dyn std::error::Error>;
 
-/// Fetches the value of `--flag` from an option list.
-fn opt<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
-    rest.iter()
-        .position(|a| a == flag)
-        .and_then(|i| rest.get(i + 1))
-        .map(String::as_str)
+/// How a flag consumes arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ArgKind {
+    /// Boolean switch: `--sessions`.
+    Bool,
+    /// Optional inline value: `--metrics` or `--metrics=json` (never
+    /// consumes the next argument).
+    OptValue,
 }
 
-fn flag(rest: &[String], name: &str) -> bool {
-    rest.iter().any(|a| a == name)
+/// Parsed command-line options with strict validation: anything not in
+/// the command's declared flag set is an error (exit code ≠ 0) with a
+/// usage hint, instead of being silently ignored.
+struct Opts {
+    /// `--flag VALUE` / `--flag=VALUE` pairs.
+    values: Vec<(String, String)>,
+    /// Present boolean / optional-value switches (value empty for bare
+    /// `--metrics`).
+    switches: Vec<(String, Option<String>)>,
+}
+
+impl Opts {
+    fn parse(
+        rest: &[String],
+        cmd: &str,
+        value_flags: &[&str],
+        switch_flags: &[(&str, ArgKind)],
+    ) -> Result<Opts, AnyError> {
+        let mut out = Opts {
+            values: Vec::new(),
+            switches: Vec::new(),
+        };
+        let mut i = 0;
+        while i < rest.len() {
+            let arg = &rest[i];
+            if !arg.starts_with("--") {
+                return Err(format!(
+                    "unexpected argument `{arg}` for `specdr {cmd}`; try `specdr help`"
+                )
+                .into());
+            }
+            let (name, inline) = match arg.split_once('=') {
+                Some((n, v)) => (n, Some(v)),
+                None => (arg.as_str(), None),
+            };
+            if value_flags.contains(&name) {
+                let value = match inline {
+                    Some(v) => v.to_string(),
+                    None => {
+                        i += 1;
+                        rest.get(i)
+                            .ok_or_else(|| format!("flag `{name}` expects a value"))?
+                            .clone()
+                    }
+                };
+                out.values.push((name.to_string(), value));
+            } else if let Some((_, kind)) = switch_flags.iter().find(|(n, _)| *n == name) {
+                match (kind, inline) {
+                    (ArgKind::Bool, Some(_)) => {
+                        return Err(format!("flag `{name}` takes no value").into());
+                    }
+                    (ArgKind::Bool, None) => out.switches.push((name.to_string(), None)),
+                    (ArgKind::OptValue, v) => {
+                        out.switches.push((name.to_string(), v.map(str::to_string)))
+                    }
+                }
+            } else {
+                return Err(
+                    format!("unknown flag `{name}` for `specdr {cmd}`; try `specdr help`").into(),
+                );
+            }
+            i += 1;
+        }
+        Ok(out)
+    }
+
+    /// The value of `--flag`, if given.
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(n, _)| n == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the switch is present.
+    fn switch(&self, flag: &str) -> bool {
+        self.switches.iter().any(|(n, _)| n == flag)
+    }
+
+    /// `Some(inline-value-or-None)` when the optional-value switch is
+    /// present.
+    fn opt_switch(&self, flag: &str) -> Option<Option<&str>> {
+        self.switches
+            .iter()
+            .find(|(n, _)| n == flag)
+            .map(|(_, v)| v.as_deref())
+    }
+}
+
+/// Snapshot output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    Json,
+    Table,
+}
+
+impl MetricsFormat {
+    fn parse(s: &str) -> Result<MetricsFormat, AnyError> {
+        match s {
+            "json" => Ok(MetricsFormat::Json),
+            "table" => Ok(MetricsFormat::Table),
+            other => Err(format!("unknown metrics format `{other}` (json|table)").into()),
+        }
+    }
+}
+
+/// Handles `--metrics[=json|table]`: enables the global registry for the
+/// run when requested and prints the snapshot afterwards.
+struct MetricsOut {
+    format: Option<MetricsFormat>,
+}
+
+impl MetricsOut {
+    fn from_opts(opts: &Opts) -> Result<MetricsOut, AnyError> {
+        let format = match opts.opt_switch("--metrics") {
+            None => None,
+            Some(None) => Some(MetricsFormat::Table),
+            Some(Some(v)) => Some(MetricsFormat::parse(v)?),
+        };
+        if format.is_some() {
+            specdr::obs::set_enabled(true);
+            specdr::obs::reset();
+        }
+        Ok(MetricsOut { format })
+    }
+
+    fn emit(&self) {
+        if let Some(format) = self.format {
+            print_snapshot(format);
+        }
+    }
+}
+
+fn print_snapshot(format: MetricsFormat) {
+    let snap = specdr::obs::snapshot();
+    match format {
+        MetricsFormat::Json => print!("{}", snap.to_jsonl()),
+        MetricsFormat::Table => {
+            println!("\nmetrics:");
+            print!("{}", snap.to_table());
+        }
+    }
 }
 
 fn parse_date(s: &str) -> Result<i32, AnyError> {
@@ -127,17 +331,20 @@ fn cmd_demo() -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_explain(rest: &[String]) -> Result<(), AnyError> {
+fn cmd_explain(opts: &Opts) -> Result<(), AnyError> {
     let cs = generate(&ClickstreamConfig {
         clicks_per_day: 0,
         ..Default::default()
     });
-    let src = match opt(rest, "--spec-file") {
+    let src = match opts.value("--spec-file") {
         Some(path) => std::fs::read_to_string(path)?,
         None => retention_policy(6, 36).join(";\n"),
     };
     let actions = parse_actions(&cs.schema, &src)?;
-    println!("{} action(s) parsed against the click-stream schema:\n", actions.len());
+    println!(
+        "{} action(s) parsed against the click-stream schema:\n",
+        actions.len()
+    );
     for (i, a) in actions.iter().enumerate() {
         println!("  a{i} {}", explain_action(a, &cs.schema));
     }
@@ -151,11 +358,11 @@ fn cmd_explain(rest: &[String]) -> Result<(), AnyError> {
     Ok(())
 }
 
-fn cmd_simulate(rest: &[String]) -> Result<(), AnyError> {
-    let months: u32 = opt(rest, "--months").unwrap_or("24").parse()?;
-    let clicks: usize = opt(rest, "--clicks").unwrap_or("200").parse()?;
-    let raw_months: u32 = opt(rest, "--raw-months").unwrap_or("6").parse()?;
-    let month_months: u32 = opt(rest, "--month-months").unwrap_or("36").parse()?;
+fn cmd_simulate(opts: &Opts) -> Result<(), AnyError> {
+    let months: u32 = opts.value("--months").unwrap_or("24").parse()?;
+    let clicks: usize = opts.value("--clicks").unwrap_or("200").parse()?;
+    let raw_months: u32 = opts.value("--raw-months").unwrap_or("6").parse()?;
+    let month_months: u32 = opts.value("--month-months").unwrap_or("36").parse()?;
     let end_total = 12 * 1999 + months as i32 - 1;
     let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
     let base = ClickstreamConfig {
@@ -164,7 +371,7 @@ fn cmd_simulate(rest: &[String]) -> Result<(), AnyError> {
         end: (ey, em, 28),
         ..Default::default()
     };
-    let cs = if flag(rest, "--sessions") {
+    let cs = if opts.switch("--sessions") {
         generate_sessions(&SessionConfig {
             base: ClickstreamConfig {
                 clicks_per_day: 0,
@@ -206,12 +413,44 @@ fn cmd_simulate(rest: &[String]) -> Result<(), AnyError> {
         );
         now = specdr::mdm::time::shift_day(now, Span::new(6, TimeUnit::Month), 1);
     }
+
+    // Exercise the physical layer too (Section 7): load the stream into
+    // the subcube warehouse, synchronize to the final NOW, and answer one
+    // representative roll-up in parallel — so a `--metrics` run shows
+    // reduce, subcube, query, and storage numbers side by side.
+    let mut mgr = SubcubeManager::new(spec);
+    mgr.bulk_load(&cs.mo)?;
+    let stats = mgr.sync(now)?;
+    println!(
+        "\nsubcube sync at final NOW: kept={} migrated={} merged={} across {} cubes",
+        stats.kept,
+        stats.migrated,
+        stats.merged,
+        mgr.cubes().len()
+    );
+    let (tdim, month) = cs.schema.resolve_cat("Time.month")?;
+    let mut levels = cs.schema.bottom_granularity().0;
+    levels[tdim.index()] = month;
+    let answer = mgr.query(
+        &CubeQuery {
+            pred: None,
+            mode: SelectMode::Conservative,
+            levels,
+            approach: AggApproach::Availability,
+        },
+        now,
+        true,
+    )?;
+    println!(
+        "parallel monthly roll-up over the warehouse: {} result cells",
+        answer.len()
+    );
     Ok(())
 }
 
-fn cmd_query(rest: &[String]) -> Result<(), AnyError> {
-    let months: u32 = opt(rest, "--months").unwrap_or("24").parse()?;
-    let clicks: usize = opt(rest, "--clicks").unwrap_or("100").parse()?;
+fn cmd_query(opts: &Opts) -> Result<(), AnyError> {
+    let months: u32 = opts.value("--months").unwrap_or("24").parse()?;
+    let clicks: usize = opts.value("--clicks").unwrap_or("100").parse()?;
     let end_total = 12 * 1999 + months as i32 - 1;
     let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
     let cs = generate(&ClickstreamConfig {
@@ -220,7 +459,7 @@ fn cmd_query(rest: &[String]) -> Result<(), AnyError> {
         end: (ey, em, 28),
         ..Default::default()
     });
-    let now = match opt(rest, "--now") {
+    let now = match opts.value("--now") {
         Some(s) => parse_date(s)?,
         None => days_from_civil(ey + 2, em, 28),
     };
@@ -241,10 +480,10 @@ fn cmd_query(rest: &[String]) -> Result<(), AnyError> {
     );
 
     let mut q = Query::new();
-    if let Some(w) = opt(rest, "--where") {
+    if let Some(w) = opts.value("--where") {
         q = q.filter(parse_pexp(&cs.schema, w)?);
     }
-    if let Some(mode) = opt(rest, "--mode") {
+    if let Some(mode) = opts.value("--mode") {
         q = q.mode(match mode {
             "conservative" => SelectMode::Conservative,
             "liberal" => SelectMode::Liberal,
@@ -254,7 +493,7 @@ fn cmd_query(rest: &[String]) -> Result<(), AnyError> {
             other => return Err(format!("unknown mode `{other}`").into()),
         });
     }
-    if let Some(levels) = opt(rest, "--roll-up") {
+    if let Some(levels) = opts.value("--roll-up") {
         let ls: Vec<&str> = levels.split(',').map(str::trim).collect();
         q = q.roll_up(&ls).approach(AggApproach::Availability);
     }
@@ -265,5 +504,59 @@ fn cmd_query(rest: &[String]) -> Result<(), AnyError> {
         .map(|f| result.measure(f, MeasureId(0)))
         .sum();
     println!("{} rows, total Number_of = {total}", result.len());
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), AnyError> {
+    let months: u32 = opts.value("--months").unwrap_or("12").parse()?;
+    let clicks: usize = opts.value("--clicks").unwrap_or("100").parse()?;
+    let format = match opts.value("--format") {
+        Some(f) => MetricsFormat::parse(f)?,
+        None => MetricsFormat::Table,
+    };
+    specdr::obs::set_enabled(true);
+    specdr::obs::reset();
+
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: clicks,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let actions: Result<Vec<_>, _> = retention_policy(6, 36)
+        .iter()
+        .map(|s| specdr::spec::parse_action(&cs.schema, s))
+        .collect();
+    let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions?)?;
+    let now = days_from_civil(ey + 2, em, 28);
+
+    // One pass through every instrumented layer: logical reduction,
+    // storage encoding, subcube load + sync, and a parallel query.
+    let red = reduce(&cs.mo, &spec, now)?;
+    let _ = FactTable::from_mo(&red, 1 << 14)?.stats();
+    let mut mgr = SubcubeManager::new(spec);
+    mgr.bulk_load(&cs.mo)?;
+    mgr.sync(now)?;
+    let (tdim, month) = cs.schema.resolve_cat("Time.month")?;
+    let mut levels = cs.schema.bottom_granularity().0;
+    levels[tdim.index()] = month;
+    let _ = mgr.query(
+        &CubeQuery {
+            pred: None,
+            mode: SelectMode::Conservative,
+            levels,
+            approach: AggApproach::Availability,
+        },
+        now,
+        true,
+    )?;
+
+    eprintln!(
+        "pipeline over {months} months × {clicks} clicks/day ({} facts):",
+        cs.mo.len()
+    );
+    print_snapshot(format);
     Ok(())
 }

@@ -15,12 +15,15 @@
 //! * [`storage`] — the columnar star-schema substrate (Section 7);
 //! * [`subcube`] — the subcube implementation strategy (Section 7);
 //! * [`workload`] — the paper's example dataset and synthetic click-stream
-//!   generators for the experiments.
+//!   generators for the experiments;
+//! * [`obs`] — the zero-dependency metrics/tracing layer wired through
+//!   reduce, sync, and query (`specdr --metrics`, `specdr stats`).
 //!
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
 pub use sdr_mdm as mdm;
+pub use sdr_obs as obs;
 pub use sdr_prover as prover;
 pub use sdr_spec as spec;
 

@@ -162,7 +162,12 @@ fn disaggregated_handles_parallel_branches() {
     // the GLB (day): weeks overlapping the quarter receive shares.
     let (mo, spec) = setup();
     let red = reduce(&mo, &spec, days_from_civil(2000, 11, 5)).unwrap();
-    let a = aggregate(&red, &["Time.week", "URL.domain"], AggApproach::Disaggregated).unwrap();
+    let a = aggregate(
+        &red,
+        &["Time.week", "URL.domain"],
+        AggApproach::Disaggregated,
+    )
+    .unwrap();
     for f in a.facts() {
         assert_eq!(a.value(f, DimId(0)).cat, time_cat::WEEK);
     }
@@ -184,7 +189,11 @@ fn disaggregated_explosion_guard() {
     coarse
         .insert_fact_at(&[top_t, top_u], &[1, 100, 1, 1000], 0)
         .unwrap();
-    let r = aggregate(&coarse, &["Time.day", "URL.url"], AggApproach::Disaggregated);
+    let r = aggregate(
+        &coarse,
+        &["Time.day", "URL.url"],
+        AggApproach::Disaggregated,
+    );
     // The horizon is 5 years ≈ 1826 days × 4 urls ≈ 7k cells — under the
     // guard, so this one actually succeeds…
     assert!(r.is_ok());

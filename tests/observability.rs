@@ -1,0 +1,145 @@
+//! Integration tests for the `sdr-obs` wiring: the metrics published by
+//! reduce, sync, and query must agree exactly with the authoritative
+//! numbers those operations return.
+//!
+//! Everything runs in ONE test function: the instrumented crates publish
+//! to the process-global registry, so sequential phases with a `reset()`
+//! between them are the only race-free way to assert exact counts.
+
+use std::sync::Arc;
+
+use specdr::mdm::calendar::days_from_civil;
+use specdr::obs;
+use specdr::query::{AggApproach, SelectMode};
+use specdr::reduce::{reduce, DataReductionSpec};
+use specdr::spec::parse_action;
+use specdr::subcube::{CubeQuery, SubcubeManager};
+use specdr::workload::{generate, retention_policy, ClickstreamConfig};
+
+fn warehouse() -> (specdr::mdm::Mo, Arc<specdr::mdm::Schema>, DataReductionSpec) {
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 40,
+        start: (1999, 1, 1),
+        end: (2000, 6, 28),
+        ..Default::default()
+    });
+    let actions: Vec<_> = retention_policy(6, 36)
+        .iter()
+        .map(|s| parse_action(&cs.schema, s).unwrap())
+        .collect();
+    let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions).unwrap();
+    (cs.mo, cs.schema, spec)
+}
+
+#[test]
+fn metrics_agree_with_authoritative_numbers() {
+    let (mo, schema, spec) = warehouse();
+    let now = days_from_civil(2001, 6, 28);
+    obs::set_enabled(true);
+
+    // --- Phase 1: reduce. collapsed + kept must equal the input count.
+    obs::reset();
+    let red = reduce(&mo, &spec, now).unwrap();
+    let snap = obs::snapshot();
+    let collapsed = snap.counter("reduce.facts_collapsed").unwrap();
+    let kept = snap.counter("reduce.facts_kept").unwrap();
+    assert_eq!(
+        collapsed + kept,
+        mo.len() as u64,
+        "every scanned fact is either collapsed away or kept"
+    );
+    assert_eq!(kept, red.len() as u64, "kept = rows of the reduced MO");
+    assert_eq!(
+        snap.counter("reduce.facts_scanned").unwrap(),
+        mo.len() as u64
+    );
+    // The group-size histogram covers every input fact exactly once.
+    let members = snap.histogram("reduce.group_members").unwrap();
+    assert_eq!(members.count, red.len() as u64);
+    assert_eq!(members.sum, mo.len() as u64);
+    assert!(members.p50 <= members.p90 && members.p90 <= members.p99);
+    // The reduce span recorded exactly one timing.
+    assert_eq!(snap.span("reduce.reduce").unwrap().count, 1);
+
+    // --- Phase 2: subcube sync. Counters must equal the returned stats.
+    obs::reset();
+    let mut mgr = SubcubeManager::new(spec);
+    mgr.bulk_load(&mo).unwrap();
+    let stats = mgr.sync(now).unwrap();
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter("subcube.bulk_load.facts").unwrap(),
+        mo.len() as u64
+    );
+    assert_eq!(
+        snap.counter("subcube.sync.kept").unwrap(),
+        stats.kept as u64,
+        "sync metrics publish the same locals returned as SyncStats"
+    );
+    assert_eq!(
+        snap.counter("subcube.sync.migrated").unwrap(),
+        stats.migrated as u64
+    );
+    assert_eq!(
+        snap.counter("subcube.sync.merged").unwrap(),
+        stats.merged as u64
+    );
+    // Per-source-cube migrations sum to the total.
+    let per_cube: u64 = snap
+        .counters
+        .iter()
+        .filter(|(n, _)| n.starts_with("subcube.sync.migrated_from."))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(per_cube, stats.migrated as u64);
+    for name in ["subcube.sync", "subcube.sync.scan", "subcube.sync.rebuild"] {
+        assert_eq!(snap.span(name).unwrap().count, 1, "{name}");
+    }
+
+    // --- Phase 3: a no-op sync tick takes the skipped fast path.
+    obs::reset();
+    mgr.sync(now).unwrap();
+    let snap = obs::snapshot();
+    assert_eq!(snap.counter("subcube.sync.skipped"), Some(1));
+    // The scan phase never ran (its registration survives the reset with
+    // a zero count).
+    assert_eq!(snap.span("subcube.sync.scan").map_or(0, |s| s.count), 0);
+
+    // --- Phase 4: parallel query. Fan-out covers every cube; one
+    // sub-query span per cube plus the final combine aggregation.
+    obs::reset();
+    let (tdim, month) = schema.resolve_cat("Time.month").unwrap();
+    let mut levels = schema.bottom_granularity().0;
+    levels[tdim.index()] = month;
+    let q = CubeQuery {
+        pred: None,
+        mode: SelectMode::Conservative,
+        levels,
+        approach: AggApproach::Availability,
+    };
+    let answer = mgr.query(&q, now, true).unwrap();
+    assert!(!answer.is_empty());
+    let snap = obs::snapshot();
+    let n_cubes = mgr.cubes().len() as u64;
+    assert_eq!(snap.counter("subcube.query.fanout"), Some(n_cubes));
+    assert_eq!(snap.span("subcube.query.subquery").unwrap().count, n_cubes);
+    assert_eq!(snap.span("subcube.query").unwrap().count, 1);
+    // aggregate runs once per sub-query + once combining.
+    assert_eq!(snap.span("query.aggregate").unwrap().count, n_cubes + 1);
+    assert!(snap.counter("query.aggregate.cells_produced").unwrap() >= answer.len() as u64);
+
+    // --- Phase 5: disabled registry records nothing. (Registrations
+    // survive a reset, so "nothing" means every value stayed zero.)
+    obs::set_enabled(false);
+    obs::reset();
+    let _ = reduce(&mo, mgr.spec(), now).unwrap();
+    let snap = obs::snapshot();
+    assert!(
+        snap.counters.iter().all(|(_, v)| *v == 0),
+        "{:?}",
+        snap.counters
+    );
+    assert!(snap.spans.iter().all(|(_, s)| s.count == 0));
+    assert!(snap.histograms.iter().all(|(_, s)| s.count == 0));
+    assert!(snap.events.is_empty());
+}

@@ -70,7 +70,10 @@ fn figure2_growing_violation_and_fix() {
 fn figure3_three_snapshots() {
     let (mo, spec) = paper_setup();
     let [t1, t2, t3] = snapshot_days();
-    assert_eq!(sorted_rows(&reduce(&mo, &spec, t1).unwrap()), sorted_rows(&mo));
+    assert_eq!(
+        sorted_rows(&reduce(&mo, &spec, t1).unwrap()),
+        sorted_rows(&mo)
+    );
     assert_eq!(
         sorted_rows(&reduce(&mo, &spec, t2).unwrap()),
         vec![
@@ -116,7 +119,12 @@ fn figure4_projection() {
 fn figure5_aggregation() {
     let (mo, spec) = paper_setup();
     let red = reduce(&mo, &spec, days_from_civil(2000, 11, 5)).unwrap();
-    let a = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Availability).unwrap();
+    let a = aggregate(
+        &red,
+        &["Time.month", "URL.domain"],
+        AggApproach::Availability,
+    )
+    .unwrap();
     assert_eq!(
         sorted_rows(&a),
         vec![

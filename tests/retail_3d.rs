@@ -50,14 +50,10 @@ fn reduction_descends_all_three_dimensions() {
     let red1 = reduce(&r.mo, &spec, t1).unwrap();
     assert!(red1.len() < r.mo.len());
     let has_gran = |mo: &Mo, cats: [specdr::mdm::CatId; 3]| {
-        mo.facts().any(|f| {
-            (0..3).all(|i| mo.value(f, DimId(i as u16)).cat == cats[i])
-        })
+        mo.facts()
+            .any(|f| (0..3).all(|i| mo.value(f, DimId(i as u16)).cat == cats[i]))
     };
-    assert!(has_gran(
-        &red1,
-        [time_cat::MONTH, r.cats.sku, r.cats.city]
-    ));
+    assert!(has_gran(&red1, [time_cat::MONTH, r.cats.sku, r.cats.city]));
     // 2003/6: second tier (quarter, brand, region) holds the old data.
     let t2 = days_from_civil(2003, 6, 15);
     let red2 = reduce(&r.mo, &spec, t2).unwrap();

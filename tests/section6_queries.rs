@@ -6,9 +6,7 @@ use std::sync::Arc;
 
 use specdr::mdm::calendar::days_from_civil;
 use specdr::mdm::{time_cat, DimId, MeasureId, Mo};
-use specdr::query::{
-    aggregate, compare, member_of, project, select, AggApproach, SelectMode,
-};
+use specdr::query::{aggregate, compare, member_of, project, select, AggApproach, SelectMode};
 use specdr::reduce::{reduce, DataReductionSpec};
 use specdr::spec::{parse_action, parse_pexp, CmpOp};
 use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
@@ -68,7 +66,10 @@ fn definition5_worked_comparisons() {
     // The ∈ example with full and truncated week sets.
     let mk_weeks = |range: std::ops::RangeInclusive<u32>, with_w1: bool| {
         let mut v: Vec<_> = range
-            .map(|w| time.parse_value(time_cat::WEEK, &format!("1999W{w}")).unwrap())
+            .map(|w| {
+                time.parse_value(time_cat::WEEK, &format!("1999W{w}"))
+                    .unwrap()
+            })
             .collect();
         if with_w1 {
             v.push(w1);
@@ -76,7 +77,13 @@ fn definition5_worked_comparisons() {
         v
     };
     assert!(member_of(time, q4, &mk_weeks(39..=52, true), SelectMode::Conservative).unwrap());
-    assert!(!member_of(time, q4, &mk_weeks(39..=51, false), SelectMode::Conservative).unwrap());
+    assert!(!member_of(
+        time,
+        q4,
+        &mk_weeks(39..=51, false),
+        SelectMode::Conservative
+    )
+    .unwrap());
 }
 
 #[test]
@@ -89,24 +96,29 @@ fn pipeline_select_project_aggregate() {
     assert_eq!(sel.len(), 3);
     let proj = project(&sel, &["Time", "URL"], &["Number_of", "Dwell_time"]).unwrap();
     assert_eq!(proj.schema().n_measures(), 2);
-    let agg = aggregate(&proj, &["Time.year", "URL.domain_grp"], AggApproach::Availability)
-        .unwrap();
+    let agg = aggregate(
+        &proj,
+        &["Time.year", "URL.domain_grp"],
+        AggApproach::Availability,
+    )
+    .unwrap();
     let mut rows: Vec<String> = agg.facts().map(|f| agg.render_fact(f)).collect();
     rows.sort();
     assert_eq!(
         rows,
-        vec![
-            "fact(1999, .com | 4, 3178)",
-            "fact(2000, .com | 2, 955)",
-        ]
+        vec!["fact(1999, .com | 4, 3178)", "fact(2000, .com | 2, 955)",]
     );
 }
 
 #[test]
 fn aggregation_approach_comparison() {
     let (red, _) = reduced();
-    let avail = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Availability)
-        .unwrap();
+    let avail = aggregate(
+        &red,
+        &["Time.month", "URL.domain"],
+        AggApproach::Availability,
+    )
+    .unwrap();
     let strict = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Strict).unwrap();
     let lub = aggregate(&red, &["Time.month", "URL.domain"], AggApproach::Lub).unwrap();
     // Strict drops the coarse facts; availability keeps everything at

@@ -167,7 +167,9 @@ fn interleaved_loads_and_syncs() {
 #[test]
 fn storage_shrinks_dramatically_with_age() {
     let (mut m, mo) = build_manager(50);
-    let raw = specdr::storage::FactTable::from_mo(&mo, 1 << 16).unwrap().stats();
+    let raw = specdr::storage::FactTable::from_mo(&mo, 1 << 16)
+        .unwrap()
+        .stats();
     m.sync(days_from_civil(2004, 6, 15)).unwrap();
     let reduced: usize = m
         .storage_stats()

@@ -76,10 +76,7 @@ fn query_builder_composes_operators() {
     let id = Query::new().run(&red, now).unwrap();
     assert_eq!(id.len(), red.len());
     // Builder surfaces resolution errors.
-    assert!(Query::new()
-        .roll_up(&["Nope.x"])
-        .run(&red, now)
-        .is_err());
+    assert!(Query::new().roll_up(&["Nope.x"]).run(&red, now).is_err());
 }
 
 #[test]
@@ -88,7 +85,10 @@ fn explanations_are_english() {
     let schema = mo.schema();
     let a1 = spec.actions()[0].1.clone();
     let text = explain_action(&a1, schema);
-    assert!(text.contains("aggregates facts to (Time.month, URL.domain)"), "{text}");
+    assert!(
+        text.contains("aggregates facts to (Time.month, URL.domain)"),
+        "{text}"
+    );
     assert!(text.contains(".com"), "{text}");
     assert!(text.contains("shrinking by itself"), "{text}");
     let a2 = spec.actions()[1].1.clone();
@@ -179,4 +179,109 @@ fn retention_policy_end_to_end_totals() {
         let total: i64 = red.facts().map(|f| red.measure(f, MeasureId(3))).sum();
         assert_eq!(total, raw_total);
     }
+}
+
+// --- CLI behavior, driven through the real binary ---
+
+fn specdr_bin() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_specdr"))
+}
+
+#[test]
+fn cli_rejects_unknown_flags() {
+    // Unknown flag: non-zero exit, error names the flag and hints at help.
+    let out = specdr_bin()
+        .args(["simulate", "--bogus-flag"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--bogus-flag"), "{err}");
+    assert!(err.contains("specdr help"), "{err}");
+    // Stray positional arguments are rejected too.
+    let out = specdr_bin()
+        .args(["query", "--months", "6", "unexpected"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unexpected"));
+    // A boolean switch given a value is rejected.
+    let out = specdr_bin()
+        .args(["simulate", "--sessions=yes"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    // Unknown subcommands still fail.
+    let out = specdr_bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn cli_metrics_json_is_parseable_and_complete() {
+    let out = specdr_bin()
+        .args([
+            "simulate",
+            "--months",
+            "12",
+            "--clicks",
+            "20",
+            "--metrics=json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let metric_lines: Vec<&str> = stdout
+        .lines()
+        .filter(|l| l.starts_with('{') && l.contains("\"kind\":\""))
+        .collect();
+    assert!(!metric_lines.is_empty(), "no metric lines in:\n{stdout}");
+    let has = |kind: &str, name_part: &str| {
+        metric_lines
+            .iter()
+            .any(|l| l.contains(&format!("\"kind\":\"{kind}\"")) && l.contains(name_part))
+    };
+    // ≥1 counter, ≥1 histogram with percentiles, and span timings from
+    // each of sdr-reduce, sdr-subcube, and sdr-query.
+    assert!(has("counter", "reduce.facts_kept"), "{stdout}");
+    assert!(
+        has("histogram", "reduce.group_members")
+            && metric_lines.iter().any(|l| l.contains("\"p99\":")),
+        "{stdout}"
+    );
+    assert!(has("span", "\"name\":\"reduce."), "{stdout}");
+    assert!(has("span", "\"name\":\"subcube."), "{stdout}");
+    assert!(has("span", "\"name\":\"query."), "{stdout}");
+    // Every metric line is balanced-brace JSON with a name or seq.
+    for l in &metric_lines {
+        assert!(l.ends_with('}'), "{l}");
+        assert!(l.contains("\"name\":") || l.contains("\"seq\":"), "{l}");
+    }
+}
+
+#[test]
+fn cli_stats_prints_snapshot_table() {
+    let out = specdr_bin()
+        .args(["stats", "--months", "6", "--clicks", "10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("counters:"), "{stdout}");
+    assert!(stdout.contains("reduce.facts_scanned"), "{stdout}");
+    assert!(stdout.contains("spans:"), "{stdout}");
+    assert!(stdout.contains("subcube.sync"), "{stdout}");
+}
+
+#[test]
+fn cli_runs_without_metrics_by_default() {
+    // No --metrics flag → no metric lines in the output at all.
+    let out = specdr_bin()
+        .args(["simulate", "--months", "6", "--clicks", "10"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.contains("\"kind\":"), "{stdout}");
+    assert!(!stdout.contains("metrics:"), "{stdout}");
 }

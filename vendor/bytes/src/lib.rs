@@ -1,0 +1,223 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`, `BytesMut`, `Buf`, and `BufMut` with the subset of
+//! methods `sdr-storage` uses: little-endian integer put/get, slices,
+//! freezing, and cursor-style consumption. `Bytes` is a cheaply-cloneable
+//! view over shared immutable storage, like upstream.
+
+use std::sync::Arc;
+
+/// A cheaply cloneable, contiguous slice of immutable bytes with a read
+/// cursor (consumed by the [`Buf`] methods).
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer borrowing a static slice (copied — this stand-in has no
+    /// zero-copy static storage).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes::from(s.to_vec())
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True when no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The remaining bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Copies the remaining bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    /// A sub-view of the remaining bytes.
+    pub fn slice(&self, r: std::ops::Range<usize>) -> Bytes {
+        assert!(r.start <= r.end && self.start + r.end <= self.end);
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + r.start,
+            end: self.start + r.end,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Read access to a byte cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns the next byte. Panics when empty.
+    fn get_u8(&mut self) -> u8;
+    /// Consumes a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consumes a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consumes `n` bytes into a new [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let b = self.data[self.start];
+        self.start += 1;
+        b
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let mut a = [0u8; 4];
+        a.copy_from_slice(&self.data[self.start..self.start + 4]);
+        self.start += 4;
+        u32::from_le_bytes(a)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer underflow");
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        u64::from_le_bytes(a)
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let out = Bytes::from(self.data[self.start..self.start + n].to_vec());
+        self.start += n;
+        out
+    }
+}
+
+/// A growable byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Write access to a growable buffer (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le_integers() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_slice(&[1, 2, 3]);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 3);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.copy_to_bytes(3).to_vec(), vec![1, 2, 3]);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_views_share_storage() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(s.as_slice(), &[2, 3, 4]);
+        assert_eq!(b.len(), 6);
+        let t = s.slice(1..2);
+        assert_eq!(t.as_slice(), &[3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides `channel::bounded` — the only crossbeam API this workspace
+//! uses — as a thin wrapper over `std::sync::mpsc::sync_channel`, with
+//! crossbeam's cloneable `Sender` and iterable `Receiver`.
+
+/// Multi-producer channels (subset of `crossbeam::channel`).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// The sending half of a bounded channel. Cloneable.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    impl<T> Clone for Sender<T> {
+        // Manual impl: cloning the handle must not require `T: Clone`.
+        fn clone(&self) -> Sender<T> {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is full.
+        pub fn send(&self, t: T) -> Result<(), SendError<T>> {
+            self.0.send(t).map_err(|mpsc::SendError(t)| SendError(t))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking iterator over received messages; ends when every
+        /// sender has been dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+
+        /// Receives one message, blocking until available.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn fan_in_from_threads() {
+            let (tx, rx) = super::bounded::<usize>(8);
+            std::thread::scope(|s| {
+                for i in 0..4 {
+                    let tx = tx.clone();
+                    s.spawn(move || tx.send(i).unwrap());
+                }
+            });
+            drop(tx);
+            let mut got: Vec<usize> = rx.iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}
