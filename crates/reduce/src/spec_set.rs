@@ -56,6 +56,36 @@ impl DataReductionSpec {
         Ok(spec)
     }
 
+    /// Restores a specification from persisted parts (the checkpoint
+    /// recovery path): explicit action ids plus the insert counter, so
+    /// that replayed `insert`/`delete` operations allocate and resolve
+    /// the same [`ActionId`]s as the original run. The NonCrossing and
+    /// Growing checks re-run — a restored value is sound by construction,
+    /// like any other.
+    pub fn from_parts(
+        schema: Arc<Schema>,
+        actions: Vec<(ActionId, ActionSpec)>,
+        next_id: u32,
+    ) -> Result<Self, ReduceError> {
+        for (_, a) in &actions {
+            a.validate(&schema)?;
+        }
+        let spec = DataReductionSpec {
+            schema,
+            actions,
+            next_id,
+        };
+        noncrossing::check_noncrossing(&spec.schema, spec.action_specs())?;
+        growing::check_growing(&spec.schema, spec.action_specs())?;
+        Ok(spec)
+    }
+
+    /// The id the next inserted action will receive (monotonic — ids of
+    /// deleted actions are never reused).
+    pub fn next_action_id(&self) -> u32 {
+        self.next_id
+    }
+
     /// The schema this specification targets.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema

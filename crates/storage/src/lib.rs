@@ -12,19 +12,28 @@
 //!   values, import of bottom-granularity facts);
 //! * [`table`] — segmented [`FactTable`]s with append/seal/scan,
 //!   MO interchange, serialization, and [`TableStats`] used by the
-//!   storage-gain experiment (E1 in `DESIGN.md`).
+//!   storage-gain experiment (E1 in `DESIGN.md`);
+//! * [`fs`] — the [`Fs`] filesystem trait with a durable [`RealFs`]
+//!   (fsync discipline) and the deterministic fault-injection
+//!   [`FailpointFs`] shim behind it;
+//! * [`wal`] — length-prefixed, CRC-checksummed write-ahead-log framing
+//!   with torn-tail detection and repair.
 
 #![warn(missing_docs)]
 
 pub mod csv;
 pub mod encode;
 pub mod error;
+pub mod fs;
 pub mod table;
+pub mod wal;
 
 pub use csv::{export_csv, import_csv};
 pub use encode::ColumnEnc;
 pub use error::StorageError;
+pub use fs::{atomic_write, FailpointFs, FaultMode, Fs, RealFs};
 pub use table::{FactRow, FactTable, SealedSegment, TableStats, DEFAULT_SEGMENT_ROWS};
+pub use wal::{crc32, scan_wal, Wal, WalScan, WAL_MAGIC};
 
 #[cfg(test)]
 mod tests {
@@ -106,6 +115,34 @@ mod tests {
         let full = t.serialize();
         let cut = full.slice(0..full.len() - 5);
         assert!(FactTable::deserialize(schema, cut).is_err());
+    }
+
+    #[test]
+    fn save_to_preserves_io_error_kind() {
+        // A missing parent directory surfaces as a structured Io error
+        // with the original kind — not a stringified message.
+        let (mo, _) = paper_mo();
+        let mut t = FactTable::from_mo(&mo, 4).unwrap();
+        let err = t
+            .save_to("/nonexistent-sdr-dir/cube-0.sdr")
+            .expect_err("write into a missing directory must fail");
+        match err {
+            StorageError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected StorageError::Io, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn save_to_roundtrips_durably() {
+        let (mo, _) = paper_mo();
+        let dir = std::env::temp_dir().join(format!("sdr-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sdr");
+        let mut t = FactTable::from_mo(&mo, 4).unwrap();
+        t.save_to(&path).unwrap();
+        let back = FactTable::load_from(Arc::clone(mo.schema()), &path).unwrap();
+        assert_eq!(back.scan(), t.scan());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

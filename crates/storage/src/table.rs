@@ -289,10 +289,29 @@ impl FactTable {
         out
     }
 
-    /// Persists the table (all segments sealed) to a file.
+    /// Persists the table (all segments sealed) to a file, durably: the
+    /// file is flushed and fsynced, and the parent directory entry is
+    /// synced too, so the table survives a crash immediately after this
+    /// call returns. I/O failures come back as [`StorageError::Io`] with
+    /// the underlying [`std::io::Error`] (and its kind) intact.
     pub fn save_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), StorageError> {
+        self.save_to_fs(&crate::fs::RealFs, path.as_ref())
+    }
+
+    /// [`FactTable::save_to`] through an explicit [`crate::fs::Fs`] —
+    /// the hook the fault-injection harness uses.
+    pub fn save_to_fs(
+        &mut self,
+        fs: &dyn crate::fs::Fs,
+        path: &std::path::Path,
+    ) -> Result<(), StorageError> {
         let bytes = self.serialize();
-        std::fs::write(path, &bytes)?;
+        fs.write(path, &bytes)?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs.sync_dir(parent)?;
+            }
+        }
         Ok(())
     }
 

@@ -1,0 +1,618 @@
+//! The crash-safe warehouse: a [`SubcubeManager`] behind a per-warehouse
+//! write-ahead log and atomic checkpoints.
+//!
+//! Irreversible reduction makes durability *more* critical than in an
+//! ordinary warehouse — an aggregate lost to a torn write cannot be
+//! recomputed from detail that was already purged. [`DurableWarehouse`]
+//! therefore journals every state-changing operation (bulk loads, sync
+//! passes, and specification `insert`/`delete`) as a CRC-checksummed
+//! record *before* acknowledging it, and periodically folds the log into
+//! an atomic checkpoint (see [`crate::persist`]). Recovery loads the
+//! live checkpoint and deterministically replays the log tail; torn or
+//! corrupt tail records are detected by checksum and dropped — they were
+//! never acknowledged, so dropping them restores exactly the committed
+//! state.
+//!
+//! The contract, proven by the fault-injection matrix in
+//! `tests/durability.rs`: an operation that returned `Ok` survives any
+//! subsequent crash; an operation that returned `Err` (or never
+//! returned) leaves the recovered warehouse as if it was never issued.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use sdr_mdm::{DayNum, Mo};
+use sdr_reduce::{DataReductionSpec, ReduceError};
+use sdr_spec::{parse_action, ActionId, ActionSpec};
+use sdr_storage::fs::{Fs, RealFs};
+use sdr_storage::{FactTable, Wal};
+
+use crate::error::SubcubeError;
+use crate::manager::{SubcubeManager, SyncStats};
+use crate::persist::{
+    load_checkpoint, read_current, read_manifest_at, spec_from_manifest, sweep_garbage, wal_name,
+    write_checkpoint, write_current,
+};
+
+/// One logged warehouse operation — the unit of replay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalOp {
+    /// New facts absorbed by [`SubcubeManager::bulk_load`], serialized as
+    /// an `sdr-storage` fact table.
+    BulkLoad(Vec<u8>),
+    /// A synchronization pass ([`SubcubeManager::sync`]) at a day. Sync
+    /// is deterministic, so logging the day is enough to replay the
+    /// collapse/advance it performed.
+    Sync(DayNum),
+    /// Actions inserted into the specification, in source form (the
+    /// rendered action round-trips through the parser).
+    SpecInsert(Vec<String>),
+    /// Actions deleted from the specification at a day.
+    SpecDelete(Vec<u32>, DayNum),
+}
+
+impl WalOp {
+    const TAG_BULK_LOAD: u8 = 1;
+    const TAG_SYNC: u8 = 2;
+    const TAG_SPEC_INSERT: u8 = 3;
+    const TAG_SPEC_DELETE: u8 = 4;
+
+    /// Serializes the operation into a WAL record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        match self {
+            WalOp::BulkLoad(table) => {
+                b.push(Self::TAG_BULK_LOAD);
+                b.extend_from_slice(table);
+            }
+            WalOp::Sync(now) => {
+                b.push(Self::TAG_SYNC);
+                b.extend_from_slice(&i64::from(*now).to_le_bytes());
+            }
+            WalOp::SpecInsert(srcs) => {
+                b.push(Self::TAG_SPEC_INSERT);
+                b.extend_from_slice(&(srcs.len() as u32).to_le_bytes());
+                for s in srcs {
+                    b.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    b.extend_from_slice(s.as_bytes());
+                }
+            }
+            WalOp::SpecDelete(ids, now) => {
+                b.push(Self::TAG_SPEC_DELETE);
+                b.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+                for id in ids {
+                    b.extend_from_slice(&id.to_le_bytes());
+                }
+                b.extend_from_slice(&i64::from(*now).to_le_bytes());
+            }
+        }
+        b
+    }
+
+    /// Decodes a WAL record payload.
+    pub fn decode(payload: &[u8]) -> Result<WalOp, SubcubeError> {
+        let bad = |what: &str| SubcubeError::Storage(format!("wal record: {what}"));
+        let (&tag, rest) = payload.split_first().ok_or_else(|| bad("empty record"))?;
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], SubcubeError> {
+            let s = rest
+                .get(pos..pos + n)
+                .ok_or_else(|| bad("truncated record"))?;
+            pos += n;
+            Ok(s)
+        };
+        let op = match tag {
+            Self::TAG_BULK_LOAD => WalOp::BulkLoad(rest.to_vec()),
+            Self::TAG_SYNC => {
+                let raw = i64::from_le_bytes(take(8)?.try_into().unwrap());
+                WalOp::Sync(DayNum::try_from(raw).map_err(|_| bad("day out of range"))?)
+            }
+            Self::TAG_SPEC_INSERT => {
+                let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                let mut srcs = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                    let s = String::from_utf8(take(len)?.to_vec())
+                        .map_err(|_| bad("action source is not UTF-8"))?;
+                    srcs.push(s);
+                }
+                WalOp::SpecInsert(srcs)
+            }
+            Self::TAG_SPEC_DELETE => {
+                let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+                let mut ids = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    ids.push(u32::from_le_bytes(take(4)?.try_into().unwrap()));
+                }
+                let raw = i64::from_le_bytes(take(8)?.try_into().unwrap());
+                WalOp::SpecDelete(
+                    ids,
+                    DayNum::try_from(raw).map_err(|_| bad("day out of range"))?,
+                )
+            }
+            other => return Err(bad(&format!("unknown op tag {other}"))),
+        };
+        Ok(op)
+    }
+
+    /// Applies the operation to a manager (replay path — must mirror the
+    /// live path byte for byte).
+    fn apply(&self, mgr: &mut SubcubeManager) -> Result<(), SubcubeError> {
+        match self {
+            WalOp::BulkLoad(table) => {
+                let t = FactTable::deserialize(
+                    Arc::clone(mgr.schema()),
+                    bytes::Bytes::from(table.clone()),
+                )
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+                let mo = t
+                    .to_mo()
+                    .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+                mgr.bulk_load(&mo)?;
+            }
+            WalOp::Sync(now) => {
+                mgr.sync(*now)?;
+            }
+            WalOp::SpecInsert(srcs) => {
+                let schema = Arc::clone(mgr.schema());
+                let actions: Result<Vec<ActionSpec>, _> =
+                    srcs.iter().map(|s| parse_action(&schema, s)).collect();
+                mgr.evolve_insert(actions.map_err(ReduceError::Spec)?)?;
+            }
+            WalOp::SpecDelete(ids, now) => {
+                let ids: Vec<ActionId> = ids.iter().map(|&i| ActionId(i)).collect();
+                mgr.evolve_delete(&ids, *now)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What [`SubcubeManager::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The checkpoint epoch the recovery started from.
+    pub epoch: u64,
+    /// Log records replayed on top of the checkpoint.
+    pub replayed: usize,
+    /// Bytes of torn/corrupt log tail detected by CRC and dropped.
+    pub dropped_bytes: usize,
+    /// Total acknowledged operations now reflected in the warehouse
+    /// (checkpoint high-water mark + replayed records).
+    pub ops_durable: u64,
+    /// The recovered `last_sync`.
+    pub last_sync: Option<DayNum>,
+}
+
+/// A [`SubcubeManager`] whose every state change is write-ahead logged
+/// and whose checkpoints are atomic. See the module docs for the crash
+/// contract.
+pub struct DurableWarehouse {
+    mgr: SubcubeManager,
+    fs: Arc<dyn Fs>,
+    dir: PathBuf,
+    epoch: u64,
+    wal: Wal,
+    /// Operations folded into the live checkpoint (cumulative).
+    hwm: u64,
+    /// Set when a log append failed: the in-memory state may be ahead of
+    /// the log, so further mutations are refused until a checkpoint
+    /// re-establishes the invariant.
+    broken: bool,
+}
+
+impl DurableWarehouse {
+    /// Creates a fresh durable warehouse at `dir` (epoch 0 checkpoint of
+    /// the empty manager plus an empty log). Fails if `dir` already
+    /// holds a warehouse.
+    pub fn create(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+    ) -> Result<DurableWarehouse, SubcubeError> {
+        Self::create_with_fs(spec, dir.as_ref(), RealFs::shared())
+    }
+
+    /// [`DurableWarehouse::create`] through an explicit [`Fs`].
+    pub fn create_with_fs(
+        spec: DataReductionSpec,
+        dir: &Path,
+        fs: Arc<dyn Fs>,
+    ) -> Result<DurableWarehouse, SubcubeError> {
+        if fs.exists(&dir.join("CURRENT")) {
+            return Err(SubcubeError::Storage(format!(
+                "{}: already a warehouse directory (use open/recover)",
+                dir.display()
+            )));
+        }
+        let mgr = SubcubeManager::new(spec);
+        write_checkpoint(&mgr, fs.as_ref(), dir, 0, 0)?;
+        let wal = Wal::create(Arc::clone(&fs), dir.join(wal_name(0)), 0)
+            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        write_current(fs.as_ref(), dir, 0)?;
+        Ok(DurableWarehouse {
+            mgr,
+            fs,
+            dir: dir.to_path_buf(),
+            epoch: 0,
+            wal,
+            hwm: 0,
+            broken: false,
+        })
+    }
+
+    /// Opens `dir`: recovers an existing warehouse (replaying the log
+    /// tail) or creates a fresh one when the directory is empty.
+    pub fn open(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+    ) -> Result<DurableWarehouse, SubcubeError> {
+        Self::open_with_fs(spec, dir.as_ref(), RealFs::shared())
+    }
+
+    /// [`DurableWarehouse::open`] through an explicit [`Fs`].
+    pub fn open_with_fs(
+        spec: DataReductionSpec,
+        dir: &Path,
+        fs: Arc<dyn Fs>,
+    ) -> Result<DurableWarehouse, SubcubeError> {
+        if fs.exists(&dir.join("CURRENT")) {
+            Ok(Self::recover_with_fs(spec, dir, fs)?.0)
+        } else {
+            Self::create_with_fs(spec, dir, fs)
+        }
+    }
+
+    /// Recovers a warehouse: loads the live checkpoint, truncates any
+    /// torn log tail, and replays the surviving records.
+    pub fn recover_with_fs(
+        spec: DataReductionSpec,
+        dir: &Path,
+        fs: Arc<dyn Fs>,
+    ) -> Result<(DurableWarehouse, RecoveryReport), SubcubeError> {
+        let _span = sdr_obs::span("durable.recover");
+        let epoch = read_current(fs.as_ref(), dir)?;
+        // The specification is durable state: journaled `insert`/`delete`
+        // operations may have evolved it past what the caller configured,
+        // so the checkpoint's own spec (exact action ids + insert counter,
+        // from the manifest) is authoritative. The caller's spec supplies
+        // the schema to parse it against.
+        let manifest = read_manifest_at(fs.as_ref(), dir, epoch)?;
+        let ckpt_spec = spec_from_manifest(spec.schema(), &manifest)?;
+        let (mut mgr, manifest) = load_checkpoint(ckpt_spec, fs.as_ref(), dir, epoch)?;
+        let wal_path = dir.join(wal_name(epoch));
+        let (wal, records, dropped_bytes) = if fs.exists(&wal_path) {
+            let (wal, scan) = Wal::open(Arc::clone(&fs), wal_path)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+            if scan.epoch != epoch {
+                return Err(SubcubeError::Storage(format!(
+                    "{}: log epoch {} does not match checkpoint epoch {epoch}",
+                    wal.path().display(),
+                    scan.epoch
+                )));
+            }
+            (wal, scan.records, scan.dropped_bytes)
+        } else {
+            // A checkpoint published without its log (crash in the
+            // narrow window between the two) has nothing to replay.
+            let wal = Wal::create(Arc::clone(&fs), wal_path, epoch)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+            (wal, Vec::new(), 0)
+        };
+        let replay_span = sdr_obs::span("durable.recover.replay");
+        for payload in &records {
+            let op_span = sdr_obs::span("durable.recover.replay_op");
+            WalOp::decode(payload)?.apply(&mut mgr)?;
+            drop(op_span);
+        }
+        drop(replay_span);
+        if sdr_obs::enabled() {
+            sdr_obs::inc("durable.recover.runs");
+            sdr_obs::add("durable.recover.records_replayed", records.len() as u64);
+            sdr_obs::add("durable.recover.dropped_bytes", dropped_bytes as u64);
+        }
+        let report = RecoveryReport {
+            epoch,
+            replayed: records.len(),
+            dropped_bytes,
+            ops_durable: manifest.wal_hwm + records.len() as u64,
+            last_sync: mgr.last_sync,
+        };
+        let w = DurableWarehouse {
+            mgr,
+            fs,
+            dir: dir.to_path_buf(),
+            epoch,
+            wal,
+            hwm: manifest.wal_hwm,
+            broken: false,
+        };
+        Ok((w, report))
+    }
+
+    /// The recovered/managed warehouse (queries go through here).
+    pub fn manager(&self) -> &SubcubeManager {
+        &self.mgr
+    }
+
+    /// The warehouse directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The live checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total acknowledged (durable) operations: every operation with an
+    /// index below this value survives any crash; operations issued
+    /// after it were never acknowledged.
+    pub fn ops_durable(&self) -> u64 {
+        self.hwm + self.wal.records()
+    }
+
+    /// True when a log append failed and mutations are refused until the
+    /// next successful [`checkpoint`](DurableWarehouse::checkpoint).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn guard(&self) -> Result<(), SubcubeError> {
+        if self.broken {
+            return Err(SubcubeError::Storage(
+                "warehouse log is broken after a failed append; checkpoint to repair".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Appends an already-applied operation; a failure poisons the
+    /// warehouse (memory is ahead of the log) until a checkpoint.
+    fn log(&mut self, op: &WalOp) -> Result<(), SubcubeError> {
+        if let Err(e) = self.wal.append(&op.encode()) {
+            self.broken = true;
+            return Err(SubcubeError::Storage(format!("wal append failed: {e}")));
+        }
+        Ok(())
+    }
+
+    /// Durable [`SubcubeManager::bulk_load`]: on `Ok`, the facts survive
+    /// any subsequent crash.
+    pub fn bulk_load(&mut self, facts: &Mo) -> Result<usize, SubcubeError> {
+        self.guard()?;
+        let mut t = FactTable::from_mo(facts, sdr_storage::DEFAULT_SEGMENT_ROWS)
+            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        let op = WalOp::BulkLoad(t.serialize().to_vec());
+        let n = self.mgr.bulk_load(facts)?;
+        self.log(&op)?;
+        Ok(n)
+    }
+
+    /// Durable [`SubcubeManager::sync`].
+    pub fn sync(&mut self, now: DayNum) -> Result<SyncStats, SubcubeError> {
+        self.guard()?;
+        let stats = self.mgr.sync(now)?;
+        self.log(&WalOp::Sync(now))?;
+        Ok(stats)
+    }
+
+    /// Durable specification insert ([`SubcubeManager::evolve_insert`]).
+    pub fn spec_insert(&mut self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
+        self.guard()?;
+        let schema = Arc::clone(self.mgr.schema());
+        let srcs: Vec<String> = new.iter().map(|a| a.render(&schema)).collect();
+        // The log must replay to the identical spec: reject actions whose
+        // rendering does not round-trip through the parser (none known).
+        for (src, a) in srcs.iter().zip(&new) {
+            let back = parse_action(&schema, src).map_err(ReduceError::Spec)?;
+            if back != *a {
+                return Err(SubcubeError::Storage(format!(
+                    "action does not round-trip through its rendering: {src}"
+                )));
+            }
+        }
+        let ids = self.mgr.evolve_insert(new)?;
+        self.log(&WalOp::SpecInsert(srcs))?;
+        Ok(ids)
+    }
+
+    /// Durable specification delete ([`SubcubeManager::evolve_delete`]).
+    pub fn spec_delete(&mut self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
+        self.guard()?;
+        self.mgr.evolve_delete(ids, now)?;
+        self.log(&WalOp::SpecDelete(ids.iter().map(|i| i.0).collect(), now))?;
+        Ok(())
+    }
+
+    /// Folds the log into a new atomic checkpoint, rotates to a fresh
+    /// log, and sweeps the superseded epoch. Also the repair path after
+    /// a failed append. Returns the new epoch.
+    pub fn checkpoint(&mut self) -> Result<u64, SubcubeError> {
+        let next = self.epoch + 1;
+        let hwm = self.hwm + self.wal.records();
+        write_checkpoint(&self.mgr, self.fs.as_ref(), &self.dir, next, hwm)?;
+        let wal = Wal::create(Arc::clone(&self.fs), self.dir.join(wal_name(next)), next)
+            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        write_current(self.fs.as_ref(), &self.dir, next)?;
+        self.wal = wal;
+        self.epoch = next;
+        self.hwm = hwm;
+        self.broken = false;
+        sweep_garbage(self.fs.as_ref(), &self.dir, next);
+        Ok(next)
+    }
+}
+
+impl SubcubeManager {
+    /// Recovers a warehouse from `dir`: loads the latest valid
+    /// checkpoint (see [`crate::persist`]) and replays the write-ahead
+    /// log tail on top of it, dropping any torn/corrupt tail records
+    /// detected by CRC. Returns the manager plus a [`RecoveryReport`].
+    pub fn recover(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+    ) -> Result<(SubcubeManager, RecoveryReport), SubcubeError> {
+        let (w, report) = DurableWarehouse::recover_with_fs(spec, dir.as_ref(), RealFs::shared())?;
+        Ok((w.mgr, report))
+    }
+}
+
+/// Convenience re-export target: the manifest type callers see through
+/// recovery tooling.
+pub use crate::persist::Manifest;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_mdm::calendar::days_from_civil;
+    use sdr_workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "sdr-durable-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    fn paper_spec() -> (Mo, DataReductionSpec) {
+        let (mo, _) = paper_mo();
+        let schema = Arc::clone(mo.schema());
+        let a1 = parse_action(&schema, ACTION_A1).unwrap();
+        let a2 = parse_action(&schema, ACTION_A2).unwrap();
+        (mo, DataReductionSpec::new(schema, vec![a1, a2]).unwrap())
+    }
+
+    fn rows(mo: &Mo) -> Vec<String> {
+        let mut v: Vec<String> = mo.facts().map(|f| mo.render_fact(f)).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn wal_op_codec_roundtrips() {
+        let (mo, _) = paper_spec();
+        let mut t = FactTable::from_mo(&mo, 4).unwrap();
+        let ops = vec![
+            WalOp::BulkLoad(t.serialize().to_vec()),
+            WalOp::Sync(days_from_civil(2000, 6, 5)),
+            WalOp::SpecInsert(vec![ACTION_A1.into(), ACTION_A2.into()]),
+            WalOp::SpecDelete(vec![0, 3], days_from_civil(2001, 1, 1)),
+        ];
+        for op in ops {
+            assert_eq!(WalOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(WalOp::decode(&[]).is_err());
+        assert!(WalOp::decode(&[99]).is_err());
+        assert!(WalOp::decode(&[WalOp::TAG_SYNC, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn create_log_recover_equals_live() {
+        let dir = tmpdir("clr");
+        let (mo, spec) = paper_spec();
+        let mut w = DurableWarehouse::create(spec.clone(), &dir).unwrap();
+        w.bulk_load(&mo).unwrap();
+        w.sync(days_from_civil(2000, 6, 5)).unwrap();
+        w.sync(days_from_civil(2000, 11, 5)).unwrap();
+        assert_eq!(w.ops_durable(), 3);
+        let live = rows(&w.manager().to_mo().unwrap());
+        // Recover without any checkpoint beyond epoch 0: pure replay.
+        let (rec, report) =
+            DurableWarehouse::recover_with_fs(spec, &dir, RealFs::shared()).unwrap();
+        assert_eq!(report.epoch, 0);
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.dropped_bytes, 0);
+        assert_eq!(rows(&rec.manager().to_mo().unwrap()), live);
+        assert_eq!(rec.manager().last_sync, w.manager().last_sync);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_rotates_and_recover_uses_it() {
+        let dir = tmpdir("ckpt");
+        let (mo, spec) = paper_spec();
+        let mut w = DurableWarehouse::create(spec.clone(), &dir).unwrap();
+        w.bulk_load(&mo).unwrap();
+        w.sync(days_from_civil(2000, 6, 5)).unwrap();
+        assert_eq!(w.checkpoint().unwrap(), 1);
+        // Post-checkpoint operations land in the fresh log.
+        w.sync(days_from_civil(2000, 11, 5)).unwrap();
+        let live = rows(&w.manager().to_mo().unwrap());
+        let (rec, report) =
+            DurableWarehouse::recover_with_fs(spec, &dir, RealFs::shared()).unwrap();
+        assert_eq!(report.epoch, 1);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.ops_durable, 3);
+        assert_eq!(rows(&rec.manager().to_mo().unwrap()), live);
+        // The superseded epoch was swept.
+        assert!(!dir.join(crate::persist::ckpt_name(0)).exists());
+        assert!(!dir.join(wal_name(0)).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_evolution_is_journaled() {
+        let dir = tmpdir("evo");
+        let (mo, _) = paper_mo();
+        let schema = Arc::clone(mo.schema());
+        let a1 = parse_action(&schema, ACTION_A1).unwrap();
+        let a2 = parse_action(&schema, ACTION_A2).unwrap();
+        let spec =
+            DataReductionSpec::new(Arc::clone(&schema), vec![a1.clone(), a2.clone()]).unwrap();
+        // Start from an *empty* spec; insert both actions through the log.
+        let empty = DataReductionSpec::new(Arc::clone(&schema), vec![]).unwrap();
+        let mut w = DurableWarehouse::create(empty.clone(), &dir).unwrap();
+        w.bulk_load(&mo).unwrap();
+        let ids = w.spec_insert(vec![a1, a2]).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(w.manager().cubes().len(), 3);
+        w.sync(days_from_civil(2000, 11, 5)).unwrap();
+        let live = rows(&w.manager().to_mo().unwrap());
+        // Recovery replays the evolution from the initial (empty) spec.
+        let (rec, report) =
+            DurableWarehouse::recover_with_fs(empty, &dir, RealFs::shared()).unwrap();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(rec.manager().cubes().len(), 3);
+        assert_eq!(rows(&rec.manager().to_mo().unwrap()), live);
+        assert_eq!(
+            crate::persist::spec_fingerprint(rec.manager().spec()),
+            crate::persist::spec_fingerprint(&spec)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_on_recovery() {
+        let dir = tmpdir("torn");
+        let (mo, spec) = paper_spec();
+        let mut w = DurableWarehouse::create(spec.clone(), &dir).unwrap();
+        w.bulk_load(&mo).unwrap();
+        w.sync(days_from_civil(2000, 6, 5)).unwrap();
+        let committed = rows(&w.manager().to_mo().unwrap());
+        let wal_path = dir.join(wal_name(0));
+        // A later sync's record is torn to a garbage prefix on "crash".
+        w.sync(days_from_civil(2000, 11, 5)).unwrap();
+        let full = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &full[..full.len() - 5]).unwrap();
+        let (rec, report) =
+            DurableWarehouse::recover_with_fs(spec, &dir, RealFs::shared()).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert!(report.dropped_bytes > 0);
+        assert_eq!(rows(&rec.manager().to_mo().unwrap()), committed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_warehouse() {
+        let dir = tmpdir("dup");
+        let (_, spec) = paper_spec();
+        let _w = DurableWarehouse::create(spec.clone(), &dir).unwrap();
+        assert!(DurableWarehouse::create(spec.clone(), &dir).is_err());
+        // open() takes the recovery path instead.
+        assert!(DurableWarehouse::open(spec, &dir).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

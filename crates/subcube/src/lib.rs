@@ -10,13 +10,16 @@
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod error;
 pub mod manager;
 pub mod persist;
 pub mod query;
 
+pub use durable::{DurableWarehouse, RecoveryReport, WalOp};
 pub use error::SubcubeError;
 pub use manager::{CubeId, Subcube, SubcubeManager, SyncStats};
+pub use persist::Manifest;
 pub use query::CubeQuery;
 
 #[cfg(test)]

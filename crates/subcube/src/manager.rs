@@ -14,7 +14,7 @@ use parking_lot::RwLock;
 
 use sdr_mdm::{DayNum, DimValue, Granularity, Mo, Schema, ORIGIN_USER};
 use sdr_reduce::{cell_for, DataReductionSpec, ReduceError};
-use sdr_spec::ActionId;
+use sdr_spec::{ActionId, ActionSpec};
 
 use crate::error::SubcubeError;
 
@@ -314,6 +314,58 @@ impl SubcubeManager {
             );
         }
         Ok(stats)
+    }
+
+    /// Evolves the specification by inserting `new` actions
+    /// ([`DataReductionSpec::insert`], Definition 3) and rebuilds the
+    /// cube layout for the extended action set. All facts are staged in
+    /// the bottom cube and redistributed by the next
+    /// [`sync`](SubcubeManager::sync) pass, exactly as after a bulk load.
+    /// On rejection (NonCrossing/Growing violation) the manager is
+    /// unchanged.
+    pub fn evolve_insert(&mut self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
+        let mut spec = self.spec.clone();
+        let ids = spec.insert(new)?;
+        self.rebuild_with_spec(spec)?;
+        sdr_obs::inc("subcube.evolve.insert");
+        Ok(ids)
+    }
+
+    /// Evolves the specification by deleting the given actions
+    /// ([`DataReductionSpec::delete`], Definition 4) — checked against the
+    /// warehouse's current facts at time `now` — and rebuilds the cube
+    /// layout. On rejection the manager is unchanged.
+    pub fn evolve_delete(&mut self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
+        let mo = self.to_mo()?;
+        let mut spec = self.spec.clone();
+        spec.delete(ids, &mo, now)?;
+        self.rebuild_with_spec(spec)?;
+        sdr_obs::inc("subcube.evolve.delete");
+        Ok(())
+    }
+
+    /// Replaces the specification, re-deriving the cube DAG and staging
+    /// every existing fact in the bottom cube (the bottom cube is the one
+    /// cube allowed to hold foreign-granularity rows; a sync pass homes
+    /// them).
+    fn rebuild_with_spec(&mut self, spec: DataReductionSpec) -> Result<(), SubcubeError> {
+        let all = self.to_mo()?;
+        let mut next = SubcubeManager::new(spec);
+        *next.cubes[0].data.write() = all;
+        next.last_sync = self.last_sync;
+        next.dirty = true;
+        *self = next;
+        Ok(())
+    }
+
+    /// Restores one cube's facts (checkpoint loading / recovery).
+    pub(crate) fn set_cube_data(&mut self, i: usize, mo: Mo) {
+        *self.cubes[i].data.write() = mo;
+    }
+
+    /// Restores the last-synchronized day (checkpoint loading / recovery).
+    pub(crate) fn set_last_sync(&mut self, t: Option<DayNum>) {
+        self.last_sync = t;
     }
 
     /// The next day strictly after `after` at which a scheduled sync pass

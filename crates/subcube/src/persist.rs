@@ -1,77 +1,428 @@
-//! Subcube persistence: each cube is stored as one `sdr-storage` fact
-//! table file, so a warehouse survives restarts and can be shipped
-//! between machines. The cube *layout* is not persisted — it is a pure
-//! function of the (already validated) specification, which callers keep
-//! in their configuration, exactly as Section 7 assumes the action set is
-//! metadata of the warehouse.
+//! Subcube persistence: atomic, manifest-described checkpoints.
+//!
+//! A warehouse directory is either the old checkpoint or the new one —
+//! never a torn mixture. The layout is
+//!
+//! ```text
+//! dir/
+//!   CURRENT            framed pointer to the live checkpoint directory
+//!   ckpt-<epoch>/      one complete checkpoint
+//!     MANIFEST         cube count, spec hash, WAL high-water mark, CRC
+//!     cube-<i>.sdr     one sdr-storage fact table per subcube
+//!   wal-<epoch>.log    operations since that checkpoint (sdr-storage WAL)
+//! ```
+//!
+//! A checkpoint is staged in a temp directory, fsynced, renamed into
+//! place, and only then published by an atomic rewrite of `CURRENT`. A
+//! crash at any point leaves `CURRENT` pointing at a complete, fully
+//! synced checkpoint. The cube *layout* is still a pure function of the
+//! (validated) specification, which callers keep in their configuration,
+//! exactly as Section 7 assumes the action set is metadata of the
+//! warehouse; the manifest's specification hash cross-checks the two.
 
 use std::path::Path;
+use std::sync::Arc;
 
+use sdr_mdm::DayNum;
 use sdr_reduce::DataReductionSpec;
-use sdr_storage::FactTable;
+use sdr_storage::fs::{atomic_write, Fs, RealFs};
+use sdr_storage::wal::crc32;
+use sdr_storage::{FactTable, Wal};
 
 use crate::error::SubcubeError;
 use crate::manager::SubcubeManager;
 
-impl SubcubeManager {
-    /// Writes every cube into `dir` as `cube-<i>.sdr` (creating the
-    /// directory), sealing segments and applying column encoding.
-    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), SubcubeError> {
-        let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(|e| SubcubeError::Storage(e.to_string()))?;
-        for (i, cube) in self.cubes().iter().enumerate() {
-            let mo = cube.data.read();
-            let mut t = FactTable::from_mo(&mo, sdr_storage::DEFAULT_SEGMENT_ROWS)
-                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
-            t.save_to(dir.join(format!("cube-{i}.sdr")))
-                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+/// Manifest file magic: `"SDRMAN01"`.
+const MANIFEST_MAGIC: u64 = 0x5344_524d_414e_3031;
+
+/// Checkpoint/manifest format version.
+const MANIFEST_FORMAT: u32 = 1;
+
+/// The checkpoint directory name for an epoch.
+pub fn ckpt_name(epoch: u64) -> String {
+    format!("ckpt-{epoch:06}")
+}
+
+/// The write-ahead-log file name for an epoch.
+pub fn wal_name(epoch: u64) -> String {
+    format!("wal-{epoch:06}.log")
+}
+
+/// A 64-bit FNV-1a hash of the rendered specification — the manifest's
+/// cross-check that a directory is opened with the spec it was written
+/// with.
+pub fn spec_fingerprint(spec: &DataReductionSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in spec.render().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// The decoded contents of a checkpoint `MANIFEST`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The checkpoint's epoch (matches its directory and WAL file names).
+    pub epoch: u64,
+    /// Number of cube files in the checkpoint.
+    pub cube_count: u32,
+    /// The cumulative operation high-water mark: how many logged
+    /// operations (across all epochs) are already folded into this
+    /// checkpoint's cube files.
+    pub wal_hwm: u64,
+    /// The manager's `last_sync` at checkpoint time.
+    pub last_sync: Option<DayNum>,
+    /// [`spec_fingerprint`] of the specification the cubes were written
+    /// under.
+    pub spec_hash: u64,
+    /// The next [`sdr_spec::ActionId`] the specification would allocate —
+    /// persisted so replayed spec evolution allocates the same ids.
+    pub next_action_id: u32,
+    /// The rendered specification (`aN = p(...)` lines) — recovery
+    /// rebuilds the checkpoint's evolved spec from it.
+    pub spec_text: String,
+}
+
+impl Manifest {
+    /// Serializes the manifest with a trailing CRC-32.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::new();
+        b.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
+        b.extend_from_slice(&MANIFEST_FORMAT.to_le_bytes());
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&self.cube_count.to_le_bytes());
+        b.extend_from_slice(&self.wal_hwm.to_le_bytes());
+        b.extend_from_slice(&self.last_sync.map_or(i64::MIN, i64::from).to_le_bytes());
+        b.extend_from_slice(&self.spec_hash.to_le_bytes());
+        b.extend_from_slice(&self.next_action_id.to_le_bytes());
+        b.extend_from_slice(&(self.spec_text.len() as u32).to_le_bytes());
+        b.extend_from_slice(self.spec_text.as_bytes());
+        let crc = crc32(&b);
+        b.extend_from_slice(&crc.to_le_bytes());
+        b
+    }
+
+    /// Decodes and CRC-verifies a manifest.
+    pub fn decode(path: &Path, bytes: &[u8]) -> Result<Manifest, SubcubeError> {
+        let bad = |what: &str| SubcubeError::Storage(format!("{}: {what}", path.display()));
+        if bytes.len() < 48 + 4 {
+            return Err(bad("manifest truncated"));
         }
+        let (body, tail) = bytes.split_at(bytes.len() - 4);
+        let want = u32::from_le_bytes(tail.try_into().unwrap());
+        if crc32(body) != want {
+            return Err(bad("manifest checksum mismatch"));
+        }
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], SubcubeError> {
+            let s = body
+                .get(pos..pos + n)
+                .ok_or_else(|| bad("manifest truncated"))?;
+            pos += n;
+            Ok(s)
+        };
+        let magic = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        if magic != MANIFEST_MAGIC {
+            return Err(bad("bad manifest magic"));
+        }
+        let format = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        if format != MANIFEST_FORMAT {
+            return Err(bad(&format!("unsupported manifest format {format}")));
+        }
+        let epoch = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let cube_count = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let wal_hwm = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let last_sync_raw = i64::from_le_bytes(take(8)?.try_into().unwrap());
+        let spec_hash = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let next_action_id = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        let text_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let spec_text = String::from_utf8(take(text_len)?.to_vec())
+            .map_err(|_| bad("manifest spec text is not UTF-8"))?;
+        let last_sync = if last_sync_raw == i64::MIN {
+            None
+        } else {
+            DayNum::try_from(last_sync_raw)
+                .map(Some)
+                .map_err(|_| bad("manifest last_sync out of range"))?
+        };
+        Ok(Manifest {
+            epoch,
+            cube_count,
+            wal_hwm,
+            last_sync,
+            spec_hash,
+            next_action_id,
+            spec_text,
+        })
+    }
+}
+
+/// Rebuilds the checkpoint's specification from the manifest's rendered
+/// `aN = p(...)` lines, preserving action ids and the insert counter so
+/// that replayed spec evolution behaves exactly as the original run. The
+/// NonCrossing/Growing checks re-run during reconstruction.
+pub fn spec_from_manifest(
+    schema: &Arc<sdr_mdm::Schema>,
+    manifest: &Manifest,
+) -> Result<DataReductionSpec, SubcubeError> {
+    let mut actions = Vec::new();
+    for line in manifest.spec_text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let parsed = line
+            .strip_prefix('a')
+            .and_then(|r| r.split_once(" = "))
+            .and_then(|(id, src)| id.parse::<u32>().ok().map(|id| (id, src)));
+        let Some((id, src)) = parsed else {
+            return Err(SubcubeError::Storage(format!(
+                "manifest spec line unparseable: {line}"
+            )));
+        };
+        let a = sdr_spec::parse_action(schema, src).map_err(|e| {
+            SubcubeError::Storage(format!("manifest action a{id} does not parse: {e}"))
+        })?;
+        actions.push((sdr_spec::ActionId(id), a));
+    }
+    DataReductionSpec::from_parts(Arc::clone(schema), actions, manifest.next_action_id)
+        .map_err(|e| SubcubeError::Storage(format!("manifest specification invalid: {e}")))
+}
+
+/// Reads the manifest of checkpoint `epoch` in `dir`.
+pub(crate) fn read_manifest_at(
+    fs: &dyn Fs,
+    dir: &Path,
+    epoch: u64,
+) -> Result<Manifest, SubcubeError> {
+    let path = dir.join(ckpt_name(epoch)).join("MANIFEST");
+    let bytes = fs
+        .read(&path)
+        .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
+    Manifest::decode(&path, &bytes)
+}
+
+/// Reads `dir/CURRENT` and returns the live epoch.
+pub(crate) fn read_current(fs: &dyn Fs, dir: &Path) -> Result<u64, SubcubeError> {
+    let path = dir.join("CURRENT");
+    let bytes = fs
+        .read(&path)
+        .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
+    let bad = || SubcubeError::Storage(format!("{}: corrupt checkpoint pointer", path.display()));
+    if bytes.len() != 12 {
+        return Err(bad());
+    }
+    let epoch = u64::from_le_bytes(bytes[..8].try_into().unwrap());
+    let want = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if crc32(&bytes[..8]) != want {
+        return Err(bad());
+    }
+    Ok(epoch)
+}
+
+/// Reads the live checkpoint's manifest of a warehouse directory (the
+/// `CURRENT` pointer decides which epoch is live). Inspection only — use
+/// [`SubcubeManager::recover`] to actually open the warehouse.
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Manifest, SubcubeError> {
+    let fs = RealFs;
+    let dir = dir.as_ref();
+    let epoch = read_current(&fs, dir)?;
+    read_manifest_at(&fs, dir, epoch)
+}
+
+/// Atomically publishes `epoch` as the live checkpoint.
+pub(crate) fn write_current(fs: &dyn Fs, dir: &Path, epoch: u64) -> Result<(), SubcubeError> {
+    let mut bytes = Vec::with_capacity(12);
+    bytes.extend_from_slice(&epoch.to_le_bytes());
+    bytes.extend_from_slice(&crc32(&epoch.to_le_bytes()).to_le_bytes());
+    atomic_write(fs, &dir.join("CURRENT"), &bytes)
+        .map_err(|e| SubcubeError::Storage(format!("publishing CURRENT: {e}")))
+}
+
+/// Writes one complete checkpoint (cubes + manifest) for `epoch` into
+/// `dir`, staged in a temp directory and atomically renamed into place.
+/// The checkpoint is *not* live until [`write_current`] publishes it.
+pub(crate) fn write_checkpoint(
+    mgr: &SubcubeManager,
+    fs: &dyn Fs,
+    dir: &Path,
+    epoch: u64,
+    wal_hwm: u64,
+) -> Result<(), SubcubeError> {
+    let _span = sdr_obs::span("durable.checkpoint");
+    let err = |e: &dyn std::fmt::Display| SubcubeError::Storage(e.to_string());
+    fs.create_dir_all(dir).map_err(|e| err(&e))?;
+    let tmp = dir.join(format!("{}.tmp", ckpt_name(epoch)));
+    let fin = dir.join(ckpt_name(epoch));
+    // Clear wreckage from an earlier crashed attempt at this epoch.
+    if fs.exists(&tmp) {
+        fs.remove_dir_all(&tmp).map_err(|e| err(&e))?;
+    }
+    if fs.exists(&fin) {
+        fs.remove_dir_all(&fin).map_err(|e| err(&e))?;
+    }
+    fs.create_dir_all(&tmp).map_err(|e| err(&e))?;
+    let mut bytes_written = 0u64;
+    for (i, cube) in mgr.cubes().iter().enumerate() {
+        let mo = cube.data.read();
+        let mut t =
+            FactTable::from_mo(&mo, sdr_storage::DEFAULT_SEGMENT_ROWS).map_err(|e| err(&e))?;
+        drop(mo);
+        let bytes = t.serialize();
+        bytes_written += bytes.len() as u64;
+        fs.write(&tmp.join(format!("cube-{i}.sdr")), &bytes)
+            .map_err(|e| err(&e))?;
+    }
+    let manifest = Manifest {
+        epoch,
+        cube_count: mgr.cubes().len() as u32,
+        wal_hwm,
+        last_sync: mgr.last_sync,
+        spec_hash: spec_fingerprint(mgr.spec()),
+        next_action_id: mgr.spec().next_action_id(),
+        spec_text: mgr.spec().render(),
+    };
+    fs.write(&tmp.join("MANIFEST"), &manifest.encode())
+        .map_err(|e| err(&e))?;
+    fs.sync_dir(&tmp).map_err(|e| err(&e))?;
+    fs.rename(&tmp, &fin).map_err(|e| err(&e))?;
+    if sdr_obs::enabled() {
+        sdr_obs::inc("durable.checkpoint.count");
+        sdr_obs::add("durable.checkpoint.bytes", bytes_written);
+        sdr_obs::add("durable.checkpoint.cubes", mgr.cubes().len() as u64);
+    }
+    Ok(())
+}
+
+/// Loads the cubes of checkpoint `epoch` into a fresh manager for
+/// `spec`, verifying the manifest, the per-cube files, and the cube
+/// granularities.
+pub(crate) fn load_checkpoint(
+    spec: DataReductionSpec,
+    fs: &dyn Fs,
+    dir: &Path,
+    epoch: u64,
+) -> Result<(SubcubeManager, Manifest), SubcubeError> {
+    let ckpt = dir.join(ckpt_name(epoch));
+    let man_path = ckpt.join("MANIFEST");
+    let man_bytes = fs
+        .read(&man_path)
+        .map_err(|e| SubcubeError::Storage(format!("{}: {e}", man_path.display())))?;
+    let manifest = Manifest::decode(&man_path, &man_bytes)?;
+    let mut m = SubcubeManager::new(spec);
+    if manifest.spec_hash != spec_fingerprint(m.spec()) {
+        return Err(SubcubeError::Storage(format!(
+            "{}: specification hash mismatch — was the directory written \
+             with a different specification?\n  on disk: {}",
+            man_path.display(),
+            manifest.spec_text
+        )));
+    }
+    if (manifest.cube_count as usize) > m.cubes().len() {
+        let extra = ckpt.join(format!("cube-{}.sdr", m.cubes().len()));
+        return Err(SubcubeError::Storage(format!(
+            "{}: more cubes on disk than the specification defines",
+            extra.display()
+        )));
+    }
+    for i in 0..m.cubes().len() {
+        let path = ckpt.join(format!("cube-{i}.sdr"));
+        let t = FactTable::load_from(std::sync::Arc::clone(m.schema()), &path)
+            .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
+        let mo = t
+            .to_mo()
+            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        // A persisted non-bottom cube must hold facts of its own
+        // granularity; reject mismatched layouts early. (The bottom
+        // cube may legitimately hold ⊤-coordinate facts and fallback
+        // rows, so it is exempt.)
+        if i != 0 {
+            for f in mo.facts() {
+                if mo.gran(f) != m.cubes()[i].grain {
+                    return Err(SubcubeError::Storage(format!(
+                        "{}: fact at foreign granularity — was the directory written \
+                         with a different specification?",
+                        path.display()
+                    )));
+                }
+            }
+        }
+        m.set_cube_data(i, mo);
+    }
+    m.set_last_sync(manifest.last_sync);
+    Ok((m, manifest))
+}
+
+/// Removes superseded checkpoint directories and log files (best
+/// effort; failures are ignored — garbage never affects recovery).
+pub(crate) fn sweep_garbage(fs: &dyn Fs, dir: &Path, live_epoch: u64) {
+    let Ok(entries) = fs.read_dir(dir) else {
+        return;
+    };
+    let live_ckpt = ckpt_name(live_epoch);
+    let live_wal = wal_name(live_epoch);
+    for p in entries {
+        let Some(name) = p.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name == "CURRENT" || name == live_ckpt || name == live_wal {
+            continue;
+        }
+        if name.starts_with("ckpt-") {
+            fs.remove_dir_all(&p).ok();
+        } else if name.starts_with("wal-") {
+            fs.remove_file(&p).ok();
+        }
+    }
+}
+
+impl SubcubeManager {
+    /// Writes the warehouse into `dir` as a new atomic checkpoint
+    /// (creating the directory) and publishes it: staged cube files and
+    /// manifest, fsync, rename, `CURRENT` pointer flip. A fresh, empty
+    /// write-ahead log accompanies the checkpoint so the directory is
+    /// immediately [`recover`](SubcubeManager::recover)-able. A crash at
+    /// any point leaves the directory at the previous checkpoint.
+    pub fn save_to_dir(&self, dir: impl AsRef<Path>) -> Result<(), SubcubeError> {
+        self.save_to_dir_fs(&RealFs::shared(), dir.as_ref())?;
         Ok(())
     }
 
-    /// Rebuilds a manager from `spec` and a directory written by
-    /// [`SubcubeManager::save_to_dir`] with the *same* specification.
+    /// [`SubcubeManager::save_to_dir`] through an explicit [`Fs`];
+    /// returns the published epoch.
+    pub fn save_to_dir_fs(&self, fs: &Arc<dyn Fs>, dir: &Path) -> Result<u64, SubcubeError> {
+        let epoch = if fs.exists(&dir.join("CURRENT")) {
+            read_current(fs.as_ref(), dir)? + 1
+        } else {
+            0
+        };
+        write_checkpoint(self, fs.as_ref(), dir, epoch, 0)?;
+        Wal::create(Arc::clone(fs), dir.join(wal_name(epoch)), epoch)
+            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        write_current(fs.as_ref(), dir, epoch)?;
+        sweep_garbage(fs.as_ref(), dir, epoch);
+        Ok(epoch)
+    }
+
+    /// Rebuilds a manager from `spec` and the *live checkpoint* of a
+    /// directory written by [`SubcubeManager::save_to_dir`] (or the
+    /// durable warehouse) with the *same* specification. The write-ahead
+    /// log is ignored — use [`SubcubeManager::recover`] to also replay
+    /// operations logged after the checkpoint.
     ///
     /// # Errors
-    /// [`SubcubeError::Storage`] when a cube file is missing, corrupt, or
-    /// the layout (cube count) does not match the specification.
+    /// [`SubcubeError::Storage`] when the pointer, manifest, or a cube
+    /// file is missing or corrupt, or the layout (cube count, spec hash,
+    /// cube granularities) does not match the specification.
     pub fn load_from_dir(
         spec: DataReductionSpec,
         dir: impl AsRef<Path>,
     ) -> Result<SubcubeManager, SubcubeError> {
+        let fs = RealFs;
         let dir = dir.as_ref();
-        let m = SubcubeManager::new(spec);
-        for (i, cube) in m.cubes().iter().enumerate() {
-            let path = dir.join(format!("cube-{i}.sdr"));
-            let t = FactTable::load_from(std::sync::Arc::clone(m.schema()), &path)
-                .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
-            let mo = t
-                .to_mo()
-                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
-            // A persisted non-bottom cube must hold facts of its own
-            // granularity; reject mismatched layouts early. (The bottom
-            // cube may legitimately hold ⊤-coordinate facts and fallback
-            // rows, so it is exempt.)
-            if i != 0 {
-                for f in mo.facts() {
-                    if mo.gran(f) != cube.grain {
-                        return Err(SubcubeError::Storage(format!(
-                            "{}: fact at foreign granularity — was the directory written \
-                             with a different specification?",
-                            path.display()
-                        )));
-                    }
-                }
-            }
-            *cube.data.write() = mo;
-        }
-        let extra = dir.join(format!("cube-{}.sdr", m.cubes().len()));
-        if extra.exists() {
-            return Err(SubcubeError::Storage(format!(
-                "{}: more cubes on disk than the specification defines",
-                extra.display()
-            )));
-        }
+        let epoch = read_current(&fs, dir)?;
+        let (m, _) = load_checkpoint(spec, &fs, dir, epoch)?;
         Ok(m)
     }
 }

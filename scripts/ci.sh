@@ -16,4 +16,30 @@ run cargo test -q --workspace
 run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 
+# Durability suite under --release: the crash matrix and the proptest
+# layer exercise many fs-failure schedules and want optimized code.
+run cargo test -q --release --test durability
+
+# Crash-schedule determinism: each seed picks a fault point and mode;
+# running the schedule twice must produce bit-identical state digests.
+# The test itself re-runs its schedule internally and asserts equality,
+# so a digest mismatch fails the test; we additionally compare the
+# printed digest across two separate process runs per seed.
+echo "==> 25 seeded crash schedules (determinism gate)"
+for seed in $(seq 1 25); do
+  d1=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test durability \
+        seeded_crash_schedule_is_deterministic -- --nocapture \
+        | grep '^crash-schedule ' || true)
+  d2=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test durability \
+        seeded_crash_schedule_is_deterministic -- --nocapture \
+        | grep '^crash-schedule ' || true)
+  if [ -z "$d1" ] || [ "$d1" != "$d2" ]; then
+    echo "crash schedule seed=$seed is non-deterministic:" >&2
+    echo "  run 1: ${d1:-<no digest line>}" >&2
+    echo "  run 2: ${d2:-<no digest line>}" >&2
+    exit 1
+  fi
+  echo "  seed=$seed ok: $d1"
+done
+
 echo "==> CI green"

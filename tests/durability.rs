@@ -1,0 +1,450 @@
+//! Crash-recovery test matrix for the durable warehouse.
+//!
+//! The contract under test (see `crates/subcube/src/durable.rs`): an
+//! operation that returned `Ok` survives any later crash; an operation
+//! that errored or never returned leaves the recovered warehouse as if
+//! it had not been issued. The matrix drives every fault mode of
+//! [`FailpointFs`] at *every* mutating filesystem operation of a fixed
+//! workload; the property test does the same over random workloads and
+//! crash points. Both re-apply the unacknowledged suffix after recovery
+//! and require the result to be indistinguishable — facts, per-cube
+//! granularities, `last_sync`, and the `SyncStats` of a probe sync —
+//! from a run that never crashed.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use specdr::mdm::calendar::days_from_civil;
+use specdr::mdm::{time_cat as tc, DimValue, Mo, Schema, TimeValue};
+use specdr::reduce::DataReductionSpec;
+use specdr::spec::{parse_action, ActionId, ActionSpec};
+use specdr::storage::fs::{FailpointFs, FaultMode, Fs, RealFs};
+use specdr::subcube::{DurableWarehouse, SubcubeManager, SyncStats};
+use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+/// One logical warehouse operation of a test workload.
+#[derive(Clone)]
+enum Op {
+    Load(Mo),
+    Sync(i32),
+    SpecInsert(Vec<ActionSpec>),
+    SpecDelete(Vec<ActionId>, i32),
+    /// Checkpoint: durable but not write-ahead logged (not counted by
+    /// `ops_durable`).
+    Ckpt,
+}
+
+impl Op {
+    fn is_logged(&self) -> bool {
+        !matches!(self, Op::Ckpt)
+    }
+
+    fn apply_durable(&self, w: &mut DurableWarehouse) -> Result<(), specdr::subcube::SubcubeError> {
+        match self {
+            Op::Load(mo) => w.bulk_load(mo).map(|_| ()),
+            Op::Sync(t) => w.sync(*t).map(|_| ()),
+            Op::SpecInsert(a) => w.spec_insert(a.clone()).map(|_| ()),
+            Op::SpecDelete(ids, t) => w.spec_delete(ids, *t),
+            Op::Ckpt => w.checkpoint().map(|_| ()),
+        }
+    }
+
+    fn apply_plain(&self, m: &mut SubcubeManager) {
+        match self {
+            Op::Load(mo) => {
+                m.bulk_load(mo).unwrap();
+            }
+            Op::Sync(t) => {
+                m.sync(*t).unwrap();
+            }
+            Op::SpecInsert(a) => {
+                m.evolve_insert(a.clone()).unwrap();
+            }
+            Op::SpecDelete(ids, t) => m.evolve_delete(ids, *t).unwrap(),
+            Op::Ckpt => {}
+        }
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "sdr-durability-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// An MO holding one bottom-granularity click.
+fn single_fact(schema: &Arc<Schema>, day: i32, url_idx: usize, measures: [i64; 4]) -> Mo {
+    const URLS: [&str; 4] = [
+        "http://www.cnn.com/",
+        "http://www.cnn.com/health",
+        "http://www.cc.gatech.edu/",
+        "http://www.amazon.com/exec/...",
+    ];
+    let specdr::mdm::Dimension::Enum(e) = schema.dim(specdr::mdm::DimId(1)) else {
+        unreachable!()
+    };
+    let urlcat = schema
+        .dim(specdr::mdm::DimId(1))
+        .graph()
+        .by_name("url")
+        .unwrap();
+    let u = e.value(urlcat, URLS[url_idx % URLS.len()]).unwrap();
+    let d = DimValue::new(tc::DAY, TimeValue::Day(day).code());
+    let mut mo = Mo::new(Arc::clone(schema));
+    mo.insert_fact(&[d, u], &measures).unwrap();
+    mo
+}
+
+/// The never-crashed run: the same logical ops on a plain manager.
+fn reference(spec: &DataReductionSpec, ops: &[Op]) -> SubcubeManager {
+    let mut m = SubcubeManager::new(spec.clone());
+    for op in ops {
+        op.apply_plain(&mut m);
+    }
+    m
+}
+
+/// Warehouse state rendered for equality: sorted whole-MO facts, per-cube
+/// granularity + sorted facts, and `last_sync`.
+fn state(m: &SubcubeManager) -> (Vec<String>, Vec<String>, Option<i32>) {
+    let whole = m.to_mo().unwrap();
+    let mut facts: Vec<String> = whole.facts().map(|f| whole.render_fact(f)).collect();
+    facts.sort();
+    let mut cubes = Vec::new();
+    for (i, c) in m.cubes().iter().enumerate() {
+        let data = c.data.read();
+        let mut rows: Vec<String> = data.facts().map(|f| data.render_fact(f)).collect();
+        rows.sort();
+        cubes.push(format!("K{i} {:?}: {}", c.grain, rows.join(" | ")));
+    }
+    (facts, cubes, m.last_sync)
+}
+
+/// Runs `create` + the workload through `fs`, stopping at the first
+/// error. Returns how many *logged* ops were acknowledged (`Ok`).
+fn run_workload(
+    spec: &DataReductionSpec,
+    dir: &std::path::Path,
+    fs: Arc<dyn Fs>,
+    ops: &[Op],
+) -> u64 {
+    let Ok(mut w) = DurableWarehouse::create_with_fs(spec.clone(), dir, fs) else {
+        return 0;
+    };
+    let mut acked = 0;
+    for op in ops {
+        if op.apply_durable(&mut w).is_err() {
+            break;
+        }
+        if op.is_logged() {
+            acked += 1;
+        }
+    }
+    acked
+}
+
+/// Recovers `dir`, re-applies the unacknowledged logical suffix, and
+/// checks the result against the never-crashed reference. Returns the
+/// recovered state tuple for determinism digests.
+fn recover_and_verify(
+    spec: &DataReductionSpec,
+    dir: &std::path::Path,
+    ops: &[Op],
+    acked: u64,
+    ctx: &str,
+) -> (Vec<String>, Vec<String>, Option<i32>) {
+    if !dir.join("CURRENT").exists() {
+        // The warehouse was never established — only possible when not a
+        // single operation was acknowledged.
+        assert_eq!(
+            acked, 0,
+            "{ctx}: CURRENT missing but {acked} ops were acknowledged"
+        );
+        let m = reference(spec, ops);
+        return state(&m);
+    }
+    let (mut w, report) = DurableWarehouse::recover_with_fs(spec.clone(), dir, RealFs::shared())
+        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+    // Durability accounting: everything acknowledged is durable; at most
+    // one in-flight operation (applied + logged, error returned after the
+    // log append survived — FaultMode::CrashAfter) may exceed it.
+    assert!(
+        report.ops_durable >= acked && report.ops_durable <= acked + 1,
+        "{ctx}: acked={acked} but ops_durable={}",
+        report.ops_durable
+    );
+    // Re-drive the workload from the first non-durable logical op.
+    let mut skipped = 0;
+    for op in ops {
+        if op.is_logged() && skipped < report.ops_durable {
+            skipped += 1;
+            continue;
+        }
+        if !op.is_logged() {
+            continue;
+        }
+        op.apply_durable(&mut w)
+            .unwrap_or_else(|e| panic!("{ctx}: re-applying suffix failed: {e}"));
+    }
+    let got = state(w.manager());
+    let want = state(&reference(spec, ops));
+    assert_eq!(
+        got, want,
+        "{ctx}: recovered+resumed state diverges from never-crashed run"
+    );
+    got
+}
+
+/// A third action, disjoint from the paper's `.com`-only a1/a2: age
+/// `.edu` facts past a year to `(Time.year, URL.domain_grp)`.
+const ACTION_A3: &str = "p(a[Time.year, URL.domain_grp] o[URL.domain_grp = .edu AND \
+                         Time.year <= NOW - 1 years](O))";
+
+/// The paper-data workload exercising every WAL op kind: load, sync,
+/// spec insert, checkpoint, incremental load, spec delete, final sync.
+fn paper_workload() -> (DataReductionSpec, Vec<Op>) {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    let a3 = parse_action(&schema, ACTION_A3).unwrap();
+    let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2]).unwrap();
+    let extra = single_fact(&schema, days_from_civil(2000, 5, 7), 0, [1, 100, 2, 9000]);
+    let ops = vec![
+        Op::Load(mo),
+        Op::Sync(days_from_civil(2000, 6, 5)),
+        Op::SpecInsert(vec![a3]),
+        Op::Ckpt,
+        Op::Load(extra),
+        Op::Sync(days_from_civil(2000, 11, 5)),
+        // The sync homes every a3-covered fact at year level, so the
+        // delete's responsibility check (Definition 4) passes.
+        Op::Sync(days_from_civil(2001, 2, 5)),
+        Op::SpecDelete(vec![ActionId(2)], days_from_civil(2001, 2, 5)),
+        Op::Sync(days_from_civil(2001, 6, 5)),
+    ];
+    (spec, ops)
+}
+
+/// The workload must be clean when nothing is injected (otherwise the
+/// matrix would conflate spec rejections with injected faults).
+#[test]
+fn paper_workload_is_clean() {
+    let (spec, ops) = paper_workload();
+    let m = reference(&spec, &ops);
+    assert!(m.len() > 0);
+    // And the durable run acknowledges every logged op.
+    let dir = tmpdir("clean");
+    let logged = ops.iter().filter(|o| o.is_logged()).count() as u64;
+    let acked = run_workload(&spec, &dir, RealFs::shared(), &ops);
+    assert_eq!(acked, logged);
+    let (w, _) = DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+    assert_eq!(state(w.manager()), state(&reference(&spec, &ops)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every fault mode × every mutating filesystem operation of the
+/// workload: recovery + resume must always converge to the reference.
+#[test]
+fn crash_matrix_over_every_fs_op() {
+    let (spec, ops) = paper_workload();
+    // Count the mutating fs ops of a clean run.
+    let dir = tmpdir("count");
+    let counting = FailpointFs::counting(RealFs::shared());
+    run_workload(&spec, &dir, counting.clone(), &ops);
+    let total = counting.ops();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        total > 10,
+        "workload too small to be interesting: {total} fs ops"
+    );
+
+    for mode in FaultMode::ALL {
+        for k in 0..total {
+            let ctx = format!("mode={mode:?} fail_op={k}");
+            let dir = tmpdir("matrix");
+            let shim = FailpointFs::new(RealFs::shared(), 0xC0FFEE ^ k, k, mode);
+            let acked = run_workload(&spec, &dir, shim.clone(), &ops);
+            assert!(shim.crashed(), "{ctx}: fault never fired");
+            recover_and_verify(&spec, &dir, &ops, acked, &ctx);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// Double-crash: a second fault during the *recovered* warehouse's next
+/// checkpoint still leaves a recoverable directory.
+#[test]
+fn crash_during_post_recovery_checkpoint() {
+    let (spec, ops) = paper_workload();
+    let dir = tmpdir("double");
+    // First crash: torn WAL append midway through the workload.
+    let shim = FailpointFs::new(RealFs::shared(), 7, 12, FaultMode::ShortWrite);
+    let acked = run_workload(&spec, &dir, shim, &ops);
+    // Recover, then crash again during checkpoint().
+    let (mut w, report) =
+        DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+    assert!(report.ops_durable >= acked);
+    for k in 0..6 {
+        let (w2, _) = DurableWarehouse::recover_with_fs(
+            spec.clone(),
+            &dir,
+            FailpointFs::new(RealFs::shared(), 11, k, FaultMode::FailWrite),
+        )
+        .map(|(w2, r)| (w2, r))
+        .unwrap_or_else(|_| {
+            // Recovery itself read-only fails only if the shim fired on
+            // the repair write of a torn tail; the directory is intact.
+            DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap()
+        });
+        let mut w2 = w2;
+        let _ = w2.checkpoint(); // may fail; must never corrupt
+        let (w3, _) =
+            DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+        assert_eq!(state(w3.manager()), state(w.manager()));
+    }
+    let _ = w.checkpoint();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary workloads, arbitrary crash points, every fault mode:
+    /// `recover()` + resume is indistinguishable from never crashing —
+    /// facts, per-cube granularities, `last_sync`, and the `SyncStats`
+    /// of a probe sync all agree.
+    #[test]
+    fn recovery_equals_never_crashed(
+        kinds in proptest::collection::vec((0u8..8, 0u32..90, 0usize..4), 2..9),
+        fail_op in 0u64..48,
+        mode_ix in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (mo, _) = paper_mo();
+        let schema = Arc::clone(mo.schema());
+        let a1 = parse_action(&schema, ACTION_A1).unwrap();
+        let a2 = parse_action(&schema, ACTION_A2).unwrap();
+        let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2]).unwrap();
+
+        // Build a workload: the clock only moves forward; loads insert
+        // single clicks at the current day; every op kind is reachable.
+        let mut clock = days_from_civil(2000, 1, 1);
+        let mut ops = vec![Op::Load(mo)];
+        for (kind, dd, ui) in kinds {
+            clock += dd as i32;
+            match kind {
+                0..=2 => ops.push(Op::Load(single_fact(
+                    &schema, clock, ui, [1, 10 + dd as i64, 1, 1000],
+                ))),
+                3..=5 => ops.push(Op::Sync(clock)),
+                _ => ops.push(Op::Ckpt),
+            }
+        }
+        ops.push(Op::Sync(clock + 30));
+
+        let dir = tmpdir("prop");
+        let mode = FaultMode::ALL[mode_ix];
+        let shim = FailpointFs::new(RealFs::shared(), seed, fail_op, mode);
+        let acked = run_workload(&spec, &dir, shim, &ops);
+        let (facts, cubes, last) = recover_and_verify(&spec, &dir, &ops, acked, "prop");
+
+        // Probe sync: the recovered-and-resumed warehouse and the
+        // reference react identically to the next tick.
+        let probe = clock + 60;
+        let mut reference_m = reference(&spec, &ops);
+        let ref_stats: SyncStats = reference_m.sync(probe).unwrap();
+        if dir.join("CURRENT").exists() {
+            let (mut w, _) =
+                DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+            // Skip the durable prefix, re-apply the rest, then probe.
+            let durable = w.ops_durable();
+            let mut skipped = 0;
+            for op in &ops {
+                if op.is_logged() && skipped < durable {
+                    skipped += 1;
+                    continue;
+                }
+                if op.is_logged() {
+                    op.apply_durable(&mut w).unwrap();
+                }
+            }
+            let got_stats = w.sync(probe).unwrap();
+            prop_assert_eq!(got_stats, ref_stats);
+            let (f2, c2, l2) = state(w.manager());
+            let (rf, rc, rl) = state(&reference_m);
+            prop_assert_eq!(f2, rf);
+            prop_assert_eq!(c2, rc);
+            prop_assert_eq!(l2, rl);
+        }
+        let _ = (facts, cubes, last);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// FNV-1a64 over the rendered state — the digest `scripts/ci.sh` compares
+/// across repeated runs of the same seeded crash schedule.
+fn digest(s: &(Vec<String>, Vec<String>, Option<i32>)) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    for line in s.0.iter().chain(s.1.iter()) {
+        eat(line.as_bytes());
+        eat(b"\n");
+    }
+    eat(format!("{:?}", s.2).as_bytes());
+    h
+}
+
+/// One seeded crash schedule, run twice end to end: the recovered state
+/// must be byte-identical. `SPECDR_CRASH_SEED` selects the schedule
+/// (`scripts/ci.sh` loops it over 25 seeds); the digest line it prints is
+/// what CI compares for cross-run determinism.
+#[test]
+fn seeded_crash_schedule_is_deterministic() {
+    let seed: u64 = std::env::var("SPECDR_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    // SplitMix64: derive (fail_op, mode) from the seed.
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let (spec, ops) = paper_workload();
+    let fail_op = z % 40;
+    let mode = FaultMode::ALL[(z >> 8) as usize % 3];
+
+    let mut digests = Vec::new();
+    for round in 0..2 {
+        let dir = tmpdir(&format!("seeded-{round}"));
+        let shim = FailpointFs::new(RealFs::shared(), seed, fail_op, mode);
+        let acked = run_workload(&spec, &dir, shim, &ops);
+        let s = recover_and_verify(
+            &spec,
+            &dir,
+            &ops,
+            acked,
+            &format!("seed={seed} round={round}"),
+        );
+        digests.push(digest(&s));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "seed={seed}: crash schedule is not deterministic"
+    );
+    println!(
+        "crash-schedule seed={seed} fail_op={fail_op} mode={mode:?} digest={:016x}",
+        digests[0]
+    );
+}

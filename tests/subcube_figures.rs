@@ -1,7 +1,14 @@
 //! Integration tests for the implementation strategy of Section 7
 //! (Figures 6–9), driven at a larger scale than the paper's seven facts:
 //! a synthetic click-stream warehouse with the standard retention policy.
+//!
+//! Each figure's warehouse additionally survives a crash before its
+//! assertions run: the state is checkpointed, the write-ahead log gets a
+//! torn record (a simulated power cut mid-append), and the warehouse is
+//! recovered from disk.
 
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use specdr::mdm::calendar::days_from_civil;
@@ -35,11 +42,34 @@ fn sorted_rows(mo: &Mo) -> Vec<String> {
     v
 }
 
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Checkpoints `m` into a fresh directory, simulates a crash mid-append
+/// (a torn record on the write-ahead log), and recovers the warehouse
+/// from disk. The recovered manager must be behaviorally identical to
+/// the live one — the figure assertions run against it.
+fn crash_roundtrip(m: &SubcubeManager) -> SubcubeManager {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("specdr-subfig-{}-{n}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    m.save_to_dir(&dir).unwrap();
+    let wal = dir.join("wal-000000.log");
+    let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+    f.write_all(&[42, 0, 0, 0, 0xDE, 0xAD]).unwrap();
+    drop(f);
+    let (rec, report) = SubcubeManager::recover(m.spec().clone(), &dir).unwrap();
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.dropped_bytes, 6);
+    std::fs::remove_dir_all(&dir).ok();
+    rec
+}
+
 /// Figure 6: one cube per distinct action granularity + the bottom cube,
 /// arranged in a parent→child DAG along which data flows.
 #[test]
 fn figure6_cube_dag() {
     let (m, _) = build_manager(10);
+    let m = crash_roundtrip(&m);
     assert_eq!(m.cubes().len(), 3);
     assert_eq!(m.cubes()[0].grain, m.schema().bottom_granularity());
     assert_eq!(m.parents(CubeId(1)), &[CubeId(0)]);
@@ -57,7 +87,7 @@ fn figure7_sync_flow_matches_reduce() {
     for (y, mm) in [(1999, 8), (2000, 6), (2002, 3), (2004, 6)] {
         let now = days_from_civil(y, mm, 15);
         m.sync(now).unwrap();
-        let physical = m.to_mo().unwrap();
+        let physical = crash_roundtrip(&m).to_mo().unwrap();
         let logical = reduce(&mo, m.spec(), now).unwrap();
         assert_eq!(
             sorted_rows(&physical),
@@ -67,6 +97,7 @@ fn figure7_sync_flow_matches_reduce() {
     }
     // By 2004/6 everything old sits in the quarter cube; the bottom cube
     // holds only recent data (there is none, the stream stops in 2000).
+    let m = crash_roundtrip(&m);
     assert_eq!(m.cubes()[0].data.read().len(), 0);
     assert_eq!(m.cubes()[1].data.read().len(), 0);
     assert!(!m.cubes()[2].data.read().is_empty());
@@ -79,6 +110,7 @@ fn figure8_query_equals_monolithic() {
     let (mut m, mo) = build_manager(20);
     let now = days_from_civil(2001, 6, 15);
     m.sync(now).unwrap();
+    let m = crash_roundtrip(&m);
     let grp = m.schema().resolve_cat("URL.domain_grp").unwrap().1;
     let q = CubeQuery {
         pred: Some(parse_pexp(m.schema(), "URL.domain_grp = .com").unwrap()),
@@ -113,6 +145,7 @@ fn figure8_query_equals_monolithic() {
 fn figure9_unsync_equals_sync() {
     let (mut m, _) = build_manager(20);
     m.sync(days_from_civil(2000, 1, 15)).unwrap();
+    let mut m = crash_roundtrip(&m);
     // Warehouse is now ~18 months stale relative to the query time.
     let now = days_from_civil(2001, 8, 1);
     let domain = m.schema().resolve_cat("URL.domain").unwrap().1;
@@ -156,6 +189,7 @@ fn interleaved_loads_and_syncs() {
     m.bulk_load(&cs2.mo).unwrap();
     let now = days_from_civil(2001, 3, 5);
     m.sync(now).unwrap();
+    let m = crash_roundtrip(&m);
     let mut all = cs1.mo.clone();
     all.absorb(&cs2.mo).unwrap();
     let logical = reduce(&all, m.spec(), now).unwrap();
@@ -171,6 +205,7 @@ fn storage_shrinks_dramatically_with_age() {
         .unwrap()
         .stats();
     m.sync(days_from_civil(2004, 6, 15)).unwrap();
+    let m = crash_roundtrip(&m);
     let reduced: usize = m
         .storage_stats()
         .unwrap()

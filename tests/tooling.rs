@@ -181,6 +181,137 @@ fn retention_policy_end_to_end_totals() {
     }
 }
 
+// --- load_from_dir error paths: every failure names the file and cause ---
+
+/// Saves a small warehouse under a unique temp dir and returns the spec
+/// that wrote it. With `sync: false` all facts stay at day level in the
+/// bottom cube.
+fn saved_dir(tag: &str, sync: bool) -> (DataReductionSpec, std::path::PathBuf) {
+    let (mo, spec) = paper_spec();
+    let mut m = SubcubeManager::new(spec.clone());
+    m.bulk_load(&mo).unwrap();
+    if sync {
+        m.sync(days_from_civil(2000, 11, 5)).unwrap();
+    }
+    let dir = std::env::temp_dir().join(format!("specdr-errs-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    m.save_to_dir(&dir).unwrap();
+    (spec, dir)
+}
+
+fn storage_msg(e: specdr::subcube::SubcubeError) -> String {
+    match e {
+        specdr::subcube::SubcubeError::Storage(msg) => msg,
+        other => panic!("expected SubcubeError::Storage, got: {other}"),
+    }
+}
+
+#[test]
+fn load_from_dir_reports_missing_cube_file() {
+    let (spec, dir) = saved_dir("missing", true);
+    let victim = dir.join("ckpt-000000").join("cube-1.sdr");
+    std::fs::remove_file(&victim).unwrap();
+    let msg = storage_msg(
+        SubcubeManager::load_from_dir(spec, &dir)
+            .err()
+            .expect("load should fail"),
+    );
+    assert!(msg.contains(&victim.display().to_string()), "{msg}");
+    assert!(msg.contains("No such file or directory"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_from_dir_reports_corrupt_cube_header() {
+    let (spec, dir) = saved_dir("corrupt", true);
+    let victim = dir.join("ckpt-000000").join("cube-0.sdr");
+    let mut bytes = std::fs::read(&victim).unwrap();
+    for b in bytes.iter_mut().take(8) {
+        *b ^= 0xFF;
+    }
+    std::fs::write(&victim, &bytes).unwrap();
+    let msg = storage_msg(
+        SubcubeManager::load_from_dir(spec, &dir)
+            .err()
+            .expect("load should fail"),
+    );
+    assert!(msg.contains(&victim.display().to_string()), "{msg}");
+    assert!(msg.contains("corrupt table: bad magic"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_from_dir_rejects_foreign_granularity_cube() {
+    // Day-level facts smuggled into a non-bottom cube slot must be
+    // rejected: the file parses, but its contents belong to a different
+    // layout.
+    let (spec, dir) = saved_dir("foreign", false);
+    let ckpt = dir.join("ckpt-000000");
+    std::fs::copy(ckpt.join("cube-0.sdr"), ckpt.join("cube-1.sdr")).unwrap();
+    let msg = storage_msg(
+        SubcubeManager::load_from_dir(spec, &dir)
+            .err()
+            .expect("load should fail"),
+    );
+    assert!(
+        msg.contains(
+            "fact at foreign granularity — was the directory written \
+             with a different specification?"
+        ),
+        "{msg}"
+    );
+    assert!(msg.contains("cube-1.sdr"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_from_dir_rejects_foreign_spec_with_hash_message() {
+    let (_, dir) = saved_dir("spechash", true);
+    let (schema2, _) = specdr::workload::paper_schema();
+    let only_a2 = parse_action(&schema2, ACTION_A2).unwrap();
+    let small = DataReductionSpec::new(schema2, vec![only_a2]).unwrap();
+    let msg = storage_msg(
+        SubcubeManager::load_from_dir(small, &dir)
+            .err()
+            .expect("load should fail"),
+    );
+    assert!(
+        msg.contains(
+            "specification hash mismatch — was the directory written \
+             with a different specification?"
+        ),
+        "{msg}"
+    );
+    assert!(msg.contains("MANIFEST"), "{msg}");
+    // The message shows what spec the directory was written with.
+    assert!(msg.contains("on disk:"), "{msg}");
+    assert!(msg.contains("a0 = p("), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn load_from_dir_rejects_extra_cubes_on_disk() {
+    let (spec, dir) = saved_dir("extra", true);
+    // Forge a manifest announcing one more cube than the layout defines
+    // (re-encoded, so the CRC is valid and the count check is what fires).
+    let man_path = dir.join("ckpt-000000").join("MANIFEST");
+    let mut man =
+        specdr::subcube::Manifest::decode(&man_path, &std::fs::read(&man_path).unwrap()).unwrap();
+    man.cube_count += 1;
+    std::fs::write(&man_path, man.encode()).unwrap();
+    let msg = storage_msg(
+        SubcubeManager::load_from_dir(spec, &dir)
+            .err()
+            .expect("load should fail"),
+    );
+    assert!(
+        msg.contains("more cubes on disk than the specification defines"),
+        "{msg}"
+    );
+    assert!(msg.contains("cube-3.sdr"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 // --- CLI behavior, driven through the real binary ---
 
 fn specdr_bin() -> std::process::Command {
@@ -271,6 +402,74 @@ fn cli_stats_prints_snapshot_table() {
     assert!(stdout.contains("reduce.facts_scanned"), "{stdout}");
     assert!(stdout.contains("spans:"), "{stdout}");
     assert!(stdout.contains("subcube.sync"), "{stdout}");
+}
+
+#[test]
+fn cli_checkpoint_then_recover_roundtrips() {
+    let dir = std::env::temp_dir().join(format!("specdr-cli-dur-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().unwrap();
+    let out = specdr_bin()
+        .args([
+            "checkpoint",
+            "--dir",
+            dir_s,
+            "--months",
+            "6",
+            "--clicks",
+            "10",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("checkpoint published"), "{stdout}");
+    assert!(stdout.contains("epoch      = 1"), "{stdout}");
+    assert!(stdout.contains("wal hwm    = 2 ops"), "{stdout}");
+    assert!(dir.join("CURRENT").exists());
+    assert!(dir.join("ckpt-000001").join("MANIFEST").exists());
+
+    let out = specdr_bin()
+        .args(["recover", "--dir", dir_s])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recovered"), "{stdout}");
+    assert!(stdout.contains("epoch           = 1"), "{stdout}");
+    assert!(
+        stdout.contains("replayed        = 0 WAL records"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("ops durable     = 2"), "{stdout}");
+    assert!(stdout.contains("facts across"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_recover_fails_on_missing_directory() {
+    let out = specdr_bin()
+        .args(["recover", "--dir", "/nonexistent/specdr-warehouse"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("CURRENT"), "{err}");
+}
+
+#[test]
+fn cli_checkpoint_requires_dir_flag() {
+    let out = specdr_bin().arg("checkpoint").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--dir"));
 }
 
 #[test]
