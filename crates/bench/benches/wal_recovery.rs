@@ -46,7 +46,7 @@ fn bench_wal_append(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("payload_bytes", size), &payload, |b, p| {
             let mut wal =
                 Wal::create(RealFs::shared(), dir.join(format!("w{size}.log")), 0).unwrap();
-            b.iter(|| black_box(wal.append(p).unwrap()));
+            b.iter(|| wal.append(black_box(p)).unwrap());
         });
     }
     g.finish();

@@ -67,6 +67,102 @@ pub fn fact_count(mo: &Mo) -> u64 {
     mo.len() as u64
 }
 
+/// An order-sensitive FNV-1a digest of an MO's full observable content
+/// (rendered rows plus provenance). Kernel and naive operator outputs
+/// must produce identical digests — the E10 bench and the CI perf smoke
+/// compare them before trusting any timing.
+pub fn mo_digest(mo: &Mo) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for f in mo.facts() {
+        eat(mo.render_fact(f).as_bytes());
+        eat(&mo.store().origin[f.index()].to_le_bytes());
+    }
+    h
+}
+
+/// A digest over a sequence of MOs (cube contents in cube order) so a
+/// whole warehouse state can be compared in one number.
+pub fn mos_digest<'a>(mos: impl IntoIterator<Item = &'a Mo>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for mo in mos {
+        h ^= mo_digest(mo);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The digest of a subcube manager's full state (every cube, in order).
+pub fn manager_digest(m: &sdr_subcube::SubcubeManager) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in m.cubes() {
+        h ^= mo_digest(&c.data.read());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Replays the pre-kernel synchronization scan: two independent cell
+/// resolutions per fact (`home_cube` for placement, `cell_for` for
+/// provenance), grouped into per-cube `BTreeMap`s and rebuilt into fresh
+/// MOs. The manager itself is not mutated — the result models what its
+/// cubes would hold after a sync at `now`, computed the naive way. Used
+/// by the E10 bench and the CI perf smoke as the timing and correctness
+/// baseline for the memoized kernel scan.
+pub fn sync_naive_replay(
+    m: &sdr_subcube::SubcubeManager,
+    spec: &DataReductionSpec,
+    now: DayNum,
+) -> Result<Vec<Mo>, Box<dyn std::error::Error>> {
+    use std::collections::BTreeMap;
+    /// Accumulator per target cell: folded measures plus the provenance id.
+    type CellAcc = (Vec<i64>, u32);
+    let schema = Arc::clone(m.schema());
+    let n = m.cubes().len();
+    let mut groups: Vec<BTreeMap<Vec<sdr_mdm::DimValue>, CellAcc>> =
+        (0..n).map(|_| BTreeMap::new()).collect();
+    for cube in m.cubes() {
+        let mo = cube.data.read();
+        for f in mo.facts() {
+            let coords = mo.coords(f);
+            let (home, target) = m.home_cube(&coords, now)?;
+            let cell = sdr_reduce::cell_for(spec, &coords, now)?;
+            let origin = match cell.responsible {
+                Some(id) => id.0,
+                None => mo.store().origin[f.index()],
+            };
+            let entry = groups[home.0].entry(target).or_insert_with(|| {
+                (
+                    schema.measures.iter().map(|m| m.agg.identity()).collect(),
+                    origin,
+                )
+            });
+            for j in 0..schema.n_measures() {
+                entry.0[j] = schema.measures[j]
+                    .agg
+                    .combine(entry.0[j], mo.measure(f, sdr_mdm::MeasureId(j as u16)));
+            }
+            if origin != sdr_mdm::ORIGIN_USER {
+                entry.1 = origin;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for g in groups {
+        let mut mo = Mo::new(Arc::clone(&schema));
+        for (coords, (ms, origin)) in g {
+            mo.insert_fact_at(&coords, &ms, origin)?;
+        }
+        out.push(mo);
+    }
+    Ok(out)
+}
+
 /// Turns metric recording on for a benchmark run and clears anything a
 /// previous target left behind. Call once at the top of a bench `main`.
 pub fn obs_begin() {

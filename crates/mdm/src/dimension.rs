@@ -446,6 +446,37 @@ impl Dimension {
         }
     }
 
+    /// The largest value code any cell over this dimension can carry, at
+    /// any category — the bound [`crate::pack::KeyPacker`] sizes its bit
+    /// fields from. For enumerated dimensions this is the largest interned
+    /// id; for the time dimension, the code of the horizon's last day
+    /// rolled up to each category (codes are order-preserving per
+    /// category, so the latest value has the largest code).
+    pub fn max_code(&self) -> u64 {
+        match self {
+            Dimension::Time(t) => {
+                let last = TimeValue::Day(t.max_day);
+                self.graph()
+                    .all()
+                    .map(|c| {
+                        if c == self.graph().top() {
+                            TimeValue::Top.code()
+                        } else {
+                            last.rollup(c).map(|v| v.code()).unwrap_or(0)
+                        }
+                    })
+                    .max()
+                    .unwrap_or(0)
+            }
+            Dimension::Enum(e) => self
+                .graph()
+                .all()
+                .map(|c| e.cardinality(c).saturating_sub(1) as u64)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
     /// The single `⊤` value of the dimension.
     pub fn top_value(&self) -> DimValue {
         match self {

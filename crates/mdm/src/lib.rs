@@ -25,6 +25,7 @@ pub mod category;
 pub mod dimension;
 pub mod error;
 pub mod mo;
+pub mod pack;
 pub mod print;
 pub mod schema;
 pub mod time;
@@ -36,6 +37,7 @@ pub use dimension::{
 };
 pub use error::MdmError;
 pub use mo::{FactId, FactStore, Mo, ORIGIN_USER};
+pub use pack::{FxBuildHasher, FxHashMap, FxHasher, KeyPacker, PackedKey};
 pub use print::{render_table, TableOptions};
 pub use schema::{AggFn, Granularity, MeasureDef, MeasureId, Schema};
 pub use time::{cat as time_cat, Span, TimeDimension, TimeUnit, TimeValue};

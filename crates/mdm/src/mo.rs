@@ -125,6 +125,27 @@ impl FactStore {
         self.measures[m.index()][f.index()]
     }
 
+    /// Columnar gather: a new store holding exactly the given rows, in
+    /// order. The vectorized selection kernel uses this instead of
+    /// re-inserting surviving facts row by row.
+    pub fn gather(&self, rows: &[u32]) -> FactStore {
+        let mut out = FactStore::new(self.cats.len(), self.measures.len());
+        out.reserve(rows.len());
+        for (src, dst) in self.cats.iter().zip(&mut out.cats) {
+            dst.extend(rows.iter().map(|&r| src[r as usize]));
+        }
+        for (src, dst) in self.codes.iter().zip(&mut out.codes) {
+            dst.extend(rows.iter().map(|&r| src[r as usize]));
+        }
+        for (src, dst) in self.measures.iter().zip(&mut out.measures) {
+            dst.extend(rows.iter().map(|&r| src[r as usize]));
+        }
+        out.origin
+            .extend(rows.iter().map(|&r| self.origin[r as usize]));
+        out.len = rows.len();
+        out
+    }
+
     /// Estimated resident bytes of the store (columnar payload only).
     pub fn approx_bytes(&self) -> usize {
         self.cats.iter().map(|c| c.len()).sum::<usize>()
@@ -288,6 +309,15 @@ impl Mo {
     /// Creates an MO with the same schema and no facts.
     pub fn empty_like(&self) -> Mo {
         Mo::new(Arc::clone(&self.schema))
+    }
+
+    /// Columnar gather: an MO holding exactly the given rows of `self`, in
+    /// order, with provenance preserved (see [`FactStore::gather`]).
+    pub fn gather(&self, rows: &[u32]) -> Mo {
+        Mo {
+            schema: Arc::clone(&self.schema),
+            store: self.store.gather(rows),
+        }
     }
 
     /// Appends all facts of `other` (same schema required) into `self`.

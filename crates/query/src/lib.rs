@@ -23,13 +23,13 @@ pub mod error;
 pub mod project;
 pub mod select;
 
-pub use aggregate::{aggregate, aggregate_ids, AggApproach};
+pub use aggregate::{aggregate, aggregate_ids, aggregate_ids_naive, AggApproach};
 pub use builder::Query;
 pub use collapse::collapse_dimensions;
 pub use compare::{compare, compare_weight, member_of, member_weight, SelectMode};
 pub use error::QueryError;
 pub use project::{project, project_ids};
-pub use select::{predicate_weight, satisfies, select, select_weighted};
+pub use select::{predicate_weight, satisfies, select, select_naive, select_view, select_weighted};
 
 #[cfg(test)]
 mod tests {

@@ -5,9 +5,27 @@
 //! accordingly, dimensions and schema stay unchanged. Atoms are evaluated
 //! with Definition 5's varying-granularity comparison semantics under the
 //! chosen [`SelectMode`].
+//!
+//! # Vectorized kernel
+//!
+//! [`select`] runs a compiled kernel: the predicate is normalized to DNF
+//! **once** and every `NOW`-dependent term is pre-resolved into a constant
+//! ([`CompiledSelect`]); the decision for a fact depends only on its
+//! direct cell, so decisions are memoized per *distinct* cell (packed
+//! into a `u64`/`u128` key by [`KeyPacker`]) and surviving rows are
+//! materialized with one columnar gather instead of per-fact re-inserts.
+//! [`select_view`] additionally returns `Cow::Borrowed` when nothing is
+//! filtered (no predicate, or a full selection), eliminating the deep
+//! copy the subcube query path used to pay.
+//!
+//! The row-at-a-time reference implementation is retained as
+//! [`select_naive`]; the differential property suite asserts kernel ≡
+//! reference on arbitrary workloads.
 
-use sdr_mdm::{DayNum, FactId, Mo};
-use sdr_spec::{to_dnf, Atom, AtomKind, Pexp};
+use std::borrow::Cow;
+
+use sdr_mdm::{DayNum, DimId, DimValue, FactId, FxHashMap, KeyPacker, Mo, PackedKey};
+use sdr_spec::{to_dnf, Atom, AtomKind, CmpOp, Pexp};
 
 use crate::compare::{compare, compare_weight, member_of, member_weight, SelectMode};
 use crate::error::QueryError;
@@ -123,9 +141,338 @@ pub fn satisfies(
     Ok(false)
 }
 
+/// A selection predicate compiled for one `(schema, NOW)` pass: DNF
+/// normalized once, every term resolved to a constant. Decisions computed
+/// from it agree with [`satisfies`] / [`predicate_weight`] on every fact.
+struct CompiledSelect {
+    dnf: Vec<Vec<SelAtom>>,
+}
+
+struct SelAtom {
+    dim: DimId,
+    negated: bool,
+    kind: SelKind,
+}
+
+enum SelKind {
+    Cmp { op: CmpOp, c: DimValue },
+    In { consts: Vec<DimValue> },
+}
+
+impl CompiledSelect {
+    fn compile(mo: &Mo, p: &Pexp, now: DayNum) -> Result<CompiledSelect, QueryError> {
+        let schema = mo.schema();
+        let mut dnf = Vec::new();
+        for conj in to_dnf(p) {
+            let mut out = Vec::with_capacity(conj.len());
+            for atom in &conj {
+                let kind = match &atom.kind {
+                    AtomKind::Cmp { op, term } => SelKind::Cmp {
+                        op: *op,
+                        c: sdr_spec::eval::term_value(schema, atom, term, now)?,
+                    },
+                    AtomKind::In { terms } => SelKind::In {
+                        consts: terms
+                            .iter()
+                            .map(|t| sdr_spec::eval::term_value(schema, atom, t, now))
+                            .collect::<Result<_, _>>()?,
+                    },
+                };
+                out.push(SelAtom {
+                    dim: atom.dim,
+                    negated: atom.negated,
+                    kind,
+                });
+            }
+            dnf.push(out);
+        }
+        Ok(CompiledSelect { dnf })
+    }
+
+    /// One atom on a single dimension value — mirrors [`eval_atom`] with
+    /// resolved constants. An atom depends only on its own dimension's
+    /// value, which is what makes the per-dimension mask memo exact.
+    fn eval_atom_value(
+        &self,
+        mo: &Mo,
+        a: &SelAtom,
+        v: DimValue,
+        mode: SelectMode,
+    ) -> Result<bool, QueryError> {
+        let dim = mo.schema().dim(a.dim);
+        match &a.kind {
+            SelKind::Cmp { op, c } => {
+                let op = if a.negated { op.negate() } else { *op };
+                compare(dim, v, op, *c, mode)
+            }
+            SelKind::In { consts } => {
+                if a.negated {
+                    let w = 1.0 - member_weight(dim, v, consts)?;
+                    Ok(match mode {
+                        SelectMode::Conservative => w >= 1.0,
+                        SelectMode::Liberal => w > 0.0,
+                        SelectMode::Weighted { threshold } => w >= threshold,
+                    })
+                } else {
+                    member_of(dim, v, consts, mode)
+                }
+            }
+        }
+    }
+
+    /// The decision for one distinct cell — mirrors [`satisfies`].
+    fn decide_cell(
+        &self,
+        mo: &Mo,
+        coords: &[DimValue],
+        mode: SelectMode,
+    ) -> Result<bool, QueryError> {
+        if let SelectMode::Weighted { threshold } = mode {
+            return Ok(self.weight_cell(mo, coords)? >= threshold);
+        }
+        'conj: for conj in &self.dnf {
+            for atom in conj {
+                if !self.eval_atom_value(mo, atom, coords[atom.dim.index()], mode)? {
+                    continue 'conj;
+                }
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// The satisfaction weight for one distinct cell — mirrors
+    /// [`predicate_weight`].
+    fn weight_cell(&self, mo: &Mo, coords: &[DimValue]) -> Result<f64, QueryError> {
+        let schema = mo.schema();
+        let mut best = 0.0f64;
+        for conj in &self.dnf {
+            let mut w = 1.0f64;
+            for a in conj {
+                let dim = schema.dim(a.dim);
+                let v = coords[a.dim.index()];
+                let aw = match &a.kind {
+                    SelKind::Cmp { op, c } => {
+                        let op = if a.negated { op.negate() } else { *op };
+                        compare_weight(dim, v, op, *c)?
+                    }
+                    SelKind::In { consts } => {
+                        let mw = member_weight(dim, v, consts)?;
+                        if a.negated {
+                            1.0 - mw
+                        } else {
+                            mw
+                        }
+                    }
+                };
+                w *= aw;
+                if w == 0.0 {
+                    break;
+                }
+            }
+            best = best.max(w);
+        }
+        Ok(best)
+    }
+}
+
+/// A bitmask execution plan over a [`CompiledSelect`]: every atom
+/// occurrence gets one bit, and a conjunction holds iff all its bits are
+/// satisfied. Because each atom reads exactly one dimension value, the
+/// satisfied-bit set of a fact is the union of per-dimension masks — and
+/// One atom occurrence within a dimension's plan: its mask bit plus the
+/// `(conjunction, atom)` address inside the compiled DNF.
+type AtomSlot = (u64, usize, usize);
+
+/// those are memoized per *distinct dimension value*, of which there are
+/// orders of magnitude fewer than distinct cells. Built only when the
+/// predicate has ≤ 64 atom occurrences (callers fall back to the
+/// cell-memo kernel otherwise).
+struct SelMaskPlan {
+    /// One bit-set per conjunction; a fact is kept iff any conjunction's
+    /// mask is contained in its satisfied mask.
+    conj_masks: Vec<u64>,
+    /// Dimensions that carry atoms: for each, the (bit, conj, atom)
+    /// positions to evaluate on a memo miss.
+    dims: Vec<(DimId, Vec<AtomSlot>)>,
+}
+
+impl SelMaskPlan {
+    fn build(compiled: &CompiledSelect) -> Option<SelMaskPlan> {
+        let n: usize = compiled.dnf.iter().map(|c| c.len()).sum();
+        if n > 64 {
+            return None;
+        }
+        let mut conj_masks = Vec::with_capacity(compiled.dnf.len());
+        let mut dims: Vec<(DimId, Vec<AtomSlot>)> = Vec::new();
+        let mut bit = 0u32;
+        for (ci, conj) in compiled.dnf.iter().enumerate() {
+            let mut cm = 0u64;
+            for (ai, atom) in conj.iter().enumerate() {
+                let b = 1u64 << bit;
+                bit += 1;
+                cm |= b;
+                match dims.iter_mut().find(|(d, _)| *d == atom.dim) {
+                    Some((_, v)) => v.push((b, ci, ai)),
+                    None => dims.push((atom.dim, vec![(b, ci, ai)])),
+                }
+            }
+            conj_masks.push(cm);
+        }
+        Some(SelMaskPlan { conj_masks, dims })
+    }
+}
+
+/// The per-dimension mask scan: one small memo per dimension (distinct
+/// dimension values, not distinct cells), bit-ops per fact.
+fn keep_rows_masked(
+    mo: &Mo,
+    compiled: &CompiledSelect,
+    plan: &SelMaskPlan,
+    mode: SelectMode,
+) -> Result<Vec<u32>, QueryError> {
+    let store = mo.store();
+    let mut memos: Vec<FxHashMap<(u8, u64), u64>> =
+        plan.dims.iter().map(|_| FxHashMap::default()).collect();
+    let mut keep = Vec::new();
+    let mut distinct = 0u64;
+    for f in mo.facts() {
+        let i = f.index();
+        let mut sat = 0u64;
+        for (di, (dim, atoms)) in plan.dims.iter().enumerate() {
+            let d = dim.index();
+            let cat = store.cats[d][i];
+            let code = store.codes[d][i];
+            sat |= match memos[di].get(&(cat, code)) {
+                Some(&m) => m,
+                None => {
+                    let v = DimValue {
+                        cat: sdr_mdm::CatId(cat),
+                        code,
+                    };
+                    let mut m = 0u64;
+                    for &(b, ci, ai) in atoms {
+                        if compiled.eval_atom_value(mo, &compiled.dnf[ci][ai], v, mode)? {
+                            m |= b;
+                        }
+                    }
+                    memos[di].insert((cat, code), m);
+                    distinct += 1;
+                    m
+                }
+            };
+        }
+        if plan.conj_masks.iter().any(|&cm| cm & !sat == 0) {
+            keep.push(f.0);
+        }
+    }
+    if sdr_obs::enabled() {
+        sdr_obs::add("query.select.kernel.distinct_dim_values", distinct);
+    }
+    Ok(keep)
+}
+
+/// The kernel scan: memoize the per-cell decision under the packed key,
+/// return the surviving row indices.
+fn keep_rows_kernel<K: PackedKey>(
+    mo: &Mo,
+    packer: &KeyPacker,
+    compiled: &CompiledSelect,
+    mode: SelectMode,
+) -> Result<Vec<u32>, QueryError> {
+    let store = mo.store();
+    let mut memo: FxHashMap<K, bool> = FxHashMap::default();
+    let mut keep = Vec::new();
+    for f in mo.facts() {
+        let key = K::from_wide(packer.pack_row(store, f));
+        let dec = match memo.get(&key) {
+            Some(&d) => d,
+            None => {
+                let d = compiled.decide_cell(mo, &mo.coords(f), mode)?;
+                memo.insert(key, d);
+                d
+            }
+        };
+        if dec {
+            keep.push(f.0);
+        }
+    }
+    if sdr_obs::enabled() {
+        sdr_obs::add("query.select.kernel.distinct_cells", memo.len() as u64);
+    }
+    Ok(keep)
+}
+
+/// The surviving rows of `mo` under `p`: the per-dimension mask kernel
+/// for boolean modes (≤ 64 atoms), the packed-cell memo kernel for the
+/// weighted mode (or very wide predicates), row-at-a-time otherwise.
+fn keep_rows(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Vec<u32>, QueryError> {
+    let compiled = CompiledSelect::compile(mo, p, now)?;
+    if !matches!(mode, SelectMode::Weighted { .. }) {
+        if let Some(plan) = SelMaskPlan::build(&compiled) {
+            return keep_rows_masked(mo, &compiled, &plan, mode);
+        }
+    }
+    match KeyPacker::new(mo.schema()) {
+        Some(pk) => {
+            if pk.fits64() {
+                keep_rows_kernel::<u64>(mo, &pk, &compiled, mode)
+            } else {
+                keep_rows_kernel::<u128>(mo, &pk, &compiled, mode)
+            }
+        }
+        None => {
+            let mut keep = Vec::new();
+            for f in mo.facts() {
+                if satisfies(mo, p, f, now, mode)? {
+                    keep.push(f.0);
+                }
+            }
+            Ok(keep)
+        }
+    }
+}
+
+/// The selection operator `σ[p](O)` (Equation 36) under `mode`, with
+/// `None` meaning "no predicate" (every fact qualifies). Returns a
+/// borrowed view when nothing is filtered out — the caller pays for a
+/// copy only when the selection actually narrows the fact set.
+pub fn select_view<'a>(
+    mo: &'a Mo,
+    p: Option<&Pexp>,
+    now: DayNum,
+    mode: SelectMode,
+) -> Result<Cow<'a, Mo>, QueryError> {
+    let _span = sdr_obs::span("query.select");
+    let out = match p {
+        None => Cow::Borrowed(mo),
+        Some(p) => {
+            let keep = keep_rows(mo, p, now, mode)?;
+            if keep.len() == mo.len() {
+                Cow::Borrowed(mo)
+            } else {
+                Cow::Owned(mo.gather(&keep))
+            }
+        }
+    };
+    if sdr_obs::enabled() {
+        sdr_obs::add("query.select.cells_visited", mo.len() as u64);
+        sdr_obs::add("query.select.cells_kept", out.len() as u64);
+    }
+    Ok(out)
+}
+
 /// The selection operator `σ[p](O)` (Equation 36) under `mode`.
 pub fn select(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, QueryError> {
-    let _span = sdr_obs::span("query.select");
+    Ok(select_view(mo, Some(p), now, mode)?.into_owned())
+}
+
+/// The retained row-at-a-time reference implementation of [`select`]:
+/// re-normalizes the predicate and re-resolves `NOW` terms per fact, and
+/// rebuilds the output fact by fact. Kept for the differential property
+/// suite and the E10 kernel-vs-naive benchmarks; not used by the
+/// operators.
+pub fn select_naive(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, QueryError> {
     let mut out = mo.empty_like();
     for f in mo.facts() {
         if satisfies(mo, p, f, now, mode)? {
@@ -136,27 +483,61 @@ pub fn select(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, Qu
             )?;
         }
     }
-    if sdr_obs::enabled() {
-        sdr_obs::add("query.select.cells_visited", mo.len() as u64);
-        sdr_obs::add("query.select.cells_kept", out.len() as u64);
-    }
     Ok(out)
 }
 
 /// Weighted selection returning each qualifying fact with its weight
 /// (Section 6.1's weighted approach exposes the certainty to the caller).
+/// Weights are memoized per distinct cell like the boolean kernel.
 pub fn select_weighted(
     mo: &Mo,
     p: &Pexp,
     now: DayNum,
     threshold: f64,
 ) -> Result<Vec<(FactId, f64)>, QueryError> {
-    let mut out = Vec::new();
-    for f in mo.facts() {
-        let w = predicate_weight(mo, p, f, now)?;
-        if w >= threshold && w > 0.0 {
-            out.push((f, w));
+    fn run<K: PackedKey>(
+        mo: &Mo,
+        packer: &KeyPacker,
+        compiled: &CompiledSelect,
+        threshold: f64,
+    ) -> Result<Vec<(FactId, f64)>, QueryError> {
+        let store = mo.store();
+        let mut memo: FxHashMap<K, f64> = FxHashMap::default();
+        let mut out = Vec::new();
+        for f in mo.facts() {
+            let key = K::from_wide(packer.pack_row(store, f));
+            let w = match memo.get(&key) {
+                Some(&w) => w,
+                None => {
+                    let w = compiled.weight_cell(mo, &mo.coords(f))?;
+                    memo.insert(key, w);
+                    w
+                }
+            };
+            if w >= threshold && w > 0.0 {
+                out.push((f, w));
+            }
+        }
+        Ok(out)
+    }
+    match KeyPacker::new(mo.schema()) {
+        Some(pk) => {
+            let compiled = CompiledSelect::compile(mo, p, now)?;
+            if pk.fits64() {
+                run::<u64>(mo, &pk, &compiled, threshold)
+            } else {
+                run::<u128>(mo, &pk, &compiled, threshold)
+            }
+        }
+        None => {
+            let mut out = Vec::new();
+            for f in mo.facts() {
+                let w = predicate_weight(mo, p, f, now)?;
+                if w >= threshold && w > 0.0 {
+                    out.push((f, w));
+                }
+            }
+            Ok(out)
         }
     }
-    Ok(out)
 }

@@ -27,7 +27,9 @@ pub use error::ReduceError;
 pub use growing::check_growing;
 pub use noncrossing::{check_noncrossing, noncrossing_pair};
 pub use purge::{reduce_and_purge, PurgeSpec};
-pub use semantics::{agg_level, cell, cell_for, reduce, spec_gran, CellResult};
+pub use semantics::{
+    agg_level, cell, cell_for, reduce, reduce_naive, spec_gran, CellMemo, CellResult,
+};
 pub use spec_set::DataReductionSpec;
 
 #[cfg(test)]

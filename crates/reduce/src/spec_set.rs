@@ -21,6 +21,15 @@ pub struct DataReductionSpec {
     schema: Arc<Schema>,
     actions: Vec<(ActionId, ActionSpec)>,
     next_id: u32,
+    /// Pre-built obs counter names (`reduce.action.a{id}.facts_raised`),
+    /// index-aligned with `actions`, so repeated reductions (e.g. the
+    /// subcube sync path) never re-format metric names.
+    raised_metrics: Vec<String>,
+}
+
+/// The obs counter name for one action's raise count.
+fn raised_metric_name(id: u32) -> String {
+    format!("reduce.action.a{id}.facts_raised")
 }
 
 impl DataReductionSpec {
@@ -30,6 +39,7 @@ impl DataReductionSpec {
             schema,
             actions: Vec::new(),
             next_id: 0,
+            raised_metrics: Vec::new(),
         }
     }
 
@@ -50,6 +60,10 @@ impl DataReductionSpec {
             .map(|(i, a)| (ActionId(i as u32), a))
             .collect();
         spec.next_id = tagged.len() as u32;
+        spec.raised_metrics = tagged
+            .iter()
+            .map(|(id, _)| raised_metric_name(id.0))
+            .collect();
         spec.actions = tagged;
         noncrossing::check_noncrossing(&spec.schema, spec.action_specs())?;
         growing::check_growing(&spec.schema, spec.action_specs())?;
@@ -70,10 +84,15 @@ impl DataReductionSpec {
         for (_, a) in &actions {
             a.validate(&schema)?;
         }
+        let raised_metrics = actions
+            .iter()
+            .map(|(id, _)| raised_metric_name(id.0))
+            .collect();
         let spec = DataReductionSpec {
             schema,
             actions,
             next_id,
+            raised_metrics,
         };
         noncrossing::check_noncrossing(&spec.schema, spec.action_specs())?;
         growing::check_growing(&spec.schema, spec.action_specs())?;
@@ -145,6 +164,7 @@ impl DataReductionSpec {
             let id = ActionId(self.next_id);
             self.next_id += 1;
             ids.push(id);
+            self.raised_metrics.push(raised_metric_name(id.0));
             self.actions.push((id, a));
         }
         Ok(ids)
@@ -210,7 +230,21 @@ impl DataReductionSpec {
             }
         }
         self.actions.retain(|(i, _)| !ids.contains(i));
+        self.raised_metrics = self
+            .actions
+            .iter()
+            .map(|(id, _)| raised_metric_name(id.0))
+            .collect();
         Ok(())
+    }
+
+    /// The cached obs counter name for an action's raise count
+    /// (`reduce.action.a{id}.facts_raised`); `None` for unknown ids.
+    pub fn raised_metric(&self, id: ActionId) -> Option<&str> {
+        self.actions
+            .iter()
+            .position(|(i, _)| *i == id)
+            .map(|k| self.raised_metrics[k].as_str())
     }
 
     /// Renders the whole specification.

@@ -1,0 +1,247 @@
+//! Predicate compilation for the vectorized kernels.
+//!
+//! [`eval_pred`](crate::eval::eval_pred) is exact but per-call expensive:
+//! every evaluation walks the `Pexp` tree and re-resolves `NOW`-dependent
+//! terms through the calendar. Reduction evaluates every action's
+//! predicate for every fact, so a pass over *n* facts with *a* actions
+//! pays `n·a` tree walks and `NOW` groundings even though `NOW` is fixed
+//! for the whole pass.
+//!
+//! [`CompiledPred`] does that work once per pass: the predicate is
+//! normalized to DNF, and every term — including `NOW ± k` expressions —
+//! is pre-evaluated into a constant [`DimValue`]. Evaluation then runs
+//! over flat conjunctions of resolved atoms with no allocation.
+//!
+//! # Exactness
+//!
+//! Compilation must reproduce `eval_pred` *bit for bit*, including one
+//! subtle convention: an atom whose cell value is coarser than the atom's
+//! category is **unsatisfied** (`false`) regardless of the atom's own
+//! `negated` flag — but a syntactic `NOT` *around* it still flips that
+//! `false` to `true`. Folding context negation into `Atom::negated` (as
+//! plain DNF normalization does) would conflate the two and change the
+//! result for unevaluable atoms. The compiled form therefore keeps the
+//! context negation in a separate `ctx_negated` bit applied *outside* the
+//! atom evaluation. With atoms treated as opaque boolean leaves, De Morgan
+//! and distribution are truth-preserving for every leaf valuation, so the
+//! compiled DNF agrees with the recursive evaluation on every cell.
+
+use sdr_mdm::{CatId, DayNum, DimId, DimValue, Schema};
+
+use crate::ast::{Atom, AtomKind, CmpOp, Pexp};
+use crate::error::SpecError;
+use crate::eval::term_value;
+
+/// The comparison kind of a compiled atom, with all terms resolved to
+/// constants of the atom's category.
+#[derive(Debug, Clone)]
+enum CompiledKind {
+    /// `value(dim) op constant`.
+    Cmp {
+        /// Comparison operator.
+        op: CmpOp,
+        /// The pre-resolved constant.
+        value: DimValue,
+    },
+    /// `value(dim) IN {constants}`.
+    In {
+        /// The pre-resolved member constants.
+        values: Vec<DimValue>,
+    },
+}
+
+/// One leaf of the compiled DNF: a resolved atom plus the negation
+/// context it was compiled under.
+#[derive(Debug, Clone)]
+struct CompiledLeaf {
+    dim: DimId,
+    cat: CatId,
+    /// The source atom's own negation — applied to the comparison result,
+    /// exactly like [`crate::eval::eval_atom`]'s `raw ^ a.negated`.
+    negated: bool,
+    /// Negation inherited from enclosing `NOT`s — applied *outside* the
+    /// atom, so an unevaluable atom under `NOT` yields `true` (see the
+    /// module docs).
+    ctx_negated: bool,
+    kind: CompiledKind,
+}
+
+impl CompiledLeaf {
+    /// Evaluates the leaf on a cell; mirrors
+    /// [`crate::eval::eval_atom`] with the context negation applied last.
+    #[inline]
+    fn eval(&self, schema: &Schema, coords: &[DimValue]) -> Result<bool, SpecError> {
+        self.eval_value(schema, coords[self.dim.index()])
+    }
+
+    /// Evaluates the leaf on a single dimension value. A leaf reads
+    /// exactly one dimension, which is what makes per-dimension
+    /// memoization of leaf outcomes exact.
+    #[inline]
+    fn eval_value(&self, schema: &Schema, v: DimValue) -> Result<bool, SpecError> {
+        let dim = schema.dim(self.dim);
+        let atom_value = if !dim.graph().leq(v.cat, self.cat) {
+            false
+        } else {
+            let rv = dim.rollup(v, self.cat)?;
+            let raw = match &self.kind {
+                CompiledKind::Cmp { op, value } => op.test(rv.code.cmp(&value.code)),
+                CompiledKind::In { values } => values.iter().any(|t| t.code == rv.code),
+            };
+            raw ^ self.negated
+        };
+        Ok(atom_value ^ self.ctx_negated)
+    }
+}
+
+/// A predicate compiled for one `(schema, NOW)` pass: DNF over resolved
+/// atoms, evaluable on any cell without further allocation or calendar
+/// arithmetic. Build once per reduction/query pass with
+/// [`CompiledPred::compile`], evaluate per cell with
+/// [`CompiledPred::eval_cell`].
+#[derive(Debug, Clone)]
+pub struct CompiledPred {
+    /// Disjunction of conjunctions; `vec![]` is `false`,
+    /// `vec![vec![]]` is `true`.
+    dnf: Vec<Vec<CompiledLeaf>>,
+}
+
+impl CompiledPred {
+    /// Compiles `p` against `schema` with `NOW ← now`. All terms are
+    /// resolved to constants here, so evaluation never touches the
+    /// calendar.
+    pub fn compile(schema: &Schema, p: &Pexp, now: DayNum) -> Result<CompiledPred, SpecError> {
+        Ok(CompiledPred {
+            dnf: nnf_dnf(schema, p, false, now)?,
+        })
+    }
+
+    /// Evaluates the compiled predicate on a cell of direct coordinates.
+    /// Agrees with [`crate::eval::eval_pred`] on every cell.
+    pub fn eval_cell(&self, schema: &Schema, coords: &[DimValue]) -> Result<bool, SpecError> {
+        'conj: for conj in &self.dnf {
+            for leaf in conj {
+                if !leaf.eval(schema, coords)? {
+                    continue 'conj;
+                }
+            }
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// True when the compiled form is the constant `false` (no
+    /// disjuncts) — lets kernels skip whole passes.
+    pub fn is_const_false(&self) -> bool {
+        self.dnf.is_empty()
+    }
+
+    /// True when the compiled form is the constant `true` (one empty
+    /// conjunction and nothing else).
+    pub fn is_const_true(&self) -> bool {
+        self.dnf.len() == 1 && self.dnf[0].is_empty()
+    }
+
+    /// Total leaf (atom occurrence) count across all conjunctions.
+    pub fn n_leaves(&self) -> usize {
+        self.dnf.iter().map(|c| c.len()).sum()
+    }
+
+    /// Leaf count of each conjunction, in DNF order. Together with
+    /// [`CompiledPred::leaf_dim`] and [`CompiledPred::eval_leaf`] this
+    /// lets mask-based kernels lay the leaves out in a flat bit space
+    /// without exposing the DNF representation.
+    pub fn conj_lens(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dnf.iter().map(|c| c.len())
+    }
+
+    /// The dimension leaf `(conj, leaf)` reads.
+    pub fn leaf_dim(&self, conj: usize, leaf: usize) -> DimId {
+        self.dnf[conj][leaf].dim
+    }
+
+    /// Evaluates leaf `(conj, leaf)` on a single dimension value —
+    /// exactly the contribution that leaf makes to
+    /// [`CompiledPred::eval_cell`] for a cell whose value in the leaf's
+    /// dimension is `v`.
+    pub fn eval_leaf(
+        &self,
+        schema: &Schema,
+        conj: usize,
+        leaf: usize,
+        v: DimValue,
+    ) -> Result<bool, SpecError> {
+        self.dnf[conj][leaf].eval_value(schema, v)
+    }
+}
+
+/// DNF normalization with term resolution, keeping context negation on a
+/// separate bit (see the module docs for why `a.negated ^= neg` would be
+/// wrong here).
+fn nnf_dnf(
+    schema: &Schema,
+    p: &Pexp,
+    neg: bool,
+    now: DayNum,
+) -> Result<Vec<Vec<CompiledLeaf>>, SpecError> {
+    Ok(match (p, neg) {
+        (Pexp::True, false) | (Pexp::False, true) => vec![vec![]],
+        (Pexp::True, true) | (Pexp::False, false) => vec![],
+        (Pexp::Not(x), _) => nnf_dnf(schema, x, !neg, now)?,
+        (Pexp::Atom(a), _) => vec![vec![compile_leaf(schema, a, neg, now)?]],
+        (Pexp::And(xs), false) | (Pexp::Or(xs), true) => {
+            // Conjunction: distribute over the children's disjuncts.
+            let mut acc: Vec<Vec<CompiledLeaf>> = vec![vec![]];
+            for x in xs {
+                let d = nnf_dnf(schema, x, neg, now)?;
+                let mut next = Vec::with_capacity(acc.len() * d.len());
+                for left in &acc {
+                    for right in &d {
+                        let mut c = left.clone();
+                        c.extend(right.iter().cloned());
+                        next.push(c);
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    return Ok(acc);
+                }
+            }
+            acc
+        }
+        (Pexp::Or(xs), false) | (Pexp::And(xs), true) => {
+            let mut out = Vec::new();
+            for x in xs {
+                out.extend(nnf_dnf(schema, x, neg, now)?);
+            }
+            out
+        }
+    })
+}
+
+fn compile_leaf(
+    schema: &Schema,
+    a: &Atom,
+    ctx_negated: bool,
+    now: DayNum,
+) -> Result<CompiledLeaf, SpecError> {
+    let kind = match &a.kind {
+        AtomKind::Cmp { op, term } => CompiledKind::Cmp {
+            op: *op,
+            value: term_value(schema, a, term, now)?,
+        },
+        AtomKind::In { terms } => CompiledKind::In {
+            values: terms
+                .iter()
+                .map(|t| term_value(schema, a, t, now))
+                .collect::<Result<_, _>>()?,
+        },
+    };
+    Ok(CompiledLeaf {
+        dim: a.dim,
+        cat: a.cat,
+        negated: a.negated,
+        ctx_negated,
+        kind,
+    })
+}

@@ -21,6 +21,7 @@
 
 pub mod analyze;
 pub mod ast;
+pub mod compile;
 pub mod dnf;
 pub mod error;
 pub mod eval;
@@ -30,6 +31,7 @@ pub mod parser;
 
 pub use analyze::{classify_conj, next_step_day, step_days, step_days_union, GrowthClass};
 pub use ast::{ActionId, ActionSpec, Atom, AtomKind, CmpOp, Pexp, Term};
+pub use compile::CompiledPred;
 pub use dnf::{from_dnf, split_action, to_dnf, Conj};
 pub use error::SpecError;
 pub use eval::{eval_pred, is_dynamic};

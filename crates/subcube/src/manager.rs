@@ -245,25 +245,33 @@ impl SubcubeManager {
         let mut stats = SyncStats::default();
         // Per-source-cube migration counts, published once after the scan.
         let mut migrated_from = vec![0u64; n];
+        // One compiled, memoized cell resolution per fact (shared across
+        // home and provenance, cached per distinct cell) — the scan used
+        // to evaluate every action predicate twice per fact.
+        let mut cell_memo = sdr_reduce::CellMemo::new(&self.spec, now)?;
         for (ci, cube) in self.cubes.iter().enumerate() {
             let mo = cube.data.read();
             for f in mo.facts() {
                 let coords = mo.coords(f);
-                let (home, target) = self.home_cube(&coords, now)?;
-                if home.0 == ci && target == coords {
+                let cell = cell_memo.cell(&coords)?;
+                let grain = Granularity(cell.coords.iter().map(|v| v.cat).collect());
+                let home = self
+                    .cubes
+                    .iter()
+                    .position(|k| k.grain == grain)
+                    .unwrap_or(0);
+                let target = cell.coords;
+                if home == ci && target == coords {
                     stats.kept += 1;
                 } else {
                     stats.migrated += 1;
                     migrated_from[ci] += 1;
                 }
-                let origin = {
-                    let cell = cell_for(&self.spec, &coords, now)?;
-                    match cell.responsible {
-                        Some(id) => id.0,
-                        None => mo.store().origin[f.index()],
-                    }
+                let origin = match cell.responsible {
+                    Some(id) => id.0,
+                    None => mo.store().origin[f.index()],
                 };
-                let entry = groups[home.0].entry(target).or_insert_with(|| {
+                let entry = groups[home].entry(target).or_insert_with(|| {
                     (
                         schema.measures.iter().map(|m| m.agg.identity()).collect(),
                         origin,
@@ -278,6 +286,9 @@ impl SubcubeManager {
                     entry.1 = origin;
                 }
             }
+        }
+        if obs_on {
+            sdr_obs::add("subcube.sync.distinct_cells", cell_memo.distinct() as u64);
         }
         drop(scan_span);
         let rebuild_span = sdr_obs::span("subcube.sync.rebuild");

@@ -16,7 +16,7 @@
 //!   which the test suite verifies.
 
 use sdr_mdm::{DayNum, Mo};
-use sdr_query::{aggregate_ids, select, AggApproach, SelectMode};
+use sdr_query::{aggregate_ids, select_view, AggApproach, SelectMode};
 use sdr_spec::Pexp;
 
 use crate::error::SubcubeError;
@@ -67,10 +67,10 @@ impl SubcubeManager {
         let _span = sdr_obs::span("subcube.query");
         let n = self.cubes().len();
         let run = |input: &Mo| -> Result<Mo, SubcubeError> {
-            let selected = match &q.pred {
-                Some(p) => select(input, p, now, q.mode)?,
-                None => input.clone(),
-            };
+            // `select_view` borrows the cube when nothing is filtered (in
+            // particular for `pred: None`), so aggregation runs directly
+            // on the cube's storage with no deep copy.
+            let selected = select_view(input, q.pred.as_ref(), now, q.mode)?;
             Ok(aggregate_ids(&selected, &q.levels, q.approach)?)
         };
         let eval_one = |i: usize| -> Result<Mo, SubcubeError> {

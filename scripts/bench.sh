@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Runs the E10 kernel-vs-naive benchmark and refreshes BENCH_pr3.json at
+# the repo root (median ns per operator at ~10k / ~100k / ~1M facts).
+#
+# Pass additional bench names as arguments to run other targets too,
+# e.g.:  scripts/bench.sh reduction query_reduced
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo bench -p sdr-bench --bench kernels
+for target in "$@"; do
+  cargo bench -p sdr-bench --bench "$target"
+done

@@ -16,6 +16,11 @@ run cargo test -q --workspace
 run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 
+# Perf smoke under --release: run the E10 operator set (select /
+# aggregate / reduce / sync) at a fixed small scale and fail if any
+# vectorized kernel's output digest differs from its naive reference.
+run cargo run -q --release -p sdr-bench --bin perf_smoke
+
 # Durability suite under --release: the crash matrix and the proptest
 # layer exercise many fs-failure schedules and want optimized code.
 run cargo test -q --release --test durability

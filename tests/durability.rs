@@ -237,7 +237,7 @@ fn paper_workload() -> (DataReductionSpec, Vec<Op>) {
 fn paper_workload_is_clean() {
     let (spec, ops) = paper_workload();
     let m = reference(&spec, &ops);
-    assert!(m.len() > 0);
+    assert!(!m.is_empty());
     // And the durable run acknowledges every logged op.
     let dir = tmpdir("clean");
     let logged = ops.iter().filter(|o| o.is_logged()).count() as u64;
@@ -296,7 +296,6 @@ fn crash_during_post_recovery_checkpoint() {
             &dir,
             FailpointFs::new(RealFs::shared(), 11, k, FaultMode::FailWrite),
         )
-        .map(|(w2, r)| (w2, r))
         .unwrap_or_else(|_| {
             // Recovery itself read-only fails only if the shim fired on
             // the repair write of a torn tail; the directory is intact.
