@@ -107,7 +107,7 @@ fn run_scale(label: &str, w: &BenchWarehouse, runs: usize) -> Vec<OpResult> {
     // pre-kernel scan's two independent resolutions. The kernel side
     // re-loads a fresh manager each run (outside the timer) because
     // `sync` consumes the dirty state.
-    let mut m = SubcubeManager::new(w.spec.clone());
+    let m = SubcubeManager::new(w.spec.clone());
     m.bulk_load(raw).unwrap();
     let naive_cubes = sync_naive_replay(&m, &w.spec, w.mid).unwrap();
     m.sync(w.mid).unwrap();
@@ -120,7 +120,7 @@ fn run_scale(label: &str, w: &BenchWarehouse, runs: usize) -> Vec<OpResult> {
     // fresh manager per run with the bulk load outside the clock.
     let mut kernel_samples: Vec<u64> = (0..runs)
         .map(|_| {
-            let mut m = SubcubeManager::new(w.spec.clone());
+            let m = SubcubeManager::new(w.spec.clone());
             m.bulk_load(raw).unwrap();
             let t = Instant::now();
             black_box(m.sync(w.mid).unwrap());
@@ -128,7 +128,7 @@ fn run_scale(label: &str, w: &BenchWarehouse, runs: usize) -> Vec<OpResult> {
         })
         .collect();
     kernel_samples.sort_unstable();
-    let mut m = SubcubeManager::new(w.spec.clone());
+    let m = SubcubeManager::new(w.spec.clone());
     m.bulk_load(raw).unwrap();
     out.push(OpResult {
         op: "sync",

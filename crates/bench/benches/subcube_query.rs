@@ -13,7 +13,7 @@ use sdr_subcube::{CubeQuery, SubcubeManager};
 fn bench_subcube_query(c: &mut Criterion) {
     sdr_bench::obs_begin();
     let w = bench_warehouse(36, 400);
-    let mut m = SubcubeManager::new(policy_spec(&w.cs.schema));
+    let m = SubcubeManager::new(policy_spec(&w.cs.schema));
     m.bulk_load(&w.cs.mo).unwrap();
     // Mid-life state: tens of thousands of rows spread over all cubes.
     m.sync(w.mid).unwrap();

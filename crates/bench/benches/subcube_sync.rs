@@ -18,7 +18,7 @@ fn settled_manager(clicks_per_day: usize) -> (SubcubeManager, i32) {
     // Settle at mid-life so raw, month-tier, and quarter-tier data all
     // coexist — the representative steady state for a tick.
     let w = bench_warehouse(24, clicks_per_day);
-    let mut m = SubcubeManager::new(policy_spec(&w.cs.schema));
+    let m = SubcubeManager::new(policy_spec(&w.cs.schema));
     m.bulk_load(&w.cs.mo).unwrap();
     m.sync(w.mid).unwrap();
     (m, w.mid)
@@ -43,7 +43,7 @@ fn bench_sync(c: &mut Criterion) {
                         let (m, _) = settled_manager(clicks);
                         m
                     },
-                    |mut m| black_box(m.sync(next).unwrap()),
+                    |m| black_box(m.sync(next).unwrap()),
                     criterion::BatchSize::LargeInput,
                 );
             },
@@ -62,7 +62,7 @@ fn bench_sync(c: &mut Criterion) {
     g.bench_function("load_and_sync", |b| {
         b.iter_batched(
             || settled_manager(400).0,
-            |mut m| {
+            |m| {
                 m.bulk_load(&month.mo).unwrap();
                 black_box(m.sync(days_from_civil(2001, 2, 28)).unwrap())
             },
@@ -75,7 +75,7 @@ fn bench_sync(c: &mut Criterion) {
     // near-free regardless of warehouse size.
     let mut g = c.benchmark_group("E6_noop_tick");
     g.sample_size(10);
-    let (mut m, now) = settled_manager(400);
+    let (m, now) = settled_manager(400);
     m.sync(now).unwrap();
     // Same-day: short-circuits on last_sync.
     g.bench_function("same_day", |b| {

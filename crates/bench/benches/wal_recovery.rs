@@ -61,7 +61,7 @@ fn bench_durable_ops(c: &mut Criterion) {
     g.bench_function("load_sync_plain", |b| {
         b.iter_batched(
             || SubcubeManager::new(policy_spec(&cs.schema)),
-            |mut m| {
+            |m| {
                 m.bulk_load(&cs.mo).unwrap();
                 black_box(m.sync(now).unwrap())
             },

@@ -55,7 +55,7 @@ fn main() -> ExitCode {
         let n = reduce_naive(raw, &w.spec, t).unwrap();
         check("reduce", mo_digest(&k), mo_digest(&n));
     }
-    let mut m = SubcubeManager::new(w.spec.clone());
+    let m = SubcubeManager::new(w.spec.clone());
     m.bulk_load(raw).unwrap();
     let naive_cubes = sync_naive_replay(&m, &w.spec, w.mid).unwrap();
     m.sync(w.mid).unwrap();

@@ -99,9 +99,16 @@ pub fn mos_digest<'a>(mos: impl IntoIterator<Item = &'a Mo>) -> u64 {
 
 /// The digest of a subcube manager's full state (every cube, in order).
 pub fn manager_digest(m: &sdr_subcube::SubcubeManager) -> u64 {
+    view_digest(&m.view())
+}
+
+/// The digest of one published warehouse version (every cube, in order).
+/// Concurrency tests digest the version a reader observed and compare it
+/// against the digest recorded when that epoch was published.
+pub fn view_digest(v: &sdr_subcube::WarehouseView) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for c in m.cubes() {
-        h ^= mo_digest(&c.data.read());
+    for c in v.cubes() {
+        h ^= mo_digest(c.data());
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
@@ -123,14 +130,15 @@ pub fn sync_naive_replay(
     /// Accumulator per target cell: folded measures plus the provenance id.
     type CellAcc = (Vec<i64>, u32);
     let schema = Arc::clone(m.schema());
-    let n = m.cubes().len();
+    let view = m.view();
+    let n = view.cubes().len();
     let mut groups: Vec<BTreeMap<Vec<sdr_mdm::DimValue>, CellAcc>> =
         (0..n).map(|_| BTreeMap::new()).collect();
-    for cube in m.cubes() {
-        let mo = cube.data.read();
+    for cube in view.cubes() {
+        let mo = cube.data();
         for f in mo.facts() {
             let coords = mo.coords(f);
-            let (home, target) = m.home_cube(&coords, now)?;
+            let (home, target) = view.home_cube(&coords, now)?;
             let cell = sdr_reduce::cell_for(spec, &coords, now)?;
             let origin = match cell.responsible {
                 Some(id) => id.0,

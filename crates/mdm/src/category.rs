@@ -20,6 +20,25 @@ impl CatId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// The checked constructor from a wide index: category ids are stored
+    /// in `u8` columns (the `FactStore` keeps one `Vec<u8>` per
+    /// dimension), so an index above [`u8::MAX`] cannot be represented
+    /// and must be rejected — silently truncating it would alias a
+    /// different category.
+    ///
+    /// # Errors
+    /// [`MdmError`](crate::MdmError)`::InvalidCategoryGraph` when `i`
+    /// exceeds [`u8::MAX`].
+    #[inline]
+    pub fn try_from_index(i: u64) -> Result<CatId, crate::MdmError> {
+        u8::try_from(i).map(CatId).map_err(|_| {
+            crate::MdmError::InvalidCategoryGraph(format!(
+                "category index {i} exceeds the u8 storage encoding (max {})",
+                u8::MAX
+            ))
+        })
+    }
 }
 
 impl std::fmt::Display for CatId {
@@ -355,6 +374,19 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn cat_id_index_boundary() {
+        assert_eq!(CatId::try_from_index(0).unwrap(), CatId(0));
+        assert_eq!(
+            CatId::try_from_index(u8::MAX as u64).unwrap(),
+            CatId(u8::MAX)
+        );
+        let err = CatId::try_from_index(u8::MAX as u64 + 1).unwrap_err();
+        assert!(matches!(err, crate::MdmError::InvalidCategoryGraph(_)));
+        assert!(err.to_string().contains("256"), "{err}");
+        assert!(CatId::try_from_index(u64::MAX).is_err());
     }
 
     #[test]

@@ -29,7 +29,10 @@ pub use collapse::collapse_dimensions;
 pub use compare::{compare, compare_weight, member_of, member_weight, SelectMode};
 pub use error::QueryError;
 pub use project::{project, project_ids};
-pub use select::{predicate_weight, satisfies, select, select_naive, select_view, select_weighted};
+pub use select::{
+    predicate_weight, satisfies, select, select_naive, select_snapshot, select_view,
+    select_weighted, MoView,
+};
 
 #[cfg(test)]
 mod tests {

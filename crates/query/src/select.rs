@@ -23,6 +23,7 @@
 //! reference on arbitrary workloads.
 
 use std::borrow::Cow;
+use std::sync::Arc;
 
 use sdr_mdm::{DayNum, DimId, DimValue, FactId, FxHashMap, KeyPacker, Mo, PackedKey};
 use sdr_spec::{to_dnf, Atom, AtomKind, CmpOp, Pexp};
@@ -465,6 +466,58 @@ pub fn select_view<'a>(
 /// The selection operator `σ[p](O)` (Equation 36) under `mode`.
 pub fn select(mo: &Mo, p: &Pexp, now: DayNum, mode: SelectMode) -> Result<Mo, QueryError> {
     Ok(select_view(mo, Some(p), now, mode)?.into_owned())
+}
+
+/// A selection result over a shared snapshot: either the snapshot itself
+/// (nothing filtered — the `Arc` is cloned, not the facts) or an owned,
+/// narrowed MO. The `'static` analogue of [`select_view`]'s `Cow`, built
+/// for snapshot-isolated readers that hand `Arc<Mo>` cube versions to
+/// worker threads and cannot borrow from a lock guard.
+#[derive(Debug, Clone)]
+pub enum MoView {
+    /// The full input snapshot, shared.
+    Shared(Arc<Mo>),
+    /// A narrowed copy.
+    Owned(Mo),
+}
+
+impl std::ops::Deref for MoView {
+    type Target = Mo;
+    fn deref(&self) -> &Mo {
+        match self {
+            MoView::Shared(m) => m,
+            MoView::Owned(m) => m,
+        }
+    }
+}
+
+impl MoView {
+    /// Extracts an owned MO (clones the facts only in the shared case
+    /// with other outstanding references).
+    pub fn into_owned(self) -> Mo {
+        match self {
+            MoView::Shared(m) => Arc::try_unwrap(m).unwrap_or_else(|m| (*m).clone()),
+            MoView::Owned(m) => m,
+        }
+    }
+}
+
+/// [`select_view`] over a shared snapshot: returns [`MoView::Shared`]
+/// (an `Arc` clone of the input, zero fact copies) when nothing is
+/// filtered out — in particular for `p: None` — and an owned narrowed MO
+/// otherwise. Unlike the `Cow` returned by [`select_view`], the result
+/// borrows nothing, so it can cross thread boundaries.
+pub fn select_snapshot(
+    mo: &Arc<Mo>,
+    p: Option<&Pexp>,
+    now: DayNum,
+    mode: SelectMode,
+) -> Result<MoView, QueryError> {
+    let out = match select_view(mo, p, now, mode)? {
+        Cow::Borrowed(_) => MoView::Shared(Arc::clone(mo)),
+        Cow::Owned(m) => MoView::Owned(m),
+    };
+    Ok(out)
 }
 
 /// The retained row-at-a-time reference implementation of [`select`]:

@@ -33,7 +33,9 @@ pub use encode::ColumnEnc;
 pub use error::StorageError;
 pub use fs::{atomic_write, FailpointFs, FaultMode, Fs, RealFs};
 pub use table::{FactRow, FactTable, SealedSegment, TableStats, DEFAULT_SEGMENT_ROWS};
-pub use wal::{crc32, scan_wal, Wal, WalScan, WAL_MAGIC};
+pub use wal::{
+    crc32, is_group, pack_group, scan_wal, unpack_group, Wal, WalScan, WAL_GROUP_TAG, WAL_MAGIC,
+};
 
 #[cfg(test)]
 mod tests {
@@ -55,7 +57,7 @@ mod tests {
         // Serialization roundtrip.
         let bytes = t.serialize();
         let t2 = FactTable::deserialize(Arc::clone(mo.schema()), bytes).unwrap();
-        assert_eq!(t2.scan(), t.scan());
+        assert_eq!(t2.scan().unwrap(), t.scan().unwrap());
     }
 
     #[test]
@@ -63,7 +65,7 @@ mod tests {
         let (mo, _) = paper_mo();
         // Segment size 3 → segments of 3,3,1 rows.
         let t = FactTable::from_mo(&mo, 3).unwrap();
-        let rows = t.scan();
+        let rows = t.scan().unwrap();
         assert_eq!(rows.len(), 7);
         // Insertion order preserved across segment boundaries.
         for (i, f) in mo.facts().enumerate() {
@@ -141,7 +143,7 @@ mod tests {
         let mut t = FactTable::from_mo(&mo, 4).unwrap();
         t.save_to(&path).unwrap();
         let back = FactTable::load_from(Arc::clone(mo.schema()), &path).unwrap();
-        assert_eq!(back.scan(), t.scan());
+        assert_eq!(back.scan().unwrap(), t.scan().unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -197,28 +197,44 @@ impl FactTable {
     }
 
     /// Scans every row in insertion order.
-    pub fn scan(&self) -> Vec<FactRow> {
+    ///
+    /// # Errors
+    /// [`StorageError::Model`] when a stored category index exceeds the
+    /// `u8` range of [`CatId`]. The typed [`append`](FactTable::append)
+    /// path cannot produce one, but a table deserialized from corrupted
+    /// or foreign bytes can — truncating the index would silently alias
+    /// a different category, so the scan refuses instead.
+    pub fn scan(&self) -> Result<Vec<FactRow>, StorageError> {
         let n_dims = self.schema.n_dims();
         let n_measures = self.schema.n_measures();
         let mut out = Vec::with_capacity(self.len());
-        let mut emit =
-            |cat: &[Vec<u64>], code: &[Vec<u64>], ms: &[Vec<u64>], org: &[u64], len: usize| {
-                for r in 0..len {
-                    out.push(FactRow {
-                        coords: (0..n_dims)
-                            .map(|i| DimValue::new(CatId(cat[i][r] as u8), code[i][r]))
-                            .collect(),
-                        measures: (0..n_measures).map(|j| ms[j][r] as i64).collect(),
-                        origin: org[r] as u32,
-                    });
-                }
-            };
+        let mut emit = |cat: &[Vec<u64>],
+                        code: &[Vec<u64>],
+                        ms: &[Vec<u64>],
+                        org: &[u64],
+                        len: usize|
+         -> Result<(), StorageError> {
+            for r in 0..len {
+                let coords = (0..n_dims)
+                    .map(|i| {
+                        let cat = CatId::try_from_index(cat[i][r]).map_err(StorageError::Model)?;
+                        Ok(DimValue::new(cat, code[i][r]))
+                    })
+                    .collect::<Result<Vec<DimValue>, StorageError>>()?;
+                out.push(FactRow {
+                    coords,
+                    measures: (0..n_measures).map(|j| ms[j][r] as i64).collect(),
+                    origin: org[r] as u32,
+                });
+            }
+            Ok(())
+        };
         for s in &self.sealed {
             let cat: Vec<Vec<u64>> = s.cat.iter().map(ColumnEnc::decode).collect();
             let code: Vec<Vec<u64>> = s.code.iter().map(ColumnEnc::decode).collect();
             let ms: Vec<Vec<u64>> = s.measures.iter().map(ColumnEnc::decode).collect();
             let org = s.origin.decode();
-            emit(&cat, &code, &ms, &org, s.len);
+            emit(&cat, &code, &ms, &org, s.len)?;
         }
         emit(
             &self.open.cat,
@@ -226,8 +242,8 @@ impl FactTable {
             &self.open.measures,
             &self.open.origin,
             self.open.len,
-        );
-        out
+        )?;
+        Ok(out)
     }
 
     /// Storage statistics (raw vs. encoded bytes).
@@ -261,7 +277,7 @@ impl FactTable {
     /// Materializes the table back into an MO.
     pub fn to_mo(&self) -> Result<Mo, StorageError> {
         let mut mo = Mo::new(Arc::clone(&self.schema));
-        for row in self.scan() {
+        for row in self.scan()? {
             mo.insert_fact_at(&row.coords, &row.measures, row.origin)
                 .map_err(StorageError::Model)?;
         }
@@ -325,7 +341,9 @@ impl FactTable {
     }
 
     /// Deserializes a table previously produced by [`FactTable::serialize`]
-    /// for the same schema.
+    /// for the same schema. Category indices are *not* validated here —
+    /// [`scan`](FactTable::scan)/[`to_mo`](FactTable::to_mo) reject
+    /// out-of-range ones on materialization.
     pub fn deserialize(schema: Arc<Schema>, mut buf: Bytes) -> Result<FactTable, StorageError> {
         let bad = || StorageError::Corrupt("truncated or malformed table".into());
         if buf.remaining() < 20 {
@@ -364,5 +382,41 @@ impl FactTable {
             });
         }
         Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_workload::paper_mo;
+
+    #[test]
+    fn scan_rejects_category_index_beyond_u8() {
+        let (mo, _) = paper_mo();
+        let mut t = FactTable::from_mo(&mo, 4).unwrap();
+        assert!(t.scan().is_ok());
+        // The typed append path cannot produce an index above u8::MAX, so
+        // model the corrupt/foreign-bytes case by widening a raw column:
+        // exactly u8::MAX still scans, u8::MAX + 1 must refuse.
+        let row = t.scan().unwrap().into_iter().next().unwrap();
+        t.open.cat[0].push(u8::MAX as u64);
+        t.open.code[0].push(row.coords[0].code);
+        for d in 1..t.schema.n_dims() {
+            t.open.cat[d].push(row.coords[d].cat.0 as u64);
+            t.open.code[d].push(row.coords[d].code);
+        }
+        for (j, &m) in row.measures.iter().enumerate() {
+            t.open.measures[j].push(m as u64);
+        }
+        t.open.origin.push(row.origin as u64);
+        t.open.len += 1;
+        let rows = t.scan().expect("u8::MAX is a representable index");
+        assert_eq!(rows.last().unwrap().coords[0].cat, CatId(u8::MAX));
+        // One past the boundary: the scan must error, not truncate.
+        t.open.cat[0][0] = u8::MAX as u64 + 1;
+        let err = t.scan().expect_err("index 256 must be rejected");
+        assert!(matches!(err, StorageError::Model(_)), "{err:?}");
+        assert!(err.to_string().contains("256"), "{err}");
+        assert!(t.to_mo().is_err(), "to_mo refuses the same way");
     }
 }

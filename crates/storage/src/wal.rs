@@ -75,6 +75,65 @@ fn header(epoch: u64) -> [u8; WAL_HEADER_LEN] {
     h
 }
 
+/// First byte of a group-committed record payload (see [`pack_group`]).
+/// Callers embedding their own tagged payloads must not use this value as
+/// a leading tag byte.
+pub const WAL_GROUP_TAG: u8 = 0xB7;
+
+/// Packs a batch of payloads into **one** record payload:
+/// `tag:0xB7 count:u32le (len:u32le bytes)*`. Because the batch travels
+/// as a single CRC-framed record, the existing torn-tail logic makes it
+/// all-or-nothing: recovery sees every part of the batch or none — a
+/// partially-persisted batch is structurally impossible.
+pub fn pack_group(parts: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| 4 + p.len()).sum();
+    let mut buf = Vec::with_capacity(5 + total);
+    buf.push(WAL_GROUP_TAG);
+    buf.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for p in parts {
+        buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        buf.extend_from_slice(p);
+    }
+    buf
+}
+
+/// True when a record payload was written by [`pack_group`] /
+/// [`Wal::append_group`].
+pub fn is_group(payload: &[u8]) -> bool {
+    payload.first() == Some(&WAL_GROUP_TAG)
+}
+
+/// Unpacks a [`pack_group`] record payload back into its parts.
+pub fn unpack_group(payload: &[u8]) -> Result<Vec<Vec<u8>>, StorageError> {
+    let bad = |what: &str| StorageError::Corrupt(format!("group record: {what}"));
+    if !is_group(payload) {
+        return Err(bad("missing group tag"));
+    }
+    if payload.len() < 5 {
+        return Err(bad("truncated header"));
+    }
+    let count = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    let mut parts = Vec::with_capacity(count);
+    let mut pos = 5usize;
+    for _ in 0..count {
+        let len_end = pos.checked_add(4).filter(|&e| e <= payload.len());
+        let Some(len_end) = len_end else {
+            return Err(bad("truncated part length"));
+        };
+        let len = u32::from_le_bytes(payload[pos..len_end].try_into().unwrap()) as usize;
+        let end = len_end.checked_add(len).filter(|&e| e <= payload.len());
+        let Some(end) = end else {
+            return Err(bad("part runs past end"));
+        };
+        parts.push(payload[len_end..end].to_vec());
+        pos = end;
+    }
+    if pos != payload.len() {
+        return Err(bad("trailing bytes after last part"));
+    }
+    Ok(parts)
+}
+
 /// The result of scanning a log file: the valid record prefix plus a
 /// description of any torn tail.
 #[derive(Debug, Clone)]
@@ -204,6 +263,22 @@ impl Wal {
         }
         Ok(())
     }
+
+    /// Group commit: appends a batch of payloads as **one** record — one
+    /// write, one fsync — packed with [`pack_group`]. On `Ok`, the whole
+    /// batch is durable; after a crash mid-append, recovery sees either
+    /// the complete batch or nothing of it (the torn frame is dropped).
+    pub fn append_group(&mut self, parts: &[Vec<u8>]) -> Result<(), StorageError> {
+        let _span = sdr_obs::span("wal.append_group");
+        let packed = pack_group(parts);
+        self.append(&packed)?;
+        if sdr_obs::enabled() {
+            sdr_obs::inc("wal.group_commit.batches");
+            sdr_obs::add("wal.group_commit.ops", parts.len() as u64);
+            sdr_obs::record("wal.group_commit.batch_ops", parts.len() as u64);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +375,59 @@ mod tests {
             scan_wal(&RealFs, &p),
             Err(StorageError::Corrupt(_))
         ));
+        std::fs::remove_file(&p).ok();
+    }
+
+    #[test]
+    fn group_pack_unpack_roundtrips() {
+        let parts = vec![b"one".to_vec(), Vec::new(), vec![0xAB; 300]];
+        let packed = pack_group(&parts);
+        assert!(is_group(&packed));
+        assert_eq!(unpack_group(&packed).unwrap(), parts);
+        // Empty batch is legal.
+        let empty = pack_group(&[]);
+        assert_eq!(unpack_group(&empty).unwrap(), Vec::<Vec<u8>>::new());
+        // Truncation and trailing garbage are rejected.
+        assert!(unpack_group(&packed[..packed.len() - 1]).is_err());
+        let mut long = packed.clone();
+        long.push(0);
+        assert!(unpack_group(&long).is_err());
+        assert!(unpack_group(b"xnot-a-group").is_err());
+    }
+
+    #[test]
+    fn group_append_is_one_record_and_atomic() {
+        let p = tmp("grp");
+        std::fs::remove_file(&p).ok();
+        let real = RealFs::shared();
+        let mut w = Wal::create(Arc::clone(&real), p.clone(), 2).unwrap();
+        w.append_group(&[b"a".to_vec(), b"bb".to_vec()]).unwrap();
+        assert_eq!(w.records(), 1, "a batch is one record");
+        let s = scan_wal(real.as_ref(), &p).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(
+            unpack_group(&s.records[0]).unwrap(),
+            vec![b"a".to_vec(), b"bb".to_vec()]
+        );
+        // A batch append that tears mid-write leaves no trace of any part.
+        let fp = FailpointFs::new(Arc::clone(&real), 1, 0, FaultMode::ShortWrite);
+        let shim: Arc<dyn Fs> = fp;
+        let mut w2 = Wal {
+            fs: shim,
+            path: p.clone(),
+            epoch: 2,
+            records: 1,
+        };
+        assert!(w2
+            .append_group(&[vec![0x11; 256], vec![0x22; 256]])
+            .is_err());
+        let s2 = scan_wal(real.as_ref(), &p).unwrap();
+        assert_eq!(s2.records.len(), 1, "torn batch fully dropped");
+        assert_eq!(
+            unpack_group(&s2.records[0]).unwrap(),
+            vec![b"a".to_vec(), b"bb".to_vec()],
+            "surviving record is the earlier complete batch"
+        );
         std::fs::remove_file(&p).ok();
     }
 

@@ -17,6 +17,17 @@
 //! `tests/durability.rs`: an operation that returned `Ok` survives any
 //! subsequent crash; an operation that returned `Err` (or never
 //! returned) leaves the recovered warehouse as if it was never issued.
+//!
+//! # Group commit
+//!
+//! [`DurableWarehouse::apply_batch`] journals a whole batch of
+//! operations as **one** WAL record (one write, one fsync) packed with
+//! [`sdr_storage::pack_group`]. Because the batch travels inside a single
+//! CRC frame, the crash contract extends naturally: an acknowledged batch
+//! survives in full, and a crash mid-append drops the batch in full — a
+//! *partially* recovered batch is structurally impossible. A batch that
+//! fails in memory is rolled back by re-publishing the pre-batch
+//! snapshot, so `Err` still means "as if never issued".
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -137,7 +148,7 @@ impl WalOp {
 
     /// Applies the operation to a manager (replay path — must mirror the
     /// live path byte for byte).
-    fn apply(&self, mgr: &mut SubcubeManager) -> Result<(), SubcubeError> {
+    fn apply(&self, mgr: &SubcubeManager) -> Result<(), SubcubeError> {
         match self {
             WalOp::BulkLoad(table) => {
                 let t = FactTable::deserialize(
@@ -168,12 +179,27 @@ impl WalOp {
     }
 }
 
+/// A warehouse mutation, the caller-facing unit of a group-committed
+/// batch (see [`DurableWarehouse::apply_batch`]).
+#[derive(Debug, Clone)]
+pub enum WarehouseOp {
+    /// Bulk-load bottom-granularity facts.
+    BulkLoad(Mo),
+    /// Synchronize the cubes to a day.
+    Sync(DayNum),
+    /// Insert actions into the specification.
+    SpecInsert(Vec<ActionSpec>),
+    /// Delete actions from the specification at a day.
+    SpecDelete(Vec<ActionId>, DayNum),
+}
+
 /// What [`SubcubeManager::recover`] found and did.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// The checkpoint epoch the recovery started from.
     pub epoch: u64,
-    /// Log records replayed on top of the checkpoint.
+    /// Operations replayed on top of the checkpoint (a group-committed
+    /// batch record counts once per operation it carries).
     pub replayed: usize,
     /// Bytes of torn/corrupt log tail detected by CRC and dropped.
     pub dropped_bytes: usize,
@@ -195,6 +221,9 @@ pub struct DurableWarehouse {
     wal: Wal,
     /// Operations folded into the live checkpoint (cumulative).
     hwm: u64,
+    /// Operations carried by the live log (a group-committed batch record
+    /// counts once per operation — [`Wal::records`] counts frames).
+    ops_in_log: u64,
     /// Set when a log append failed: the in-memory state may be ahead of
     /// the log, so further mutations are refused until a checkpoint
     /// re-establishes the invariant.
@@ -225,7 +254,7 @@ impl DurableWarehouse {
             )));
         }
         let mgr = SubcubeManager::new(spec);
-        write_checkpoint(&mgr, fs.as_ref(), dir, 0, 0)?;
+        write_checkpoint(&mgr.view(), fs.as_ref(), dir, 0, 0)?;
         let wal = Wal::create(Arc::clone(&fs), dir.join(wal_name(0)), 0)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(fs.as_ref(), dir, 0)?;
@@ -236,6 +265,7 @@ impl DurableWarehouse {
             epoch: 0,
             wal,
             hwm: 0,
+            ops_in_log: 0,
             broken: false,
         })
     }
@@ -278,7 +308,7 @@ impl DurableWarehouse {
         // the schema to parse it against.
         let manifest = read_manifest_at(fs.as_ref(), dir, epoch)?;
         let ckpt_spec = spec_from_manifest(spec.schema(), &manifest)?;
-        let (mut mgr, manifest) = load_checkpoint(ckpt_spec, fs.as_ref(), dir, epoch)?;
+        let (mgr, manifest) = load_checkpoint(ckpt_spec, fs.as_ref(), dir, epoch)?;
         let wal_path = dir.join(wal_name(epoch));
         let (wal, records, dropped_bytes) = if fs.exists(&wal_path) {
             let (wal, scan) = Wal::open(Arc::clone(&fs), wal_path)
@@ -299,23 +329,39 @@ impl DurableWarehouse {
             (wal, Vec::new(), 0)
         };
         let replay_span = sdr_obs::span("durable.recover.replay");
+        let mut replayed = 0usize;
         for payload in &records {
-            let op_span = sdr_obs::span("durable.recover.replay_op");
-            WalOp::decode(payload)?.apply(&mut mgr)?;
-            drop(op_span);
+            if sdr_storage::is_group(payload) {
+                // A group-committed batch: the frame's CRC already proved
+                // it complete, so every packed operation replays (or none
+                // of the record survived the torn-tail scan).
+                let parts = sdr_storage::unpack_group(payload)
+                    .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+                for part in &parts {
+                    let op_span = sdr_obs::span("durable.recover.replay_op");
+                    WalOp::decode(part)?.apply(&mgr)?;
+                    drop(op_span);
+                    replayed += 1;
+                }
+            } else {
+                let op_span = sdr_obs::span("durable.recover.replay_op");
+                WalOp::decode(payload)?.apply(&mgr)?;
+                drop(op_span);
+                replayed += 1;
+            }
         }
         drop(replay_span);
         if sdr_obs::enabled() {
             sdr_obs::inc("durable.recover.runs");
-            sdr_obs::add("durable.recover.records_replayed", records.len() as u64);
+            sdr_obs::add("durable.recover.records_replayed", replayed as u64);
             sdr_obs::add("durable.recover.dropped_bytes", dropped_bytes as u64);
         }
         let report = RecoveryReport {
             epoch,
-            replayed: records.len(),
+            replayed,
             dropped_bytes,
-            ops_durable: manifest.wal_hwm + records.len() as u64,
-            last_sync: mgr.last_sync,
+            ops_durable: manifest.wal_hwm + replayed as u64,
+            last_sync: mgr.last_sync(),
         };
         let w = DurableWarehouse {
             mgr,
@@ -324,6 +370,7 @@ impl DurableWarehouse {
             epoch,
             wal,
             hwm: manifest.wal_hwm,
+            ops_in_log: replayed as u64,
             broken: false,
         };
         Ok((w, report))
@@ -348,7 +395,7 @@ impl DurableWarehouse {
     /// index below this value survives any crash; operations issued
     /// after it were never acknowledged.
     pub fn ops_durable(&self) -> u64 {
-        self.hwm + self.wal.records()
+        self.hwm + self.ops_in_log
     }
 
     /// True when a log append failed and mutations are refused until the
@@ -373,7 +420,90 @@ impl DurableWarehouse {
             self.broken = true;
             return Err(SubcubeError::Storage(format!("wal append failed: {e}")));
         }
+        self.ops_in_log += 1;
         Ok(())
+    }
+
+    /// Applies one [`WarehouseOp`] to the manager, returning its log
+    /// encoding. Shared by [`apply_batch`](DurableWarehouse::apply_batch);
+    /// must mirror the single-op paths exactly so replay is identical.
+    fn apply_one(&self, op: WarehouseOp) -> Result<WalOp, SubcubeError> {
+        match op {
+            WarehouseOp::BulkLoad(mo) => {
+                let mut t = FactTable::from_mo(&mo, sdr_storage::DEFAULT_SEGMENT_ROWS)
+                    .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+                let w = WalOp::BulkLoad(t.serialize().to_vec());
+                self.mgr.bulk_load(&mo)?;
+                Ok(w)
+            }
+            WarehouseOp::Sync(now) => {
+                self.mgr.sync(now)?;
+                Ok(WalOp::Sync(now))
+            }
+            WarehouseOp::SpecInsert(new) => {
+                let schema = Arc::clone(self.mgr.schema());
+                let srcs: Vec<String> = new.iter().map(|a| a.render(&schema)).collect();
+                for (src, a) in srcs.iter().zip(&new) {
+                    let back = parse_action(&schema, src).map_err(ReduceError::Spec)?;
+                    if back != *a {
+                        return Err(SubcubeError::Storage(format!(
+                            "action does not round-trip through its rendering: {src}"
+                        )));
+                    }
+                }
+                self.mgr.evolve_insert(new)?;
+                Ok(WalOp::SpecInsert(srcs))
+            }
+            WarehouseOp::SpecDelete(ids, now) => {
+                self.mgr.evolve_delete(&ids, now)?;
+                Ok(WalOp::SpecDelete(ids.iter().map(|i| i.0).collect(), now))
+            }
+        }
+    }
+
+    /// Group commit: applies a batch of operations and journals them as
+    /// **one** WAL record — one write, one fsync — so durability cost is
+    /// paid per batch, not per operation. On `Ok`, every operation of the
+    /// batch is durable. On `Err` nothing is: a batch that fails in
+    /// memory is rolled back by re-publishing the pre-batch snapshot
+    /// (concurrent readers may have glimpsed the intermediate published
+    /// versions, which are each internally consistent), and a batch whose
+    /// append tears recovers to nothing of the batch — the record's CRC
+    /// frame makes a partial batch structurally impossible. Returns the
+    /// number of operations committed.
+    pub fn apply_batch(&mut self, ops: Vec<WarehouseOp>) -> Result<usize, SubcubeError> {
+        self.guard()?;
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        let _span = sdr_obs::span("durable.apply_batch");
+        let before = self.mgr.view();
+        let mut encoded = Vec::with_capacity(ops.len());
+        for op in ops {
+            match self.apply_one(op) {
+                Ok(w) => encoded.push(w.encode()),
+                Err(e) => {
+                    // Undo the partially applied batch: nothing was
+                    // logged, so restoring the pre-batch version makes
+                    // the failure "as if never issued".
+                    self.mgr.rollback_to(&before);
+                    return Err(e);
+                }
+            }
+        }
+        let n = encoded.len();
+        if let Err(e) = self.wal.append_group(&encoded) {
+            self.broken = true;
+            return Err(SubcubeError::Storage(format!(
+                "wal group append failed: {e}"
+            )));
+        }
+        self.ops_in_log += n as u64;
+        if sdr_obs::enabled() {
+            sdr_obs::inc("durable.group_commit.batches");
+            sdr_obs::add("durable.group_commit.ops", n as u64);
+        }
+        Ok(n)
     }
 
     /// Durable [`SubcubeManager::bulk_load`]: on `Ok`, the facts survive
@@ -429,14 +559,15 @@ impl DurableWarehouse {
     /// a failed append. Returns the new epoch.
     pub fn checkpoint(&mut self) -> Result<u64, SubcubeError> {
         let next = self.epoch + 1;
-        let hwm = self.hwm + self.wal.records();
-        write_checkpoint(&self.mgr, self.fs.as_ref(), &self.dir, next, hwm)?;
+        let hwm = self.hwm + self.ops_in_log;
+        write_checkpoint(&self.mgr.view(), self.fs.as_ref(), &self.dir, next, hwm)?;
         let wal = Wal::create(Arc::clone(&self.fs), self.dir.join(wal_name(next)), next)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(self.fs.as_ref(), &self.dir, next)?;
         self.wal = wal;
         self.epoch = next;
         self.hwm = hwm;
+        self.ops_in_log = 0;
         self.broken = false;
         sweep_garbage(self.fs.as_ref(), &self.dir, next);
         Ok(next)
@@ -526,7 +657,7 @@ mod tests {
         assert_eq!(report.replayed, 3);
         assert_eq!(report.dropped_bytes, 0);
         assert_eq!(rows(&rec.manager().to_mo().unwrap()), live);
-        assert_eq!(rec.manager().last_sync, w.manager().last_sync);
+        assert_eq!(rec.manager().last_sync(), w.manager().last_sync());
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -568,17 +699,17 @@ mod tests {
         w.bulk_load(&mo).unwrap();
         let ids = w.spec_insert(vec![a1, a2]).unwrap();
         assert_eq!(ids.len(), 2);
-        assert_eq!(w.manager().cubes().len(), 3);
+        assert_eq!(w.manager().n_cubes(), 3);
         w.sync(days_from_civil(2000, 11, 5)).unwrap();
         let live = rows(&w.manager().to_mo().unwrap());
         // Recovery replays the evolution from the initial (empty) spec.
         let (rec, report) =
             DurableWarehouse::recover_with_fs(empty, &dir, RealFs::shared()).unwrap();
         assert_eq!(report.replayed, 3);
-        assert_eq!(rec.manager().cubes().len(), 3);
+        assert_eq!(rec.manager().n_cubes(), 3);
         assert_eq!(rows(&rec.manager().to_mo().unwrap()), live);
         assert_eq!(
-            crate::persist::spec_fingerprint(rec.manager().spec()),
+            crate::persist::spec_fingerprint(&rec.manager().spec()),
             crate::persist::spec_fingerprint(&spec)
         );
         std::fs::remove_dir_all(&dir).ok();
@@ -602,6 +733,65 @@ mod tests {
         assert_eq!(report.replayed, 2);
         assert!(report.dropped_bytes > 0);
         assert_eq!(rows(&rec.manager().to_mo().unwrap()), committed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn group_commit_batch_is_one_record_and_replays() {
+        let dir = tmpdir("batch");
+        let (mo, spec) = paper_spec();
+        let mut w = DurableWarehouse::create(spec.clone(), &dir).unwrap();
+        let n = w
+            .apply_batch(vec![
+                WarehouseOp::BulkLoad(mo.clone()),
+                WarehouseOp::Sync(days_from_civil(2000, 6, 5)),
+                WarehouseOp::Sync(days_from_civil(2000, 11, 5)),
+            ])
+            .unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(w.ops_durable(), 3, "every batched op counts");
+        let live = rows(&w.manager().to_mo().unwrap());
+        // On disk the batch is one frame.
+        let scan = sdr_storage::scan_wal(&RealFs, &dir.join(wal_name(0))).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert!(sdr_storage::is_group(&scan.records[0]));
+        let (rec, report) =
+            DurableWarehouse::recover_with_fs(spec, &dir, RealFs::shared()).unwrap();
+        assert_eq!(report.replayed, 3);
+        assert_eq!(report.ops_durable, 3);
+        assert_eq!(rows(&rec.manager().to_mo().unwrap()), live);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_batch_rolls_back_and_leaves_no_trace() {
+        let dir = tmpdir("batchfail");
+        let (mo, spec) = paper_spec();
+        let mut w = DurableWarehouse::create(spec.clone(), &dir).unwrap();
+        w.bulk_load(&mo).unwrap();
+        let before = rows(&w.manager().to_mo().unwrap());
+        // Second op fails in memory (deleting an unknown action id).
+        let err = w.apply_batch(vec![
+            WarehouseOp::Sync(days_from_civil(2000, 6, 5)),
+            WarehouseOp::SpecDelete(vec![ActionId(999)], days_from_civil(2000, 6, 5)),
+        ]);
+        assert!(err.is_err());
+        assert!(!w.is_broken(), "a rolled-back batch does not poison");
+        assert_eq!(w.ops_durable(), 1, "only the bulk load is durable");
+        assert_eq!(
+            rows(&w.manager().to_mo().unwrap()),
+            before,
+            "memory state rolled back to the pre-batch snapshot"
+        );
+        assert_eq!(w.manager().last_sync(), None, "the sync was undone");
+        // Recovery agrees: the batch never happened.
+        let (rec, report) =
+            DurableWarehouse::recover_with_fs(spec, &dir, RealFs::shared()).unwrap();
+        assert_eq!(report.replayed, 1);
+        assert_eq!(rows(&rec.manager().to_mo().unwrap()), before);
+        // The repaired warehouse still accepts work.
+        w.sync(days_from_civil(2000, 6, 5)).unwrap();
+        assert_eq!(w.ops_durable(), 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -16,9 +16,9 @@ pub mod manager;
 pub mod persist;
 pub mod query;
 
-pub use durable::{DurableWarehouse, RecoveryReport, WalOp};
+pub use durable::{DurableWarehouse, RecoveryReport, WalOp, WarehouseOp};
 pub use error::SubcubeError;
-pub use manager::{CubeId, Subcube, SubcubeManager, SyncStats};
+pub use manager::{CubeId, Subcube, SubcubeManager, SyncStats, WarehouseView};
 pub use persist::Manifest;
 pub use query::CubeQuery;
 
@@ -38,7 +38,7 @@ mod tests {
         let a1 = parse_action(&schema, ACTION_A1).unwrap();
         let a2 = parse_action(&schema, ACTION_A2).unwrap();
         let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
-        let mut m = SubcubeManager::new(spec);
+        let m = SubcubeManager::new(spec);
         m.bulk_load(&mo).unwrap();
         (m, mo)
     }
@@ -54,25 +54,26 @@ mod tests {
     #[test]
     fn cube_layout_matches_spec() {
         let (m, _) = manager_with_paper_data();
+        let v = m.view();
         // Bottom cube + (month, domain) + (quarter, domain).
-        assert_eq!(m.cubes().len(), 3);
-        assert_eq!(m.cubes()[0].grain, m.schema().bottom_granularity());
+        assert_eq!(v.cubes().len(), 3);
+        assert_eq!(v.cubes()[0].grain, m.schema().bottom_granularity());
         // The DAG: bottom → month cube → quarter cube.
         let d = m.describe();
         assert!(d.contains("K1 (Time.month, URL.domain)"), "{d}");
         assert!(d.contains("K2 (Time.quarter, URL.domain)"), "{d}");
-        assert_eq!(m.parents(CubeId(1)), &[CubeId(0)]);
-        assert_eq!(m.parents(CubeId(2)), &[CubeId(1)]);
-        assert_eq!(m.parents(CubeId(0)), &[]);
+        assert_eq!(v.parents(CubeId(1)), &[CubeId(0)]);
+        assert_eq!(v.parents(CubeId(2)), &[CubeId(1)]);
+        assert_eq!(v.parents(CubeId(0)), &[]);
     }
 
     #[test]
     fn sync_matches_monolithic_reduce() {
-        let (mut m, mo) = manager_with_paper_data();
+        let (m, mo) = manager_with_paper_data();
         for t in sdr_workload::snapshot_days() {
             m.sync(t).unwrap();
             let whole = m.to_mo().unwrap();
-            let expected = reduce(&mo, m.spec(), t).unwrap();
+            let expected = reduce(&mo, &m.spec(), t).unwrap();
             let mut a: Vec<String> = whole.facts().map(|f| whole.render_fact(f)).collect();
             let mut b: Vec<String> = expected.facts().map(|f| expected.render_fact(f)).collect();
             a.sort();
@@ -83,7 +84,7 @@ mod tests {
 
     #[test]
     fn sync_stats_track_migrations() {
-        let (mut m, _) = manager_with_paper_data();
+        let (m, _) = manager_with_paper_data();
         let s1 = m.sync(days_from_civil(2000, 4, 5)).unwrap();
         assert_eq!(s1.migrated, 0);
         assert_eq!(s1.kept, 7);
@@ -100,7 +101,7 @@ mod tests {
     fn figure8_query_over_synchronized_cubes() {
         // Q = α[month, domain_grp](σ[1999/6 < month ≤ 2000/5](O)) — the
         // shape of Figure 8's query, on the paper data at 2000/11/5.
-        let (mut m, _) = manager_with_paper_data();
+        let (m, _) = manager_with_paper_data();
         let now = days_from_civil(2000, 11, 5);
         m.sync(now).unwrap();
         let grp = m
@@ -138,16 +139,16 @@ mod tests {
         // against the query on a fully synced clone (Figure 9's strategy
         // must hide staleness).
         let now = days_from_civil(2000, 11, 5);
-        let (mut stale, mo) = manager_with_paper_data();
+        let (stale, mo) = manager_with_paper_data();
         // Partially sync: only to an earlier time, so cubes are stale
         // relative to `now`.
         stale.sync(days_from_civil(2000, 6, 5)).unwrap();
-        let mut fresh = {
+        let fresh = {
             let schema = Arc::clone(mo.schema());
             let a1 = parse_action(&schema, ACTION_A1).unwrap();
             let a2 = parse_action(&schema, ACTION_A2).unwrap();
             let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
-            let mut m = SubcubeManager::new(spec);
+            let m = SubcubeManager::new(spec);
             m.bulk_load(&mo).unwrap();
             m
         };
@@ -185,7 +186,7 @@ mod tests {
         };
         let r = m.query_unsync(&q, now, false).unwrap();
         let expected = sdr_query::aggregate_ids(
-            &reduce(&mo, m.spec(), now).unwrap(),
+            &reduce(&mo, &m.spec(), now).unwrap(),
             &[tc::YEAR, domain],
             AggApproach::Availability,
         )
@@ -199,7 +200,7 @@ mod tests {
 
     #[test]
     fn measures_conserved_through_sync() {
-        let (mut m, mo) = manager_with_paper_data();
+        let (m, mo) = manager_with_paper_data();
         for t in sdr_workload::snapshot_days() {
             m.sync(t).unwrap();
             let whole = m.to_mo().unwrap();
@@ -214,7 +215,7 @@ mod tests {
 
     #[test]
     fn storage_stats_shrink_with_reduction() {
-        let (mut m, _) = manager_with_paper_data();
+        let (m, _) = manager_with_paper_data();
         m.sync(days_from_civil(2000, 4, 5)).unwrap();
         let before: usize = m.storage_stats().unwrap().iter().map(|(_, s)| s.rows).sum();
         m.sync(days_from_civil(2000, 11, 5)).unwrap();
@@ -226,7 +227,7 @@ mod tests {
     fn incremental_loads_between_syncs() {
         // Figure 7's scenario shape: load, sync, more data arrives, sync
         // again; totals stay consistent with monolithic reduction.
-        let (mut m, mo) = manager_with_paper_data();
+        let (m, mo) = manager_with_paper_data();
         m.sync(days_from_civil(2000, 6, 5)).unwrap();
         // New click arrives (bottom granularity).
         let mut newbie = Mo::new(Arc::clone(mo.schema()));
@@ -250,7 +251,7 @@ mod tests {
         m.sync(now).unwrap();
         let mut all = mo.clone();
         all.absorb(&newbie).unwrap();
-        let expected = reduce(&all, m.spec(), now).unwrap();
+        let expected = reduce(&all, &m.spec(), now).unwrap();
         let whole = m.to_mo().unwrap();
         let mut ra: Vec<String> = whole.facts().map(|f| whole.render_fact(f)).collect();
         let mut rb: Vec<String> = expected.facts().map(|f| expected.render_fact(f)).collect();
@@ -298,7 +299,7 @@ mod scheduler_tests {
         let a1 = parse_action(&schema, ACTION_A1).unwrap();
         let a2 = parse_action(&schema, ACTION_A2).unwrap();
         let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
-        let mut m = SubcubeManager::new(spec);
+        let m = SubcubeManager::new(spec);
         // Fresh manager always wants a first sync.
         assert!(m.needs_sync(days_from_civil(2000, 6, 5)).unwrap());
         m.bulk_load(&mo).unwrap();

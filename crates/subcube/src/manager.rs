@@ -1,4 +1,4 @@
-//! The subcube manager (Section 7).
+//! The subcube manager (Section 7), snapshot-isolated.
 //!
 //! The implementation strategy of the paper: the logical MO is stored as a
 //! set of physical *subcubes*, one per distinct target granularity of the
@@ -7,10 +7,27 @@
 //! responsible for each fact (NonCrossing), every fact has exactly one
 //! *home* cube at any time; synchronization migrates facts along the
 //! parent→child DAG as `NOW` advances.
+//!
+//! # Epoch-versioned snapshots
+//!
+//! Warehouse state is **immutable once published**: the manager holds one
+//! [`Arc`] to the current version (spec, cube contents, DAG, sync
+//! watermarks) and every mutator — [`bulk_load`](SubcubeManager::bulk_load),
+//! [`sync`](SubcubeManager::sync), the spec evolutions — builds its
+//! successor off to the side from a frozen snapshot and publishes it with
+//! a single pointer swap under a momentary write lock. Readers acquire a
+//! [`WarehouseView`] (an `Arc` clone) and evaluate against it for as long
+//! as they like: they never block behind an in-flight reduction and can
+//! never observe a half-applied one. Each version carries a monotonically
+//! increasing epoch, and each subcube remembers the epoch at which its
+//! facts last changed plus the day it was last synchronized to — together
+//! the *version vector* that makes Section 7's "query the un-synchronized
+//! state" an explicit, testable mode instead of an accident of lock
+//! timing.
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use sdr_mdm::{DayNum, DimValue, Granularity, Mo, Schema, ORIGIN_USER};
 use sdr_reduce::{cell_for, DataReductionSpec, ReduceError};
@@ -23,17 +40,47 @@ use crate::error::SubcubeError;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CubeId(pub usize);
 
-/// One physical subcube: a fixed granularity plus the actions it
-/// represents (empty for the bottom cube).
-#[derive(Debug)]
+/// One physical subcube inside a published warehouse version: a fixed
+/// granularity, the actions it represents, and a frozen fact snapshot.
+/// Cloning is cheap (the fact data is shared through an [`Arc`]).
+#[derive(Debug, Clone)]
 pub struct Subcube {
     /// The cube's fixed granularity.
     pub grain: Granularity,
     /// The actions whose target granularity this cube holds (grouping of
     /// disjoint actions on identical granularities, Section 7.1).
     pub actions: Vec<ActionId>,
-    /// The cube's facts. Guarded for parallel query evaluation.
-    pub data: RwLock<Mo>,
+    /// The cube's facts, immutable for the lifetime of this version.
+    data: Arc<Mo>,
+    /// The warehouse epoch at which `data` was last replaced.
+    epoch: u64,
+    /// The last day this cube's contents were synchronized to. The bottom
+    /// cube's watermark lags after a bulk load: its new rows have not been
+    /// migrated yet.
+    synced_to: Option<DayNum>,
+}
+
+impl Subcube {
+    /// The cube's facts (borrowed from the snapshot).
+    pub fn data(&self) -> &Mo {
+        &self.data
+    }
+
+    /// A shared handle to the cube's facts — hand this to worker threads;
+    /// no lock or guard is needed to keep it alive.
+    pub fn snapshot(&self) -> Arc<Mo> {
+        Arc::clone(&self.data)
+    }
+
+    /// The warehouse epoch at which this cube's facts last changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The last day this cube was synchronized to (`None` = never).
+    pub fn synced_to(&self) -> Option<DayNum> {
+        self.synced_to
+    }
 }
 
 /// Statistics from one synchronization pass (used by experiment E6).
@@ -47,115 +94,134 @@ pub struct SyncStats {
     pub merged: usize,
 }
 
-/// The subcube manager: the physical MO of Section 7.
-pub struct SubcubeManager {
-    schema: Arc<Schema>,
-    spec: DataReductionSpec,
-    cubes: Vec<Subcube>,
+/// One immutable warehouse version. Everything a query can observe lives
+/// here, so a reader holding a version sees a single consistent state.
+#[derive(Debug)]
+pub(crate) struct VersionInner {
+    /// Monotonically increasing publication counter.
+    pub(crate) epoch: u64,
+    /// The specification this version's cube layout derives from.
+    pub(crate) spec: Arc<DataReductionSpec>,
+    /// The subcubes (cube 0 is the bottom cube).
+    pub(crate) cubes: Vec<Subcube>,
     /// Immediate parent edges of the data-flow DAG (Hasse diagram of the
     /// cube granularities; the bottom cube is the ultimate ancestor).
-    parents: Vec<Vec<CubeId>>,
+    pub(crate) parents: Vec<Vec<CubeId>>,
     /// The last day the cubes were synchronized to.
-    pub last_sync: Option<DayNum>,
-    /// Set by [`SubcubeManager::bulk_load`]; cleared by a sync pass.
-    dirty: bool,
+    pub(crate) last_sync: Option<DayNum>,
+    /// Set by a bulk load; cleared by a sync pass.
+    pub(crate) dirty: bool,
 }
 
-impl SubcubeManager {
-    /// Builds the cube set for a validated specification: one cube per
-    /// distinct action granularity plus the bottom cube.
-    pub fn new(spec: DataReductionSpec) -> Self {
-        let schema = Arc::clone(spec.schema());
-        let mut cubes: Vec<Subcube> = vec![Subcube {
-            grain: schema.bottom_granularity(),
-            actions: Vec::new(),
-            data: RwLock::new(Mo::new(Arc::clone(&schema))),
-        }];
-        for (id, a) in spec.actions() {
-            if let Some(c) = cubes.iter_mut().find(|c| c.grain == a.grain) {
-                c.actions.push(*id);
-            } else {
-                cubes.push(Subcube {
-                    grain: a.grain.clone(),
-                    actions: vec![*id],
-                    data: RwLock::new(Mo::new(Arc::clone(&schema))),
-                });
-            }
+/// Builds the cube set and parent DAG for a validated specification: one
+/// cube per distinct action granularity plus the bottom cube.
+fn layout(spec: &DataReductionSpec, epoch: u64) -> (Vec<Subcube>, Vec<Vec<CubeId>>) {
+    let schema = Arc::clone(spec.schema());
+    let mut cubes: Vec<Subcube> = vec![Subcube {
+        grain: schema.bottom_granularity(),
+        actions: Vec::new(),
+        data: Arc::new(Mo::new(Arc::clone(&schema))),
+        epoch,
+        synced_to: None,
+    }];
+    for (id, a) in spec.actions() {
+        if let Some(c) = cubes.iter_mut().find(|c| c.grain == a.grain) {
+            c.actions.push(*id);
+        } else {
+            cubes.push(Subcube {
+                grain: a.grain.clone(),
+                actions: vec![*id],
+                data: Arc::new(Mo::new(Arc::clone(&schema))),
+                epoch,
+                synced_to: None,
+            });
         }
-        // Hasse diagram on cube granularities: P is a parent of C when
-        // grain_P < grain_C with no cube strictly between.
-        let n = cubes.len();
-        let mut parents = vec![Vec::new(); n];
-        let lt = |a: usize, b: usize| {
-            cubes[a].grain != cubes[b].grain && cubes[a].grain.leq(&cubes[b].grain, &schema)
-        };
-        for (c, slot) in parents.iter_mut().enumerate() {
-            for p in 0..n {
-                if p != c && lt(p, c) {
-                    let between = (0..n).any(|q| q != p && q != c && lt(p, q) && lt(q, c));
-                    if !between {
-                        slot.push(CubeId(p));
-                    }
+    }
+    // Hasse diagram on cube granularities: P is a parent of C when
+    // grain_P < grain_C with no cube strictly between.
+    let n = cubes.len();
+    let mut parents = vec![Vec::new(); n];
+    let lt = |a: usize, b: usize| {
+        cubes[a].grain != cubes[b].grain && cubes[a].grain.leq(&cubes[b].grain, &schema)
+    };
+    for (c, slot) in parents.iter_mut().enumerate() {
+        for p in 0..n {
+            if p != c && lt(p, c) {
+                let between = (0..n).any(|q| q != p && q != c && lt(p, q) && lt(q, c));
+                if !between {
+                    slot.push(CubeId(p));
                 }
             }
         }
-        SubcubeManager {
-            schema,
-            spec,
-            cubes,
-            parents,
-            last_sync: None,
-            dirty: false,
-        }
+    }
+    (cubes, parents)
+}
+
+/// A consistent, immutable read view of the whole warehouse: one
+/// published version, held alive for as long as the view exists. Acquired
+/// with [`SubcubeManager::view`]; cheap to clone and [`Send`], so it can
+/// be handed to worker threads outright. All read-side accessors — cube
+/// contents, the parent DAG, the spec, the sync watermarks — answer from
+/// the same version, which is what makes multi-step query evaluation
+/// torn-read-free.
+#[derive(Clone)]
+pub struct WarehouseView {
+    pub(crate) v: Arc<VersionInner>,
+}
+
+impl WarehouseView {
+    /// The epoch of the version this view pins.
+    pub fn epoch(&self) -> u64 {
+        self.v.epoch
     }
 
     /// The schema.
     pub fn schema(&self) -> &Arc<Schema> {
-        &self.schema
+        self.v.spec.schema()
     }
 
-    /// The specification driving the cubes.
+    /// The specification driving the cubes of this version.
     pub fn spec(&self) -> &DataReductionSpec {
-        &self.spec
+        &self.v.spec
     }
 
     /// The subcubes (cube 0 is the bottom cube).
     pub fn cubes(&self) -> &[Subcube] {
-        &self.cubes
+        &self.v.cubes
     }
 
     /// Immediate parents of a cube in the data-flow DAG.
     pub fn parents(&self, c: CubeId) -> &[CubeId] {
-        &self.parents[c.0]
+        &self.v.parents[c.0]
+    }
+
+    /// The last day the cubes were synchronized to.
+    pub fn last_sync(&self) -> Option<DayNum> {
+        self.v.last_sync
+    }
+
+    /// True when facts were bulk-loaded since the last sync pass — i.e.
+    /// querying this view exercises the *un-synchronized* state of
+    /// Section 7.3.
+    pub fn is_dirty(&self) -> bool {
+        self.v.dirty
+    }
+
+    /// The version vector: per cube, the epoch at which its facts last
+    /// changed. Two views observed the same warehouse contents iff their
+    /// version vectors are equal.
+    pub fn version_vector(&self) -> Vec<u64> {
+        self.v.cubes.iter().map(|c| c.epoch).collect()
     }
 
     /// Total number of facts across all cubes.
     pub fn len(&self) -> usize {
-        self.cubes.iter().map(|c| c.data.read().len()).sum()
+        self.v.cubes.iter().map(|c| c.data.len()).sum()
     }
 
     /// True when no cube holds facts.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-
-    /// Bulk-loads new bottom-granularity facts into the bottom cube
-    /// (Section 7.2: "all new data enter into the subcube having the
-    /// bottom-level granularity"). Synchronize afterwards to migrate any
-    /// facts that immediately satisfy an action.
-    pub fn bulk_load(&mut self, facts: &Mo) -> Result<usize, SubcubeError> {
-        if facts.schema().fact_type != self.schema.fact_type {
-            return Err(SubcubeError::Reduce(ReduceError::Model(
-                sdr_mdm::MdmError::SchemaMismatch("bulk load schema".into()),
-            )));
-        }
-        let _span = sdr_obs::span("subcube.bulk_load");
-        let mut bottom = self.cubes[0].data.write();
-        bottom.absorb(facts).map_err(ReduceError::Model)?;
-        drop(bottom);
-        self.dirty = true;
-        sdr_obs::add("subcube.bulk_load.facts", facts.len() as u64);
-        Ok(facts.len())
     }
 
     /// The home cube of a cell at time `now`: the cube of the responsible
@@ -165,9 +231,10 @@ impl SubcubeManager {
         coords: &[DimValue],
         now: DayNum,
     ) -> Result<(CubeId, Vec<DimValue>), SubcubeError> {
-        let c = cell_for(&self.spec, coords, now)?;
+        let c = cell_for(&self.v.spec, coords, now)?;
         let grain = Granularity(c.coords.iter().map(|v| v.cat).collect());
         let id = self
+            .v
             .cubes
             .iter()
             .position(|k| k.grain == grain)
@@ -186,19 +253,20 @@ impl SubcubeManager {
     /// makes frequent scheduled syncs nearly free (Section 7.2's argument
     /// that synchronization is not a bottleneck).
     pub fn needs_sync(&self, now: DayNum) -> Result<bool, SubcubeError> {
-        if self.dirty {
+        if self.v.dirty {
             return Ok(true);
         }
-        let Some(last) = self.last_sync else {
+        let Some(last) = self.v.last_sync else {
             return Ok(true);
         };
         if now <= last {
             return Ok(false);
         }
-        for (_, a) in self.spec.actions() {
+        let schema = self.schema();
+        for (_, a) in self.v.spec.actions() {
             for conj in sdr_spec::to_dnf(&a.pred) {
-                let steps = sdr_spec::step_days(&self.schema, &conj, last, now)
-                    .map_err(ReduceError::Spec)?;
+                let steps =
+                    sdr_spec::step_days(schema, &conj, last, now).map_err(ReduceError::Spec)?;
                 // step_days always returns the endpoints; anything in
                 // between means the grounded set changed.
                 if steps.len() > 2 {
@@ -206,10 +274,8 @@ impl SubcubeManager {
                 }
                 // The grounding may also change exactly at `now`.
                 if steps.len() == 2
-                    && sdr_spec::ground_conj(&self.schema, &conj, last)
-                        .map_err(ReduceError::Spec)?
-                        != sdr_spec::ground_conj(&self.schema, &conj, now)
-                            .map_err(ReduceError::Spec)?
+                    && sdr_spec::ground_conj(schema, &conj, last).map_err(ReduceError::Spec)?
+                        != sdr_spec::ground_conj(schema, &conj, now).map_err(ReduceError::Spec)?
                 {
                     return Ok(true);
                 }
@@ -218,25 +284,266 @@ impl SubcubeManager {
         Ok(false)
     }
 
+    /// The next day strictly after `after` at which a scheduled sync pass
+    /// would have work to do (the minimum step day of any action's
+    /// grounding, searched to the time horizon). `None` when no further
+    /// migration can ever happen — the scheduling primitive Section 8
+    /// leaves as future work.
+    pub fn next_sync_due(&self, after: DayNum) -> Result<Option<DayNum>, SubcubeError> {
+        let schema = self.schema();
+        let horizon_end = match schema.dims.iter().find_map(|d| match d {
+            sdr_mdm::Dimension::Time(t) => Some(t.max_day),
+            _ => None,
+        }) {
+            Some(d) => d,
+            None => return Ok(None),
+        };
+        let mut best: Option<DayNum> = None;
+        for (_, a) in self.v.spec.actions() {
+            for conj in sdr_spec::to_dnf(&a.pred) {
+                let until = best.map(|b| b - 1).unwrap_or(horizon_end);
+                if until <= after {
+                    continue;
+                }
+                if let Some(d) = sdr_spec::next_step_day(schema, &conj, after, until)
+                    .map_err(ReduceError::Spec)?
+                {
+                    best = Some(best.map_or(d, |b: DayNum| b.min(d)));
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Materializes the whole warehouse version as one MO (union of all
+    /// cubes).
+    pub fn to_mo(&self) -> Result<Mo, SubcubeError> {
+        let mut out = Mo::new(Arc::clone(self.schema()));
+        for c in &self.v.cubes {
+            out.absorb(&c.data).map_err(ReduceError::Model)?;
+        }
+        Ok(out)
+    }
+
+    /// Storage statistics per cube (rows, raw and encoded bytes), via the
+    /// `sdr-storage` layer.
+    pub fn storage_stats(&self) -> Result<Vec<(CubeId, sdr_storage::TableStats)>, SubcubeError> {
+        let mut out = Vec::with_capacity(self.v.cubes.len());
+        for (i, c) in self.v.cubes.iter().enumerate() {
+            let t = sdr_storage::FactTable::from_mo(&c.data, 1 << 16)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+            out.push((CubeId(i), t.stats()));
+        }
+        Ok(out)
+    }
+
+    /// A human-readable description of the cube layout (Figure 6 / the
+    /// disjoint-action example of Section 7.1), including each cube's
+    /// version-vector entry.
+    pub fn describe(&self) -> String {
+        let schema = Arc::clone(self.schema());
+        let mut s = String::new();
+        for (i, c) in self.v.cubes.iter().enumerate() {
+            let acts: Vec<String> = c.actions.iter().map(|a| format!("a{}", a.0)).collect();
+            let parents: Vec<String> = self.v.parents[i]
+                .iter()
+                .map(|p| format!("K{}", p.0))
+                .collect();
+            s.push_str(&format!(
+                "K{i} {} actions=[{}] parents=[{}] rows={} epoch={}\n",
+                schema.render_granularity(&c.grain),
+                acts.join(","),
+                parents.join(","),
+                c.data.len(),
+                c.epoch
+            ));
+        }
+        s
+    }
+}
+
+/// The subcube manager: the physical MO of Section 7, published as
+/// epoch-versioned immutable snapshots.
+///
+/// All mutators take `&self` (they serialize on an internal writer lock
+/// and publish a successor version), so a manager can be shared across
+/// threads as `Arc<SubcubeManager>` with readers querying concurrently —
+/// the closed-loop concurrency driver and the torn-read stress suite do
+/// exactly that.
+pub struct SubcubeManager {
+    schema: Arc<Schema>,
+    /// The current published version. Readers clone the `Arc` under a
+    /// momentary read lock; the only write-side critical section is the
+    /// pointer swap in [`publish`](SubcubeManager::publish).
+    current: RwLock<Arc<VersionInner>>,
+    /// Serializes mutators so each builds its successor from the latest
+    /// published version.
+    writer: Mutex<()>,
+}
+
+impl SubcubeManager {
+    /// Builds the cube set for a validated specification: one cube per
+    /// distinct action granularity plus the bottom cube.
+    pub fn new(spec: DataReductionSpec) -> Self {
+        let schema = Arc::clone(spec.schema());
+        let (cubes, parents) = layout(&spec, 0);
+        SubcubeManager {
+            schema,
+            current: RwLock::new(Arc::new(VersionInner {
+                epoch: 0,
+                spec: Arc::new(spec),
+                cubes,
+                parents,
+                last_sync: None,
+                dirty: false,
+            })),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Acquires a consistent read view of the current version. The view
+    /// pins the version: it stays fully readable (and immutable) no
+    /// matter how many reductions publish after it.
+    pub fn view(&self) -> WarehouseView {
+        WarehouseView {
+            v: Arc::clone(&self.current.read()),
+        }
+    }
+
+    /// The specification driving the cubes (of the current version).
+    pub fn spec(&self) -> Arc<DataReductionSpec> {
+        Arc::clone(&self.current.read().spec)
+    }
+
+    /// The current published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().epoch
+    }
+
+    /// Number of subcubes in the current version.
+    pub fn n_cubes(&self) -> usize {
+        self.current.read().cubes.len()
+    }
+
+    /// The last day the cubes were synchronized to.
+    pub fn last_sync(&self) -> Option<DayNum> {
+        self.current.read().last_sync
+    }
+
+    /// Total number of facts across all cubes (of the current version).
+    pub fn len(&self) -> usize {
+        self.view().len()
+    }
+
+    /// True when no cube holds facts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Publishes `next` as the current version: the single pointer swap
+    /// every reader observes atomically.
+    fn publish(&self, next: VersionInner) {
+        let epoch = next.epoch;
+        *self.current.write() = Arc::new(next);
+        if sdr_obs::enabled() {
+            sdr_obs::inc("subcube.publish.count");
+            sdr_obs::gauge_set("subcube.epoch", epoch as i64);
+        }
+    }
+
+    /// Bulk-loads new bottom-granularity facts into the bottom cube
+    /// (Section 7.2: "all new data enter into the subcube having the
+    /// bottom-level granularity"). Synchronize afterwards to migrate any
+    /// facts that immediately satisfy an action. Only the bottom cube's
+    /// snapshot is replaced; all other cubes keep their `Arc` (and their
+    /// version-vector entry).
+    pub fn bulk_load(&self, facts: &Mo) -> Result<usize, SubcubeError> {
+        if facts.schema().fact_type != self.schema.fact_type {
+            return Err(SubcubeError::Reduce(ReduceError::Model(
+                sdr_mdm::MdmError::SchemaMismatch("bulk load schema".into()),
+            )));
+        }
+        let _span = sdr_obs::span("subcube.bulk_load");
+        let _w = self.writer.lock();
+        let cur = Arc::clone(&self.current.read());
+        let mut bottom = (*cur.cubes[0].data).clone();
+        bottom.absorb(facts).map_err(ReduceError::Model)?;
+        let epoch = cur.epoch + 1;
+        let mut cubes = cur.cubes.clone();
+        cubes[0].data = Arc::new(bottom);
+        cubes[0].epoch = epoch;
+        self.publish(VersionInner {
+            epoch,
+            spec: Arc::clone(&cur.spec),
+            cubes,
+            parents: cur.parents.clone(),
+            last_sync: cur.last_sync,
+            dirty: true,
+        });
+        sdr_obs::add("subcube.bulk_load.facts", facts.len() as u64);
+        Ok(facts.len())
+    }
+
+    /// The home cube of a cell at time `now` (on the current version).
+    pub fn home_cube(
+        &self,
+        coords: &[DimValue],
+        now: DayNum,
+    ) -> Result<(CubeId, Vec<DimValue>), SubcubeError> {
+        self.view().home_cube(coords, now)
+    }
+
+    /// [`WarehouseView::needs_sync`] on the current version.
+    pub fn needs_sync(&self, now: DayNum) -> Result<bool, SubcubeError> {
+        self.view().needs_sync(now)
+    }
+
     /// Synchronizes all cubes to time `now` (Section 7.2): facts whose
     /// home cube changed are aggregated to the target granularity and
     /// moved; each cube is then re-aggregated once so multi-parent inflows
-    /// merge (the "final aggregation" of the paper). A cheap
-    /// [`needs_sync`](SubcubeManager::needs_sync) pre-check skips the scan
+    /// merge (the "final aggregation" of the paper). The whole pass runs
+    /// against a frozen snapshot and lands as **one** atomic publication —
+    /// concurrent readers keep answering from the predecessor version and
+    /// never see a half-migrated state. A cheap
+    /// [`needs_sync`](WarehouseView::needs_sync) pre-check skips the scan
     /// entirely when nothing can have changed.
-    pub fn sync(&mut self, now: DayNum) -> Result<SyncStats, SubcubeError> {
+    pub fn sync(&self, now: DayNum) -> Result<SyncStats, SubcubeError> {
         let _span = sdr_obs::span("subcube.sync");
-        if !self.needs_sync(now)? {
-            self.last_sync = Some(now);
+        let _w = self.writer.lock();
+        let cur = Arc::clone(&self.current.read());
+        let frozen = WarehouseView {
+            v: Arc::clone(&cur),
+        };
+        if !frozen.needs_sync(now)? {
+            // Nothing can move: publish only the advanced watermark.
+            let epoch = cur.epoch + 1;
+            let mut cubes = cur.cubes.clone();
+            for c in &mut cubes {
+                c.synced_to = Some(now);
+            }
+            let kept = frozen.len();
+            self.publish(VersionInner {
+                epoch,
+                spec: Arc::clone(&cur.spec),
+                cubes,
+                parents: cur.parents.clone(),
+                last_sync: Some(now),
+                dirty: false,
+            });
             sdr_obs::inc("subcube.sync.skipped");
             return Ok(SyncStats {
-                kept: self.len(),
+                kept,
                 ..SyncStats::default()
             });
         }
         let obs_on = sdr_obs::enabled();
         let scan_span = sdr_obs::span("subcube.sync.scan");
-        let n = self.cubes.len();
+        let n = cur.cubes.len();
         let schema = Arc::clone(&self.schema);
         // Collect per-cube rebuilt groups.
         type Key = Vec<DimValue>;
@@ -248,18 +555,14 @@ impl SubcubeManager {
         // One compiled, memoized cell resolution per fact (shared across
         // home and provenance, cached per distinct cell) — the scan used
         // to evaluate every action predicate twice per fact.
-        let mut cell_memo = sdr_reduce::CellMemo::new(&self.spec, now)?;
-        for (ci, cube) in self.cubes.iter().enumerate() {
-            let mo = cube.data.read();
+        let mut cell_memo = sdr_reduce::CellMemo::new(&cur.spec, now)?;
+        for (ci, cube) in cur.cubes.iter().enumerate() {
+            let mo = &cube.data;
             for f in mo.facts() {
                 let coords = mo.coords(f);
                 let cell = cell_memo.cell(&coords)?;
                 let grain = Granularity(cell.coords.iter().map(|v| v.cat).collect());
-                let home = self
-                    .cubes
-                    .iter()
-                    .position(|k| k.grain == grain)
-                    .unwrap_or(0);
+                let home = cur.cubes.iter().position(|k| k.grain == grain).unwrap_or(0);
                 let target = cell.coords;
                 if home == ci && target == coords {
                     stats.kept += 1;
@@ -292,18 +595,30 @@ impl SubcubeManager {
         }
         drop(scan_span);
         let rebuild_span = sdr_obs::span("subcube.sync.rebuild");
-        let before = self.len();
+        let before = frozen.len();
+        let epoch = cur.epoch + 1;
+        let mut cubes = cur.cubes.clone();
+        let mut after = 0usize;
         for (ci, g) in groups.into_iter().enumerate() {
             let mut mo = Mo::new(Arc::clone(&schema));
             for (coords, (ms, origin)) in g {
                 mo.insert_fact_at(&coords, &ms, origin)
                     .map_err(ReduceError::Model)?;
             }
-            *self.cubes[ci].data.write() = mo;
+            after += mo.len();
+            cubes[ci].data = Arc::new(mo);
+            cubes[ci].epoch = epoch;
+            cubes[ci].synced_to = Some(now);
         }
-        stats.merged = before.saturating_sub(self.len());
-        self.last_sync = Some(now);
-        self.dirty = false;
+        stats.merged = before.saturating_sub(after);
+        self.publish(VersionInner {
+            epoch,
+            spec: Arc::clone(&cur.spec),
+            cubes,
+            parents: cur.parents.clone(),
+            last_sync: Some(now),
+            dirty: false,
+        });
         drop(rebuild_span);
         if obs_on {
             // Same locals returned to the caller — the metrics cannot
@@ -334,10 +649,12 @@ impl SubcubeManager {
     /// [`sync`](SubcubeManager::sync) pass, exactly as after a bulk load.
     /// On rejection (NonCrossing/Growing violation) the manager is
     /// unchanged.
-    pub fn evolve_insert(&mut self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
-        let mut spec = self.spec.clone();
+    pub fn evolve_insert(&self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
+        let _w = self.writer.lock();
+        let cur = Arc::clone(&self.current.read());
+        let mut spec = (*cur.spec).clone();
         let ids = spec.insert(new)?;
-        self.rebuild_with_spec(spec)?;
+        self.rebuild_with_spec(&cur, spec)?;
         sdr_obs::inc("subcube.evolve.insert");
         Ok(ids)
     }
@@ -346,108 +663,105 @@ impl SubcubeManager {
     /// ([`DataReductionSpec::delete`], Definition 4) — checked against the
     /// warehouse's current facts at time `now` — and rebuilds the cube
     /// layout. On rejection the manager is unchanged.
-    pub fn evolve_delete(&mut self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
-        let mo = self.to_mo()?;
-        let mut spec = self.spec.clone();
+    pub fn evolve_delete(&self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
+        let _w = self.writer.lock();
+        let cur = Arc::clone(&self.current.read());
+        let mo = WarehouseView {
+            v: Arc::clone(&cur),
+        }
+        .to_mo()?;
+        let mut spec = (*cur.spec).clone();
         spec.delete(ids, &mo, now)?;
-        self.rebuild_with_spec(spec)?;
+        self.rebuild_with_spec(&cur, spec)?;
         sdr_obs::inc("subcube.evolve.delete");
         Ok(())
     }
 
-    /// Replaces the specification, re-deriving the cube DAG and staging
-    /// every existing fact in the bottom cube (the bottom cube is the one
-    /// cube allowed to hold foreign-granularity rows; a sync pass homes
-    /// them).
-    fn rebuild_with_spec(&mut self, spec: DataReductionSpec) -> Result<(), SubcubeError> {
-        let all = self.to_mo()?;
-        let mut next = SubcubeManager::new(spec);
-        *next.cubes[0].data.write() = all;
-        next.last_sync = self.last_sync;
-        next.dirty = true;
-        *self = next;
+    /// Publishes a successor version with a new specification: the cube
+    /// DAG is re-derived and every existing fact is staged in the bottom
+    /// cube (the one cube allowed to hold foreign-granularity rows; a
+    /// sync pass homes them). Caller holds the writer lock.
+    fn rebuild_with_spec(
+        &self,
+        cur: &Arc<VersionInner>,
+        spec: DataReductionSpec,
+    ) -> Result<(), SubcubeError> {
+        let all = WarehouseView { v: Arc::clone(cur) }.to_mo()?;
+        let epoch = cur.epoch + 1;
+        let (mut cubes, parents) = layout(&spec, epoch);
+        cubes[0].data = Arc::new(all);
+        self.publish(VersionInner {
+            epoch,
+            spec: Arc::new(spec),
+            cubes,
+            parents,
+            last_sync: cur.last_sync,
+            dirty: true,
+        });
         Ok(())
     }
 
-    /// Restores one cube's facts (checkpoint loading / recovery).
-    pub(crate) fn set_cube_data(&mut self, i: usize, mo: Mo) {
-        *self.cubes[i].data.write() = mo;
+    /// Re-publishes the contents of `view` as a new version (epoch still
+    /// advances — epochs never reuse). The rollback path for batched
+    /// durability: a batch that fails partway must leave the warehouse
+    /// "as if never issued", and with immutable versions that is exactly
+    /// one publication of the pre-batch snapshot.
+    pub(crate) fn rollback_to(&self, view: &WarehouseView) {
+        let _w = self.writer.lock();
+        let cur = Arc::clone(&self.current.read());
+        self.publish(VersionInner {
+            epoch: cur.epoch + 1,
+            spec: Arc::clone(&view.v.spec),
+            cubes: view.v.cubes.clone(),
+            parents: view.v.parents.clone(),
+            last_sync: view.v.last_sync,
+            dirty: view.v.dirty,
+        });
+        sdr_obs::inc("subcube.publish.rollbacks");
     }
 
-    /// Restores the last-synchronized day (checkpoint loading / recovery).
-    pub(crate) fn set_last_sync(&mut self, t: Option<DayNum>) {
-        self.last_sync = t;
-    }
-
-    /// The next day strictly after `after` at which a scheduled sync pass
-    /// would have work to do (the minimum step day of any action's
-    /// grounding, searched to the time horizon). `None` when no further
-    /// migration can ever happen — the scheduling primitive Section 8
-    /// leaves as future work.
-    pub fn next_sync_due(&self, after: DayNum) -> Result<Option<DayNum>, SubcubeError> {
-        let horizon_end = match self.schema.dims.iter().find_map(|d| match d {
-            sdr_mdm::Dimension::Time(t) => Some(t.max_day),
-            _ => None,
-        }) {
-            Some(d) => d,
-            None => return Ok(None),
-        };
-        let mut best: Option<DayNum> = None;
-        for (_, a) in self.spec.actions() {
-            for conj in sdr_spec::to_dnf(&a.pred) {
-                let until = best.map(|b| b - 1).unwrap_or(horizon_end);
-                if until <= after {
-                    continue;
-                }
-                if let Some(d) = sdr_spec::next_step_day(&self.schema, &conj, after, until)
-                    .map_err(ReduceError::Spec)?
-                {
-                    best = Some(best.map_or(d, |b: DayNum| b.min(d)));
-                }
-            }
+    /// Installs recovered cube contents wholesale (checkpoint loading):
+    /// one publication carrying every cube plus the recovered `last_sync`.
+    pub(crate) fn install_checkpoint(&self, mos: Vec<Mo>, last_sync: Option<DayNum>) {
+        let _w = self.writer.lock();
+        let cur = Arc::clone(&self.current.read());
+        let epoch = cur.epoch + 1;
+        let mut cubes = cur.cubes.clone();
+        debug_assert_eq!(mos.len(), cubes.len());
+        for (c, mo) in cubes.iter_mut().zip(mos) {
+            c.data = Arc::new(mo);
+            c.epoch = epoch;
+            c.synced_to = last_sync;
         }
-        Ok(best)
+        self.publish(VersionInner {
+            epoch,
+            spec: Arc::clone(&cur.spec),
+            cubes,
+            parents: cur.parents.clone(),
+            last_sync,
+            dirty: false,
+        });
+    }
+
+    /// [`WarehouseView::next_sync_due`] on the current version.
+    pub fn next_sync_due(&self, after: DayNum) -> Result<Option<DayNum>, SubcubeError> {
+        self.view().next_sync_due(after)
     }
 
     /// Materializes the whole warehouse as one MO (union of all cubes).
     pub fn to_mo(&self) -> Result<Mo, SubcubeError> {
-        let mut out = Mo::new(Arc::clone(&self.schema));
-        for c in &self.cubes {
-            out.absorb(&c.data.read()).map_err(ReduceError::Model)?;
-        }
-        Ok(out)
+        self.view().to_mo()
     }
 
     /// Storage statistics per cube (rows, raw and encoded bytes), via the
     /// `sdr-storage` layer.
     pub fn storage_stats(&self) -> Result<Vec<(CubeId, sdr_storage::TableStats)>, SubcubeError> {
-        let mut out = Vec::with_capacity(self.cubes.len());
-        for (i, c) in self.cubes.iter().enumerate() {
-            let t = sdr_storage::FactTable::from_mo(&c.data.read(), 1 << 16)
-                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
-            out.push((CubeId(i), t.stats()));
-        }
-        Ok(out)
+        self.view().storage_stats()
     }
 
     /// A human-readable description of the cube layout (Figure 6 / the
     /// disjoint-action example of Section 7.1).
     pub fn describe(&self) -> String {
-        let mut s = String::new();
-        for (i, c) in self.cubes.iter().enumerate() {
-            let acts: Vec<String> = c.actions.iter().map(|a| format!("a{}", a.0)).collect();
-            let parents: Vec<String> = self.parents[i]
-                .iter()
-                .map(|p| format!("K{}", p.0))
-                .collect();
-            s.push_str(&format!(
-                "K{i} {} actions=[{}] parents=[{}] rows={}\n",
-                self.schema.render_granularity(&c.grain),
-                acts.join(","),
-                parents.join(","),
-                c.data.read().len()
-            ));
-        }
-        s
+        self.view().describe()
     }
 }

@@ -30,7 +30,7 @@ use sdr_storage::wal::crc32;
 use sdr_storage::{FactTable, Wal};
 
 use crate::error::SubcubeError;
-use crate::manager::SubcubeManager;
+use crate::manager::{SubcubeManager, WarehouseView};
 
 /// Manifest file magic: `"SDRMAN01"`.
 const MANIFEST_MAGIC: u64 = 0x5344_524d_414e_3031;
@@ -243,8 +243,10 @@ pub(crate) fn write_current(fs: &dyn Fs, dir: &Path, epoch: u64) -> Result<(), S
 /// Writes one complete checkpoint (cubes + manifest) for `epoch` into
 /// `dir`, staged in a temp directory and atomically renamed into place.
 /// The checkpoint is *not* live until [`write_current`] publishes it.
+/// Taking a [`WarehouseView`] pins one published version for the whole
+/// write — concurrent reductions cannot tear the checkpoint.
 pub(crate) fn write_checkpoint(
-    mgr: &SubcubeManager,
+    view: &WarehouseView,
     fs: &dyn Fs,
     dir: &Path,
     epoch: u64,
@@ -264,11 +266,9 @@ pub(crate) fn write_checkpoint(
     }
     fs.create_dir_all(&tmp).map_err(|e| err(&e))?;
     let mut bytes_written = 0u64;
-    for (i, cube) in mgr.cubes().iter().enumerate() {
-        let mo = cube.data.read();
-        let mut t =
-            FactTable::from_mo(&mo, sdr_storage::DEFAULT_SEGMENT_ROWS).map_err(|e| err(&e))?;
-        drop(mo);
+    for (i, cube) in view.cubes().iter().enumerate() {
+        let mut t = FactTable::from_mo(cube.data(), sdr_storage::DEFAULT_SEGMENT_ROWS)
+            .map_err(|e| err(&e))?;
         let bytes = t.serialize();
         bytes_written += bytes.len() as u64;
         fs.write(&tmp.join(format!("cube-{i}.sdr")), &bytes)
@@ -276,12 +276,12 @@ pub(crate) fn write_checkpoint(
     }
     let manifest = Manifest {
         epoch,
-        cube_count: mgr.cubes().len() as u32,
+        cube_count: view.cubes().len() as u32,
         wal_hwm,
-        last_sync: mgr.last_sync,
-        spec_hash: spec_fingerprint(mgr.spec()),
-        next_action_id: mgr.spec().next_action_id(),
-        spec_text: mgr.spec().render(),
+        last_sync: view.last_sync(),
+        spec_hash: spec_fingerprint(view.spec()),
+        next_action_id: view.spec().next_action_id(),
+        spec_text: view.spec().render(),
     };
     fs.write(&tmp.join("MANIFEST"), &manifest.encode())
         .map_err(|e| err(&e))?;
@@ -290,7 +290,7 @@ pub(crate) fn write_checkpoint(
     if sdr_obs::enabled() {
         sdr_obs::inc("durable.checkpoint.count");
         sdr_obs::add("durable.checkpoint.bytes", bytes_written);
-        sdr_obs::add("durable.checkpoint.cubes", mgr.cubes().len() as u64);
+        sdr_obs::add("durable.checkpoint.cubes", view.cubes().len() as u64);
     }
     Ok(())
 }
@@ -310,8 +310,9 @@ pub(crate) fn load_checkpoint(
         .read(&man_path)
         .map_err(|e| SubcubeError::Storage(format!("{}: {e}", man_path.display())))?;
     let manifest = Manifest::decode(&man_path, &man_bytes)?;
-    let mut m = SubcubeManager::new(spec);
-    if manifest.spec_hash != spec_fingerprint(m.spec()) {
+    let m = SubcubeManager::new(spec);
+    let layout = m.view();
+    if manifest.spec_hash != spec_fingerprint(&m.spec()) {
         return Err(SubcubeError::Storage(format!(
             "{}: specification hash mismatch — was the directory written \
              with a different specification?\n  on disk: {}",
@@ -319,14 +320,15 @@ pub(crate) fn load_checkpoint(
             manifest.spec_text
         )));
     }
-    if (manifest.cube_count as usize) > m.cubes().len() {
-        let extra = ckpt.join(format!("cube-{}.sdr", m.cubes().len()));
+    if (manifest.cube_count as usize) > layout.cubes().len() {
+        let extra = ckpt.join(format!("cube-{}.sdr", layout.cubes().len()));
         return Err(SubcubeError::Storage(format!(
             "{}: more cubes on disk than the specification defines",
             extra.display()
         )));
     }
-    for i in 0..m.cubes().len() {
+    let mut mos = Vec::with_capacity(layout.cubes().len());
+    for i in 0..layout.cubes().len() {
         let path = ckpt.join(format!("cube-{i}.sdr"));
         let t = FactTable::load_from(std::sync::Arc::clone(m.schema()), &path)
             .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
@@ -339,7 +341,7 @@ pub(crate) fn load_checkpoint(
         // rows, so it is exempt.)
         if i != 0 {
             for f in mo.facts() {
-                if mo.gran(f) != m.cubes()[i].grain {
+                if mo.gran(f) != layout.cubes()[i].grain {
                     return Err(SubcubeError::Storage(format!(
                         "{}: fact at foreign granularity — was the directory written \
                          with a different specification?",
@@ -348,9 +350,9 @@ pub(crate) fn load_checkpoint(
                 }
             }
         }
-        m.set_cube_data(i, mo);
+        mos.push(mo);
     }
-    m.set_last_sync(manifest.last_sync);
+    m.install_checkpoint(mos, manifest.last_sync);
     Ok((m, manifest))
 }
 
@@ -397,7 +399,7 @@ impl SubcubeManager {
         } else {
             0
         };
-        write_checkpoint(self, fs.as_ref(), dir, epoch, 0)?;
+        write_checkpoint(&self.view(), fs.as_ref(), dir, epoch, 0)?;
         Wal::create(Arc::clone(fs), dir.join(wal_name(epoch)), epoch)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(fs.as_ref(), dir, epoch)?;

@@ -14,13 +14,20 @@
 //!   granularity first (the `α[G_i]σ[P_i](K_i ∪ parents)` strategy of
 //!   Figure 9). This makes query answers independent of the sync state,
 //!   which the test suite verifies.
+//!
+//! Evaluation runs against a [`WarehouseView`] — one pinned version of
+//! the warehouse — so a multi-cube fan-out can never mix cube states from
+//! before and after a concurrent sync. Worker threads receive `Arc<Mo>`
+//! snapshots outright; no lock is held anywhere during evaluation.
+
+use std::sync::Arc;
 
 use sdr_mdm::{DayNum, Mo};
-use sdr_query::{aggregate_ids, select_view, AggApproach, SelectMode};
+use sdr_query::{aggregate_ids, select_snapshot, AggApproach, SelectMode};
 use sdr_spec::Pexp;
 
 use crate::error::SubcubeError;
-use crate::manager::{CubeId, SubcubeManager};
+use crate::manager::{CubeId, SubcubeManager, WarehouseView};
 
 /// A query against the subcube warehouse: optional selection followed by
 /// aggregate formation (the operators of Section 6).
@@ -36,7 +43,7 @@ pub struct CubeQuery {
     pub approach: AggApproach,
 }
 
-impl SubcubeManager {
+impl WarehouseView {
     /// Evaluates `q` assuming synchronized cubes, with one worker per cube
     /// (crossbeam scoped threads) when `parallel`.
     pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
@@ -66,11 +73,11 @@ impl SubcubeManager {
     ) -> Result<Vec<Mo>, SubcubeError> {
         let _span = sdr_obs::span("subcube.query");
         let n = self.cubes().len();
-        let run = |input: &Mo| -> Result<Mo, SubcubeError> {
-            // `select_view` borrows the cube when nothing is filtered (in
-            // particular for `pred: None`), so aggregation runs directly
-            // on the cube's storage with no deep copy.
-            let selected = select_view(input, q.pred.as_ref(), now, q.mode)?;
+        let run = |input: &Arc<Mo>| -> Result<Mo, SubcubeError> {
+            // `select_snapshot` shares the cube's `Arc` when nothing is
+            // filtered (in particular for `pred: None`), so aggregation
+            // runs directly on the cube's storage with no deep copy.
+            let selected = select_snapshot(input, q.pred.as_ref(), now, q.mode)?;
             Ok(aggregate_ids(&selected, &q.levels, q.approach)?)
         };
         let eval_one = |i: usize| -> Result<Mo, SubcubeError> {
@@ -78,12 +85,12 @@ impl SubcubeManager {
             // p50/p99 spread exposes cube-size skew across workers.
             let _sub = sdr_obs::span("subcube.query.subquery");
             if unsync {
-                let input = self.cube_view_unsync(CubeId(i), now)?;
+                let input = Arc::new(self.cube_view_unsync(CubeId(i), now)?);
                 run(&input)
             } else {
-                // Evaluate under the read guard — no clone of the cube.
-                let guard = self.cubes()[i].data.read();
-                run(&guard)
+                // Evaluate on the cube's shared snapshot — no guard, no
+                // clone; the `Arc` keeps the version alive in the worker.
+                run(&self.cubes()[i].snapshot())
             }
         };
         if !parallel || n <= 1 {
@@ -129,13 +136,13 @@ impl SubcubeManager {
             }
             stack.extend(self.parents(c).iter().copied());
         }
-        let schema = std::sync::Arc::clone(self.schema());
-        let mut view = Mo::new(std::sync::Arc::clone(&schema));
+        let schema = Arc::clone(self.schema());
+        let mut view = Mo::new(Arc::clone(&schema));
         for (ci, cube) in self.cubes().iter().enumerate() {
             if !anc[ci] {
                 continue;
             }
-            let mo = cube.data.read();
+            let mo = cube.data();
             for f in mo.facts() {
                 let coords = mo.coords(f);
                 let (home, target) = self.home_cube(&coords, now)?;
@@ -154,10 +161,42 @@ impl SubcubeManager {
     /// Unions sub-results and applies the final aggregation step (exact
     /// for distributive aggregates).
     fn combine(&self, q: &CubeQuery, subresults: Vec<Mo>) -> Result<Mo, SubcubeError> {
-        let mut union = Mo::new(std::sync::Arc::clone(self.schema()));
+        let mut union = Mo::new(Arc::clone(self.schema()));
         for s in &subresults {
             union.absorb(s).map_err(sdr_reduce::ReduceError::Model)?;
         }
         Ok(aggregate_ids(&union, &q.levels, q.approach)?)
+    }
+}
+
+impl SubcubeManager {
+    /// Evaluates `q` on a fresh view of the current version. Counts a
+    /// stale read when a newer version was published while the query ran
+    /// — the answer is still consistent (it saw one whole version), just
+    /// not the newest.
+    pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
+        let view = self.view();
+        let r = view.query(q, now, parallel);
+        if self.epoch() > view.epoch() {
+            sdr_obs::inc("subcube.query.stale_reads");
+        }
+        r
+    }
+
+    /// [`WarehouseView::query_unsync`] on a fresh view of the current
+    /// version, with the same stale-read accounting as
+    /// [`query`](SubcubeManager::query).
+    pub fn query_unsync(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+    ) -> Result<Mo, SubcubeError> {
+        let view = self.view();
+        let r = view.query_unsync(q, now, parallel);
+        if self.epoch() > view.epoch() {
+            sdr_obs::inc("subcube.query.stale_reads");
+        }
+        r
     }
 }

@@ -1,0 +1,183 @@
+//! Deterministic churn schedules for the concurrent warehouse driver.
+//!
+//! The snapshot-isolation experiments (the `tests/concurrency.rs` stress
+//! test, the `specdr concurrent` subcommand, and bench E11) all need the
+//! same thing: a *seeded, reproducible* sequence of warehouse mutations —
+//! bulk loads, syncs, and specification insert/delete churn — that a
+//! single writer thread applies while reader threads query. The schedule
+//! is a pure function of the seed, so the sequence of published epochs
+//! (and therefore the per-epoch content digests the CI determinism gate
+//! compares) is identical across runs; only the reader interleaving is
+//! free to vary.
+
+use std::sync::Arc;
+
+use sdr_mdm::{
+    calendar::days_from_civil, time_cat, DayNum, DimId, DimValue, Dimension, Mo, Schema, TimeValue,
+};
+use sdr_spec::{ActionId, ActionSpec};
+
+/// A third reduction action, disjoint from the paper's `.com`-only a1/a2:
+/// age `.edu` facts past a year to `(Time.year, URL.domain_grp)`. The
+/// churn schedule inserts and later deletes it, so spec evolution runs
+/// concurrently with loads and syncs.
+pub const CHURN_ACTION: &str = "p(a[Time.year, URL.domain_grp] o[URL.domain_grp = .edu AND \
+                                Time.year <= NOW - 1 years](O))";
+
+/// One mutation of a churn schedule, in writer-thread application order.
+#[derive(Clone)]
+pub enum ChurnOp {
+    /// Bulk-load a small MO of bottom-granularity clicks.
+    Load(Mo),
+    /// Synchronize the warehouse at the given day.
+    Sync(DayNum),
+    /// Insert [`CHURN_ACTION`] into the specification.
+    SpecInsert(ActionSpec),
+    /// Delete the action with this id at the given day. The driver
+    /// tolerates a rejection (Definition 4's responsibility check); a
+    /// rejected delete publishes nothing, deterministically.
+    SpecDelete(ActionId, DayNum),
+}
+
+impl std::fmt::Debug for ChurnOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChurnOp::Load(mo) => write!(f, "Load({} facts)", mo.len()),
+            ChurnOp::Sync(t) => write!(f, "Sync({t})"),
+            ChurnOp::SpecInsert(_) => write!(f, "SpecInsert(churn action)"),
+            ChurnOp::SpecDelete(id, t) => write!(f, "SpecDelete({id:?}, {t})"),
+        }
+    }
+}
+
+/// SplitMix64: the tiny seeded generator the crash-schedule tooling
+/// already uses; good enough mixing for schedule derivation and cheap
+/// enough to reseed per thread.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// The next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// An MO holding one bottom-granularity click on the paper schema.
+fn single_click(schema: &Arc<Schema>, day: DayNum, url_idx: u64, dwell: i64) -> Mo {
+    const URLS: [&str; 4] = [
+        "http://www.cnn.com/",
+        "http://www.cnn.com/health",
+        "http://www.cc.gatech.edu/",
+        "http://www.amazon.com/exec/...",
+    ];
+    let Dimension::Enum(e) = schema.dim(DimId(1)) else {
+        unreachable!("URL is enumerated")
+    };
+    let urlcat = schema.dim(DimId(1)).graph().by_name("url").unwrap();
+    let u = e
+        .value(urlcat, URLS[url_idx as usize % URLS.len()])
+        .unwrap();
+    let d = DimValue::new(time_cat::DAY, TimeValue::Day(day).code());
+    let mut mo = Mo::new(Arc::clone(schema));
+    mo.insert_fact(&[d, u], &[1, dwell, 1, 1000]).unwrap();
+    mo
+}
+
+/// Builds a deterministic churn schedule of `steps` mutations against the
+/// paper schema: ~half single-click loads, syncs on a forward-only clock,
+/// and one insert + one delete of [`CHURN_ACTION`] once the clock has
+/// moved far enough for the delete's responsibility check to pass on a
+/// synced warehouse. The result is a pure function of `(schema, seed,
+/// steps)`.
+pub fn churn_script(schema: &Arc<Schema>, seed: u64, steps: usize) -> Vec<ChurnOp> {
+    let mut rng = SplitMix64(seed);
+    let mut clock = days_from_civil(2000, 2, 1);
+    let mut inserted = false;
+    let mut deleted = false;
+    let mut ops = Vec::with_capacity(steps);
+    for step in 0..steps {
+        let r = rng.next_u64();
+        match r % 8 {
+            0..=3 => {
+                let day = clock + (r >> 8) as DayNum % 25;
+                ops.push(ChurnOp::Load(single_click(
+                    schema,
+                    day,
+                    r >> 16,
+                    10 + (r >> 24) as i64 % 900,
+                )));
+            }
+            4..=5 => {
+                clock += 20 + ((r >> 8) % 50) as DayNum;
+                ops.push(ChurnOp::Sync(clock));
+            }
+            6 if !inserted => {
+                let a = sdr_spec::parse_action(schema, CHURN_ACTION).expect("churn action parses");
+                ops.push(ChurnOp::SpecInsert(a));
+                inserted = true;
+            }
+            7 if inserted && !deleted && step > steps / 2 => {
+                // a1 = ActionId(0), a2 = ActionId(1), churn = ActionId(2).
+                // A sync first, so the responsibility check has a chance
+                // to pass; a rejection is still a legal (non-publishing)
+                // outcome.
+                clock += 400;
+                ops.push(ChurnOp::Sync(clock));
+                ops.push(ChurnOp::SpecDelete(ActionId(2), clock));
+                deleted = true;
+            }
+            _ => {
+                clock += 1 + ((r >> 8) % 10) as DayNum;
+                ops.push(ChurnOp::Sync(clock));
+            }
+        }
+    }
+    // Settle: one final sync so every schedule ends on a consistent,
+    // reduced state regardless of the op mix drawn above.
+    ops.push(ChurnOp::Sync(clock + 90));
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_schema;
+
+    #[test]
+    fn script_is_deterministic_in_seed() {
+        let (schema, _) = paper_schema();
+        let a = churn_script(&schema, 7, 40);
+        let b = churn_script(&schema, 7, 40);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(format!("{x:?}"), format!("{y:?}"));
+        }
+        let c = churn_script(&schema, 8, 40);
+        assert_ne!(
+            a.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>(),
+            c.iter().map(|o| format!("{o:?}")).collect::<Vec<_>>(),
+            "different seeds draw different schedules"
+        );
+    }
+
+    #[test]
+    fn script_mixes_op_kinds() {
+        let (schema, _) = paper_schema();
+        let ops = churn_script(&schema, 3, 60);
+        let loads = ops.iter().filter(|o| matches!(o, ChurnOp::Load(_))).count();
+        let syncs = ops.iter().filter(|o| matches!(o, ChurnOp::Sync(_))).count();
+        assert!(loads > 5, "loads={loads}");
+        assert!(syncs > 5, "syncs={syncs}");
+        assert!(ops.iter().any(|o| matches!(o, ChurnOp::SpecInsert(_))));
+    }
+}

@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Figure 6: the physical architecture — one subcube per distinct
     // action granularity plus the bottom cube all new data enters.
-    let mut m = SubcubeManager::new(spec);
+    let m = SubcubeManager::new(spec);
     m.bulk_load(&mo)?;
     println!("Figure 6 — subcube architecture after bulk load:");
     print!("{}", m.describe());

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Runs the E10 kernel-vs-naive benchmark and refreshes BENCH_pr3.json at
-# the repo root (median ns per operator at ~10k / ~100k / ~1M facts).
+# Runs the checked-in perf gates and refreshes their JSON summaries at
+# the repo root:
+#   E10 kernels         -> BENCH_pr3.json (kernel vs naive, ~10k/~100k/~1M facts)
+#   E11 concurrent_read -> BENCH_pr4.json (reader p99 under active reduction;
+#                          exits non-zero if versioned active p99 > 2x idle p99)
 #
 # Pass additional bench names as arguments to run other targets too,
 # e.g.:  scripts/bench.sh reduction query_reduced
@@ -8,6 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo bench -p sdr-bench --bench kernels
+cargo bench -p sdr-bench --bench concurrent_read
 for target in "$@"; do
   cargo bench -p sdr-bench --bench "$target"
 done

@@ -25,6 +25,11 @@ run cargo run -q --release -p sdr-bench --bin perf_smoke
 # layer exercise many fs-failure schedules and want optimized code.
 run cargo test -q --release --test durability
 
+# Concurrency stress under --release: 25+ seeded multi-reader schedules
+# against a churning writer; any torn read (observation differing from
+# the retained version of its epoch) fails the suite.
+run cargo test -q --release --test concurrency
+
 # Crash-schedule determinism: each seed picks a fault point and mode;
 # running the schedule twice must produce bit-identical state digests.
 # The test itself re-runs its schedule internally and asserts equality,
@@ -46,5 +51,26 @@ for seed in $(seq 1 25); do
   fi
   echo "  seed=$seed ok: $d1"
 done
+
+# Concurrency-schedule determinism: the writer side of a seeded stress
+# schedule is a pure function of the seed, so the published
+# (epoch, digest) fold must be bit-identical across separate process
+# runs with the same SPECDR_CRASH_SEED — reader interleaving is the only
+# thing allowed to vary.
+echo "==> concurrency schedule determinism gate"
+seed="${SPECDR_CRASH_SEED:-42}"
+c1=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test concurrency \
+      seeded_concurrency_schedule_is_deterministic -- --nocapture \
+      | grep '^concurrency ' || true)
+c2=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test concurrency \
+      seeded_concurrency_schedule_is_deterministic -- --nocapture \
+      | grep '^concurrency ' || true)
+if [ -z "$c1" ] || [ "$c1" != "$c2" ]; then
+  echo "concurrency schedule seed=$seed is non-deterministic:" >&2
+  echo "  run 1: ${c1:-<no digest line>}" >&2
+  echo "  run 2: ${c2:-<no digest line>}" >&2
+  exit 1
+fi
+echo "  $c1"
 
 echo "==> CI green"

@@ -36,6 +36,14 @@
 //!     Recover the warehouse in DIR: load the live checkpoint, replay
 //!     the WAL tail (dropping any torn records), and print the recovery
 //!     report plus a warehouse summary.
+//!
+//! specdr concurrent [--seed S] [--readers N] [--steps M] [--queries Q]
+//!     Closed-loop snapshot-isolation driver: N reader threads issue the
+//!     Figure 5-9 query mix against published snapshots while a seeded
+//!     writer churns the warehouse with loads, syncs, and specification
+//!     evolution; every observation is audited against the exact epoch
+//!     it read (torn reads fail the run) and the deterministic
+//!     (epoch, digest) schedule is printed for cross-run comparison.
 //! ```
 //!
 //! `demo`, `simulate`, and `query` also accept `--metrics[=json|table]`,
@@ -156,6 +164,18 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
             metrics.emit();
             Ok(())
         }
+        "concurrent" => {
+            let opts = Opts::parse(
+                rest,
+                "concurrent",
+                &["--seed", "--readers", "--steps", "--queries"],
+                &[("--metrics", ArgKind::OptValue)],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_concurrent(&opts)?;
+            metrics.emit();
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -165,7 +185,7 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
 }
 
 const USAGE: &str =
-    "usage: specdr <demo|explain|simulate|query|stats|checkpoint|recover|help> [options]\n\
+    "usage: specdr <demo|explain|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
   simulate [--months N] [--clicks K] [--raw-months A] [--month-months B] [--sessions]\n\
@@ -180,7 +200,12 @@ const USAGE: &str =
   recover --dir DIR [--raw-months A] [--month-months B]\n\
                               recover a warehouse directory: load the live\n\
                               checkpoint, replay the WAL tail, print the report\n\
-  demo/simulate/query/checkpoint/recover also take --metrics[=json|table]\n";
+  concurrent [--seed S] [--readers N] [--steps M] [--queries Q]\n\
+                              closed-loop snapshot-isolation driver: N readers\n\
+                              query while a seeded writer churns loads, syncs,\n\
+                              and spec evolution; audits for torn reads and\n\
+                              prints the deterministic schedule digest\n\
+  demo/simulate/query/checkpoint/recover/concurrent also take --metrics[=json|table]\n";
 
 type AnyError = Box<dyn std::error::Error>;
 
@@ -466,7 +491,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), AnyError> {
     // the subcube warehouse, synchronize to the final NOW, and answer one
     // representative roll-up in parallel — so a `--metrics` run shows
     // reduce, subcube, query, and storage numbers side by side.
-    let mut mgr = SubcubeManager::new(spec);
+    let mgr = SubcubeManager::new(spec);
     mgr.bulk_load(&cs.mo)?;
     let stats = mgr.sync(now)?;
     println!(
@@ -474,7 +499,7 @@ fn cmd_simulate(opts: &Opts) -> Result<(), AnyError> {
         stats.kept,
         stats.migrated,
         stats.merged,
-        mgr.cubes().len()
+        mgr.n_cubes()
     );
     let (tdim, month) = cs.schema.resolve_cat("Time.month")?;
     let mut levels = cs.schema.bottom_granularity().0;
@@ -647,7 +672,7 @@ fn cmd_recover(opts: &Opts) -> Result<(), AnyError> {
     println!(
         "  warehouse       = {} facts across {} cubes",
         mgr.len(),
-        mgr.cubes().len()
+        mgr.n_cubes()
     );
     Ok(())
 }
@@ -681,7 +706,7 @@ fn cmd_stats(opts: &Opts) -> Result<(), AnyError> {
     // storage encoding, subcube load + sync, and a parallel query.
     let red = reduce(&cs.mo, &spec, now)?;
     let _ = FactTable::from_mo(&red, 1 << 14)?.stats();
-    let mut mgr = SubcubeManager::new(spec);
+    let mgr = SubcubeManager::new(spec);
     mgr.bulk_load(&cs.mo)?;
     mgr.sync(now)?;
     let (tdim, month) = cs.schema.resolve_cat("Time.month")?;
@@ -703,5 +728,54 @@ fn cmd_stats(opts: &Opts) -> Result<(), AnyError> {
         cs.mo.len()
     );
     print_snapshot(format);
+    Ok(())
+}
+
+fn cmd_concurrent(opts: &Opts) -> Result<(), AnyError> {
+    use specdr::driver::{drive, DriveConfig};
+    use specdr::workload::{paper_schema, ACTION_A1, ACTION_A2};
+    let cfg = DriveConfig {
+        seed: opts.value("--seed").unwrap_or("42").parse()?,
+        readers: opts.value("--readers").unwrap_or("4").parse()?,
+        steps: opts.value("--steps").unwrap_or("30").parse()?,
+        min_queries_per_reader: opts.value("--queries").unwrap_or("40").parse()?,
+    };
+    let (schema, _) = paper_schema();
+    let a1 = specdr::spec::parse_action(&schema, ACTION_A1)?;
+    let a2 = specdr::spec::parse_action(&schema, ACTION_A2)?;
+    let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2])?;
+    let t = std::time::Instant::now();
+    let report = drive(spec, &cfg)?;
+    let secs = t.elapsed().as_secs_f64();
+    println!(
+        "concurrent: {} readers x {} churn steps (seed {})",
+        cfg.readers, cfg.steps, cfg.seed
+    );
+    println!(
+        "  mutations       = {} applied, {} rejected (legal spec-evolution refusals)",
+        report.mutations_ok, report.mutations_rejected
+    );
+    println!(
+        "  published       = {} versions, epochs {}..{}",
+        report.published.len(),
+        report.published.first().map_or(0, |p| p.0),
+        report.published.last().map_or(0, |p| p.0)
+    );
+    println!(
+        "  observations    = {} queries across {} readers ({:.0} queries/s)",
+        report.observations,
+        cfg.readers,
+        report.observations as f64 / secs.max(1e-9)
+    );
+    println!("  torn reads      = {}", report.torn_reads);
+    println!(
+        "concurrency seed={} epochs={} digest={:016x}",
+        cfg.seed,
+        report.published.len(),
+        report.schedule_digest
+    );
+    if report.torn_reads > 0 {
+        return Err(format!("{} torn reads observed", report.torn_reads).into());
+    }
     Ok(())
 }

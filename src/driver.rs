@@ -1,0 +1,312 @@
+//! Closed-loop concurrent warehouse driver.
+//!
+//! One seeded writer thread applies a [`churn_script`] of bulk loads,
+//! syncs, and specification insert/delete to a shared
+//! [`SubcubeManager`], while `readers` threads continuously issue the
+//! Figure 5–9 query mix against whatever snapshot [`view()`] hands them.
+//! The writer retains every version it publishes; after the threads
+//! join, every reader observation `(epoch, query, result digest)` is
+//! re-evaluated against the retained view of that exact epoch — a
+//! mismatch is a *torn read*, a result that matches no published version
+//! of the warehouse. Under snapshot isolation the count must be zero.
+//!
+//! The driver is deliberately deterministic on the writer side: the
+//! churn schedule and therefore the sequence of published epochs and
+//! their content digests are a pure function of the seed, which is what
+//! `scripts/ci.sh` compares across two runs (`SPECDR_CRASH_SEED`). Only
+//! the reader interleaving varies between runs, and the torn-read check
+//! makes any interleaving-visible inconsistency a test failure.
+//!
+//! [`churn_script`]: sdr_workload::churn_script
+//! [`view()`]: sdr_subcube::SubcubeManager::view
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sdr_mdm::{calendar::days_from_civil, time_cat, DayNum, Mo};
+use sdr_query::{AggApproach, SelectMode};
+use sdr_reduce::DataReductionSpec;
+use sdr_spec::parse_pexp;
+use sdr_subcube::{CubeQuery, SubcubeError, SubcubeManager, WarehouseView};
+use sdr_workload::{churn_script, ChurnOp, SplitMix64};
+
+/// Configuration of one driver run.
+#[derive(Debug, Clone)]
+pub struct DriveConfig {
+    /// Seed for the churn schedule and the reader query draws.
+    pub seed: u64,
+    /// Number of concurrent reader threads.
+    pub readers: usize,
+    /// Number of churn mutations the writer applies.
+    pub steps: usize,
+    /// Minimum queries each reader issues (readers keep querying while
+    /// the writer is active, then drain down to this floor).
+    pub min_queries_per_reader: usize,
+}
+
+impl Default for DriveConfig {
+    fn default() -> Self {
+        DriveConfig {
+            seed: 42,
+            readers: 4,
+            steps: 30,
+            min_queries_per_reader: 40,
+        }
+    }
+}
+
+/// One reader observation: which query ran against which published epoch
+/// and what the result's content digest was.
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    epoch: u64,
+    query: usize,
+    unsync: bool,
+    now: DayNum,
+    digest: u64,
+}
+
+/// The outcome of a driver run.
+#[derive(Debug)]
+pub struct DriveReport {
+    /// `(epoch, content digest)` of every version the writer published,
+    /// in publication order — a pure function of the seed.
+    pub published: Vec<(u64, u64)>,
+    /// Total queries issued by all readers.
+    pub observations: usize,
+    /// Observations whose result digest matched no published version of
+    /// the epoch they read. Must be zero under snapshot isolation.
+    pub torn_reads: usize,
+    /// Mutations the writer applied successfully.
+    pub mutations_ok: usize,
+    /// Mutations the warehouse rejected (e.g. a spec delete failing
+    /// Definition 4's responsibility check) — legal, non-publishing.
+    pub mutations_rejected: usize,
+    /// FNV-1a fold of `published` — the digest `scripts/ci.sh` compares
+    /// across two runs with the same seed.
+    pub schedule_digest: u64,
+}
+
+/// FNV-1a64 over an MO's *sorted* rendered rows: an order-insensitive
+/// content digest, so parallel and sequential evaluation of the same
+/// query against the same version agree.
+fn result_digest(mo: &Mo) -> u64 {
+    let mut rows: Vec<String> = mo.facts().map(|f| mo.render_fact(f)).collect();
+    rows.sort();
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for row in &rows {
+        for &b in row.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0x0A;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Digest of a whole published version (every cube, in cube order).
+fn view_digest(v: &WarehouseView) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in v.cubes() {
+        h ^= result_digest(c.data());
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The Figure 5–9 query mix: roll-ups with and without predicates, in
+/// conservative/liberal/weighted imprecision modes.
+fn query_mix(view: &WarehouseView) -> Vec<CubeQuery> {
+    let schema = view.schema();
+    let domain = schema.resolve_cat("URL.domain").expect("paper schema").1;
+    let grp = schema
+        .resolve_cat("URL.domain_grp")
+        .expect("paper schema")
+        .1;
+    vec![
+        CubeQuery {
+            pred: None,
+            mode: SelectMode::Conservative,
+            levels: vec![time_cat::MONTH, domain],
+            approach: AggApproach::Availability,
+        },
+        CubeQuery {
+            pred: Some(parse_pexp(schema, "URL.domain_grp = .com").expect("pexp parses")),
+            mode: SelectMode::Conservative,
+            levels: vec![time_cat::QUARTER, grp],
+            approach: AggApproach::Availability,
+        },
+        CubeQuery {
+            pred: Some(parse_pexp(schema, "Time.year <= 2001").expect("pexp parses")),
+            mode: SelectMode::Liberal,
+            levels: vec![time_cat::YEAR, grp],
+            approach: AggApproach::Lub,
+        },
+        CubeQuery {
+            pred: Some(
+                parse_pexp(schema, "URL.domain_grp = .com AND Time.quarter <= 2001Q4")
+                    .expect("pexp parses"),
+            ),
+            mode: SelectMode::Weighted { threshold: 0.5 },
+            levels: vec![time_cat::QUARTER, domain],
+            approach: AggApproach::Availability,
+        },
+    ]
+}
+
+/// The fixed evaluation days readers draw `NOW` from (results differ per
+/// day, so each observation records which one it used).
+const QUERY_DAYS: [(i32, u32, u32); 3] = [(2000, 9, 15), (2001, 6, 15), (2002, 3, 1)];
+
+fn run_query(
+    view: &WarehouseView,
+    q: &CubeQuery,
+    now: DayNum,
+    unsync: bool,
+    parallel: bool,
+) -> Result<Mo, SubcubeError> {
+    if unsync {
+        view.query_unsync(q, now, parallel)
+    } else {
+        view.query(q, now, parallel)
+    }
+}
+
+/// Applies one churn op to the shared manager. `Ok(true)` when the op
+/// published a new version, `Ok(false)` when the warehouse rejected it
+/// (legal, nothing published).
+fn apply_churn(m: &SubcubeManager, op: &ChurnOp) -> Result<bool, SubcubeError> {
+    let r = match op {
+        ChurnOp::Load(mo) => m.bulk_load(mo).map(|_| ()),
+        ChurnOp::Sync(t) => m.sync(*t).map(|_| ()),
+        ChurnOp::SpecInsert(a) => m.evolve_insert(vec![a.clone()]).map(|_| ()),
+        ChurnOp::SpecDelete(id, t) => m.evolve_delete(&[*id], *t),
+    };
+    match r {
+        Ok(()) => Ok(true),
+        // Spec-evolution rejections are part of a legal schedule; any
+        // other error is a real failure the driver must surface.
+        Err(SubcubeError::Reduce(_)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Runs the closed loop against a fresh warehouse seeded with the paper
+/// spec: writer churn + `cfg.readers` reader threads, then the torn-read
+/// audit. See the module docs for the guarantees checked.
+pub fn drive(spec: DataReductionSpec, cfg: &DriveConfig) -> Result<DriveReport, SubcubeError> {
+    let schema = Arc::clone(spec.schema());
+    let m = Arc::new(SubcubeManager::new(spec));
+    let script = churn_script(&schema, cfg.seed, cfg.steps);
+
+    // Every published version, retained for the post-join audit. The
+    // writer is the only mutator, so capturing `view()` right after a
+    // successful mutation observes exactly the version it published.
+    let published: Mutex<Vec<WarehouseView>> = Mutex::new(vec![m.view()]);
+    let observations: Mutex<Vec<Observation>> = Mutex::new(Vec::new());
+    let done = AtomicBool::new(false);
+    let mut mutations_ok = 0usize;
+    let mut mutations_rejected = 0usize;
+    let query_days: Vec<DayNum> = QUERY_DAYS
+        .iter()
+        .map(|&(y, mo_, d)| days_from_civil(y, mo_, d))
+        .collect();
+
+    let writer_err: Mutex<Option<SubcubeError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for r in 0..cfg.readers {
+            let m = Arc::clone(&m);
+            let done = &done;
+            let observations = &observations;
+            let query_days = &query_days;
+            let seed = cfg.seed;
+            let min_queries = cfg.min_queries_per_reader;
+            s.spawn(move || {
+                let mut rng = SplitMix64(seed ^ 0x5EAD ^ (r as u64).wrapping_mul(0x9E37_79B9));
+                let mix = query_mix(&m.view());
+                let mut local = Vec::new();
+                let mut n = 0usize;
+                loop {
+                    let writer_active = !done.load(Ordering::Acquire);
+                    if !writer_active && n >= min_queries {
+                        break;
+                    }
+                    let qi = rng.below(mix.len() as u64) as usize;
+                    let now = query_days[rng.below(query_days.len() as u64) as usize];
+                    let unsync = rng.below(2) == 0;
+                    let parallel = rng.below(2) == 0;
+                    let view = m.view();
+                    if let Ok(res) = run_query(&view, &mix[qi], now, unsync, parallel) {
+                        local.push(Observation {
+                            epoch: view.epoch(),
+                            query: qi,
+                            unsync,
+                            now,
+                            digest: result_digest(&res),
+                        });
+                    }
+                    n += 1;
+                }
+                observations.lock().unwrap().extend(local);
+            });
+        }
+        // Writer: apply the schedule, snapshotting after each publication.
+        for op in &script {
+            match apply_churn(&m, op) {
+                Ok(true) => {
+                    mutations_ok += 1;
+                    published.lock().unwrap().push(m.view());
+                }
+                Ok(false) => mutations_rejected += 1,
+                Err(e) => {
+                    *writer_err.lock().unwrap() = Some(e);
+                    break;
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+    if let Some(e) = writer_err.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    // Audit: re-evaluate every observation against the retained view of
+    // the epoch it read. Sequential evaluation (parallel=false) is the
+    // reference; the digest is order-insensitive so it matches both.
+    let published = published.into_inner().unwrap();
+    let by_epoch: std::collections::HashMap<u64, &WarehouseView> =
+        published.iter().map(|v| (v.epoch(), v)).collect();
+    let observations = observations.into_inner().unwrap();
+    let mix0 = query_mix(&published[0]);
+    let mut torn = 0usize;
+    for ob in &observations {
+        let Some(view) = by_epoch.get(&ob.epoch) else {
+            torn += 1; // read an epoch that was never published
+            continue;
+        };
+        match run_query(view, &mix0[ob.query], ob.now, ob.unsync, false) {
+            Ok(expect) if result_digest(&expect) == ob.digest => {}
+            _ => torn += 1,
+        }
+    }
+
+    let published: Vec<(u64, u64)> = published
+        .iter()
+        .map(|v| (v.epoch(), view_digest(v)))
+        .collect();
+    let mut schedule_digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(e, d) in &published {
+        schedule_digest ^= e.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ d;
+        schedule_digest = schedule_digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    Ok(DriveReport {
+        published,
+        observations: observations.len(),
+        torn_reads: torn,
+        mutations_ok,
+        mutations_rejected,
+        schedule_digest,
+    })
+}

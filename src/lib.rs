@@ -22,6 +22,8 @@
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 
+pub mod driver;
+
 pub use sdr_mdm as mdm;
 pub use sdr_obs as obs;
 pub use sdr_prover as prover;

@@ -1,0 +1,117 @@
+//! Snapshot-isolation stress matrix (ISSUE 4, satellite 3).
+//!
+//! N reader threads issue the Figure 5–9 query mix while a seeded writer
+//! churns the shared warehouse with bulk loads, syncs, and specification
+//! insert/delete. Every observed result must equal the result of the
+//! same query against *some* published epoch — the closed-loop driver
+//! (`specdr::driver`) retains every published version and re-evaluates
+//! each observation against the exact epoch it read; any mismatch counts
+//! as a torn read and fails the run. Zero torn reads across ≥ 25 seeded
+//! schedules is the acceptance bar.
+//!
+//! The writer side of a schedule is a pure function of the seed, so the
+//! fold of `(epoch, content digest)` pairs it publishes is too:
+//! `seeded_concurrency_schedule_is_deterministic` prints that digest and
+//! `scripts/ci.sh` runs it twice with the same `SPECDR_CRASH_SEED`,
+//! failing on a mismatch.
+
+use std::sync::Arc;
+
+use specdr::driver::{drive, DriveConfig};
+use specdr::reduce::DataReductionSpec;
+use specdr::spec::parse_action;
+use specdr::workload::{paper_schema, ACTION_A1, ACTION_A2};
+
+fn paper_spec() -> DataReductionSpec {
+    let (schema, _) = paper_schema();
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2]).unwrap()
+}
+
+/// The acceptance matrix: 25 seeded schedules, zero torn reads in any.
+#[test]
+fn no_torn_reads_across_25_seeds() {
+    for seed in 0..25u64 {
+        let cfg = DriveConfig {
+            seed,
+            readers: 3,
+            steps: 18,
+            min_queries_per_reader: 12,
+        };
+        let report = drive(paper_spec(), &cfg).unwrap_or_else(|e| panic!("seed={seed}: {e}"));
+        assert_eq!(
+            report.torn_reads, 0,
+            "seed={seed}: {} torn reads out of {} observations",
+            report.torn_reads, report.observations
+        );
+        assert!(
+            report.observations >= 3 * 12,
+            "seed={seed}: readers under-delivered ({} observations)",
+            report.observations
+        );
+        assert!(
+            report.mutations_ok >= 10,
+            "seed={seed}: writer under-delivered ({} mutations)",
+            report.mutations_ok
+        );
+        // Every successful mutation published exactly one version (plus
+        // the initial empty epoch retained up front).
+        assert_eq!(
+            report.published.len(),
+            report.mutations_ok + 1,
+            "seed={seed}"
+        );
+        // Epochs are strictly monotonic — no publication was lost or
+        // reordered.
+        for w in report.published.windows(2) {
+            assert!(w[0].0 < w[1].0, "seed={seed}: epochs not monotonic {w:?}");
+        }
+    }
+}
+
+/// A heavier single-seed run: more readers than cores, deeper churn.
+#[test]
+fn heavy_contention_single_seed() {
+    let cfg = DriveConfig {
+        seed: 0xC0FFEE,
+        readers: 8,
+        steps: 40,
+        min_queries_per_reader: 25,
+    };
+    let report = drive(paper_spec(), &cfg).unwrap();
+    assert_eq!(report.torn_reads, 0, "{report:?}");
+    assert!(report.observations >= 8 * 25);
+}
+
+/// The CI determinism gate: the published `(epoch, digest)` schedule is
+/// a pure function of the seed. Runs the same seed twice in-process and
+/// prints the digest line `scripts/ci.sh` compares across two separate
+/// invocations.
+#[test]
+fn seeded_concurrency_schedule_is_deterministic() {
+    let seed: u64 = std::env::var("SPECDR_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    let cfg = DriveConfig {
+        seed,
+        readers: 4,
+        steps: 24,
+        min_queries_per_reader: 10,
+    };
+    let a = drive(paper_spec(), &cfg).unwrap();
+    let b = drive(paper_spec(), &cfg).unwrap();
+    assert_eq!(a.torn_reads, 0);
+    assert_eq!(b.torn_reads, 0);
+    assert_eq!(
+        a.published, b.published,
+        "seed={seed}: published schedule differs between identical runs"
+    );
+    assert_eq!(a.schedule_digest, b.schedule_digest);
+    println!(
+        "concurrency seed={seed} epochs={} digest={:016x}",
+        a.published.len(),
+        a.schedule_digest
+    );
+}

@@ -50,7 +50,7 @@ impl Op {
         }
     }
 
-    fn apply_plain(&self, m: &mut SubcubeManager) {
+    fn apply_plain(&self, m: &SubcubeManager) {
         match self {
             Op::Load(mo) => {
                 m.bulk_load(mo).unwrap();
@@ -102,9 +102,9 @@ fn single_fact(schema: &Arc<Schema>, day: i32, url_idx: usize, measures: [i64; 4
 
 /// The never-crashed run: the same logical ops on a plain manager.
 fn reference(spec: &DataReductionSpec, ops: &[Op]) -> SubcubeManager {
-    let mut m = SubcubeManager::new(spec.clone());
+    let m = SubcubeManager::new(spec.clone());
     for op in ops {
-        op.apply_plain(&mut m);
+        op.apply_plain(&m);
     }
     m
 }
@@ -116,13 +116,14 @@ fn state(m: &SubcubeManager) -> (Vec<String>, Vec<String>, Option<i32>) {
     let mut facts: Vec<String> = whole.facts().map(|f| whole.render_fact(f)).collect();
     facts.sort();
     let mut cubes = Vec::new();
-    for (i, c) in m.cubes().iter().enumerate() {
-        let data = c.data.read();
+    let v = m.view();
+    for (i, c) in v.cubes().iter().enumerate() {
+        let data = c.data();
         let mut rows: Vec<String> = data.facts().map(|f| data.render_fact(f)).collect();
         rows.sort();
         cubes.push(format!("K{i} {:?}: {}", c.grain, rows.join(" | ")));
     }
-    (facts, cubes, m.last_sync)
+    (facts, cubes, m.last_sync())
 }
 
 /// Runs `create` + the workload through `fs`, stopping at the first
@@ -311,6 +312,182 @@ fn crash_during_post_recovery_checkpoint() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The group-commit workload: the paper workload's logical ops packed
+/// into four batches, each journaled as ONE WAL record (one fsync).
+fn batched_workload() -> (DataReductionSpec, Vec<Vec<specdr::subcube::WarehouseOp>>) {
+    use specdr::subcube::WarehouseOp as W;
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    let a3 = parse_action(&schema, ACTION_A3).unwrap();
+    let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2]).unwrap();
+    let extra = single_fact(&schema, days_from_civil(2000, 5, 7), 0, [1, 100, 2, 9000]);
+    let batches = vec![
+        vec![W::BulkLoad(mo), W::Sync(days_from_civil(2000, 6, 5))],
+        vec![
+            W::SpecInsert(vec![a3]),
+            W::BulkLoad(extra),
+            W::Sync(days_from_civil(2000, 11, 5)),
+        ],
+        vec![
+            W::Sync(days_from_civil(2001, 2, 5)),
+            W::SpecDelete(vec![ActionId(2)], days_from_civil(2001, 2, 5)),
+        ],
+        vec![W::Sync(days_from_civil(2001, 6, 5))],
+    ];
+    (spec, batches)
+}
+
+/// Applies a prefix of batches to a plain manager — the reference state
+/// a crashed-and-recovered warehouse must land on exactly.
+fn batch_reference(
+    spec: &DataReductionSpec,
+    batches: &[Vec<specdr::subcube::WarehouseOp>],
+    n_batches: usize,
+) -> SubcubeManager {
+    use specdr::subcube::WarehouseOp as W;
+    let m = SubcubeManager::new(spec.clone());
+    for b in &batches[..n_batches] {
+        for op in b {
+            match op {
+                W::BulkLoad(mo) => {
+                    m.bulk_load(mo).unwrap();
+                }
+                W::Sync(t) => {
+                    m.sync(*t).unwrap();
+                }
+                W::SpecInsert(a) => {
+                    m.evolve_insert(a.clone()).unwrap();
+                }
+                W::SpecDelete(ids, t) => m.evolve_delete(ids, *t).unwrap(),
+            }
+        }
+    }
+    m
+}
+
+/// Runs `create` + the batches through `fs`, stopping at the first
+/// error. Returns how many batches were acknowledged (`Ok`).
+fn run_batches(
+    spec: &DataReductionSpec,
+    dir: &std::path::Path,
+    fs: Arc<dyn Fs>,
+    batches: &[Vec<specdr::subcube::WarehouseOp>],
+) -> usize {
+    let Ok(mut w) = DurableWarehouse::create_with_fs(spec.clone(), dir, fs) else {
+        return 0;
+    };
+    let mut acked = 0;
+    for b in batches {
+        if w.apply_batch(b.clone()).is_err() {
+            break;
+        }
+        acked += 1;
+    }
+    acked
+}
+
+/// The group-commit sanity run: with no faults injected, every batch is
+/// acknowledged, counted per-op, and recovered bit-for-bit.
+#[test]
+fn batched_workload_is_clean() {
+    let (spec, batches) = batched_workload();
+    let total_ops: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    let dir = tmpdir("batch-clean");
+    let acked = run_batches(&spec, &dir, RealFs::shared(), &batches);
+    assert_eq!(acked, batches.len());
+    let (w, report) =
+        DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+    assert_eq!(report.ops_durable, total_ops);
+    assert_eq!(
+        report.replayed as u64, total_ops,
+        "replay counts per-op in batches"
+    );
+    assert_eq!(
+        state(w.manager()),
+        state(&batch_reference(&spec, &batches, batches.len()))
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 4, satellite 4: a `FailpointFs` crash in the middle of a
+/// group-committed WAL batch must recover to a *prefix of acknowledged
+/// batches* — no acknowledged op lost, no partial batch applied. Every
+/// fault mode at every mutating fs op of the batched workload; the
+/// decisive assertion is that the recovered op count always sits on a
+/// batch boundary and the recovered state equals the plain-manager
+/// reference for exactly that many whole batches.
+#[test]
+fn group_commit_crash_recovers_whole_batch_prefix() {
+    let (spec, batches) = batched_workload();
+    let prefix_ops: Vec<u64> = batches
+        .iter()
+        .scan(0u64, |acc, b| {
+            *acc += b.len() as u64;
+            Some(*acc)
+        })
+        .collect(); // ops after 1, 2, … whole batches
+    let boundary = |ops: u64| -> Option<usize> {
+        if ops == 0 {
+            return Some(0);
+        }
+        prefix_ops.iter().position(|&p| p == ops).map(|i| i + 1)
+    };
+
+    // Count the mutating fs ops of a clean run.
+    let dir = tmpdir("batch-count");
+    let counting = FailpointFs::counting(RealFs::shared());
+    run_batches(&spec, &dir, counting.clone(), &batches);
+    let total = counting.ops();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(total > 8, "batched workload too small: {total} fs ops");
+
+    for mode in FaultMode::ALL {
+        for k in 0..total {
+            let ctx = format!("mode={mode:?} fail_op={k}");
+            let dir = tmpdir("batch-matrix");
+            let shim = FailpointFs::new(RealFs::shared(), 0xBA7C4 ^ k, k, mode);
+            let acked = run_batches(&spec, &dir, shim.clone(), &batches);
+            assert!(shim.crashed(), "{ctx}: fault never fired");
+            if !dir.join("CURRENT").exists() {
+                assert_eq!(acked, 0, "{ctx}: acked batches but no warehouse");
+                std::fs::remove_dir_all(&dir).ok();
+                continue;
+            }
+            let (w, report) =
+                DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared())
+                    .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+            // No acknowledged op lost…
+            let acked_ops: u64 = batches[..acked].iter().map(|b| b.len() as u64).sum();
+            assert!(
+                report.ops_durable >= acked_ops,
+                "{ctx}: acked {acked_ops} ops but only {} durable",
+                report.ops_durable
+            );
+            // …and nothing partial: the durable count sits exactly on a
+            // batch boundary (the group frame is all-or-nothing), at most
+            // one in-flight batch past the acknowledged prefix.
+            let n_batches = boundary(report.ops_durable).unwrap_or_else(|| {
+                panic!(
+                    "{ctx}: ops_durable={} is not a whole-batch prefix of {prefix_ops:?}",
+                    report.ops_durable
+                )
+            });
+            assert!(
+                n_batches <= acked + 1,
+                "{ctx}: {n_batches} durable batches but only {acked} acknowledged"
+            );
+            assert_eq!(
+                state(w.manager()),
+                state(&batch_reference(&spec, &batches, n_batches)),
+                "{ctx}: recovered state is not the {n_batches}-batch reference"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -356,7 +533,7 @@ proptest! {
         // Probe sync: the recovered-and-resumed warehouse and the
         // reference react identically to the next tick.
         let probe = clock + 60;
-        let mut reference_m = reference(&spec, &ops);
+        let reference_m = reference(&spec, &ops);
         let ref_stats: SyncStats = reference_m.sync(probe).unwrap();
         if dir.join("CURRENT").exists() {
             let (mut w, _) =

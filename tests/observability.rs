@@ -63,7 +63,7 @@ fn metrics_agree_with_authoritative_numbers() {
 
     // --- Phase 2: subcube sync. Counters must equal the returned stats.
     obs::reset();
-    let mut mgr = SubcubeManager::new(spec);
+    let mgr = SubcubeManager::new(spec);
     mgr.bulk_load(&mo).unwrap();
     let stats = mgr.sync(now).unwrap();
     let snap = obs::snapshot();
@@ -120,7 +120,7 @@ fn metrics_agree_with_authoritative_numbers() {
     let answer = mgr.query(&q, now, true).unwrap();
     assert!(!answer.is_empty());
     let snap = obs::snapshot();
-    let n_cubes = mgr.cubes().len() as u64;
+    let n_cubes = mgr.n_cubes() as u64;
     assert_eq!(snap.counter("subcube.query.fanout"), Some(n_cubes));
     assert_eq!(snap.span("subcube.query.subquery").unwrap().count, n_cubes);
     assert_eq!(snap.span("subcube.query").unwrap().count, 1);
@@ -132,7 +132,7 @@ fn metrics_agree_with_authoritative_numbers() {
     // survive a reset, so "nothing" means every value stayed zero.)
     obs::set_enabled(false);
     obs::reset();
-    let _ = reduce(&mo, mgr.spec(), now).unwrap();
+    let _ = reduce(&mo, &mgr.spec(), now).unwrap();
     let snap = obs::snapshot();
     assert!(
         snap.counters.iter().all(|(_, v)| *v == 0),

@@ -212,7 +212,7 @@ proptest! {
     ) {
         let mo = mo_from_rows(&rows);
         let spec = paper_spec_for(&mo);
-        let mut m = SubcubeManager::new(spec.clone());
+        let m = SubcubeManager::new(spec.clone());
         m.bulk_load(&mo).unwrap();
         let t_sync = days_from_civil(2000, 1, 1) + sync_off;
         let t_query = t_sync.max(days_from_civil(2000, 1, 1) + query_off);

@@ -128,10 +128,10 @@ fn queries_across_three_dimensions() {
 #[test]
 fn subcube_layout_and_equivalence_in_3d() {
     let (r, spec) = setup(15);
-    let mut m = SubcubeManager::new(spec.clone());
+    let m = SubcubeManager::new(spec.clone());
     m.bulk_load(&r.mo).unwrap();
     // Bottom + three action granularities.
-    assert_eq!(m.cubes().len(), 4);
+    assert_eq!(m.n_cubes(), 4);
     let now = days_from_civil(2003, 6, 15);
     m.sync(now).unwrap();
     let physical = m.to_mo().unwrap();

@@ -31,7 +31,7 @@ fn build_manager(clicks_per_day: usize) -> (SubcubeManager, Mo) {
         .map(|s| parse_action(&cs.schema, s).unwrap())
         .collect();
     let spec = DataReductionSpec::new(Arc::clone(&cs.schema), actions).unwrap();
-    let mut m = SubcubeManager::new(spec);
+    let m = SubcubeManager::new(spec);
     m.bulk_load(&cs.mo).unwrap();
     (m, cs.mo)
 }
@@ -57,7 +57,7 @@ fn crash_roundtrip(m: &SubcubeManager) -> SubcubeManager {
     let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
     f.write_all(&[42, 0, 0, 0, 0xDE, 0xAD]).unwrap();
     drop(f);
-    let (rec, report) = SubcubeManager::recover(m.spec().clone(), &dir).unwrap();
+    let (rec, report) = SubcubeManager::recover(m.spec().as_ref().clone(), &dir).unwrap();
     assert_eq!(report.replayed, 0);
     assert_eq!(report.dropped_bytes, 6);
     std::fs::remove_dir_all(&dir).ok();
@@ -70,12 +70,13 @@ fn crash_roundtrip(m: &SubcubeManager) -> SubcubeManager {
 fn figure6_cube_dag() {
     let (m, _) = build_manager(10);
     let m = crash_roundtrip(&m);
-    assert_eq!(m.cubes().len(), 3);
-    assert_eq!(m.cubes()[0].grain, m.schema().bottom_granularity());
-    assert_eq!(m.parents(CubeId(1)), &[CubeId(0)]);
-    assert_eq!(m.parents(CubeId(2)), &[CubeId(1)]);
+    let v = m.view();
+    assert_eq!(v.cubes().len(), 3);
+    assert_eq!(v.cubes()[0].grain, m.schema().bottom_granularity());
+    assert_eq!(v.parents(CubeId(1)), &[CubeId(0)]);
+    assert_eq!(v.parents(CubeId(2)), &[CubeId(1)]);
     // All loaded data sits in the bottom cube before synchronization.
-    assert_eq!(m.cubes()[0].data.read().len(), m.len());
+    assert_eq!(v.cubes()[0].data().len(), m.len());
 }
 
 /// Figure 7: synchronization migrates facts bottom → month → quarter as
@@ -83,12 +84,12 @@ fn figure6_cube_dag() {
 /// reduction of Definition 2.
 #[test]
 fn figure7_sync_flow_matches_reduce() {
-    let (mut m, mo) = build_manager(20);
+    let (m, mo) = build_manager(20);
     for (y, mm) in [(1999, 8), (2000, 6), (2002, 3), (2004, 6)] {
         let now = days_from_civil(y, mm, 15);
         m.sync(now).unwrap();
         let physical = crash_roundtrip(&m).to_mo().unwrap();
-        let logical = reduce(&mo, m.spec(), now).unwrap();
+        let logical = reduce(&mo, &m.spec(), now).unwrap();
         assert_eq!(
             sorted_rows(&physical),
             sorted_rows(&logical),
@@ -98,16 +99,17 @@ fn figure7_sync_flow_matches_reduce() {
     // By 2004/6 everything old sits in the quarter cube; the bottom cube
     // holds only recent data (there is none, the stream stops in 2000).
     let m = crash_roundtrip(&m);
-    assert_eq!(m.cubes()[0].data.read().len(), 0);
-    assert_eq!(m.cubes()[1].data.read().len(), 0);
-    assert!(!m.cubes()[2].data.read().is_empty());
+    let v = m.view();
+    assert_eq!(v.cubes()[0].data().len(), 0);
+    assert_eq!(v.cubes()[1].data().len(), 0);
+    assert!(!v.cubes()[2].data().is_empty());
 }
 
 /// Figure 8: parallel sub-query evaluation over synchronized cubes equals
 /// the same query over the monolithic reduced MO.
 #[test]
 fn figure8_query_equals_monolithic() {
-    let (mut m, mo) = build_manager(20);
+    let (m, mo) = build_manager(20);
     let now = days_from_civil(2001, 6, 15);
     m.sync(now).unwrap();
     let m = crash_roundtrip(&m);
@@ -119,7 +121,7 @@ fn figure8_query_equals_monolithic() {
         approach: AggApproach::Availability,
     };
     let via_cubes = m.query(&q, now, true).unwrap();
-    let logical = reduce(&mo, m.spec(), now).unwrap();
+    let logical = reduce(&mo, &m.spec(), now).unwrap();
     let selected = specdr::query::select(
         &logical,
         q.pred.as_ref().unwrap(),
@@ -143,9 +145,9 @@ fn figure8_query_equals_monolithic() {
 /// months — still produces the synchronized answer.
 #[test]
 fn figure9_unsync_equals_sync() {
-    let (mut m, _) = build_manager(20);
+    let (m, _) = build_manager(20);
     m.sync(days_from_civil(2000, 1, 15)).unwrap();
-    let mut m = crash_roundtrip(&m);
+    let m = crash_roundtrip(&m);
     // Warehouse is now ~18 months stale relative to the query time.
     let now = days_from_civil(2001, 8, 1);
     let domain = m.schema().resolve_cat("URL.domain").unwrap().1;
@@ -183,7 +185,7 @@ fn interleaved_loads_and_syncs() {
         .map(|s| parse_action(&cs1.schema, s).unwrap())
         .collect();
     let spec = DataReductionSpec::new(Arc::clone(&cs1.schema), actions).unwrap();
-    let mut m = SubcubeManager::new(spec);
+    let m = SubcubeManager::new(spec);
     m.bulk_load(&cs1.mo).unwrap();
     m.sync(days_from_civil(2000, 1, 5)).unwrap();
     m.bulk_load(&cs2.mo).unwrap();
@@ -192,7 +194,7 @@ fn interleaved_loads_and_syncs() {
     let m = crash_roundtrip(&m);
     let mut all = cs1.mo.clone();
     all.absorb(&cs2.mo).unwrap();
-    let logical = reduce(&all, m.spec(), now).unwrap();
+    let logical = reduce(&all, &m.spec(), now).unwrap();
     assert_eq!(sorted_rows(&m.to_mo().unwrap()), sorted_rows(&logical));
 }
 
@@ -200,7 +202,7 @@ fn interleaved_loads_and_syncs() {
 /// than the raw one (experiment E1's invariant at test scale).
 #[test]
 fn storage_shrinks_dramatically_with_age() {
-    let (mut m, mo) = build_manager(50);
+    let (m, mo) = build_manager(50);
     let raw = specdr::storage::FactTable::from_mo(&mo, 1 << 16)
         .unwrap()
         .stats();

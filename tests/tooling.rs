@@ -25,7 +25,7 @@ fn paper_spec() -> (specdr::mdm::Mo, DataReductionSpec) {
 #[test]
 fn subcube_persistence_roundtrip() {
     let (mo, spec) = paper_spec();
-    let mut m = SubcubeManager::new(spec.clone());
+    let m = SubcubeManager::new(spec.clone());
     m.bulk_load(&mo).unwrap();
     m.sync(days_from_civil(2000, 11, 5)).unwrap();
     let dir = std::env::temp_dir().join(format!("specdr-test-{}", std::process::id()));
@@ -188,7 +188,7 @@ fn retention_policy_end_to_end_totals() {
 /// bottom cube.
 fn saved_dir(tag: &str, sync: bool) -> (DataReductionSpec, std::path::PathBuf) {
     let (mo, spec) = paper_spec();
-    let mut m = SubcubeManager::new(spec.clone());
+    let m = SubcubeManager::new(spec.clone());
     m.bulk_load(&mo).unwrap();
     if sync {
         m.sync(days_from_civil(2000, 11, 5)).unwrap();
