@@ -1,0 +1,88 @@
+//! Lint-engine cost on large specifications.
+//!
+//! `specdr lint` is meant to run as a CI gate, so a full lint pass over a
+//! realistic 50-action specification must stay comfortably inside the
+//! budget of the runtime soundness checks it subsumes (the `O(|A|²)`
+//! pairwise NonCrossing sweep plus the Growing obligation, Sections
+//! 5.2–5.3). The lint engine runs *more* rules than the runtime checks —
+//! L001–L003 and L007 on top of the NonCrossing/Growing replays — but it
+//! day-scans each action once and answers per-pair questions from the
+//! cached piecewise-constant groundings, so the comparison is apples to
+//! apples on the expensive part.
+//!
+//! Also measured: the incremental path (one `insert` + re-lint against a
+//! warm 49-action cache), which is the editor/REPL workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use sdr_lint::{lint_source, LintConfig, Linter};
+use sdr_reduce::{check_growing, check_noncrossing};
+use sdr_spec::parse_action;
+use sdr_workload::{generate, prover_heavy_policy, ClickstreamConfig};
+
+fn bench_lint(c: &mut Criterion) {
+    // 50 domain groups so prover_heavy_policy(50) resolves; every
+    // cross-pair of the policy takes the prover path.
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: 0,
+        n_domain_grps: 50,
+        horizon: ((1998, 1, 1), (2004, 12, 31)),
+        ..Default::default()
+    });
+    let schema = Arc::clone(&cs.schema);
+    let policy = prover_heavy_policy(50);
+    let src = policy.join(";\n");
+    let actions: Vec<_> = policy
+        .iter()
+        .map(|s| parse_action(&schema, s).unwrap())
+        .collect();
+    let cfg = LintConfig::default();
+
+    let mut g = c.benchmark_group("lint_specs");
+    g.sample_size(10);
+
+    // The budget: the runtime checks the lint pass must stay close to.
+    g.bench_with_input(
+        BenchmarkId::new("runtime_checks", actions.len()),
+        &actions,
+        |b, actions| {
+            b.iter(|| {
+                check_noncrossing(&schema, black_box(actions).iter().collect()).unwrap();
+                check_growing(&schema, black_box(actions).iter().collect()).unwrap();
+            });
+        },
+    );
+
+    // Full batch lint: parse + analyze + all seven rules.
+    g.bench_with_input(BenchmarkId::new("lint_source", 50), &src, |b, src| {
+        b.iter(|| {
+            let diags = lint_source(&schema, black_box(src), &cfg);
+            assert!(diags.is_empty(), "policy is clean: {diags:#?}");
+        });
+    });
+
+    // Incremental re-lint: warm 49-action cache, insert the 50th, rerun
+    // the rules (no re-analysis of the other 49).
+    let warm = {
+        let mut l = Linter::new(Arc::clone(&schema), cfg.clone());
+        for a in &policy[..49] {
+            l.insert(a);
+        }
+        l
+    };
+    g.bench_with_input(BenchmarkId::new("lint_insert", 1), &warm, |b, warm| {
+        b.iter(|| {
+            let mut l = warm.clone();
+            l.insert(black_box(&policy[49]));
+            let diags = l.diagnostics();
+            assert!(diags.is_empty());
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_lint);
+criterion_main!(benches);

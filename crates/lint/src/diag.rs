@@ -1,0 +1,267 @@
+//! The diagnostic model: rule codes, severities, and span-anchored
+//! findings.
+
+use sdr_spec::SrcSpan;
+
+/// Stable rule codes. `Parse` covers everything that prevents an action
+/// from being analyzed at all (syntax, unresolvable names); `L001`–`L007`
+/// are the semantic rules, each decided by the prover's exact region
+/// algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Code {
+    /// Syntax / resolution error — the action could not be parsed.
+    Parse,
+    /// Unsatisfiable predicate: selects no cell at any time in the
+    /// horizon.
+    L001,
+    /// Dead action: its cell set is always covered by actions aggregating
+    /// at least as coarsely, so it never has an effect of its own.
+    L002,
+    /// Redundant disjunct or atom: removing it leaves the selected region
+    /// unchanged at every time.
+    L003,
+    /// NonCrossing violation: two granularity-incomparable actions select
+    /// a common cell at some time (Equation 14's ∃t counterexample).
+    L004,
+    /// Growing violation: a shrinking action drops a cell that no
+    /// higher-aggregating action catches (Equation 17 / Figure 2).
+    L005,
+    /// Never fires again: a shrinking action's firing window lies
+    /// entirely before `--now`.
+    L006,
+    /// Granularity mismatch: the predicate constrains a category strictly
+    /// finer than the target granularity retains (Section 4.1).
+    L007,
+}
+
+/// All semantic rule codes, in order.
+pub const ALL_RULES: [Code; 7] = [
+    Code::L001,
+    Code::L002,
+    Code::L003,
+    Code::L004,
+    Code::L005,
+    Code::L006,
+    Code::L007,
+];
+
+impl Code {
+    /// The stable textual code (`"L001"`, …; `"parse"` for parse errors).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Parse => "parse",
+            Code::L001 => "L001",
+            Code::L002 => "L002",
+            Code::L003 => "L003",
+            Code::L004 => "L004",
+            Code::L005 => "L005",
+            Code::L006 => "L006",
+            Code::L007 => "L007",
+        }
+    }
+
+    /// Parses a code as written on the command line (case-insensitive).
+    /// `Parse` is not addressable — parse errors are always errors.
+    pub fn parse(s: &str) -> Option<Code> {
+        ALL_RULES
+            .iter()
+            .copied()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// The rule's default reporting level. Soundness violations (L004,
+    /// L005) and silent-information-loss (L007) deny by default; the
+    /// spec-hygiene rules warn.
+    pub fn default_level(self) -> Level {
+        match self {
+            Code::Parse | Code::L004 | Code::L005 | Code::L007 => Level::Deny,
+            Code::L001 | Code::L002 | Code::L003 | Code::L006 => Level::Warn,
+        }
+    }
+
+    /// One-line description of what the rule checks (the rule catalog).
+    pub fn explanation(self) -> &'static str {
+        match self {
+            Code::Parse => "the action could not be parsed against the schema",
+            Code::L001 => "the predicate selects no cell at any time in the horizon",
+            Code::L002 => {
+                "every cell the action selects is also selected by an action \
+                 aggregating at least as coarsely, so this action never has an effect"
+            }
+            Code::L003 => {
+                "removing the disjunct/atom leaves the selected region unchanged \
+                 at every time in the horizon"
+            }
+            Code::L004 => {
+                "two actions with incomparable target granularities select a common \
+                 cell at some time, so the reduced granularity would depend on \
+                 execution order (NonCrossing, Equation 14)"
+            }
+            Code::L005 => {
+                "a cell leaves the shrinking predicate while no action aggregating \
+                 at least as high selects it, demanding un-aggregation of \
+                 irreversibly reduced facts (Growing, Equation 17)"
+            }
+            Code::L006 => {
+                "the shrinking action's firing window lies entirely in the past \
+                 relative to --now; it will never select another cell"
+            }
+            Code::L007 => {
+                "the predicate tests a category finer than the target granularity \
+                 retains: once aggregated, facts can no longer be evaluated at that \
+                 category and silently stop matching (Section 4.1)"
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Configurable reporting level for a rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Suppress findings of this rule entirely.
+    Allow,
+    /// Report as a warning.
+    Warn,
+    /// Report as an error (non-zero exit).
+    Deny,
+}
+
+/// Severity of an emitted diagnostic (after the configuration is
+/// applied).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; does not fail the lint run.
+    Warning,
+    /// Fails the lint run (non-zero exit).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name as rendered (`warning` / `error`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A labeled secondary span: supporting context rendered beneath the
+/// primary span (e.g. the other action of a NonCrossing pair).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label {
+    /// The source bytes the label points at.
+    pub span: SrcSpan,
+    /// The label text.
+    pub message: String,
+}
+
+/// A machine-applicable replacement suggestion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suggestion {
+    /// The bytes to replace.
+    pub span: SrcSpan,
+    /// The replacement text.
+    pub replacement: String,
+    /// Why the replacement is equivalent.
+    pub message: String,
+}
+
+/// One finding: a rule code, a severity, a primary span, optional
+/// secondary labels, free-form notes, and an optional machine-applicable
+/// suggestion. All spans are byte offsets into the linted source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub code: Code,
+    /// Severity after applying the lint configuration.
+    pub severity: Severity,
+    /// The headline message.
+    pub message: String,
+    /// The primary span (what the caret underlines). `None` only for
+    /// findings with no usable position (e.g. a parse error from a
+    /// programmatic AST).
+    pub primary: Option<SrcSpan>,
+    /// Label under the primary span.
+    pub primary_label: String,
+    /// Secondary labeled spans.
+    pub labels: Vec<Label>,
+    /// `= note:` lines (witnesses, timelines, explanations).
+    pub notes: Vec<String>,
+    /// Optional replacement suggestion.
+    pub suggestion: Option<Suggestion>,
+}
+
+impl Diagnostic {
+    /// Creates a finding with no labels/notes yet.
+    pub fn new(code: Code, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            primary: None,
+            primary_label: String::new(),
+            labels: Vec::new(),
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Sets the primary span and its label.
+    pub fn with_primary(mut self, span: SrcSpan, label: impl Into<String>) -> Diagnostic {
+        self.primary = Some(span);
+        self.primary_label = label.into();
+        self
+    }
+
+    /// Adds a secondary labeled span.
+    pub fn with_label(mut self, span: SrcSpan, message: impl Into<String>) -> Diagnostic {
+        self.labels.push(Label {
+            span,
+            message: message.into(),
+        });
+        self
+    }
+
+    /// Adds a `= note:` line.
+    pub fn with_note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attaches a replacement suggestion.
+    pub fn with_suggestion(
+        mut self,
+        span: SrcSpan,
+        replacement: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        self.suggestion = Some(Suggestion {
+            span,
+            replacement: replacement.into(),
+            message: message.into(),
+        });
+        self
+    }
+
+    /// The diagnostic with every span shifted right by `by` bytes
+    /// (rebasing an action-relative finding to file coordinates).
+    pub fn shifted(mut self, by: usize) -> Diagnostic {
+        if let Some(p) = self.primary {
+            self.primary = Some(p.shifted(by));
+        }
+        for l in &mut self.labels {
+            l.span = l.span.shifted(by);
+        }
+        if let Some(s) = &mut self.suggestion {
+            s.span = s.span.shifted(by);
+        }
+        self
+    }
+}

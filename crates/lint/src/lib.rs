@@ -1,0 +1,36 @@
+//! # sdr-lint — static analysis for reduction specifications
+//!
+//! Lints a set of reduction actions (Section 4.1's `ρ(α[Clist]
+//! σ[Pexp](O))`) *before* they are installed in a warehouse, using the
+//! same exact decision procedure as the runtime NonCrossing/Growing
+//! checks: predicates are grounded into `sdr-prover` regions at every
+//! step day of the horizon, so each verdict is a proof, not a heuristic.
+//! Findings carry byte-offset source spans (threaded from the tokenizer
+//! through the AST) and render rustc-style with carets, notes, concrete
+//! counterexample cells, and machine-applicable suggestions.
+//!
+//! The rules:
+//!
+//! | code | default | finding |
+//! |------|---------|---------|
+//! | L001 | warn    | unsatisfiable predicate |
+//! | L002 | warn    | dead action (always shadowed by a coarser one) |
+//! | L003 | warn    | redundant disjunct / atom |
+//! | L004 | deny    | NonCrossing violation, with day + cell + timeline |
+//! | L005 | deny    | Growing violation, with dropped cell + escape day |
+//! | L006 | warn    | action never fires again (relative to `--now`) |
+//! | L007 | deny    | predicate finer than the target granularity |
+//!
+//! Entry points: [`lint_source`] for one-shot linting of a `;`-separated
+//! source text, and [`Linter`] for incremental `insert`/`delete` re-lints
+//! that reuse each action's cached grounding.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod engine;
+pub mod render;
+
+pub use diag::{Code, Diagnostic, Label, Level, Severity, Suggestion, ALL_RULES};
+pub use engine::{lint_source, AnalyzedAction, LintConfig, Linter};
+pub use render::{render_json, render_summary, render_text};

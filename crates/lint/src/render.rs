@@ -1,0 +1,243 @@
+//! Diagnostic renderers: rustc-style caret text and machine-readable
+//! JSON.
+
+use sdr_spec::SrcSpan;
+
+use crate::diag::{Diagnostic, Severity};
+
+/// Byte offset → 1-based `(line, column)` and the line's text.
+struct LineIndex<'a> {
+    src: &'a str,
+    /// Byte offset of the start of each line.
+    starts: Vec<usize>,
+}
+
+impl<'a> LineIndex<'a> {
+    fn new(src: &'a str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineIndex { src, starts }
+    }
+
+    /// The 0-based line index containing byte `off`.
+    fn line_of(&self, off: usize) -> usize {
+        match self.starts.binary_search(&off) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// 1-based `(line, column)` of byte `off`.
+    fn line_col(&self, off: usize) -> (usize, usize) {
+        let l = self.line_of(off.min(self.src.len()));
+        (l + 1, off.min(self.src.len()) - self.starts[l] + 1)
+    }
+
+    /// The text of 0-based line `l`, without the trailing newline.
+    fn line_text(&self, l: usize) -> &'a str {
+        let start = self.starts[l];
+        let end = self
+            .starts
+            .get(l + 1)
+            .map(|e| e - 1)
+            .unwrap_or(self.src.len());
+        &self.src[start..end.max(start)]
+    }
+}
+
+/// Renders one underlined snippet block (`N | line…` + caret line). Spans
+/// reaching past the first line are clamped to it.
+fn snippet(
+    out: &mut String,
+    idx: &LineIndex<'_>,
+    gutter: usize,
+    span: SrcSpan,
+    underline: char,
+    label: &str,
+) {
+    let (line, col) = idx.line_col(span.start);
+    let text = idx.line_text(line - 1);
+    out.push_str(&format!("{line:>gutter$} | {text}\n"));
+    let width = span.len().min(text.len().saturating_sub(col - 1)).max(1);
+    let carets: String = std::iter::repeat_n(underline, width).collect();
+    let pad = " ".repeat(col - 1);
+    if label.is_empty() {
+        out.push_str(&format!("{:>gutter$} | {pad}{carets}\n", ""));
+    } else {
+        out.push_str(&format!("{:>gutter$} | {pad}{carets} {label}\n", ""));
+    }
+}
+
+/// Renders diagnostics in rustc style: severity + code headline, a
+/// `--> file:line:col` locus, caret-underlined snippets (primary `^`,
+/// secondary `-`), `= note:` lines, and the suggestion.
+pub fn render_text(src: &str, file: &str, diags: &[Diagnostic]) -> String {
+    let idx = LineIndex::new(src);
+    let mut out = String::new();
+    for (k, d) in diags.iter().enumerate() {
+        if k > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            d.severity.as_str(),
+            d.code,
+            d.message
+        ));
+        let mut spans: Vec<(SrcSpan, char, &str)> = Vec::new();
+        if let Some(p) = d.primary {
+            spans.push((p, '^', d.primary_label.as_str()));
+        }
+        for l in &d.labels {
+            spans.push((l.span, '-', l.message.as_str()));
+        }
+        if let Some((p, _, _)) = spans.first() {
+            let (line, col) = idx.line_col(p.start);
+            let gutter = spans
+                .iter()
+                .map(|(s, _, _)| idx.line_col(s.start).0.to_string().len())
+                .max()
+                .unwrap_or(1);
+            out.push_str(&format!("{:>gutter$}--> {file}:{line}:{col}\n", ""));
+            out.push_str(&format!("{:>gutter$} |\n", ""));
+            for (s, ch, label) in &spans {
+                snippet(&mut out, &idx, gutter, *s, *ch, label);
+            }
+            out.push_str(&format!("{:>gutter$} |\n", ""));
+            for n in &d.notes {
+                out.push_str(&format!("{:>gutter$} = note: {n}\n", ""));
+            }
+            if let Some(s) = &d.suggestion {
+                out.push_str(&format!(
+                    "{:>gutter$} = suggestion: {} — replace `{}` with `{}`\n",
+                    "",
+                    s.message,
+                    &src[s.span.start..s.span.end.min(src.len())],
+                    s.replacement
+                ));
+            }
+        } else {
+            for n in &d.notes {
+                out.push_str(&format!(" = note: {n}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// A one-line summary (`lint: 1 error, 2 warnings`); empty string when
+/// there are no findings.
+pub fn render_summary(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return String::new();
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    let part = |n: usize, what: &str| match n {
+        0 => None,
+        1 => Some(format!("1 {what}")),
+        n => Some(format!("{n} {what}s")),
+    };
+    let parts: Vec<String> = [part(errors, "error"), part(warnings, "warning")]
+        .into_iter()
+        .flatten()
+        .collect();
+    format!("lint: {}", parts.join(", "))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_span(idx: &LineIndex<'_>, s: SrcSpan) -> String {
+    let (line, col) = idx.line_col(s.start);
+    format!(
+        "{{\"start\":{},\"end\":{},\"line\":{line},\"col\":{col}}}",
+        s.start, s.end
+    )
+}
+
+/// Renders diagnostics as one JSON object:
+/// `{"file":…,"findings":[…],"errors":N,"warnings":M}`. Hand-rolled —
+/// the workspace has no serialization dependency.
+pub fn render_json(src: &str, file: &str, diags: &[Diagnostic]) -> String {
+    let idx = LineIndex::new(src);
+    let mut items = Vec::with_capacity(diags.len());
+    for d in diags {
+        let mut f = format!(
+            "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"",
+            d.code,
+            d.severity.as_str(),
+            json_escape(&d.message)
+        );
+        if let Some(p) = d.primary {
+            f.push_str(&format!(
+                ",\"span\":{},\"label\":\"{}\"",
+                json_span(&idx, p),
+                json_escape(&d.primary_label)
+            ));
+        }
+        if !d.labels.is_empty() {
+            let ls: Vec<String> = d
+                .labels
+                .iter()
+                .map(|l| {
+                    format!(
+                        "{{\"span\":{},\"message\":\"{}\"}}",
+                        json_span(&idx, l.span),
+                        json_escape(&l.message)
+                    )
+                })
+                .collect();
+            f.push_str(&format!(",\"labels\":[{}]", ls.join(",")));
+        }
+        if !d.notes.is_empty() {
+            let ns: Vec<String> = d
+                .notes
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect();
+            f.push_str(&format!(",\"notes\":[{}]", ns.join(",")));
+        }
+        if let Some(s) = &d.suggestion {
+            f.push_str(&format!(
+                ",\"suggestion\":{{\"span\":{},\"replacement\":\"{}\",\"message\":\"{}\"}}",
+                json_span(&idx, s.span),
+                json_escape(&s.replacement),
+                json_escape(&s.message)
+            ));
+        }
+        f.push('}');
+        items.push(f);
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    format!(
+        "{{\"file\":\"{}\",\"findings\":[{}],\"errors\":{},\"warnings\":{}}}",
+        json_escape(file),
+        items.join(","),
+        errors,
+        diags.len() - errors
+    )
+}

@@ -1,0 +1,590 @@
+//! Golden positive/negative tests for every lint rule, incremental ⇔
+//! batch equivalence, severity configuration, renderer output, and a
+//! differential property test pitting L001/L002 against brute-force cell
+//! enumeration with `eval_pred`.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sdr_lint::{lint_source, Code, Diagnostic, Level, LintConfig, Linter, Severity};
+use sdr_mdm::{
+    calendar::days_from_civil, time_cat as tc, AggFn, CatGraph, DimId, DimValue, Dimension,
+    EnumDimensionBuilder, MeasureDef, Schema, TimeDimension, TimeValue,
+};
+use sdr_spec::eval_pred;
+use sdr_workload::paper_schema;
+
+fn schema() -> Arc<Schema> {
+    paper_schema().0
+}
+
+fn lint(src: &str) -> Vec<Diagnostic> {
+    lint_source(&schema(), src, &LintConfig::default())
+}
+
+fn lint_now(src: &str, y: i32, m: u32, d: u32) -> Vec<Diagnostic> {
+    let cfg = LintConfig {
+        now: Some(days_from_civil(y, m, d)),
+        ..Default::default()
+    };
+    lint_source(&schema(), src, &cfg)
+}
+
+fn codes(diags: &[Diagnostic]) -> Vec<Code> {
+    diags.iter().map(|d| d.code).collect()
+}
+
+/// Slices the primary span's text out of the source.
+fn primary_text<'a>(src: &'a str, d: &Diagnostic) -> &'a str {
+    let s = d.primary.expect("diagnostic should carry a primary span");
+    &src[s.start..s.end]
+}
+
+// ---------------------------------------------------------------- clean
+
+#[test]
+fn clean_retention_policy_is_finding_free() {
+    // The shipped retention policy must lint clean (this is what the CI
+    // gate asserts over examples/specs/).
+    let src = sdr_workload::retention_policy(6, 36).join(";\n");
+    let diags = lint_now(&src, 2000, 10, 15);
+    assert!(diags.is_empty(), "unexpected findings: {diags:#?}");
+}
+
+#[test]
+fn clean_tiered_policy_is_finding_free() {
+    let src = sdr_workload::tiered_policy(2, 3).join(";\n");
+    let diags = lint_now(&src, 2000, 10, 15);
+    assert!(diags.is_empty(), "unexpected findings: {diags:#?}");
+}
+
+// ---------------------------------------------------------------- parse
+
+#[test]
+fn parse_error_is_span_anchored() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= nonsense](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::Parse]);
+    assert_eq!(diags[0].severity, Severity::Error);
+    let span = diags[0].primary.expect("parse errors carry spans");
+    assert!(src[span.start..span.end].contains("nonsense"));
+}
+
+#[test]
+fn parse_error_offset_is_file_absolute() {
+    // The defect is in the *second* action; the span must point there.
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/6](O);\n\
+               a[Time.month, URL.domain] o[Time.month <= nonsense](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::Parse]);
+    let span = diags[0].primary.unwrap();
+    assert!(span.start > src.find(';').unwrap());
+    assert!(src[span.start..span.end].contains("nonsense"));
+}
+
+// ---------------------------------------------------------------- L001
+
+#[test]
+fn l001_contradictory_bounds() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/12 AND Time.month > 2000/6](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::L001]);
+    assert_eq!(diags[0].severity, Severity::Warning);
+    // The primary span covers the predicate body.
+    let text = primary_text(src, &diags[0]);
+    assert!(text.contains("Time.month <= 1999/12"), "span was {text:?}");
+}
+
+#[test]
+fn l001_negative_satisfiable() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/12 AND Time.month > 1999/6](O)";
+    assert!(lint(src).is_empty());
+}
+
+// ---------------------------------------------------------------- L002
+
+const L002_DEAD: &str =
+    "a[Time.month, URL.domain] o[URL.domain_grp = .com AND Time.month <= 1999/6](O);\n\
+     a[Time.quarter, URL.domain] o[URL.domain_grp = .com AND Time.quarter <= 1999Q4](O)";
+
+#[test]
+fn l002_shadowed_action() {
+    let diags = lint(L002_DEAD);
+    assert_eq!(codes(&diags), vec![Code::L002]);
+    // Primary span is the dead (first) action; the shadower is labeled.
+    let span = diags[0].primary.unwrap();
+    assert_eq!(span.start, 0);
+    assert_eq!(diags[0].labels.len(), 1);
+    let label_text = {
+        let s = diags[0].labels[0].span;
+        &L002_DEAD[s.start..s.end]
+    };
+    assert!(
+        label_text.contains("Time.quarter"),
+        "label was {label_text:?}"
+    );
+}
+
+#[test]
+fn l002_negative_not_covered() {
+    // The month window reaches past the quarter window: not dead.
+    let src = "a[Time.month, URL.domain] o[URL.domain_grp = .com AND Time.month <= 2001/6](O);\n\
+               a[Time.quarter, URL.domain] o[URL.domain_grp = .com AND Time.quarter <= 1999Q4](O)";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn l002_negative_incomparable_grain_does_not_shadow() {
+    // Same windows as L002_DEAD but the second action's grain is not
+    // coarser in every dimension — L004 territory, not L002.
+    let src = "a[Time.quarter, URL.domain] o[Time.quarter <= 1999Q4](O);\n\
+               a[Time.month, URL.domain_grp] o[Time.month <= 1999/12](O)";
+    let diags = lint(src);
+    assert!(!codes(&diags).contains(&Code::L002));
+}
+
+// ---------------------------------------------------------------- L003
+
+#[test]
+fn l003_redundant_atom_with_suggestion() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/6 AND Time.quarter <= 1999Q4](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::L003]);
+    // The quarter atom is the implied one.
+    assert_eq!(primary_text(src, &diags[0]), "Time.quarter <= 1999Q4");
+    let sug = diags[0].suggestion.as_ref().expect("machine suggestion");
+    assert_eq!(sug.replacement, "true");
+    assert_eq!(&src[sug.span.start..sug.span.end], "Time.quarter <= 1999Q4");
+}
+
+#[test]
+fn l003_redundant_disjunct_with_suggestion() {
+    let src = "a[Time.month, URL.domain] o[URL.domain_grp = .com OR URL.domain = cnn.com](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::L003]);
+    assert_eq!(primary_text(src, &diags[0]), "URL.domain = cnn.com");
+    let sug = diags[0].suggestion.as_ref().expect("machine suggestion");
+    assert_eq!(sug.replacement, "false");
+}
+
+#[test]
+fn l003_negative_independent_atoms() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/6 AND URL.domain_grp = .com](O)";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn l003_mutually_redundant_disjuncts_keep_one() {
+    // Two identical disjuncts: exactly one is reported, not both.
+    let src = "a[Time.month, URL.domain] o[URL.domain_grp = .com OR URL.domain_grp = .com](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::L003]);
+}
+
+// ---------------------------------------------------------------- L004
+
+const L004_CROSSING: &str = "a[Time.quarter, URL.domain] o[Time.quarter <= 1999Q4](O);\n\
+     a[Time.month, URL.domain_grp] o[Time.month <= 1999/12](O)";
+
+#[test]
+fn l004_crossing_pair_has_witness() {
+    let diags = lint(L004_CROSSING);
+    assert_eq!(codes(&diags), vec![Code::L004]);
+    assert_eq!(diags[0].severity, Severity::Error);
+    // Primary and secondary point at the two grain lists.
+    assert!(primary_text(L004_CROSSING, &diags[0]).contains("Time.quarter"));
+    assert_eq!(diags[0].labels.len(), 1);
+    // The witness note names a concrete day and cell; the timeline shows
+    // the overlap.
+    let notes = diags[0].notes.join("\n");
+    assert!(notes.contains("counterexample"), "notes: {notes}");
+    assert!(notes.contains("1998/1/1"), "witness day missing: {notes}");
+    assert!(notes.contains("overlap"), "timeline missing: {notes}");
+    assert!(notes.contains('#'), "timeline bars missing: {notes}");
+}
+
+#[test]
+fn l004_negative_disjoint_windows() {
+    // Incomparable grains but predicates never overlap (different domain
+    // groups): NonCrossing holds.
+    let src =
+        "a[Time.quarter, URL.domain] o[URL.domain_grp = .com AND Time.quarter <= 1999Q4](O);\n\
+               a[Time.month, URL.domain_grp] o[URL.domain_grp = .edu AND Time.month <= 1999/12](O)";
+    assert!(lint(src).is_empty());
+}
+
+#[test]
+fn l004_negative_ordered_pair() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/12](O);\n\
+               a[Time.quarter, URL.domain_grp] o[Time.quarter <= 1999Q4](O)";
+    let diags = lint(src);
+    assert!(!codes(&diags).contains(&Code::L004));
+}
+
+// ---------------------------------------------------------------- L005
+
+#[test]
+fn l005_lone_sliding_window_drops_cells() {
+    // The paper's a1 alone (Figure 2): months slide out of the window
+    // with nothing to catch them.
+    let src = "a[Time.month, URL.domain] o[NOW - 12 months < Time.month AND Time.month <= NOW - 6 months](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::L005]);
+    assert_eq!(diags[0].severity, Severity::Error);
+    // The primary span points at the moving lower bound.
+    let text = primary_text(src, &diags[0]);
+    assert!(text.contains("NOW - 12 months"), "span was {text:?}");
+    let notes = diags[0].notes.join("\n");
+    assert!(notes.contains("counterexample"), "notes: {notes}");
+    assert!(notes.contains("leaves the predicate on"), "notes: {notes}");
+}
+
+#[test]
+fn l005_negative_catcher_present() {
+    // retention_policy is Growing by construction.
+    let src = sdr_workload::retention_policy(6, 36).join(";\n");
+    assert!(lint(&src).is_empty());
+}
+
+#[test]
+fn l005_negative_growing_window() {
+    // Pure upper bound: the selected set only grows.
+    let src = "a[Time.quarter, URL.domain_grp] o[Time.quarter <= NOW - 2 quarters](O)";
+    assert!(lint(src).is_empty());
+}
+
+// ---------------------------------------------------------------- L006
+
+const L006_EXPIRED: &str =
+    "a[Time.month, URL.domain] o[Time.month = 1999/12 AND Time.month > NOW - 6 months](O);\n\
+     a[Time.quarter, URL.domain] o[Time.quarter <= NOW - 2 quarters](O)";
+
+#[test]
+fn l006_window_has_passed() {
+    // By mid-2001 the moving bound is far past 1999/12: the first action
+    // can never fire again (the quarter action catches the falling cells,
+    // so L005 stays quiet).
+    let diags = lint_now(L006_EXPIRED, 2001, 6, 15);
+    assert_eq!(codes(&diags), vec![Code::L006]);
+    let notes = diags[0].notes.join("\n");
+    assert!(notes.contains("--now = 2001/6/15"), "notes: {notes}");
+}
+
+#[test]
+fn l006_negative_window_still_open() {
+    // Early 2000: NOW - 6 months is 1999/6 < 1999/12, the window is live.
+    let diags = lint_now(L006_EXPIRED, 2000, 1, 15);
+    assert!(diags.is_empty(), "unexpected findings: {diags:#?}");
+}
+
+#[test]
+fn l006_requires_now() {
+    // Without --now the rule cannot run.
+    let diags = lint(L006_EXPIRED);
+    assert!(diags.is_empty(), "unexpected findings: {diags:#?}");
+}
+
+// ---------------------------------------------------------------- L007
+
+const L007_MISMATCH: &str = "a[Time.quarter, URL.domain] o[Time.month <= 1999/11](O)";
+
+#[test]
+fn l007_predicate_below_target() {
+    let diags = lint(L007_MISMATCH);
+    assert_eq!(codes(&diags), vec![Code::L007]);
+    assert_eq!(diags[0].severity, Severity::Error);
+    assert_eq!(
+        primary_text(L007_MISMATCH, &diags[0]),
+        "Time.month <= 1999/11"
+    );
+    // The secondary label points at the grain list.
+    assert_eq!(diags[0].labels.len(), 1);
+    let s = diags[0].labels[0].span;
+    assert!(L007_MISMATCH[s.start..s.end].contains("Time.quarter"));
+}
+
+#[test]
+fn l007_negative_predicate_at_target() {
+    let src = "a[Time.month, URL.domain] o[Time.quarter <= 1999Q4](O)";
+    assert!(lint(src).is_empty());
+}
+
+// ------------------------------------------------------------- severity
+
+#[test]
+fn deny_warnings_promotes() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= 1999/12 AND Time.month > 2000/6](O)";
+    let cfg = LintConfig {
+        deny_warnings: true,
+        ..Default::default()
+    };
+    let diags = lint_source(&schema(), src, &cfg);
+    assert_eq!(codes(&diags), vec![Code::L001]);
+    assert_eq!(diags[0].severity, Severity::Error);
+}
+
+#[test]
+fn allow_suppresses_and_deny_promotes() {
+    let mut cfg = LintConfig::default();
+    cfg.set_level(Code::L002, Level::Allow);
+    assert!(lint_source(&schema(), L002_DEAD, &cfg).is_empty());
+
+    let mut cfg = LintConfig::default();
+    cfg.set_level(Code::L002, Level::Deny);
+    let diags = lint_source(&schema(), L002_DEAD, &cfg);
+    assert_eq!(diags[0].severity, Severity::Error);
+
+    // Later overrides win.
+    let mut cfg = LintConfig::default();
+    cfg.set_level(Code::L002, Level::Allow);
+    cfg.set_level(Code::L002, Level::Warn);
+    let diags = lint_source(&schema(), L002_DEAD, &cfg);
+    assert_eq!(diags[0].severity, Severity::Warning);
+}
+
+#[test]
+fn allow_cannot_suppress_parse_errors() {
+    // Parse isn't addressable from the CLI at all.
+    assert_eq!(Code::parse("parse"), None);
+    assert_eq!(Code::parse("L004"), Some(Code::L004));
+    assert_eq!(Code::parse("l004"), Some(Code::L004));
+}
+
+// ---------------------------------------------------------- incremental
+
+#[test]
+fn incremental_matches_batch() {
+    let s = schema();
+    let cfg = LintConfig {
+        now: Some(days_from_civil(2001, 6, 15)),
+        ..Default::default()
+    };
+    let mut linter = Linter::new(s.clone(), cfg.clone());
+    for a in [
+        "a[Time.month, URL.domain] o[Time.month = 1999/12 AND Time.month > NOW - 6 months](O)",
+        "a[Time.quarter, URL.domain] o[Time.quarter <= NOW - 2 quarters](O)",
+        "a[Time.quarter, URL.domain] o[Time.quarter <= 1999Q4](O)",
+        "a[Time.month, URL.domain_grp] o[Time.month <= 1999/12](O)",
+    ] {
+        linter.insert(a);
+        // At every prefix the incremental view equals a batch re-lint of
+        // the canonical source.
+        let batch = lint_source(&s, &linter.source(), &cfg);
+        assert_eq!(linter.diagnostics(), batch);
+    }
+    assert!(!linter.diagnostics().is_empty());
+
+    // Deleting the crossing partner clears L004; equivalence still holds.
+    assert!(linter.delete(3));
+    let batch = lint_source(&s, &linter.source(), &cfg);
+    assert_eq!(linter.diagnostics(), batch);
+    assert!(!codes(&linter.diagnostics()).contains(&Code::L004));
+
+    assert!(!linter.delete(99));
+}
+
+#[test]
+fn delete_shadower_revives_action() {
+    let s = schema();
+    let cfg = LintConfig::default();
+    let mut linter = Linter::new(s, cfg);
+    linter.insert("a[Time.month, URL.domain] o[URL.domain_grp = .com AND Time.month <= 1999/6](O)");
+    linter.insert(
+        "a[Time.quarter, URL.domain] o[URL.domain_grp = .com AND Time.quarter <= 1999Q4](O)",
+    );
+    assert_eq!(codes(&linter.diagnostics()), vec![Code::L002]);
+    assert!(linter.delete(1));
+    assert!(linter.diagnostics().is_empty());
+}
+
+// ------------------------------------------------------------ rendering
+
+#[test]
+fn text_renderer_anchors_carets() {
+    let diags = lint(L007_MISMATCH);
+    let out = sdr_lint::render_text(L007_MISMATCH, "policy.spec", &diags);
+    assert!(out.contains("error[L007]"), "out:\n{out}");
+    assert!(out.contains("--> policy.spec:1:"), "out:\n{out}");
+    // The caret line underlines the atom.
+    let lines: Vec<&str> = out.lines().collect();
+    let src_line = lines.iter().position(|l| l.contains("1 | a[")).unwrap();
+    let caret_line = lines[src_line + 1];
+    let col = caret_line.find('^').expect("caret present");
+    let src_rendered = lines[src_line];
+    assert_eq!(
+        &src_rendered[col..col + "Time.month".len()],
+        "Time.month",
+        "caret misaligned:\n{out}"
+    );
+    assert!(out.contains("= note:"), "out:\n{out}");
+
+    let summary = sdr_lint::render_summary(&diags);
+    assert_eq!(summary, "lint: 1 error");
+}
+
+#[test]
+fn json_renderer_is_machine_readable() {
+    let diags = lint(L004_CROSSING);
+    let out = sdr_lint::render_json(L004_CROSSING, "policy.spec", &diags);
+    assert!(out.starts_with("{\"file\":\"policy.spec\""), "out: {out}");
+    assert!(out.contains("\"code\":\"L004\""), "out: {out}");
+    assert!(out.contains("\"severity\":\"error\""), "out: {out}");
+    assert!(out.contains("\"errors\":1"), "out: {out}");
+    assert!(out.contains("\"line\":1"), "out: {out}");
+    // Balanced braces (cheap well-formedness check — no JSON parser in
+    // the workspace).
+    let opens = out.matches('{').count();
+    let closes = out.matches('}').count();
+    assert_eq!(opens, closes);
+}
+
+#[test]
+fn json_escapes_quotes_and_newlines() {
+    let src = "a[Time.month, URL.domain] o[Time.month <= \"oops](O)";
+    let diags = lint(src);
+    assert_eq!(codes(&diags), vec![Code::Parse]);
+    let out = sdr_lint::render_json(src, "p.spec", &diags);
+    assert!(!out.contains("\n"), "newlines must be escaped: {out}");
+}
+
+// ----------------------------------------------------------- difftests
+
+/// A 1999-first-half schema small enough for exhaustive enumeration.
+fn small_schema() -> Arc<Schema> {
+    let time = Dimension::Time(TimeDimension::new((1999, 1, 1), (1999, 6, 30)).unwrap());
+    let g = CatGraph::new(
+        vec!["url", "domain", "domain_grp", "T"],
+        &[
+            ("url", "domain"),
+            ("domain", "domain_grp"),
+            ("domain_grp", "T"),
+        ],
+    )
+    .unwrap();
+    let domain = g.by_name("domain").unwrap();
+    let grp = g.by_name("domain_grp").unwrap();
+    let url = g.by_name("url").unwrap();
+    let mut b = EnumDimensionBuilder::new("URL", g);
+    b.add_value(grp, ".com", &[]).unwrap();
+    b.add_value(grp, ".edu", &[]).unwrap();
+    b.add_value(domain, "cnn.com", &[(grp, ".com")]).unwrap();
+    b.add_value(domain, "gatech.edu", &[(grp, ".edu")]).unwrap();
+    b.add_value(url, "a.cnn.com", &[(domain, "cnn.com")])
+        .unwrap();
+    b.add_value(url, "b.gatech.edu", &[(domain, "gatech.edu")])
+        .unwrap();
+    Schema::new(
+        "Small",
+        vec![time, Dimension::Enum(b.build().unwrap())],
+        vec![MeasureDef::new("n", AggFn::Count)],
+    )
+    .unwrap()
+}
+
+/// Brute-force `Pred(a, t)` membership over every bottom cell for every
+/// day of the horizon: `sat[t][cell]`.
+fn brute_cells(schema: &Schema, src: &str) -> Vec<Vec<bool>> {
+    let spec = sdr_spec::parse_action(schema, src).unwrap();
+    let Dimension::Time(td) = schema.dim(DimId(0)) else {
+        unreachable!()
+    };
+    let (from, to) = (td.min_day, td.max_day);
+    let Dimension::Enum(e) = schema.dim(DimId(1)) else {
+        unreachable!()
+    };
+    let urls: Vec<DimValue> = e.values(e.graph().bottom()).collect();
+    let mut out = Vec::new();
+    for now in from..=to {
+        let mut row = Vec::new();
+        for d in from..=to {
+            let tv = DimValue::new(tc::DAY, TimeValue::Day(d).code());
+            for &u in &urls {
+                row.push(eval_pred(schema, &spec.pred, &[tv, u], now).unwrap());
+            }
+        }
+        out.push(row);
+    }
+    out
+}
+
+fn pred_of(m_hi: u32, m_lo: u32, grp: bool, dynk: u32) -> String {
+    let mut parts = vec![format!("Time.month <= 1999/{m_hi}")];
+    if m_lo > 0 {
+        parts.push(format!("Time.month > 1999/{m_lo}"));
+    }
+    if grp {
+        parts.push("URL.domain_grp = .com".to_string());
+    }
+    if dynk > 0 {
+        parts.push(format!("Time.month > NOW - {dynk} months"));
+    }
+    parts.join(" AND ")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// L001 (unsatisfiable) agrees with brute-force enumeration of every
+    /// (cell, day) pair.
+    #[test]
+    fn l001_matches_brute_force(
+        m_hi in 1u32..7,
+        m_lo in 0u32..7,
+        grp in any::<bool>(),
+        dynk in 0u32..5,
+    ) {
+        let s = small_schema();
+        let src = format!(
+            "a[Time.month, URL.domain] o[{}](O)",
+            pred_of(m_hi, m_lo, grp, dynk)
+        );
+        let diags = lint_source(&s, &src, &LintConfig::default());
+        let lint_unsat = diags.iter().any(|d| d.code == Code::L001);
+        let brute_unsat = brute_cells(&s, &src)
+            .iter()
+            .all(|row| row.iter().all(|&x| !x));
+        prop_assert_eq!(
+            lint_unsat, brute_unsat,
+            "spec {} disagrees with enumeration", src
+        );
+    }
+
+    /// L002 (dead action) agrees with brute-force subset checks at every
+    /// day of the horizon.
+    #[test]
+    fn l002_matches_brute_force(
+        m_hi in 1u32..7,
+        m_lo in 0u32..7,
+        grp in any::<bool>(),
+        dynk in 0u32..5,
+        q_hi in 1u32..3,
+        shadow_grp in any::<bool>(),
+    ) {
+        let s = small_schema();
+        let fine = format!(
+            "a[Time.month, URL.domain] o[{}](O)",
+            pred_of(m_hi, m_lo, grp, dynk)
+        );
+        let coarse = format!(
+            "a[Time.quarter, URL.domain_grp] o[Time.quarter <= 1999Q{q_hi}{}](O)",
+            if shadow_grp { " AND URL.domain_grp = .com" } else { "" }
+        );
+        let src = format!("{fine};\n{coarse}");
+        let diags = lint_source(&s, &src, &LintConfig::default());
+        let lint_dead = diags
+            .iter()
+            .any(|d| d.code == Code::L002 && d.primary.unwrap().start == 0);
+
+        let a = brute_cells(&s, &fine);
+        let b = brute_cells(&s, &coarse);
+        let unsat = a.iter().all(|row| row.iter().all(|&x| !x));
+        let brute_dead = !unsat
+            && a.iter().zip(&b).all(|(ra, rb)| {
+                ra.iter().zip(rb).all(|(&x, &y)| !x || y)
+            });
+        prop_assert_eq!(
+            lint_dead, brute_dead,
+            "spec {} disagrees with enumeration", src
+        );
+    }
+}

@@ -28,7 +28,7 @@ impl CatId {
     /// different category.
     ///
     /// # Errors
-    /// [`MdmError`](crate::MdmError)`::InvalidCategoryGraph` when `i`
+    /// [`MdmError`]`::InvalidCategoryGraph` when `i`
     /// exceeds [`u8::MAX`].
     #[inline]
     pub fn try_from_index(i: u64) -> Result<CatId, crate::MdmError> {

@@ -30,5 +30,5 @@
 pub mod region;
 pub mod sets;
 
-pub use region::{implies_union, Region};
+pub use region::{implies_union, implies_union_residue, Region};
 pub use sets::{BitSet, DayInterval, GroundSet};

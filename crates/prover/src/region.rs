@@ -53,6 +53,14 @@ impl Region {
                 .all(|(a, b)| a.subset_of(b))
     }
 
+    /// A concrete cell contained in the region, as one sample value per
+    /// dimension (day number for time, value id for enumerated
+    /// dimensions). `None` when the region is empty or any dimension is
+    /// unbounded (`All` — concretize first).
+    pub fn sample_cell(&self) -> Option<Vec<i64>> {
+        self.dims.iter().map(|d| d.sample()).collect()
+    }
+
     /// Region difference `self \ other` as a list of disjoint regions.
     ///
     /// Standard box subtraction: for each dimension `i`, emit the box whose
@@ -97,6 +105,14 @@ impl Region {
 /// the predicates of the higher-aggregating actions. Implemented by
 /// iterated region subtraction; exact for any inputs.
 pub fn implies_union(a: &Region, bs: &[Region]) -> bool {
+    implies_union_residue(a, bs).is_none()
+}
+
+/// Like [`implies_union`], but when the implication *fails* it returns one
+/// uncovered sub-region of `a` — the witness material for a Growing
+/// violation diagnostic (a concrete dropped cell can then be read off via
+/// [`Region::sample_cell`]). `None` means the implication holds.
+pub fn implies_union_residue(a: &Region, bs: &[Region]) -> Option<Region> {
     let mut residue: Vec<Region> = if a.is_empty() {
         vec![]
     } else {
@@ -109,10 +125,10 @@ pub fn implies_union(a: &Region, bs: &[Region]) -> bool {
         }
         residue = next;
         if residue.is_empty() {
-            return true;
+            return None;
         }
     }
-    residue.is_empty()
+    residue.into_iter().next()
 }
 
 #[cfg(test)]

@@ -61,6 +61,15 @@ impl DayInterval {
         self.is_empty() || (other.lo <= self.lo && self.hi <= other.hi)
     }
 
+    /// The smallest contained day, if any (witness extraction).
+    pub fn first(self) -> Option<i64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.lo)
+        }
+    }
+
     /// Set difference, producing at most two intervals (empties dropped).
     pub fn subtract(self, other: DayInterval) -> Vec<DayInterval> {
         if self.is_empty() {
@@ -167,6 +176,15 @@ impl BitSet {
         self.subtract(other).is_empty()
     }
 
+    /// The smallest contained value, if any (witness extraction).
+    pub fn first(&self) -> Option<u32> {
+        self.words
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, w)| (wi * 64) as u32 + w.trailing_zeros())
+    }
+
     /// Iterates the contained values in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, &w)| {
@@ -247,6 +265,18 @@ impl GroundSet {
                 }
             }
             _ => panic!("mixed ground-set kinds in one dimension"),
+        }
+    }
+
+    /// A concrete member of the set, for counterexample witnesses: the
+    /// first day of an interval or the smallest value id of a bitset.
+    /// `None` when the set is empty *or* unbounded (`All` — concretize
+    /// against the schema's domains first).
+    pub fn sample(&self) -> Option<i64> {
+        match self {
+            GroundSet::All => None,
+            GroundSet::Interval(i) => i.first(),
+            GroundSet::Bits(b) => b.first().map(|v| v as i64),
         }
     }
 

@@ -10,7 +10,7 @@
 //!
 //! [`select`] runs a compiled kernel: the predicate is normalized to DNF
 //! **once** and every `NOW`-dependent term is pre-resolved into a constant
-//! ([`CompiledSelect`]); the decision for a fact depends only on its
+//! (`CompiledSelect`); the decision for a fact depends only on its
 //! direct cell, so decisions are memoized per *distinct* cell (packed
 //! into a `u64`/`u128` key by [`KeyPacker`]) and surviving rows are
 //! materialized with one columnar gather instead of per-fact re-inserts.

@@ -9,6 +9,7 @@
 use sdr_mdm::{CatId, DimId, DimValue, Granularity, Schema, Span, TimeValue};
 
 use crate::error::SpecError;
+use crate::span::SrcSpan;
 
 /// Identifier of an action within a data-reduction specification.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -129,7 +130,7 @@ pub enum AtomKind {
 }
 
 /// An atomic predicate over one dimension category.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Atom {
     /// The constrained dimension.
     pub dim: DimId,
@@ -140,7 +141,23 @@ pub struct Atom {
     /// Set when the atom is under an odd number of negations (introduced
     /// only by DNF normalization; the surface syntax uses `NOT`).
     pub negated: bool,
+    /// The source bytes the atom was parsed from ([`SrcSpan::DUMMY`] for
+    /// programmatically built atoms). Metadata only — excluded from
+    /// equality, so a rendered-and-reparsed atom compares equal to the
+    /// original.
+    pub span: SrcSpan,
 }
+
+impl PartialEq for Atom {
+    fn eq(&self, other: &Self) -> bool {
+        self.dim == other.dim
+            && self.cat == other.cat
+            && self.kind == other.kind
+            && self.negated == other.negated
+    }
+}
+
+impl Eq for Atom {}
 
 /// A predicate expression `Pexp` (Table 1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -160,15 +177,51 @@ pub enum Pexp {
 }
 
 /// A fully resolved action specification.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ActionSpec {
     /// The target granularity (the `Clist`), one category per dimension.
     pub grain: Granularity,
     /// The selection predicate.
     pub pred: Pexp,
+    /// Source bytes of the whole action ([`SrcSpan::DUMMY`] when built
+    /// programmatically). Metadata only — excluded from equality.
+    pub span: SrcSpan,
+    /// Source bytes of the `Clist` inside `a[...]`.
+    pub grain_span: SrcSpan,
+    /// Source bytes of the predicate inside `o[...]`.
+    pub pred_span: SrcSpan,
+}
+
+impl PartialEq for ActionSpec {
+    fn eq(&self, other: &Self) -> bool {
+        self.grain == other.grain && self.pred == other.pred
+    }
 }
 
 impl ActionSpec {
+    /// Builds an action with no source position (dummy spans) — the
+    /// programmatic-construction path.
+    pub fn synthetic(grain: Granularity, pred: Pexp) -> ActionSpec {
+        ActionSpec {
+            grain,
+            pred,
+            span: SrcSpan::DUMMY,
+            grain_span: SrcSpan::DUMMY,
+            pred_span: SrcSpan::DUMMY,
+        }
+    }
+
+    /// Shifts every span in the action (its own, the Clist's, the
+    /// predicate's, and every atom's) right by `by` bytes. Used when an
+    /// action parsed from a segment of a larger file is rebased to
+    /// file-absolute coordinates; dummy spans stay dummy.
+    pub fn shift_spans(&mut self, by: usize) {
+        self.span = self.span.shifted(by);
+        self.grain_span = self.grain_span.shifted(by);
+        self.pred_span = self.pred_span.shifted(by);
+        shift_pexp_spans(&mut self.pred, by);
+    }
+
     /// `Cat_i(a)` (Equation 7): the category the action aggregates to in
     /// dimension `i`.
     #[inline]
@@ -200,6 +253,7 @@ impl ActionSpec {
             return Err(SpecError::ClistArity {
                 expected: schema.n_dims(),
                 got: self.grain.0.len(),
+                span: self.grain_span,
             });
         }
         let mut stack = vec![&self.pred];
@@ -213,6 +267,7 @@ impl ActionSpec {
                             dim: schema.dim(a.dim).name().to_string(),
                             pred_cat: g.name(a.cat).to_string(),
                             target_cat: g.name(target).to_string(),
+                            span: a.span,
                         });
                     }
                 }
@@ -234,6 +289,17 @@ impl ActionSpec {
                 .replace(')', "]"),
             render_pexp(&self.pred, schema)
         )
+    }
+}
+
+/// Shifts every atom span in `p` right by `by` bytes (dummy spans stay
+/// dummy).
+pub fn shift_pexp_spans(p: &mut Pexp, by: usize) {
+    match p {
+        Pexp::Atom(a) => a.span = a.span.shifted(by),
+        Pexp::And(xs) | Pexp::Or(xs) => xs.iter_mut().for_each(|x| shift_pexp_spans(x, by)),
+        Pexp::Not(x) => shift_pexp_spans(x, by),
+        Pexp::True | Pexp::False => {}
     }
 }
 

@@ -89,6 +89,11 @@ pub fn split_action(a: &ActionSpec) -> Vec<ActionSpec> {
         .map(|conj| ActionSpec {
             grain: a.grain.clone(),
             pred: from_dnf(&[conj]),
+            // Atoms keep their own spans through DNF; the action-level
+            // spans still point at the original source action.
+            span: a.span,
+            grain_span: a.grain_span,
+            pred_span: a.pred_span,
         })
         .collect()
 }

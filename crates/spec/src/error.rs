@@ -1,17 +1,34 @@
 //! Errors of the specification language.
+//!
+//! Every error produced while *parsing or validating* source text carries
+//! a [`SrcSpan`] pointing at the offending bytes, so tooling (the
+//! `sdr-lint` renderer, `specdr lint`) can draw rustc-style carets.
+//! [`SpecError::Model`] is the one span-less variant: it covers runtime
+//! evaluation failures on programmatically built ASTs, where there is no
+//! source text to point into.
 
 use sdr_mdm::MdmError;
+
+use crate::span::SrcSpan;
 
 /// Errors raised while parsing, validating, or evaluating action
 /// specifications.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SpecError {
-    /// Lexical or syntactic error, with byte offset and message.
+    /// Lexical or syntactic error.
     Parse {
-        /// Byte offset into the source.
-        at: usize,
+        /// The offending source bytes.
+        span: SrcSpan,
         /// Human-readable message.
         msg: String,
+    },
+    /// A name or value in the source failed to resolve against the schema
+    /// (unknown category, unparseable literal, …).
+    Resolve {
+        /// The offending source bytes.
+        span: SrcSpan,
+        /// The underlying model error.
+        err: MdmError,
     },
     /// The `Clist` does not name exactly one category per dimension.
     ClistArity {
@@ -19,9 +36,16 @@ pub enum SpecError {
         expected: usize,
         /// Number of categories given.
         got: usize,
+        /// The `Clist` source bytes (dummy for programmatic ASTs).
+        span: SrcSpan,
     },
     /// A dimension appears more than once (or not at all) in a `Clist`.
-    ClistCoverage(String),
+    ClistCoverage {
+        /// The `Clist` source bytes (dummy for programmatic ASTs).
+        span: SrcSpan,
+        /// Human-readable message.
+        msg: String,
+    },
     /// A predicate constrains a category below the action's target
     /// granularity in that dimension (violates Section 4.1's convention).
     PredicateBelowTarget {
@@ -31,35 +55,93 @@ pub enum SpecError {
         pred_cat: String,
         /// Category the action aggregates to.
         target_cat: String,
+        /// The offending atom's source bytes (dummy for programmatic ASTs).
+        span: SrcSpan,
     },
     /// `NOW` arithmetic or value literals used on a non-time dimension.
-    TimeSyntaxOnNonTime(String),
+    TimeSyntaxOnNonTime {
+        /// The offending term's source bytes.
+        span: SrcSpan,
+        /// Human-readable message.
+        msg: String,
+    },
     /// An ordered comparison was used on an unordered enumerated category.
-    UnorderedComparison(String),
-    /// An underlying model error.
+    UnorderedComparison {
+        /// The offending comparison's source bytes.
+        span: SrcSpan,
+        /// Human-readable message.
+        msg: String,
+    },
+    /// An underlying model error raised outside parsing (no source
+    /// position).
     Model(MdmError),
+}
+
+impl SpecError {
+    /// The source bytes the error points at, when it has any. `Model`
+    /// errors and dummy spans (programmatically built ASTs) yield `None`.
+    pub fn span(&self) -> Option<SrcSpan> {
+        let s = match self {
+            SpecError::Parse { span, .. }
+            | SpecError::Resolve { span, .. }
+            | SpecError::ClistArity { span, .. }
+            | SpecError::ClistCoverage { span, .. }
+            | SpecError::PredicateBelowTarget { span, .. }
+            | SpecError::TimeSyntaxOnNonTime { span, .. }
+            | SpecError::UnorderedComparison { span, .. } => *span,
+            SpecError::Model(_) => return None,
+        };
+        if s.is_dummy() {
+            None
+        } else {
+            Some(s)
+        }
+    }
+
+    /// The error with its span shifted right by `by` bytes (rebasing a
+    /// segment-relative error to file coordinates). Span-less variants
+    /// and dummy spans are unchanged.
+    pub fn shifted(mut self, by: usize) -> SpecError {
+        match &mut self {
+            SpecError::Parse { span, .. }
+            | SpecError::Resolve { span, .. }
+            | SpecError::ClistArity { span, .. }
+            | SpecError::ClistCoverage { span, .. }
+            | SpecError::PredicateBelowTarget { span, .. }
+            | SpecError::TimeSyntaxOnNonTime { span, .. }
+            | SpecError::UnorderedComparison { span, .. } => *span = span.shifted(by),
+            SpecError::Model(_) => {}
+        }
+        self
+    }
 }
 
 impl std::fmt::Display for SpecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SpecError::Parse { at, msg } => write!(f, "parse error at byte {at}: {msg}"),
-            SpecError::ClistArity { expected, got } => {
+            SpecError::Parse { span, msg } => {
+                write!(f, "parse error at byte {}: {msg}", span.start)
+            }
+            SpecError::Resolve { err, .. } => write!(f, "model error: {err}"),
+            SpecError::ClistArity { expected, got, .. } => {
                 write!(f, "Clist must name {expected} categories, got {got}")
             }
-            SpecError::ClistCoverage(m) => write!(f, "Clist coverage error: {m}"),
+            SpecError::ClistCoverage { msg, .. } => write!(f, "Clist coverage error: {msg}"),
             SpecError::PredicateBelowTarget {
                 dim,
                 pred_cat,
                 target_cat,
+                ..
             } => write!(
                 f,
                 "predicate on {dim}.{pred_cat} is below the action's target {dim}.{target_cat}"
             ),
-            SpecError::TimeSyntaxOnNonTime(m) => {
-                write!(f, "time syntax on non-time dimension: {m}")
+            SpecError::TimeSyntaxOnNonTime { msg, .. } => {
+                write!(f, "time syntax on non-time dimension: {msg}")
             }
-            SpecError::UnorderedComparison(m) => write!(f, "unordered comparison: {m}"),
+            SpecError::UnorderedComparison { msg, .. } => {
+                write!(f, "unordered comparison: {msg}")
+            }
             SpecError::Model(e) => write!(f, "model error: {e}"),
         }
     }

@@ -15,7 +15,9 @@
 //! * [`ground`] — exact compilation of predicates into `sdr-prover`
 //!   regions for the operational NonCrossing/Growing checks;
 //! * [`analyze`] — the growing/shrinking syntactic classification
-//!   (categories A–H) and step-day enumeration.
+//!   (categories A–H) and step-day enumeration;
+//! * [`span`] — byte-offset source spans carried by every parsed atom,
+//!   action, and positional error, for caret diagnostics (`sdr-lint`).
 
 #![warn(missing_docs)]
 
@@ -28,6 +30,7 @@ pub mod eval;
 pub mod explain;
 pub mod ground;
 pub mod parser;
+pub mod span;
 
 pub use analyze::{classify_conj, next_step_day, step_days, step_days_union, GrowthClass};
 pub use ast::{ActionId, ActionSpec, Atom, AtomKind, CmpOp, Pexp, Term};
@@ -37,7 +40,8 @@ pub use error::SpecError;
 pub use eval::{eval_pred, is_dynamic};
 pub use explain::{explain_action, explain_origin, explain_pexp};
 pub use ground::{ground_conj, ground_pexp};
-pub use parser::{parse_action, parse_actions, parse_pexp};
+pub use parser::{parse_action, parse_action_raw, parse_actions, parse_pexp, split_actions};
+pub use span::SrcSpan;
 
 #[cfg(test)]
 mod tests {
@@ -464,6 +468,7 @@ mod tests {
                 term: Term::Value(com),
             },
             negated: false,
+            span: SrcSpan::DUMMY,
         };
         let sets = ground::ground_atom(&s, &atom, 0).unwrap();
         assert_eq!(sets.len(), 1);

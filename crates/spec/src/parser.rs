@@ -19,12 +19,16 @@
 //!   `http://www.cnn.com/health`) or double-quoted strings.
 //!
 //! Everything is resolved against a [`Schema`] at parse time, so the
-//! result is a fully typed [`ActionSpec`].
+//! result is a fully typed [`ActionSpec`]. Every produced [`Atom`] and
+//! [`ActionSpec`] carries the [`SrcSpan`] of the bytes it was parsed
+//! from, and every error points at the offending bytes, so diagnostics
+//! can render carets.
 
 use sdr_mdm::{CatId, DimId, Granularity, Schema, Span, TimeUnit};
 
 use crate::ast::{ActionSpec, Atom, AtomKind, CmpOp, Pexp, Term};
 use crate::error::SpecError;
+use crate::span::SrcSpan;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
@@ -40,7 +44,7 @@ enum Tok {
     Comma,
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
+fn lex(src: &str) -> Result<Vec<(Tok, SrcSpan)>, SpecError> {
     let b = src.as_bytes();
     let mut toks = Vec::new();
     let mut i = 0;
@@ -49,31 +53,31 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '[' => {
-                toks.push((Tok::LBracket, i));
+                toks.push((Tok::LBracket, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             ']' => {
-                toks.push((Tok::RBracket, i));
+                toks.push((Tok::RBracket, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             '{' => {
-                toks.push((Tok::LBrace, i));
+                toks.push((Tok::LBrace, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             '}' => {
-                toks.push((Tok::RBrace, i));
+                toks.push((Tok::RBrace, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             '(' => {
-                toks.push((Tok::LParen, i));
+                toks.push((Tok::LParen, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             ')' => {
-                toks.push((Tok::RParen, i));
+                toks.push((Tok::RParen, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             ',' => {
-                toks.push((Tok::Comma, i));
+                toks.push((Tok::Comma, SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             '"' => {
@@ -84,50 +88,60 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
                 }
                 if j >= b.len() {
                     return Err(SpecError::Parse {
-                        at: i,
+                        span: SrcSpan::new(i, b.len()),
                         msg: "unterminated string literal".into(),
                     });
                 }
-                toks.push((Tok::Quoted(src[start..j].to_string()), i));
+                toks.push((
+                    Tok::Quoted(src[start..j].to_string()),
+                    SrcSpan::new(i, j + 1),
+                ));
                 i = j + 1;
             }
             '<' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    toks.push((Tok::Op(CmpOp::Le), i));
+                    toks.push((Tok::Op(CmpOp::Le), SrcSpan::new(i, i + 2)));
                     i += 2;
                 } else if b.get(i + 1) == Some(&b'>') {
-                    toks.push((Tok::Op(CmpOp::Ne), i));
+                    toks.push((Tok::Op(CmpOp::Ne), SrcSpan::new(i, i + 2)));
                     i += 2;
                 } else {
-                    toks.push((Tok::Op(CmpOp::Lt), i));
+                    toks.push((Tok::Op(CmpOp::Lt), SrcSpan::new(i, i + 1)));
                     i += 1;
                 }
             }
             '>' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    toks.push((Tok::Op(CmpOp::Ge), i));
+                    toks.push((Tok::Op(CmpOp::Ge), SrcSpan::new(i, i + 2)));
                     i += 2;
                 } else {
-                    toks.push((Tok::Op(CmpOp::Gt), i));
+                    toks.push((Tok::Op(CmpOp::Gt), SrcSpan::new(i, i + 1)));
                     i += 1;
                 }
             }
             '=' => {
-                toks.push((Tok::Op(CmpOp::Eq), i));
+                toks.push((Tok::Op(CmpOp::Eq), SrcSpan::new(i, i + 1)));
                 i += 1;
             }
             '!' => {
                 if b.get(i + 1) == Some(&b'=') {
-                    toks.push((Tok::Op(CmpOp::Ne), i));
+                    toks.push((Tok::Op(CmpOp::Ne), SrcSpan::new(i, i + 2)));
                     i += 2;
                 } else {
                     return Err(SpecError::Parse {
-                        at: i,
+                        span: SrcSpan::new(i, i + 1),
                         msg: "stray `!` (use `!=` or NOT)".into(),
                     });
                 }
             }
             _ => {
+                // `--` at the start of a word begins a line comment.
+                if b[i] == b'-' && b.get(i + 1) == Some(&b'-') {
+                    while i < b.len() && b[i] != b'\n' {
+                        i += 1;
+                    }
+                    continue;
+                }
                 // A word: run of characters outside whitespace/punctuation.
                 let start = i;
                 while i < b.len() {
@@ -137,7 +151,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
                     }
                     i += 1;
                 }
-                toks.push((Tok::Word(src[start..i].to_string()), start));
+                toks.push((Tok::Word(src[start..i].to_string()), SrcSpan::new(start, i)));
             }
         }
     }
@@ -149,7 +163,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
 struct TermSyntax {
     base: TermBase,
     ops: Vec<(i8, Span)>,
-    at: usize,
+    span: SrcSpan,
 }
 
 #[derive(Debug, Clone)]
@@ -166,15 +180,35 @@ enum Operand {
 
 struct Parser<'a> {
     schema: &'a Schema,
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<(Tok, SrcSpan)>,
     pos: usize,
+    /// Source length, for zero-width end-of-input error spans.
+    src_len: usize,
 }
 
 impl<'a> Parser<'a> {
+    /// The span of the token at `pos`, or a zero-width span at the end of
+    /// the input.
+    fn span_at(&self, pos: usize) -> SrcSpan {
+        self.toks
+            .get(pos)
+            .map(|t| t.1)
+            .unwrap_or(SrcSpan::new(self.src_len, self.src_len))
+    }
+
+    /// The span of the current (next unconsumed) token.
+    fn cur_span(&self) -> SrcSpan {
+        self.span_at(self.pos)
+    }
+
+    /// The span of the most recently consumed token.
+    fn prev_span(&self) -> SrcSpan {
+        self.span_at(self.pos.saturating_sub(1))
+    }
+
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, SpecError> {
-        let at = self.toks.get(self.pos).map(|t| t.1).unwrap_or(usize::MAX);
         Err(SpecError::Parse {
-            at,
+            span: self.cur_span(),
             msg: msg.into(),
         })
     }
@@ -194,7 +228,11 @@ impl<'a> Parser<'a> {
     fn expect(&mut self, t: Tok, what: &str) -> Result<(), SpecError> {
         match self.next() {
             Some(x) if x == t => Ok(()),
-            other => self.err(format!("expected {what}, found {other:?}")),
+            Some(other) => Err(SpecError::Parse {
+                span: self.prev_span(),
+                msg: format!("expected {what}, found {other:?}"),
+            }),
+            None => self.err(format!("expected {what}, found end of input")),
         }
     }
 
@@ -211,7 +249,8 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn action(&mut self) -> Result<ActionSpec, SpecError> {
+    fn action(&mut self, validate: bool) -> Result<ActionSpec, SpecError> {
+        let action_start = self.cur_span();
         let wrapped = self.take_word_if(&["p", "rho", "ρ"]);
         if wrapped {
             self.expect(Tok::LParen, "`(` after p")?;
@@ -220,13 +259,17 @@ impl<'a> Parser<'a> {
             return self.err("expected `a[` (the aggregation operator)");
         }
         self.expect(Tok::LBracket, "`[` after a")?;
+        let grain_start = self.cur_span();
         let grain = self.clist()?;
+        let grain_span = grain_start.join(self.prev_span());
         self.expect(Tok::RBracket, "`]` closing the Clist")?;
         if !self.take_word_if(&["o", "sigma", "σ"]) {
             return self.err("expected `o[` (the selection operator)");
         }
         self.expect(Tok::LBracket, "`[` after o")?;
+        let pred_start = self.cur_span();
         let pred = self.pexp()?;
+        let pred_span = pred_start.join(self.prev_span());
         self.expect(Tok::RBracket, "`]` closing the predicate")?;
         self.expect(Tok::LParen, "`(` before the object name")?;
         match self.next() {
@@ -240,24 +283,40 @@ impl<'a> Parser<'a> {
         if self.pos != self.toks.len() {
             return self.err("trailing input after action");
         }
-        let spec = ActionSpec { grain, pred };
-        spec.validate(self.schema)?;
+        let spec = ActionSpec {
+            grain,
+            pred,
+            span: action_start.join(self.prev_span()),
+            grain_span,
+            pred_span,
+        };
+        if validate {
+            spec.validate(self.schema)?;
+        }
         Ok(spec)
     }
 
     fn clist(&mut self) -> Result<Granularity, SpecError> {
+        let start = self.cur_span();
         let n = self.schema.n_dims();
         let mut seen: Vec<Option<CatId>> = vec![None; n];
         loop {
             let (d, c) = match self.next() {
-                Some(Tok::Word(w)) => self.schema.resolve_cat(&w).map_err(SpecError::Model)?,
+                Some(Tok::Word(w)) => {
+                    self.schema
+                        .resolve_cat(&w)
+                        .map_err(|e| SpecError::Resolve {
+                            span: self.prev_span(),
+                            err: e,
+                        })?
+                }
                 other => return self.err(format!("expected Dim.category, found {other:?}")),
             };
             if seen[d.index()].is_some() {
-                return Err(SpecError::ClistCoverage(format!(
-                    "dimension `{}` listed twice",
-                    self.schema.dim(d).name()
-                )));
+                return Err(SpecError::ClistCoverage {
+                    span: self.prev_span(),
+                    msg: format!("dimension `{}` listed twice", self.schema.dim(d).name()),
+                });
             }
             seen[d.index()] = Some(c);
             if self.peek() == Some(&Tok::Comma) {
@@ -269,9 +328,10 @@ impl<'a> Parser<'a> {
         let cats: Option<Vec<CatId>> = seen.into_iter().collect();
         match cats {
             Some(v) => Ok(Granularity(v)),
-            None => Err(SpecError::ClistCoverage(
-                "every dimension must appear exactly once".into(),
-            )),
+            None => Err(SpecError::ClistCoverage {
+                span: start.join(self.prev_span()),
+                msg: "every dimension must appear exactly once".into(),
+            }),
         }
     }
 
@@ -320,6 +380,7 @@ impl<'a> Parser<'a> {
 
     /// Parses a (possibly chained) comparison or an `IN` membership.
     fn predicate(&mut self) -> Result<Pexp, SpecError> {
+        let first_span = self.cur_span();
         let first = self.operand()?;
         // IN form requires the catref first.
         if self.word_is(&["in", "∈"]) {
@@ -343,22 +404,25 @@ impl<'a> Parser<'a> {
                 cat: c,
                 kind: AtomKind::In { terms },
                 negated: false,
+                span: first_span.join(self.prev_span()),
             }));
         }
         // Chain: operand (op operand)+
-        let mut chain = vec![first];
+        let mut chain = vec![(first, first_span)];
         let mut ops = Vec::new();
         while let Some(Tok::Op(op)) = self.peek().cloned() {
             self.pos += 1;
             ops.push(op);
-            chain.push(self.operand()?);
+            let sp = self.cur_span();
+            chain.push((self.operand()?, sp.join(self.prev_span())));
         }
         if ops.is_empty() {
             return self.err("expected a comparison operator");
         }
         let mut atoms = Vec::new();
         for (k, op) in ops.into_iter().enumerate() {
-            let (lhs, rhs) = (&chain[k], &chain[k + 1]);
+            let ((lhs, lsp), (rhs, rsp)) = (&chain[k], &chain[k + 1]);
+            let atom_span = lsp.join(*rsp);
             let atom = match (lhs, rhs) {
                 (Operand::Cat(d, c), Operand::Term(t)) => Atom {
                     dim: *d,
@@ -368,6 +432,7 @@ impl<'a> Parser<'a> {
                         term: self.resolve_term(*d, *c, t.clone())?,
                     },
                     negated: false,
+                    span: atom_span,
                 },
                 (Operand::Term(t), Operand::Cat(d, c)) => Atom {
                     dim: *d,
@@ -384,6 +449,7 @@ impl<'a> Parser<'a> {
                         term: self.resolve_term(*d, *c, t.clone())?,
                     },
                     negated: false,
+                    span: atom_span,
                 },
                 _ => return self.err("each comparison must have Dim.category on exactly one side"),
             };
@@ -394,11 +460,14 @@ impl<'a> Parser<'a> {
             if !self.schema.dim(atom.dim).is_time() {
                 if let AtomKind::Cmp { op, .. } = &atom.kind {
                     if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
-                        return Err(SpecError::UnorderedComparison(format!(
-                            "`{}` values only support = and != (got {})",
-                            self.schema.dim(atom.dim).name(),
-                            op.symbol()
-                        )));
+                        return Err(SpecError::UnorderedComparison {
+                            span: atom_span,
+                            msg: format!(
+                                "`{}` values only support = and != (got {})",
+                                self.schema.dim(atom.dim).name(),
+                                op.symbol()
+                            ),
+                        });
                     }
                 }
             }
@@ -412,14 +481,14 @@ impl<'a> Parser<'a> {
     }
 
     fn operand(&mut self) -> Result<Operand, SpecError> {
-        let at = self.toks.get(self.pos).map(|t| t.1).unwrap_or(0);
+        let at = self.cur_span();
         match self.peek().cloned() {
             Some(Tok::Quoted(q)) => {
                 self.pos += 1;
                 Ok(Operand::Term(TermSyntax {
                     base: TermBase::Lit(q),
                     ops: vec![],
-                    at,
+                    span: at,
                 }))
             }
             Some(Tok::Word(w)) => {
@@ -451,8 +520,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    /// Consumes `(+|-) <n> <unit>` suffixes after a term base.
-    fn span_ops(&mut self, base: TermBase, at: usize) -> Result<TermSyntax, SpecError> {
+    /// Consumes `(+|-) <n> <unit>` suffixes after a term base. Errors
+    /// point at the offending token (the bad count or unit), not the term
+    /// base.
+    fn span_ops(&mut self, base: TermBase, base_span: SrcSpan) -> Result<TermSyntax, SpecError> {
         let mut ops = Vec::new();
         loop {
             let sg = match self.peek() {
@@ -463,21 +534,25 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             let n: i32 = match self.next() {
                 Some(Tok::Word(w)) => w.parse().map_err(|_| SpecError::Parse {
-                    at,
+                    span: self.prev_span(),
                     msg: format!("expected a span count, found `{w}`"),
                 })?,
                 other => return self.err(format!("expected a span count, found {other:?}")),
             };
             let unit = match self.next() {
                 Some(Tok::Word(w)) => TimeUnit::parse(&w).ok_or(SpecError::Parse {
-                    at,
+                    span: self.prev_span(),
                     msg: format!("unknown span unit `{w}`"),
                 })?,
                 other => return self.err(format!("expected a span unit, found {other:?}")),
             };
             ops.push((sg, Span::new(n, unit)));
         }
-        Ok(TermSyntax { base, ops, at })
+        Ok(TermSyntax {
+            base,
+            ops,
+            span: base_span.join(self.prev_span()),
+        })
     }
 
     fn resolve_term(&self, d: DimId, c: CatId, t: TermSyntax) -> Result<Term, SpecError> {
@@ -485,21 +560,24 @@ impl<'a> Parser<'a> {
         match t.base {
             TermBase::Now => {
                 if !dim.is_time() {
-                    return Err(SpecError::TimeSyntaxOnNonTime(format!(
-                        "NOW used on dimension `{}`",
-                        dim.name()
-                    )));
+                    return Err(SpecError::TimeSyntaxOnNonTime {
+                        span: t.span,
+                        msg: format!("NOW used on dimension `{}`", dim.name()),
+                    });
                 }
                 Ok(Term::NowExpr { ops: t.ops })
             }
             TermBase::Lit(s) => {
                 if !t.ops.is_empty() {
                     return Err(SpecError::Parse {
-                        at: t.at,
+                        span: t.span,
                         msg: "span arithmetic is only supported on NOW".into(),
                     });
                 }
-                let v = dim.parse_value(c, &s).map_err(SpecError::Model)?;
+                let v = dim.parse_value(c, &s).map_err(|e| SpecError::Resolve {
+                    span: t.span,
+                    err: e,
+                })?;
                 Ok(Term::Value(v))
             }
         }
@@ -509,7 +587,7 @@ impl<'a> Parser<'a> {
 /// Parses one action specification against `schema`.
 ///
 /// # Errors
-/// [`SpecError::Parse`] for syntax errors, [`SpecError::Model`] for
+/// [`SpecError::Parse`] for syntax errors, [`SpecError::Resolve`] for
 /// unresolvable categories/values, and the well-formedness errors of
 /// [`ActionSpec::validate`].
 pub fn parse_action(schema: &Schema, src: &str) -> Result<ActionSpec, SpecError> {
@@ -518,8 +596,25 @@ pub fn parse_action(schema: &Schema, src: &str) -> Result<ActionSpec, SpecError>
         schema,
         toks,
         pos: 0,
+        src_len: src.len(),
     };
-    p.action()
+    p.action(true)
+}
+
+/// Parses one action specification *without* running
+/// [`ActionSpec::validate`]. Used by `sdr-lint`, which surfaces
+/// well-formedness violations (e.g. a predicate below the target
+/// granularity) as diagnostics on the otherwise-complete AST instead of
+/// failing the parse.
+pub fn parse_action_raw(schema: &Schema, src: &str) -> Result<ActionSpec, SpecError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        schema,
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    p.action(false)
 }
 
 /// Parses a bare predicate expression (no `a[...]`/`o[...]` wrapper)
@@ -532,6 +627,7 @@ pub fn parse_pexp(schema: &Schema, src: &str) -> Result<Pexp, SpecError> {
         schema,
         toks,
         pos: 0,
+        src_len: src.len(),
     };
     let e = p.pexp()?;
     if p.pos != p.toks.len() {
@@ -540,12 +636,58 @@ pub fn parse_pexp(schema: &Schema, src: &str) -> Result<Pexp, SpecError> {
     Ok(e)
 }
 
+/// Splits a multi-action source into `(byte_offset, action_text)`
+/// segments: actions are separated by `;`, blank segments and `--`
+/// comment segments are skipped, and each offset is the file-absolute
+/// position of the segment's first non-whitespace byte (so spans parsed
+/// from the segment can be [shifted](crate::ast::ActionSpec::shift_spans)
+/// back to file coordinates).
+pub fn split_actions(src: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut off = 0;
+    for seg in src.split(';') {
+        // Skip blank lines and `--` comment lines preceding the action so
+        // segment offsets point at real content (comment lines *after*
+        // content are consumed by the lexer).
+        let mut pos = 0;
+        loop {
+            let rest = &seg[pos..];
+            let lead = rest.len() - rest.trim_start().len();
+            if rest[lead..].starts_with("--") {
+                match rest[lead..].find('\n') {
+                    Some(n) => pos += lead + n + 1,
+                    None => {
+                        pos = seg.len();
+                        break;
+                    }
+                }
+            } else {
+                pos += lead;
+                break;
+            }
+        }
+        let t = seg[pos..].trim_end();
+        if !t.is_empty() {
+            out.push((off + pos, t));
+        }
+        off += seg.len() + 1; // +1 for the consumed `;`
+    }
+    out
+}
+
 /// Parses a whitespace/semicolon-separated list of actions (one per
-/// `p(...)` group or per line when unwrapped).
+/// `p(...)` group or per line when unwrapped). Spans — in the returned
+/// actions and in any error — are file-absolute.
 pub fn parse_actions(schema: &Schema, src: &str) -> Result<Vec<ActionSpec>, SpecError> {
-    src.split(';')
-        .map(str::trim)
-        .filter(|s| !s.is_empty() && !s.starts_with("--"))
-        .map(|s| parse_action(schema, s))
+    split_actions(src)
+        .into_iter()
+        .map(|(off, s)| {
+            parse_action(schema, s)
+                .map(|mut a| {
+                    a.shift_spans(off);
+                    a
+                })
+                .map_err(|e| e.shifted(off))
+        })
         .collect()
 }

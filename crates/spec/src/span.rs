@@ -1,0 +1,97 @@
+//! Byte-offset source spans for specification text.
+//!
+//! A [`SrcSpan`] records where a syntactic element came from in the
+//! *specification source text* — a half-open byte range `[start, end)`.
+//! It is deliberately distinct from [`sdr_mdm::Span`], which is a
+//! calendar duration; the two never mix.
+//!
+//! Spans are carried by every [`Atom`](crate::ast::Atom) and
+//! [`ActionSpec`](crate::ast::ActionSpec) and by the positional variants
+//! of [`SpecError`](crate::error::SpecError), so downstream tooling
+//! (`sdr-lint`) can render rustc-style caret diagnostics. Spans are
+//! *metadata*: they never participate in semantic equality (two actions
+//! parsed from different offsets of the same text compare equal).
+
+/// A half-open byte range `[start, end)` into specification source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SrcSpan {
+    /// Byte offset of the first byte of the element.
+    pub start: usize,
+    /// Byte offset one past the last byte of the element.
+    pub end: usize,
+}
+
+impl SrcSpan {
+    /// The dummy span used for programmatically built syntax that has no
+    /// source text (offset 0, empty).
+    pub const DUMMY: SrcSpan = SrcSpan { start: 0, end: 0 };
+
+    /// Constructs `[start, end)`.
+    pub fn new(start: usize, end: usize) -> SrcSpan {
+        SrcSpan { start, end }
+    }
+
+    /// True for the zero-width [`SrcSpan::DUMMY`]-like spans that carry
+    /// no position information.
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`; dummy operands
+    /// are ignored.
+    pub fn join(self, other: SrcSpan) -> SrcSpan {
+        if self.is_dummy() {
+            return other;
+        }
+        if other.is_dummy() {
+            return self;
+        }
+        SrcSpan {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The span shifted `by` bytes to the right (used when an action is
+    /// parsed out of a larger file: segment-relative spans become
+    /// file-absolute). Dummy spans stay dummy.
+    pub fn shifted(self, by: usize) -> SrcSpan {
+        if self.is_dummy() {
+            self
+        } else {
+            SrcSpan {
+                start: self.start + by,
+                end: self.end + by,
+            }
+        }
+    }
+
+    /// Width in bytes (0 for dummy/empty spans).
+    pub fn len(self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span is empty.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_shift() {
+        let a = SrcSpan::new(3, 7);
+        let b = SrcSpan::new(10, 12);
+        assert_eq!(a.join(b), SrcSpan::new(3, 12));
+        assert_eq!(SrcSpan::DUMMY.join(b), b);
+        assert_eq!(a.join(SrcSpan::DUMMY), a);
+        assert_eq!(a.shifted(5), SrcSpan::new(8, 12));
+        assert_eq!(SrcSpan::DUMMY.shifted(5), SrcSpan::DUMMY);
+        assert_eq!(a.len(), 4);
+        assert!(SrcSpan::DUMMY.is_dummy());
+        assert!(!a.is_dummy());
+    }
+}

@@ -4,6 +4,9 @@
 #   E10 kernels         -> BENCH_pr3.json (kernel vs naive, ~10k/~100k/~1M facts)
 #   E11 concurrent_read -> BENCH_pr4.json (reader p99 under active reduction;
 #                          exits non-zero if versioned active p99 > 2x idle p99)
+#   lint_specs          -> full lint pass + incremental insert over a
+#                          50-action prover-heavy policy, vs the runtime
+#                          NonCrossing+Growing checks as the budget
 #
 # Pass additional bench names as arguments to run other targets too,
 # e.g.:  scripts/bench.sh reduction query_reduced
@@ -12,6 +15,7 @@ cd "$(dirname "$0")/.."
 
 cargo bench -p sdr-bench --bench kernels
 cargo bench -p sdr-bench --bench concurrent_read
+cargo bench -p sdr-bench --bench lint_specs
 for target in "$@"; do
   cargo bench -p sdr-bench --bench "$target"
 done

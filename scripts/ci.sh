@@ -16,6 +16,28 @@ run cargo test -q --workspace
 run cargo fmt --check
 run cargo clippy --workspace -- -D warnings
 
+# Doc gate: first-party crates build their docs without warnings (the
+# crates that opt into #![warn(missing_docs)] promote missing docs to
+# hard errors here). Vendored stubs are exempt, hence no --workspace.
+run env RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps \
+  -p sdr-mdm -p sdr-spec -p sdr-lint -p sdr-prover -p sdr-reduce \
+  -p sdr-obs -p sdr-query -p sdr-storage -p sdr-subcube -p sdr-workload \
+  -p specdr
+
+# Lint gate: every checked-in example specification must pass
+# `specdr lint` with all rules denied. A warning here is a CI failure —
+# the examples are documentation and must stay defect-free.
+echo "==> specdr lint gate (examples/specs)"
+for f in examples/specs/*.spec; do
+  out=$(cargo run -q --release --bin specdr -- lint \
+          --spec-file "$f" --deny warnings --format=json) || {
+    echo "lint gate failed on $f:" >&2
+    echo "$out" >&2
+    exit 1
+  }
+  echo "  $f: $out"
+done
+
 # Perf smoke under --release: run the E10 operator set (select /
 # aggregate / reduce / sync) at a fixed small scale and fail if any
 # vectorized kernel's output digest differs from its naive reference.

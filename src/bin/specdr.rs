@@ -37,6 +37,18 @@
 //!     the WAL tail (dropping any torn records), and print the recovery
 //!     report plus a warehouse summary.
 //!
+//! specdr lint [--spec-file FILE] [--schema clickstream|paper] [--now Y/M/D]
+//!             [--format text|json] [--allow CODE] [--warn CODE]
+//!             [--deny CODE|warnings]
+//!     Statically analyze a reduction specification with `sdr-lint`:
+//!     unsatisfiable/dead/redundant predicates, NonCrossing and Growing
+//!     violations with concrete counterexamples, expired windows
+//!     (relative to --now), and granularity mismatches. Findings are
+//!     rendered rustc-style with caret-underlined spans (or as one JSON
+//!     object with `--format=json`); the exit code is non-zero exactly
+//!     when a denied finding is present. Without a file, lints the
+//!     built-in 6/36-month retention policy.
+//!
 //! specdr concurrent [--seed S] [--readers N] [--steps M] [--queries Q]
 //!     Closed-loop snapshot-isolation driver: N reader threads issue the
 //!     Figure 5-9 query mix against published snapshots while a seeded
@@ -164,6 +176,23 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
             metrics.emit();
             Ok(())
         }
+        "lint" => {
+            let opts = Opts::parse(
+                rest,
+                "lint",
+                &[
+                    "--spec-file",
+                    "--schema",
+                    "--now",
+                    "--format",
+                    "--allow",
+                    "--warn",
+                    "--deny",
+                ],
+                &[],
+            )?;
+            cmd_lint(&opts)
+        }
         "concurrent" => {
             let opts = Opts::parse(
                 rest,
@@ -185,7 +214,7 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
 }
 
 const USAGE: &str =
-    "usage: specdr <demo|explain|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
+    "usage: specdr <demo|explain|lint|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
   simulate [--months N] [--clicks K] [--raw-months A] [--month-months B] [--sessions]\n\
@@ -200,6 +229,10 @@ const USAGE: &str =
   recover --dir DIR [--raw-months A] [--month-months B]\n\
                               recover a warehouse directory: load the live\n\
                               checkpoint, replay the WAL tail, print the report\n\
+  lint [--spec-file FILE] [--schema clickstream|paper] [--now Y/M/D]\n\
+       [--format text|json] [--allow CODE] [--warn CODE] [--deny CODE|warnings]\n\
+                              statically analyze a reduction specification;\n\
+                              non-zero exit iff a denied finding is present\n\
   concurrent [--seed S] [--readers N] [--steps M] [--queries Q]\n\
                               closed-loop snapshot-isolation driver: N readers\n\
                               query while a seeded writer churns loads, syncs,\n\
@@ -427,6 +460,77 @@ fn cmd_explain(opts: &Opts) -> Result<(), AnyError> {
             println!("\nspecification is UNSOUND:\n  {e}");
             return Err("specification rejected".into());
         }
+    }
+    Ok(())
+}
+
+fn cmd_lint(opts: &Opts) -> Result<(), AnyError> {
+    use specdr::lint::{lint_source, Code, Level, LintConfig, Severity};
+
+    let (schema, schema_name) = match opts.value("--schema").unwrap_or("clickstream") {
+        "clickstream" => {
+            let cs = generate(&ClickstreamConfig {
+                clicks_per_day: 0,
+                ..Default::default()
+            });
+            (cs.schema, "click-stream")
+        }
+        "paper" => (specdr::workload::paper_schema().0, "paper"),
+        other => return Err(format!("unknown schema `{other}` (clickstream|paper)").into()),
+    };
+    let (src, file) = match opts.value("--spec-file") {
+        Some(path) => (std::fs::read_to_string(path)?, path.to_string()),
+        None => (
+            retention_policy(6, 36).join(";\n"),
+            "<retention-policy>".to_string(),
+        ),
+    };
+
+    let mut cfg = LintConfig::default();
+    if let Some(s) = opts.value("--now") {
+        cfg.now = Some(parse_date(s)?);
+    }
+    // Walk the raw flag list so later --allow/--warn/--deny override
+    // earlier ones, exactly like rustc's -A/-W/-D.
+    for (flag, value) in &opts.values {
+        let level = match flag.as_str() {
+            "--allow" => Level::Allow,
+            "--warn" => Level::Warn,
+            "--deny" => Level::Deny,
+            _ => continue,
+        };
+        if flag == "--deny" && value == "warnings" {
+            cfg.deny_warnings = true;
+            continue;
+        }
+        let code = Code::parse(value)
+            .ok_or_else(|| format!("unknown lint code `{value}` (L001..L007)"))?;
+        cfg.set_level(code, level);
+    }
+
+    let diags = lint_source(&schema, &src, &cfg);
+    match opts.value("--format").unwrap_or("text") {
+        "text" => {
+            print!("{}", specdr::lint::render_text(&src, &file, &diags));
+            let summary = specdr::lint::render_summary(&diags);
+            if summary.is_empty() {
+                println!(
+                    "lint: {} action(s) clean against the {schema_name} schema",
+                    src.split(';').filter(|s| !s.trim().is_empty()).count()
+                );
+            } else {
+                println!("{summary}");
+            }
+        }
+        "json" => println!("{}", specdr::lint::render_json(&src, &file, &diags)),
+        other => return Err(format!("unknown format `{other}` (text|json)").into()),
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    if errors > 0 {
+        return Err(format!("{errors} denied finding(s)").into());
     }
     Ok(())
 }

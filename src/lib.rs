@@ -11,6 +11,8 @@
 //! * [`prover`] — the decision procedure replacing PVS (Sections 5.2–5.3);
 //! * [`reduce`] — the reduction semantics, soundness checks, and
 //!   specification evolution (Sections 4–5);
+//! * [`lint`] — static analysis over parsed specifications: span-anchored
+//!   diagnostics (L001–L007) with concrete counterexamples (`specdr lint`);
 //! * [`query`] — the query algebra over reduced MOs (Section 6);
 //! * [`storage`] — the columnar star-schema substrate (Section 7);
 //! * [`subcube`] — the subcube implementation strategy (Section 7);
@@ -21,9 +23,11 @@
 //!
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
+#![warn(missing_docs)]
 
 pub mod driver;
 
+pub use sdr_lint as lint;
 pub use sdr_mdm as mdm;
 pub use sdr_obs as obs;
 pub use sdr_prover as prover;

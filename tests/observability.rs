@@ -128,7 +128,35 @@ fn metrics_agree_with_authoritative_numbers() {
     assert_eq!(snap.span("query.aggregate").unwrap().count, n_cubes + 1);
     assert!(snap.counter("query.aggregate.cells_produced").unwrap() >= answer.len() as u64);
 
-    // --- Phase 5: disabled registry records nothing. (Registrations
+    // --- Phase 5: lint. One timed pass per rule, per-code finding
+    // counters, and one analysis span per action.
+    obs::reset();
+    let crossing = "a[Time.quarter, URL.domain] o[Time.quarter <= 1999Q4](O);\n\
+                    a[Time.month, URL.domain_grp] o[Time.month <= 1999/12](O)";
+    let diags = specdr::lint::lint_source(&schema, crossing, &specdr::lint::LintConfig::default());
+    assert_eq!(diags.len(), 1, "the pair crosses: {diags:#?}");
+    let snap = obs::snapshot();
+    assert_eq!(
+        snap.counter("lint.rules_run"),
+        Some(7),
+        "every rule runs exactly once per lint pass"
+    );
+    assert_eq!(snap.counter("lint.findings.L004"), Some(1));
+    assert_eq!(
+        snap.counter("lint.findings.L001"),
+        None,
+        "no spurious findings"
+    );
+    assert_eq!(snap.span("lint.analyze_action").unwrap().count, 2);
+    for code in specdr::lint::ALL_RULES {
+        assert_eq!(
+            snap.span(&format!("lint.rule.{code}")).unwrap().count,
+            1,
+            "rule {code} records one duration per pass"
+        );
+    }
+
+    // --- Phase 6: disabled registry records nothing. (Registrations
     // survive a reset, so "nothing" means every value stayed zero.)
     obs::set_enabled(false);
     obs::reset();

@@ -484,3 +484,120 @@ fn cli_runs_without_metrics_by_default() {
     assert!(!stdout.contains("\"kind\":"), "{stdout}");
     assert!(!stdout.contains("metrics:"), "{stdout}");
 }
+
+// ---------------------------------------------------------------------
+// `specdr lint`
+// ---------------------------------------------------------------------
+
+fn lint_spec_file(tag: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("specdr-lint-{tag}-{}.spec", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn cli_lint_default_policy_is_clean() {
+    let out = specdr_bin().arg("lint").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn cli_lint_denied_finding_is_nonzero_exit() {
+    // Incomparable grains with overlapping windows: a NonCrossing (L004)
+    // violation, denied by default.
+    let path = lint_spec_file(
+        "crossing",
+        "-- seeded defect: windows overlap at incomparable grains\n\
+         a[Time.quarter, URL.domain] o[Time.quarter <= 1999Q4](O);\n\
+         a[Time.month, URL.domain_grp] o[Time.month <= 1999/12](O)\n",
+    );
+    let out = specdr_bin()
+        .args([
+            "lint",
+            "--spec-file",
+            path.to_str().unwrap(),
+            "--schema",
+            "paper",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "denied finding must fail the run");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[L004]"), "{stdout}");
+    assert!(stdout.contains('^'), "caret rendering expected: {stdout}");
+    assert!(stdout.contains("counterexample"), "{stdout}");
+
+    // --format=json: one machine-readable object on stdout.
+    let out = specdr_bin()
+        .args([
+            "lint",
+            "--spec-file",
+            path.to_str().unwrap(),
+            "--schema",
+            "paper",
+            "--format=json",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"file\":"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"L004\""), "{stdout}");
+    assert!(stdout.contains("\"errors\":1"), "{stdout}");
+
+    // --allow L004 suppresses the finding and the run passes.
+    let out = specdr_bin()
+        .args([
+            "lint",
+            "--spec-file",
+            path.to_str().unwrap(),
+            "--schema",
+            "paper",
+            "--allow",
+            "L004",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn cli_lint_deny_warnings_promotes_exit_code() {
+    // An unsatisfiable predicate is a warning by default…
+    let path = lint_spec_file(
+        "unsat",
+        "a[Time.month, URL.domain] o[Time.month <= 1999/12 AND Time.month > 2000/6](O)\n",
+    );
+    let base = [
+        "lint",
+        "--spec-file",
+        path.to_str().unwrap(),
+        "--schema",
+        "paper",
+    ];
+    let out = specdr_bin().args(base).output().unwrap();
+    assert!(out.status.success(), "warnings alone pass");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("warning[L001]"));
+
+    // …and fails the run under --deny warnings.
+    let out = specdr_bin()
+        .args(base)
+        .args(["--deny", "warnings"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("error[L001]"));
+
+    // Unknown lint codes are rejected.
+    let out = specdr_bin()
+        .args(base)
+        .args(["--deny", "L999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("L999"));
+    std::fs::remove_file(path).ok();
+}
