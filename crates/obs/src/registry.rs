@@ -2,16 +2,20 @@
 //! span timers, and point-in-time snapshots.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
 use crate::metrics::{Counter, Gauge, Histogram};
 use crate::report::Snapshot;
 use crate::ring::EventRing;
+use crate::trace::{self, OpenSpan, SpanContext, TraceRing, TraceSpan};
 
 /// Default event-ring capacity.
 pub const DEFAULT_EVENT_CAPACITY: usize = 256;
+
+/// Default trace-ring capacity (completed spans retained).
+pub const DEFAULT_TRACE_CAPACITY: usize = 2048;
 
 type Map<T> = RwLock<BTreeMap<String, Arc<T>>>;
 
@@ -35,11 +39,14 @@ pub struct Registry {
     histograms: Map<Histogram>,
     spans: Map<Histogram>,
     events: EventRing,
+    traces: TraceRing,
+    open_spans: AtomicI64,
+    slow_ns: AtomicU64,
 }
 
 impl Default for Registry {
     fn default() -> Registry {
-        Registry::with_event_capacity(DEFAULT_EVENT_CAPACITY)
+        Registry::with_capacities(DEFAULT_EVENT_CAPACITY, DEFAULT_TRACE_CAPACITY)
     }
 }
 
@@ -57,8 +64,14 @@ impl Registry {
         Registry::default()
     }
 
-    /// A disabled registry with a custom event-ring capacity.
+    /// A disabled registry with a custom event-ring capacity and the
+    /// default trace capacity.
     pub fn with_event_capacity(capacity: usize) -> Registry {
+        Registry::with_capacities(capacity, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A disabled registry with custom event- and trace-ring capacities.
+    pub fn with_capacities(event_capacity: usize, trace_capacity: usize) -> Registry {
         Registry {
             enabled: AtomicBool::new(false),
             start: Instant::now(),
@@ -66,7 +79,10 @@ impl Registry {
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
             spans: RwLock::new(BTreeMap::new()),
-            events: EventRing::new(capacity),
+            events: EventRing::new(event_capacity),
+            traces: TraceRing::new(trace_capacity),
+            open_spans: AtomicI64::new(0),
+            slow_ns: AtomicU64::new(u64::MAX),
         }
     }
 
@@ -101,14 +117,121 @@ impl Registry {
     }
 
     /// Starts a span timer: the elapsed wall time (ns) is recorded into
-    /// the span histogram `name` when the guard drops. A no-op guard is
-    /// returned while the registry is disabled.
-    pub fn span(&self, name: &str) -> SpanTimer {
+    /// the span histogram `name` when the guard drops, and a completed
+    /// [`TraceSpan`] — parented under the innermost span already open on
+    /// this thread — lands in the trace ring. A no-op guard is returned
+    /// while the registry is disabled.
+    pub fn span(&self, name: &str) -> SpanTimer<'_> {
         if !self.enabled() {
-            return SpanTimer { target: None };
+            return SpanTimer::disabled();
         }
+        let ctx = trace::top_ctx().unwrap_or_default();
+        self.start_span(name, &ctx)
+    }
+
+    /// Starts a span timer under an explicitly captured [`SpanContext`]
+    /// instead of this thread's stack — the cross-thread handoff used by
+    /// fan-out workers (capture with [`current_ctx`](Registry::
+    /// current_ctx) on the spawning thread, open worker spans with this).
+    pub fn span_in(&self, name: &str, ctx: &SpanContext) -> SpanTimer<'_> {
+        if !self.enabled() {
+            return SpanTimer::disabled();
+        }
+        self.start_span(name, ctx)
+    }
+
+    fn start_span(&self, name: &str, ctx: &SpanContext) -> SpanTimer<'_> {
+        let id = trace::next_span_id();
+        let path = if ctx.path.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{name}", ctx.path)
+        };
+        trace::push_open(OpenSpan {
+            id,
+            parent: ctx.parent,
+            name: name.to_string(),
+            path,
+            attrs: Vec::new(),
+        });
+        self.open_spans.fetch_add(1, Ordering::Relaxed);
         SpanTimer {
             target: Some((get_or_insert(&self.spans, name), Instant::now())),
+            trace: Some((self, id, self.now_ns())),
+        }
+    }
+
+    /// Captures the innermost open span on this thread as a context a
+    /// worker thread can open spans under. Returns a root context while
+    /// the registry is disabled or no span is open.
+    pub fn current_ctx(&self) -> SpanContext {
+        if !self.enabled() {
+            return SpanContext::root();
+        }
+        trace::top_ctx().unwrap_or_default()
+    }
+
+    /// Attaches a `key=value` attribute to the innermost span open on
+    /// this thread (no-op while disabled or with no open span).
+    pub fn attr(&self, key: &str, value: impl std::fmt::Display) {
+        if self.enabled() {
+            let _ = trace::set_attr(key, value.to_string());
+        }
+    }
+
+    /// Number of span timers currently open (started but not yet
+    /// dropped). Zero after every instrumented operation completes — the
+    /// leak check the observability suite asserts.
+    pub fn open_spans(&self) -> i64 {
+        self.open_spans.load(Ordering::Relaxed)
+    }
+
+    /// Sets the slow-op threshold: any span whose duration reaches `ns`
+    /// is logged into the event ring as an `obs.slow_op` event carrying
+    /// its full span path. Defaults to `u64::MAX` (off).
+    pub fn set_slow_op_threshold_ns(&self, ns: u64) {
+        self.slow_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-op threshold in nanoseconds.
+    pub fn slow_op_threshold_ns(&self) -> u64 {
+        self.slow_ns.load(Ordering::Relaxed)
+    }
+
+    /// The completed-span trace ring.
+    pub fn traces(&self) -> &TraceRing {
+        &self.traces
+    }
+
+    /// Called from a span timer's drop: assembles and records the
+    /// completed trace span.
+    fn finish_span(&self, id: u64, start_ns: u64, dur_ns: u64) {
+        self.open_spans.fetch_sub(1, Ordering::Relaxed);
+        // A timer dropped on a foreign thread cannot find its stack
+        // entry; the histogram keeps the timing, the trace drops it.
+        let Some(open) = trace::close_open(id) else {
+            return;
+        };
+        if dur_ns >= self.slow_ns.load(Ordering::Relaxed) {
+            self.events.push(
+                "obs.slow_op",
+                format!("path={} dur_ns={dur_ns}", open.path),
+                self.now_ns(),
+            );
+        }
+        let evicted = self.traces.push(TraceSpan {
+            id,
+            parent: open.parent,
+            name: open.name,
+            path: open.path,
+            tid: trace::current_tid(),
+            start_ns,
+            dur_ns,
+            attrs: open.attrs,
+        });
+        self.counter("obs.trace.spans_closed").inc();
+        if evicted {
+            self.counter("obs.trace.spans_evicted").inc();
         }
     }
 
@@ -157,6 +280,7 @@ impl Registry {
                 .map(|(k, v)| (k.clone(), v.summarize()))
                 .collect(),
             events: self.events.snapshot(),
+            traces: self.traces.snapshot(),
         }
     }
 
@@ -197,22 +321,32 @@ impl Registry {
             s.reset();
         }
         self.events.reset();
+        self.traces.reset();
     }
 }
 
-/// RAII guard recording its lifetime into a span histogram on drop.
-/// Obtained from [`Registry::span`]; a disabled registry hands out inert
-/// guards that never touch the clock.
+/// RAII guard recording its lifetime into a span histogram — and, since
+/// the introspection layer, a [`TraceSpan`] into the trace ring — on
+/// drop. Obtained from [`Registry::span`] / [`Registry::span_in`]; a
+/// disabled registry hands out inert guards that never touch the clock.
+///
+/// Timers must drop on the thread that created them (the RAII style
+/// guarantees this everywhere in the workspace); a timer smuggled across
+/// threads still records its histogram but loses its trace span.
 #[derive(Debug)]
 #[must_use = "a span timer records on drop; binding it to _ discards the measurement immediately"]
-pub struct SpanTimer {
+pub struct SpanTimer<'a> {
     target: Option<(Arc<Histogram>, Instant)>,
+    trace: Option<(&'a Registry, u64, u64)>,
 }
 
-impl SpanTimer {
+impl SpanTimer<'_> {
     /// An inert timer (records nothing).
-    pub fn disabled() -> SpanTimer {
-        SpanTimer { target: None }
+    pub fn disabled() -> SpanTimer<'static> {
+        SpanTimer {
+            target: None,
+            trace: None,
+        }
     }
 
     /// True when this timer will record on drop.
@@ -221,10 +355,14 @@ impl SpanTimer {
     }
 }
 
-impl Drop for SpanTimer {
+impl Drop for SpanTimer<'_> {
     fn drop(&mut self) {
         if let Some((hist, start)) = self.target.take() {
-            hist.record(start.elapsed().as_nanos() as u64);
+            let dur_ns = start.elapsed().as_nanos() as u64;
+            hist.record(dur_ns);
+            if let Some((reg, id, start_ns)) = self.trace.take() {
+                reg.finish_span(id, start_ns, dur_ns);
+            }
         }
     }
 }

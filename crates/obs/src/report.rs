@@ -3,6 +3,7 @@
 
 use crate::metrics::HistogramSummary;
 use crate::ring::Event;
+use crate::trace::{chrome_trace_json, TraceSpan};
 
 /// A point-in-time copy of every metric in a registry.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -17,10 +18,12 @@ pub struct Snapshot {
     pub spans: Vec<(String, HistogramSummary)>,
     /// Retained events, oldest first.
     pub events: Vec<Event>,
+    /// Retained completed trace spans, oldest first.
+    pub traces: Vec<TraceSpan>,
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -58,6 +61,7 @@ impl Snapshot {
             && self.histograms.is_empty()
             && self.spans.is_empty()
             && self.events.is_empty()
+            && self.traces.is_empty()
     }
 
     /// Looks up a counter by name.
@@ -86,10 +90,21 @@ impl Snapshot {
         self.spans.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
-    /// Serializes as JSON-lines: one object per metric/event, each with a
-    /// `kind` of `counter`, `gauge`, `histogram`, `span`, or `event` (see
-    /// the schema in `DESIGN.md`). Machine-readable and diff/append
-    /// friendly for benchmark trajectories.
+    /// Serializes as JSON-lines: one object per metric/event/trace span.
+    ///
+    /// The schema is **stable and ordered** (golden-tested in
+    /// `tests/tooling.rs`; see `DESIGN.md`):
+    ///
+    /// * kinds appear in this fixed order — `counter`, `gauge`,
+    ///   `histogram`, `span`, `event`, `trace`;
+    /// * within a kind, named metrics are sorted by name (the registry
+    ///   stores them in `BTreeMap`s), events by sequence number, trace
+    ///   spans by start time;
+    /// * each line's keys appear in the fixed order shown in `DESIGN.md`
+    ///   (`kind` first, then `name`/identity, then values).
+    ///
+    /// Machine-readable and diff/append friendly for benchmark
+    /// trajectories.
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for (n, v) in &self.counters {
@@ -121,7 +136,31 @@ impl Snapshot {
                 json_escape(&e.detail)
             ));
         }
+        for t in &self.traces {
+            let mut attrs = String::new();
+            for (i, (k, v)) in t.attrs.iter().enumerate() {
+                if i > 0 {
+                    attrs.push(',');
+                }
+                attrs.push_str(&format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)));
+            }
+            out.push_str(&format!(
+                "{{\"kind\":\"trace\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"attrs\":{{{attrs}}}}}\n",
+                t.id,
+                t.parent,
+                json_escape(&t.name),
+                t.tid,
+                t.start_ns,
+                t.dur_ns,
+            ));
+        }
         out
+    }
+
+    /// Renders the retained trace spans as a chrome `trace_event` JSON
+    /// document (what `--format=trace` prints).
+    pub fn to_chrome_trace(&self) -> String {
+        chrome_trace_json(&self.traces)
     }
 
     /// Renders an aligned human-readable table (what `specdr stats`
@@ -225,9 +264,22 @@ mod tests {
                 name: "e".into(),
                 detail: "line\nbreak".into(),
             }],
+            traces: vec![TraceSpan {
+                id: 3,
+                parent: 0,
+                name: "t.op".into(),
+                path: "t.op".into(),
+                tid: 1,
+                start_ns: 4,
+                dur_ns: 11,
+                attrs: vec![("k\"ey".into(), "v".into())],
+            }],
         };
         let jsonl = snap.to_jsonl();
-        assert_eq!(jsonl.lines().count(), 3 + 1);
+        assert_eq!(jsonl.lines().count(), 3 + 1 + 1);
+        let trace_line = jsonl.lines().last().unwrap();
+        assert!(trace_line.contains("\"kind\":\"trace\""), "{trace_line}");
+        assert!(trace_line.contains("\"k\\\"ey\":\"v\""), "{trace_line}");
         assert!(jsonl.contains("\\\"quoted\\\""));
         assert!(jsonl.contains("\\n"));
         for line in jsonl.lines() {

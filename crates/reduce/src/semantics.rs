@@ -184,6 +184,8 @@ pub fn reduce(mo: &Mo, spec: &DataReductionSpec, now: DayNum) -> Result<Mo, Redu
         sdr_obs::add("reduce.facts_scanned", scanned);
         sdr_obs::add("reduce.facts_kept", kept);
         sdr_obs::add("reduce.facts_collapsed", scanned - kept);
+        sdr_obs::attr("rows_in", scanned);
+        sdr_obs::attr("rows_out", kept);
     }
     Ok(out)
 }
@@ -750,26 +752,58 @@ fn reduce_kernel<K: PackedKey>(
     }
     let n = mo.len();
     let obs_on = sdr_obs::enabled();
-    let workers = if n >= 2 * CHUNK_TARGET {
-        std::thread::available_parallelism()
+    // `SDR_REDUCE_WORKERS` pins the worker count (1 forces the
+    // sequential scan, >1 forces the parallel one even on small inputs) —
+    // the span-handoff differential test in `tests/observability.rs`
+    // compares both trees of the same pass.
+    let workers = match std::env::var("SDR_REDUCE_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(w) => w.clamp(1, MAX_WORKERS).min(n.max(1)),
+        None if n >= 2 * CHUNK_TARGET => std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
             .min(n / CHUNK_TARGET)
-            .min(MAX_WORKERS)
-    } else {
-        1
+            .min(MAX_WORKERS),
+        None => 1,
     };
     let chunk_outs: Vec<ChunkOut> = if workers <= 1 {
-        vec![scan_chunk::<K>(mo, schema, &actions, pk, 0..n, obs_on)?]
+        let span = sdr_obs::span("reduce.kernel.chunk");
+        let co = scan_chunk::<K>(mo, schema, &actions, pk, 0..n, obs_on)?;
+        if span.is_recording() {
+            sdr_obs::attr("rows_in", n);
+            sdr_obs::attr("rows_out", co.groups.len());
+            sdr_obs::attr("memo_hits", n - co.distinct);
+        }
+        drop(span);
+        vec![co]
     } else {
         let per = n.div_ceil(workers);
+        // Cross-thread handoff: capture the current span context here and
+        // open each worker's chunk span under it, so the chunk spans
+        // parent under `reduce.reduce` instead of floating as roots.
+        let ctx = sdr_obs::ctx();
         let results: Vec<Result<ChunkOut, ReduceError>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let lo = w * per;
                     let hi = ((w + 1) * per).min(n);
                     let actions = &actions;
-                    s.spawn(move || scan_chunk::<K>(mo, schema, actions, pk, lo..hi, obs_on))
+                    let ctx = ctx.clone();
+                    s.spawn(move || {
+                        let span = sdr_obs::span_in("reduce.kernel.chunk", &ctx);
+                        let r = scan_chunk::<K>(mo, schema, actions, pk, lo..hi, obs_on);
+                        if span.is_recording() {
+                            sdr_obs::attr("rows_in", hi.saturating_sub(lo));
+                            if let Ok(co) = &r {
+                                sdr_obs::attr("rows_out", co.groups.len());
+                                sdr_obs::attr("memo_hits", hi.saturating_sub(lo) - co.distinct);
+                            }
+                        }
+                        drop(span);
+                        r
+                    })
                 })
                 .collect();
             handles

@@ -208,6 +208,10 @@ pub struct RecoveryReport {
     pub ops_durable: u64,
     /// The recovered `last_sync`.
     pub last_sync: Option<DayNum>,
+    /// Cubes whose persisted statistics were verified bit-identical to a
+    /// recomputation from the checkpoint's cube files (0 for legacy
+    /// format-1 manifests, which carry no stats).
+    pub stats_verified: usize,
 }
 
 /// A [`SubcubeManager`] whose every state change is write-ahead logged
@@ -351,10 +355,19 @@ impl DurableWarehouse {
             }
         }
         drop(replay_span);
+        // Replay drives the ordinary mutators, which maintain per-cube
+        // stats as they go; re-assert the no-drift invariant on the final
+        // recovered state (the persisted copy was already verified
+        // against the checkpoint files in `load_checkpoint`).
+        mgr.verify_stats()?;
         if sdr_obs::enabled() {
             sdr_obs::inc("durable.recover.runs");
             sdr_obs::add("durable.recover.records_replayed", replayed as u64);
             sdr_obs::add("durable.recover.dropped_bytes", dropped_bytes as u64);
+            sdr_obs::add(
+                "durable.recover.stats_verified",
+                manifest.cube_stats.len() as u64,
+            );
         }
         let report = RecoveryReport {
             epoch,
@@ -362,6 +375,7 @@ impl DurableWarehouse {
             dropped_bytes,
             ops_durable: manifest.wal_hwm + replayed as u64,
             last_sync: mgr.last_sync(),
+            stats_verified: manifest.cube_stats.len(),
         };
         let w = DurableWarehouse {
             mgr,

@@ -15,12 +15,14 @@ pub mod error;
 pub mod manager;
 pub mod persist;
 pub mod query;
+pub mod stats;
 
 pub use durable::{DurableWarehouse, RecoveryReport, WalOp, WarehouseOp};
 pub use error::SubcubeError;
 pub use manager::{CubeId, Subcube, SubcubeManager, SyncStats, WarehouseView};
 pub use persist::Manifest;
 pub use query::CubeQuery;
+pub use stats::{DimColStats, SubcubeStats};
 
 #[cfg(test)]
 mod tests {

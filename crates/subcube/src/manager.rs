@@ -34,6 +34,7 @@ use sdr_reduce::{cell_for, DataReductionSpec, ReduceError};
 use sdr_spec::{ActionId, ActionSpec};
 
 use crate::error::SubcubeError;
+use crate::stats::SubcubeStats;
 
 /// Identifies a subcube within a manager. Cube `0` is always the
 /// bottom-granularity cube.
@@ -52,6 +53,9 @@ pub struct Subcube {
     pub actions: Vec<ActionId>,
     /// The cube's facts, immutable for the lifetime of this version.
     data: Arc<Mo>,
+    /// Exact statistics of `data`, recomputed whenever `data` is
+    /// replaced (and only then — untouched cubes share the `Arc`).
+    stats: Arc<SubcubeStats>,
     /// The warehouse epoch at which `data` was last replaced.
     epoch: u64,
     /// The last day this cube's contents were synchronized to. The bottom
@@ -70,6 +74,21 @@ impl Subcube {
     /// no lock or guard is needed to keep it alive.
     pub fn snapshot(&self) -> Arc<Mo> {
         Arc::clone(&self.data)
+    }
+
+    /// Exact statistics of this cube's facts — maintained at every
+    /// publication, persisted through the checkpoint manifest, and
+    /// verified against recomputation on recovery.
+    pub fn stats(&self) -> &SubcubeStats {
+        &self.stats
+    }
+
+    /// Replaces the cube's fact snapshot and recomputes its statistics;
+    /// the only way cube data changes, so stats can never drift.
+    pub(crate) fn set_data(&mut self, data: Arc<Mo>, epoch: u64) {
+        self.stats = Arc::new(SubcubeStats::compute(&data, epoch));
+        self.data = data;
+        self.epoch = epoch;
     }
 
     /// The warehouse epoch at which this cube's facts last changed.
@@ -117,10 +136,14 @@ pub(crate) struct VersionInner {
 /// cube per distinct action granularity plus the bottom cube.
 fn layout(spec: &DataReductionSpec, epoch: u64) -> (Vec<Subcube>, Vec<Vec<CubeId>>) {
     let schema = Arc::clone(spec.schema());
+    let empty = Arc::new(Mo::new(Arc::clone(&schema)));
+    // Every cube starts empty, so one stats value serves them all.
+    let empty_stats = Arc::new(SubcubeStats::compute(&empty, epoch));
     let mut cubes: Vec<Subcube> = vec![Subcube {
         grain: schema.bottom_granularity(),
         actions: Vec::new(),
-        data: Arc::new(Mo::new(Arc::clone(&schema))),
+        data: Arc::clone(&empty),
+        stats: Arc::clone(&empty_stats),
         epoch,
         synced_to: None,
     }];
@@ -131,7 +154,8 @@ fn layout(spec: &DataReductionSpec, epoch: u64) -> (Vec<Subcube>, Vec<Vec<CubeId
             cubes.push(Subcube {
                 grain: a.grain.clone(),
                 actions: vec![*id],
-                data: Arc::new(Mo::new(Arc::clone(&schema))),
+                data: Arc::clone(&empty),
+                stats: Arc::clone(&empty_stats),
                 epoch,
                 synced_to: None,
             });
@@ -325,6 +349,24 @@ impl WarehouseView {
         Ok(out)
     }
 
+    /// Re-derives every cube's [`SubcubeStats`] from its facts and
+    /// compares against the maintained copy — the stats-drift invariant
+    /// check (`Err` names the first diverging cube). Cheap enough to run
+    /// after every recovery and in the integration suite.
+    pub fn verify_stats(&self) -> Result<(), SubcubeError> {
+        for (i, c) in self.v.cubes.iter().enumerate() {
+            let want = SubcubeStats::compute(&c.data, c.epoch);
+            if want != *c.stats {
+                return Err(SubcubeError::Storage(format!(
+                    "cube K{i}: maintained statistics diverge from recomputation \
+                     (maintained {:?}, recomputed {want:?})",
+                    c.stats
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Storage statistics per cube (rows, raw and encoded bytes), via the
     /// `sdr-storage` layer.
     pub fn storage_stats(&self) -> Result<Vec<(CubeId, sdr_storage::TableStats)>, SubcubeError> {
@@ -469,14 +511,14 @@ impl SubcubeManager {
             )));
         }
         let _span = sdr_obs::span("subcube.bulk_load");
+        sdr_obs::attr("rows_in", facts.len());
         let _w = self.writer.lock();
         let cur = Arc::clone(&self.current.read());
         let mut bottom = (*cur.cubes[0].data).clone();
         bottom.absorb(facts).map_err(ReduceError::Model)?;
         let epoch = cur.epoch + 1;
         let mut cubes = cur.cubes.clone();
-        cubes[0].data = Arc::new(bottom);
-        cubes[0].epoch = epoch;
+        cubes[0].set_data(Arc::new(bottom), epoch);
         self.publish(VersionInner {
             epoch,
             spec: Arc::clone(&cur.spec),
@@ -485,6 +527,7 @@ impl SubcubeManager {
             last_sync: cur.last_sync,
             dirty: true,
         });
+        sdr_obs::attr("epoch", epoch);
         sdr_obs::add("subcube.bulk_load.facts", facts.len() as u64);
         Ok(facts.len())
     }
@@ -592,6 +635,9 @@ impl SubcubeManager {
         }
         if obs_on {
             sdr_obs::add("subcube.sync.distinct_cells", cell_memo.distinct() as u64);
+            let scanned = stats.kept + stats.migrated;
+            sdr_obs::attr("rows_in", scanned);
+            sdr_obs::attr("memo_hits", scanned.saturating_sub(cell_memo.distinct()));
         }
         drop(scan_span);
         let rebuild_span = sdr_obs::span("subcube.sync.rebuild");
@@ -606,8 +652,7 @@ impl SubcubeManager {
                     .map_err(ReduceError::Model)?;
             }
             after += mo.len();
-            cubes[ci].data = Arc::new(mo);
-            cubes[ci].epoch = epoch;
+            cubes[ci].set_data(Arc::new(mo), epoch);
             cubes[ci].synced_to = Some(now);
         }
         stats.merged = before.saturating_sub(after);
@@ -621,6 +666,9 @@ impl SubcubeManager {
         });
         drop(rebuild_span);
         if obs_on {
+            sdr_obs::attr("epoch", epoch);
+            sdr_obs::attr("rows_in", before);
+            sdr_obs::attr("rows_out", after);
             // Same locals returned to the caller — the metrics cannot
             // disagree with `SyncStats` (asserted by the integration suite).
             sdr_obs::add("subcube.sync.kept", stats.kept as u64);
@@ -689,7 +737,7 @@ impl SubcubeManager {
         let all = WarehouseView { v: Arc::clone(cur) }.to_mo()?;
         let epoch = cur.epoch + 1;
         let (mut cubes, parents) = layout(&spec, epoch);
-        cubes[0].data = Arc::new(all);
+        cubes[0].set_data(Arc::new(all), epoch);
         self.publish(VersionInner {
             epoch,
             spec: Arc::new(spec),
@@ -729,8 +777,7 @@ impl SubcubeManager {
         let mut cubes = cur.cubes.clone();
         debug_assert_eq!(mos.len(), cubes.len());
         for (c, mo) in cubes.iter_mut().zip(mos) {
-            c.data = Arc::new(mo);
-            c.epoch = epoch;
+            c.set_data(Arc::new(mo), epoch);
             c.synced_to = last_sync;
         }
         self.publish(VersionInner {
@@ -751,6 +798,11 @@ impl SubcubeManager {
     /// Materializes the whole warehouse as one MO (union of all cubes).
     pub fn to_mo(&self) -> Result<Mo, SubcubeError> {
         self.view().to_mo()
+    }
+
+    /// [`WarehouseView::verify_stats`] on the current version.
+    pub fn verify_stats(&self) -> Result<(), SubcubeError> {
+        self.view().verify_stats()
     }
 
     /// Storage statistics per cube (rows, raw and encoded bytes), via the

@@ -31,12 +31,15 @@ use sdr_storage::{FactTable, Wal};
 
 use crate::error::SubcubeError;
 use crate::manager::{SubcubeManager, WarehouseView};
+use crate::stats::SubcubeStats;
 
 /// Manifest file magic: `"SDRMAN01"`.
 const MANIFEST_MAGIC: u64 = 0x5344_524d_414e_3031;
 
-/// Checkpoint/manifest format version.
-const MANIFEST_FORMAT: u32 = 1;
+/// Checkpoint/manifest format version. Format 2 appends the per-cube
+/// [`SubcubeStats`] block; format-1 manifests (no stats) still decode —
+/// recovery then rebuilds stats from the cube files alone.
+const MANIFEST_FORMAT: u32 = 2;
 
 /// The checkpoint directory name for an epoch.
 pub fn ckpt_name(epoch: u64) -> String {
@@ -82,6 +85,10 @@ pub struct Manifest {
     /// The rendered specification (`aN = p(...)` lines) — recovery
     /// rebuilds the checkpoint's evolved spec from it.
     pub spec_text: String,
+    /// Per-cube statistics at checkpoint time (format ≥ 2; empty for
+    /// legacy format-1 manifests). Recovery recomputes stats from the
+    /// loaded cube files and verifies they match this copy exactly.
+    pub cube_stats: Vec<SubcubeStats>,
 }
 
 impl Manifest {
@@ -98,6 +105,12 @@ impl Manifest {
         b.extend_from_slice(&self.next_action_id.to_le_bytes());
         b.extend_from_slice(&(self.spec_text.len() as u32).to_le_bytes());
         b.extend_from_slice(self.spec_text.as_bytes());
+        // Format-2 stats block: its own count, independent of
+        // `cube_count`, so a forged count check still fires at load.
+        b.extend_from_slice(&(self.cube_stats.len() as u32).to_le_bytes());
+        for s in &self.cube_stats {
+            s.encode_into(&mut b);
+        }
         let crc = crc32(&b);
         b.extend_from_slice(&crc.to_le_bytes());
         b
@@ -127,7 +140,7 @@ impl Manifest {
             return Err(bad("bad manifest magic"));
         }
         let format = u32::from_le_bytes(take(4)?.try_into().unwrap());
-        if format != MANIFEST_FORMAT {
+        if format == 0 || format > MANIFEST_FORMAT {
             return Err(bad(&format!("unsupported manifest format {format}")));
         }
         let epoch = u64::from_le_bytes(take(8)?.try_into().unwrap());
@@ -139,6 +152,17 @@ impl Manifest {
         let text_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
         let spec_text = String::from_utf8(take(text_len)?.to_vec())
             .map_err(|_| bad("manifest spec text is not UTF-8"))?;
+        let cube_stats = if format >= 2 {
+            let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let mut take_vec = |n: usize| take(n).map(|s| s.to_vec());
+            let mut stats = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                stats.push(SubcubeStats::decode_from(&mut take_vec)?);
+            }
+            stats
+        } else {
+            Vec::new()
+        };
         let last_sync = if last_sync_raw == i64::MIN {
             None
         } else {
@@ -154,6 +178,7 @@ impl Manifest {
             spec_hash,
             next_action_id,
             spec_text,
+            cube_stats,
         })
     }
 }
@@ -282,6 +307,7 @@ pub(crate) fn write_checkpoint(
         spec_hash: spec_fingerprint(view.spec()),
         next_action_id: view.spec().next_action_id(),
         spec_text: view.spec().render(),
+        cube_stats: view.cubes().iter().map(|c| c.stats().clone()).collect(),
     };
     fs.write(&tmp.join("MANIFEST"), &manifest.encode())
         .map_err(|e| err(&e))?;
@@ -351,6 +377,24 @@ pub(crate) fn load_checkpoint(
             }
         }
         mos.push(mo);
+    }
+    // Persisted stats (format ≥ 2) must be bit-identical to a fresh
+    // recomputation from the loaded cube files — stale or forged stats
+    // are a corruption signal, not something to silently repair.
+    for (i, persisted) in manifest.cube_stats.iter().enumerate() {
+        let path = ckpt.join(format!("cube-{i}.sdr"));
+        let Some(mo) = mos.get(i) else {
+            return Err(SubcubeError::Storage(format!(
+                "{}: manifest carries statistics for a cube that has no file",
+                path.display()
+            )));
+        };
+        if SubcubeStats::compute(mo, persisted.last_epoch) != *persisted {
+            return Err(SubcubeError::Storage(format!(
+                "{}: persisted cube statistics diverge from recomputation",
+                path.display()
+            )));
+        }
     }
     m.install_checkpoint(mos, manifest.last_sync);
     Ok((m, manifest))

@@ -72,6 +72,11 @@ impl WarehouseView {
         unsync: bool,
     ) -> Result<Vec<Mo>, SubcubeError> {
         let _span = sdr_obs::span("subcube.query");
+        sdr_obs::attr("epoch", self.epoch());
+        // Sub-query spans open under this context — on this thread for a
+        // sequential evaluation, handed off explicitly to the fan-out
+        // workers otherwise — so both trees nest identically.
+        let ctx = sdr_obs::ctx();
         let n = self.cubes().len();
         let run = |input: &Arc<Mo>| -> Result<Mo, SubcubeError> {
             // `select_snapshot` shares the cube's `Arc` when nothing is
@@ -83,15 +88,26 @@ impl WarehouseView {
         let eval_one = |i: usize| -> Result<Mo, SubcubeError> {
             // Fan-out latency: one sample per sub-query, so the span's
             // p50/p99 spread exposes cube-size skew across workers.
-            let _sub = sdr_obs::span("subcube.query.subquery");
-            if unsync {
+            let sub = sdr_obs::span_in("subcube.query.subquery", &ctx);
+            let cube = &self.cubes()[i];
+            let r = if unsync {
                 let input = Arc::new(self.cube_view_unsync(CubeId(i), now)?);
                 run(&input)
             } else {
                 // Evaluate on the cube's shared snapshot — no guard, no
                 // clone; the `Arc` keeps the version alive in the worker.
-                run(&self.cubes()[i].snapshot())
+                run(&cube.snapshot())
+            };
+            if sub.is_recording() {
+                sdr_obs::attr("subcube", format_args!("K{i}"));
+                sdr_obs::attr("epoch", cube.epoch());
+                sdr_obs::attr("rows_in", cube.data().len());
+                if let Ok(mo) = &r {
+                    sdr_obs::attr("rows_out", mo.len());
+                }
             }
+            drop(sub);
+            r
         };
         if !parallel || n <= 1 {
             return (0..n).map(eval_one).collect();

@@ -1,0 +1,241 @@
+//! Per-subcube statistics — the introspection substrate.
+//!
+//! Every published [`Subcube`](crate::manager::Subcube) carries a
+//! [`SubcubeStats`]: row and byte counts, per-dimension distinct counts
+//! and category histograms, and a min/max zone map over the packed cell
+//! key (see [`sdr_mdm::KeyPacker`]). Because cube contents are immutable
+//! once published, maintenance is tied to publication: whenever a
+//! mutator replaces a cube's fact snapshot it recomputes that cube's
+//! stats (and only that cube's — untouched cubes share their stats
+//! `Arc` across versions exactly like their data). The stats therefore
+//! can never drift from the facts they describe, an invariant
+//! [`verify`](crate::manager::WarehouseView::verify_stats) re-checks on
+//! demand and recovery re-checks against the persisted copy in the
+//! checkpoint manifest.
+//!
+//! `specdr explain` uses the zone maps and row counts to annotate the
+//! subcube DAG (which cubes a query scanned, which were skippable), so
+//! the numbers here must be exact, not estimates.
+
+use sdr_mdm::{KeyPacker, Mo};
+
+use crate::error::SubcubeError;
+
+/// Statistics for one dimension column of a subcube.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DimColStats {
+    /// Number of distinct direct `(category, code)` values.
+    pub distinct: u32,
+    /// Rows per category id, sorted by category id — the value histogram
+    /// at category granularity. Facts of a synchronized cube sit at one
+    /// category per dimension; the bottom cube may mix several.
+    pub per_cat: Vec<(u8, u64)>,
+}
+
+/// Exact, deterministic statistics of one subcube's fact snapshot.
+///
+/// Derived purely from the cube's columnar store (plus the epoch stamp),
+/// so recomputing from identical facts yields a bit-identical value —
+/// what the durability suite asserts across checkpoint, WAL replay, and
+/// crash recovery.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubcubeStats {
+    /// Number of facts.
+    pub rows: u64,
+    /// Resident bytes of the columnar store (payload columns only).
+    pub bytes: u64,
+    /// Per-dimension column statistics (schema order).
+    pub dims: Vec<DimColStats>,
+    /// Zone map: smallest packed cell key, `None` when the cube is empty
+    /// or the schema exceeds the 128-bit packing budget.
+    pub key_min: Option<u128>,
+    /// Zone map: largest packed cell key (see [`SubcubeStats::key_min`]).
+    pub key_max: Option<u128>,
+    /// The warehouse epoch at which the cube's facts were last replaced
+    /// (mirrors `Subcube::epoch`).
+    pub last_epoch: u64,
+}
+
+impl SubcubeStats {
+    /// Computes exact statistics of `mo`'s fact snapshot, stamped with
+    /// the epoch at which that snapshot was published.
+    pub fn compute(mo: &Mo, epoch: u64) -> SubcubeStats {
+        let store = mo.store();
+        let n = store.len();
+        let n_dims = mo.schema().n_dims();
+        let mut dims = Vec::with_capacity(n_dims);
+        for d in 0..n_dims {
+            let cats = &store.cats[d];
+            let codes = &store.codes[d];
+            let mut seen = std::collections::BTreeSet::new();
+            let mut per_cat = std::collections::BTreeMap::<u8, u64>::new();
+            for i in 0..n {
+                seen.insert((cats[i], codes[i]));
+                *per_cat.entry(cats[i]).or_insert(0) += 1;
+            }
+            dims.push(DimColStats {
+                distinct: seen.len() as u32,
+                per_cat: per_cat.into_iter().collect(),
+            });
+        }
+        let (mut key_min, mut key_max) = (None, None);
+        if n > 0 {
+            if let Some(packer) = KeyPacker::new(mo.schema()) {
+                let mut lo = u128::MAX;
+                let mut hi = 0u128;
+                for f in mo.facts() {
+                    let k = packer.pack_row(store, f);
+                    lo = lo.min(k);
+                    hi = hi.max(k);
+                }
+                key_min = Some(lo);
+                key_max = Some(hi);
+            }
+        }
+        SubcubeStats {
+            rows: n as u64,
+            bytes: store.approx_bytes() as u64,
+            dims,
+            key_min,
+            key_max,
+            last_epoch: epoch,
+        }
+    }
+
+    /// Serializes into a manifest stats block (fixed little-endian
+    /// layout; the enclosing manifest carries the CRC).
+    pub(crate) fn encode_into(&self, b: &mut Vec<u8>) {
+        b.extend_from_slice(&self.rows.to_le_bytes());
+        b.extend_from_slice(&self.bytes.to_le_bytes());
+        b.extend_from_slice(&self.last_epoch.to_le_bytes());
+        b.push(self.key_min.is_some() as u8);
+        b.extend_from_slice(&self.key_min.unwrap_or(0).to_le_bytes());
+        b.extend_from_slice(&self.key_max.unwrap_or(0).to_le_bytes());
+        b.extend_from_slice(&(self.dims.len() as u32).to_le_bytes());
+        for d in &self.dims {
+            b.extend_from_slice(&d.distinct.to_le_bytes());
+            b.extend_from_slice(&(d.per_cat.len() as u32).to_le_bytes());
+            for (cat, rows) in &d.per_cat {
+                b.push(*cat);
+                b.extend_from_slice(&rows.to_le_bytes());
+            }
+        }
+    }
+
+    /// Decodes one stats block via the manifest's cursor-style reader.
+    pub(crate) fn decode_from(
+        take: &mut dyn FnMut(usize) -> Result<Vec<u8>, SubcubeError>,
+    ) -> Result<SubcubeStats, SubcubeError> {
+        let u64_at = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
+        let rows = u64_at(&take(8)?);
+        let bytes = u64_at(&take(8)?);
+        let last_epoch = u64_at(&take(8)?);
+        let has_keys = take(1)?[0] != 0;
+        let key_min_raw = u128::from_le_bytes(take(16)?.as_slice().try_into().unwrap());
+        let key_max_raw = u128::from_le_bytes(take(16)?.as_slice().try_into().unwrap());
+        let n_dims = u32::from_le_bytes(take(4)?.as_slice().try_into().unwrap()) as usize;
+        let mut dims = Vec::with_capacity(n_dims.min(256));
+        for _ in 0..n_dims {
+            let distinct = u32::from_le_bytes(take(4)?.as_slice().try_into().unwrap());
+            let n_cats = u32::from_le_bytes(take(4)?.as_slice().try_into().unwrap()) as usize;
+            let mut per_cat = Vec::with_capacity(n_cats.min(256));
+            for _ in 0..n_cats {
+                let cat = take(1)?[0];
+                per_cat.push((cat, u64_at(&take(8)?)));
+            }
+            dims.push(DimColStats { distinct, per_cat });
+        }
+        Ok(SubcubeStats {
+            rows,
+            bytes,
+            dims,
+            key_min: has_keys.then_some(key_min_raw),
+            key_max: has_keys.then_some(key_max_raw),
+            last_epoch,
+        })
+    }
+
+    /// True when a selection constrained to packed keys in
+    /// `[lo, hi]` can skip this cube entirely — the zone-map pruning
+    /// check `explain` reports. Conservative: `false` whenever the zone
+    /// map is absent.
+    pub fn zone_disjoint(&self, lo: u128, hi: u128) -> bool {
+        match (self.key_min, self.key_max) {
+            (Some(min), Some(max)) => hi < min || lo > max,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_workload::paper_mo;
+
+    #[test]
+    fn compute_is_exact_and_deterministic() {
+        let (mo, _) = paper_mo();
+        let s = SubcubeStats::compute(&mo, 7);
+        assert_eq!(s.rows, mo.len() as u64);
+        assert_eq!(s.bytes, mo.store().approx_bytes() as u64);
+        assert_eq!(s.last_epoch, 7);
+        assert_eq!(s.dims.len(), mo.schema().n_dims());
+        for d in &s.dims {
+            // Histogram rows sum to the cube's row count.
+            assert_eq!(d.per_cat.iter().map(|(_, r)| r).sum::<u64>(), s.rows);
+            assert!(d.distinct >= d.per_cat.len() as u32);
+        }
+        // Zone map brackets every packed key.
+        let p = KeyPacker::new(mo.schema()).unwrap();
+        let (lo, hi) = (s.key_min.unwrap(), s.key_max.unwrap());
+        for f in mo.facts() {
+            let k = p.pack_row(mo.store(), f);
+            assert!(lo <= k && k <= hi);
+        }
+        assert_eq!(SubcubeStats::compute(&mo, 7), s, "bit-identical recompute");
+    }
+
+    #[test]
+    fn empty_mo_has_no_zone_map() {
+        let (mo, _) = paper_mo();
+        let s = SubcubeStats::compute(&mo.empty_like(), 0);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.key_min, None);
+        assert_eq!(s.key_max, None);
+        assert!(!s.zone_disjoint(0, u128::MAX), "no zone map → never skip");
+    }
+
+    #[test]
+    fn codec_roundtrips() {
+        let (mo, _) = paper_mo();
+        for s in [
+            SubcubeStats::compute(&mo, 3),
+            SubcubeStats::compute(&mo.empty_like(), 0),
+        ] {
+            let mut b = Vec::new();
+            s.encode_into(&mut b);
+            let mut pos = 0usize;
+            let mut take = |n: usize| -> Result<Vec<u8>, SubcubeError> {
+                let out = b[pos..pos + n].to_vec();
+                pos += n;
+                Ok(out)
+            };
+            assert_eq!(SubcubeStats::decode_from(&mut take).unwrap(), s);
+            assert_eq!(pos, b.len(), "decoder consumed the whole block");
+        }
+    }
+
+    #[test]
+    fn zone_disjoint_prunes_only_outside_the_range() {
+        let s = SubcubeStats {
+            key_min: Some(100),
+            key_max: Some(200),
+            ..SubcubeStats::default()
+        };
+        assert!(s.zone_disjoint(0, 99));
+        assert!(s.zone_disjoint(201, 300));
+        assert!(!s.zone_disjoint(150, 160));
+        assert!(!s.zone_disjoint(0, 100));
+        assert!(!s.zone_disjoint(200, 300));
+    }
+}

@@ -7,6 +7,9 @@
 #   lint_specs          -> full lint pass + incremental insert over a
 #                          50-action prover-heavy policy, vs the runtime
 #                          NonCrossing+Growing checks as the budget
+#   E12 explain_overhead -> BENCH_pr6.json (explain/profile vs the plain
+#                          query and sync+query they wrap, registry
+#                          enabled vs disabled, ~100k/~1M facts)
 #
 # Pass additional bench names as arguments to run other targets too,
 # e.g.:  scripts/bench.sh reduction query_reduced
@@ -16,6 +19,7 @@ cd "$(dirname "$0")/.."
 cargo bench -p sdr-bench --bench kernels
 cargo bench -p sdr-bench --bench concurrent_read
 cargo bench -p sdr-bench --bench lint_specs
+cargo bench -p sdr-bench --bench explain_overhead
 for target in "$@"; do
   cargo bench -p sdr-bench --bench "$target"
 done

@@ -43,6 +43,35 @@ done
 # vectorized kernel's output digest differs from its naive reference.
 run cargo run -q --release -p sdr-bench --bin perf_smoke
 
+# Obs-overhead gate: tracing ships always-compiled-in, so the E10 kernel
+# path with the registry merely *disabled* must cost no more than a
+# build with the instrumentation compiled out (sdr-obs `off`) — the
+# disabled path is one relaxed atomic load per operation, not per row.
+# The threshold (2x + 5ms) is generous because two separate release
+# builds land in different codegen; a per-row instrumentation mistake
+# shows up as 10x+. Digests must match exactly across the two builds.
+echo "==> obs-overhead gate (disabled registry vs sdr-obs/off build)"
+on_line=$(cargo run -q --release -p sdr-bench --bin obs_overhead)
+off_line=$(cargo run -q --release -p sdr-bench --features obs-off --bin obs_overhead)
+on_ns=$(echo "$on_line" | sed -n 's/.*kernel_ns=\([0-9]*\).*/\1/p')
+off_ns=$(echo "$off_line" | sed -n 's/.*kernel_ns=\([0-9]*\).*/\1/p')
+on_digest=$(echo "$on_line" | sed -n 's/.*digest=\(0x[0-9a-f]*\).*/\1/p')
+off_digest=$(echo "$off_line" | sed -n 's/.*digest=\(0x[0-9a-f]*\).*/\1/p')
+echo "  compiled-in (registry off): ${on_ns}ns   compiled-out: ${off_ns}ns"
+if [ -z "$on_ns" ] || [ -z "$off_ns" ]; then
+  echo "obs-overhead gate: missing probe output" >&2
+  exit 1
+fi
+if [ "$on_digest" != "$off_digest" ]; then
+  echo "obs-overhead gate: digest drift between builds ($on_digest vs $off_digest)" >&2
+  exit 1
+fi
+if ! awk -v on="$on_ns" -v off="$off_ns" 'BEGIN { exit !(on <= 2 * off + 5000000) }'; then
+  echo "obs-overhead gate: disabled-registry path is not branch-only" >&2
+  echo "  compiled-in ${on_ns}ns > 2 * compiled-out ${off_ns}ns + 5ms" >&2
+  exit 1
+fi
+
 # Durability suite under --release: the crash matrix and the proptest
 # layer exercise many fs-failure schedules and want optimized code.
 run cargo test -q --release --test durability

@@ -11,6 +11,27 @@
 //!     Growing, and print a plain-language explanation of every action.
 //!     Without a file, explains the built-in 6/36-month retention policy.
 //!
+//! specdr explain --query [--where PRED] [--roll-up LEVELS] [--mode MODE]
+//!                [--months N] [--clicks K] [--now Y/M/D]
+//!                [--format json|table|trace]
+//! specdr explain --reduce [--months N] [--clicks K] [--now Y/M/D]
+//!                [--format json|table|trace]
+//!     Warehouse introspection: run the query (or the reduction pass,
+//!     with --reduce) against a synthetic subcube warehouse with tracing
+//!     on, and render the subcube DAG annotated with each cube's exact
+//!     statistics (rows, bytes, distinct values per dimension, epoch),
+//!     which cubes were scanned vs. skippable, memoization hits, and a
+//!     per-phase time/row breakdown. `--format=trace` emits the span
+//!     tree as a chrome `trace_event` document (load in chrome://tracing
+//!     or Perfetto).
+//!
+//! specdr profile [--months N] [--clicks K] [--now Y/M/D]
+//!                [--format json|table|trace]
+//!     Profile one full pass — synchronize the warehouse, then answer a
+//!     parallel monthly roll-up — under a single trace recording, and
+//!     render the combined introspection report (same formats as
+//!     `explain --query`).
+//!
 //! specdr simulate [--months N] [--clicks K] [--raw-months A]
 //!                 [--month-months B] [--sessions]
 //!     Generate a synthetic click-stream, validate the retention policy,
@@ -105,8 +126,31 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
             Ok(())
         }
         "explain" => {
-            let opts = Opts::parse(rest, "explain", &["--spec-file"], &[])?;
+            let opts = Opts::parse(
+                rest,
+                "explain",
+                &[
+                    "--spec-file",
+                    "--where",
+                    "--roll-up",
+                    "--mode",
+                    "--months",
+                    "--clicks",
+                    "--now",
+                    "--format",
+                ],
+                &[("--query", ArgKind::Bool), ("--reduce", ArgKind::Bool)],
+            )?;
             cmd_explain(&opts)
+        }
+        "profile" => {
+            let opts = Opts::parse(
+                rest,
+                "profile",
+                &["--months", "--clicks", "--now", "--format"],
+                &[],
+            )?;
+            cmd_profile(&opts)
         }
         "simulate" => {
             let opts = Opts::parse(
@@ -214,9 +258,18 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
 }
 
 const USAGE: &str =
-    "usage: specdr <demo|explain|lint|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
+    "usage: specdr <demo|explain|profile|lint|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
+  explain --query [--where PRED] [--roll-up LEVELS] [--mode MODE] [--months N]\n\
+          [--clicks K] [--now Y/M/D] [--format json|table|trace]\n\
+  explain --reduce [--months N] [--clicks K] [--now Y/M/D] [--format json|table|trace]\n\
+                              introspect a query / reduction pass: subcube DAG\n\
+                              with exact per-cube statistics, scanned vs.\n\
+                              skippable cubes, memo hits, per-phase breakdown\n\
+  profile [--months N] [--clicks K] [--now Y/M/D] [--format json|table|trace]\n\
+                              trace one sync + parallel roll-up pass and render\n\
+                              the combined introspection report\n\
   simulate [--months N] [--clicks K] [--raw-months A] [--month-months B] [--sessions]\n\
                               storage-gain simulation under a retention policy\n\
   query --where PRED [--roll-up LEVELS] [--mode conservative|liberal|weighted:T]\n\
@@ -438,6 +491,140 @@ fn cmd_demo() -> Result<(), AnyError> {
 }
 
 fn cmd_explain(opts: &Opts) -> Result<(), AnyError> {
+    match (opts.switch("--query"), opts.switch("--reduce")) {
+        (true, true) => Err("pass either --query or --reduce, not both".into()),
+        (true, false) => cmd_explain_warehouse(opts, false),
+        (false, true) => cmd_explain_warehouse(opts, true),
+        (false, false) => cmd_explain_spec(opts),
+    }
+}
+
+/// Builds the synthetic warehouse every introspection command runs
+/// against: `months` × `clicks`/day of click-stream facts bulk-loaded
+/// into a subcube manager under the 6/36-month retention policy.
+fn introspection_warehouse(
+    opts: &Opts,
+) -> Result<(SubcubeManager, Arc<specdr::mdm::Schema>, i32), AnyError> {
+    let months: u32 = opts.value("--months").unwrap_or("24").parse()?;
+    let clicks: usize = opts.value("--clicks").unwrap_or("100").parse()?;
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: clicks,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let now = match opts.value("--now") {
+        Some(s) => parse_date(s)?,
+        None => days_from_civil(ey + 2, em, 28),
+    };
+    let spec = retention_spec(&cs.schema, 6, 36)?;
+    let mgr = SubcubeManager::new(spec);
+    mgr.bulk_load(&cs.mo)?;
+    Ok((mgr, cs.schema, now))
+}
+
+/// Builds a [`CubeQuery`] from `--where`/`--roll-up`/`--mode`; the
+/// default is the parallel monthly roll-up the other commands use.
+fn cube_query_from_opts(
+    opts: &Opts,
+    schema: &Arc<specdr::mdm::Schema>,
+) -> Result<CubeQuery, AnyError> {
+    let pred = match opts.value("--where") {
+        Some(w) => Some(parse_pexp(schema, w)?),
+        None => None,
+    };
+    let mode = match opts.value("--mode") {
+        None | Some("conservative") => SelectMode::Conservative,
+        Some("liberal") => SelectMode::Liberal,
+        Some(m) if m.starts_with("weighted:") => SelectMode::Weighted {
+            threshold: m["weighted:".len()..].parse()?,
+        },
+        Some(other) => return Err(format!("unknown mode `{other}`").into()),
+    };
+    let mut levels = schema.bottom_granularity().0;
+    let spec_levels = opts.value("--roll-up").unwrap_or("Time.month");
+    for name in spec_levels.split(',').map(str::trim) {
+        let (dim, cat) = schema.resolve_cat(name)?;
+        levels[dim.index()] = cat;
+    }
+    Ok(CubeQuery {
+        pred,
+        mode,
+        levels,
+        approach: AggApproach::Availability,
+    })
+}
+
+fn print_introspection(r: &specdr::introspect::Introspection, opts: &Opts) -> Result<(), AnyError> {
+    match opts.value("--format").unwrap_or("table") {
+        "table" => print!("{}", r.to_table()),
+        "json" => println!("{}", r.to_json()),
+        "trace" => println!("{}", r.to_chrome_trace()),
+        other => return Err(format!("unknown format `{other}` (json|table|trace)").into()),
+    }
+    Ok(())
+}
+
+/// `specdr explain --query` / `specdr explain --reduce`.
+fn cmd_explain_warehouse(opts: &Opts, reduce_pass: bool) -> Result<(), AnyError> {
+    let (mgr, schema, now) = introspection_warehouse(opts)?;
+    let report = if reduce_pass {
+        let (stats, report) = specdr::introspect::explain_sync(&mgr, now)?;
+        if opts.value("--format").unwrap_or("table") == "table" {
+            println!(
+                "reduction pass at NOW = {}: kept={} migrated={} merged={}\n",
+                render_date(now),
+                stats.kept,
+                stats.migrated,
+                stats.merged
+            );
+        }
+        report
+    } else {
+        // Queries are explained against a synchronized warehouse, so the
+        // DAG shows where the retention policy actually put the facts.
+        mgr.sync(now)?;
+        let q = cube_query_from_opts(opts, &schema)?;
+        let (answer, report) = specdr::introspect::explain_query(&mgr, &q, now, true)?;
+        if opts.value("--format").unwrap_or("table") == "table" {
+            println!(
+                "query at NOW = {}: {} result rows\n",
+                render_date(now),
+                answer.len()
+            );
+        }
+        report
+    };
+    print_introspection(&report, opts)
+}
+
+/// `specdr profile`: one sync + parallel roll-up under a single trace
+/// recording.
+fn cmd_profile(opts: &Opts) -> Result<(), AnyError> {
+    let (mgr, schema, now) = introspection_warehouse(opts)?;
+    let q = cube_query_from_opts(opts, &schema)?;
+    let (stats, answer, report) = specdr::introspect::profile(&mgr, &q, now, true)?;
+    if opts.value("--format").unwrap_or("table") == "table" {
+        println!(
+            "profiled sync + query at NOW = {}: kept={} migrated={} merged={}, {} result rows\n",
+            render_date(now),
+            stats.kept,
+            stats.migrated,
+            stats.merged,
+            answer.len()
+        );
+    }
+    print_introspection(&report, opts)
+}
+
+fn render_date(now: i32) -> String {
+    let (y, m, d) = civil_from_days(now);
+    format!("{y}/{m}/{d}")
+}
+
+fn cmd_explain_spec(opts: &Opts) -> Result<(), AnyError> {
     let cs = generate(&ClickstreamConfig {
         clicks_per_day: 0,
         ..Default::default()

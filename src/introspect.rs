@@ -1,0 +1,502 @@
+//! Warehouse introspection: `specdr explain` and `specdr profile`.
+//!
+//! Runs one operation — a subcube query or a synchronization (reduction)
+//! pass — with the `sdr-obs` registry recording, then assembles an
+//! [`Introspection`]: the subcube DAG annotated with each cube's exact
+//! [`SubcubeStats`](crate::subcube::SubcubeStats) (rows, bytes, distinct
+//! values, zone map, epoch), which cubes the operation scanned and which
+//! were skippable (their selection matched nothing), memoization hits,
+//! and a per-phase time/row breakdown aggregated from the hierarchical
+//! trace spans the instrumented kernels emit.
+//!
+//! The numbers are **exact, not estimates**: per-cube row counts come
+//! from the maintained stats, and the scanned/output counts
+//! come from span attributes the kernels stamp with the same locals they
+//! return to callers — `tests/introspect.rs` asserts both against naive
+//! recomputation. Rendering follows the CLI's three formats: an aligned
+//! table for humans, one JSON object for machines, and a chrome
+//! `trace_event` document (load in `chrome://tracing` or Perfetto) for
+//! the raw span tree.
+
+use std::sync::Arc;
+
+use sdr_mdm::{DayNum, Mo};
+use sdr_obs::Snapshot;
+use sdr_subcube::{CubeQuery, SubcubeError, SubcubeManager, SyncStats};
+
+/// One cube of the warehouse DAG, annotated for explain output.
+#[derive(Debug, Clone)]
+pub struct CubeReport {
+    /// Cube index (`K0` is the bottom cube).
+    pub id: usize,
+    /// Rendered granularity, e.g. `(Time.month, URL.domain)`.
+    pub grain: String,
+    /// Immediate parents in the data-flow DAG.
+    pub parents: Vec<usize>,
+    /// Facts in the cube (from its maintained stats).
+    pub rows: u64,
+    /// Resident bytes of the cube's columnar store.
+    pub bytes: u64,
+    /// Warehouse epoch at which the cube's facts last changed.
+    pub epoch: u64,
+    /// Distinct direct values per dimension (schema order).
+    pub distinct: Vec<u32>,
+    /// Zone map over the packed cell key, when the schema packs.
+    pub key_range: Option<(u128, u128)>,
+    /// True when the operation evaluated this cube.
+    pub scanned: bool,
+    /// Rows this cube contributed to the operation's result.
+    pub rows_out: u64,
+    /// True when scanning the cube was provably unnecessary — the
+    /// operation read it and produced nothing from it.
+    pub skippable: bool,
+}
+
+/// One phase of the operation: all trace spans sharing a path,
+/// aggregated.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseReport {
+    /// The span path, e.g. `subcube.query/subcube.query.subquery`.
+    pub path: String,
+    /// Number of spans on this path.
+    pub count: u64,
+    /// Total nanoseconds across those spans.
+    pub total_ns: u64,
+    /// Summed `rows_in` attributes (0 when never stamped).
+    pub rows_in: u64,
+    /// Summed `rows_out` attributes.
+    pub rows_out: u64,
+    /// Summed `memo_hits` attributes.
+    pub memo_hits: u64,
+}
+
+/// The assembled introspection report for one operation.
+#[derive(Debug, Clone)]
+pub struct Introspection {
+    /// What ran: `"query"` or `"sync"`.
+    pub op: String,
+    /// The `NOW` the operation ran at.
+    pub now: DayNum,
+    /// The warehouse epoch after the operation.
+    pub epoch: u64,
+    /// Rows in the operation's result (query answer or post-sync total).
+    pub result_rows: u64,
+    /// The annotated subcube DAG.
+    pub cubes: Vec<CubeReport>,
+    /// Per-phase time/row breakdown, sorted by path.
+    pub phases: Vec<PhaseReport>,
+    /// The full metric snapshot of the run (counters, spans, traces) —
+    /// `--format=trace` renders its span tree.
+    pub snapshot: Snapshot,
+}
+
+fn attr_u64(attrs: &[(String, String)], key: &str) -> Option<u64> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| v.parse().ok())
+}
+
+fn attr_str<'a>(attrs: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Runs `op` with the global registry recording (restoring the previous
+/// enabled state afterwards) and returns its result plus the snapshot.
+fn recorded<T>(
+    op: impl FnOnce() -> Result<T, SubcubeError>,
+) -> Result<(T, Snapshot), SubcubeError> {
+    let was_enabled = sdr_obs::enabled();
+    sdr_obs::set_enabled(true);
+    sdr_obs::reset();
+    let result = op();
+    let snap = sdr_obs::snapshot();
+    sdr_obs::set_enabled(was_enabled);
+    let value = result?;
+    Ok((value, snap))
+}
+
+fn phases_of(snap: &Snapshot) -> Vec<PhaseReport> {
+    let mut by_path = std::collections::BTreeMap::<&str, PhaseReport>::new();
+    for t in &snap.traces {
+        let p = by_path.entry(&t.path).or_insert_with(|| PhaseReport {
+            path: t.path.clone(),
+            ..PhaseReport::default()
+        });
+        p.count += 1;
+        p.total_ns += t.dur_ns;
+        p.rows_in += attr_u64(&t.attrs, "rows_in").unwrap_or(0);
+        p.rows_out += attr_u64(&t.attrs, "rows_out").unwrap_or(0);
+        p.memo_hits += attr_u64(&t.attrs, "memo_hits").unwrap_or(0);
+    }
+    by_path.into_values().collect()
+}
+
+/// The DAG skeleton: every cube with its maintained stats, not yet
+/// annotated with scan results.
+fn dag_of(view: &sdr_subcube::WarehouseView) -> Vec<CubeReport> {
+    let schema = Arc::clone(view.schema());
+    view.cubes()
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let s = c.stats();
+            CubeReport {
+                id: i,
+                grain: schema.render_granularity(&c.grain),
+                parents: view
+                    .parents(sdr_subcube::CubeId(i))
+                    .iter()
+                    .map(|p| p.0)
+                    .collect(),
+                rows: s.rows,
+                bytes: s.bytes,
+                epoch: s.last_epoch,
+                distinct: s.dims.iter().map(|d| d.distinct).collect(),
+                key_range: s.key_min.zip(s.key_max),
+                scanned: false,
+                rows_out: 0,
+                skippable: false,
+            }
+        })
+        .collect()
+}
+
+/// Explains a query: evaluates `q` on the manager with tracing on and
+/// returns the answer plus the annotated report. Scanned/output counts
+/// per cube come from the `subcube.query.subquery` span attributes; a
+/// scanned cube that contributed no rows is marked skippable.
+pub fn explain_query(
+    mgr: &SubcubeManager,
+    q: &CubeQuery,
+    now: DayNum,
+    parallel: bool,
+) -> Result<(Mo, Introspection), SubcubeError> {
+    let (answer, snap) = recorded(|| mgr.query(q, now, parallel))?;
+    let view = mgr.view();
+    let mut cubes = dag_of(&view);
+    annotate_query_scans(&mut cubes, &snap);
+    let report = Introspection {
+        op: "query".into(),
+        now,
+        epoch: view.epoch(),
+        result_rows: answer.len() as u64,
+        cubes,
+        phases: phases_of(&snap),
+        snapshot: snap,
+    };
+    Ok((answer, report))
+}
+
+/// Marks every cube with a `subcube.query.subquery` span as scanned and
+/// copies its `rows_out` attribute; a scanned cube that produced nothing
+/// is skippable.
+fn annotate_query_scans(cubes: &mut [CubeReport], snap: &Snapshot) {
+    for t in &snap.traces {
+        if t.name != "subcube.query.subquery" {
+            continue;
+        }
+        let Some(id) = attr_str(&t.attrs, "subcube")
+            .and_then(|s| s.strip_prefix('K'))
+            .and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue;
+        };
+        if let Some(c) = cubes.get_mut(id) {
+            c.scanned = true;
+            c.rows_out = attr_u64(&t.attrs, "rows_out").unwrap_or(0);
+            c.skippable = c.rows_out == 0;
+        }
+    }
+}
+
+/// Profiles one full pass — a synchronization followed by a query —
+/// under a single trace recording, so the phase breakdown covers the
+/// reduction kernel, the sync scan/rebuild, and the query fan-out side
+/// by side. Cube scan annotations come from the query half.
+pub fn profile(
+    mgr: &SubcubeManager,
+    q: &CubeQuery,
+    now: DayNum,
+    parallel: bool,
+) -> Result<(SyncStats, Mo, Introspection), SubcubeError> {
+    let ((stats, answer), snap) = recorded(|| {
+        let s = mgr.sync(now)?;
+        let a = mgr.query(q, now, parallel)?;
+        Ok((s, a))
+    })?;
+    let view = mgr.view();
+    let mut cubes = dag_of(&view);
+    annotate_query_scans(&mut cubes, &snap);
+    let report = Introspection {
+        op: "profile".into(),
+        now,
+        epoch: view.epoch(),
+        result_rows: answer.len() as u64,
+        cubes,
+        phases: phases_of(&snap),
+        snapshot: snap,
+    };
+    Ok((stats, answer, report))
+}
+
+/// Explains a reduction (synchronization) pass: runs
+/// [`SubcubeManager::sync`] at `now` with tracing on and reports the
+/// post-sync DAG. Every cube is scanned by a sync pass; `rows_out` is
+/// each cube's post-sync row count.
+pub fn explain_sync(
+    mgr: &SubcubeManager,
+    now: DayNum,
+) -> Result<(SyncStats, Introspection), SubcubeError> {
+    let (stats, snap) = recorded(|| mgr.sync(now))?;
+    let view = mgr.view();
+    let mut cubes = dag_of(&view);
+    for c in &mut cubes {
+        c.scanned = true;
+        c.rows_out = c.rows;
+        c.skippable = false;
+    }
+    let report = Introspection {
+        op: "sync".into(),
+        now,
+        epoch: view.epoch(),
+        result_rows: view.len() as u64,
+        cubes,
+        phases: phases_of(&snap),
+        snapshot: snap,
+    };
+    Ok((stats, report))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_ns(v: u64) -> String {
+    if v < 1_000 {
+        format!("{v}ns")
+    } else if v < 1_000_000 {
+        format!("{:.1}µs", v as f64 / 1e3)
+    } else if v < 1_000_000_000 {
+        format!("{:.1}ms", v as f64 / 1e6)
+    } else {
+        format!("{:.2}s", v as f64 / 1e9)
+    }
+}
+
+impl Introspection {
+    /// Renders one JSON object (stable key order; keys documented in
+    /// `DESIGN.md` § Introspection).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"op\":\"{}\",\"now\":{},\"epoch\":{},\"result_rows\":{},\"cubes\":[",
+            json_escape(&self.op),
+            self.now,
+            self.epoch,
+            self.result_rows
+        ));
+        for (i, c) in self.cubes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let parents: Vec<String> = c.parents.iter().map(|p| p.to_string()).collect();
+            let distinct: Vec<String> = c.distinct.iter().map(|d| d.to_string()).collect();
+            let keys = match c.key_range {
+                Some((lo, hi)) => format!("\"key_min\":\"{lo:#x}\",\"key_max\":\"{hi:#x}\","),
+                None => String::new(),
+            };
+            out.push_str(&format!(
+                "{{\"id\":{},\"grain\":\"{}\",\"parents\":[{}],\"rows\":{},\"bytes\":{},\
+                 \"epoch\":{},\"distinct\":[{}],{keys}\"scanned\":{},\"rows_out\":{},\
+                 \"skippable\":{}}}",
+                c.id,
+                json_escape(&c.grain),
+                parents.join(","),
+                c.rows,
+                c.bytes,
+                c.epoch,
+                distinct.join(","),
+                c.scanned,
+                c.rows_out,
+                c.skippable
+            ));
+        }
+        out.push_str("],\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"path\":\"{}\",\"count\":{},\"total_ns\":{},\"rows_in\":{},\
+                 \"rows_out\":{},\"memo_hits\":{}}}",
+                json_escape(&p.path),
+                p.count,
+                p.total_ns,
+                p.rows_in,
+                p.rows_out,
+                p.memo_hits
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders an aligned human-readable report.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "explain {}: epoch {}, {} result rows\n\nsubcube DAG:\n",
+            self.op, self.epoch, self.result_rows
+        ));
+        for c in &self.cubes {
+            let parents: Vec<String> = c.parents.iter().map(|p| format!("K{p}")).collect();
+            let mark = if !c.scanned {
+                "not scanned"
+            } else if c.skippable {
+                "scanned, skippable (0 rows matched)"
+            } else {
+                "scanned"
+            };
+            out.push_str(&format!(
+                "  K{} {:<38} rows={:<8} bytes={:<10} epoch={:<4} parents=[{}]\n",
+                c.id,
+                c.grain,
+                c.rows,
+                c.bytes,
+                c.epoch,
+                parents.join(",")
+            ));
+            let distinct: Vec<String> = c.distinct.iter().map(|d| d.to_string()).collect();
+            out.push_str(&format!(
+                "     distinct/dim=[{}] {mark}, rows_out={}\n",
+                distinct.join(","),
+                c.rows_out
+            ));
+        }
+        out.push_str(&format!(
+            "\nphases:\n  {:<52} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+            "path", "count", "time", "rows_in", "rows_out", "memo_hits"
+        ));
+        for p in &self.phases {
+            out.push_str(&format!(
+                "  {:<52} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                p.path,
+                p.count,
+                fmt_ns(p.total_ns),
+                p.rows_in,
+                p.rows_out,
+                p.memo_hits
+            ));
+        }
+        out
+    }
+
+    /// Renders the run's span tree as a chrome `trace_event` document.
+    pub fn to_chrome_trace(&self) -> String {
+        self.snapshot.to_chrome_trace()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdr_mdm::{calendar::days_from_civil, time_cat as tc};
+    use sdr_query::{AggApproach, SelectMode};
+    use sdr_reduce::DataReductionSpec;
+    use sdr_spec::parse_action;
+    use sdr_workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+    /// The tests toggle the process-global registry; serialize them.
+    static REGISTRY: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn warehouse() -> SubcubeManager {
+        let (mo, _) = paper_mo();
+        let schema = Arc::clone(mo.schema());
+        let a1 = parse_action(&schema, ACTION_A1).unwrap();
+        let a2 = parse_action(&schema, ACTION_A2).unwrap();
+        let m = SubcubeManager::new(DataReductionSpec::new(schema, vec![a1, a2]).unwrap());
+        m.bulk_load(&paper_mo().0).unwrap();
+        m
+    }
+
+    #[test]
+    fn explain_query_annotates_every_cube_and_restores_registry() {
+        let _g = REGISTRY.lock().unwrap();
+        let m = warehouse();
+        let now = days_from_civil(2000, 11, 5);
+        m.sync(now).unwrap();
+        sdr_obs::set_enabled(false);
+        let q = CubeQuery {
+            pred: None,
+            mode: SelectMode::Conservative,
+            levels: vec![tc::YEAR, m.schema().dim(sdr_mdm::DimId(1)).graph().top()],
+            approach: AggApproach::Availability,
+        };
+        let (answer, report) = explain_query(&m, &q, now, true).unwrap();
+        assert!(!sdr_obs::enabled(), "registry state restored");
+        assert_eq!(report.op, "query");
+        assert_eq!(report.result_rows, answer.len() as u64);
+        assert_eq!(report.cubes.len(), m.n_cubes());
+        for c in &report.cubes {
+            assert!(c.scanned, "synchronized query scans every cube: {c:?}");
+        }
+        // The per-cube output rows sum to at least the answer (the final
+        // combine can only merge rows, never invent them).
+        let contributed: u64 = report.cubes.iter().map(|c| c.rows_out).sum();
+        assert!(contributed >= report.result_rows);
+        // Formats render and carry the cube ids.
+        let (t, j) = (report.to_table(), report.to_json());
+        assert!(t.contains("K0") && t.contains("subcube DAG"), "{t}");
+        assert!(j.starts_with('{') && j.contains("\"op\":\"query\""), "{j}");
+        assert!(report.to_chrome_trace().contains("traceEvents"));
+    }
+
+    #[test]
+    fn explain_sync_reports_phase_breakdown() {
+        let _g = REGISTRY.lock().unwrap();
+        let m = warehouse();
+        let now = days_from_civil(2000, 6, 5);
+        let (stats, report) = explain_sync(&m, now).unwrap();
+        assert_eq!(report.op, "sync");
+        assert!(stats.migrated > 0);
+        let paths: Vec<&str> = report.phases.iter().map(|p| p.path.as_str()).collect();
+        assert!(paths.contains(&"subcube.sync"), "{paths:?}");
+        assert!(
+            paths.contains(&"subcube.sync/subcube.sync.scan"),
+            "{paths:?}"
+        );
+        // The span attributes agree with the stats the call returned:
+        // the scan phase reads every surviving fact, the outer sync span
+        // stamps the before/after warehouse totals.
+        let scan = report
+            .phases
+            .iter()
+            .find(|p| p.path == "subcube.sync/subcube.sync.scan")
+            .unwrap();
+        assert_eq!(scan.rows_in, (stats.kept + stats.migrated) as u64);
+        let sync = report
+            .phases
+            .iter()
+            .find(|p| p.path == "subcube.sync")
+            .unwrap();
+        assert_eq!(sync.rows_out, report.result_rows);
+        assert_eq!(
+            report.cubes.iter().map(|c| c.rows).sum::<u64>(),
+            report.result_rows
+        );
+    }
+}

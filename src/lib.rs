@@ -19,13 +19,16 @@
 //! * [`workload`] — the paper's example dataset and synthetic click-stream
 //!   generators for the experiments;
 //! * [`obs`] — the zero-dependency metrics/tracing layer wired through
-//!   reduce, sync, and query (`specdr --metrics`, `specdr stats`).
+//!   reduce, sync, and query (`specdr --metrics`, `specdr stats`);
+//! * [`introspect`] — warehouse introspection: the explain/profile engine
+//!   behind `specdr explain --query/--reduce` and `specdr profile`.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod introspect;
 
 pub use sdr_lint as lint;
 pub use sdr_mdm as mdm;

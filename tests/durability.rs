@@ -20,7 +20,7 @@ use specdr::mdm::{time_cat as tc, DimValue, Mo, Schema, TimeValue};
 use specdr::reduce::DataReductionSpec;
 use specdr::spec::{parse_action, ActionId, ActionSpec};
 use specdr::storage::fs::{FailpointFs, FaultMode, Fs, RealFs};
-use specdr::subcube::{DurableWarehouse, SubcubeManager, SyncStats};
+use specdr::subcube::{DurableWarehouse, SubcubeManager, SubcubeStats, SyncStats};
 use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
 
 /// One logical warehouse operation of a test workload.
@@ -198,6 +198,18 @@ fn recover_and_verify(
         got, want,
         "{ctx}: recovered+resumed state diverges from never-crashed run"
     );
+    // ISSUE 6: the per-subcube statistics that came through checkpoint +
+    // WAL replay (+ the resumed suffix) must be bit-identical to a
+    // from-scratch recomputation over the recovered facts — under every
+    // fault schedule of the matrix.
+    let v = w.manager().view();
+    for (i, c) in v.cubes().iter().enumerate() {
+        assert_eq!(
+            *c.stats(),
+            SubcubeStats::compute(c.data(), c.epoch()),
+            "{ctx}: cube K{i} statistics diverge from recomputation"
+        );
+    }
     got
 }
 
@@ -246,6 +258,39 @@ fn paper_workload_is_clean() {
     assert_eq!(acked, logged);
     let (w, _) = DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
     assert_eq!(state(w.manager()), state(&reference(&spec, &ops)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 6: persisted `SubcubeStats` round-trip the checkpoint manifest
+/// bit-identically; `recover` re-verifies every persisted block against
+/// recomputation and reports how many it checked.
+#[test]
+fn recovered_stats_match_recomputation_and_are_persisted() {
+    let (spec, ops) = paper_workload();
+    let dir = tmpdir("stats-roundtrip");
+    let logged = ops.iter().filter(|o| o.is_logged()).count() as u64;
+    let acked = run_workload(&spec, &dir, RealFs::shared(), &ops);
+    assert_eq!(acked, logged);
+    let manifest = specdr::subcube::persist::read_manifest(&dir).unwrap();
+    assert!(
+        !manifest.cube_stats.is_empty(),
+        "format-2 manifest persists per-cube statistics"
+    );
+    let (w, report) =
+        DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+    assert_eq!(
+        report.stats_verified,
+        manifest.cube_stats.len(),
+        "recover verifies every persisted stats block"
+    );
+    let v = w.manager().view();
+    for (i, c) in v.cubes().iter().enumerate() {
+        assert_eq!(
+            *c.stats(),
+            SubcubeStats::compute(c.data(), c.epoch()),
+            "cube K{i} statistics diverge after WAL replay"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

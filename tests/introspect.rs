@@ -1,0 +1,249 @@
+//! Integration tests for warehouse introspection (`specdr::introspect`):
+//! the counts `explain` reports must match naive references recomputed
+//! from first principles, and the exported trace must be a well-formed
+//! parent/child tree.
+//!
+//! The in-process phases share the process-global `sdr-obs` registry, so
+//! they run inside ONE test function, exactly like `observability.rs`.
+
+use std::sync::Arc;
+
+use specdr::introspect::{explain_query, explain_sync, profile};
+use specdr::mdm::calendar::days_from_civil;
+use specdr::mdm::time_cat as tc;
+use specdr::query::{aggregate_ids_naive, select_snapshot, AggApproach, SelectMode};
+use specdr::reduce::DataReductionSpec;
+use specdr::spec::{parse_action, parse_pexp};
+use specdr::subcube::{CubeQuery, SubcubeManager};
+use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
+
+fn manager_with_paper_data() -> SubcubeManager {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    let m = SubcubeManager::new(DataReductionSpec::new(schema, vec![a1, a2]).unwrap());
+    m.bulk_load(&mo).unwrap();
+    m
+}
+
+/// The Figure 8 query: α[month, domain_grp](σ[1999/6 < month ≤ 2000/5]).
+fn figure8_query(m: &SubcubeManager) -> CubeQuery {
+    let grp = m
+        .schema()
+        .dim(specdr::mdm::DimId(1))
+        .graph()
+        .by_name("domain_grp")
+        .unwrap();
+    CubeQuery {
+        pred: Some(parse_pexp(m.schema(), "1999/6 < Time.month AND Time.month <= 2000/5").unwrap()),
+        mode: SelectMode::Liberal,
+        levels: vec![tc::MONTH, grp],
+        approach: AggApproach::Availability,
+    }
+}
+
+#[test]
+fn explain_counts_match_naive_references() {
+    let m = manager_with_paper_data();
+    let now = days_from_civil(2000, 11, 5);
+    m.sync(now).unwrap();
+    let q = figure8_query(&m);
+
+    // --- Phase 1: explain a Figure 8 query; every reported count must
+    // equal a reference recomputed with the naive kernels.
+    let (answer, report) = explain_query(&m, &q, now, true).unwrap();
+    let direct = m.query(&q, now, false).unwrap();
+    assert_eq!(
+        answer.len(),
+        direct.len(),
+        "explain must not change the answer"
+    );
+    assert_eq!(report.result_rows, direct.len() as u64);
+    assert_eq!(report.epoch, m.epoch());
+
+    let view = m.view();
+    assert_eq!(report.cubes.len(), view.cubes().len());
+    for (i, cube) in view.cubes().iter().enumerate() {
+        let rep = &report.cubes[i];
+        let mo = cube.data();
+        assert_eq!(rep.rows, mo.len() as u64, "K{i} row count");
+        assert_eq!(rep.epoch, cube.epoch(), "K{i} epoch");
+        // Distinct per dimension, recomputed fact by fact.
+        for d in 0..m.schema().n_dims() {
+            let mut seen = std::collections::BTreeSet::new();
+            for f in mo.facts() {
+                let v = &mo.coords(f)[d];
+                seen.insert((v.cat.0, v.code));
+            }
+            assert_eq!(
+                rep.distinct[d] as usize,
+                seen.len(),
+                "K{i} dim {d} distinct"
+            );
+        }
+        // The sub-query the engine attributes to this cube, re-run with
+        // the retained naive kernels: σ then the row-at-a-time α.
+        assert!(rep.scanned, "a synchronized query scans every cube");
+        let selected = select_snapshot(&cube.snapshot(), q.pred.as_ref(), now, q.mode).unwrap();
+        let naive = aggregate_ids_naive(&selected, &q.levels, q.approach).unwrap();
+        assert_eq!(rep.rows_out, naive.len() as u64, "K{i} rows_out");
+        assert_eq!(rep.skippable, naive.len() == 0, "K{i} skippable");
+    }
+    assert!(report.cubes.iter().any(|c| !c.skippable));
+
+    // A window before any fact exists: every cube is scanned yet
+    // skippable, and the answer is empty — the annotation is not
+    // vacuous.
+    let empty_q = CubeQuery {
+        pred: Some(parse_pexp(m.schema(), "Time.month < 1999/1").unwrap()),
+        mode: SelectMode::Conservative,
+        ..figure8_query(&m)
+    };
+    let (empty_answer, empty_report) = explain_query(&m, &empty_q, now, false).unwrap();
+    assert_eq!(empty_answer.len(), 0);
+    assert!(empty_report.cubes.iter().all(|c| c.scanned && c.skippable));
+
+    // --- Phase 2: the exported chrome trace is a well-formed
+    // parent/child tree.
+    let spans = &report.snapshot.traces;
+    assert!(!spans.is_empty());
+    let ids: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.id).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids unique");
+    let root = spans
+        .iter()
+        .find(|s| s.name == "subcube.query")
+        .expect("query root span");
+    for s in spans {
+        assert!(
+            s.parent == 0 || ids.contains(&s.parent),
+            "dangling parent in {s:?}"
+        );
+        if s.parent != 0 {
+            let p = spans.iter().find(|c| c.id == s.parent).unwrap();
+            assert_eq!(
+                s.path,
+                format!("{}/{}", p.path, s.name),
+                "path must chain through the parent"
+            );
+        } else {
+            assert_eq!(s.path, s.name, "root span path is its name");
+        }
+        if s.name == "subcube.query.subquery" {
+            assert_eq!(s.parent, root.id, "fan-out spans hang off the query root");
+        }
+    }
+    let chrome = report.to_chrome_trace();
+    assert!(chrome.starts_with("{\"displayTimeUnit\""));
+    assert!(chrome.contains("\"traceEvents\":["));
+    assert!(chrome.trim_end().ends_with("]}"));
+    assert_eq!(
+        chrome.matches("\"ph\":\"X\"").count(),
+        spans.len(),
+        "one complete event per span"
+    );
+    assert_eq!(specdr::obs::open_spans(), 0, "no span leaked");
+
+    // --- Phase 3: explain a reduction pass on a fresh warehouse; the
+    // per-cube rows must equal a naive recount of the post-sync state.
+    let m2 = manager_with_paper_data();
+    let (stats, sync_report) = explain_sync(&m2, now).unwrap();
+    assert!(stats.migrated > 0);
+    let v2 = m2.view();
+    for (i, cube) in v2.cubes().iter().enumerate() {
+        assert_eq!(sync_report.cubes[i].rows, cube.data().len() as u64);
+        assert!(sync_report.cubes[i].scanned);
+    }
+    assert_eq!(sync_report.result_rows, v2.len() as u64);
+    let paths: Vec<&str> = sync_report.phases.iter().map(|p| p.path.as_str()).collect();
+    assert!(paths.contains(&"subcube.sync"), "{paths:?}");
+    assert!(
+        paths.contains(&"subcube.sync/subcube.sync.scan"),
+        "{paths:?}"
+    );
+
+    // --- Phase 4: profile = sync + query under one recording; both
+    // phase families present, and the query half matches the direct
+    // answer on the already-synced warehouse.
+    let m3 = manager_with_paper_data();
+    let q3 = figure8_query(&m3);
+    let (pstats, panswer, preport) = profile(&m3, &q3, now, true).unwrap();
+    assert!(pstats.migrated > 0);
+    assert_eq!(
+        panswer.len(),
+        direct.len(),
+        "profile answer = direct answer"
+    );
+    assert_eq!(preport.result_rows, direct.len() as u64);
+    let ppaths: Vec<&str> = preport.phases.iter().map(|p| p.path.as_str()).collect();
+    assert!(ppaths.contains(&"subcube.sync"), "{ppaths:?}");
+    assert!(
+        ppaths.contains(&"subcube.query/subcube.query.subquery"),
+        "{ppaths:?}"
+    );
+    // The subquery phase aggregates one span per cube with exact rows.
+    let subq = preport
+        .phases
+        .iter()
+        .find(|p| p.path == "subcube.query/subcube.query.subquery")
+        .unwrap();
+    assert_eq!(subq.count, m3.n_cubes() as u64);
+    assert_eq!(
+        subq.rows_in,
+        m3.view()
+            .cubes()
+            .iter()
+            .map(|c| c.data().len() as u64)
+            .sum::<u64>()
+    );
+}
+
+#[test]
+fn explain_cli_formats_are_consistent() {
+    // The CLI runs in a subprocess, so this is registry-race-free.
+    let bin = env!("CARGO_BIN_EXE_specdr");
+    let run = |args: &[&str]| {
+        let out = std::process::Command::new(bin).args(args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "specdr {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let base = ["--months", "8", "--clicks", "10", "--now", "2001/6/28"];
+
+    let table = run(&[&["explain", "--query"], &base[..]].concat());
+    assert!(table.contains("subcube DAG:"), "{table}");
+    assert!(table.contains("K0"), "{table}");
+    assert!(table.contains("phases:"), "{table}");
+
+    let json = run(&[&["explain", "--query", "--format", "json"], &base[..]].concat());
+    assert!(json.starts_with("{\"op\":\"query\""), "{json}");
+    assert!(json.contains("\"cubes\":["), "{json}");
+    assert!(json.trim_end().ends_with("]}"), "{json}");
+    // Deterministic inputs → identical report on a second run.
+    let json2 = run(&[&["explain", "--query", "--format", "json"], &base[..]].concat());
+    let strip_phases = |s: &str| s.split(",\"phases\":").next().unwrap().to_string();
+    assert_eq!(
+        strip_phases(&json),
+        strip_phases(&json2),
+        "cube annotations are deterministic (phases carry wall-clock times)"
+    );
+
+    let trace = run(&[&["explain", "--reduce", "--format", "trace"], &base[..]].concat());
+    assert!(trace.contains("\"traceEvents\":["), "{trace}");
+    assert!(trace.contains("subcube.sync.scan"), "{trace}");
+
+    let prof = run(&[&["profile", "--format", "json"], &base[..]].concat());
+    assert!(prof.starts_with("{\"op\":\"profile\""), "{prof}");
+    assert!(prof.contains("subcube.sync"), "{prof}");
+    assert!(prof.contains("subcube.query"), "{prof}");
+
+    // --query and --reduce are mutually exclusive.
+    let out = std::process::Command::new(bin)
+        .args(["explain", "--query", "--reduce"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -170,4 +170,77 @@ fn metrics_agree_with_authoritative_numbers() {
     assert!(snap.spans.iter().all(|(_, s)| s.count == 0));
     assert!(snap.histograms.iter().all(|(_, s)| s.count == 0));
     assert!(snap.events.is_empty());
+
+    // --- Phase 7: cross-thread span handoff. The chunk-parallel reduce
+    // must produce the same span tree (modulo interleaving) as the
+    // single-threaded pass, and every span must close.
+    obs::set_enabled(true);
+    let attr_u64 = |t: &specdr::obs::TraceSpan, key: &str| -> u64 {
+        t.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.parse().ok())
+            .unwrap_or_else(|| panic!("attr {key} missing on {t:?}"))
+    };
+    let run_with_workers = |workers: &str| {
+        std::env::set_var("SDR_REDUCE_WORKERS", workers);
+        obs::reset();
+        let _ = reduce(&mo, &mgr.spec(), now).unwrap();
+        std::env::remove_var("SDR_REDUCE_WORKERS");
+        let snap = obs::snapshot();
+        assert_eq!(
+            obs::open_spans(),
+            0,
+            "leaked open spans with {workers} workers"
+        );
+        snap
+    };
+    let seq = run_with_workers("1");
+    let par = run_with_workers("4");
+    // Same tree shape: identical distinct span-path sets.
+    let path_set = |snap: &specdr::obs::Snapshot| -> std::collections::BTreeSet<String> {
+        snap.traces.iter().map(|t| t.path.clone()).collect()
+    };
+    assert_eq!(path_set(&seq), path_set(&par), "span trees diverge");
+    for snap in [&seq, &par] {
+        let root = snap
+            .traces
+            .iter()
+            .find(|t| t.name == "reduce.reduce")
+            .expect("reduce root span");
+        assert_eq!(root.parent, 0);
+        let chunks: Vec<_> = snap
+            .traces
+            .iter()
+            .filter(|t| t.name == "reduce.kernel.chunk")
+            .collect();
+        assert!(!chunks.is_empty());
+        for c in &chunks {
+            // The handoff context parents every chunk span under the
+            // reduce root — even when it closed on a worker thread.
+            assert_eq!(c.parent, root.id, "chunk floats as a root: {c:?}");
+            assert_eq!(c.path, "reduce.reduce/reduce.kernel.chunk");
+        }
+        // Chunk slices partition the input exactly.
+        let rows: u64 = chunks.iter().map(|c| attr_u64(c, "rows_in")).sum();
+        assert_eq!(rows, mo.len() as u64);
+    }
+    // The parallel pass really crossed threads: one chunk per worker,
+    // closed on more than one distinct thread.
+    let par_chunks: Vec<_> = par
+        .traces
+        .iter()
+        .filter(|t| t.name == "reduce.kernel.chunk")
+        .collect();
+    assert_eq!(par_chunks.len(), 4);
+    let tids: std::collections::BTreeSet<u64> = par_chunks.iter().map(|c| c.tid).collect();
+    assert!(tids.len() > 1, "chunk spans all closed on one thread");
+    assert_eq!(
+        seq.traces
+            .iter()
+            .filter(|t| t.name == "reduce.kernel.chunk")
+            .count(),
+        1
+    );
+    obs::set_enabled(false);
 }

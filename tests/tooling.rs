@@ -405,6 +405,161 @@ fn cli_stats_prints_snapshot_table() {
 }
 
 #[test]
+fn stats_json_golden_schema_is_stable() {
+    // Golden test for the JSONL metric schema (documented on
+    // `Snapshot::to_jsonl` and in DESIGN.md § Introspection): fixed kind
+    // order, names sorted within a kind, fixed key order per line, and
+    // the exact metric-name sets emitted by the deterministic
+    // 6-month × 10-click pipeline — so the schema cannot silently
+    // drift. Counts and durations vary with the machine; the names ARE
+    // the schema.
+    let out = specdr_bin()
+        .args([
+            "stats", "--months", "6", "--clicks", "10", "--format", "json",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().filter(|l| l.starts_with('{')).collect();
+    assert!(!lines.is_empty(), "no metric lines in:\n{stdout}");
+
+    // 1. Kinds appear in the fixed order.
+    let rank = |l: &str| {
+        ["counter", "gauge", "histogram", "span", "event", "trace"]
+            .iter()
+            .position(|k| l.starts_with(&format!("{{\"kind\":\"{k}\"")))
+            .unwrap_or_else(|| panic!("line with unknown kind: {l}"))
+    };
+    let ranks: Vec<usize> = lines.iter().map(|l| rank(l)).collect();
+    let mut sorted_ranks = ranks.clone();
+    sorted_ranks.sort_unstable();
+    assert_eq!(ranks, sorted_ranks, "kind order drifted:\n{stdout}");
+    // All six kinds are exercised by this pipeline.
+    for k in 0..6 {
+        assert!(ranks.contains(&k), "kind #{k} missing:\n{stdout}");
+    }
+
+    // 2. Keys within a line appear in the documented order.
+    for l in &lines {
+        let keys: &[&str] = match rank(l) {
+            0 | 1 => &["\"kind\":", "\"name\":", "\"value\":"],
+            2 | 3 => &[
+                "\"kind\":",
+                "\"name\":",
+                "\"count\":",
+                "\"sum\":",
+                "\"min\":",
+                "\"max\":",
+                "\"p50\":",
+                "\"p90\":",
+                "\"p99\":",
+            ],
+            4 => &[
+                "\"kind\":",
+                "\"seq\":",
+                "\"at_ns\":",
+                "\"name\":",
+                "\"detail\":",
+            ],
+            _ => &[
+                "\"kind\":",
+                "\"id\":",
+                "\"parent\":",
+                "\"name\":",
+                "\"tid\":",
+                "\"start_ns\":",
+                "\"dur_ns\":",
+                "\"attrs\":",
+            ],
+        };
+        let mut at = 0usize;
+        for k in keys {
+            match l[at..].find(k) {
+                Some(i) => at += i + k.len(),
+                None => panic!("key {k} missing or out of order in {l}"),
+            }
+        }
+    }
+
+    // 3. Named metrics are sorted by name within each kind.
+    let name_of = |l: &str| {
+        l.split("\"name\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no name in {l}"))
+    };
+    let names_of_kind = |kind: &str| -> Vec<String> {
+        lines
+            .iter()
+            .filter(|l| l.starts_with(&format!("{{\"kind\":\"{kind}\"")))
+            .map(|l| name_of(l))
+            .collect()
+    };
+    for kind in ["counter", "gauge", "histogram", "span"] {
+        let names = names_of_kind(kind);
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "{kind} names not sorted:\n{stdout}");
+    }
+
+    // 4. The golden name sets, including the PR 6 trace counters.
+    assert_eq!(
+        names_of_kind("counter"),
+        [
+            "obs.trace.spans_closed",
+            "query.aggregate.availability.cells_visited",
+            "query.aggregate.cells_produced",
+            "query.aggregate.kernel.distinct_cells",
+            "query.aggregate.kernel.distinct_dim_values",
+            "query.select.cells_kept",
+            "query.select.cells_visited",
+            "reduce.action.a0.facts_raised",
+            "reduce.facts_collapsed",
+            "reduce.facts_kept",
+            "reduce.facts_scanned",
+            "reduce.kernel.chunks",
+            "reduce.kernel.distinct_cells",
+            "storage.encoded_bytes",
+            "storage.rows_sealed",
+            "subcube.bulk_load.facts",
+            "subcube.publish.count",
+            "subcube.query.fanout",
+            "subcube.sync.distinct_cells",
+            "subcube.sync.kept",
+            "subcube.sync.merged",
+            "subcube.sync.migrated",
+            "subcube.sync.migrated_from.K0",
+        ],
+        "counter name set drifted:\n{stdout}"
+    );
+    assert_eq!(names_of_kind("gauge"), ["subcube.epoch"], "{stdout}");
+    assert_eq!(
+        names_of_kind("histogram"),
+        ["reduce.group_members", "storage.segment_bytes"],
+        "{stdout}"
+    );
+    assert_eq!(
+        names_of_kind("span"),
+        [
+            "query.aggregate",
+            "query.select",
+            "reduce.kernel.chunk",
+            "reduce.reduce",
+            "storage.encode",
+            "subcube.bulk_load",
+            "subcube.query",
+            "subcube.query.subquery",
+            "subcube.sync",
+            "subcube.sync.rebuild",
+            "subcube.sync.scan",
+        ],
+        "span name set drifted:\n{stdout}"
+    );
+}
+
+#[test]
 fn cli_checkpoint_then_recover_roundtrips() {
     let dir = std::env::temp_dir().join(format!("specdr-cli-dur-{}", std::process::id()));
     std::fs::remove_dir_all(&dir).ok();
