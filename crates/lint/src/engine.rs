@@ -16,9 +16,10 @@ use std::sync::Arc;
 use sdr_mdm::{DayNum, DimValue, Dimension, Schema, TimeValue};
 use sdr_prover::{implies_union, implies_union_residue, GroundSet, Region};
 use sdr_reduce::checks_util::{concretize_all, time_horizon};
+use sdr_reduce::ActionAnalysis;
 use sdr_spec::{
-    classify_conj, ground_conj, parse_action_raw, split_actions, step_days, to_dnf, ActionSpec,
-    AtomKind, CmpOp, Conj, GrowthClass, SpecError, SrcSpan,
+    ground_conj, parse_action_raw, split_actions, ActionSpec, AtomKind, CmpOp, Conj, SpecError,
+    SrcSpan,
 };
 
 use crate::diag::{Code, Diagnostic, Level, Severity, ALL_RULES};
@@ -64,100 +65,84 @@ impl LintConfig {
     }
 }
 
-/// The cached analysis of one successfully parsed action. All spans are
-/// relative to the action's own source segment.
+/// The cached analysis of one successfully parsed action: the shared
+/// span-free [`ActionAnalysis`] core (also used by the reduction
+/// scheduler) plus the source spans lint diagnostics anchor to. All
+/// spans are relative to the action's own source segment.
 #[derive(Debug, Clone)]
 pub struct AnalyzedAction {
     /// The parsed action (spans segment-relative).
     pub spec: ActionSpec,
-    /// The predicate's DNF.
-    pub dnf: Vec<Conj>,
+    /// The span-free analysis core (DNF, step days, groundings).
+    core: ActionAnalysis,
     /// Source span of each disjunct (join of its atoms' spans).
     conj_spans: Vec<SrcSpan>,
-    /// Per disjunct: the days at which its grounding changes (includes
-    /// both horizon endpoints).
-    steps: Vec<Vec<DayNum>>,
-    /// Per disjunct, per step day: the concretized grounding (empty
-    /// regions dropped).
-    grounded: Vec<Vec<Vec<Region>>>,
-    /// Per disjunct: syntactically shrinking (categories F–H)?
-    shrinking: Vec<bool>,
 }
 
 impl AnalyzedAction {
     fn build(schema: &Schema, spec: ActionSpec) -> Result<AnalyzedAction, SpecError> {
-        let (from, to) = time_horizon(schema);
-        let dnf = to_dnf(&spec.pred);
-        let mut conj_spans = Vec::with_capacity(dnf.len());
-        let mut steps = Vec::with_capacity(dnf.len());
-        let mut grounded = Vec::with_capacity(dnf.len());
-        let mut shrinking = Vec::with_capacity(dnf.len());
-        for conj in &dnf {
-            let span = conj.iter().fold(SrcSpan::DUMMY, |acc, a| acc.join(a.span));
-            conj_spans.push(if span.is_dummy() {
-                spec.pred_span
-            } else {
-                span
-            });
-            let days = step_days(schema, conj, from, to)?;
-            let mut regions = Vec::with_capacity(days.len());
-            for &t in &days {
-                regions.push(concretize_all(schema, &ground_conj(schema, conj, t)?));
-            }
-            steps.push(days);
-            grounded.push(regions);
-            shrinking.push(classify_conj(schema, conj) == GrowthClass::Shrinking);
-        }
+        let core = ActionAnalysis::build(schema, &spec.pred)?;
+        let conj_spans = core
+            .dnf()
+            .iter()
+            .map(|conj| {
+                let span = conj.iter().fold(SrcSpan::DUMMY, |acc, a| acc.join(a.span));
+                if span.is_dummy() {
+                    spec.pred_span
+                } else {
+                    span
+                }
+            })
+            .collect();
         Ok(AnalyzedAction {
             spec,
-            dnf,
+            core,
             conj_spans,
-            steps,
-            grounded,
-            shrinking,
         })
+    }
+
+    /// The predicate's DNF.
+    fn dnf(&self) -> &[Conj] {
+        self.core.dnf()
+    }
+
+    /// The step days of disjunct `d`.
+    fn steps(&self, d: usize) -> &[DayNum] {
+        self.core.steps(d)
+    }
+
+    /// True when disjunct `d` is syntactically shrinking.
+    fn shrinking(&self, d: usize) -> bool {
+        self.core.shrinking(d)
     }
 
     /// The grounding of disjunct `d` at day `t`: the cached value at the
     /// largest step day `≤ t` (the grounding is piecewise constant
     /// between step days).
     fn region_at(&self, d: usize, t: DayNum) -> &[Region] {
-        let steps = &self.steps[d];
-        let idx = match steps.binary_search(&t) {
-            Ok(i) => i,
-            Err(0) => 0,
-            Err(i) => i - 1,
-        };
-        &self.grounded[d][idx]
+        self.core.region_at(d, t)
     }
 
     /// The grounding of the whole predicate at day `t`.
     fn regions_at(&self, t: DayNum) -> Vec<&Region> {
-        (0..self.dnf.len())
-            .flat_map(|d| self.region_at(d, t).iter())
-            .collect()
+        self.core.regions_at(t)
     }
 
     /// True when no disjunct selects any cell at any step day (the L001
     /// verdict; exact because groundings are piecewise constant).
     fn is_unsatisfiable(&self) -> bool {
-        self.grounded
-            .iter()
-            .all(|per_step| per_step.iter().all(Vec::is_empty))
+        self.core.is_unsatisfiable()
     }
 
     /// Sorted union of every disjunct's step days.
     fn all_steps(&self) -> Vec<DayNum> {
-        let mut all: Vec<DayNum> = self.steps.iter().flatten().copied().collect();
-        all.sort_unstable();
-        all.dedup();
-        all
+        self.core.all_steps()
     }
 
     /// True when any disjunct is time-dynamic (has step days beyond the
     /// horizon endpoints).
     fn is_dynamic(&self) -> bool {
-        sdr_spec::is_dynamic(&self.spec.pred)
+        self.core.is_dynamic()
     }
 }
 
@@ -429,12 +414,12 @@ impl Linter {
             let days = a.all_steps();
             // Disjunct redundancy: maintain the active set so mutually
             // redundant disjuncts are not all removed.
-            let mut active: Vec<bool> = vec![true; a.dnf.len()];
-            if a.dnf.len() > 1 {
+            let mut active: Vec<bool> = vec![true; a.dnf().len()];
+            if a.dnf().len() > 1 {
                 let disjoint_spans = pairwise_disjoint(&a.conj_spans);
-                for i in 0..a.dnf.len() {
+                for i in 0..a.dnf().len() {
                     let covered = days.iter().all(|&t| {
-                        let cover: Vec<Region> = (0..a.dnf.len())
+                        let cover: Vec<Region> = (0..a.dnf().len())
                             .filter(|j| *j != i && active[*j])
                             .flat_map(|j| a.region_at(j, t).iter().cloned())
                             .collect();
@@ -459,7 +444,7 @@ impl Linter {
                 }
             }
             // Atom redundancy within each remaining disjunct.
-            for (ci, conj) in a.dnf.iter().enumerate() {
+            for (ci, conj) in a.dnf().iter().enumerate() {
                 if !active[ci] || conj.len() < 2 {
                     continue;
                 }
@@ -587,11 +572,11 @@ impl Linter {
                 .iter()
                 .filter(|(j, _, b)| *j == i || a.spec.leq_v(&b.spec, &self.schema))
                 .collect();
-            'conjs: for (ci, conj) in a.dnf.iter().enumerate() {
-                if !a.shrinking[ci] {
+            'conjs: for (ci, conj) in a.dnf().iter().enumerate() {
+                if !a.shrinking(ci) {
                     continue; // Theorem 1: growing disjuncts are safe
                 }
-                let steps = &a.steps[ci];
+                let steps = a.steps(ci);
                 for w in steps.windows(2) {
                     let t = w[1];
                     let prev = a.region_at(ci, w[0]);
@@ -674,9 +659,9 @@ impl Linter {
             }
             // Non-empty somewhere before now…
             let mut last_alive: Option<DayNum> = None;
-            for (ci, steps) in a.steps.iter().enumerate() {
-                for (si, &s) in steps.iter().enumerate() {
-                    if s < now && !a.grounded[ci][si].is_empty() {
+            for ci in 0..a.dnf().len() {
+                for &s in a.steps(ci) {
+                    if s < now && !a.region_at(ci, s).is_empty() {
                         last_alive = Some(last_alive.map_or(s, |x: DayNum| x.max(s)));
                     }
                 }
@@ -690,12 +675,12 @@ impl Linter {
                 .collect();
             let dead = future_days
                 .iter()
-                .all(|&t| (0..a.dnf.len()).all(|d| a.region_at(d, t).is_empty()));
+                .all(|&t| (0..a.dnf().len()).all(|d| a.region_at(d, t).is_empty()));
             if !dead {
                 continue;
             }
             let span = a
-                .dnf
+                .dnf()
                 .iter()
                 .find_map(|c| shrinking_atom_span(&self.schema, c))
                 .unwrap_or(a.spec.pred_span)

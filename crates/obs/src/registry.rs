@@ -131,8 +131,9 @@ impl Registry {
 
     /// Starts a span timer under an explicitly captured [`SpanContext`]
     /// instead of this thread's stack — the cross-thread handoff used by
-    /// fan-out workers (capture with [`current_ctx`](Registry::
-    /// current_ctx) on the spawning thread, open worker spans with this).
+    /// fan-out workers (capture with
+    /// [`current_ctx`](Registry::current_ctx) on the spawning thread,
+    /// open worker spans with this).
     pub fn span_in(&self, name: &str, ctx: &SpanContext) -> SpanTimer<'_> {
         if !self.enabled() {
             return SpanTimer::disabled();

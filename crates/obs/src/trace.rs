@@ -7,8 +7,9 @@
 //! stack**, and on drop deposits a completed [`TraceSpan`] — name, full
 //! path, timing, thread id, and attributes — into a bounded [`TraceRing`]
 //! kept by the registry. Cross-thread causality is explicit: a spawner
-//! captures a [`SpanContext`] with [`current_ctx`](crate::Registry::
-//! current_ctx) and workers open their spans under it with
+//! captures a [`SpanContext`] with
+//! [`current_ctx`](crate::Registry::current_ctx) and workers open their
+//! spans under it with
 //! [`span_in`](crate::Registry::span_in), so fan-out work (the
 //! chunk-parallel reduce scan, the per-subcube query workers) nests under
 //! the operation that spawned it.

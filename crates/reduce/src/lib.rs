@@ -11,7 +11,9 @@
 //!   syntactic fast path, and the three-step operational check of
 //!   Section 5.3 (through the `sdr-prover` decision procedure);
 //! * [`spec_set`] — [`DataReductionSpec`], the checked specification
-//!   container with the `insert`/`delete` operators of Definitions 3–4.
+//!   container with the `insert`/`delete` operators of Definitions 3–4;
+//! * [`schedule`] — the transition-day schedule (groundings are
+//!   staircase functions of `NOW`) that drives incremental aging.
 
 #![warn(missing_docs)]
 
@@ -20,6 +22,7 @@ pub mod error;
 pub mod growing;
 pub mod noncrossing;
 pub mod purge;
+pub mod schedule;
 pub mod semantics;
 pub mod spec_set;
 
@@ -27,6 +30,7 @@ pub use error::ReduceError;
 pub use growing::check_growing;
 pub use noncrossing::{check_noncrossing, noncrossing_pair};
 pub use purge::{reduce_and_purge, PurgeSpec};
+pub use schedule::{ActionAnalysis, ReductionSchedule};
 pub use semantics::{
     agg_level, cell, cell_for, reduce, reduce_naive, spec_gran, CellMemo, CellResult,
 };

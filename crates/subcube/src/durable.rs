@@ -39,7 +39,7 @@ use sdr_storage::fs::{Fs, RealFs};
 use sdr_storage::{FactTable, Wal};
 
 use crate::error::SubcubeError;
-use crate::manager::{SubcubeManager, SyncStats};
+use crate::manager::{AgeStats, SubcubeManager, SyncStats};
 use crate::persist::{
     load_checkpoint, read_current, read_manifest_at, spec_from_manifest, sweep_garbage, wal_name,
     write_checkpoint, write_current,
@@ -60,6 +60,11 @@ pub enum WalOp {
     SpecInsert(Vec<String>),
     /// Actions deleted from the specification at a day.
     SpecDelete(Vec<u32>, DayNum),
+    /// An incremental aging pass ([`SubcubeManager::age`]) to a day.
+    /// Aging is deterministic (the tick sequence is derived from the
+    /// spec's transition schedule), so logging the target day is enough
+    /// to replay every tick it applied.
+    Age(DayNum),
 }
 
 impl WalOp {
@@ -67,6 +72,7 @@ impl WalOp {
     const TAG_SYNC: u8 = 2;
     const TAG_SPEC_INSERT: u8 = 3;
     const TAG_SPEC_DELETE: u8 = 4;
+    const TAG_AGE: u8 = 5;
 
     /// Serializes the operation into a WAL record payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -79,6 +85,10 @@ impl WalOp {
             WalOp::Sync(now) => {
                 b.push(Self::TAG_SYNC);
                 b.extend_from_slice(&i64::from(*now).to_le_bytes());
+            }
+            WalOp::Age(until) => {
+                b.push(Self::TAG_AGE);
+                b.extend_from_slice(&i64::from(*until).to_le_bytes());
             }
             WalOp::SpecInsert(srcs) => {
                 b.push(Self::TAG_SPEC_INSERT);
@@ -117,6 +127,10 @@ impl WalOp {
             Self::TAG_SYNC => {
                 let raw = i64::from_le_bytes(take(8)?.try_into().unwrap());
                 WalOp::Sync(DayNum::try_from(raw).map_err(|_| bad("day out of range"))?)
+            }
+            Self::TAG_AGE => {
+                let raw = i64::from_le_bytes(take(8)?.try_into().unwrap());
+                WalOp::Age(DayNum::try_from(raw).map_err(|_| bad("day out of range"))?)
             }
             Self::TAG_SPEC_INSERT => {
                 let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
@@ -164,6 +178,9 @@ impl WalOp {
             WalOp::Sync(now) => {
                 mgr.sync(*now)?;
             }
+            WalOp::Age(until) => {
+                mgr.age(*until)?;
+            }
             WalOp::SpecInsert(srcs) => {
                 let schema = Arc::clone(mgr.schema());
                 let actions: Result<Vec<ActionSpec>, _> =
@@ -187,6 +204,8 @@ pub enum WarehouseOp {
     BulkLoad(Mo),
     /// Synchronize the cubes to a day.
     Sync(DayNum),
+    /// Incrementally age the cubes to a day.
+    Age(DayNum),
     /// Insert actions into the specification.
     SpecInsert(Vec<ActionSpec>),
     /// Delete actions from the specification at a day.
@@ -454,6 +473,10 @@ impl DurableWarehouse {
                 self.mgr.sync(now)?;
                 Ok(WalOp::Sync(now))
             }
+            WarehouseOp::Age(until) => {
+                self.mgr.age(until)?;
+                Ok(WalOp::Age(until))
+            }
             WarehouseOp::SpecInsert(new) => {
                 let schema = Arc::clone(self.mgr.schema());
                 let srcs: Vec<String> = new.iter().map(|a| a.render(&schema)).collect();
@@ -537,6 +560,18 @@ impl DurableWarehouse {
         self.guard()?;
         let stats = self.mgr.sync(now)?;
         self.log(&WalOp::Sync(now))?;
+        Ok(stats)
+    }
+
+    /// Durable [`SubcubeManager::age`]: one WAL record per aging call.
+    /// The tick loop inside `age` is deterministic given the spec, so a
+    /// crash mid-call recovers to the state before the call (the record
+    /// is appended only after the whole pass succeeds in memory), and a
+    /// durable record replays the full pass.
+    pub fn age(&mut self, until: DayNum) -> Result<AgeStats, SubcubeError> {
+        self.guard()?;
+        let stats = self.mgr.age(until)?;
+        self.log(&WalOp::Age(until))?;
         Ok(stats)
     }
 
@@ -645,6 +680,7 @@ mod tests {
             WalOp::Sync(days_from_civil(2000, 6, 5)),
             WalOp::SpecInsert(vec![ACTION_A1.into(), ACTION_A2.into()]),
             WalOp::SpecDelete(vec![0, 3], days_from_civil(2001, 1, 1)),
+            WalOp::Age(days_from_civil(2002, 3, 1)),
         ];
         for op in ops {
             assert_eq!(WalOp::decode(&op.encode()).unwrap(), op);
@@ -652,6 +688,7 @@ mod tests {
         assert!(WalOp::decode(&[]).is_err());
         assert!(WalOp::decode(&[99]).is_err());
         assert!(WalOp::decode(&[WalOp::TAG_SYNC, 1, 2]).is_err());
+        assert!(WalOp::decode(&[WalOp::TAG_AGE, 7]).is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Subcube-layer errors.
 
+use sdr_mdm::{DayNum, TimeValue};
 use sdr_query::QueryError;
 use sdr_reduce::ReduceError;
 
@@ -12,6 +13,16 @@ pub enum SubcubeError {
     Query(QueryError),
     /// An error from the storage layer.
     Storage(String),
+    /// `age(until)` was asked to move time backwards: the warehouse is
+    /// already synchronized past `until`. Aging is monotone — reduction
+    /// cannot be undone — so a stale `until` is a caller error, not a
+    /// silent no-op.
+    AgeBeforeWatermark {
+        /// The requested aging target day.
+        until: DayNum,
+        /// The warehouse's last synchronized day.
+        last_sync: DayNum,
+    },
 }
 
 impl std::fmt::Display for SubcubeError {
@@ -20,6 +31,13 @@ impl std::fmt::Display for SubcubeError {
             SubcubeError::Reduce(e) => write!(f, "{e}"),
             SubcubeError::Query(e) => write!(f, "{e}"),
             SubcubeError::Storage(m) => write!(f, "storage: {m}"),
+            SubcubeError::AgeBeforeWatermark { until, last_sync } => write!(
+                f,
+                "cannot age to {}: the warehouse is already synchronized to {} \
+                 (aging is monotone; reduction cannot be undone)",
+                TimeValue::Day(*until).render(),
+                TimeValue::Day(*last_sync).render()
+            ),
         }
     }
 }

@@ -19,7 +19,7 @@ pub mod stats;
 
 pub use durable::{DurableWarehouse, RecoveryReport, WalOp, WarehouseOp};
 pub use error::SubcubeError;
-pub use manager::{CubeId, Subcube, SubcubeManager, SyncStats, WarehouseView};
+pub use manager::{AgeStats, CubeId, Subcube, SubcubeManager, SyncStats, WarehouseView};
 pub use persist::Manifest;
 pub use query::CubeQuery;
 pub use stats::{DimColStats, SubcubeStats};
@@ -318,5 +318,129 @@ mod scheduler_tests {
         let before = m.len();
         let stats = m.sync(days_from_civil(2000, 6, 6)).unwrap();
         assert_eq!(stats.kept + stats.migrated, before);
+    }
+}
+
+#[cfg(test)]
+mod aging_tests {
+    use super::*;
+    use sdr_mdm::calendar::days_from_civil;
+    use sdr_mdm::Mo;
+    use sdr_reduce::DataReductionSpec;
+    use sdr_spec::parse_action;
+    use sdr_workload::{paper_mo, ACTION_A1, ACTION_A2};
+    use std::sync::Arc;
+
+    fn paper_managers() -> (SubcubeManager, SubcubeManager, Mo) {
+        let (mo, _) = paper_mo();
+        let build = || {
+            let schema = Arc::clone(mo.schema());
+            let a1 = parse_action(&schema, ACTION_A1).unwrap();
+            let a2 = parse_action(&schema, ACTION_A2).unwrap();
+            let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
+            let m = SubcubeManager::new(spec);
+            m.bulk_load(&mo).unwrap();
+            m
+        };
+        (build(), build(), mo)
+    }
+
+    fn digest(m: &SubcubeManager) -> Vec<String> {
+        let whole = m.to_mo().unwrap();
+        let mut r: Vec<String> = whole.facts().map(|f| whole.render_fact(f)).collect();
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn age_equals_sync_at_every_snapshot_day() {
+        // The continuous-aging guarantee on the paper's data: after the
+        // first baseline pass, every incremental `age` lands on exactly
+        // the state a from-scratch `sync` produces.
+        let (aged, _, mo) = paper_managers();
+        for t in sdr_workload::snapshot_days() {
+            aged.age(t).unwrap();
+            let fresh = {
+                let schema = Arc::clone(mo.schema());
+                let a1 = parse_action(&schema, ACTION_A1).unwrap();
+                let a2 = parse_action(&schema, ACTION_A2).unwrap();
+                let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
+                let m = SubcubeManager::new(spec);
+                m.bulk_load(&mo).unwrap();
+                m.sync(t).unwrap();
+                m
+            };
+            assert_eq!(digest(&aged), digest(&fresh), "divergence at t={t}");
+        }
+    }
+
+    #[test]
+    fn one_jump_equals_many_ticks() {
+        // Aging straight to the horizon must equal aging through every
+        // intermediate snapshot day (substep composition).
+        let (jump, steps, _) = paper_managers();
+        let days = sdr_workload::snapshot_days();
+        let last = *days.last().unwrap();
+        jump.age(last).unwrap();
+        for t in days {
+            steps.age(t).unwrap();
+        }
+        assert_eq!(digest(&jump), digest(&steps));
+    }
+
+    #[test]
+    fn age_skips_untouched_cubes_and_counts_ticks() {
+        let (m, _, _) = paper_managers();
+        // Baseline pass (dirty manager): a single full sync tick.
+        let s0 = m.age(days_from_civil(2000, 4, 5)).unwrap();
+        assert_eq!(s0.ticks, 1);
+        // A long incremental run crosses many transition days; the cubes
+        // untouched by each tick's delta must be carried forward as-is.
+        let s1 = m.age(days_from_civil(2000, 11, 5)).unwrap();
+        assert!(s1.ticks > 1, "expected multiple transition ticks: {s1:?}");
+        assert!(s1.cubes_skipped > 0, "expected pruned cubes: {s1:?}");
+        assert!(s1.cells_delta > 0, "expected migrated cells: {s1:?}");
+        assert_eq!(m.len(), 4, "final state matches the paper's Figure 7");
+    }
+
+    #[test]
+    fn age_rejects_backward_target() {
+        let (m, _, _) = paper_managers();
+        m.age(days_from_civil(2000, 11, 5)).unwrap();
+        let err = m.age(days_from_civil(2000, 6, 5)).unwrap_err();
+        match err {
+            SubcubeError::AgeBeforeWatermark { until, last_sync } => {
+                assert_eq!(until, days_from_civil(2000, 6, 5));
+                assert_eq!(last_sync, days_from_civil(2000, 11, 5));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Re-aging to the watermark itself is a no-op, not an error.
+        let s = m.age(days_from_civil(2000, 11, 5)).unwrap();
+        assert_eq!(s.cells_delta, 0);
+    }
+
+    #[test]
+    fn age_after_bulk_load_rebaselines() {
+        // New facts dirty the manager; the next age falls back to one
+        // full pass and the differential guarantee still holds.
+        let (m, _, mo) = paper_managers();
+        m.age(days_from_civil(2000, 6, 5)).unwrap();
+        let (more, _) = paper_mo();
+        m.bulk_load(&more).unwrap();
+        let now = days_from_civil(2000, 11, 5);
+        m.age(now).unwrap();
+        let fresh = {
+            let schema = Arc::clone(mo.schema());
+            let a1 = parse_action(&schema, ACTION_A1).unwrap();
+            let a2 = parse_action(&schema, ACTION_A2).unwrap();
+            let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
+            let f = SubcubeManager::new(spec);
+            f.bulk_load(&mo).unwrap();
+            f.bulk_load(&more).unwrap();
+            f.sync(now).unwrap();
+            f
+        };
+        assert_eq!(digest(&m), digest(&fresh));
     }
 }

@@ -25,12 +25,15 @@
 //! state" an explicit, testable mode instead of an accident of lock
 //! timing.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 
-use sdr_mdm::{DayNum, DimValue, Granularity, Mo, Schema, ORIGIN_USER};
-use sdr_reduce::{cell_for, DataReductionSpec, ReduceError};
+use sdr_mdm::{
+    CatId, DayNum, DimValue, Dimension, FactId, Granularity, Mo, Schema, TimeValue, ORIGIN_USER,
+};
+use sdr_reduce::{cell_for, DataReductionSpec, ReduceError, ReductionSchedule};
 use sdr_spec::{ActionId, ActionSpec};
 
 use crate::error::SubcubeError;
@@ -111,6 +114,35 @@ pub struct SyncStats {
     pub migrated: usize,
     /// Facts merged away by the final per-cube re-aggregation.
     pub merged: usize,
+}
+
+/// Statistics from one [`SubcubeManager::age`] call, accumulated over
+/// every tick it applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AgeStats {
+    /// Transition-day ticks applied (each published atomically).
+    pub ticks: usize,
+    /// Facts re-homed across all ticks (the delta the incremental path
+    /// actually touched — a from-scratch pass rescans everything).
+    pub cells_delta: usize,
+    /// Facts merged away by per-cube re-aggregation across all ticks.
+    pub merged: usize,
+    /// Cube rebuilds across all ticks (a cube rebuilt in two ticks
+    /// counts twice).
+    pub cubes_rebuilt: usize,
+    /// Cube carry-forwards across all ticks: the cube's fact `Arc` (and
+    /// version-vector entry) survived the tick untouched.
+    pub cubes_skipped: usize,
+}
+
+impl AgeStats {
+    fn absorb(&mut self, o: AgeStats) {
+        self.ticks += o.ticks;
+        self.cells_delta += o.cells_delta;
+        self.merged += o.merged;
+        self.cubes_rebuilt += o.cubes_rebuilt;
+        self.cubes_skipped += o.cubes_skipped;
+    }
 }
 
 /// One immutable warehouse version. Everything a query can observe lives
@@ -421,7 +453,19 @@ pub struct SubcubeManager {
     /// Serializes mutators so each builds its successor from the latest
     /// published version.
     writer: Mutex<()>,
+    /// The reduction schedule of the current spec, built lazily on the
+    /// first [`age`](SubcubeManager::age) and keyed by spec identity
+    /// (`Arc` pointer) so spec evolution invalidates it.
+    schedule: Mutex<Option<(usize, Arc<ReductionSchedule>)>>,
+    /// Per-cube time footprints (`min_day..=max_day` over the cube's
+    /// facts), keyed by `(cube index, cube epoch)` so a rebuilt cube
+    /// recomputes. `None` = footprint unbounded (a `⊤` time value).
+    footprints: Mutex<FootprintCache>,
 }
+
+/// Cached day footprints: `(cube index, cube epoch)` → `min..=max` day
+/// range, `None` when some fact's time value is unbounded.
+type FootprintCache = HashMap<(usize, u64), Option<(DayNum, DayNum)>>;
 
 impl SubcubeManager {
     /// Builds the cube set for a validated specification: one cube per
@@ -440,6 +484,8 @@ impl SubcubeManager {
                 dirty: false,
             })),
             writer: Mutex::new(()),
+            schedule: Mutex::new(None),
+            footprints: Mutex::new(HashMap::new()),
         }
     }
 
@@ -564,26 +610,42 @@ impl SubcubeManager {
         };
         if !frozen.needs_sync(now)? {
             // Nothing can move: publish only the advanced watermark.
-            let epoch = cur.epoch + 1;
-            let mut cubes = cur.cubes.clone();
-            for c in &mut cubes {
-                c.synced_to = Some(now);
-            }
             let kept = frozen.len();
-            self.publish(VersionInner {
-                epoch,
-                spec: Arc::clone(&cur.spec),
-                cubes,
-                parents: cur.parents.clone(),
-                last_sync: Some(now),
-                dirty: false,
-            });
+            self.publish_watermark(&cur, now);
             sdr_obs::inc("subcube.sync.skipped");
             return Ok(SyncStats {
                 kept,
                 ..SyncStats::default()
             });
         }
+        self.sync_pass(&cur, now)
+    }
+
+    /// Publishes a successor that only advances the sync watermark to
+    /// `now`: cube contents (and their version-vector entries) are
+    /// untouched. Caller holds the writer lock.
+    fn publish_watermark(&self, cur: &Arc<VersionInner>, now: DayNum) {
+        let epoch = cur.epoch + 1;
+        let mut cubes = cur.cubes.clone();
+        for c in &mut cubes {
+            c.synced_to = Some(now);
+        }
+        self.publish(VersionInner {
+            epoch,
+            spec: Arc::clone(&cur.spec),
+            cubes,
+            parents: cur.parents.clone(),
+            last_sync: Some(now),
+            dirty: false,
+        });
+    }
+
+    /// The full scan-and-rebuild synchronization pass (no `needs_sync`
+    /// pre-check): every fact of every cube is re-homed at `now` and
+    /// every cube is rebuilt. Caller holds the writer lock; `cur` must be
+    /// the latest published version.
+    fn sync_pass(&self, cur: &Arc<VersionInner>, now: DayNum) -> Result<SyncStats, SubcubeError> {
+        let frozen = WarehouseView { v: Arc::clone(cur) };
         let obs_on = sdr_obs::enabled();
         let scan_span = sdr_obs::span("subcube.sync.scan");
         let n = cur.cubes.len();
@@ -688,6 +750,328 @@ impl SubcubeManager {
             );
         }
         Ok(stats)
+    }
+
+    /// Ages the warehouse incrementally to `until`: instead of one full
+    /// re-reduction, the precomputed [`ReductionSchedule`] yields the
+    /// transition days in `(last_sync, until]` — the only days any cell
+    /// can cross an action boundary — and each is applied as one **tick**
+    /// that re-evaluates only facts touched by the changed groundings.
+    /// Untouched cubes are carried forward by `Arc` (their version-vector
+    /// entry does not move), and each tick lands as one atomic
+    /// publication journaling-compatible with [`sync`](Self::sync):
+    /// after `age(until)` the warehouse state equals a from-scratch
+    /// `sync(until)` (the differential suite asserts this at every tick).
+    ///
+    /// A dirty warehouse (un-homed bulk-loaded rows) or one never synced
+    /// falls back to one full pass at `until` to establish the
+    /// incremental baseline. `until` earlier than the current watermark
+    /// is rejected with [`SubcubeError::AgeBeforeWatermark`] — aging is
+    /// monotone.
+    pub fn age(&self, until: DayNum) -> Result<AgeStats, SubcubeError> {
+        let _span = sdr_obs::span("subcube.age");
+        let _w = self.writer.lock();
+        let mut cur = Arc::clone(&self.current.read());
+        if let Some(last) = cur.last_sync {
+            if until < last {
+                return Err(SubcubeError::AgeBeforeWatermark {
+                    until,
+                    last_sync: last,
+                });
+            }
+        }
+        let mut stats = AgeStats::default();
+        if cur.dirty || cur.last_sync.is_none() {
+            // New rows (or a fresh warehouse) have no incremental
+            // baseline: home everything with one full pass.
+            let s = self.sync_pass(&cur, until)?;
+            cur = Arc::clone(&self.current.read());
+            stats.ticks = 1;
+            stats.cells_delta = s.migrated;
+            stats.merged = s.merged;
+            stats.cubes_rebuilt = cur.cubes.len();
+        }
+        let last = cur.last_sync.expect("baseline pass published a watermark");
+        if last < until {
+            let sched = self.schedule_for(&cur.spec)?;
+            let mut prev = last;
+            for t in sched.transitions_between(last, until) {
+                stats.absorb(self.age_tick(&cur, &sched, prev, t)?);
+                prev = t;
+                cur = Arc::clone(&self.current.read());
+            }
+            if cur.last_sync != Some(until) {
+                // No transition lands exactly on `until`: advance the
+                // watermark (contents at `until` equal those at the last
+                // transition — the schedule proves nothing moves between).
+                self.publish_watermark(&cur, until);
+            }
+        }
+        self.prune_footprints();
+        if sdr_obs::enabled() {
+            sdr_obs::add("age.ticks", stats.ticks as u64);
+            sdr_obs::add("age.cells_delta", stats.cells_delta as u64);
+            sdr_obs::add("age.cubes_skipped", stats.cubes_skipped as u64);
+            sdr_obs::attr("ticks", stats.ticks);
+            sdr_obs::attr("rows_out", self.len());
+            sdr_obs::event(
+                "subcube.age",
+                format!(
+                    "until={until} ticks={} cells_delta={} cubes_skipped={}",
+                    stats.ticks, stats.cells_delta, stats.cubes_skipped
+                ),
+            );
+        }
+        Ok(stats)
+    }
+
+    /// Applies one schedule tick `t_prev → t` (consecutive transition
+    /// days, nothing moves in between): evaluates the tick's **changed
+    /// disjuncts** on candidate facts, re-homes exactly the facts whose
+    /// cell moved, rebuilds only the affected cubes, and publishes once.
+    /// Cubes whose time footprint misses every Δ window are skipped
+    /// without scanning a row.
+    fn age_tick(
+        &self,
+        cur: &Arc<VersionInner>,
+        sched: &ReductionSchedule,
+        t_prev: DayNum,
+        t: DayNum,
+    ) -> Result<AgeStats, SubcubeError> {
+        let _span = sdr_obs::span("subcube.age.tick");
+        let obs_on = sdr_obs::enabled();
+        let n = cur.cubes.len();
+        let schema = Arc::clone(&self.schema);
+        let mut stats = AgeStats {
+            ticks: 1,
+            ..AgeStats::default()
+        };
+        let Some(delta) = sched.delta_pred(t_prev, t) else {
+            // A conservative schedule may list a day where no grounding
+            // actually changed: watermark bump only.
+            stats.cubes_skipped = n;
+            self.publish_watermark(cur, t);
+            return Ok(stats);
+        };
+        let windows = sched.delta_time_windows(&schema, t_prev, t);
+        // Scan phase: find the facts whose home cube or target cell
+        // changes across the tick. A fact on which every changed
+        // disjunct evaluates false at both endpoints evaluates the whole
+        // spec identically at both days and provably stays put.
+        struct Move {
+            src: usize,
+            idx: u32,
+            home: usize,
+            target: Vec<DimValue>,
+            origin: u32,
+        }
+        let mut cell_memo = sdr_reduce::CellMemo::new(&cur.spec, t)?;
+        let mut moves: Vec<Move> = Vec::new();
+        let mut moved: Vec<Vec<bool>> = cur
+            .cubes
+            .iter()
+            .map(|c| vec![false; c.data.len()])
+            .collect();
+        let mut rebuild = vec![false; n];
+        let mut scanned = 0usize;
+        for (ci, cube) in cur.cubes.iter().enumerate() {
+            if cube.data.is_empty() {
+                continue;
+            }
+            if let Some(ws) = &windows {
+                if let Some((lo, hi)) = self.footprint(ci, cube) {
+                    if !ws.iter().any(|&(wlo, whi)| wlo <= hi && lo <= whi) {
+                        continue; // disjoint from every Δ window
+                    }
+                }
+            }
+            let mo = &cube.data;
+            for f in mo.facts() {
+                scanned += 1;
+                let coords = mo.coords(f);
+                let touched = sdr_spec::eval_pred(&schema, &delta, &coords, t_prev)
+                    .map_err(ReduceError::Spec)?
+                    || sdr_spec::eval_pred(&schema, &delta, &coords, t)
+                        .map_err(ReduceError::Spec)?;
+                if !touched {
+                    continue;
+                }
+                let cell = cell_memo.cell(&coords)?;
+                let grain = Granularity(cell.coords.iter().map(|v| v.cat).collect());
+                let home = cur.cubes.iter().position(|k| k.grain == grain).unwrap_or(0);
+                if home == ci && cell.coords == coords {
+                    continue; // already at its fixed point
+                }
+                let origin = match cell.responsible {
+                    Some(id) => id.0,
+                    None => mo.store().origin[f.index()],
+                };
+                moved[ci][f.index()] = true;
+                rebuild[ci] = true;
+                rebuild[home] = true;
+                moves.push(Move {
+                    src: ci,
+                    idx: f.index() as u32,
+                    home,
+                    target: cell.coords,
+                    origin,
+                });
+            }
+        }
+        stats.cells_delta = moves.len();
+        if moves.is_empty() {
+            stats.cubes_skipped = n;
+            self.publish_watermark(cur, t);
+            if obs_on {
+                sdr_obs::attr("day", t);
+                sdr_obs::attr("rows_in", scanned);
+            }
+            return Ok(stats);
+        }
+        // Rebuild phase: only cubes that lost or gained facts. Group
+        // members fold in global `(cube, row)` order — the same order the
+        // full sync pass encounters them — so merged measures and
+        // provenance come out identical to a from-scratch reduction.
+        let epoch = cur.epoch + 1;
+        let mut cubes = cur.cubes.clone();
+        let before: usize = cur.cubes.iter().map(|c| c.data.len()).sum();
+        let mut after = 0usize;
+        for ci in 0..n {
+            if !rebuild[ci] {
+                cubes[ci].synced_to = Some(t);
+                after += cubes[ci].data.len();
+                stats.cubes_skipped += 1;
+                continue;
+            }
+            stats.cubes_rebuilt += 1;
+            // Incoming groups: target cell → contributing (src, row, origin).
+            let mut incoming: std::collections::BTreeMap<Vec<DimValue>, Vec<(usize, u32, u32)>> =
+                std::collections::BTreeMap::new();
+            for m in moves.iter().filter(|m| m.home == ci) {
+                incoming
+                    .entry(m.target.clone())
+                    .or_default()
+                    .push((m.src, m.idx, m.origin));
+            }
+            let mo = &cur.cubes[ci].data;
+            let mut keep: Vec<u32> = Vec::new();
+            for f in mo.facts() {
+                if moved[ci][f.index()] {
+                    continue; // re-homed elsewhere
+                }
+                let coords = mo.coords(f);
+                if let Some(members) = incoming.get_mut(&coords) {
+                    // An arriving group merges into this existing row:
+                    // fold it in as a member instead of keeping it.
+                    members.push((ci, f.index() as u32, mo.store().origin[f.index()]));
+                } else {
+                    keep.push(f.index() as u32);
+                }
+            }
+            let mut rebuilt = mo.gather(&keep);
+            for (target, mut members) in incoming {
+                members.sort_unstable();
+                let mut acc: Vec<i64> = schema.measures.iter().map(|m| m.agg.identity()).collect();
+                let mut origin = members[0].2;
+                for &(src, idx, o) in &members {
+                    let smo = &cur.cubes[src].data;
+                    for (j, a) in acc.iter_mut().enumerate() {
+                        *a = schema.measures[j]
+                            .agg
+                            .combine(*a, smo.measure(FactId(idx), sdr_mdm::MeasureId(j as u16)));
+                    }
+                    if o != ORIGIN_USER {
+                        origin = o;
+                    }
+                }
+                rebuilt
+                    .insert_fact_at(&target, &acc, origin)
+                    .map_err(ReduceError::Model)?;
+            }
+            after += rebuilt.len();
+            cubes[ci].set_data(Arc::new(rebuilt), epoch);
+            cubes[ci].synced_to = Some(t);
+        }
+        stats.merged = before.saturating_sub(after);
+        self.publish(VersionInner {
+            epoch,
+            spec: Arc::clone(&cur.spec),
+            cubes,
+            parents: cur.parents.clone(),
+            last_sync: Some(t),
+            dirty: false,
+        });
+        if obs_on {
+            sdr_obs::attr("day", t);
+            sdr_obs::attr("epoch", epoch);
+            sdr_obs::attr("rows_in", scanned);
+            sdr_obs::attr("rows_out", after);
+            sdr_obs::attr("cells_delta", stats.cells_delta);
+            sdr_obs::attr("cubes_rebuilt", stats.cubes_rebuilt);
+            sdr_obs::attr("cubes_skipped", stats.cubes_skipped);
+            sdr_obs::event(
+                "subcube.age.tick",
+                format!(
+                    "day={t} cells_delta={} rebuilt={} skipped={}",
+                    stats.cells_delta, stats.cubes_rebuilt, stats.cubes_skipped
+                ),
+            );
+        }
+        Ok(stats)
+    }
+
+    /// The cached [`ReductionSchedule`] of `spec`, rebuilt when the spec
+    /// instance changes (evolution publishes a new `Arc`).
+    fn schedule_for(
+        &self,
+        spec: &Arc<DataReductionSpec>,
+    ) -> Result<Arc<ReductionSchedule>, SubcubeError> {
+        let key = Arc::as_ptr(spec) as usize;
+        let mut cache = self.schedule.lock();
+        if let Some((k, s)) = cache.as_ref() {
+            if *k == key {
+                return Ok(Arc::clone(s));
+            }
+        }
+        let _span = sdr_obs::span("subcube.age.schedule");
+        let sched = Arc::new(ReductionSchedule::build(spec)?);
+        sdr_obs::attr("transition_days", sched.transition_days().len());
+        *cache = Some((key, Arc::clone(&sched)));
+        Ok(sched)
+    }
+
+    /// The inclusive day footprint of cube `ci`'s facts, cached by
+    /// `(index, epoch)`. `None` = unbounded (no time dimension, or a `⊤`
+    /// time value) — the cube can never be pruned.
+    fn footprint(&self, ci: usize, cube: &Subcube) -> Option<(DayNum, DayNum)> {
+        let key = (ci, cube.epoch());
+        if let Some(fp) = self.footprints.lock().get(&key) {
+            return *fp;
+        }
+        let ti = self.schema.dims.iter().position(Dimension::is_time);
+        let fp = ti.and_then(|ti| {
+            let store = cube.data().store();
+            let mut lo = DayNum::MAX;
+            let mut hi = DayNum::MIN;
+            for row in 0..cube.data().len() {
+                let tv =
+                    TimeValue::from_code(CatId(store.cats[ti][row]), store.codes[ti][row]).ok()?;
+                let (s, e) = (tv.start_day()?, tv.end_day()?);
+                lo = lo.min(s);
+                hi = hi.max(e);
+            }
+            Some((lo, hi))
+        });
+        self.footprints.lock().insert(key, fp);
+        fp
+    }
+
+    /// Drops footprint-cache entries for cube versions no longer current.
+    fn prune_footprints(&self) {
+        let cur = Arc::clone(&self.current.read());
+        self.footprints
+            .lock()
+            .retain(|&(ci, epoch), _| cur.cubes.get(ci).is_some_and(|c| c.epoch() == epoch));
     }
 
     /// Evolves the specification by inserting `new` actions

@@ -1,0 +1,71 @@
+//! Seeded long-horizon aging scenarios for the continuous-aging
+//! differential harness (`tests/aging.rs`).
+//!
+//! Each script pairs 3+ years of day-granularity clicks with a random
+//! *sound* retention policy (NonCrossing + Growing by construction —
+//! drawn from the generator families in [`gen`](crate::gen), never from
+//! unconstrained random predicates), so the harness can age the
+//! warehouse through every scheduled transition day and compare against
+//! a from-scratch reduction at each one. Everything is a pure function
+//! of the seed.
+
+use sdr_mdm::{calendar::days_from_civil, DayNum};
+
+use crate::concurrent::SplitMix64;
+use crate::gen::{
+    generate, prover_heavy_policy, retention_policy, tiered_policy, Clickstream, ClickstreamConfig,
+};
+
+/// A seeded aging scenario: data, policy, and the harness's day bounds.
+pub struct AgingScript {
+    /// The generated warehouse: 3+ years of clicks at day granularity.
+    pub cs: Clickstream,
+    /// The policy's action sources (parse against `cs.schema`).
+    pub actions: Vec<String>,
+    /// The last day clicks were generated for — the harness's baseline
+    /// synchronization day.
+    pub data_end: DayNum,
+    /// The day the harness ages to — far enough past the data that the
+    /// whole policy has swept over every fact.
+    pub horizon_end: DayNum,
+}
+
+/// Builds the scenario for `seed`. The click volume is kept small (a few
+/// clicks per day over ~3.5 years) so a differential check at *every*
+/// transition day stays cheap; the policy family, window widths, and
+/// data span all vary with the seed.
+pub fn aging_script(seed: u64) -> AgingScript {
+    let mut rng = SplitMix64(seed ^ 0xA61B_5C71_97E0_D111);
+    // 38..=49 months of data: always longer than 3 years.
+    let months = 38 + rng.below(12) as u32;
+    let clicks_per_day = 3 + rng.below(4) as usize;
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let cs = generate(&ClickstreamConfig {
+        seed: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+        clicks_per_day,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let actions = match rng.below(3) {
+        0 => {
+            // Two-tier retention with seeded window widths. The month
+            // window must stay quarter-aligned for Growing.
+            let raw = 3 + rng.below(6) as u32;
+            let mm = *[12u32, 18, 24, 36]
+                .iter()
+                .find(|&&m| m > raw && rng.below(2) == 0)
+                .unwrap_or(&36);
+            retention_policy(raw, mm)
+        }
+        1 => tiered_policy(1 + rng.below(4) as usize, 1 + rng.below(3) as usize),
+        _ => prover_heavy_policy(2 + rng.below(5) as usize),
+    };
+    AgingScript {
+        cs,
+        actions,
+        data_end: days_from_civil(ey, em, 28),
+        horizon_end: days_from_civil(2005, 6, 28),
+    }
+}

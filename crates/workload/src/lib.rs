@@ -10,12 +10,14 @@
 
 #![warn(missing_docs)]
 
+pub mod aging;
 pub mod concurrent;
 pub mod gen;
 pub mod paper;
 pub mod retail;
 pub mod sessions;
 
+pub use aging::{aging_script, AgingScript};
 pub use concurrent::{churn_script, ChurnOp, SplitMix64, CHURN_ACTION};
 pub use gen::{
     generate, prover_heavy_policy, retention_policy, tiered_policy, Clickstream, ClickstreamConfig,

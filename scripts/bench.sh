@@ -10,6 +10,9 @@
 #   E12 explain_overhead -> BENCH_pr6.json (explain/profile vs the plain
 #                          query and sync+query they wrap, registry
 #                          enabled vs disabled, ~100k/~1M facts)
+#   E13 aging            -> BENCH_pr7.json (steady-state incremental age
+#                          per tick vs from-scratch sync, ~100k/~1M
+#                          facts; asserts cubes were carried forward)
 #
 # Pass additional bench names as arguments to run other targets too,
 # e.g.:  scripts/bench.sh reduction query_reduced
@@ -20,6 +23,7 @@ cargo bench -p sdr-bench --bench kernels
 cargo bench -p sdr-bench --bench concurrent_read
 cargo bench -p sdr-bench --bench lint_specs
 cargo bench -p sdr-bench --bench explain_overhead
+cargo bench -p sdr-bench --bench aging
 for target in "$@"; do
   cargo bench -p sdr-bench --bench "$target"
 done

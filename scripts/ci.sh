@@ -76,6 +76,11 @@ fi
 # layer exercise many fs-failure schedules and want optimized code.
 run cargo test -q --release --test durability
 
+# Continuous-aging suite under --release: schedule goldens vs a
+# brute-force day scan, and the long-horizon differential harness (age
+# through every transition day == from-scratch reduction at each one).
+run cargo test -q --release --test aging
+
 # Concurrency stress under --release: 25+ seeded multi-reader schedules
 # against a churning writer; any torn read (observation differing from
 # the retained version of its epoch) fails the suite.
@@ -101,6 +106,28 @@ for seed in $(seq 1 25); do
     exit 1
   fi
   echo "  seed=$seed ok: $d1"
+done
+
+# Crash-during-tick determinism: the aging twin of the loop above — each
+# seed crashes a continuous-aging workload (single-tick steps and a
+# multi-tick jump) at a derived fault point; recovery must land on a
+# whole-tick watermark and the recovered digest must be bit-identical
+# across separate process runs.
+echo "==> 25 seeded crash-during-tick schedules (aging determinism gate)"
+for seed in $(seq 1 25); do
+  a1=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test durability \
+        seeded_aging_crash_schedule_is_deterministic -- --nocapture \
+        | grep '^aging-crash-schedule ' || true)
+  a2=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test durability \
+        seeded_aging_crash_schedule_is_deterministic -- --nocapture \
+        | grep '^aging-crash-schedule ' || true)
+  if [ -z "$a1" ] || [ "$a1" != "$a2" ]; then
+    echo "aging crash schedule seed=$seed is non-deterministic:" >&2
+    echo "  run 1: ${a1:-<no digest line>}" >&2
+    echo "  run 2: ${a2:-<no digest line>}" >&2
+    exit 1
+  fi
+  echo "  seed=$seed ok: $a1"
 done
 
 # Concurrency-schedule determinism: the writer side of a seeded stress

@@ -25,6 +25,23 @@
 //!     tree as a chrome `trace_event` document (load in chrome://tracing
 //!     or Perfetto).
 //!
+//! specdr explain --age [--until Y/M/D] [--months N] [--clicks K]
+//!                [--spec-file FILE] [--format json|table|trace]
+//!     Introspect one incremental aging pass: the transition schedule
+//!     build, every per-tick span with its delta row counts, and the
+//!     subcube DAG after aging.
+//!
+//! specdr age --until Y/M/D [--months N] [--clicks K] [--spec-file FILE]
+//!            [--follow [--tick N]]
+//!     Incrementally age a synthetic warehouse along the specification's
+//!     transition-day schedule: the baseline is a full synchronization to
+//!     the end of the loaded data, then each scheduled tick re-evaluates
+//!     only the facts whose cell changed between consecutive transition
+//!     days (untouched subcubes are carried forward by reference).
+//!     `--until` earlier than the baseline is rejected — aging is
+//!     monotone. `--follow` keeps aging through the next `--tick` N
+//!     scheduled transition days, printing per-tick statistics.
+//!
 //! specdr profile [--months N] [--clicks K] [--now Y/M/D]
 //!                [--format json|table|trace]
 //!     Profile one full pass — synchronize the warehouse, then answer a
@@ -96,7 +113,7 @@ use specdr::query::{AggApproach, Query, SelectMode};
 use specdr::reduce::{reduce, DataReductionSpec};
 use specdr::spec::{explain_action, parse_actions, parse_pexp};
 use specdr::storage::FactTable;
-use specdr::subcube::{CubeQuery, SubcubeManager};
+use specdr::subcube::{AgeStats, CubeQuery, SubcubeManager};
 use specdr::workload::{
     generate, generate_sessions, paper_mo, retention_policy, snapshot_days, ClickstreamConfig,
     SessionConfig, ACTION_A1, ACTION_A2,
@@ -137,11 +154,31 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
                     "--months",
                     "--clicks",
                     "--now",
+                    "--until",
                     "--format",
                 ],
-                &[("--query", ArgKind::Bool), ("--reduce", ArgKind::Bool)],
+                &[
+                    ("--query", ArgKind::Bool),
+                    ("--reduce", ArgKind::Bool),
+                    ("--age", ArgKind::Bool),
+                ],
             )?;
             cmd_explain(&opts)
+        }
+        "age" => {
+            let opts = Opts::parse(
+                rest,
+                "age",
+                &["--until", "--months", "--clicks", "--spec-file", "--tick"],
+                &[
+                    ("--follow", ArgKind::Bool),
+                    ("--metrics", ArgKind::OptValue),
+                ],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_age(&opts)?;
+            metrics.emit();
+            Ok(())
         }
         "profile" => {
             let opts = Opts::parse(
@@ -258,7 +295,7 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
 }
 
 const USAGE: &str =
-    "usage: specdr <demo|explain|profile|lint|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
+    "usage: specdr <demo|explain|age|profile|lint|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
   explain --query [--where PRED] [--roll-up LEVELS] [--mode MODE] [--months N]\n\
@@ -267,6 +304,16 @@ const USAGE: &str =
                               introspect a query / reduction pass: subcube DAG\n\
                               with exact per-cube statistics, scanned vs.\n\
                               skippable cubes, memo hits, per-phase breakdown\n\
+  explain --age [--until Y/M/D] [--months N] [--clicks K] [--spec-file FILE]\n\
+          [--format json|table|trace]\n\
+                              introspect one incremental aging pass: scheduler,\n\
+                              per-tick spans, and the cube DAG after aging\n\
+  age --until Y/M/D [--months N] [--clicks K] [--spec-file FILE]\n\
+      [--follow [--tick N]]   incrementally age the warehouse along the spec's\n\
+                              transition-day schedule (only facts whose cell\n\
+                              changed between consecutive transitions are\n\
+                              re-evaluated); --follow keeps aging through the\n\
+                              next N scheduled transitions\n\
   profile [--months N] [--clicks K] [--now Y/M/D] [--format json|table|trace]\n\
                               trace one sync + parallel roll-up pass and render\n\
                               the combined introspection report\n\
@@ -291,7 +338,7 @@ const USAGE: &str =
                               query while a seeded writer churns loads, syncs,\n\
                               and spec evolution; audits for torn reads and\n\
                               prints the deterministic schedule digest\n\
-  demo/simulate/query/checkpoint/recover/concurrent also take --metrics[=json|table]\n";
+  demo/age/simulate/query/checkpoint/recover/concurrent also take --metrics[=json|table]\n";
 
 type AnyError = Box<dyn std::error::Error>;
 
@@ -491,11 +538,22 @@ fn cmd_demo() -> Result<(), AnyError> {
 }
 
 fn cmd_explain(opts: &Opts) -> Result<(), AnyError> {
-    match (opts.switch("--query"), opts.switch("--reduce")) {
-        (true, true) => Err("pass either --query or --reduce, not both".into()),
-        (true, false) => cmd_explain_warehouse(opts, false),
-        (false, true) => cmd_explain_warehouse(opts, true),
-        (false, false) => cmd_explain_spec(opts),
+    let picked = [
+        opts.switch("--query"),
+        opts.switch("--reduce"),
+        opts.switch("--age"),
+    ];
+    if picked.iter().filter(|b| **b).count() > 1 {
+        return Err("pass at most one of --query, --reduce, --age".into());
+    }
+    if opts.switch("--query") {
+        cmd_explain_warehouse(opts, false)
+    } else if opts.switch("--reduce") {
+        cmd_explain_warehouse(opts, true)
+    } else if opts.switch("--age") {
+        cmd_explain_age(opts)
+    } else {
+        cmd_explain_spec(opts)
     }
 }
 
@@ -597,6 +655,112 @@ fn cmd_explain_warehouse(opts: &Opts, reduce_pass: bool) -> Result<(), AnyError>
         }
         report
     };
+    print_introspection(&report, opts)
+}
+
+/// Builds the warehouse `specdr age` operates on: click-stream facts
+/// under the retention policy (or `--spec-file`), baseline-synchronized
+/// to the end of the loaded data so the aging below is genuinely
+/// incremental. Returns the manager, the baseline day, and the default
+/// `--until` (two years past the data).
+fn aging_warehouse(opts: &Opts) -> Result<(SubcubeManager, i32, i32), AnyError> {
+    let months: u32 = opts.value("--months").unwrap_or("24").parse()?;
+    let clicks: usize = opts.value("--clicks").unwrap_or("50").parse()?;
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: clicks,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let spec = match opts.value("--spec-file") {
+        Some(path) => {
+            let src = std::fs::read_to_string(path)?;
+            let actions = parse_actions(&cs.schema, &src)?;
+            DataReductionSpec::new(Arc::clone(&cs.schema), actions)?
+        }
+        None => retention_spec(&cs.schema, 6, 36)?,
+    };
+    let baseline = days_from_civil(ey, em, 28);
+    let mgr = SubcubeManager::new(spec);
+    mgr.bulk_load(&cs.mo)?;
+    mgr.sync(baseline)?;
+    Ok((mgr, baseline, days_from_civil(ey + 2, em, 28)))
+}
+
+fn print_age_stats(t: i32, s: &AgeStats, mgr: &SubcubeManager) {
+    println!(
+        "aged to {}: ticks={} cells_delta={} merged={} cubes_rebuilt={} \
+         cubes_skipped={}; {} facts remain",
+        render_date(t),
+        s.ticks,
+        s.cells_delta,
+        s.merged,
+        s.cubes_rebuilt,
+        s.cubes_skipped,
+        mgr.len()
+    );
+}
+
+/// `specdr age`: incremental continuous aging driven by the spec's
+/// transition-day schedule.
+fn cmd_age(opts: &Opts) -> Result<(), AnyError> {
+    let (mgr, baseline, _) = aging_warehouse(opts)?;
+    let until = match opts.value("--until") {
+        Some(s) => parse_date(s)?,
+        None => return Err("`specdr age` requires --until Y/M/D".into()),
+    };
+    println!(
+        "warehouse: {} facts across {} cubes, synchronized to {}",
+        mgr.len(),
+        mgr.n_cubes(),
+        render_date(baseline)
+    );
+    let stats = mgr.age(until)?;
+    print_age_stats(until, &stats, &mgr);
+    if opts.switch("--follow") {
+        let ticks: u32 = opts.value("--tick").unwrap_or("4").parse()?;
+        let mut cur = until;
+        for i in 1..=ticks {
+            match mgr.next_sync_due(cur)? {
+                Some(t) => {
+                    let s = mgr.age(t)?;
+                    print!("tick {i}: ");
+                    print_age_stats(t, &s, &mgr);
+                    cur = t;
+                }
+                None => {
+                    println!("tick {i}: schedule exhausted (past the spec's horizon)");
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `specdr explain --age`: introspect one incremental aging pass.
+fn cmd_explain_age(opts: &Opts) -> Result<(), AnyError> {
+    let (mgr, baseline, default_until) = aging_warehouse(opts)?;
+    let until = match opts.value("--until") {
+        Some(s) => parse_date(s)?,
+        None => default_until,
+    };
+    let (stats, report) = specdr::introspect::explain_age(&mgr, until)?;
+    if opts.value("--format").unwrap_or("table") == "table" {
+        println!(
+            "aging pass {} → {}: ticks={} cells_delta={} merged={} cubes_rebuilt={} \
+             cubes_skipped={}\n",
+            render_date(baseline),
+            render_date(until),
+            stats.ticks,
+            stats.cells_delta,
+            stats.merged,
+            stats.cubes_rebuilt,
+            stats.cubes_skipped
+        );
+    }
     print_introspection(&report, opts)
 }
 

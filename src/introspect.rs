@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 use sdr_mdm::{DayNum, Mo};
 use sdr_obs::Snapshot;
-use sdr_subcube::{CubeQuery, SubcubeError, SubcubeManager, SyncStats};
+use sdr_subcube::{AgeStats, CubeQuery, SubcubeError, SubcubeManager, SyncStats};
 
 /// One cube of the warehouse DAG, annotated for explain output.
 #[derive(Debug, Clone)]
@@ -262,6 +262,38 @@ pub fn explain_sync(
     let report = Introspection {
         op: "sync".into(),
         now,
+        epoch: view.epoch(),
+        result_rows: view.len() as u64,
+        cubes,
+        phases: phases_of(&snap),
+        snapshot: snap,
+    };
+    Ok((stats, report))
+}
+
+/// Runs one incremental aging pass ([`SubcubeManager::age`]) with
+/// tracing on and assembles its introspection report. The phase table
+/// separates the scheduler (`subcube.age.schedule`), the per-transition
+/// ticks (`subcube.age.tick`) with their summed `rows_in`/`rows_out`,
+/// and any baseline `subcube.sync.scan`/`subcube.sync.rebuild` the
+/// dirty path fell back to —
+/// so the report shows exactly how much work the incremental path did
+/// compared to a from-scratch synchronization.
+pub fn explain_age(
+    mgr: &SubcubeManager,
+    until: DayNum,
+) -> Result<(AgeStats, Introspection), SubcubeError> {
+    let (stats, snap) = recorded(|| mgr.age(until))?;
+    let view = mgr.view();
+    let mut cubes = dag_of(&view);
+    for c in &mut cubes {
+        c.scanned = true;
+        c.rows_out = c.rows;
+        c.skippable = false;
+    }
+    let report = Introspection {
+        op: "age".into(),
+        now: until,
         epoch: view.epoch(),
         result_rows: view.len() as u64,
         cubes,

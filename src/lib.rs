@@ -21,7 +21,7 @@
 //! * [`obs`] — the zero-dependency metrics/tracing layer wired through
 //!   reduce, sync, and query (`specdr --metrics`, `specdr stats`);
 //! * [`introspect`] — warehouse introspection: the explain/profile engine
-//!   behind `specdr explain --query/--reduce` and `specdr profile`.
+//!   behind `specdr explain --query/--reduce/--age` and `specdr profile`.
 //!
 //! See `examples/quickstart.rs` for a guided tour, and `DESIGN.md` /
 //! `EXPERIMENTS.md` for the experiment index.

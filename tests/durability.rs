@@ -17,7 +17,7 @@ use std::sync::Arc;
 
 use specdr::mdm::calendar::days_from_civil;
 use specdr::mdm::{time_cat as tc, DimValue, Mo, Schema, TimeValue};
-use specdr::reduce::DataReductionSpec;
+use specdr::reduce::{DataReductionSpec, ReductionSchedule};
 use specdr::spec::{parse_action, ActionId, ActionSpec};
 use specdr::storage::fs::{FailpointFs, FaultMode, Fs, RealFs};
 use specdr::subcube::{DurableWarehouse, SubcubeManager, SubcubeStats, SyncStats};
@@ -28,6 +28,9 @@ use specdr::workload::{paper_mo, ACTION_A1, ACTION_A2};
 enum Op {
     Load(Mo),
     Sync(i32),
+    /// Incremental aging to a day (ISSUE 7): one WAL record per call,
+    /// however many transition ticks the call applies.
+    Age(i32),
     SpecInsert(Vec<ActionSpec>),
     SpecDelete(Vec<ActionId>, i32),
     /// Checkpoint: durable but not write-ahead logged (not counted by
@@ -44,6 +47,7 @@ impl Op {
         match self {
             Op::Load(mo) => w.bulk_load(mo).map(|_| ()),
             Op::Sync(t) => w.sync(*t).map(|_| ()),
+            Op::Age(t) => w.age(*t).map(|_| ()),
             Op::SpecInsert(a) => w.spec_insert(a.clone()).map(|_| ()),
             Op::SpecDelete(ids, t) => w.spec_delete(ids, *t),
             Op::Ckpt => w.checkpoint().map(|_| ()),
@@ -57,6 +61,9 @@ impl Op {
             }
             Op::Sync(t) => {
                 m.sync(*t).unwrap();
+            }
+            Op::Age(t) => {
+                m.age(*t).unwrap();
             }
             Op::SpecInsert(a) => {
                 m.evolve_insert(a.clone()).unwrap();
@@ -323,6 +330,103 @@ fn crash_matrix_over_every_fs_op() {
     }
 }
 
+/// The continuous-aging workload (ISSUE 7): baseline sync, three
+/// single-tick `age` calls at the spec's first scheduled transition
+/// days, a checkpoint, a mid-stream load (the next age rebaselines the
+/// dirtied warehouse), and one multi-tick jump to the end of the window.
+fn aging_workload() -> (DataReductionSpec, Vec<Op>) {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2]).unwrap();
+    let baseline = days_from_civil(2000, 2, 5);
+    let sched = ReductionSchedule::build(&spec).unwrap();
+    let ticks = sched.transitions_between(baseline, days_from_civil(2001, 6, 5));
+    assert!(ticks.len() >= 5, "degenerate aging schedule: {ticks:?}");
+    let extra = single_fact(&schema, days_from_civil(2000, 5, 7), 0, [1, 100, 2, 9000]);
+    let mut ops = vec![Op::Load(mo), Op::Sync(baseline)];
+    for &t in &ticks[..3] {
+        ops.push(Op::Age(t));
+    }
+    ops.push(Op::Ckpt);
+    ops.push(Op::Load(extra));
+    ops.push(Op::Age(ticks[3]));
+    ops.push(Op::Age(*ticks.last().unwrap()));
+    (spec, ops)
+}
+
+/// The legal recovery watermarks of a workload: `None` (nothing replayed)
+/// or the target day of some `Sync`/`Age` op — i.e. a whole-tick
+/// boundary. A crash mid-`age` must never surface a day between ticks.
+fn watermarks(ops: &[Op]) -> std::collections::BTreeSet<i32> {
+    ops.iter()
+        .filter_map(|op| match op {
+            Op::Sync(t) | Op::Age(t) => Some(*t),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The aging workload must be clean when nothing is injected, and the
+/// durable run must recover bit-for-bit.
+#[test]
+fn aging_workload_is_clean() {
+    let (spec, ops) = aging_workload();
+    let m = reference(&spec, &ops);
+    assert!(!m.is_empty());
+    let dir = tmpdir("age-clean");
+    let logged = ops.iter().filter(|o| o.is_logged()).count() as u64;
+    let acked = run_workload(&spec, &dir, RealFs::shared(), &ops);
+    assert_eq!(acked, logged);
+    let (w, _) = DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+    assert_eq!(state(w.manager()), state(&reference(&spec, &ops)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// ISSUE 7, crash matrix: every fault mode at every mutating fs op of
+/// the aging workload — including faults landing mid-`age`, inside a
+/// multi-tick jump. Recovery must land on a whole-tick prefix (the
+/// recovered watermark is a scheduled tick day, never between ticks),
+/// and recovery + resume must converge to the never-crashed reference.
+#[test]
+fn aging_crash_matrix_over_every_fs_op() {
+    let (spec, ops) = aging_workload();
+    let legal = watermarks(&ops);
+    // Count the mutating fs ops of a clean run.
+    let dir = tmpdir("age-count");
+    let counting = FailpointFs::counting(RealFs::shared());
+    run_workload(&spec, &dir, counting.clone(), &ops);
+    let total = counting.ops();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        total > 10,
+        "aging workload too small to be interesting: {total} fs ops"
+    );
+
+    for mode in FaultMode::ALL {
+        for k in 0..total {
+            let ctx = format!("aging mode={mode:?} fail_op={k}");
+            let dir = tmpdir("age-matrix");
+            let shim = FailpointFs::new(RealFs::shared(), 0xA9E5EED ^ k, k, mode);
+            let acked = run_workload(&spec, &dir, shim.clone(), &ops);
+            assert!(shim.crashed(), "{ctx}: fault never fired");
+            if dir.join("CURRENT").exists() {
+                let (w, _) =
+                    DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared())
+                        .unwrap_or_else(|e| panic!("{ctx}: recovery failed: {e}"));
+                let last = w.manager().last_sync();
+                assert!(
+                    last.map_or(true, |d| legal.contains(&d)),
+                    "{ctx}: recovered mid-tick watermark {last:?} not in {legal:?}"
+                );
+            }
+            recover_and_verify(&spec, &dir, &ops, acked, &ctx);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 /// Double-crash: a second fault during the *recovered* warehouse's next
 /// checkpoint still leaves a recoverable directory.
 #[test]
@@ -401,6 +505,9 @@ fn batch_reference(
                 }
                 W::Sync(t) => {
                     m.sync(*t).unwrap();
+                }
+                W::Age(t) => {
+                    m.age(*t).unwrap();
                 }
                 W::SpecInsert(a) => {
                     m.evolve_insert(a.clone()).unwrap();
@@ -563,7 +670,10 @@ proptest! {
                 0..=2 => ops.push(Op::Load(single_fact(
                     &schema, clock, ui, [1, 10 + dd as i64, 1, 1000],
                 ))),
-                3..=5 => ops.push(Op::Sync(clock)),
+                3..=4 => ops.push(Op::Sync(clock)),
+                // The clock is monotone, so incremental aging is always
+                // legal here (never behind the watermark).
+                5..=6 => ops.push(Op::Age(clock)),
                 _ => ops.push(Op::Ckpt),
             }
         }
@@ -666,6 +776,64 @@ fn seeded_crash_schedule_is_deterministic() {
     );
     println!(
         "crash-schedule seed={seed} fail_op={fail_op} mode={mode:?} digest={:016x}",
+        digests[0]
+    );
+}
+
+/// ISSUE 7: the aging twin of [`seeded_crash_schedule_is_deterministic`]
+/// — one seeded crash-during-tick schedule over the aging workload, run
+/// twice; the recovered state must be byte-identical. `scripts/ci.sh`
+/// loops `SPECDR_CRASH_SEED` over 25 seeds and compares the printed
+/// digest line across runs.
+#[test]
+fn seeded_aging_crash_schedule_is_deterministic() {
+    let seed: u64 = std::env::var("SPECDR_CRASH_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    // SplitMix64: derive (fail_op, mode) from the seed, decorrelated from
+    // the plain schedule by a distinct stream constant.
+    let mut z = seed
+        .wrapping_mul(0xA61B_5C71_97E0_D111)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    let (spec, ops) = aging_workload();
+    let legal = watermarks(&ops);
+    let fail_op = z % 48;
+    let mode = FaultMode::ALL[(z >> 8) as usize % 3];
+
+    let mut digests = Vec::new();
+    for round in 0..2 {
+        let dir = tmpdir(&format!("age-seeded-{round}"));
+        let shim = FailpointFs::new(RealFs::shared(), seed, fail_op, mode);
+        let acked = run_workload(&spec, &dir, shim, &ops);
+        if dir.join("CURRENT").exists() {
+            let (w, _) =
+                DurableWarehouse::recover_with_fs(spec.clone(), &dir, RealFs::shared()).unwrap();
+            let last = w.manager().last_sync();
+            assert!(
+                last.map_or(true, |d| legal.contains(&d)),
+                "seed={seed}: recovered mid-tick watermark {last:?}"
+            );
+        }
+        let s = recover_and_verify(
+            &spec,
+            &dir,
+            &ops,
+            acked,
+            &format!("aging seed={seed} round={round}"),
+        );
+        digests.push(digest(&s));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert_eq!(
+        digests[0], digests[1],
+        "seed={seed}: aging crash schedule is not deterministic"
+    );
+    println!(
+        "aging-crash-schedule seed={seed} fail_op={fail_op} mode={mode:?} digest={:016x}",
         digests[0]
     );
 }

@@ -756,3 +756,114 @@ fn cli_lint_deny_warnings_promotes_exit_code() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("L999"));
     std::fs::remove_file(path).ok();
 }
+
+// ---------------------------------------------------------------------
+// `specdr age` (ISSUE 7: continuous aging)
+// ---------------------------------------------------------------------
+
+#[test]
+fn cli_age_flag_order_is_irrelevant() {
+    // The same run with --until first and last: both succeed and print
+    // byte-identical output (the generator is seeded).
+    let first = specdr_bin()
+        .args([
+            "age", "--until", "2003/3/1", "--months", "24", "--clicks", "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        first.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let last = specdr_bin()
+        .args([
+            "age", "--months", "24", "--clicks", "5", "--until", "2003/3/1",
+        ])
+        .output()
+        .unwrap();
+    assert!(last.status.success());
+    assert_eq!(first.stdout, last.stdout);
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("synchronized to 2000/12/28"), "{stdout}");
+    assert!(stdout.contains("aged to 2003/3/1:"), "{stdout}");
+    assert!(stdout.contains("ticks="), "{stdout}");
+    assert!(stdout.contains("cubes_skipped="), "{stdout}");
+}
+
+#[test]
+fn cli_age_requires_until() {
+    let out = specdr_bin().arg("age").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--until"), "{err}");
+}
+
+#[test]
+fn cli_age_rejects_stale_until_with_typed_error() {
+    // Aging backwards is a typed, actionable error — exact message pinned.
+    let out = specdr_bin()
+        .args([
+            "age", "--until", "2000/1/1", "--months", "24", "--clicks", "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains(
+            "specdr: cannot age to 2000/1/1: the warehouse is already \
+             synchronized to 2000/12/28 (aging is monotone; reduction \
+             cannot be undone)"
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn cli_age_follow_ticks_through_the_schedule() {
+    let out = specdr_bin()
+        .args([
+            "age", "--until", "2001/3/1", "--follow", "--tick", "3", "--months", "24", "--clicks",
+            "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("tick 1: "), "{stdout}");
+    assert!(stdout.contains("tick 3: "), "{stdout}");
+}
+
+#[test]
+fn cli_explain_age_renders_and_rejects_mixed_modes() {
+    let out = specdr_bin()
+        .args([
+            "explain", "--age", "--until", "2001/6/1", "--months", "24", "--clicks", "5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("aging pass"), "{stdout}");
+    assert!(stdout.contains("ticks="), "{stdout}");
+    // --age is exclusive with the other explain modes.
+    let out = specdr_bin()
+        .args(["explain", "--age", "--query"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("pass at most one of --query, --reduce, --age"),
+        "{err}"
+    );
+}
