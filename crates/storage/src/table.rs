@@ -10,13 +10,22 @@ use std::sync::Arc;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use sdr_mdm::{CatId, DimValue, Mo, Schema};
+use sdr_mdm::{CatId, DimValue, KeyPacker, Mo, Schema};
 
 use crate::encode::ColumnEnc;
 use crate::error::StorageError;
 
 /// Default number of rows per segment.
 pub const DEFAULT_SEGMENT_ROWS: usize = 64 * 1024;
+
+/// Format-1 file magic (`"SDRFACT1"`): plain/RLE/delta columns, no
+/// segment zone maps. Still readable; never written anymore.
+const MAGIC_V1: u64 = 0x5344_5246_4143_5431;
+
+/// Format-2 file magic (`"SDRFACT2"`): adds dictionary/bit-packed
+/// columns and a per-segment min/max zone map over the order-preserving
+/// packed cell key ([`KeyPacker`]).
+const MAGIC_V2: u64 = 0x5344_5246_4143_5432;
 
 /// One row of a fact table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +71,11 @@ pub struct SealedSegment {
     measures: Vec<ColumnEnc>,
     /// Encoded origin column.
     origin: ColumnEnc,
+    /// Min/max packed cell key of the segment's rows — `None` when the
+    /// schema exceeds the 128-bit packing budget, the segment is empty,
+    /// or the file predates format 2. Range scans skip disjoint segments
+    /// without decoding them.
+    zone: Option<(u128, u128)>,
     len: usize,
 }
 
@@ -185,6 +199,7 @@ impl FactTable {
             code: open.code.iter().map(|c| ColumnEnc::encode(c)).collect(),
             measures: open.measures.iter().map(|c| ColumnEnc::encode(c)).collect(),
             origin: ColumnEnc::encode(&open.origin),
+            zone: Self::zone_of(&self.schema, &open),
             len: open.len,
         };
         drop(span);
@@ -194,6 +209,31 @@ impl FactTable {
             sdr_obs::record("storage.segment_bytes", seg.encoded_bytes() as u64);
         }
         self.sealed.push(seg);
+    }
+
+    /// The min/max packed key of an open segment's rows, `None` when the
+    /// schema does not pack, the segment is empty, or a raw category
+    /// index falls outside the typed range (possible only for foreign
+    /// bytes — such segments simply carry no zone map).
+    fn zone_of(schema: &Schema, open: &OpenSegment) -> Option<(u128, u128)> {
+        if open.len == 0 {
+            return None;
+        }
+        let packer = KeyPacker::new(schema)?;
+        let n_dims = schema.n_dims();
+        let (mut lo, mut hi) = (u128::MAX, 0u128);
+        let mut coords = Vec::with_capacity(n_dims);
+        for r in 0..open.len {
+            coords.clear();
+            for d in 0..n_dims {
+                let cat = CatId::try_from_index(open.cat[d][r]).ok()?;
+                coords.push(DimValue::new(cat, open.code[d][r]));
+            }
+            let k = packer.pack_coords(&coords);
+            lo = lo.min(k);
+            hi = hi.max(k);
+        }
+        Some((lo, hi))
     }
 
     /// Scans every row in insertion order.
@@ -246,6 +286,76 @@ impl FactTable {
         Ok(out)
     }
 
+    /// Scans only rows whose order-preserving packed cell key
+    /// ([`KeyPacker`]) lies in `[lo, hi]`, skipping sealed segments whose
+    /// zone map is disjoint from the range without decoding them.
+    ///
+    /// When the schema exceeds the 128-bit packing budget no keys exist
+    /// and the scan degenerates to [`scan`](FactTable::scan) (every row —
+    /// callers must re-filter). Publishes `storage.segments_skipped` /
+    /// `storage.segments_scanned` counters.
+    pub fn scan_range(&self, lo: u128, hi: u128) -> Result<Vec<FactRow>, StorageError> {
+        let Some(packer) = KeyPacker::new(&self.schema) else {
+            return self.scan();
+        };
+        let mut out = Vec::new();
+        let (mut skipped, mut scanned) = (0u64, 0u64);
+        let mut emit = |cat: &[Vec<u64>],
+                        code: &[Vec<u64>],
+                        ms: &[Vec<u64>],
+                        org: &[u64],
+                        len: usize|
+         -> Result<(), StorageError> {
+            let n_dims = self.schema.n_dims();
+            for r in 0..len {
+                let coords = (0..n_dims)
+                    .map(|i| {
+                        let cat = CatId::try_from_index(cat[i][r]).map_err(StorageError::Model)?;
+                        Ok(DimValue::new(cat, code[i][r]))
+                    })
+                    .collect::<Result<Vec<DimValue>, StorageError>>()?;
+                let k = packer.pack_coords(&coords);
+                if k < lo || k > hi {
+                    continue;
+                }
+                out.push(FactRow {
+                    coords,
+                    measures: (0..self.schema.n_measures())
+                        .map(|j| ms[j][r] as i64)
+                        .collect(),
+                    origin: org[r] as u32,
+                });
+            }
+            Ok(())
+        };
+        for s in &self.sealed {
+            if let Some((zlo, zhi)) = s.zone {
+                if zhi < lo || zlo > hi {
+                    skipped += 1;
+                    continue;
+                }
+            }
+            scanned += 1;
+            let cat: Vec<Vec<u64>> = s.cat.iter().map(ColumnEnc::decode).collect();
+            let code: Vec<Vec<u64>> = s.code.iter().map(ColumnEnc::decode).collect();
+            let ms: Vec<Vec<u64>> = s.measures.iter().map(ColumnEnc::decode).collect();
+            let org = s.origin.decode();
+            emit(&cat, &code, &ms, &org, s.len)?;
+        }
+        emit(
+            &self.open.cat,
+            &self.open.code,
+            &self.open.measures,
+            &self.open.origin,
+            self.open.len,
+        )?;
+        if sdr_obs::enabled() {
+            sdr_obs::add("storage.segments_skipped", skipped);
+            sdr_obs::add("storage.segments_scanned", scanned);
+        }
+        Ok(out)
+    }
+
     /// Storage statistics (raw vs. encoded bytes).
     pub fn stats(&self) -> TableStats {
         let rows = self.len();
@@ -284,17 +394,28 @@ impl FactTable {
         Ok(mo)
     }
 
-    /// Serializes the table (all segments sealed first) to a byte buffer.
+    /// Serializes the table (all segments sealed first) to a byte buffer
+    /// in the current (format-2) layout.
     pub fn serialize(&mut self) -> Bytes {
         let _span = sdr_obs::span("storage.serialize");
         self.seal();
         let mut buf = BytesMut::new();
-        buf.put_u64_le(0x5344_5246_4143_5431); // magic "SDRFACT1"
+        buf.put_u64_le(MAGIC_V2);
         buf.put_u32_le(self.schema.n_dims() as u32);
         buf.put_u32_le(self.schema.n_measures() as u32);
         buf.put_u32_le(self.sealed.len() as u32);
         for s in &self.sealed {
             buf.put_u64_le(s.len as u64);
+            match s.zone {
+                Some((lo, hi)) => {
+                    buf.put_u8(1);
+                    for k in [lo, hi] {
+                        buf.put_u64_le(k as u64);
+                        buf.put_u64_le((k >> 64) as u64);
+                    }
+                }
+                None => buf.put_u8(0),
+            }
             for c in s.cat.iter().chain(&s.code).chain(&s.measures) {
                 c.write(&mut buf);
             }
@@ -303,6 +424,28 @@ impl FactTable {
         let out = buf.freeze();
         sdr_obs::add("storage.serialized_bytes", out.len() as u64);
         out
+    }
+
+    /// Serializes in the legacy format-1 layout (`SDRFACT1` magic,
+    /// plain/RLE/delta columns only, no zone maps) — exactly what
+    /// pre-format-2 builds wrote. Sealed columns are transcoded through
+    /// the legacy encoder. Only the format-migration tests should need
+    /// this.
+    pub fn serialize_legacy(&mut self) -> Bytes {
+        self.seal();
+        let mut buf = BytesMut::new();
+        buf.put_u64_le(MAGIC_V1);
+        buf.put_u32_le(self.schema.n_dims() as u32);
+        buf.put_u32_le(self.schema.n_measures() as u32);
+        buf.put_u32_le(self.sealed.len() as u32);
+        for s in &self.sealed {
+            buf.put_u64_le(s.len as u64);
+            for c in s.cat.iter().chain(&s.code).chain(&s.measures) {
+                ColumnEnc::encode_legacy(&c.decode()).write(&mut buf);
+            }
+            ColumnEnc::encode_legacy(&s.origin.decode()).write(&mut buf);
+        }
+        buf.freeze()
     }
 
     /// Persists the table (all segments sealed) to a file, durably: the
@@ -349,7 +492,8 @@ impl FactTable {
         if buf.remaining() < 20 {
             return Err(bad());
         }
-        if buf.get_u64_le() != 0x5344_5246_4143_5431 {
+        let magic = buf.get_u64_le();
+        if magic != MAGIC_V1 && magic != MAGIC_V2 {
             return Err(StorageError::Corrupt("bad magic".into()));
         }
         let n_dims = buf.get_u32_le() as usize;
@@ -364,6 +508,31 @@ impl FactTable {
                 return Err(bad());
             }
             let len = buf.get_u64_le() as usize;
+            let zone = if magic == MAGIC_V2 {
+                if buf.remaining() < 1 {
+                    return Err(bad());
+                }
+                match buf.get_u8() {
+                    0 => None,
+                    1 => {
+                        if buf.remaining() < 32 {
+                            return Err(bad());
+                        }
+                        let mut next = || {
+                            let lo = buf.get_u64_le() as u128;
+                            lo | ((buf.get_u64_le() as u128) << 64)
+                        };
+                        let (lo, hi) = (next(), next());
+                        if lo > hi {
+                            return Err(bad());
+                        }
+                        Some((lo, hi))
+                    }
+                    _ => return Err(bad()),
+                }
+            } else {
+                None
+            };
             let read_cols = |k: usize, buf: &mut Bytes| -> Result<Vec<ColumnEnc>, StorageError> {
                 (0..k)
                     .map(|_| ColumnEnc::read(buf).ok_or_else(bad))
@@ -378,6 +547,7 @@ impl FactTable {
                 code,
                 measures,
                 origin,
+                zone,
                 len,
             });
         }
@@ -389,6 +559,87 @@ impl FactTable {
 mod tests {
     use super::*;
     use sdr_workload::paper_mo;
+
+    #[test]
+    fn v2_roundtrip_preserves_rows_and_zones() {
+        let (mo, _) = paper_mo();
+        let mut t = FactTable::from_mo(&mo, 4).unwrap();
+        let rows = t.scan().unwrap();
+        let packer = KeyPacker::new(mo.schema()).unwrap();
+        for s in &t.sealed {
+            let (lo, hi) = s.zone.expect("packable schema → zone maps");
+            assert!(lo <= hi);
+        }
+        let bytes = t.serialize();
+        let t2 = FactTable::deserialize(Arc::clone(mo.schema()), bytes).unwrap();
+        assert_eq!(t2.scan().unwrap(), rows);
+        for (a, b) in t.sealed.iter().zip(&t2.sealed) {
+            assert_eq!(a.zone, b.zone, "zone maps round-trip");
+        }
+        // Every row's key is inside its segment's zone.
+        for s in &t2.sealed {
+            let (lo, hi) = s.zone.unwrap();
+            let cat: Vec<Vec<u64>> = s.cat.iter().map(ColumnEnc::decode).collect();
+            let code: Vec<Vec<u64>> = s.code.iter().map(ColumnEnc::decode).collect();
+            for r in 0..s.len {
+                let coords: Vec<DimValue> = (0..mo.schema().n_dims())
+                    .map(|i| DimValue::new(CatId(cat[i][r] as u8), code[i][r]))
+                    .collect();
+                let k = packer.pack_coords(&coords);
+                assert!(lo <= k && k <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_format1_files_still_load() {
+        let (mo, _) = paper_mo();
+        let mut t = FactTable::from_mo(&mo, 4).unwrap();
+        let rows = t.scan().unwrap();
+        let legacy = t.serialize_legacy();
+        // The legacy writer reproduces the old layout bit-for-bit at the
+        // header: old magic, no zone bytes.
+        assert_eq!(&legacy[..8], &MAGIC_V1.to_le_bytes());
+        let t1 = FactTable::deserialize(Arc::clone(mo.schema()), legacy).unwrap();
+        assert_eq!(t1.scan().unwrap(), rows);
+        assert!(t1.sealed.iter().all(|s| s.zone.is_none()));
+        // Re-serializing a legacy-loaded table upgrades it to format 2
+        // and the rows survive unchanged.
+        let mut t1 = t1;
+        let upgraded = t1.serialize();
+        assert_eq!(&upgraded[..8], &MAGIC_V2.to_le_bytes());
+        let t2 = FactTable::deserialize(Arc::clone(mo.schema()), upgraded).unwrap();
+        assert_eq!(t2.scan().unwrap(), rows);
+    }
+
+    #[test]
+    fn scan_range_matches_filtered_full_scan_and_skips_segments() {
+        let (mo, _) = paper_mo();
+        let mut t = FactTable::from_mo(&mo, 2).unwrap();
+        t.seal();
+        assert!(t.sealed.len() >= 3, "small segments → several zones");
+        let packer = KeyPacker::new(mo.schema()).unwrap();
+        let mut keys: Vec<u128> = t
+            .scan()
+            .unwrap()
+            .iter()
+            .map(|r| packer.pack_coords(&r.coords))
+            .collect();
+        keys.sort_unstable();
+        let (lo, hi) = (keys[keys.len() / 3], keys[2 * keys.len() / 3]);
+        let want: Vec<FactRow> = t
+            .scan()
+            .unwrap()
+            .into_iter()
+            .filter(|r| {
+                let k = packer.pack_coords(&r.coords);
+                lo <= k && k <= hi
+            })
+            .collect();
+        assert_eq!(t.scan_range(lo, hi).unwrap(), want);
+        // A range outside every zone decodes nothing.
+        assert_eq!(t.scan_range(u128::MAX - 1, u128::MAX).unwrap(), vec![]);
+    }
 
     #[test]
     fn scan_rejects_category_index_beyond_u8() {

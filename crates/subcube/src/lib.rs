@@ -20,7 +20,7 @@ pub mod stats;
 pub use durable::{DurableWarehouse, RecoveryReport, WalOp, WarehouseOp};
 pub use error::SubcubeError;
 pub use manager::{AgeStats, CubeId, Subcube, SubcubeManager, SyncStats, WarehouseView};
-pub use persist::Manifest;
+pub use persist::{read_manifest, Manifest};
 pub use query::CubeQuery;
 pub use stats::{DimColStats, SubcubeStats};
 

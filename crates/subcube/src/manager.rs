@@ -87,8 +87,16 @@ impl Subcube {
     }
 
     /// Replaces the cube's fact snapshot and recomputes its statistics;
-    /// the only way cube data changes, so stats can never drift.
+    /// the only way cube data changes, so stats can never drift. A
+    /// carried-forward publish (same `Arc`, e.g. an untouched cube in an
+    /// [`age`](SubcubeManager::age) tick) keeps the existing stats *and*
+    /// replacement epoch — the facts did not change, so both are still
+    /// exact and a zone-map rescan would only reproduce them.
     pub(crate) fn set_data(&mut self, data: Arc<Mo>, epoch: u64) {
+        if Arc::ptr_eq(&self.data, &data) {
+            sdr_obs::inc("age.stats_reused");
+            return;
+        }
         self.stats = Arc::new(SubcubeStats::compute(&data, epoch));
         self.data = data;
         self.epoch = epoch;
@@ -938,6 +946,10 @@ impl SubcubeManager {
         let mut after = 0usize;
         for ci in 0..n {
             if !rebuild[ci] {
+                // Carry-forward: same fact `Arc`, so `set_data` keeps the
+                // stats and epoch untouched (and counts the reuse).
+                let same = Arc::clone(&cubes[ci].data);
+                cubes[ci].set_data(same, epoch);
                 cubes[ci].synced_to = Some(t);
                 after += cubes[ci].data.len();
                 stats.cubes_skipped += 1;
@@ -1022,7 +1034,7 @@ impl SubcubeManager {
 
     /// The cached [`ReductionSchedule`] of `spec`, rebuilt when the spec
     /// instance changes (evolution publishes a new `Arc`).
-    fn schedule_for(
+    pub(crate) fn schedule_for(
         &self,
         spec: &Arc<DataReductionSpec>,
     ) -> Result<Arc<ReductionSchedule>, SubcubeError> {

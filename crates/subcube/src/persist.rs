@@ -36,10 +36,13 @@ use crate::stats::SubcubeStats;
 /// Manifest file magic: `"SDRMAN01"`.
 const MANIFEST_MAGIC: u64 = 0x5344_524d_414e_3031;
 
-/// Checkpoint/manifest format version. Format 2 appends the per-cube
-/// [`SubcubeStats`] block; format-1 manifests (no stats) still decode —
-/// recovery then rebuilds stats from the cube files alone.
-const MANIFEST_FORMAT: u32 = 2;
+/// Checkpoint/manifest format version. Format 2 appended the per-cube
+/// [`SubcubeStats`] block; format 3 extends each stats block with
+/// bottom-footprint hulls + origin sets and appends a per-cube on-disk
+/// byte table (raw vs. encoded). Older manifests (1 and 2) still
+/// decode — recovery verifies their stats against the matching legacy
+/// projection and the next checkpoint rewrites them as format 3.
+const MANIFEST_FORMAT: u32 = 3;
 
 /// The checkpoint directory name for an epoch.
 pub fn ckpt_name(epoch: u64) -> String {
@@ -66,6 +69,10 @@ pub fn spec_fingerprint(spec: &DataReductionSpec) -> u64 {
 /// The decoded contents of a checkpoint `MANIFEST`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
+    /// The manifest format this checkpoint was written under (encode
+    /// honors it too, so the migration suite can fabricate legacy
+    /// directories). Current writers use format 3.
+    pub format: u32,
     /// The checkpoint's epoch (matches its directory and WAL file names).
     pub epoch: u64,
     /// Number of cube files in the checkpoint.
@@ -87,8 +94,15 @@ pub struct Manifest {
     pub spec_text: String,
     /// Per-cube statistics at checkpoint time (format ≥ 2; empty for
     /// legacy format-1 manifests). Recovery recomputes stats from the
-    /// loaded cube files and verifies they match this copy exactly.
+    /// loaded cube files and verifies they match this copy exactly
+    /// (format ≤ 2: against the legacy projection).
     pub cube_stats: Vec<SubcubeStats>,
+    /// Per-cube on-disk sizes at checkpoint time, `(raw, encoded)` bytes
+    /// (format ≥ 3; empty for older manifests): `raw` is the
+    /// uncompressed row footprint, `encoded` the serialized cube file
+    /// length after dictionary/bit-packed column encoding — what
+    /// `specdr stats --bytes` reports.
+    pub cube_bytes: Vec<(u64, u64)>,
 }
 
 impl Manifest {
@@ -96,7 +110,7 @@ impl Manifest {
     pub fn encode(&self) -> Vec<u8> {
         let mut b = Vec::new();
         b.extend_from_slice(&MANIFEST_MAGIC.to_le_bytes());
-        b.extend_from_slice(&MANIFEST_FORMAT.to_le_bytes());
+        b.extend_from_slice(&self.format.to_le_bytes());
         b.extend_from_slice(&self.epoch.to_le_bytes());
         b.extend_from_slice(&self.cube_count.to_le_bytes());
         b.extend_from_slice(&self.wal_hwm.to_le_bytes());
@@ -107,9 +121,20 @@ impl Manifest {
         b.extend_from_slice(self.spec_text.as_bytes());
         // Format-2 stats block: its own count, independent of
         // `cube_count`, so a forged count check still fires at load.
-        b.extend_from_slice(&(self.cube_stats.len() as u32).to_le_bytes());
-        for s in &self.cube_stats {
-            s.encode_into(&mut b);
+        // Format 3 extends each block with hulls/origins.
+        if self.format >= 2 {
+            b.extend_from_slice(&(self.cube_stats.len() as u32).to_le_bytes());
+            for s in &self.cube_stats {
+                s.encode_into(&mut b, self.format >= 3);
+            }
+        }
+        // Format-3 byte table: per-cube (raw, encoded) on-disk sizes.
+        if self.format >= 3 {
+            b.extend_from_slice(&(self.cube_bytes.len() as u32).to_le_bytes());
+            for (raw, enc) in &self.cube_bytes {
+                b.extend_from_slice(&raw.to_le_bytes());
+                b.extend_from_slice(&enc.to_le_bytes());
+            }
         }
         let crc = crc32(&b);
         b.extend_from_slice(&crc.to_le_bytes());
@@ -157,9 +182,21 @@ impl Manifest {
             let mut take_vec = |n: usize| take(n).map(|s| s.to_vec());
             let mut stats = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                stats.push(SubcubeStats::decode_from(&mut take_vec)?);
+                stats.push(SubcubeStats::decode_from(&mut take_vec, format >= 3)?);
             }
             stats
+        } else {
+            Vec::new()
+        };
+        let cube_bytes = if format >= 3 {
+            let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+            let mut v = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let raw = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                let enc = u64::from_le_bytes(take(8)?.try_into().unwrap());
+                v.push((raw, enc));
+            }
+            v
         } else {
             Vec::new()
         };
@@ -171,6 +208,7 @@ impl Manifest {
                 .map_err(|_| bad("manifest last_sync out of range"))?
         };
         Ok(Manifest {
+            format,
             epoch,
             cube_count,
             wal_hwm,
@@ -179,6 +217,7 @@ impl Manifest {
             next_action_id,
             spec_text,
             cube_stats,
+            cube_bytes,
         })
     }
 }
@@ -277,6 +316,23 @@ pub(crate) fn write_checkpoint(
     epoch: u64,
     wal_hwm: u64,
 ) -> Result<(), SubcubeError> {
+    write_checkpoint_fmt(view, fs, dir, epoch, wal_hwm, false)
+}
+
+/// [`write_checkpoint`] with an explicit format switch. `legacy` writes
+/// the PR 6 layout — `SDRFACT1` cube files (plain/RLE/delta columns
+/// only) under a format-2 manifest with legacy-projected stats and no
+/// byte table — so the migration suite can fabricate old warehouse
+/// directories without keeping binary fixtures. Production paths always
+/// pass `false`.
+pub(crate) fn write_checkpoint_fmt(
+    view: &WarehouseView,
+    fs: &dyn Fs,
+    dir: &Path,
+    epoch: u64,
+    wal_hwm: u64,
+    legacy: bool,
+) -> Result<(), SubcubeError> {
     let _span = sdr_obs::span("durable.checkpoint");
     let err = |e: &dyn std::fmt::Display| SubcubeError::Storage(e.to_string());
     fs.create_dir_all(dir).map_err(|e| err(&e))?;
@@ -291,15 +347,30 @@ pub(crate) fn write_checkpoint(
     }
     fs.create_dir_all(&tmp).map_err(|e| err(&e))?;
     let mut bytes_written = 0u64;
+    let mut cube_bytes = Vec::with_capacity(view.cubes().len());
     for (i, cube) in view.cubes().iter().enumerate() {
         let mut t = FactTable::from_mo(cube.data(), sdr_storage::DEFAULT_SEGMENT_ROWS)
             .map_err(|e| err(&e))?;
-        let bytes = t.serialize();
+        let raw = t.stats().raw_bytes as u64;
+        let bytes = if legacy {
+            t.serialize_legacy()
+        } else {
+            t.serialize()
+        };
         bytes_written += bytes.len() as u64;
+        cube_bytes.push((raw, bytes.len() as u64));
         fs.write(&tmp.join(format!("cube-{i}.sdr")), &bytes)
             .map_err(|e| err(&e))?;
     }
+    let stats_of = |c: &crate::manager::Subcube| {
+        if legacy {
+            c.stats().legacy_projection()
+        } else {
+            c.stats().clone()
+        }
+    };
     let manifest = Manifest {
+        format: if legacy { 2 } else { MANIFEST_FORMAT },
         epoch,
         cube_count: view.cubes().len() as u32,
         wal_hwm,
@@ -307,7 +378,8 @@ pub(crate) fn write_checkpoint(
         spec_hash: spec_fingerprint(view.spec()),
         next_action_id: view.spec().next_action_id(),
         spec_text: view.spec().render(),
-        cube_stats: view.cubes().iter().map(|c| c.stats().clone()).collect(),
+        cube_stats: view.cubes().iter().map(stats_of).collect(),
+        cube_bytes: if legacy { Vec::new() } else { cube_bytes },
     };
     fs.write(&tmp.join("MANIFEST"), &manifest.encode())
         .map_err(|e| err(&e))?;
@@ -380,7 +452,10 @@ pub(crate) fn load_checkpoint(
     }
     // Persisted stats (format ≥ 2) must be bit-identical to a fresh
     // recomputation from the loaded cube files — stale or forged stats
-    // are a corruption signal, not something to silently repair.
+    // are a corruption signal, not something to silently repair. A
+    // format-≤2 checkpoint never stored hulls/origins, so its stats are
+    // checked against the legacy projection; `install_checkpoint` below
+    // recomputes full extended stats for the live cubes either way.
     for (i, persisted) in manifest.cube_stats.iter().enumerate() {
         let path = ckpt.join(format!("cube-{i}.sdr"));
         let Some(mo) = mos.get(i) else {
@@ -389,7 +464,13 @@ pub(crate) fn load_checkpoint(
                 path.display()
             )));
         };
-        if SubcubeStats::compute(mo, persisted.last_epoch) != *persisted {
+        let computed = SubcubeStats::compute(mo, persisted.last_epoch);
+        let matches = if manifest.format >= 3 {
+            computed == *persisted
+        } else {
+            computed.legacy_projection() == *persisted
+        };
+        if !matches {
             return Err(SubcubeError::Storage(format!(
                 "{}: persisted cube statistics diverge from recomputation",
                 path.display()
@@ -444,6 +525,31 @@ impl SubcubeManager {
             0
         };
         write_checkpoint(&self.view(), fs.as_ref(), dir, epoch, 0)?;
+        Wal::create(Arc::clone(fs), dir.join(wal_name(epoch)), epoch)
+            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        write_current(fs.as_ref(), dir, epoch)?;
+        sweep_garbage(fs.as_ref(), dir, epoch);
+        Ok(epoch)
+    }
+
+    /// Writes `dir` exactly as the format-2 (PR 6) checkpointer would
+    /// have: `SDRFACT1` cube files without dictionary/bit-packed
+    /// columns, a format-2 manifest (legacy-projected stats, no byte
+    /// table). **For the storage-format migration tests only** — it
+    /// lets the suite fabricate an old warehouse directory and prove
+    /// that current code loads it and re-checkpoints it as format 3.
+    /// Returns the published epoch.
+    pub fn save_legacy_format2_fs(
+        &self,
+        fs: &Arc<dyn Fs>,
+        dir: &Path,
+    ) -> Result<u64, SubcubeError> {
+        let epoch = if fs.exists(&dir.join("CURRENT")) {
+            read_current(fs.as_ref(), dir)? + 1
+        } else {
+            0
+        };
+        write_checkpoint_fmt(&self.view(), fs.as_ref(), dir, epoch, 0, true)?;
         Wal::create(Arc::clone(fs), dir.join(wal_name(epoch)), epoch)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(fs.as_ref(), dir, epoch)?;

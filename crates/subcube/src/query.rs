@@ -23,11 +23,12 @@
 use std::sync::Arc;
 
 use sdr_mdm::{DayNum, Mo};
+use sdr_plan::{CubeSummary, QueryPlan, RegionOracle};
 use sdr_query::{aggregate_ids, select_snapshot, AggApproach, SelectMode};
 use sdr_spec::Pexp;
 
 use crate::error::SubcubeError;
-use crate::manager::{CubeId, SubcubeManager, WarehouseView};
+use crate::manager::{CubeId, Subcube, SubcubeManager, WarehouseView};
 
 /// A query against the subcube warehouse: optional selection followed by
 /// aggregate formation (the operators of Section 6).
@@ -43,24 +44,96 @@ pub struct CubeQuery {
     pub approach: AggApproach,
 }
 
+/// The planner's view of one cube: exact maintained statistics plus the
+/// cube's granularity.
+fn summarize(c: &Subcube) -> CubeSummary {
+    let s = c.stats();
+    CubeSummary {
+        rows: s.rows,
+        hulls: s.hulls.clone(),
+        origins: s.origins.clone(),
+        grain: c.grain.0.clone(),
+    }
+}
+
+/// `SDR_PLAN_VERIFY=1` — debug mode: planner-skipped cubes are evaluated
+/// anyway and the process panics if one contributes a row (the
+/// differential suite runs the whole test matrix under this).
+fn plan_verify() -> bool {
+    std::env::var("SDR_PLAN_VERIFY")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
 impl WarehouseView {
+    /// Plans `q` against this view's cubes: a scan/skip verdict per cube
+    /// from their exact statistics (and `oracle`'s proved regions, when
+    /// given), plus a cheapest-first scan order. Pruning is sound: the
+    /// planned evaluation returns exactly the naive full fan-out's
+    /// answer.
+    pub fn plan(&self, q: &CubeQuery, now: DayNum, oracle: Option<&RegionOracle>) -> QueryPlan {
+        let summaries: Vec<CubeSummary> = self.cubes().iter().map(summarize).collect();
+        sdr_plan::plan(
+            self.schema(),
+            q.pred.as_ref(),
+            q.mode,
+            now,
+            &summaries,
+            oracle,
+        )
+    }
+
     /// Evaluates `q` assuming synchronized cubes, with one worker per cube
-    /// (crossbeam scoped threads) when `parallel`.
+    /// (crossbeam scoped threads) when `parallel`. Cubes the planner
+    /// proves irrelevant (empty, hull-disjoint) are skipped; use
+    /// [`query_planned`](WarehouseView::query_planned) to also supply a
+    /// region oracle, or [`query_naive`](WarehouseView::query_naive) for
+    /// the unplanned full fan-out.
     pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
-        let subresults = self.eval_per_cube(q, now, parallel, false)?;
+        self.query_planned(q, now, parallel, None)
+    }
+
+    /// [`query`](WarehouseView::query) with an optional region oracle
+    /// (built by [`SubcubeManager::query`] from the cached reduction
+    /// schedule) enabling proved-region pruning on origin-pure cubes.
+    pub fn query_planned(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+        oracle: Option<&RegionOracle>,
+    ) -> Result<Mo, SubcubeError> {
+        let plan = self.plan(q, now, oracle);
+        let subresults = self.eval_per_cube(q, now, parallel, false, Some(&plan))?;
+        self.combine(q, subresults)
+    }
+
+    /// The unplanned full fan-out over every cube — what
+    /// [`query`](WarehouseView::query) degenerates to when nothing can be
+    /// pruned. Kept as the differential baseline: planned and naive
+    /// answers must be identical.
+    pub fn query_naive(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+    ) -> Result<Mo, SubcubeError> {
+        let subresults = self.eval_per_cube(q, now, parallel, false, None)?;
         self.combine(q, subresults)
     }
 
     /// Evaluates `q` without assuming synchronization: every sub-query
     /// additionally scans ancestor cubes for not-yet-migrated facts and
-    /// filters rows to the queried cube's responsibility.
+    /// filters rows to the queried cube's responsibility. Never planned —
+    /// a cube's statistics say nothing about rows still sitting in its
+    /// ancestors, so pruning here would be unsound.
     pub fn query_unsync(
         &self,
         q: &CubeQuery,
         now: DayNum,
         parallel: bool,
     ) -> Result<Mo, SubcubeError> {
-        let subresults = self.eval_per_cube(q, now, parallel, true)?;
+        let subresults = self.eval_per_cube(q, now, parallel, true, None)?;
         self.combine(q, subresults)
     }
 
@@ -70,6 +143,7 @@ impl WarehouseView {
         now: DayNum,
         parallel: bool,
         unsync: bool,
+        plan: Option<&QueryPlan>,
     ) -> Result<Vec<Mo>, SubcubeError> {
         let _span = sdr_obs::span("subcube.query");
         sdr_obs::attr("epoch", self.epoch());
@@ -85,6 +159,7 @@ impl WarehouseView {
             let selected = select_snapshot(input, q.pred.as_ref(), now, q.mode)?;
             Ok(aggregate_ids(&selected, &q.levels, q.approach)?)
         };
+        let verify = plan.is_some() && plan_verify();
         let eval_one = |i: usize| -> Result<Mo, SubcubeError> {
             // Fan-out latency: one sample per sub-query, so the span's
             // p50/p99 spread exposes cube-size skew across workers.
@@ -109,8 +184,70 @@ impl WarehouseView {
             drop(sub);
             r
         };
+        // Planner-skipped cubes contribute an empty sub-result without
+        // being evaluated. Under `SDR_PLAN_VERIFY=1` they are evaluated
+        // anyway — a skipped cube producing a row is a planner soundness
+        // bug and aborts loudly.
+        let skip_one = |i: usize| -> Result<Mo, SubcubeError> {
+            let reason = plan
+                .and_then(|p| p.skip_reason(i))
+                .expect("skip_one only called for skipped cubes");
+            let sub = sdr_obs::span_in("subcube.query.subquery", &ctx);
+            if sub.is_recording() {
+                let cube = &self.cubes()[i];
+                sdr_obs::attr("subcube", format_args!("K{i}"));
+                sdr_obs::attr("epoch", cube.epoch());
+                sdr_obs::attr("rows_in", cube.data().len());
+                sdr_obs::attr("rows_out", 0u64);
+                sdr_obs::attr("skipped", reason.label());
+            }
+            drop(sub);
+            if verify {
+                // Evaluate the skipped cube anyway (span-free, so the
+                // fan-out telemetry matches the plan) and abort if it
+                // contributes anything.
+                let mo = run(&self.cubes()[i].snapshot())?;
+                assert_eq!(
+                    mo.len(),
+                    0,
+                    "planner skipped K{i} ({}) but it contributes {} rows",
+                    reason.label(),
+                    mo.len()
+                );
+            }
+            Ok(Mo::new(Arc::clone(self.schema())))
+        };
+        let dispatch = |i: usize| -> Result<Mo, SubcubeError> {
+            match plan {
+                Some(p) if !p.scans(i) => skip_one(i),
+                _ => eval_one(i),
+            }
+        };
         if !parallel || n <= 1 {
-            return (0..n).map(eval_one).collect();
+            // Sequential evaluation follows the plan's cheapest-first
+            // order (skips are free; results land in cube order).
+            let mut results: Vec<Option<Mo>> = (0..n).map(|_| None).collect();
+            match plan {
+                Some(p) => {
+                    for &i in &p.order {
+                        results[i] = Some(eval_one(i)?);
+                    }
+                    for (i, slot) in results.iter_mut().enumerate() {
+                        if slot.is_none() {
+                            *slot = Some(skip_one(i)?);
+                        }
+                    }
+                }
+                None => {
+                    for (i, slot) in results.iter_mut().enumerate() {
+                        *slot = Some(eval_one(i)?);
+                    }
+                }
+            }
+            return Ok(results
+                .into_iter()
+                .map(|r| r.expect("all cubes dispatched"))
+                .collect());
         }
         sdr_obs::add("subcube.query.fanout", n as u64);
         // One worker per cube; results streamed back over a channel so the
@@ -119,9 +256,9 @@ impl WarehouseView {
         std::thread::scope(|s| {
             for i in 0..n {
                 let tx = tx.clone();
-                let eval_one = &eval_one;
+                let dispatch = &dispatch;
                 s.spawn(move || {
-                    let r = eval_one(i);
+                    let r = dispatch(i);
                     let _ = tx.send((i, r));
                 });
             }
@@ -186,17 +323,30 @@ impl WarehouseView {
 }
 
 impl SubcubeManager {
-    /// Evaluates `q` on a fresh view of the current version. Counts a
-    /// stale read when a newer version was published while the query ran
-    /// — the answer is still consistent (it saw one whole version), just
-    /// not the newest.
+    /// Evaluates `q` on a fresh view of the current version, planned with
+    /// the full oracle set: exact per-cube statistics plus the proved
+    /// regions of the cached reduction schedule. Counts a stale read when
+    /// a newer version was published while the query ran — the answer is
+    /// still consistent (it saw one whole version), just not the newest.
     pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
         let view = self.view();
-        let r = view.query(q, now, parallel);
+        let oracle = self.region_oracle(&view);
+        let r = view.query_planned(q, now, parallel, oracle.as_ref());
         if self.epoch() > view.epoch() {
             sdr_obs::inc("subcube.query.stale_reads");
         }
         r
+    }
+
+    /// The region oracle for `view`, built from the cached
+    /// [`sdr_reduce::ReductionSchedule`] of its spec. `None` when the
+    /// view was never synchronized (no cube content is action-placed yet)
+    /// or the schedule cannot be built — planning then falls back to
+    /// statistics-only pruning, never to an error.
+    pub fn region_oracle(&self, view: &WarehouseView) -> Option<RegionOracle> {
+        let last_sync = view.last_sync()?;
+        let schedule = self.schedule_for(&view.v.spec).ok()?;
+        Some(RegionOracle::build(&schedule, last_sync))
     }
 
     /// [`WarehouseView::query_unsync`] on a fresh view of the current

@@ -17,7 +17,7 @@
 //! subcube DAG (which cubes a query scanned, which were skippable), so
 //! the numbers here must be exact, not estimates.
 
-use sdr_mdm::{KeyPacker, Mo};
+use sdr_mdm::{CatId, DimId, DimValue, Dimension, KeyPacker, Mo, TimeValue};
 
 use crate::error::SubcubeError;
 
@@ -54,7 +54,28 @@ pub struct SubcubeStats {
     /// The warehouse epoch at which the cube's facts were last replaced
     /// (mirrors `Subcube::epoch`).
     pub last_epoch: u64,
+    /// Per-dimension bottom-footprint hull (schema order): the smallest
+    /// interval covering the *bottom-category* footprint of every stored
+    /// cell — day serials for time dimensions (a `⊤` cell covers the
+    /// dimension horizon, matching the query comparison's footprint),
+    /// interned bottom-value ids for enumerated dimensions. The hull
+    /// lives in the same coordinate space as the prover's ground sets
+    /// (`DayInterval` / `BitSet`), so the planner can test an atom's
+    /// ground set against it directly. `None` means "no hull": the cube
+    /// is empty, a value failed to resolve, or the stats predate format
+    /// 3 — the planner must not prune on that dimension.
+    pub hulls: Vec<Option<(i64, i64)>>,
+    /// Sorted distinct values of the origin column (the responsible
+    /// [`sdr_spec::ActionId`] index per fact, `u32::MAX` for
+    /// user-inserted rows). `None` when more than [`MAX_ORIGINS`]
+    /// distinct origins occur (or the stats predate format 3) — the
+    /// planner then skips origin-gated region pruning for this cube.
+    pub origins: Option<Vec<u32>>,
 }
+
+/// Cap on the distinct-origin set kept in [`SubcubeStats::origins`];
+/// beyond it the set degrades to `None` (planner: no region oracle).
+pub const MAX_ORIGINS: usize = 64;
 
 impl SubcubeStats {
     /// Computes exact statistics of `mo`'s fact snapshot, stamped with
@@ -64,6 +85,7 @@ impl SubcubeStats {
         let n = store.len();
         let n_dims = mo.schema().n_dims();
         let mut dims = Vec::with_capacity(n_dims);
+        let mut hulls = Vec::with_capacity(n_dims);
         for d in 0..n_dims {
             let cats = &store.cats[d];
             let codes = &store.codes[d];
@@ -73,11 +95,21 @@ impl SubcubeStats {
                 seen.insert((cats[i], codes[i]));
                 *per_cat.entry(cats[i]).or_insert(0) += 1;
             }
+            hulls.push(dim_hull(mo.schema().dim(DimId(d as u16)), &seen));
             dims.push(DimColStats {
                 distinct: seen.len() as u32,
                 per_cat: per_cat.into_iter().collect(),
             });
         }
+        let mut origin_set = std::collections::BTreeSet::new();
+        for i in 0..n {
+            origin_set.insert(store.origin[i]);
+            if origin_set.len() > MAX_ORIGINS {
+                break;
+            }
+        }
+        let origins =
+            (origin_set.len() <= MAX_ORIGINS).then(|| origin_set.into_iter().collect::<Vec<u32>>());
         let (mut key_min, mut key_max) = (None, None);
         if n > 0 {
             if let Some(packer) = KeyPacker::new(mo.schema()) {
@@ -99,12 +131,28 @@ impl SubcubeStats {
             key_min,
             key_max,
             last_epoch: epoch,
+            hulls,
+            origins,
+        }
+    }
+
+    /// A copy stripped to the format-2 fields (no hulls, no origins) —
+    /// what a pre-format-3 checkpoint persisted. Recovery of old
+    /// directories verifies persisted stats against this projection of a
+    /// fresh recomputation.
+    pub fn legacy_projection(&self) -> SubcubeStats {
+        SubcubeStats {
+            hulls: Vec::new(),
+            origins: None,
+            ..self.clone()
         }
     }
 
     /// Serializes into a manifest stats block (fixed little-endian
-    /// layout; the enclosing manifest carries the CRC).
-    pub(crate) fn encode_into(&self, b: &mut Vec<u8>) {
+    /// layout; the enclosing manifest carries the CRC). `extended`
+    /// appends the format-3 hull/origin block; a format-2 manifest must
+    /// pass `false` to reproduce the PR 6 layout byte-for-byte.
+    pub(crate) fn encode_into(&self, b: &mut Vec<u8>, extended: bool) {
         b.extend_from_slice(&self.rows.to_le_bytes());
         b.extend_from_slice(&self.bytes.to_le_bytes());
         b.extend_from_slice(&self.last_epoch.to_le_bytes());
@@ -120,11 +168,35 @@ impl SubcubeStats {
                 b.extend_from_slice(&rows.to_le_bytes());
             }
         }
+        if !extended {
+            return;
+        }
+        b.extend_from_slice(&(self.hulls.len() as u32).to_le_bytes());
+        for h in &self.hulls {
+            b.push(h.is_some() as u8);
+            let (lo, hi) = h.unwrap_or((0, 0));
+            b.extend_from_slice(&lo.to_le_bytes());
+            b.extend_from_slice(&hi.to_le_bytes());
+        }
+        match &self.origins {
+            None => b.push(0),
+            Some(os) => {
+                b.push(1);
+                b.extend_from_slice(&(os.len() as u32).to_le_bytes());
+                for o in os {
+                    b.extend_from_slice(&o.to_le_bytes());
+                }
+            }
+        }
     }
 
     /// Decodes one stats block via the manifest's cursor-style reader.
+    /// `extended` must mirror what [`SubcubeStats::encode_into`] wrote
+    /// (manifest format ≥ 3); legacy blocks decode with empty hulls and
+    /// no origin set.
     pub(crate) fn decode_from(
         take: &mut dyn FnMut(usize) -> Result<Vec<u8>, SubcubeError>,
+        extended: bool,
     ) -> Result<SubcubeStats, SubcubeError> {
         let u64_at = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
         let rows = u64_at(&take(8)?);
@@ -145,6 +217,26 @@ impl SubcubeStats {
             }
             dims.push(DimColStats { distinct, per_cat });
         }
+        let (mut hulls, mut origins) = (Vec::new(), None);
+        if extended {
+            let i64_at = |b: &[u8]| i64::from_le_bytes(b.try_into().unwrap());
+            let n_hulls = u32::from_le_bytes(take(4)?.as_slice().try_into().unwrap()) as usize;
+            hulls.reserve(n_hulls.min(256));
+            for _ in 0..n_hulls {
+                let present = take(1)?[0] != 0;
+                let lo = i64_at(&take(8)?);
+                let hi = i64_at(&take(8)?);
+                hulls.push(present.then_some((lo, hi)));
+            }
+            if take(1)?[0] != 0 {
+                let n = u32::from_le_bytes(take(4)?.as_slice().try_into().unwrap()) as usize;
+                let mut os = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    os.push(u32::from_le_bytes(take(4)?.as_slice().try_into().unwrap()));
+                }
+                origins = Some(os);
+            }
+        }
         Ok(SubcubeStats {
             rows,
             bytes,
@@ -152,6 +244,8 @@ impl SubcubeStats {
             key_min: has_keys.then_some(key_min_raw),
             key_max: has_keys.then_some(key_max_raw),
             last_epoch,
+            hulls,
+            origins,
         })
     }
 
@@ -165,6 +259,54 @@ impl SubcubeStats {
             _ => false,
         }
     }
+
+    /// The bottom-footprint hull of dimension `d`, if one was computed
+    /// (see [`SubcubeStats::hulls`]).
+    pub fn hull(&self, d: usize) -> Option<(i64, i64)> {
+        self.hulls.get(d).copied().flatten()
+    }
+}
+
+/// The bottom-footprint hull of one dimension column: the smallest
+/// interval (in ground-set coordinates — day serials for time, interned
+/// bottom ids for enums) containing the bottom footprint of every
+/// distinct stored value. `None` when the column is empty or a value
+/// fails to resolve, which the planner must read as "cannot prune".
+fn dim_hull(dim: &Dimension, seen: &std::collections::BTreeSet<(u8, u64)>) -> Option<(i64, i64)> {
+    if seen.is_empty() {
+        return None;
+    }
+    let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+    match dim {
+        Dimension::Time(t) => {
+            for &(cat, code) in seen {
+                let v = TimeValue::from_code(CatId(cat), code).ok()?;
+                let (s, e) = match (v.start_day(), v.end_day()) {
+                    (Some(s), Some(e)) => (s as i64, e as i64),
+                    // ⊤ has no intrinsic extent; its query footprint is
+                    // the dimension horizon (`compare::footprint`).
+                    _ => (t.min_day as i64, t.max_day as i64),
+                };
+                lo = lo.min(s);
+                hi = hi.max(e);
+            }
+        }
+        Dimension::Enum(e) => {
+            let bottom = e.graph().bottom();
+            for &(cat, code) in seen {
+                if CatId(cat) == bottom {
+                    lo = lo.min(code as i64);
+                    hi = hi.max(code as i64);
+                    continue;
+                }
+                for b in e.drill_down(DimValue::new(CatId(cat), code), bottom).ok()? {
+                    lo = lo.min(b.code as i64);
+                    hi = hi.max(b.code as i64);
+                }
+            }
+        }
+    }
+    (lo <= hi).then_some((lo, hi))
 }
 
 #[cfg(test)]
@@ -212,17 +354,85 @@ mod tests {
             SubcubeStats::compute(&mo, 3),
             SubcubeStats::compute(&mo.empty_like(), 0),
         ] {
+            // Extended (format ≥ 3) round-trip is lossless.
             let mut b = Vec::new();
-            s.encode_into(&mut b);
+            s.encode_into(&mut b, true);
             let mut pos = 0usize;
             let mut take = |n: usize| -> Result<Vec<u8>, SubcubeError> {
                 let out = b[pos..pos + n].to_vec();
                 pos += n;
                 Ok(out)
             };
-            assert_eq!(SubcubeStats::decode_from(&mut take).unwrap(), s);
+            assert_eq!(SubcubeStats::decode_from(&mut take, true).unwrap(), s);
             assert_eq!(pos, b.len(), "decoder consumed the whole block");
+            // Legacy (format 2) round-trip drops exactly the extension.
+            let mut b = Vec::new();
+            s.encode_into(&mut b, false);
+            let mut pos = 0usize;
+            let mut take = |n: usize| -> Result<Vec<u8>, SubcubeError> {
+                let out = b[pos..pos + n].to_vec();
+                pos += n;
+                Ok(out)
+            };
+            assert_eq!(
+                SubcubeStats::decode_from(&mut take, false).unwrap(),
+                s.legacy_projection()
+            );
+            assert_eq!(pos, b.len(), "legacy decoder consumed the whole block");
         }
+    }
+
+    #[test]
+    fn hulls_cover_every_fact_footprint() {
+        let (mo, _) = paper_mo();
+        let s = SubcubeStats::compute(&mo, 1);
+        assert_eq!(s.hulls.len(), mo.schema().n_dims());
+        let schema = mo.schema().clone();
+        for d in 0..schema.n_dims() {
+            let (lo, hi) = s.hull(d).expect("non-empty cube has a hull");
+            let dim = schema.dim(sdr_mdm::DimId(d as u16));
+            for f in mo.facts() {
+                let cat = CatId(mo.store().cats[d][f.index()]);
+                let code = mo.store().codes[d][f.index()];
+                match dim {
+                    Dimension::Time(t) => {
+                        let v = TimeValue::from_code(cat, code).unwrap();
+                        let (s0, e0) = match (v.start_day(), v.end_day()) {
+                            (Some(a), Some(b)) => (a as i64, b as i64),
+                            _ => (t.min_day as i64, t.max_day as i64),
+                        };
+                        assert!(lo <= s0 && e0 <= hi, "dim {d}: [{s0},{e0}] ⊄ [{lo},{hi}]");
+                    }
+                    Dimension::Enum(e) => {
+                        let bottom = e.graph().bottom();
+                        for b in e.drill_down(DimValue::new(cat, code), bottom).unwrap() {
+                            let id = b.code as i64;
+                            assert!(lo <= id && id <= hi, "dim {d}: id {id} ∉ [{lo},{hi}]");
+                        }
+                    }
+                }
+            }
+        }
+        // Empty cube: no hulls, empty (but present) origin set.
+        let empty = SubcubeStats::compute(&mo.empty_like(), 0);
+        assert!(empty.hulls.iter().all(Option::is_none));
+        assert_eq!(empty.origins, Some(Vec::new()));
+    }
+
+    #[test]
+    fn origins_collects_sorted_distinct_and_caps() {
+        let (mo, _) = paper_mo();
+        let s = SubcubeStats::compute(&mo, 1);
+        let want: std::collections::BTreeSet<u32> = mo.store().origin.iter().copied().collect();
+        assert_eq!(s.origins, Some(want.into_iter().collect::<Vec<u32>>()));
+        // Synthesize > MAX_ORIGINS distinct origins → None.
+        let mut wide = mo.empty_like();
+        let coords: Vec<_> = mo.coords(mo.facts().next().unwrap());
+        for o in 0..(MAX_ORIGINS as u32 + 1) {
+            wide.insert_fact_at(&coords, &vec![1; mo.schema().n_measures()], o)
+                .unwrap();
+        }
+        assert_eq!(SubcubeStats::compute(&wide, 0).origins, None);
     }
 
     #[test]

@@ -13,6 +13,10 @@
 #   E13 aging            -> BENCH_pr7.json (steady-state incremental age
 #                          per tick vs from-scratch sync, ~100k/~1M
 #                          facts; asserts cubes were carried forward)
+#   E14 planner_storage  -> BENCH_pr8.json (planned vs naive query at 10M
+#                          facts — ≥2x on selective windows — and the
+#                          format-3 bytes-on-disk table — ≥1.6x smaller
+#                          than the raw layout; digests compared first)
 #
 # Pass additional bench names as arguments to run other targets too,
 # e.g.:  scripts/bench.sh reduction query_reduced
@@ -24,6 +28,7 @@ cargo bench -p sdr-bench --bench concurrent_read
 cargo bench -p sdr-bench --bench lint_specs
 cargo bench -p sdr-bench --bench explain_overhead
 cargo bench -p sdr-bench --bench aging
+cargo bench -p sdr-bench --bench planner_storage
 for target in "$@"; do
   cargo bench -p sdr-bench --bench "$target"
 done

@@ -21,8 +21,8 @@ run cargo clippy --workspace -- -D warnings
 # hard errors here). Vendored stubs are exempt, hence no --workspace.
 run env RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps \
   -p sdr-mdm -p sdr-spec -p sdr-lint -p sdr-prover -p sdr-reduce \
-  -p sdr-obs -p sdr-query -p sdr-storage -p sdr-subcube -p sdr-workload \
-  -p specdr
+  -p sdr-obs -p sdr-query -p sdr-plan -p sdr-storage -p sdr-subcube \
+  -p sdr-workload -p specdr
 
 # Lint gate: every checked-in example specification must pass
 # `specdr lint` with all rules denied. A warning here is a CI failure —
@@ -69,6 +69,34 @@ fi
 if ! awk -v on="$on_ns" -v off="$off_ns" 'BEGIN { exit !(on <= 2 * off + 5000000) }'; then
   echo "obs-overhead gate: disabled-registry path is not branch-only" >&2
   echo "  compiled-in ${on_ns}ns > 2 * compiled-out ${off_ns}ns + 5ms" >&2
+  exit 1
+fi
+
+# Planner differential gate: the planned evaluation must equal the
+# naive full fan-out on every query family, and every skipped cube must
+# contribute zero rows. SDR_PLAN_VERIFY=1 makes the engine re-evaluate
+# each skipped cube inside query_planned and panic on a row, so the
+# whole matrix runs with both the external and the in-engine check.
+run env SDR_PLAN_VERIFY=1 cargo test -q --release --test planner
+
+# Compression floor on the Figure 7 dataset (the default 24-month
+# click-stream under the paper's retention policy): the dictionary +
+# bit-packed format-3 cube files must total at most 0.6x their raw
+# (format-2 layout) footprint.
+echo "==> compression floor gate (encoded <= 0.6x raw)"
+bytes_json=$(cargo run -q --release --bin specdr -- stats --bytes \
+               --months 24 --clicks 200 --format json)
+raw_total=$(echo "$bytes_json" | grep -o '"raw":[0-9]*' | cut -d: -f2 \
+              | awk '{s+=$1} END {print s+0}')
+enc_total=$(echo "$bytes_json" | grep -o '"encoded":[0-9]*' | cut -d: -f2 \
+              | awk '{s+=$1} END {print s+0}')
+echo "  raw=${raw_total}B encoded=${enc_total}B"
+if [ "$raw_total" -eq 0 ] || [ "$enc_total" -eq 0 ]; then
+  echo "compression gate: missing byte totals in: $bytes_json" >&2
+  exit 1
+fi
+if ! awk -v raw="$raw_total" -v enc="$enc_total" 'BEGIN { exit !(enc <= 0.6 * raw) }'; then
+  echo "compression gate: encoded ${enc_total}B > 0.6 * raw ${raw_total}B" >&2
   exit 1
 fi
 

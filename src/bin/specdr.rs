@@ -60,7 +60,7 @@
 //!     (e.g. --where "URL.domain_grp = .com" --roll-up Time.quarter,URL.domain
 //!     --mode liberal).
 //!
-//! specdr stats [--months N] [--clicks K] [--format json|table]
+//! specdr stats [--months N] [--clicks K] [--format json|table] [--bytes]
 //!     Run the full pipeline (generate → reduce → subcube load/sync/query
 //!     → storage) with metric recording on and print the snapshot.
 //!
@@ -224,7 +224,12 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
             Ok(())
         }
         "stats" => {
-            let opts = Opts::parse(rest, "stats", &["--months", "--clicks", "--format"], &[])?;
+            let opts = Opts::parse(
+                rest,
+                "stats",
+                &["--months", "--clicks", "--format"],
+                &[("--bytes", ArgKind::Bool)],
+            )?;
             cmd_stats(&opts)
         }
         "checkpoint" => {
@@ -321,7 +326,8 @@ const USAGE: &str =
                               storage-gain simulation under a retention policy\n\
   query --where PRED [--roll-up LEVELS] [--mode conservative|liberal|weighted:T]\n\
         [--months N] [--clicks K] [--now Y/M/D]\n\
-  stats [--months N] [--clicks K] [--format json|table]\n\
+  stats [--months N] [--clicks K] [--format json|table] [--bytes]\n\
+                              (--bytes: per-subcube on-disk raw vs. encoded sizes)\n\
                               run the pipeline with metrics on, print the snapshot\n\
   checkpoint --dir DIR [--months N] [--clicks K] [--raw-months A] [--month-months B]\n\
                               load a synthetic warehouse durably (WAL) and publish\n\
@@ -1182,8 +1188,92 @@ fn cmd_stats(opts: &Opts) -> Result<(), AnyError> {
         "pipeline over {months} months × {clicks} clicks/day ({} facts):",
         cs.mo.len()
     );
+    if opts.switch("--bytes") {
+        print_cube_bytes(&mgr, format)?;
+    }
     print_snapshot(format);
     Ok(())
+}
+
+/// `specdr stats --bytes`: checkpoint the warehouse and report each
+/// subcube's on-disk footprint from the manifest's byte table — `raw` is
+/// the uncompressed row footprint, `encoded` the cube file length after
+/// dictionary/bit-packed column encoding.
+fn print_cube_bytes(mgr: &SubcubeManager, format: MetricsFormat) -> Result<(), AnyError> {
+    let dir = std::env::temp_dir().join(format!("specdr-stats-bytes-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let result = (|| -> Result<(), AnyError> {
+        mgr.save_to_dir(&dir)?;
+        let man = specdr::subcube::read_manifest(&dir)?;
+        let view = mgr.view();
+        let schema = view.schema();
+        match format {
+            MetricsFormat::Json => {
+                let mut out = String::from("{\"cube_bytes\":[");
+                for (i, c) in view.cubes().iter().enumerate() {
+                    let (raw, enc) = man.cube_bytes.get(i).copied().unwrap_or((0, 0));
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"id\":{i},\"grain\":\"{}\",\"rows\":{},\"raw\":{raw},\"encoded\":{enc}}}",
+                        schema.render_granularity(&c.grain),
+                        c.stats().rows,
+                    ));
+                }
+                out.push_str("]}");
+                println!("{out}");
+            }
+            MetricsFormat::Table => {
+                println!(
+                    "\non-disk bytes per subcube (checkpoint format {}):",
+                    man.format
+                );
+                println!(
+                    "  {:<5} {:<38} {:>10} {:>12} {:>12} {:>7}",
+                    "cube", "grain", "rows", "raw", "encoded", "ratio"
+                );
+                let (mut traw, mut tenc) = (0u64, 0u64);
+                for (i, c) in view.cubes().iter().enumerate() {
+                    let (raw, enc) = man.cube_bytes.get(i).copied().unwrap_or((0, 0));
+                    traw += raw;
+                    tenc += enc;
+                    let ratio = if enc > 0 && raw > 0 {
+                        format!("{:.2}x", raw as f64 / enc as f64)
+                    } else {
+                        "-".to_string()
+                    };
+                    println!(
+                        "  K{:<4} {:<38} {:>10} {:>12} {:>12} {:>7}",
+                        i,
+                        schema.render_granularity(&c.grain),
+                        c.stats().rows,
+                        raw,
+                        enc,
+                        ratio
+                    );
+                }
+                let ratio = if tenc > 0 {
+                    format!("{:.2}x", traw as f64 / tenc as f64)
+                } else {
+                    "-".to_string()
+                };
+                println!(
+                    "  {:<5} {:<38} {:>10} {:>12} {:>12} {:>7}",
+                    "total",
+                    "",
+                    view.len(),
+                    traw,
+                    tenc,
+                    ratio
+                );
+            }
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    result
 }
 
 fn cmd_concurrent(opts: &Opts) -> Result<(), AnyError> {

@@ -50,6 +50,13 @@ pub struct CubeReport {
     /// True when scanning the cube was provably unnecessary — the
     /// operation read it and produced nothing from it.
     pub skippable: bool,
+    /// The query planner's verdict (`"scan"`, `"skip(empty)"`,
+    /// `"skip(zone)"`, `"skip(region)"`); `None` for non-query
+    /// operations, which have no plan.
+    pub planned: Option<String>,
+    /// The planner's scan-cost estimate (stored rows — exact, since
+    /// statistics are maintained). `None` when there is no plan.
+    pub cost: Option<u64>,
 }
 
 /// One phase of the operation: all trace spans sharing a path,
@@ -160,6 +167,8 @@ fn dag_of(view: &sdr_subcube::WarehouseView) -> Vec<CubeReport> {
                 scanned: false,
                 rows_out: 0,
                 skippable: false,
+                planned: None,
+                cost: None,
             }
         })
         .collect()
@@ -168,7 +177,10 @@ fn dag_of(view: &sdr_subcube::WarehouseView) -> Vec<CubeReport> {
 /// Explains a query: evaluates `q` on the manager with tracing on and
 /// returns the answer plus the annotated report. Scanned/output counts
 /// per cube come from the `subcube.query.subquery` span attributes; a
-/// scanned cube that contributed no rows is marked skippable.
+/// scanned cube that contributed no rows is marked skippable. Each cube
+/// also carries the planner's verdict (scan with a cost estimate, or the
+/// skip reason) — planning is deterministic, so the report's plan is the
+/// one the evaluation followed.
 pub fn explain_query(
     mgr: &SubcubeManager,
     q: &CubeQuery,
@@ -179,6 +191,7 @@ pub fn explain_query(
     let view = mgr.view();
     let mut cubes = dag_of(&view);
     annotate_query_scans(&mut cubes, &snap);
+    annotate_plan(&mut cubes, mgr, &view, q, now);
     let report = Introspection {
         op: "query".into(),
         now,
@@ -193,7 +206,9 @@ pub fn explain_query(
 
 /// Marks every cube with a `subcube.query.subquery` span as scanned and
 /// copies its `rows_out` attribute; a scanned cube that produced nothing
-/// is skippable.
+/// is skippable. Spans stamped with a `skipped` attr were planner skips:
+/// the cube was *not* evaluated (and by planner soundness contributed
+/// nothing).
 fn annotate_query_scans(cubes: &mut [CubeReport], snap: &Snapshot) {
     for t in &snap.traces {
         if t.name != "subcube.query.subquery" {
@@ -206,9 +221,41 @@ fn annotate_query_scans(cubes: &mut [CubeReport], snap: &Snapshot) {
             continue;
         };
         if let Some(c) = cubes.get_mut(id) {
+            if attr_str(&t.attrs, "skipped").is_some() {
+                c.scanned = false;
+                c.rows_out = 0;
+                c.skippable = false;
+                continue;
+            }
             c.scanned = true;
             c.rows_out = attr_u64(&t.attrs, "rows_out").unwrap_or(0);
             c.skippable = c.rows_out == 0;
+        }
+    }
+}
+
+/// Re-plans `q` against `view` (planning is deterministic and
+/// side-effect-free) and stamps each cube with the verdict and cost the
+/// evaluation used.
+fn annotate_plan(
+    cubes: &mut [CubeReport],
+    mgr: &SubcubeManager,
+    view: &sdr_subcube::WarehouseView,
+    q: &CubeQuery,
+    now: DayNum,
+) {
+    let oracle = mgr.region_oracle(view);
+    let plan = view.plan(q, now, oracle.as_ref());
+    for (c, p) in cubes.iter_mut().zip(&plan.cubes) {
+        match p.decision {
+            sdr_plan::Decision::Scan { cost } => {
+                c.planned = Some("scan".into());
+                c.cost = Some(cost);
+            }
+            sdr_plan::Decision::Skip { reason } => {
+                c.planned = Some(format!("skip({})", reason.label()));
+                c.cost = Some(0);
+            }
         }
     }
 }
@@ -231,6 +278,7 @@ pub fn profile(
     let view = mgr.view();
     let mut cubes = dag_of(&view);
     annotate_query_scans(&mut cubes, &snap);
+    annotate_plan(&mut cubes, mgr, &view, q, now);
     let report = Introspection {
         op: "profile".into(),
         now,
@@ -351,9 +399,15 @@ impl Introspection {
                 Some((lo, hi)) => format!("\"key_min\":\"{lo:#x}\",\"key_max\":\"{hi:#x}\","),
                 None => String::new(),
             };
+            let planned = match (&c.planned, c.cost) {
+                (Some(p), Some(cost)) => {
+                    format!("\"planned\":\"{}\",\"cost\":{cost},", json_escape(p))
+                }
+                _ => String::new(),
+            };
             out.push_str(&format!(
                 "{{\"id\":{},\"grain\":\"{}\",\"parents\":[{}],\"rows\":{},\"bytes\":{},\
-                 \"epoch\":{},\"distinct\":[{}],{keys}\"scanned\":{},\"rows_out\":{},\
+                 \"epoch\":{},\"distinct\":[{}],{keys}{planned}\"scanned\":{},\"rows_out\":{},\
                  \"skippable\":{}}}",
                 c.id,
                 json_escape(&c.grain),
@@ -396,12 +450,20 @@ impl Introspection {
         ));
         for c in &self.cubes {
             let parents: Vec<String> = c.parents.iter().map(|p| format!("K{p}")).collect();
-            let mark = if !c.scanned {
-                "not scanned"
-            } else if c.skippable {
-                "scanned, skippable (0 rows matched)"
-            } else {
-                "scanned"
+            let mark = match (&c.planned, c.scanned) {
+                (Some(p), false) if p.starts_with("skip") => {
+                    format!("planner skipped: {p}")
+                }
+                (Some(_), true) if c.skippable => {
+                    format!(
+                        "planned scan (cost={}), skippable (0 rows matched)",
+                        c.cost.unwrap_or(c.rows)
+                    )
+                }
+                (Some(_), true) => format!("planned scan (cost={})", c.cost.unwrap_or(c.rows)),
+                (_, false) => "not scanned".to_string(),
+                (_, true) if c.skippable => "scanned, skippable (0 rows matched)".to_string(),
+                (_, true) => "scanned".to_string(),
             };
             out.push_str(&format!(
                 "  K{} {:<38} rows={:<8} bytes={:<10} epoch={:<4} parents=[{}]\n",
@@ -484,8 +546,21 @@ mod tests {
         assert_eq!(report.result_rows, answer.len() as u64);
         assert_eq!(report.cubes.len(), m.n_cubes());
         for c in &report.cubes {
-            assert!(c.scanned, "synchronized query scans every cube: {c:?}");
+            // Every cube is either evaluated or provably irrelevant —
+            // and the planner's verdict agrees with what actually ran.
+            match c.planned.as_deref() {
+                Some("scan") => assert!(c.scanned, "planned scan must run: {c:?}"),
+                Some(skip) => {
+                    assert!(skip.starts_with("skip("), "{c:?}");
+                    assert!(!c.scanned, "planner-skipped cube must not run: {c:?}");
+                }
+                None => panic!("query explain always carries a plan: {c:?}"),
+            }
         }
+        assert!(
+            report.cubes.iter().any(|c| c.scanned),
+            "a non-empty warehouse scans at least one cube"
+        );
         // The per-cube output rows sum to at least the answer (the final
         // combine can only merge rows, never invent them).
         let contributed: u64 = report.cubes.iter().map(|c| c.rows_out).sum();

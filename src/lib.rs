@@ -14,6 +14,8 @@
 //! * [`lint`] — static analysis over parsed specifications: span-anchored
 //!   diagnostics (L001–L007) with concrete counterexamples (`specdr lint`);
 //! * [`query`] — the query algebra over reduced MOs (Section 6);
+//! * [`plan`] — cost-based subcube query planning over exact per-cube
+//!   statistics and proved regions (`specdr explain --query`);
 //! * [`storage`] — the columnar star-schema substrate (Section 7);
 //! * [`subcube`] — the subcube implementation strategy (Section 7);
 //! * [`workload`] — the paper's example dataset and synthetic click-stream
@@ -36,6 +38,7 @@ pub use sdr_obs as obs;
 pub use sdr_prover as prover;
 pub use sdr_spec as spec;
 
+pub use sdr_plan as plan;
 pub use sdr_query as query;
 pub use sdr_reduce as reduce;
 pub use sdr_storage as storage;

@@ -837,3 +837,112 @@ fn seeded_aging_crash_schedule_is_deterministic() {
         digests[0]
     );
 }
+
+/// ISSUE 8, satellite 4: storage-format round-trip matrix. A directory
+/// written by the format-2 (PR 6) checkpointer must load under current
+/// code, and re-checkpointing it as format 3 must be crash-atomic: a
+/// [`FailpointFs`] fault at any mutating fs op of the rewrite leaves
+/// the directory loadable — at either the legacy or the migrated
+/// checkpoint — with bit-identical warehouse state, and a clean retry
+/// always lands on format 3 with statistics matching a recomputation.
+#[test]
+fn format2_migration_crash_matrix() {
+    let (mo, _) = paper_mo();
+    let schema = Arc::clone(mo.schema());
+    let a1 = parse_action(&schema, ACTION_A1).unwrap();
+    let a2 = parse_action(&schema, ACTION_A2).unwrap();
+    let spec = DataReductionSpec::new(schema, vec![a1, a2]).unwrap();
+    let m = SubcubeManager::new(spec.clone());
+    m.bulk_load(&mo).unwrap();
+    m.sync(days_from_civil(2000, 11, 5)).unwrap();
+    let want = state(&m);
+    let fs: Arc<dyn Fs> = RealFs::shared();
+
+    // Clean round trip: fabricated legacy dir -> current loader ->
+    // format-3 re-checkpoint -> identical state either side.
+    let dir = tmpdir("fmt2-clean");
+    m.save_legacy_format2_fs(&fs, &dir).unwrap();
+    let legacy = specdr::subcube::read_manifest(&dir).unwrap();
+    assert_eq!(
+        legacy.format, 2,
+        "fabricated dir must read back as format 2"
+    );
+    let loaded = SubcubeManager::load_from_dir(spec.clone(), &dir).unwrap();
+    assert_eq!(
+        state(&loaded),
+        want,
+        "legacy checkpoint loads bit-identically"
+    );
+    loaded.save_to_dir_fs(&fs, &dir).unwrap();
+    assert_eq!(specdr::subcube::read_manifest(&dir).unwrap().format, 3);
+    let reloaded = SubcubeManager::load_from_dir(spec.clone(), &dir).unwrap();
+    assert_eq!(state(&reloaded), want, "migrated checkpoint round-trips");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Count the mutating fs ops of one clean migration rewrite.
+    let dir = tmpdir("fmt2-count");
+    m.save_legacy_format2_fs(&fs, &dir).unwrap();
+    let counting = FailpointFs::counting(RealFs::shared());
+    let counting_dyn: Arc<dyn Fs> = counting.clone();
+    SubcubeManager::load_from_dir(spec.clone(), &dir)
+        .unwrap()
+        .save_to_dir_fs(&counting_dyn, &dir)
+        .unwrap();
+    let total = counting.ops();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        total > 5,
+        "rewrite too small to be interesting: {total} fs ops"
+    );
+
+    for mode in FaultMode::ALL {
+        for k in 0..total {
+            let ctx = format!("fmt2 mode={mode:?} fail_op={k}");
+            let dir = tmpdir("fmt2-matrix");
+            m.save_legacy_format2_fs(&fs, &dir).unwrap();
+            let loaded = SubcubeManager::load_from_dir(spec.clone(), &dir).unwrap();
+            let shim = FailpointFs::new(RealFs::shared(), 0xF0F2F3 ^ k, k, mode);
+            let shim_dyn: Arc<dyn Fs> = shim.clone();
+            let res = loaded.save_to_dir_fs(&shim_dyn, &dir);
+            assert!(shim.crashed(), "{ctx}: fault never fired");
+
+            // Crash or not, the directory stays loadable with identical
+            // state: either checkpoint generation may be live, but never
+            // a torn mixture.
+            let recovered = SubcubeManager::load_from_dir(spec.clone(), &dir)
+                .unwrap_or_else(|e| panic!("{ctx}: load after crash failed: {e}"));
+            assert_eq!(state(&recovered), want, "{ctx}: state torn by crash");
+            let mf = specdr::subcube::read_manifest(&dir).unwrap();
+            if res.is_ok() {
+                assert_eq!(mf.format, 3, "{ctx}: acked rewrite must be format 3");
+            } else {
+                assert!(
+                    mf.format == 2 || mf.format == 3,
+                    "{ctx}: unknown live format {}",
+                    mf.format
+                );
+            }
+
+            // A clean retry always completes the migration.
+            recovered
+                .save_to_dir_fs(&fs, &dir)
+                .unwrap_or_else(|e| panic!("{ctx}: retry failed: {e}"));
+            assert_eq!(
+                specdr::subcube::read_manifest(&dir).unwrap().format,
+                3,
+                "{ctx}"
+            );
+            let done = SubcubeManager::load_from_dir(spec.clone(), &dir).unwrap();
+            assert_eq!(state(&done), want, "{ctx}: migrated state diverges");
+            let v = done.view();
+            for (i, c) in v.cubes().iter().enumerate() {
+                assert_eq!(
+                    *c.stats(),
+                    SubcubeStats::compute(c.data(), c.epoch()),
+                    "{ctx}: K{i} statistics diverge after migration"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

@@ -88,13 +88,13 @@ fn explain_counts_match_naive_references() {
         let selected = select_snapshot(&cube.snapshot(), q.pred.as_ref(), now, q.mode).unwrap();
         let naive = aggregate_ids_naive(&selected, &q.levels, q.approach).unwrap();
         assert_eq!(rep.rows_out, naive.len() as u64, "K{i} rows_out");
-        assert_eq!(rep.skippable, naive.len() == 0, "K{i} skippable");
+        assert_eq!(rep.skippable, naive.is_empty(), "K{i} skippable");
     }
     assert!(report.cubes.iter().any(|c| !c.skippable));
 
-    // A window before any fact exists: every cube is scanned yet
-    // skippable, and the answer is empty — the annotation is not
-    // vacuous.
+    // A window before any fact exists: the planner proves every cube
+    // irrelevant from its statistics — nothing is scanned, the answer is
+    // empty, and each report row carries the skip verdict.
     let empty_q = CubeQuery {
         pred: Some(parse_pexp(m.schema(), "Time.month < 1999/1").unwrap()),
         mode: SelectMode::Conservative,
@@ -102,7 +102,14 @@ fn explain_counts_match_naive_references() {
     };
     let (empty_answer, empty_report) = explain_query(&m, &empty_q, now, false).unwrap();
     assert_eq!(empty_answer.len(), 0);
-    assert!(empty_report.cubes.iter().all(|c| c.scanned && c.skippable));
+    for c in &empty_report.cubes {
+        assert!(!c.scanned, "planner prunes the impossible window: {c:?}");
+        assert!(
+            c.planned.as_deref().is_some_and(|p| p.starts_with("skip(")),
+            "{c:?}"
+        );
+        assert_eq!(c.rows_out, 0, "{c:?}");
+    }
 
     // --- Phase 2: the exported chrome trace is a well-formed
     // parent/child tree.

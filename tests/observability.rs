@@ -106,7 +106,8 @@ fn metrics_agree_with_authoritative_numbers() {
     assert_eq!(snap.span("subcube.sync.scan").map_or(0, |s| s.count), 0);
 
     // --- Phase 4: parallel query. Fan-out covers every cube; one
-    // sub-query span per cube plus the final combine aggregation.
+    // sub-query span per cube (planner-skipped ones included — they
+    // record a `skipped` attr) plus the final combine aggregation.
     obs::reset();
     let (tdim, month) = schema.resolve_cat("Time.month").unwrap();
     let mut levels = schema.bottom_granularity().0;
@@ -124,8 +125,23 @@ fn metrics_agree_with_authoritative_numbers() {
     assert_eq!(snap.counter("subcube.query.fanout"), Some(n_cubes));
     assert_eq!(snap.span("subcube.query.subquery").unwrap().count, n_cubes);
     assert_eq!(snap.span("subcube.query").unwrap().count, 1);
-    // aggregate runs once per sub-query + once combining.
-    assert_eq!(snap.span("query.aggregate").unwrap().count, n_cubes + 1);
+    // The planner accounts for every cube: scanned + skipped = fan-out.
+    // With no predicate, only empty cubes can be skipped.
+    let scanned = snap.counter("plan.cubes_scanned").unwrap();
+    let skipped = snap.counter("plan.cubes_skipped").unwrap();
+    assert_eq!(scanned + skipped, n_cubes);
+    assert_eq!(snap.counter("plan.skip.empty").unwrap_or(0), skipped);
+    // aggregate runs once per scanned sub-query + once combining (plus
+    // once per skipped cube when SDR_PLAN_VERIFY re-evaluates them).
+    let verify_extra = if std::env::var("SDR_PLAN_VERIFY").ok().as_deref() == Some("1") {
+        skipped
+    } else {
+        0
+    };
+    assert_eq!(
+        snap.span("query.aggregate").unwrap().count,
+        scanned + 1 + verify_extra
+    );
     assert!(snap.counter("query.aggregate.cells_produced").unwrap() >= answer.len() as u64);
 
     // --- Phase 5: lint. One timed pass per rule, per-code finding

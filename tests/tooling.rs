@@ -509,6 +509,9 @@ fn stats_json_golden_schema_is_stable() {
         names_of_kind("counter"),
         [
             "obs.trace.spans_closed",
+            "plan.cubes_scanned",
+            "plan.cubes_skipped",
+            "plan.skip.empty",
             "query.aggregate.availability.cells_visited",
             "query.aggregate.cells_produced",
             "query.aggregate.kernel.distinct_cells",
@@ -543,11 +546,13 @@ fn stats_json_golden_schema_is_stable() {
     assert_eq!(
         names_of_kind("span"),
         [
+            "plan.query",
             "query.aggregate",
             "query.select",
             "reduce.kernel.chunk",
             "reduce.reduce",
             "storage.encode",
+            "subcube.age.schedule",
             "subcube.bulk_load",
             "subcube.query",
             "subcube.query.subquery",
