@@ -34,7 +34,8 @@ pub use error::StorageError;
 pub use fs::{atomic_write, FailpointFs, FaultMode, Fs, RealFs};
 pub use table::{FactRow, FactTable, SealedSegment, TableStats, DEFAULT_SEGMENT_ROWS};
 pub use wal::{
-    crc32, is_group, pack_group, scan_wal, unpack_group, Wal, WalScan, WAL_GROUP_TAG, WAL_MAGIC,
+    crc32, is_group, pack_group, scan_wal, truncate_wal_records, unpack_group, Wal, WalScan,
+    WAL_GROUP_TAG, WAL_MAGIC,
 };
 
 #[cfg(test)]

@@ -194,6 +194,29 @@ pub fn scan_wal(fs: &dyn Fs, path: &Path) -> Result<WalScan, StorageError> {
     })
 }
 
+/// Truncates a log file to its first `keep` valid records, atomically
+/// rewriting the file as the exact byte prefix covering them (header
+/// included). Dropping acknowledged records would lose data — this is
+/// for multi-log alignment, where a record that never reached *every*
+/// log was never acknowledged and must be dropped from the logs that do
+/// hold it. Returns the number of records dropped. A `keep` at or above
+/// the record count is a no-op (the torn tail, if any, is still cut).
+pub fn truncate_wal_records(fs: &dyn Fs, path: &Path, keep: usize) -> Result<usize, StorageError> {
+    let scan = scan_wal(fs, path)?;
+    let total = scan.records.len();
+    if keep >= total && scan.dropped_bytes == 0 {
+        return Ok(0);
+    }
+    let kept = keep.min(total);
+    let mut end = WAL_HEADER_LEN;
+    for r in scan.records.iter().take(kept) {
+        end += WAL_FRAME_LEN + r.len();
+    }
+    let bytes = fs.read(path)?;
+    crate::fs::atomic_write(fs, path, &bytes[..end])?;
+    Ok(total - kept)
+}
+
 /// An append handle to one log file. Creation writes (and syncs) the
 /// header; every [`append`](Wal::append) is fsynced before returning.
 pub struct Wal {

@@ -39,9 +39,10 @@ use sdr_storage::fs::{Fs, RealFs};
 use sdr_storage::{FactTable, Wal};
 
 use crate::error::SubcubeError;
+use crate::layout::WarehouseLayout;
 use crate::manager::{AgeStats, SubcubeManager, SyncStats};
 use crate::persist::{
-    load_checkpoint, read_current, read_manifest_at, spec_from_manifest, sweep_garbage, wal_name,
+    load_checkpoint, read_current, read_manifest_at, spec_from_manifest, sweep_garbage,
     write_checkpoint, write_current,
 };
 
@@ -270,7 +271,8 @@ impl DurableWarehouse {
         dir: &Path,
         fs: Arc<dyn Fs>,
     ) -> Result<DurableWarehouse, SubcubeError> {
-        if fs.exists(&dir.join("CURRENT")) {
+        let lay = WarehouseLayout::at(dir);
+        if fs.exists(&lay.current()) {
             return Err(SubcubeError::Storage(format!(
                 "{}: already a warehouse directory (use open/recover)",
                 dir.display()
@@ -278,7 +280,7 @@ impl DurableWarehouse {
         }
         let mgr = SubcubeManager::new(spec);
         write_checkpoint(&mgr.view(), fs.as_ref(), dir, 0, 0)?;
-        let wal = Wal::create(Arc::clone(&fs), dir.join(wal_name(0)), 0)
+        let wal = Wal::create(Arc::clone(&fs), lay.wal(0), 0)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(fs.as_ref(), dir, 0)?;
         Ok(DurableWarehouse {
@@ -308,7 +310,7 @@ impl DurableWarehouse {
         dir: &Path,
         fs: Arc<dyn Fs>,
     ) -> Result<DurableWarehouse, SubcubeError> {
-        if fs.exists(&dir.join("CURRENT")) {
+        if fs.exists(&WarehouseLayout::at(dir).current()) {
             Ok(Self::recover_with_fs(spec, dir, fs)?.0)
         } else {
             Self::create_with_fs(spec, dir, fs)
@@ -332,7 +334,7 @@ impl DurableWarehouse {
         let manifest = read_manifest_at(fs.as_ref(), dir, epoch)?;
         let ckpt_spec = spec_from_manifest(spec.schema(), &manifest)?;
         let (mgr, manifest) = load_checkpoint(ckpt_spec, fs.as_ref(), dir, epoch)?;
-        let wal_path = dir.join(wal_name(epoch));
+        let wal_path = WarehouseLayout::at(dir).wal(epoch);
         let (wal, records, dropped_bytes) = if fs.exists(&wal_path) {
             let (wal, scan) = Wal::open(Arc::clone(&fs), wal_path)
                 .map_err(|e| SubcubeError::Storage(e.to_string()))?;
@@ -610,8 +612,12 @@ impl DurableWarehouse {
         let next = self.epoch + 1;
         let hwm = self.hwm + self.ops_in_log;
         write_checkpoint(&self.mgr.view(), self.fs.as_ref(), &self.dir, next, hwm)?;
-        let wal = Wal::create(Arc::clone(&self.fs), self.dir.join(wal_name(next)), next)
-            .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        let wal = Wal::create(
+            Arc::clone(&self.fs),
+            WarehouseLayout::at(&self.dir).wal(next),
+            next,
+        )
+        .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(self.fs.as_ref(), &self.dir, next)?;
         self.wal = wal;
         self.epoch = next;
@@ -644,6 +650,7 @@ pub use crate::persist::Manifest;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layout::wal_name;
     use sdr_mdm::calendar::days_from_civil;
     use sdr_workload::{paper_mo, ACTION_A1, ACTION_A2};
 

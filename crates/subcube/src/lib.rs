@@ -12,16 +12,20 @@
 
 pub mod durable;
 pub mod error;
+pub mod layout;
 pub mod manager;
 pub mod persist;
 pub mod query;
+pub mod shard;
 pub mod stats;
 
 pub use durable::{DurableWarehouse, RecoveryReport, WalOp, WarehouseOp};
 pub use error::SubcubeError;
+pub use layout::WarehouseLayout;
 pub use manager::{AgeStats, CubeId, Subcube, SubcubeManager, SyncStats, WarehouseView};
 pub use persist::{read_manifest, Manifest};
 pub use query::CubeQuery;
+pub use shard::{ShardRecoveryReport, ShardRouter, ShardViewSet};
 pub use stats::{DimColStats, SubcubeStats};
 
 #[cfg(test)]

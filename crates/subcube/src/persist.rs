@@ -44,15 +44,8 @@ const MANIFEST_MAGIC: u64 = 0x5344_524d_414e_3031;
 /// projection and the next checkpoint rewrites them as format 3.
 const MANIFEST_FORMAT: u32 = 3;
 
-/// The checkpoint directory name for an epoch.
-pub fn ckpt_name(epoch: u64) -> String {
-    format!("ckpt-{epoch:06}")
-}
-
-/// The write-ahead-log file name for an epoch.
-pub fn wal_name(epoch: u64) -> String {
-    format!("wal-{epoch:06}.log")
-}
+use crate::layout::WarehouseLayout;
+pub use crate::layout::{ckpt_name, wal_name};
 
 /// A 64-bit FNV-1a hash of the rendered specification — the manifest's
 /// cross-check that a directory is opened with the spec it was written
@@ -260,7 +253,7 @@ pub(crate) fn read_manifest_at(
     dir: &Path,
     epoch: u64,
 ) -> Result<Manifest, SubcubeError> {
-    let path = dir.join(ckpt_name(epoch)).join("MANIFEST");
+    let path = WarehouseLayout::at(dir).manifest(epoch);
     let bytes = fs
         .read(&path)
         .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
@@ -269,7 +262,7 @@ pub(crate) fn read_manifest_at(
 
 /// Reads `dir/CURRENT` and returns the live epoch.
 pub(crate) fn read_current(fs: &dyn Fs, dir: &Path) -> Result<u64, SubcubeError> {
-    let path = dir.join("CURRENT");
+    let path = WarehouseLayout::at(dir).current();
     let bytes = fs
         .read(&path)
         .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
@@ -300,7 +293,7 @@ pub(crate) fn write_current(fs: &dyn Fs, dir: &Path, epoch: u64) -> Result<(), S
     let mut bytes = Vec::with_capacity(12);
     bytes.extend_from_slice(&epoch.to_le_bytes());
     bytes.extend_from_slice(&crc32(&epoch.to_le_bytes()).to_le_bytes());
-    atomic_write(fs, &dir.join("CURRENT"), &bytes)
+    atomic_write(fs, &WarehouseLayout::at(dir).current(), &bytes)
         .map_err(|e| SubcubeError::Storage(format!("publishing CURRENT: {e}")))
 }
 
@@ -336,8 +329,9 @@ pub(crate) fn write_checkpoint_fmt(
     let _span = sdr_obs::span("durable.checkpoint");
     let err = |e: &dyn std::fmt::Display| SubcubeError::Storage(e.to_string());
     fs.create_dir_all(dir).map_err(|e| err(&e))?;
-    let tmp = dir.join(format!("{}.tmp", ckpt_name(epoch)));
-    let fin = dir.join(ckpt_name(epoch));
+    let lay = WarehouseLayout::at(dir);
+    let tmp = lay.ckpt_tmp(epoch);
+    let fin = lay.ckpt_dir(epoch);
     // Clear wreckage from an earlier crashed attempt at this epoch.
     if fs.exists(&tmp) {
         fs.remove_dir_all(&tmp).map_err(|e| err(&e))?;
@@ -359,7 +353,7 @@ pub(crate) fn write_checkpoint_fmt(
         };
         bytes_written += bytes.len() as u64;
         cube_bytes.push((raw, bytes.len() as u64));
-        fs.write(&tmp.join(format!("cube-{i}.sdr")), &bytes)
+        fs.write(&WarehouseLayout::cube_file_in(&tmp, i), &bytes)
             .map_err(|e| err(&e))?;
     }
     let stats_of = |c: &crate::manager::Subcube| {
@@ -381,7 +375,7 @@ pub(crate) fn write_checkpoint_fmt(
         cube_stats: view.cubes().iter().map(stats_of).collect(),
         cube_bytes: if legacy { Vec::new() } else { cube_bytes },
     };
-    fs.write(&tmp.join("MANIFEST"), &manifest.encode())
+    fs.write(&WarehouseLayout::manifest_in(&tmp), &manifest.encode())
         .map_err(|e| err(&e))?;
     fs.sync_dir(&tmp).map_err(|e| err(&e))?;
     fs.rename(&tmp, &fin).map_err(|e| err(&e))?;
@@ -402,8 +396,8 @@ pub(crate) fn load_checkpoint(
     dir: &Path,
     epoch: u64,
 ) -> Result<(SubcubeManager, Manifest), SubcubeError> {
-    let ckpt = dir.join(ckpt_name(epoch));
-    let man_path = ckpt.join("MANIFEST");
+    let ckpt = WarehouseLayout::at(dir).ckpt_dir(epoch);
+    let man_path = WarehouseLayout::manifest_in(&ckpt);
     let man_bytes = fs
         .read(&man_path)
         .map_err(|e| SubcubeError::Storage(format!("{}: {e}", man_path.display())))?;
@@ -419,7 +413,7 @@ pub(crate) fn load_checkpoint(
         )));
     }
     if (manifest.cube_count as usize) > layout.cubes().len() {
-        let extra = ckpt.join(format!("cube-{}.sdr", layout.cubes().len()));
+        let extra = WarehouseLayout::cube_file_in(&ckpt, layout.cubes().len());
         return Err(SubcubeError::Storage(format!(
             "{}: more cubes on disk than the specification defines",
             extra.display()
@@ -427,7 +421,7 @@ pub(crate) fn load_checkpoint(
     }
     let mut mos = Vec::with_capacity(layout.cubes().len());
     for i in 0..layout.cubes().len() {
-        let path = ckpt.join(format!("cube-{i}.sdr"));
+        let path = WarehouseLayout::cube_file_in(&ckpt, i);
         let t = FactTable::load_from(std::sync::Arc::clone(m.schema()), &path)
             .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
         let mo = t
@@ -457,7 +451,7 @@ pub(crate) fn load_checkpoint(
     // checked against the legacy projection; `install_checkpoint` below
     // recomputes full extended stats for the live cubes either way.
     for (i, persisted) in manifest.cube_stats.iter().enumerate() {
-        let path = ckpt.join(format!("cube-{i}.sdr"));
+        let path = WarehouseLayout::cube_file_in(&ckpt, i);
         let Some(mo) = mos.get(i) else {
             return Err(SubcubeError::Storage(format!(
                 "{}: manifest carries statistics for a cube that has no file",
@@ -519,13 +513,14 @@ impl SubcubeManager {
     /// [`SubcubeManager::save_to_dir`] through an explicit [`Fs`];
     /// returns the published epoch.
     pub fn save_to_dir_fs(&self, fs: &Arc<dyn Fs>, dir: &Path) -> Result<u64, SubcubeError> {
-        let epoch = if fs.exists(&dir.join("CURRENT")) {
+        let lay = WarehouseLayout::at(dir);
+        let epoch = if fs.exists(&lay.current()) {
             read_current(fs.as_ref(), dir)? + 1
         } else {
             0
         };
         write_checkpoint(&self.view(), fs.as_ref(), dir, epoch, 0)?;
-        Wal::create(Arc::clone(fs), dir.join(wal_name(epoch)), epoch)
+        Wal::create(Arc::clone(fs), lay.wal(epoch), epoch)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(fs.as_ref(), dir, epoch)?;
         sweep_garbage(fs.as_ref(), dir, epoch);
@@ -544,13 +539,14 @@ impl SubcubeManager {
         fs: &Arc<dyn Fs>,
         dir: &Path,
     ) -> Result<u64, SubcubeError> {
-        let epoch = if fs.exists(&dir.join("CURRENT")) {
+        let lay = WarehouseLayout::at(dir);
+        let epoch = if fs.exists(&lay.current()) {
             read_current(fs.as_ref(), dir)? + 1
         } else {
             0
         };
         write_checkpoint_fmt(&self.view(), fs.as_ref(), dir, epoch, 0, true)?;
-        Wal::create(Arc::clone(fs), dir.join(wal_name(epoch)), epoch)
+        Wal::create(Arc::clone(fs), lay.wal(epoch), epoch)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
         write_current(fs.as_ref(), dir, epoch)?;
         sweep_garbage(fs.as_ref(), dir, epoch);

@@ -1,0 +1,905 @@
+//! # Sharded warehouse core (PR 9)
+//!
+//! Hash-partitions the warehouse into N independent [`DurableWarehouse`]
+//! shards, each with its own subcube set, checkpoint chain and WAL,
+//! under one [`ShardRouter`] that preserves every single-shard
+//! guarantee:
+//!
+//! * **Routing invariant.** A fact lives on the shard selected by a
+//!   finalized hash of its PR 3 packed bottom key (`KeyPacker`), so the
+//!   same cell always routes to the same shard and per-shard reduction
+//!   is exactly the source paper's per-subcube reduction restricted to
+//!   a disjoint fact partition.
+//! * **Atomic cross-shard publish.** Every logical operation is applied
+//!   to all shards under one writer lock and then published as a single
+//!   pointer swap of an [`Arc<ShardViewSet>`] — readers always observe
+//!   all shards at the same logical operation count, never a torn mix.
+//! * **Uniform WAL position.** Each logical operation appends exactly
+//!   one record to *every* shard's WAL (a bulk load ships each shard
+//!   its — possibly empty — partition), so record `j` on any shard is
+//!   logical operation `j`. After a crash, [`ShardRouter::recover`]
+//!   aligns all WALs to the longest common prefix: a record missing
+//!   from any shard was never acknowledged, so dropping it from the
+//!   shards that hold it restores exactly the acknowledged state.
+//! * **Uniform decisions.** Specification evolution is checked once,
+//!   globally, before it fans out: `spec_delete`'s Definition 4
+//!   responsibility check is evaluated against the *union* of all
+//!   shards' facts (per-fact, so global acceptance implies acceptance
+//!   on every fact subset — i.e. on every shard), and `spec_insert`'s
+//!   Growing/NonCrossing checks are instance-independent. A rejection
+//!   therefore touches no shard, exactly like the unsharded path.
+//!
+//! Queries scatter to the per-shard PR 8 planners and gather with the
+//! same distributive merge the unsharded evaluator already uses between
+//! subcubes (`union` + one final `aggregate_ids`), so the sharded
+//! answer is bit-identical to the unsharded one — `tests/sharding.rs`
+//! proves it differentially for N ∈ {1, 2, 4, 7}.
+//!
+//! On disk (see [`crate::layout`]):
+//!
+//! ```text
+//! <root>/SHARDS            framed: shard count + top-level epoch + CRC
+//! <root>/shard-<i:03>/     one complete single-shard warehouse each
+//! ```
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, RwLock};
+
+use sdr_mdm::{DayNum, DimValue, FxHasher, KeyPacker, Mo, Schema};
+use sdr_plan::{QueryPlan, RegionOracle};
+use sdr_query::aggregate_ids;
+use sdr_reduce::DataReductionSpec;
+use sdr_spec::{ActionId, ActionSpec};
+use sdr_storage::fs::{atomic_write, Fs, RealFs};
+use sdr_storage::wal::{crc32, truncate_wal_records};
+
+use crate::durable::{DurableWarehouse, WarehouseOp};
+use crate::error::SubcubeError;
+use crate::layout::WarehouseLayout;
+use crate::manager::{AgeStats, SyncStats, WarehouseView};
+use crate::persist::{read_current, spec_fingerprint};
+use crate::query::CubeQuery;
+
+/// `SHARDS` manifest magic: `"SDRSHD01"`.
+const SHARDS_MAGIC: u64 = 0x5344_5253_4844_3031;
+/// `SHARDS` manifest format version.
+const SHARDS_FORMAT: u32 = 1;
+
+/// The decoded top-level manifest of a sharded warehouse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ShardManifest {
+    shards: u32,
+    epoch: u64,
+}
+
+impl ShardManifest {
+    fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(28);
+        b.extend_from_slice(&SHARDS_MAGIC.to_le_bytes());
+        b.extend_from_slice(&SHARDS_FORMAT.to_le_bytes());
+        b.extend_from_slice(&self.shards.to_le_bytes());
+        b.extend_from_slice(&self.epoch.to_le_bytes());
+        b.extend_from_slice(&crc32(&b[..24]).to_le_bytes());
+        b
+    }
+
+    fn write(&self, fs: &dyn Fs, layout: &WarehouseLayout) -> Result<(), SubcubeError> {
+        atomic_write(fs, &layout.shards_manifest(), &self.encode())
+            .map_err(|e| SubcubeError::Storage(format!("publishing SHARDS: {e}")))
+    }
+
+    fn read(fs: &dyn Fs, layout: &WarehouseLayout) -> Result<ShardManifest, SubcubeError> {
+        let path = layout.shards_manifest();
+        let bad = |what: &str| SubcubeError::Storage(format!("{}: {what}", path.display()));
+        let bytes = fs
+            .read(&path)
+            .map_err(|e| SubcubeError::Storage(format!("{}: {e}", path.display())))?;
+        if bytes.len() != 28 {
+            return Err(bad("corrupt shard manifest"));
+        }
+        if crc32(&bytes[..24]) != u32::from_le_bytes(bytes[24..28].try_into().unwrap()) {
+            return Err(bad("shard manifest checksum mismatch"));
+        }
+        if u64::from_le_bytes(bytes[..8].try_into().unwrap()) != SHARDS_MAGIC {
+            return Err(bad("bad shard manifest magic"));
+        }
+        let format = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if format != SHARDS_FORMAT {
+            return Err(bad(&format!("unsupported shard manifest format {format}")));
+        }
+        let shards = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+        if shards == 0 {
+            return Err(bad("shard manifest declares zero shards"));
+        }
+        Ok(ShardManifest {
+            shards,
+            epoch: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// What [`ShardRouter::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecoveryReport {
+    /// Number of shards in the recovered warehouse.
+    pub shards: usize,
+    /// The top-level epoch the warehouse is at after recovery.
+    pub epoch: u64,
+    /// Log records replayed, summed over all shards.
+    pub replayed: usize,
+    /// Bytes of torn/corrupt per-shard log tail dropped by CRC scan.
+    pub dropped_bytes: usize,
+    /// Whole records dropped by cross-shard WAL alignment: they reached
+    /// some shards but not all, so the operation was never acknowledged.
+    pub dropped_records: usize,
+    /// True when recovery finished a checkpoint that a crash had left
+    /// applied to only some shards.
+    pub resumed_checkpoint: bool,
+}
+
+/// One immutable, internally consistent set of per-shard views — the
+/// unit of the cross-shard atomic publish. Readers obtain it with
+/// [`ShardRouter::view_set`] and can keep querying it for as long as
+/// they like; the writer only ever swaps in a *new* set.
+pub struct ShardViewSet {
+    epoch: u64,
+    views: Vec<WarehouseView>,
+    oracles: Vec<Option<RegionOracle>>,
+}
+
+impl ShardViewSet {
+    /// The publish sequence number of this set (monotone per router).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The pinned per-shard views.
+    pub fn views(&self) -> &[WarehouseView] {
+        &self.views
+    }
+
+    /// Total number of physical facts across all shards.
+    pub fn len(&self) -> usize {
+        self.views.iter().map(|v| v.len()).sum()
+    }
+
+    /// True when no shard holds any fact.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The synchronization watermark (identical on every shard — the
+    /// router only ever syncs all shards together).
+    pub fn last_sync(&self) -> Option<DayNum> {
+        self.views[0].last_sync()
+    }
+
+    /// Scatter-gather query over the synchronized state: each shard is
+    /// evaluated with its own PR 8 planner (zone-map skips and all) and
+    /// the partial answers are merged with the same distributive
+    /// `union + aggregate` step the unsharded evaluator uses between
+    /// subcubes — so the result is bit-identical to the unsharded path.
+    pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
+        let _span = sdr_obs::span("shard.query");
+        let subs = self.scatter(parallel, |i, inner_parallel| {
+            self.views[i].query_planned(q, now, inner_parallel, self.oracles[i].as_ref())
+        })?;
+        self.gather(q, subs)
+    }
+
+    /// Scatter-gather query over the *un*-synchronized state (lazy
+    /// virtual sync per shard, then the same distributive merge).
+    pub fn query_unsync(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+    ) -> Result<Mo, SubcubeError> {
+        let _span = sdr_obs::span("shard.query_unsync");
+        let subs = self.scatter(parallel, |i, inner_parallel| {
+            self.views[i].query_unsync(q, now, inner_parallel)
+        })?;
+        self.gather(q, subs)
+    }
+
+    /// The per-shard query plans (for `explain` over the wire).
+    pub fn plans(&self, q: &CubeQuery, now: DayNum) -> Vec<QueryPlan> {
+        (0..self.views.len())
+            .map(|i| self.views[i].plan(q, now, self.oracles[i].as_ref()))
+            .collect()
+    }
+
+    /// The union of all shards' logical MOs (Definition 2 view of the
+    /// whole warehouse).
+    pub fn to_mo(&self) -> Result<Mo, SubcubeError> {
+        let mut union = self.views[0].to_mo()?;
+        for v in &self.views[1..] {
+            let part = v.to_mo()?;
+            union
+                .absorb(&part)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        }
+        Ok(union)
+    }
+
+    /// Evaluates `f` once per shard, across threads when `parallel` and
+    /// more than one shard (each shard then evaluates its cubes
+    /// sequentially; with a single shard the inner per-cube parallelism
+    /// is used instead). Results keep shard order.
+    fn scatter<F>(&self, parallel: bool, f: F) -> Result<Vec<Mo>, SubcubeError>
+    where
+        F: Fn(usize, bool) -> Result<Mo, SubcubeError> + Sync + Send,
+    {
+        let n = self.views.len();
+        if n == 1 || !parallel {
+            return (0..n).map(|i| f(i, parallel)).collect();
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..n).map(|i| s.spawn(move || f(i, false))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard query thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Merges per-shard partial answers: absorb into one MO, then one
+    /// final distributive aggregation to the query's grouping levels —
+    /// the exact merge the unsharded evaluator applies between
+    /// subcubes.
+    fn gather(&self, q: &CubeQuery, subs: Vec<Mo>) -> Result<Mo, SubcubeError> {
+        let mut iter = subs.into_iter();
+        let mut union = iter.next().expect("at least one shard");
+        for part in iter {
+            union
+                .absorb(&part)
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        }
+        Ok(aggregate_ids(&union, &q.levels, q.approach)?)
+    }
+}
+
+/// The writer-side state: the shard vector plus the top-level epoch.
+struct RouterInner {
+    shards: Vec<DurableWarehouse>,
+    /// Top-level checkpoint epoch (the `SHARDS` manifest's).
+    epoch: u64,
+    /// Monotone publish counter for view sets.
+    set_epoch: u64,
+    /// Set when a scatter failed after changing some shard: shard
+    /// states may diverge and every further mutation is refused until
+    /// [`ShardRouter::recover`] re-aligns the WALs.
+    broken: bool,
+}
+
+/// An N-shard durable warehouse: hash-partitioned facts, one
+/// [`DurableWarehouse`] per shard, atomic cross-shard publish, aligned
+/// crash recovery. See the module docs for the invariants.
+pub struct ShardRouter {
+    schema: Arc<Schema>,
+    packer: Option<KeyPacker>,
+    fs: Arc<dyn Fs>,
+    layout: WarehouseLayout,
+    writer: Mutex<RouterInner>,
+    published: RwLock<Arc<ShardViewSet>>,
+}
+
+/// SplitMix64 finalizer — decorrelates the packed key's low bits before
+/// the modulo picks a shard.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl ShardRouter {
+    /// Creates a fresh sharded warehouse with `shards` shards in `dir`.
+    pub fn create(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+        shards: usize,
+    ) -> Result<ShardRouter, SubcubeError> {
+        Self::create_with_fs(spec, dir.as_ref(), shards, RealFs::shared())
+    }
+
+    /// [`ShardRouter::create`] through an explicit [`Fs`].
+    pub fn create_with_fs(
+        spec: DataReductionSpec,
+        dir: &Path,
+        shards: usize,
+        fs: Arc<dyn Fs>,
+    ) -> Result<ShardRouter, SubcubeError> {
+        if shards == 0 {
+            return Err(SubcubeError::Storage(
+                "a sharded warehouse needs at least one shard".into(),
+            ));
+        }
+        let layout = WarehouseLayout::at(dir);
+        if fs.exists(&layout.shards_manifest()) {
+            return Err(SubcubeError::Storage(format!(
+                "{}: already a sharded warehouse directory (use open/recover)",
+                dir.display()
+            )));
+        }
+        let mut vec = Vec::with_capacity(shards);
+        for i in 0..shards {
+            vec.push(DurableWarehouse::create_with_fs(
+                spec.clone(),
+                layout.shard(i).root(),
+                Arc::clone(&fs),
+            )?);
+        }
+        // The manifest is written last: a crash mid-create leaves a
+        // directory `open` simply re-creates.
+        ShardManifest {
+            shards: shards as u32,
+            epoch: 0,
+        }
+        .write(fs.as_ref(), &layout)?;
+        Ok(Self::assemble(spec, fs, layout, vec, 0))
+    }
+
+    /// Opens `dir`: recovers an existing sharded warehouse or creates a
+    /// fresh one with `shards` shards when the directory is empty.
+    pub fn open(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+        shards: usize,
+    ) -> Result<ShardRouter, SubcubeError> {
+        Self::open_with_fs(spec, dir.as_ref(), shards, RealFs::shared())
+    }
+
+    /// [`ShardRouter::open`] through an explicit [`Fs`].
+    pub fn open_with_fs(
+        spec: DataReductionSpec,
+        dir: &Path,
+        shards: usize,
+        fs: Arc<dyn Fs>,
+    ) -> Result<ShardRouter, SubcubeError> {
+        if fs.exists(&WarehouseLayout::at(dir).shards_manifest()) {
+            Ok(Self::recover_with_fs(spec, dir, fs)?.0)
+        } else {
+            Self::create_with_fs(spec, dir, shards, fs)
+        }
+    }
+
+    /// Recovers a sharded warehouse to one consistent cross-shard state.
+    ///
+    /// Every shard first has its WAL aligned to the longest prefix
+    /// present on *all* shards (a record missing anywhere was never
+    /// acknowledged), then recovers independently. A crash that left a
+    /// cross-shard checkpoint half-applied (some shards already at the
+    /// next epoch) is finished here: the remaining shards are
+    /// checkpointed and the top-level manifest republished.
+    pub fn recover(
+        spec: DataReductionSpec,
+        dir: impl AsRef<Path>,
+    ) -> Result<(ShardRouter, ShardRecoveryReport), SubcubeError> {
+        Self::recover_with_fs(spec, dir.as_ref(), RealFs::shared())
+    }
+
+    /// [`ShardRouter::recover`] through an explicit [`Fs`].
+    pub fn recover_with_fs(
+        spec: DataReductionSpec,
+        dir: &Path,
+        fs: Arc<dyn Fs>,
+    ) -> Result<(ShardRouter, ShardRecoveryReport), SubcubeError> {
+        let _span = sdr_obs::span("shard.recover");
+        let layout = WarehouseLayout::at(dir);
+        let man = ShardManifest::read(fs.as_ref(), &layout)?;
+        let n = man.shards as usize;
+
+        // Classify each shard by its own CURRENT epoch: at the manifest
+        // epoch (normal), or one ahead (a crash interrupted the
+        // cross-shard checkpoint after this shard completed its part).
+        let mut shard_epochs = Vec::with_capacity(n);
+        for i in 0..n {
+            let e = read_current(fs.as_ref(), layout.shard(i).root())?;
+            if e != man.epoch && e != man.epoch + 1 {
+                return Err(SubcubeError::Storage(format!(
+                    "{}: shard epoch {e} inconsistent with top-level epoch {}",
+                    layout.shard(i).root().display(),
+                    man.epoch
+                )));
+            }
+            shard_epochs.push(e);
+        }
+        let resumed = shard_epochs.iter().any(|&e| e == man.epoch + 1);
+
+        // Cross-shard WAL alignment. A checkpoint only runs quiesced,
+        // so when one was interrupted every behind shard holds a
+        // complete, identical log and no alignment is needed (unequal
+        // counts there are corruption, not a torn scatter).
+        let mut dropped_records = 0usize;
+        let counts: Vec<usize> = {
+            let mut counts = Vec::with_capacity(n);
+            for (i, &e) in shard_epochs.iter().enumerate() {
+                let path = layout.shard(i).wal(e);
+                counts.push(if fs.exists(&path) {
+                    sdr_storage::scan_wal(fs.as_ref(), &path)
+                        .map_err(|e| SubcubeError::Storage(e.to_string()))?
+                        .records
+                        .len()
+                } else {
+                    0
+                });
+            }
+            counts
+        };
+        if resumed {
+            let behind: Vec<usize> = (0..n).filter(|&i| shard_epochs[i] == man.epoch).collect();
+            if behind.iter().any(|&i| counts[i] != counts[behind[0]]) {
+                return Err(SubcubeError::Storage(format!(
+                    "{}: shards disagree mid-checkpoint — log counts {counts:?}",
+                    dir.display()
+                )));
+            }
+        } else {
+            let keep = *counts.iter().min().expect("at least one shard");
+            for (i, &c) in counts.iter().enumerate() {
+                if c > keep {
+                    let path = layout.shard(i).wal(shard_epochs[i]);
+                    dropped_records += truncate_wal_records(fs.as_ref(), &path, keep)
+                        .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+                }
+            }
+        }
+
+        // Per-shard recovery (each replays its aligned log tail).
+        let mut shards = Vec::with_capacity(n);
+        let mut replayed = 0usize;
+        let mut dropped_bytes = 0usize;
+        for i in 0..n {
+            let (w, rep) = DurableWarehouse::recover_with_fs(
+                spec.clone(),
+                layout.shard(i).root(),
+                Arc::clone(&fs),
+            )?;
+            replayed += rep.replayed;
+            dropped_bytes += rep.dropped_bytes;
+            shards.push(w);
+        }
+
+        // Finish an interrupted cross-shard checkpoint.
+        let epoch = if resumed {
+            for w in shards.iter_mut() {
+                if w.epoch() == man.epoch {
+                    w.checkpoint()?;
+                }
+            }
+            let next = man.epoch + 1;
+            ShardManifest {
+                shards: n as u32,
+                epoch: next,
+            }
+            .write(fs.as_ref(), &layout)?;
+            next
+        } else {
+            man.epoch
+        };
+
+        // The recovered shards must agree on the evolved specification
+        // and the sync watermark — anything else is corruption.
+        let fp0 = spec_fingerprint(&shards[0].manager().spec());
+        let sync0 = shards[0].manager().last_sync();
+        for w in &shards[1..] {
+            if spec_fingerprint(&w.manager().spec()) != fp0 || w.manager().last_sync() != sync0 {
+                return Err(SubcubeError::Storage(format!(
+                    "{}: shards recovered to divergent states",
+                    dir.display()
+                )));
+            }
+        }
+
+        let router = Self::assemble(spec, fs, layout, shards, epoch);
+        let report = ShardRecoveryReport {
+            shards: n,
+            epoch,
+            replayed,
+            dropped_bytes,
+            dropped_records,
+            resumed_checkpoint: resumed,
+        };
+        Ok((router, report))
+    }
+
+    fn assemble(
+        spec: DataReductionSpec,
+        fs: Arc<dyn Fs>,
+        layout: WarehouseLayout,
+        shards: Vec<DurableWarehouse>,
+        epoch: u64,
+    ) -> ShardRouter {
+        let schema = Arc::clone(spec.schema());
+        let packer = KeyPacker::new(&schema);
+        let mut inner = RouterInner {
+            shards,
+            epoch,
+            set_epoch: 0,
+            broken: false,
+        };
+        let set = Self::snapshot(&mut inner);
+        ShardRouter {
+            schema,
+            packer,
+            fs,
+            layout,
+            writer: Mutex::new(inner),
+            published: RwLock::new(set),
+        }
+    }
+
+    // ---- read side -----------------------------------------------------
+
+    /// The currently published cross-shard view set — one atomic
+    /// pointer read; the set stays valid for as long as the caller
+    /// holds it.
+    pub fn view_set(&self) -> Arc<ShardViewSet> {
+        Arc::clone(&self.published.read().unwrap())
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.view_set().shards()
+    }
+
+    /// The top-level checkpoint epoch.
+    pub fn epoch(&self) -> u64 {
+        self.writer.lock().unwrap().epoch
+    }
+
+    /// Total facts across all shards (current published set).
+    pub fn len(&self) -> usize {
+        self.view_set().len()
+    }
+
+    /// True when no shard holds any fact.
+    pub fn is_empty(&self) -> bool {
+        self.view_set().is_empty()
+    }
+
+    /// The synchronization watermark.
+    pub fn last_sync(&self) -> Option<DayNum> {
+        self.view_set().last_sync()
+    }
+
+    /// The schema the warehouse is defined over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The current (possibly evolved) specification.
+    pub fn spec(&self) -> Arc<DataReductionSpec> {
+        self.writer.lock().unwrap().shards[0].manager().spec()
+    }
+
+    /// Acknowledged durable operations (identical on every shard by the
+    /// uniform-WAL-position invariant).
+    pub fn ops_durable(&self) -> u64 {
+        self.writer.lock().unwrap().shards[0].ops_durable()
+    }
+
+    /// True when a failed scatter wedged the router (recover to fix).
+    pub fn is_broken(&self) -> bool {
+        self.writer.lock().unwrap().broken
+    }
+
+    /// Convenience scatter-gather query on the current published set.
+    pub fn query(&self, q: &CubeQuery, now: DayNum, parallel: bool) -> Result<Mo, SubcubeError> {
+        self.view_set().query(q, now, parallel)
+    }
+
+    /// Convenience unsynchronized query on the current published set.
+    pub fn query_unsync(
+        &self,
+        q: &CubeQuery,
+        now: DayNum,
+        parallel: bool,
+    ) -> Result<Mo, SubcubeError> {
+        self.view_set().query_unsync(q, now, parallel)
+    }
+
+    // ---- routing -------------------------------------------------------
+
+    /// The shard a cell routes to: SplitMix64-finalized hash of the
+    /// packed key, modulo the shard count. Schemas too wide to pack
+    /// (>128 bits) fall back to an Fx hash over the raw `(cat, code)`
+    /// pairs — still a pure function of the cell.
+    pub fn route(&self, coords: &[DimValue], shards: usize) -> usize {
+        let h = match &self.packer {
+            Some(p) => {
+                let k = p.pack_coords(coords);
+                mix64((k as u64) ^ ((k >> 64) as u64))
+            }
+            None => {
+                use std::hash::Hasher;
+                let mut fx = FxHasher::default();
+                for v in coords {
+                    fx.write_u64(((v.cat.0 as u64) << 32) | v.code);
+                }
+                mix64(fx.finish())
+            }
+        };
+        (h % shards as u64) as usize
+    }
+
+    /// Splits `mo` into one (possibly empty) partition per shard.
+    fn partition(&self, mo: &Mo, shards: usize) -> Result<Vec<Mo>, SubcubeError> {
+        let mut parts: Vec<Mo> = (0..shards).map(|_| mo.empty_like()).collect();
+        let store = mo.store();
+        for f in mo.facts() {
+            let coords = mo.coords(f);
+            let i = self.route(&coords, shards);
+            parts[i]
+                .insert_fact_at(&coords, &mo.measures_of(f), store.origin[f.index()])
+                .map_err(|e| SubcubeError::Storage(e.to_string()))?;
+        }
+        Ok(parts)
+    }
+
+    // ---- write side ----------------------------------------------------
+
+    fn guard(inner: &RouterInner) -> Result<(), SubcubeError> {
+        if inner.broken {
+            return Err(SubcubeError::Storage(
+                "sharded warehouse wedged by a failed scatter; \
+                 drop it and ShardRouter::recover the directory"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn snapshot(inner: &mut RouterInner) -> Arc<ShardViewSet> {
+        inner.set_epoch += 1;
+        let views: Vec<WarehouseView> = inner.shards.iter().map(|s| s.manager().view()).collect();
+        let oracles = inner
+            .shards
+            .iter()
+            .zip(&views)
+            .map(|(s, v)| s.manager().region_oracle(v))
+            .collect();
+        Arc::new(ShardViewSet {
+            epoch: inner.set_epoch,
+            views,
+            oracles,
+        })
+    }
+
+    /// The atomic cross-shard publish: builds a fresh view set from all
+    /// shards (under the writer lock, so no shard can move) and swaps
+    /// the published pointer.
+    fn publish(&self, inner: &mut RouterInner) {
+        let set = Self::snapshot(inner);
+        *self.published.write().unwrap() = set;
+    }
+
+    /// Folds per-shard results into one outcome. All-`Ok` commits; a
+    /// uniform rejection (every shard refused, none after logging)
+    /// propagates the error with no state change, exactly like the
+    /// unsharded path; anything mixed means shard states may diverge,
+    /// so the router wedges itself until recovery.
+    fn settle<T>(
+        inner: &mut RouterInner,
+        results: Vec<Result<T, SubcubeError>>,
+    ) -> Result<Vec<T>, SubcubeError> {
+        if results.iter().all(|r| r.is_ok()) {
+            return Ok(results.into_iter().map(|r| r.unwrap()).collect());
+        }
+        let any_ok = results.iter().any(|r| r.is_ok());
+        let any_broken = inner.shards.iter().any(|s| s.is_broken());
+        let first = results
+            .into_iter()
+            .find_map(|r| r.err())
+            .expect("at least one error");
+        if any_ok || any_broken {
+            inner.broken = true;
+            return Err(SubcubeError::Storage(format!(
+                "scatter diverged across shards ({first}); recovery required"
+            )));
+        }
+        Err(first)
+    }
+
+    /// Durable, partitioned bulk load. Every shard logs one record (its
+    /// own partition, possibly empty) so WAL positions stay uniform.
+    pub fn bulk_load(&self, facts: &Mo) -> Result<usize, SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        let _span = sdr_obs::span("shard.bulk_load");
+        let parts = self.partition(facts, inner.shards.len())?;
+        let results: Vec<Result<usize, SubcubeError>> = inner
+            .shards
+            .iter_mut()
+            .zip(&parts)
+            .map(|(s, p)| s.bulk_load(p))
+            .collect();
+        let loaded = Self::settle(&mut inner, results)?;
+        self.publish(&mut inner);
+        Ok(loaded.into_iter().sum())
+    }
+
+    /// Durable parallel synchronization: every shard syncs to `now`
+    /// concurrently, then one atomic publish exposes all of them.
+    pub fn sync(&self, now: DayNum) -> Result<SyncStats, SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        let _span = sdr_obs::span("shard.sync");
+        let results = Self::fanout(&mut inner.shards, |s| s.sync(now));
+        let stats = Self::settle(&mut inner, results)?;
+        self.publish(&mut inner);
+        Ok(stats.into_iter().fold(SyncStats::default(), |mut a, s| {
+            a.kept += s.kept;
+            a.migrated += s.migrated;
+            a.merged += s.merged;
+            a
+        }))
+    }
+
+    /// Durable parallel incremental aging to `until`.
+    pub fn age(&self, until: DayNum) -> Result<AgeStats, SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        let _span = sdr_obs::span("shard.age");
+        let results = Self::fanout(&mut inner.shards, |s| s.age(until));
+        let stats = Self::settle(&mut inner, results)?;
+        self.publish(&mut inner);
+        Ok(stats.into_iter().fold(AgeStats::default(), |mut a, s| {
+            a.ticks = a.ticks.max(s.ticks);
+            a.cells_delta += s.cells_delta;
+            a.merged += s.merged;
+            a.cubes_rebuilt += s.cubes_rebuilt;
+            a.cubes_skipped += s.cubes_skipped;
+            a
+        }))
+    }
+
+    /// Runs `f` on every shard concurrently (each shard is `&mut` to
+    /// exactly one thread), preserving shard order in the results.
+    fn fanout<T: Send>(
+        shards: &mut [DurableWarehouse],
+        f: impl Fn(&mut DurableWarehouse) -> Result<T, SubcubeError> + Sync + Send,
+    ) -> Vec<Result<T, SubcubeError>> {
+        if shards.len() == 1 {
+            return vec![f(&mut shards[0])];
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shards.iter_mut().map(|sh| s.spawn(|| f(sh))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Durable specification insert, decided once globally: the new
+    /// actions are validated against a clone of the current spec
+    /// (Growing/NonCrossing are instance-independent), so a rejection
+    /// touches no shard and acceptance is uniform across shards.
+    pub fn spec_insert(&self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        let _span = sdr_obs::span("shard.spec_insert");
+        let mut probe = (*inner.shards[0].manager().spec()).clone();
+        probe.insert(new.clone())?;
+        let results: Vec<Result<Vec<ActionId>, SubcubeError>> = inner
+            .shards
+            .iter_mut()
+            .map(|s| s.spec_insert(new.clone()))
+            .collect();
+        let mut ids = Self::settle(&mut inner, results)?;
+        self.publish(&mut inner);
+        Ok(ids.swap_remove(0))
+    }
+
+    /// Durable specification delete, decided once globally against the
+    /// **union** of all shards' facts (Definition 4's responsibility
+    /// check is per-fact, so acceptance on the union implies acceptance
+    /// on every shard's subset). A rejection touches no shard — the
+    /// exact behavior of the unsharded warehouse on the same facts.
+    pub fn spec_delete(&self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        let _span = sdr_obs::span("shard.spec_delete");
+        let mut union: Option<Mo> = None;
+        for s in &inner.shards {
+            let part = s.manager().view().to_mo()?;
+            match &mut union {
+                None => union = Some(part),
+                Some(u) => u
+                    .absorb(&part)
+                    .map_err(|e| SubcubeError::Storage(e.to_string()))?,
+            }
+        }
+        let mut probe = (*inner.shards[0].manager().spec()).clone();
+        probe.delete(ids, &union.expect("at least one shard"), now)?;
+        let results: Vec<Result<(), SubcubeError>> = inner
+            .shards
+            .iter_mut()
+            .map(|s| s.spec_delete(ids, now))
+            .collect();
+        Self::settle(&mut inner, results)?;
+        self.publish(&mut inner);
+        Ok(())
+    }
+
+    /// Durable whole-batch application: each shard receives the same
+    /// operation sequence (bulk loads partitioned) as **one** group
+    /// record, keeping WAL positions uniform and whole-batch atomicity
+    /// per shard. A uniform rejection rolls every shard back (the
+    /// single-shard group-commit contract); a divergent one wedges the
+    /// router for recovery.
+    pub fn apply_batch(&self, ops: Vec<WarehouseOp>) -> Result<usize, SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        if ops.is_empty() {
+            return Ok(0);
+        }
+        let _span = sdr_obs::span("shard.apply_batch");
+        let n = inner.shards.len();
+        let mut batches: Vec<Vec<WarehouseOp>> = (0..n).map(|_| Vec::new()).collect();
+        for op in ops {
+            match op {
+                WarehouseOp::BulkLoad(mo) => {
+                    for (b, part) in batches.iter_mut().zip(self.partition(&mo, n)?) {
+                        b.push(WarehouseOp::BulkLoad(part));
+                    }
+                }
+                other => {
+                    for b in batches.iter_mut() {
+                        b.push(other.clone());
+                    }
+                }
+            }
+        }
+        let results: Vec<Result<usize, SubcubeError>> = inner
+            .shards
+            .iter_mut()
+            .zip(batches)
+            .map(|(s, b)| s.apply_batch(b))
+            .collect();
+        let counts = Self::settle(&mut inner, results)?;
+        self.publish(&mut inner);
+        Ok(counts.into_iter().max().unwrap_or(0))
+    }
+
+    /// Cross-shard checkpoint: folds every shard's log into a fresh
+    /// checkpoint, then bumps the top-level epoch. A crash anywhere in
+    /// the sequence is repaired by [`ShardRouter::recover`] (behind
+    /// shards are checkpointed on recovery — the manifest is written
+    /// only after every shard completed).
+    pub fn checkpoint(&self) -> Result<u64, SubcubeError> {
+        let mut inner = self.writer.lock().unwrap();
+        Self::guard(&inner)?;
+        let _span = sdr_obs::span("shard.checkpoint");
+        for s in inner.shards.iter_mut() {
+            if let Err(e) = s.checkpoint() {
+                inner.broken = true;
+                return Err(e);
+            }
+        }
+        let next = inner.epoch + 1;
+        let man = ShardManifest {
+            shards: inner.shards.len() as u32,
+            epoch: next,
+        };
+        if let Err(e) = man.write(self.fs.as_ref(), &self.layout) {
+            inner.broken = true;
+            return Err(e);
+        }
+        inner.epoch = next;
+        Ok(next)
+    }
+
+    /// The warehouse root directory.
+    pub fn dir(&self) -> &Path {
+        self.layout.root()
+    }
+}

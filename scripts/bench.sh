@@ -17,6 +17,11 @@
 #                          facts — ≥2x on selective windows — and the
 #                          format-3 bytes-on-disk table — ≥1.6x smaller
 #                          than the raw layout; digests compared first)
+#   E15 sharded_serve    -> BENCH_pr9.json (1/2/4-shard sync at ~1M facts
+#                          + serve p50/p99 wire latency; digests compared
+#                          against the 1-shard reference first; the
+#                          parallel-speedup gate is core-count-aware —
+#                          ≥2x on 4+ cores, bounded overhead on 1 core)
 #
 # Pass additional bench names as arguments to run other targets too,
 # e.g.:  scripts/bench.sh reduction query_reduced
@@ -29,6 +34,7 @@ cargo bench -p sdr-bench --bench lint_specs
 cargo bench -p sdr-bench --bench explain_overhead
 cargo bench -p sdr-bench --bench aging
 cargo bench -p sdr-bench --bench planner_storage
+cargo bench -p sdr-bench --bench sharded_serve
 for target in "$@"; do
   cargo bench -p sdr-bench --bench "$target"
 done

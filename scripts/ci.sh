@@ -114,13 +114,71 @@ run cargo test -q --release --test aging
 # the retained version of its epoch) fails the suite.
 run cargo test -q --release --test concurrency
 
+# Sharded differential suite under --release: N-shard warehouses must be
+# digest-identical to the unsharded manager over random churn, including
+# recovery from torn single-shard WALs, seeded crash matrices, and an
+# interrupted cross-shard checkpoint.
+run cargo test -q --release --test sharding
+
+# Wire-protocol suite under --release: digest parity over the socket,
+# admission control, the corruption/fuzz matrix, and the multi-client
+# socket load generator's torn-read audit.
+run cargo test -q --release --test serve
+
+# Serve smoke test: boot the daemon on an ephemeral port, compare a wire
+# client's digest against the in-process baseline digest printed in the
+# serve banner, then verify clean SIGTERM shutdown (exit 0).
+echo "==> specdr serve smoke test (wire digest + clean shutdown)"
+serve_log=$(mktemp)
+target/release/specdr serve --months 6 --clicks 20 --shards 2 >"$serve_log" 2>&1 &
+serve_pid=$!
+for i in $(seq 1 50); do
+  grep -q '^serve: baseline' "$serve_log" 2>/dev/null && break
+  sleep 0.2
+done
+serve_addr=$(sed -n 's/^serve: listening on //p' "$serve_log")
+serve_now=$(sed -n 's/^serve: baseline now=\([0-9/]*\) .*/\1/p' "$serve_log")
+serve_digest=$(sed -n 's/^serve: baseline .*digest=\(0x[0-9a-f]*\)$/\1/p' "$serve_log")
+if [ -z "$serve_addr" ] || [ -z "$serve_digest" ]; then
+  echo "serve smoke: daemon did not come up:" >&2
+  cat "$serve_log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+client_digest=$(target/release/specdr client --addr "$serve_addr" --now "$serve_now" \
+                  | sed -n 's/^digest=\(0x[0-9a-f]*\)$/\1/p')
+if [ "$client_digest" != "$serve_digest" ]; then
+  echo "serve smoke: wire digest $client_digest != in-process $serve_digest" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ] || ! grep -q '^serve: shutdown$' "$serve_log"; then
+  echo "serve smoke: SIGTERM shutdown was not clean (rc=$serve_rc):" >&2
+  cat "$serve_log" >&2
+  exit 1
+fi
+echo "  addr=$serve_addr digest=$client_digest shutdown clean"
+rm -f "$serve_log"
+
+# Multi-client socket load generator: concurrent TCP clients against the
+# daemon while a writer churns the sharded warehouse; any torn read or
+# protocol error through the wire exits non-zero.
+run target/release/specdr loadgen --clients 3 --steps 12 --queries 10 --shards 2
+
+# Seeded determinism loops honor SDR_CI_SEEDS (default 25) so a quick
+# local run can use e.g. SDR_CI_SEEDS=3 without editing this script.
+SEEDS="${SDR_CI_SEEDS:-25}"
+
 # Crash-schedule determinism: each seed picks a fault point and mode;
 # running the schedule twice must produce bit-identical state digests.
 # The test itself re-runs its schedule internally and asserts equality,
 # so a digest mismatch fails the test; we additionally compare the
 # printed digest across two separate process runs per seed.
-echo "==> 25 seeded crash schedules (determinism gate)"
-for seed in $(seq 1 25); do
+echo "==> $SEEDS seeded crash schedules (determinism gate)"
+for seed in $(seq 1 "$SEEDS"); do
   d1=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test durability \
         seeded_crash_schedule_is_deterministic -- --nocapture \
         | grep '^crash-schedule ' || true)
@@ -141,8 +199,8 @@ done
 # multi-tick jump) at a derived fault point; recovery must land on a
 # whole-tick watermark and the recovered digest must be bit-identical
 # across separate process runs.
-echo "==> 25 seeded crash-during-tick schedules (aging determinism gate)"
-for seed in $(seq 1 25); do
+echo "==> $SEEDS seeded crash-during-tick schedules (aging determinism gate)"
+for seed in $(seq 1 "$SEEDS"); do
   a1=$(SPECDR_CRASH_SEED=$seed cargo test -q --release --test durability \
         seeded_aging_crash_schedule_is_deterministic -- --nocapture \
         | grep '^aging-crash-schedule ' || true)

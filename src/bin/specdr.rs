@@ -291,6 +291,53 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
             metrics.emit();
             Ok(())
         }
+        "serve" => {
+            let opts = Opts::parse(
+                rest,
+                "serve",
+                &[
+                    "--addr", "--shards", "--months", "--clicks", "--cap", "--dir",
+                ],
+                &[("--metrics", ArgKind::OptValue)],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_serve(&opts)?;
+            metrics.emit();
+            Ok(())
+        }
+        "client" => {
+            let opts = Opts::parse(
+                rest,
+                "client",
+                &[
+                    "--addr",
+                    "--where",
+                    "--mode",
+                    "--roll-up",
+                    "--approach",
+                    "--now",
+                ],
+                &[
+                    ("--stats", ArgKind::Bool),
+                    ("--explain", ArgKind::Bool),
+                    ("--ping", ArgKind::Bool),
+                    ("--unsync", ArgKind::Bool),
+                ],
+            )?;
+            cmd_client(&opts)
+        }
+        "loadgen" => {
+            let opts = Opts::parse(
+                rest,
+                "loadgen",
+                &["--seed", "--clients", "--steps", "--queries", "--shards"],
+                &[("--metrics", ArgKind::OptValue)],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_loadgen(&opts)?;
+            metrics.emit();
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -300,7 +347,7 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
 }
 
 const USAGE: &str =
-    "usage: specdr <demo|explain|age|profile|lint|simulate|query|stats|checkpoint|recover|concurrent|help> [options]\n\
+    "usage: specdr <demo|explain|age|profile|lint|simulate|query|stats|checkpoint|recover|concurrent|serve|client|loadgen|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
   explain --query [--where PRED] [--roll-up LEVELS] [--mode MODE] [--months N]\n\
@@ -344,7 +391,23 @@ const USAGE: &str =
                               query while a seeded writer churns loads, syncs,\n\
                               and spec evolution; audits for torn reads and\n\
                               prints the deterministic schedule digest\n\
-  demo/age/simulate/query/checkpoint/recover/concurrent also take --metrics[=json|table]\n";
+  serve [--addr H:P] [--shards N] [--months N] [--clicks K] [--cap C] [--dir DIR]\n\
+                              build a sharded click-stream warehouse and serve\n\
+                              the CRC-framed wire protocol (query/stats/explain)\n\
+                              until SIGTERM/SIGINT; port 0 picks an ephemeral\n\
+                              port and prints the bound address\n\
+  client --addr H:P [--where PRED] [--roll-up LEVELS] [--mode MODE]\n\
+         [--approach availability|lub] [--now Y/M/D] [--unsync]\n\
+         [--stats] [--explain] [--ping]\n\
+                              one wire round-trip against a running daemon;\n\
+                              default issues the baseline query and prints its\n\
+                              digest for comparison with the serve banner\n\
+  loadgen [--seed S] [--clients N] [--steps M] [--queries Q] [--shards K]\n\
+                              multi-client socket load generator: in-process\n\
+                              daemon over a sharded warehouse, N TCP clients\n\
+                              churned by a seeded writer; audits every wire\n\
+                              response for torn reads, prints p50/p99 latency\n\
+  demo/age/simulate/query/checkpoint/recover/concurrent/serve/loadgen also take --metrics[=json|table]\n";
 
 type AnyError = Box<dyn std::error::Error>;
 
@@ -1321,6 +1384,219 @@ fn cmd_concurrent(opts: &Opts) -> Result<(), AnyError> {
     );
     if report.torn_reads > 0 {
         return Err(format!("{} torn reads observed", report.torn_reads).into());
+    }
+    Ok(())
+}
+
+/// SIGTERM/SIGINT flag for `specdr serve` — set from the signal handler,
+/// polled by the accept-loop supervisor.
+static SERVE_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn serve_stop_handler(_sig: i32) {
+    SERVE_STOP.store(true, std::sync::atomic::Ordering::Release);
+}
+
+/// Installs `serve_stop_handler` for SIGINT (2) and SIGTERM (15) via
+/// libc's `signal(2)` — the only unsafe in the CLI; storing to an atomic
+/// is async-signal-safe.
+fn install_stop_signals() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    unsafe {
+        signal(2, serve_stop_handler as *const () as usize);
+        signal(15, serve_stop_handler as *const () as usize);
+    }
+}
+
+/// Builds the sharded click-stream warehouse `serve` publishes: `months`
+/// × `clicks`/day under the 6/36-month retention policy, synced once at
+/// the derived `NOW`. Returns the router and the baseline `NOW` day.
+fn serve_warehouse(
+    opts: &Opts,
+    dir: &std::path::Path,
+    shards: usize,
+) -> Result<(Arc<specdr::subcube::ShardRouter>, i32), AnyError> {
+    let months: u32 = opts.value("--months").unwrap_or("24").parse()?;
+    let clicks: usize = opts.value("--clicks").unwrap_or("100").parse()?;
+    let end_total = 12 * 1999 + months as i32 - 1;
+    let (ey, em) = (end_total / 12, (end_total % 12 + 1) as u32);
+    let cs = generate(&ClickstreamConfig {
+        clicks_per_day: clicks,
+        start: (1999, 1, 1),
+        end: (ey, em, 28),
+        ..Default::default()
+    });
+    let now = days_from_civil(ey + 2, em, 28);
+    let spec = retention_spec(&cs.schema, 6, 36)?;
+    let router = Arc::new(specdr::subcube::ShardRouter::open(spec, dir, shards)?);
+    if router.is_empty() {
+        router.bulk_load(&cs.mo)?;
+        router.sync(now)?;
+    }
+    Ok((router, now))
+}
+
+fn cmd_serve(opts: &Opts) -> Result<(), AnyError> {
+    let shards: usize = opts.value("--shards").unwrap_or("2").parse()?;
+    let cap: usize = opts.value("--cap").unwrap_or("64").parse()?;
+    let tmp;
+    let dir = match opts.value("--dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => {
+            tmp = std::env::temp_dir().join(format!("specdr-serve-{}", std::process::id()));
+            tmp.clone()
+        }
+    };
+    let (router, now) = serve_warehouse(opts, &dir, shards)?;
+    let (ny, nm, nd) = civil_from_days(now);
+
+    // In-process baseline digest, printed so a wire client's answer can
+    // be compared against it (the ci smoke test does exactly that).
+    let baseline = specdr::serve::baseline_spec(now);
+    let q = baseline
+        .build(router.schema())
+        .map_err(|e| -> AnyError { e.into() })?;
+    let digest = specdr::driver::result_digest(&router.query(&q, now, true)?);
+
+    let cfg = specdr::serve::ServeConfig {
+        addr: opts.value("--addr").unwrap_or("127.0.0.1:0").to_string(),
+        max_conns: cap,
+        ..Default::default()
+    };
+    install_stop_signals();
+    let handle = specdr::serve::serve(Arc::clone(&router), &cfg)?;
+    println!("serve: listening on {}", handle.addr());
+    println!(
+        "serve: shards={} facts={} epoch={} cap={}",
+        router.shards(),
+        router.len(),
+        router.epoch(),
+        cap
+    );
+    println!("serve: baseline now={ny}/{nm}/{nd} digest=0x{digest:016x}");
+    while !SERVE_STOP.load(std::sync::atomic::Ordering::Acquire) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    handle.shutdown();
+    println!("serve: shutdown");
+    Ok(())
+}
+
+fn cmd_client(opts: &Opts) -> Result<(), AnyError> {
+    use specdr::serve;
+    let addr: std::net::SocketAddr = opts
+        .value("--addr")
+        .ok_or("client needs --addr HOST:PORT")?
+        .parse()?;
+    let timeout = std::time::Duration::from_secs(10);
+    let payload = if opts.switch("--ping") {
+        vec![serve::REQ_PING]
+    } else if opts.switch("--stats") {
+        vec![serve::REQ_STATS]
+    } else {
+        let now = match opts.value("--now") {
+            Some(s) => parse_date(s)?,
+            None => days_from_civil(2002, 12, 28),
+        };
+        let mut spec = serve::baseline_spec(now);
+        spec.unsync = opts.switch("--unsync");
+        if let Some(w) = opts.value("--where") {
+            spec.pred = Some(w.to_string());
+        }
+        if let Some(m) = opts.value("--mode") {
+            spec.mode = m.to_string();
+        }
+        if let Some(l) = opts.value("--roll-up") {
+            spec.levels = l.to_string();
+        }
+        if let Some(a) = opts.value("--approach") {
+            spec.approach = a.to_string();
+        }
+        if opts.switch("--explain") {
+            serve::explain_payload(&spec)
+        } else {
+            serve::query_payload(&spec)
+        }
+    };
+    let resp = serve::request(&addr, &payload, timeout).map_err(|e| e.to_string())?;
+    let (tag, body) = serve::split_response(&resp).map_err(|e| -> AnyError { e.into() })?;
+    match tag {
+        serve::RESP_OK => {
+            print!("{}", String::from_utf8_lossy(body));
+            Ok(())
+        }
+        serve::RESP_ERR => {
+            let code = body.first().copied().unwrap_or(0);
+            let msg = String::from_utf8_lossy(body.get(1..).unwrap_or(&[]));
+            Err(format!("server error {code}: {msg}").into())
+        }
+        other => Err(format!("unexpected response tag 0x{other:02x}").into()),
+    }
+}
+
+fn cmd_loadgen(opts: &Opts) -> Result<(), AnyError> {
+    use specdr::driver::{drive_socket, percentile, SocketDriveConfig};
+    use specdr::workload::{paper_schema, ACTION_A1, ACTION_A2};
+    let cfg = SocketDriveConfig {
+        seed: opts.value("--seed").unwrap_or("42").parse()?,
+        clients: opts.value("--clients").unwrap_or("4").parse()?,
+        steps: opts.value("--steps").unwrap_or("30").parse()?,
+        min_queries_per_client: opts.value("--queries").unwrap_or("40").parse()?,
+        ..Default::default()
+    };
+    let shards: usize = opts.value("--shards").unwrap_or("2").parse()?;
+    let (schema, _) = paper_schema();
+    let a1 = specdr::spec::parse_action(&schema, ACTION_A1)?;
+    let a2 = specdr::spec::parse_action(&schema, ACTION_A2)?;
+    let spec = DataReductionSpec::new(Arc::clone(&schema), vec![a1, a2])?;
+    let dir = std::env::temp_dir().join(format!(
+        "specdr-loadgen-{}-{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let router = Arc::new(specdr::subcube::ShardRouter::create(spec, &dir, shards)?);
+    let handle = specdr::serve::serve(Arc::clone(&router), &specdr::serve::ServeConfig::default())?;
+    let t = std::time::Instant::now();
+    let report = drive_socket(Arc::clone(&router), handle.addr(), &cfg)?;
+    let secs = t.elapsed().as_secs_f64();
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "loadgen: {} clients x {} churn steps over {} shards (seed {})",
+        cfg.clients, cfg.steps, shards, cfg.seed
+    );
+    println!(
+        "  mutations       = {} applied, {} rejected (legal spec-evolution refusals)",
+        report.mutations_ok, report.mutations_rejected
+    );
+    println!(
+        "  published       = {} versions, epochs {}..{}",
+        report.published.len(),
+        report.published.first().map_or(0, |p| p.0),
+        report.published.last().map_or(0, |p| p.0)
+    );
+    println!(
+        "  observations    = {} wire queries across {} clients ({:.0} queries/s)",
+        report.observations,
+        cfg.clients,
+        report.observations as f64 / secs.max(1e-9)
+    );
+    println!(
+        "  latency         = p50 {:.1}us p99 {:.1}us",
+        percentile(&report.latency_ns, 0.50) as f64 / 1e3,
+        percentile(&report.latency_ns, 0.99) as f64 / 1e3
+    );
+    println!(
+        "  errors          = {} protocol, {} transport",
+        report.proto_errors, report.transport_errors
+    );
+    println!("  torn reads      = {}", report.torn_reads);
+    if report.torn_reads > 0 {
+        return Err(format!("{} torn reads observed over the wire", report.torn_reads).into());
+    }
+    if report.proto_errors > 0 || report.transport_errors > 0 {
+        return Err("protocol or transport errors during load generation".into());
     }
     Ok(())
 }

@@ -20,15 +20,21 @@
 //! [`churn_script`]: sdr_workload::churn_script
 //! [`view()`]: sdr_subcube::SubcubeManager::view
 
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use sdr_mdm::{calendar::days_from_civil, time_cat, DayNum, Mo};
 use sdr_query::{AggApproach, SelectMode};
 use sdr_reduce::DataReductionSpec;
 use sdr_spec::parse_pexp;
-use sdr_subcube::{CubeQuery, SubcubeError, SubcubeManager, WarehouseView};
+use sdr_subcube::{
+    CubeQuery, ShardRouter, ShardViewSet, SubcubeError, SubcubeManager, WarehouseView,
+};
 use sdr_workload::{churn_script, ChurnOp, SplitMix64};
+
+use crate::serve;
 
 /// Configuration of one driver run.
 #[derive(Debug, Clone)]
@@ -90,7 +96,7 @@ pub struct DriveReport {
 /// FNV-1a64 over an MO's *sorted* rendered rows: an order-insensitive
 /// content digest, so parallel and sequential evaluation of the same
 /// query against the same version agree.
-fn result_digest(mo: &Mo) -> u64 {
+pub fn result_digest(mo: &Mo) -> u64 {
     let mut rows: Vec<String> = mo.facts().map(|f| mo.render_fact(f)).collect();
     rows.sort();
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -308,5 +314,277 @@ pub fn drive(spec: DataReductionSpec, cfg: &DriveConfig) -> Result<DriveReport, 
         mutations_ok,
         mutations_rejected,
         schedule_digest,
+    })
+}
+
+/// Configuration of one socket load-generator run.
+#[derive(Debug, Clone)]
+pub struct SocketDriveConfig {
+    /// Seed for the churn schedule and the client query draws.
+    pub seed: u64,
+    /// Number of concurrent OS client threads, each with its own
+    /// connection to the daemon.
+    pub clients: usize,
+    /// Number of churn mutations the writer applies through the router.
+    pub steps: usize,
+    /// Minimum requests each client issues.
+    pub min_queries_per_client: usize,
+    /// Per-request client-side timeout.
+    pub timeout: Duration,
+}
+
+impl Default for SocketDriveConfig {
+    fn default() -> Self {
+        SocketDriveConfig {
+            seed: 42,
+            clients: 4,
+            steps: 30,
+            min_queries_per_client: 40,
+            timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The outcome of a socket load-generator run.
+#[derive(Debug)]
+pub struct SocketDriveReport {
+    /// `(epoch, content digest)` of every version the writer published
+    /// through the router, in publication order.
+    pub published: Vec<(u64, u64)>,
+    /// Successful query responses received by all clients.
+    pub observations: usize,
+    /// Responses whose `(epoch, digest)` matched no retained published
+    /// version — a torn read *through the wire*. Must be zero.
+    pub torn_reads: usize,
+    /// Mutations the writer applied successfully.
+    pub mutations_ok: usize,
+    /// Mutations the warehouse rejected (legal, non-publishing).
+    pub mutations_rejected: usize,
+    /// Typed protocol error frames received (busy, bad request, …).
+    pub proto_errors: usize,
+    /// Transport-level failures (connect/timeout/frame corruption).
+    pub transport_errors: usize,
+    /// Client-observed per-request latency in nanoseconds, sorted
+    /// ascending — index with [`percentile`].
+    pub latency_ns: Vec<u64>,
+}
+
+/// Picks the `p`-th percentile (0.0..=1.0) out of sorted samples.
+pub fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Content digest of a whole published shard set (every shard's cubes,
+/// in shard/cube order).
+fn set_digest(set: &ShardViewSet) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in set.views() {
+        h ^= view_digest(v);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Applies one churn op through the shard router. `Ok(true)` when the op
+/// published a new version across all shards.
+fn apply_churn_sharded(r: &ShardRouter, op: &ChurnOp) -> Result<bool, SubcubeError> {
+    let res = match op {
+        ChurnOp::Load(mo) => r.bulk_load(mo).map(|_| ()),
+        ChurnOp::Sync(t) => r.sync(*t).map(|_| ()),
+        ChurnOp::SpecInsert(a) => r.spec_insert(vec![a.clone()]).map(|_| ()),
+        ChurnOp::SpecDelete(id, t) => r.spec_delete(&[*id], *t),
+    };
+    match res {
+        Ok(()) => Ok(true),
+        Err(SubcubeError::Reduce(_)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// One wire observation, as parsed out of a query response frame.
+#[derive(Debug, Clone, Copy)]
+struct WireObservation {
+    epoch: u64,
+    query: usize,
+    unsync: bool,
+    now: DayNum,
+    digest: u64,
+}
+
+/// Runs the multi-client load generator against a live `specdr serve`
+/// daemon at `addr`, while a local writer thread churns the same
+/// [`ShardRouter`] the daemon serves from.
+///
+/// Each client owns one TCP connection and pipelines requests drawn from
+/// [`serve::mix_specs`]; the writer retains every [`ShardViewSet`] it
+/// publishes. After the threads join, every response's `(epoch, digest)`
+/// pair is re-derived by evaluating the same query against the retained
+/// set of that epoch — a mismatch is a torn read that leaked through the
+/// wire. Under the router's atomic cross-shard publish the count must be
+/// zero.
+pub fn drive_socket(
+    router: Arc<ShardRouter>,
+    addr: SocketAddr,
+    cfg: &SocketDriveConfig,
+) -> Result<SocketDriveReport, SubcubeError> {
+    let schema = Arc::clone(router.schema());
+    let script = churn_script(&schema, cfg.seed, cfg.steps);
+
+    let published: Mutex<Vec<Arc<ShardViewSet>>> = Mutex::new(vec![router.view_set()]);
+    let observations: Mutex<Vec<WireObservation>> = Mutex::new(Vec::new());
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    let proto_errors = std::sync::atomic::AtomicUsize::new(0);
+    let transport_errors = std::sync::atomic::AtomicUsize::new(0);
+    let done = AtomicBool::new(false);
+    let mut mutations_ok = 0usize;
+    let mut mutations_rejected = 0usize;
+    let query_days: Vec<DayNum> = QUERY_DAYS
+        .iter()
+        .map(|&(y, mo_, d)| days_from_civil(y, mo_, d))
+        .collect();
+
+    let writer_err: Mutex<Option<SubcubeError>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for c in 0..cfg.clients {
+            let done = &done;
+            let observations = &observations;
+            let latencies = &latencies;
+            let proto_errors = &proto_errors;
+            let transport_errors = &transport_errors;
+            let query_days = &query_days;
+            let seed = cfg.seed;
+            let min_queries = cfg.min_queries_per_client;
+            let timeout = cfg.timeout;
+            s.spawn(move || {
+                let mut rng = SplitMix64(seed ^ 0x50C4E7 ^ (c as u64).wrapping_mul(0x9E37_79B9));
+                let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) else {
+                    transport_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                };
+                let mut local = Vec::new();
+                let mut local_lat = Vec::new();
+                let mut n = 0usize;
+                loop {
+                    let writer_active = !done.load(Ordering::Acquire);
+                    if !writer_active && n >= min_queries {
+                        break;
+                    }
+                    let now = query_days[rng.below(query_days.len() as u64) as usize];
+                    let unsync = rng.below(2) == 0;
+                    let mix = serve::mix_specs(now, unsync);
+                    let qi = rng.below(mix.len() as u64) as usize;
+                    let payload = serve::query_payload(&mix[qi]);
+                    let t0 = Instant::now();
+                    match serve::request_on(&stream, &payload, timeout) {
+                        Ok(resp) => {
+                            local_lat.push(t0.elapsed().as_nanos() as u64);
+                            match serve::split_response(&resp) {
+                                Ok((serve::RESP_OK, body)) => {
+                                    let body = String::from_utf8_lossy(body);
+                                    let parsed = (|| {
+                                        let epoch: u64 =
+                                            serve::response_field(&body, "epoch")?.parse().ok()?;
+                                        let digest = serve::response_field(&body, "digest")?;
+                                        let digest =
+                                            u64::from_str_radix(digest.strip_prefix("0x")?, 16)
+                                                .ok()?;
+                                        Some((epoch, digest))
+                                    })();
+                                    match parsed {
+                                        Some((epoch, digest)) => local.push(WireObservation {
+                                            epoch,
+                                            query: qi,
+                                            unsync,
+                                            now,
+                                            digest,
+                                        }),
+                                        None => {
+                                            proto_errors.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                    }
+                                }
+                                _ => {
+                                    proto_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            transport_errors.fetch_add(1, Ordering::Relaxed);
+                            break; // the stream is no longer trustworthy
+                        }
+                    }
+                    n += 1;
+                }
+                observations.lock().unwrap().extend(local);
+                latencies.lock().unwrap().extend(local_lat);
+            });
+        }
+        for op in &script {
+            match apply_churn_sharded(&router, op) {
+                Ok(true) => {
+                    mutations_ok += 1;
+                    published.lock().unwrap().push(router.view_set());
+                }
+                Ok(false) => mutations_rejected += 1,
+                Err(e) => {
+                    *writer_err.lock().unwrap() = Some(e);
+                    break;
+                }
+            }
+        }
+        done.store(true, Ordering::Release);
+    });
+    if let Some(e) = writer_err.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    // Audit: rebuild each query from the same textual spec the client
+    // sent and evaluate it against the retained set of the epoch the
+    // response claimed — the daemon and the audit share one compiler
+    // ([`serve::QuerySpec::build`]), so digests are directly comparable.
+    let published = published.into_inner().unwrap();
+    let by_epoch: std::collections::HashMap<u64, &Arc<ShardViewSet>> =
+        published.iter().map(|v| (v.epoch(), v)).collect();
+    let observations = observations.into_inner().unwrap();
+    let mut torn = 0usize;
+    for ob in &observations {
+        let Some(set) = by_epoch.get(&ob.epoch) else {
+            torn += 1;
+            continue;
+        };
+        let spec = serve::mix_specs(ob.now, ob.unsync).swap_remove(ob.query);
+        let expect = spec.build(&schema).ok().and_then(|q| {
+            if ob.unsync {
+                set.query_unsync(&q, ob.now, false).ok()
+            } else {
+                set.query(&q, ob.now, false).ok()
+            }
+        });
+        match expect {
+            Some(mo) if result_digest(&mo) == ob.digest => {}
+            _ => torn += 1,
+        }
+    }
+
+    let published: Vec<(u64, u64)> = published
+        .iter()
+        .map(|v| (v.epoch(), set_digest(v)))
+        .collect();
+    let mut latency_ns = latencies.into_inner().unwrap();
+    latency_ns.sort_unstable();
+
+    Ok(SocketDriveReport {
+        published,
+        observations: observations.len(),
+        torn_reads: torn,
+        mutations_ok,
+        mutations_rejected,
+        proto_errors: proto_errors.into_inner(),
+        transport_errors: transport_errors.into_inner(),
+        latency_ns,
     })
 }

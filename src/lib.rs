@@ -31,6 +31,7 @@
 
 pub mod driver;
 pub mod introspect;
+pub mod serve;
 
 pub use sdr_lint as lint;
 pub use sdr_mdm as mdm;
