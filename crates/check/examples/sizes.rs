@@ -1,0 +1,39 @@
+use sdr_check::{run, CheckOptions, Protocol, MUTATIONS};
+
+fn main() {
+    for p in Protocol::ALL {
+        let t = std::time::Instant::now();
+        let r = run(p, &CheckOptions::default());
+        println!(
+            "{:<12} schedules={:<6} prunes={:<6} exhausted={} complete={} bound={} ce={} {:?}",
+            p.name(),
+            r.schedules,
+            r.prunes,
+            r.exhausted,
+            r.complete,
+            r.bound_used,
+            r.counterexample.is_some(),
+            t.elapsed()
+        );
+    }
+    for m in MUTATIONS {
+        let t = std::time::Instant::now();
+        let r = run(
+            m.protocol,
+            &CheckOptions {
+                mutation: Some(m.failpoint),
+                ..Default::default()
+            },
+        );
+        let ce = r.counterexample.expect("mutation must be caught");
+        println!(
+            "mutate {:<18} schedules={:<6} preemptions={} steps={} {:?}: {}",
+            m.name,
+            r.schedules,
+            ce.preemptions,
+            ce.schedule.len(),
+            t.elapsed(),
+            ce.message
+        );
+    }
+}

@@ -32,6 +32,11 @@ pub enum Code {
     /// Granularity mismatch: the predicate constrains a category strictly
     /// finer than the target granularity retains (Section 4.1).
     L007,
+    /// Protocol counterexample: a model-checked concurrency harness
+    /// (`specdr check`) found a schedule violating a protocol contract.
+    /// Emitted against the failing schedule, not against spec source, so
+    /// it is not part of [`ALL_RULES`] and cannot be `--allow`ed.
+    C001,
 }
 
 /// All semantic rule codes, in order.
@@ -57,6 +62,7 @@ impl Code {
             Code::L005 => "L005",
             Code::L006 => "L006",
             Code::L007 => "L007",
+            Code::C001 => "C001",
         }
     }
 
@@ -74,7 +80,7 @@ impl Code {
     /// spec-hygiene rules warn.
     pub fn default_level(self) -> Level {
         match self {
-            Code::Parse | Code::L004 | Code::L005 | Code::L007 => Level::Deny,
+            Code::Parse | Code::L004 | Code::L005 | Code::L007 | Code::C001 => Level::Deny,
             Code::L001 | Code::L002 | Code::L003 | Code::L006 => Level::Warn,
         }
     }
@@ -110,6 +116,11 @@ impl Code {
                 "the predicate tests a category finer than the target granularity \
                  retains: once aggregated, facts can no longer be evaluated at that \
                  category and silently stop matching (Section 4.1)"
+            }
+            Code::C001 => {
+                "an exhaustive interleaving search of a concurrency protocol \
+                 harness found a schedule that violates the protocol's contract; \
+                 the rendered schedule is a deterministic replay recipe"
             }
         }
     }

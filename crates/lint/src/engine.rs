@@ -284,6 +284,7 @@ impl Linter {
                 Code::L006 => self.rule_l006(),
                 Code::L007 => self.rule_l007(),
                 Code::Parse => unreachable!("not a semantic rule"),
+                Code::C001 => unreachable!("emitted by `specdr check`, not the spec engine"),
             };
             for _ in &found {
                 sdr_obs::inc(&format!("lint.findings.{code}"));

@@ -316,6 +316,173 @@ impl Fs for FailpointFs {
     }
 }
 
+/// A purely in-memory [`Fs`]: a path→bytes map plus a directory set,
+/// behind one internal mutex. Durability calls are free and hermetic, so
+/// model-checked harnesses (`sdr-check`) can create and mutate whole
+/// warehouses thousands of times per second with no disk I/O and no
+/// cross-run state. Semantics mirror [`RealFs`] where the warehouse
+/// depends on them: writes require the parent directory, reads of
+/// missing paths fail with `NotFound`, `rename` is atomic.
+#[derive(Default)]
+pub struct MemFs {
+    state: std::sync::Mutex<MemState>,
+}
+
+#[derive(Default)]
+struct MemState {
+    files: std::collections::HashMap<PathBuf, Vec<u8>>,
+    dirs: std::collections::HashSet<PathBuf>,
+}
+
+impl MemFs {
+    /// A fresh, empty in-memory filesystem.
+    pub fn shared() -> Arc<MemFs> {
+        Arc::new(MemFs::default())
+    }
+
+    fn not_found(path: &Path) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{}: not found", path.display()),
+        )
+    }
+
+    fn require_parent(st: &MemState, path: &Path) -> io::Result<()> {
+        match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() && !st.dirs.contains(p) => {
+                Err(MemFs::not_found(p))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, MemState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl Fs for MemFs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let st = self.lock();
+        st.files
+            .get(path)
+            .cloned()
+            .ok_or_else(|| Self::not_found(path))
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        Self::require_parent(&st, path)?;
+        st.files.insert(path.to_path_buf(), data.to_vec());
+        Ok(())
+    }
+
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        Self::require_parent(&st, path)?;
+        st.files
+            .entry(path.to_path_buf())
+            .or_default()
+            .extend_from_slice(data);
+        Ok(())
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        Self::require_parent(&st, to)?;
+        if let Some(data) = st.files.remove(from) {
+            st.files.insert(to.to_path_buf(), data);
+            return Ok(());
+        }
+        // Directory rename (checkpoints land as `ckpt.tmp` -> `ckpt`):
+        // rewrite the prefix of every entry under `from`.
+        if !st.dirs.contains(from) {
+            return Err(Self::not_found(from));
+        }
+        let rebase = |p: &Path| to.join(p.strip_prefix(from).expect("prefix checked"));
+        let moved_dirs: Vec<PathBuf> = st
+            .dirs
+            .iter()
+            .filter(|d| d.starts_with(from))
+            .cloned()
+            .collect();
+        for d in moved_dirs {
+            st.dirs.remove(&d);
+            let nd = rebase(&d);
+            st.dirs.insert(nd);
+        }
+        let moved_files: Vec<PathBuf> = st
+            .files
+            .keys()
+            .filter(|f| f.starts_with(from))
+            .cloned()
+            .collect();
+        for f in moved_files {
+            let data = st.files.remove(&f).expect("key just listed");
+            st.files.insert(rebase(&f), data);
+        }
+        Ok(())
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let mut p = path.to_path_buf();
+        loop {
+            st.dirs.insert(p.clone());
+            match p.parent() {
+                Some(parent) if !parent.as_os_str().is_empty() => p = parent.to_path_buf(),
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        st.files
+            .remove(path)
+            .map(|_| ())
+            .ok_or_else(|| Self::not_found(path))
+    }
+
+    fn remove_dir_all(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        if !st.dirs.contains(path) {
+            return Err(Self::not_found(path));
+        }
+        st.dirs.retain(|d| !d.starts_with(path));
+        st.files.retain(|f, _| !f.starts_with(path));
+        Ok(())
+    }
+
+    fn sync_dir(&self, _path: &Path) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        let st = self.lock();
+        st.files.contains_key(path) || st.dirs.contains(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let st = self.lock();
+        if !st.dirs.contains(path) {
+            return Err(Self::not_found(path));
+        }
+        let mut out: Vec<PathBuf> = st
+            .files
+            .keys()
+            .chain(st.dirs.iter())
+            .filter(|p| p.parent() == Some(path))
+            .cloned()
+            .collect();
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+}
+
 /// Writes `data` to `path` atomically: temp file + fsync + rename + parent
 /// directory fsync. Readers see either the old content or the new,
 /// never a torn mixture.

@@ -31,7 +31,7 @@ pub mod wal;
 pub use csv::{export_csv, import_csv};
 pub use encode::ColumnEnc;
 pub use error::StorageError;
-pub use fs::{atomic_write, FailpointFs, FaultMode, Fs, RealFs};
+pub use fs::{atomic_write, FailpointFs, FaultMode, Fs, MemFs, RealFs};
 pub use table::{FactRow, FactTable, SealedSegment, TableStats, DEFAULT_SEGMENT_ROWS};
 pub use wal::{
     crc32, is_group, pack_group, scan_wal, truncate_wal_records, unpack_group, Wal, WalScan,

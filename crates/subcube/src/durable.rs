@@ -37,6 +37,7 @@ use sdr_reduce::{DataReductionSpec, ReduceError};
 use sdr_spec::{parse_action, ActionId, ActionSpec};
 use sdr_storage::fs::{Fs, RealFs};
 use sdr_storage::{FactTable, Wal};
+use sdr_sync::fail;
 
 use crate::error::SubcubeError;
 use crate::layout::WarehouseLayout;
@@ -238,7 +239,7 @@ pub struct RecoveryReport {
 /// and whose checkpoints are atomic. See the module docs for the crash
 /// contract.
 pub struct DurableWarehouse {
-    mgr: SubcubeManager,
+    mgr: Arc<SubcubeManager>,
     fs: Arc<dyn Fs>,
     dir: PathBuf,
     epoch: u64,
@@ -278,7 +279,7 @@ impl DurableWarehouse {
                 dir.display()
             )));
         }
-        let mgr = SubcubeManager::new(spec);
+        let mgr = Arc::new(SubcubeManager::new(spec));
         write_checkpoint(&mgr.view(), fs.as_ref(), dir, 0, 0)?;
         let wal = Wal::create(Arc::clone(&fs), lay.wal(0), 0)
             .map_err(|e| SubcubeError::Storage(e.to_string()))?;
@@ -334,6 +335,7 @@ impl DurableWarehouse {
         let manifest = read_manifest_at(fs.as_ref(), dir, epoch)?;
         let ckpt_spec = spec_from_manifest(spec.schema(), &manifest)?;
         let (mgr, manifest) = load_checkpoint(ckpt_spec, fs.as_ref(), dir, epoch)?;
+        let mgr = Arc::new(mgr);
         let wal_path = WarehouseLayout::at(dir).wal(epoch);
         let (wal, records, dropped_bytes) = if fs.exists(&wal_path) {
             let (wal, scan) = Wal::open(Arc::clone(&fs), wal_path)
@@ -416,6 +418,13 @@ impl DurableWarehouse {
         &self.mgr
     }
 
+    /// A shared handle to the underlying manager, so readers on other
+    /// threads can acquire views while this warehouse mutates (the
+    /// group-commit model harness observes rollback through this).
+    pub fn manager_handle(&self) -> Arc<SubcubeManager> {
+        Arc::clone(&self.mgr)
+    }
+
     /// The warehouse directory.
     pub fn dir(&self) -> &Path {
         &self.dir
@@ -451,6 +460,14 @@ impl DurableWarehouse {
     /// Appends an already-applied operation; a failure poisons the
     /// warehouse (memory is ahead of the log) until a checkpoint.
     fn log(&mut self, op: &WalOp) -> Result<(), SubcubeError> {
+        // `durable.wal-fail` injects an append failure so the checker
+        // can drive the broken-log path deterministically.
+        if fail::point("durable.wal-fail") {
+            self.broken = true;
+            return Err(SubcubeError::Storage(
+                "wal append failed: injected fault".into(),
+            ));
+        }
         if let Err(e) = self.wal.append(&op.encode()) {
             self.broken = true;
             return Err(SubcubeError::Storage(format!("wal append failed: {e}")));
@@ -525,12 +542,23 @@ impl DurableWarehouse {
                     // Undo the partially applied batch: nothing was
                     // logged, so restoring the pre-batch version makes
                     // the failure "as if never issued".
-                    self.mgr.rollback_to(&before);
+                    // `durable.skip-rollback` is a model-only mutation:
+                    // leaving the half-applied batch published is exactly
+                    // the bug `specdr check group-commit` must catch.
+                    if !fail::point("durable.skip-rollback") {
+                        self.mgr.rollback_to(&before);
+                    }
                     return Err(e);
                 }
             }
         }
         let n = encoded.len();
+        if fail::point("durable.wal-fail") {
+            self.broken = true;
+            return Err(SubcubeError::Storage(
+                "wal group append failed: injected fault".into(),
+            ));
+        }
         if let Err(e) = self.wal.append_group(&encoded) {
             self.broken = true;
             return Err(SubcubeError::Storage(format!(
@@ -639,7 +667,8 @@ impl SubcubeManager {
         dir: impl AsRef<Path>,
     ) -> Result<(SubcubeManager, RecoveryReport), SubcubeError> {
         let (w, report) = DurableWarehouse::recover_with_fs(spec, dir.as_ref(), RealFs::shared())?;
-        Ok((w.mgr, report))
+        let mgr = Arc::into_inner(w.mgr).expect("recovery holds the only manager handle");
+        Ok((mgr, report))
     }
 }
 

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use sdr_sync::{fail, Mutex, Swap};
 
 use sdr_mdm::{
     CatId, DayNum, DimValue, Dimension, FactId, Granularity, Mo, Schema, TimeValue, ORIGIN_USER,
@@ -454,10 +454,11 @@ impl WarehouseView {
 /// exactly that.
 pub struct SubcubeManager {
     schema: Arc<Schema>,
-    /// The current published version. Readers clone the `Arc` under a
-    /// momentary read lock; the only write-side critical section is the
-    /// pointer swap in [`publish`](SubcubeManager::publish).
-    current: RwLock<Arc<VersionInner>>,
+    /// The current published version. Readers clone the `Arc` with one
+    /// atomic pointer load; the only write-side critical section is the
+    /// pointer swap in [`publish`](SubcubeManager::publish). `sdr-check`
+    /// model-checks this publish/acquire pair exhaustively.
+    current: Swap<VersionInner>,
     /// Serializes mutators so each builds its successor from the latest
     /// published version.
     writer: Mutex<()>,
@@ -483,7 +484,7 @@ impl SubcubeManager {
         let (cubes, parents) = layout(&spec, 0);
         SubcubeManager {
             schema,
-            current: RwLock::new(Arc::new(VersionInner {
+            current: Swap::new(Arc::new(VersionInner {
                 epoch: 0,
                 spec: Arc::new(spec),
                 cubes,
@@ -507,28 +508,28 @@ impl SubcubeManager {
     /// matter how many reductions publish after it.
     pub fn view(&self) -> WarehouseView {
         WarehouseView {
-            v: Arc::clone(&self.current.read()),
+            v: self.current.load(),
         }
     }
 
     /// The specification driving the cubes (of the current version).
     pub fn spec(&self) -> Arc<DataReductionSpec> {
-        Arc::clone(&self.current.read().spec)
+        Arc::clone(&self.current.load().spec)
     }
 
     /// The current published epoch.
     pub fn epoch(&self) -> u64 {
-        self.current.read().epoch
+        self.current.load().epoch
     }
 
     /// Number of subcubes in the current version.
     pub fn n_cubes(&self) -> usize {
-        self.current.read().cubes.len()
+        self.current.load().cubes.len()
     }
 
     /// The last day the cubes were synchronized to.
     pub fn last_sync(&self) -> Option<DayNum> {
-        self.current.read().last_sync
+        self.current.load().last_sync
     }
 
     /// Total number of facts across all cubes (of the current version).
@@ -545,7 +546,7 @@ impl SubcubeManager {
     /// every reader observes atomically.
     fn publish(&self, next: VersionInner) {
         let epoch = next.epoch;
-        *self.current.write() = Arc::new(next);
+        self.current.store(Arc::new(next));
         if sdr_obs::enabled() {
             sdr_obs::inc("subcube.publish.count");
             sdr_obs::gauge_set("subcube.epoch", epoch as i64);
@@ -566,8 +567,11 @@ impl SubcubeManager {
         }
         let _span = sdr_obs::span("subcube.bulk_load");
         sdr_obs::attr("rows_in", facts.len());
-        let _w = self.writer.lock();
-        let cur = Arc::clone(&self.current.read());
+        // `mgr.publish-unlocked` is a model-only mutation: skipping the
+        // writer lock lets `specdr check` prove the single-writer
+        // serialization is load-bearing (two loads race, one is lost).
+        let _w = (!fail::point("mgr.publish-unlocked")).then(|| self.writer.lock());
+        let cur = self.current.load();
         let mut bottom = (*cur.cubes[0].data).clone();
         bottom.absorb(facts).map_err(ReduceError::Model)?;
         let epoch = cur.epoch + 1;
@@ -611,8 +615,9 @@ impl SubcubeManager {
     /// entirely when nothing can have changed.
     pub fn sync(&self, now: DayNum) -> Result<SyncStats, SubcubeError> {
         let _span = sdr_obs::span("subcube.sync");
-        let _w = self.writer.lock();
-        let cur = Arc::clone(&self.current.read());
+        // See bulk_load: model-only mutation hook for `specdr check`.
+        let _w = (!fail::point("mgr.publish-unlocked")).then(|| self.writer.lock());
+        let cur = self.current.load();
         let frozen = WarehouseView {
             v: Arc::clone(&cur),
         };
@@ -779,7 +784,7 @@ impl SubcubeManager {
     pub fn age(&self, until: DayNum) -> Result<AgeStats, SubcubeError> {
         let _span = sdr_obs::span("subcube.age");
         let _w = self.writer.lock();
-        let mut cur = Arc::clone(&self.current.read());
+        let mut cur = self.current.load();
         if let Some(last) = cur.last_sync {
             if until < last {
                 return Err(SubcubeError::AgeBeforeWatermark {
@@ -793,7 +798,7 @@ impl SubcubeManager {
             // New rows (or a fresh warehouse) have no incremental
             // baseline: home everything with one full pass.
             let s = self.sync_pass(&cur, until)?;
-            cur = Arc::clone(&self.current.read());
+            cur = self.current.load();
             stats.ticks = 1;
             stats.cells_delta = s.migrated;
             stats.merged = s.merged;
@@ -806,7 +811,7 @@ impl SubcubeManager {
             for t in sched.transitions_between(last, until) {
                 stats.absorb(self.age_tick(&cur, &sched, prev, t)?);
                 prev = t;
-                cur = Arc::clone(&self.current.read());
+                cur = self.current.load();
             }
             if cur.last_sync != Some(until) {
                 // No transition lands exactly on `until`: advance the
@@ -1080,7 +1085,7 @@ impl SubcubeManager {
 
     /// Drops footprint-cache entries for cube versions no longer current.
     fn prune_footprints(&self) {
-        let cur = Arc::clone(&self.current.read());
+        let cur = self.current.load();
         self.footprints
             .lock()
             .retain(|&(ci, epoch), _| cur.cubes.get(ci).is_some_and(|c| c.epoch() == epoch));
@@ -1095,7 +1100,7 @@ impl SubcubeManager {
     /// unchanged.
     pub fn evolve_insert(&self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
         let _w = self.writer.lock();
-        let cur = Arc::clone(&self.current.read());
+        let cur = self.current.load();
         let mut spec = (*cur.spec).clone();
         let ids = spec.insert(new)?;
         self.rebuild_with_spec(&cur, spec)?;
@@ -1109,7 +1114,7 @@ impl SubcubeManager {
     /// layout. On rejection the manager is unchanged.
     pub fn evolve_delete(&self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
         let _w = self.writer.lock();
-        let cur = Arc::clone(&self.current.read());
+        let cur = self.current.load();
         let mo = WarehouseView {
             v: Arc::clone(&cur),
         }
@@ -1150,9 +1155,9 @@ impl SubcubeManager {
     /// durability: a batch that fails partway must leave the warehouse
     /// "as if never issued", and with immutable versions that is exactly
     /// one publication of the pre-batch snapshot.
-    pub(crate) fn rollback_to(&self, view: &WarehouseView) {
+    pub fn rollback_to(&self, view: &WarehouseView) {
         let _w = self.writer.lock();
-        let cur = Arc::clone(&self.current.read());
+        let cur = self.current.load();
         self.publish(VersionInner {
             epoch: cur.epoch + 1,
             spec: Arc::clone(&view.v.spec),
@@ -1168,7 +1173,7 @@ impl SubcubeManager {
     /// one publication carrying every cube plus the recovered `last_sync`.
     pub(crate) fn install_checkpoint(&self, mos: Vec<Mo>, last_sync: Option<DayNum>) {
         let _w = self.writer.lock();
-        let cur = Arc::clone(&self.current.read());
+        let cur = self.current.load();
         let epoch = cur.epoch + 1;
         let mut cubes = cur.cubes.clone();
         debug_assert_eq!(mos.len(), cubes.len());

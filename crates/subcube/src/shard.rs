@@ -43,7 +43,9 @@
 //! ```
 
 use std::path::Path;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
+
+use sdr_sync::{fail, thread, Mutex, Swap};
 
 use sdr_mdm::{DayNum, DimValue, FxHasher, KeyPacker, Mo, Schema};
 use sdr_plan::{QueryPlan, RegionOracle};
@@ -240,7 +242,7 @@ impl ShardViewSet {
             return (0..n).map(|i| f(i, parallel)).collect();
         }
         let f = &f;
-        std::thread::scope(|s| {
+        thread::scope(|s| {
             let handles: Vec<_> = (0..n).map(|i| s.spawn(move || f(i, false))).collect();
             handles
                 .into_iter()
@@ -287,7 +289,10 @@ pub struct ShardRouter {
     fs: Arc<dyn Fs>,
     layout: WarehouseLayout,
     writer: Mutex<RouterInner>,
-    published: RwLock<Arc<ShardViewSet>>,
+    /// The published cross-shard view set: one atomic pointer cell,
+    /// swapped wholesale under the writer lock (`sdr-check` model-checks
+    /// epoch monotonicity and publish atomicity through this).
+    published: Swap<ShardViewSet>,
 }
 
 /// SplitMix64 finalizer — decorrelates the packed key's low bits before
@@ -532,7 +537,7 @@ impl ShardRouter {
             fs,
             layout,
             writer: Mutex::new(inner),
-            published: RwLock::new(set),
+            published: Swap::new(set),
         }
     }
 
@@ -542,7 +547,7 @@ impl ShardRouter {
     /// pointer read; the set stays valid for as long as the caller
     /// holds it.
     pub fn view_set(&self) -> Arc<ShardViewSet> {
-        Arc::clone(&self.published.read().unwrap())
+        self.published.load()
     }
 
     /// Number of shards.
@@ -552,7 +557,7 @@ impl ShardRouter {
 
     /// The top-level checkpoint epoch.
     pub fn epoch(&self) -> u64 {
-        self.writer.lock().unwrap().epoch
+        self.writer.lock().epoch
     }
 
     /// Total facts across all shards (current published set).
@@ -577,18 +582,18 @@ impl ShardRouter {
 
     /// The current (possibly evolved) specification.
     pub fn spec(&self) -> Arc<DataReductionSpec> {
-        self.writer.lock().unwrap().shards[0].manager().spec()
+        self.writer.lock().shards[0].manager().spec()
     }
 
     /// Acknowledged durable operations (identical on every shard by the
     /// uniform-WAL-position invariant).
     pub fn ops_durable(&self) -> u64 {
-        self.writer.lock().unwrap().shards[0].ops_durable()
+        self.writer.lock().shards[0].ops_durable()
     }
 
     /// True when a failed scatter wedged the router (recover to fix).
     pub fn is_broken(&self) -> bool {
-        self.writer.lock().unwrap().broken
+        self.writer.lock().broken
     }
 
     /// Convenience scatter-gather query on the current published set.
@@ -678,7 +683,7 @@ impl ShardRouter {
     /// the published pointer.
     fn publish(&self, inner: &mut RouterInner) {
         let set = Self::snapshot(inner);
-        *self.published.write().unwrap() = set;
+        self.published.store(set);
     }
 
     /// Folds per-shard results into one outcome. All-`Ok` commits; a
@@ -700,7 +705,12 @@ impl ShardRouter {
             .find_map(|r| r.err())
             .expect("at least one error");
         if any_ok || any_broken {
-            inner.broken = true;
+            // `shard.skip-wedge` is a model-only mutation: leaving the
+            // router unwedged after a divergent scatter is exactly the
+            // bug `specdr check shard` must catch.
+            if !fail::point("shard.skip-wedge") {
+                inner.broken = true;
+            }
             return Err(SubcubeError::Storage(format!(
                 "scatter diverged across shards ({first}); recovery required"
             )));
@@ -711,7 +721,7 @@ impl ShardRouter {
     /// Durable, partitioned bulk load. Every shard logs one record (its
     /// own partition, possibly empty) so WAL positions stay uniform.
     pub fn bulk_load(&self, facts: &Mo) -> Result<usize, SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         let _span = sdr_obs::span("shard.bulk_load");
         let parts = self.partition(facts, inner.shards.len())?;
@@ -729,7 +739,7 @@ impl ShardRouter {
     /// Durable parallel synchronization: every shard syncs to `now`
     /// concurrently, then one atomic publish exposes all of them.
     pub fn sync(&self, now: DayNum) -> Result<SyncStats, SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         let _span = sdr_obs::span("shard.sync");
         let results = Self::fanout(&mut inner.shards, |s| s.sync(now));
@@ -745,7 +755,7 @@ impl ShardRouter {
 
     /// Durable parallel incremental aging to `until`.
     pub fn age(&self, until: DayNum) -> Result<AgeStats, SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         let _span = sdr_obs::span("shard.age");
         let results = Self::fanout(&mut inner.shards, |s| s.age(until));
@@ -770,7 +780,7 @@ impl ShardRouter {
         if shards.len() == 1 {
             return vec![f(&mut shards[0])];
         }
-        std::thread::scope(|s| {
+        thread::scope(|s| {
             let handles: Vec<_> = shards.iter_mut().map(|sh| s.spawn(|| f(sh))).collect();
             handles
                 .into_iter()
@@ -784,7 +794,7 @@ impl ShardRouter {
     /// (Growing/NonCrossing are instance-independent), so a rejection
     /// touches no shard and acceptance is uniform across shards.
     pub fn spec_insert(&self, new: Vec<ActionSpec>) -> Result<Vec<ActionId>, SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         let _span = sdr_obs::span("shard.spec_insert");
         let mut probe = (*inner.shards[0].manager().spec()).clone();
@@ -805,7 +815,7 @@ impl ShardRouter {
     /// on every shard's subset). A rejection touches no shard — the
     /// exact behavior of the unsharded warehouse on the same facts.
     pub fn spec_delete(&self, ids: &[ActionId], now: DayNum) -> Result<(), SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         let _span = sdr_obs::span("shard.spec_delete");
         let mut union: Option<Mo> = None;
@@ -837,7 +847,7 @@ impl ShardRouter {
     /// single-shard group-commit contract); a divergent one wedges the
     /// router for recovery.
     pub fn apply_batch(&self, ops: Vec<WarehouseOp>) -> Result<usize, SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         if ops.is_empty() {
             return Ok(0);
@@ -876,7 +886,7 @@ impl ShardRouter {
     /// shards are checkpointed on recovery — the manifest is written
     /// only after every shard completed).
     pub fn checkpoint(&self) -> Result<u64, SubcubeError> {
-        let mut inner = self.writer.lock().unwrap();
+        let mut inner = self.writer.lock();
         Self::guard(&inner)?;
         let _span = sdr_obs::span("shard.checkpoint");
         for s in inner.shards.iter_mut() {

@@ -1,0 +1,230 @@
+//! Atomic shims (`AtomicBool`, `AtomicUsize`, `AtomicU64`) with
+//! explicit `Ordering` arguments.
+//!
+//! With the `model` feature off, each method is the std operation with
+//! the caller's ordering — zero cost. Inside a model execution every
+//! operation is a schedule point; operations execute sequentially
+//! consistently except that a `Relaxed` load (or a load of a `Relaxed`
+//! store) may observe the object's previous value — a deliberate
+//! over-approximation explored as a data decision (see
+//! `crate::model`).
+
+pub use std::sync::atomic::Ordering;
+
+#[cfg(feature = "model")]
+use crate::model;
+
+macro_rules! int_atomic {
+    ($name:ident, $raw:ty, $prim:ty) => {
+        /// Shimmed integer atomic; see the module docs for semantics.
+        pub struct $name {
+            #[cfg(feature = "model")]
+            mid: model::ModelId,
+            v: $raw,
+        }
+
+        impl $name {
+            /// Creates a new atomic with the given initial value.
+            pub const fn new(v: $prim) -> $name {
+                $name {
+                    #[cfg(feature = "model")]
+                    mid: model::ModelId::new(),
+                    v: <$raw>::new(v),
+                }
+            }
+
+            /// Loads the value with the given ordering.
+            #[track_caller]
+            pub fn load(&self, order: Ordering) -> $prim {
+                #[cfg(feature = "model")]
+                if let Some(h) =
+                    model::acquire_point(&self.mid, model::OpKind::AtomicLoad(order), "atomic")
+                {
+                    return model::resolve_load(&h, order, || self.v.load(Ordering::SeqCst) as u64)
+                        as $prim;
+                }
+                self.v.load(order)
+            }
+
+            /// Stores `val` with the given ordering.
+            #[track_caller]
+            pub fn store(&self, val: $prim, order: Ordering) {
+                #[cfg(feature = "model")]
+                if let Some(h) =
+                    model::acquire_point(&self.mid, model::OpKind::AtomicStore(order), "atomic")
+                {
+                    let prev = self.v.load(Ordering::SeqCst);
+                    self.v.store(val, Ordering::SeqCst);
+                    model::note_store(&h, prev as u64, val as u64, order == Ordering::Relaxed);
+                    return;
+                }
+                self.v.store(val, order)
+            }
+
+            /// Atomically adds, returning the previous value.
+            #[track_caller]
+            pub fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                #[cfg(feature = "model")]
+                if let Some(h) =
+                    model::acquire_point(&self.mid, model::OpKind::AtomicRmw(order), "atomic")
+                {
+                    let old = self.v.fetch_add(val, Ordering::SeqCst);
+                    model::note_store(
+                        &h,
+                        old as u64,
+                        old.wrapping_add(val) as u64,
+                        order == Ordering::Relaxed,
+                    );
+                    return old;
+                }
+                self.v.fetch_add(val, order)
+            }
+
+            /// Atomically subtracts, returning the previous value.
+            #[track_caller]
+            pub fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                #[cfg(feature = "model")]
+                if let Some(h) =
+                    model::acquire_point(&self.mid, model::OpKind::AtomicRmw(order), "atomic")
+                {
+                    let old = self.v.fetch_sub(val, Ordering::SeqCst);
+                    model::note_store(
+                        &h,
+                        old as u64,
+                        old.wrapping_sub(val) as u64,
+                        order == Ordering::Relaxed,
+                    );
+                    return old;
+                }
+                self.v.fetch_sub(val, order)
+            }
+
+            /// Atomically replaces the value, returning the previous one.
+            #[track_caller]
+            pub fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                #[cfg(feature = "model")]
+                if let Some(h) =
+                    model::acquire_point(&self.mid, model::OpKind::AtomicRmw(order), "atomic")
+                {
+                    let old = self.v.swap(val, Ordering::SeqCst);
+                    model::note_store(&h, old as u64, val as u64, order == Ordering::Relaxed);
+                    return old;
+                }
+                self.v.swap(val, order)
+            }
+
+            /// Compare-and-exchange; on success stores `new` and returns
+            /// `Ok(current)`, otherwise `Err(actual)`.
+            #[track_caller]
+            pub fn compare_exchange(
+                &self,
+                current: $prim,
+                new: $prim,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$prim, $prim> {
+                #[cfg(feature = "model")]
+                if let Some(h) =
+                    model::acquire_point(&self.mid, model::OpKind::AtomicRmw(success), "atomic")
+                {
+                    let r =
+                        self.v
+                            .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst);
+                    if r.is_ok() {
+                        model::note_store(
+                            &h,
+                            current as u64,
+                            new as u64,
+                            success == Ordering::Relaxed,
+                        );
+                    }
+                    return r;
+                }
+                self.v.compare_exchange(current, new, success, failure)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.v.fmt(f)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+
+/// Shimmed boolean atomic; see the module docs for semantics.
+pub struct AtomicBool {
+    #[cfg(feature = "model")]
+    mid: model::ModelId,
+    v: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    /// Creates a new atomic with the given initial value.
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool {
+            #[cfg(feature = "model")]
+            mid: model::ModelId::new(),
+            v: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    /// Loads the value with the given ordering.
+    #[track_caller]
+    pub fn load(&self, order: Ordering) -> bool {
+        #[cfg(feature = "model")]
+        if let Some(h) = model::acquire_point(&self.mid, model::OpKind::AtomicLoad(order), "atomic")
+        {
+            return model::resolve_load(&h, order, || u64::from(self.v.load(Ordering::SeqCst)))
+                != 0;
+        }
+        self.v.load(order)
+    }
+
+    /// Stores `val` with the given ordering.
+    #[track_caller]
+    pub fn store(&self, val: bool, order: Ordering) {
+        #[cfg(feature = "model")]
+        if let Some(h) =
+            model::acquire_point(&self.mid, model::OpKind::AtomicStore(order), "atomic")
+        {
+            let prev = self.v.load(Ordering::SeqCst);
+            self.v.store(val, Ordering::SeqCst);
+            model::note_store(
+                &h,
+                u64::from(prev),
+                u64::from(val),
+                order == Ordering::Relaxed,
+            );
+            return;
+        }
+        self.v.store(val, order)
+    }
+
+    /// Atomically replaces the value, returning the previous one.
+    #[track_caller]
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        #[cfg(feature = "model")]
+        if let Some(h) = model::acquire_point(&self.mid, model::OpKind::AtomicRmw(order), "atomic")
+        {
+            let old = self.v.swap(val, Ordering::SeqCst);
+            model::note_store(
+                &h,
+                u64::from(old),
+                u64::from(val),
+                order == Ordering::Relaxed,
+            );
+            return old;
+        }
+        self.v.swap(val, order)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.v.fmt(f)
+    }
+}

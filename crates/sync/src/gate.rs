@@ -1,0 +1,95 @@
+//! [`Gate`]: a counting admission gate with RAII permits, used by the
+//! `specdr serve` connection cap.
+//!
+//! `try_acquire` either hands out an owned permit (released on drop,
+//! including on every error path) or rejects without side effects. The
+//! implementation is a CAS loop, so the "check then increment" window of
+//! a naive load+add can never admit `cap + 1` — the model-checked
+//! `gate-toctou` failpoint deliberately reintroduces that window to
+//! prove the checker catches it.
+
+use std::sync::Arc;
+
+use crate::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-capacity admission gate (see module docs).
+#[derive(Debug)]
+pub struct Gate {
+    cap: usize,
+    live: AtomicUsize,
+}
+
+/// An owned admission slot; dropping it releases the slot.
+#[derive(Debug)]
+pub struct GatePermit {
+    gate: Arc<Gate>,
+}
+
+impl Gate {
+    /// Creates a gate admitting at most `cap` concurrent permits.
+    pub const fn new(cap: usize) -> Gate {
+        Gate {
+            cap,
+            live: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Permits currently outstanding.
+    pub fn in_use(&self) -> usize {
+        // Acquire: pairs with the AcqRel increment/decrement so observers
+        // never see a count ahead of the permit hand-off.
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// Attempts to take a permit; `None` when the gate is full. Never
+    /// overshoots `cap` and never leaks a slot: the permit is RAII.
+    #[track_caller]
+    pub fn try_acquire(self: &Arc<Gate>) -> Option<GatePermit> {
+        loop {
+            // Acquire: the admission decision must observe the latest
+            // releases, or a freed slot could be missed spuriously.
+            let cur = self.live.load(Ordering::Acquire);
+            if crate::fail::point("gate-toctou") {
+                // Mutation under test: a naive check-then-add admits
+                // cap+1 when two threads pass the check concurrently.
+                if cur >= self.cap {
+                    return None;
+                }
+                self.live.fetch_add(1, Ordering::AcqRel);
+                return Some(GatePermit {
+                    gate: Arc::clone(self),
+                });
+            }
+            if cur >= self.cap {
+                return None;
+            }
+            // AcqRel: the increment both claims the slot (release, so
+            // the permit's owner happens-after the claim) and re-checks
+            // the count atomically — no admit-over-cap window.
+            match self
+                .live
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    return Some(GatePermit {
+                        gate: Arc::clone(self),
+                    })
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+}
+
+impl Drop for GatePermit {
+    fn drop(&mut self) {
+        // AcqRel: the release must happen-after all work done under the
+        // permit and be visible to the next admission check.
+        self.gate.live.fetch_sub(1, Ordering::AcqRel);
+    }
+}

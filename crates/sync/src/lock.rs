@@ -1,0 +1,363 @@
+//! `Mutex`, `RwLock`, and `Condvar` shims.
+//!
+//! The API is the non-poisoning parking_lot-style surface the rest of
+//! the workspace uses (`lock()`, `read()`, `write()` return guards
+//! directly). With the `model` feature off every call compiles to the
+//! std primitive plus a poison-recovery branch; inside a model execution
+//! every acquire and release is a schedule point.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+#[cfg(feature = "model")]
+use std::panic::Location;
+use std::sync::PoisonError;
+
+#[cfg(feature = "model")]
+use crate::model;
+
+/// A mutual-exclusion lock with a parking_lot-style non-poisoning API.
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "model")]
+    mid: model::ModelId,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new unlocked mutex.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            #[cfg(feature = "model")]
+            mid: model::ModelId::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        #[cfg(feature = "model")]
+        let mref = model::acquire_point(&self.mid, model::OpKind::MutexLock, "mutex");
+        #[cfg(feature = "model")]
+        let loc = Location::caller();
+        let g = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            inner: ManuallyDrop::new(g),
+            lock: self,
+            #[cfg(feature = "model")]
+            model: mref,
+            #[cfg(feature = "model")]
+            loc,
+        }
+    }
+
+    /// Mutable access without locking (the borrow is exclusive).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a model schedule point.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::MutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    #[cfg(feature = "model")]
+    model: Option<model::ModelRef>,
+    #[cfg(feature = "model")]
+    loc: &'static Location<'static>,
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "model")]
+        model::drop_guard(
+            &mut self.inner,
+            self.model.as_ref(),
+            model::OpKind::MutexUnlock,
+            self.loc,
+        );
+        #[cfg(not(feature = "model"))]
+        // Safety: dropped exactly once, here.
+        unsafe {
+            ManuallyDrop::drop(&mut self.inner)
+        };
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A reader-writer lock with a parking_lot-style non-poisoning API.
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "model")]
+    mid: model::ModelId,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new unlocked lock.
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            #[cfg(feature = "model")]
+            mid: model::ModelId::new(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires a shared read lock.
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        #[cfg(feature = "model")]
+        let mref = model::acquire_point(&self.mid, model::OpKind::RwRead, "rwlock");
+        #[cfg(feature = "model")]
+        let loc = Location::caller();
+        let g = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        RwLockReadGuard {
+            inner: ManuallyDrop::new(g),
+            #[cfg(feature = "model")]
+            model: mref,
+            #[cfg(feature = "model")]
+            loc,
+        }
+    }
+
+    /// Acquires the exclusive write lock.
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        #[cfg(feature = "model")]
+        let mref = model::acquire_point(&self.mid, model::OpKind::RwWrite, "rwlock");
+        #[cfg(feature = "model")]
+        let loc = Location::caller();
+        let g = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        RwLockWriteGuard {
+            inner: ManuallyDrop::new(g),
+            #[cfg(feature = "model")]
+            model: mref,
+            #[cfg(feature = "model")]
+            loc,
+        }
+    }
+
+    /// Mutable access without locking (the borrow is exclusive).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::RwLockReadGuard<'a, T>>,
+    #[cfg(feature = "model")]
+    model: Option<model::ModelRef>,
+    #[cfg(feature = "model")]
+    loc: &'static Location<'static>,
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "model")]
+        model::drop_guard(
+            &mut self.inner,
+            self.model.as_ref(),
+            model::OpKind::RwUnlockRead,
+            self.loc,
+        );
+        #[cfg(not(feature = "model"))]
+        // Safety: dropped exactly once, here.
+        unsafe {
+            ManuallyDrop::drop(&mut self.inner)
+        };
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: ManuallyDrop<std::sync::RwLockWriteGuard<'a, T>>,
+    #[cfg(feature = "model")]
+    model: Option<model::ModelRef>,
+    #[cfg(feature = "model")]
+    loc: &'static Location<'static>,
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        #[cfg(feature = "model")]
+        model::drop_guard(
+            &mut self.inner,
+            self.model.as_ref(),
+            model::OpKind::RwUnlockWrite,
+            self.loc,
+        );
+        #[cfg(not(feature = "model"))]
+        // Safety: dropped exactly once, here.
+        unsafe {
+            ManuallyDrop::drop(&mut self.inner)
+        };
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A condition variable paired with [`Mutex`].
+pub struct Condvar {
+    #[cfg(feature = "model")]
+    mid: model::ModelId,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar {
+            #[cfg(feature = "model")]
+            mid: model::ModelId::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases `guard` and blocks until notified, then
+    /// re-acquires the lock. Spurious wakeups are possible (as with the
+    /// std condvar), so callers must loop on their predicate.
+    #[track_caller]
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        #[cfg(feature = "model")]
+        if guard.model.is_some() {
+            let mut g = guard;
+            let mref = g.model.take().expect("checked above");
+            let lock = g.lock;
+            let loc = g.loc;
+            // Safety: `g` is forgotten below; the guard is dropped here
+            // exactly once (the real unlock that precedes the wait).
+            unsafe { ManuallyDrop::drop(&mut g.inner) };
+            std::mem::forget(g);
+            model::condvar_wait(&self.mid, &mref);
+            // The model already granted the re-acquisition; the real
+            // lock is uncontended under the scheduler.
+            let real = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return MutexGuard {
+                inner: ManuallyDrop::new(real),
+                lock,
+                model: Some(mref),
+                loc,
+            };
+        }
+        let mut g = guard;
+        // Safety: the inner guard is moved out exactly once; `g` is
+        // forgotten so its Drop never runs.
+        let std_g = unsafe { ManuallyDrop::take(&mut g.inner) };
+        let lock = g.lock;
+        #[cfg(feature = "model")]
+        let loc = g.loc;
+        std::mem::forget(g);
+        let waited = self
+            .inner
+            .wait(std_g)
+            .unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            inner: ManuallyDrop::new(waited),
+            lock,
+            #[cfg(feature = "model")]
+            model: None,
+            #[cfg(feature = "model")]
+            loc,
+        }
+    }
+
+    /// Wakes one blocked waiter.
+    #[track_caller]
+    pub fn notify_one(&self) {
+        #[cfg(feature = "model")]
+        model::condvar_notify(&self.mid, false);
+        self.inner.notify_one();
+    }
+
+    /// Wakes every blocked waiter.
+    #[track_caller]
+    pub fn notify_all(&self) {
+        #[cfg(feature = "model")]
+        model::condvar_notify(&self.mid, true);
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar { .. }")
+    }
+}

@@ -1,0 +1,1321 @@
+//! The `model` backend: a deterministic cooperative scheduler plus a
+//! stateless DFS explorer that enumerates thread interleavings.
+//!
+//! # How an execution runs
+//!
+//! [`check`] runs the harness closure many times. Each run is one
+//! *execution*: the closure runs on a fresh OS thread, and every thread
+//! it spawns through [`crate::thread::scope`] is registered with the
+//! execution. At every shim operation (lock, unlock, atomic op, swap,
+//! spawn, join, …) the thread *declares* what it is about to do and
+//! yields; exactly one thread holds the token at a time, so the whole
+//! execution is serialized and the interleaving is fully determined by
+//! the sequence of scheduling decisions. The deciding thread consults a
+//! replay prefix (the DFS path being revisited) and extends it with
+//! fresh decisions past the prefix.
+//!
+//! # Exploration
+//!
+//! The explorer performs iterative preemption bounding: all schedules
+//! with 0 preemptions first, then ≤1, then ≤2, … up to
+//! [`ModelOptions::max_preemptions`]. The first counterexample found is
+//! therefore minimal in preemptions. Sleep sets (DPOR-lite) prune
+//! schedules that only commute independent operations. If a whole bound
+//! iteration completes without the bound ever cutting a candidate, the
+//! space has been explored *fully* and higher bounds are skipped.
+//!
+//! # Memory model approximation
+//!
+//! Sequential consistency is assumed for all acquire/release/SeqCst
+//! operations. For `Relaxed` the model is a deliberate
+//! over-approximation: a load may observe the previous value of the
+//! object (a data decision explored like a scheduling decision) whenever
+//! the load or the latest store to that object is `Relaxed` — even if a
+//! later release fence on another object would order it on real
+//! hardware. The checker can therefore report schedules impossible on
+//! hardware, but never misses one the approximation covers; plain
+//! (non-atomic) data races are out of scope.
+//!
+//! # Failure handling
+//!
+//! A panic in any thread (assertion failure), a deadlock (every live
+//! thread blocked), or a step-cap overrun becomes a counterexample
+//! carrying the recorded schedule trace. The execution then aborts: all
+//! parked threads are woken and every subsequent acquire-class shim
+//! operation panics with a private `ModelAbort` payload so the whole
+//! thread tree unwinds quickly; release-class operations (guard drops)
+//! never panic and fall back to the real primitive so unwinding stays
+//! safe.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::mem::ManuallyDrop;
+use std::panic::{self, AssertUnwindSafe, Location};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once, PoisonError};
+
+// ---------------------------------------------------------------------------
+// Global registry: which OS threads belong to a model execution.
+// ---------------------------------------------------------------------------
+
+/// Count of executions currently running anywhere in the process. The
+/// fast gate every shim op checks before touching thread-local state.
+static ACTIVE_EXECUTIONS: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotonic execution generation, used to lazily (re-)register model
+/// objects per execution.
+static EXEC_GEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// True when any model execution is live in the process (fast gate).
+#[inline]
+pub(crate) fn active() -> bool {
+    // relaxed-ok: a stale read only costs one extra TLS lookup.
+    ACTIVE_EXECUTIONS.load(Ordering::Relaxed) != 0
+}
+
+/// The execution + thread id this OS thread belongs to, if any.
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    if !active() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(v: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = v);
+}
+
+/// Panic payload used to tear an aborted execution down. Recognized (and
+/// swallowed) by the thread exit wrappers; the process-wide panic hook
+/// suppresses printing for any panic raised on a model thread.
+pub(crate) struct ModelAbort;
+
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let on_model_thread = CURRENT.with(|c| c.borrow().is_some());
+            if !on_model_thread {
+                prev(info);
+            }
+        }));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Per-object identity.
+// ---------------------------------------------------------------------------
+
+/// Lazily-assigned per-execution identity of a shim object. The cell
+/// packs `(generation << 32) | (id + 1)` so objects re-register
+/// themselves on first touch in each execution.
+pub(crate) struct ModelId {
+    cell: AtomicU64,
+}
+
+impl ModelId {
+    pub(crate) const fn new() -> ModelId {
+        ModelId {
+            cell: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Synthetic object id for thread-start ops: independent of everything.
+const START_OBJ: u32 = u32::MAX - 1;
+/// Synthetic object id for joins: conservatively dependent on everything.
+const JOIN_OBJ: u32 = u32::MAX;
+
+// ---------------------------------------------------------------------------
+// Operations.
+// ---------------------------------------------------------------------------
+
+/// What a shim operation is about to do, declared before it happens.
+#[derive(Clone, Copy)]
+pub(crate) struct Op {
+    pub(crate) obj: u32,
+    /// Second object for ops touching two (condvar wait: the paired
+    /// mutex). `u32::MAX` when unused.
+    pub(crate) aux: u32,
+    pub(crate) kind: OpKind,
+    /// Failpoint name for `FailHit`; `""` otherwise.
+    pub(crate) tag: &'static str,
+    pub(crate) loc: &'static Location<'static>,
+}
+
+impl Op {
+    pub(crate) fn new(obj: u32, kind: OpKind, loc: &'static Location<'static>) -> Op {
+        Op {
+            obj,
+            aux: u32::MAX,
+            kind,
+            tag: "",
+            loc,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum OpKind {
+    Start,
+    MutexLock,
+    MutexUnlock,
+    RwRead,
+    RwUnlockRead,
+    RwWrite,
+    RwUnlockWrite,
+    SwapLoad,
+    SwapStore,
+    AtomicLoad(Ordering),
+    AtomicStore(Ordering),
+    AtomicRmw(Ordering),
+    CvWait,
+    CvWake,
+    CvNotifyOne,
+    CvNotifyAll,
+    Join,
+    FailHit,
+}
+
+/// Dependency signature of an op: object + write-likeness. Two ops are
+/// independent iff they touch different objects or are both read-class.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Sig {
+    obj: u32,
+    write: bool,
+}
+
+fn sig_of(op: &Op) -> Sig {
+    let write = !matches!(
+        op.kind,
+        OpKind::RwRead | OpKind::SwapLoad | OpKind::AtomicLoad(_)
+    );
+    Sig { obj: op.obj, write }
+}
+
+fn indep(a: Sig, b: Sig) -> bool {
+    if a.obj == START_OBJ || b.obj == START_OBJ {
+        return true;
+    }
+    if a.obj == JOIN_OBJ || b.obj == JOIN_OBJ {
+        return false;
+    }
+    a.obj != b.obj || (!a.write && !b.write)
+}
+
+fn op_verb(kind: OpKind) -> &'static str {
+    match kind {
+        OpKind::Start => "starts",
+        OpKind::MutexLock => "acquires",
+        OpKind::MutexUnlock => "releases",
+        OpKind::RwRead => "read-locks",
+        OpKind::RwUnlockRead => "read-unlocks",
+        OpKind::RwWrite => "write-locks",
+        OpKind::RwUnlockWrite => "write-unlocks",
+        OpKind::SwapLoad => "loads",
+        OpKind::SwapStore => "publishes",
+        OpKind::AtomicLoad(_) => "loads",
+        OpKind::AtomicStore(_) => "stores",
+        OpKind::AtomicRmw(_) => "read-modify-writes",
+        OpKind::CvWait => "waits on",
+        OpKind::CvWake => "wakes on",
+        OpKind::CvNotifyOne => "notifies one waiter of",
+        OpKind::CvNotifyAll => "notifies all waiters of",
+        OpKind::Join => "joins",
+        OpKind::FailHit => "hits failpoint",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution state.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct ObjState {
+    kind: &'static str,
+    owner: Option<usize>,
+    readers: usize,
+    writer: Option<usize>,
+    waiters: Vec<usize>,
+    wakeset: Vec<usize>,
+    /// Last two stored values of an atomic: `(value, stored_relaxed)`.
+    hist: Vec<(u64, bool)>,
+    last_writer: Option<usize>,
+}
+
+struct Thr {
+    name: String,
+    alive: bool,
+    pending: Option<Op>,
+    joinees: Vec<usize>,
+    fail_hit: bool,
+}
+
+impl Thr {
+    fn new(name: String) -> Thr {
+        Thr {
+            name,
+            alive: true,
+            pending: None,
+            joinees: Vec::new(),
+            fail_hit: false,
+        }
+    }
+}
+
+/// One node of the DFS tree, shared between the explorer's stack and the
+/// replay prefix handed to each run.
+#[derive(Clone)]
+pub(crate) enum ENode {
+    Sched {
+        enabled: Vec<usize>,
+        sigs: Vec<Sig>,
+        prev: usize,
+        prev_enabled: bool,
+        preempt_before: usize,
+        sleep: Vec<usize>,
+        tried: Vec<usize>,
+        chosen: usize,
+    },
+    Data {
+        n: usize,
+        chosen: usize,
+    },
+}
+
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum Mode {
+    Run,
+    /// Aborting after a counterexample or replay divergence.
+    Fail,
+    /// Aborting a redundant (sleep- or bound-cut) run.
+    Prune,
+}
+
+/// One step of the recorded schedule.
+#[derive(Clone)]
+pub(crate) struct Step {
+    pub(crate) tid: usize,
+    pub(crate) text: String,
+}
+
+struct Arm {
+    left: usize,
+    obj: u32,
+}
+
+struct SchedState {
+    gen: u64,
+    threads: Vec<Thr>,
+    objects: Vec<ObjState>,
+    current: usize,
+    live: usize,
+    mode: Mode,
+    done: bool,
+    // exploration bookkeeping for this run
+    replay: Vec<ENode>,
+    pos: usize,
+    fresh: Vec<ENode>,
+    sleep_now: Vec<usize>,
+    preemptions: usize,
+    bound: usize,
+    steps: usize,
+    max_steps: usize,
+    trace: Vec<Step>,
+    failure: Option<Failure>,
+    nondet: Option<String>,
+    cut_bound_limited: bool,
+    pruned: bool,
+    failpoints: HashMap<&'static str, Arm>,
+}
+
+struct Failure {
+    message: String,
+    preemptions: usize,
+    failing_tid: usize,
+}
+
+impl SchedState {
+    fn new(gen: u64, replay: Vec<ENode>, bound: usize, max_steps: usize) -> SchedState {
+        SchedState {
+            gen,
+            threads: Vec::new(),
+            objects: Vec::new(),
+            current: 0,
+            live: 0,
+            mode: Mode::Run,
+            done: false,
+            replay,
+            pos: 0,
+            fresh: Vec::new(),
+            sleep_now: Vec::new(),
+            preemptions: 0,
+            bound,
+            steps: 0,
+            max_steps,
+            trace: Vec::new(),
+            failure: None,
+            nondet: None,
+            cut_bound_limited: false,
+            pruned: false,
+            failpoints: HashMap::new(),
+        }
+    }
+
+    fn obj_label(&self, obj: u32) -> String {
+        if obj == START_OBJ || obj == JOIN_OBJ {
+            return String::new();
+        }
+        format!("{}#{}", self.objects[obj as usize].kind, obj)
+    }
+
+    fn enabled_of(&self, tid: usize) -> bool {
+        let t = &self.threads[tid];
+        if !t.alive {
+            return false;
+        }
+        let Some(op) = &t.pending else { return false };
+        let o = |i: u32| &self.objects[i as usize];
+        match op.kind {
+            OpKind::MutexLock => o(op.obj).owner.is_none(),
+            OpKind::RwRead => o(op.obj).writer.is_none(),
+            OpKind::RwWrite => o(op.obj).writer.is_none() && o(op.obj).readers == 0,
+            OpKind::CvWake => o(op.obj).wakeset.contains(&tid),
+            OpKind::Join => t.joinees.iter().all(|&k| !self.threads[k].alive),
+            _ => true,
+        }
+    }
+
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.threads.len())
+            .filter(|&t| self.enabled_of(t))
+            .collect()
+    }
+
+    fn fail(&mut self, message: String, failing_tid: usize) {
+        if self.failure.is_none() {
+            self.failure = Some(Failure {
+                message,
+                preemptions: self.preemptions,
+                failing_tid,
+            });
+        }
+        self.mode = Mode::Fail;
+    }
+
+    /// Applies the effect of `me`'s pending op and records the trace step.
+    fn perform(&mut self, me: usize) {
+        let Some(op) = self.threads[me].pending.take() else {
+            return;
+        };
+        let label = self.obj_label(op.obj);
+        match op.kind {
+            OpKind::Start | OpKind::SwapLoad | OpKind::SwapStore => {}
+            OpKind::AtomicLoad(_) | OpKind::AtomicStore(_) | OpKind::AtomicRmw(_) => {}
+            OpKind::MutexLock => self.objects[op.obj as usize].owner = Some(me),
+            OpKind::MutexUnlock => self.objects[op.obj as usize].owner = None,
+            OpKind::RwRead => self.objects[op.obj as usize].readers += 1,
+            OpKind::RwUnlockRead => self.objects[op.obj as usize].readers -= 1,
+            OpKind::RwWrite => self.objects[op.obj as usize].writer = Some(me),
+            OpKind::RwUnlockWrite => self.objects[op.obj as usize].writer = None,
+            OpKind::CvWait => {
+                self.objects[op.aux as usize].owner = None;
+                self.objects[op.obj as usize].waiters.push(me);
+            }
+            OpKind::CvWake => self.objects[op.obj as usize].wakeset.retain(|&t| t != me),
+            OpKind::CvNotifyOne => {
+                if !self.objects[op.obj as usize].waiters.is_empty() {
+                    let w = self.objects[op.obj as usize].waiters.remove(0);
+                    self.objects[op.obj as usize].wakeset.push(w);
+                }
+            }
+            OpKind::CvNotifyAll => {
+                let ws: Vec<usize> = self.objects[op.obj as usize].waiters.drain(..).collect();
+                self.objects[op.obj as usize].wakeset.extend(ws);
+            }
+            OpKind::Join => self.threads[me].joinees.clear(),
+            OpKind::FailHit => {
+                let hit = self
+                    .failpoints
+                    .values_mut()
+                    .find(|a| a.obj == op.obj)
+                    .map(|a| {
+                        if a.left > 0 {
+                            a.left -= 1;
+                            true
+                        } else {
+                            false
+                        }
+                    })
+                    .unwrap_or(false);
+                self.threads[me].fail_hit = hit;
+            }
+        }
+        let name = self.threads[me].name.clone();
+        let what = match op.kind {
+            OpKind::Start => "starts".to_string(),
+            OpKind::FailHit => format!("hits failpoint `{}`", op.tag),
+            OpKind::Join => "joins finished threads".to_string(),
+            OpKind::AtomicLoad(o) | OpKind::AtomicStore(o) | OpKind::AtomicRmw(o) => {
+                format!("{} {label} ({o:?})", op_verb(op.kind))
+            }
+            _ => format!("{} {label}", op_verb(op.kind)),
+        };
+        self.trace.push(Step {
+            tid: me,
+            text: format!(
+                "[T{me} {name}] {what} at {}:{}",
+                op.loc.file(),
+                op.loc.line()
+            ),
+        });
+    }
+
+    /// Picks the next thread to run. `prev` is the yielding thread.
+    /// Returns `None` when the run ends here (mode already updated).
+    fn decide(&mut self, prev: usize) -> Option<usize> {
+        let enabled = self.runnable();
+        if enabled.is_empty() {
+            let blocked: Vec<String> = (0..self.threads.len())
+                .filter(|&t| self.threads[t].alive)
+                .map(|t| {
+                    let name = &self.threads[t].name;
+                    match &self.threads[t].pending {
+                        Some(op) => format!(
+                            "T{t} {name} blocked {} {} at {}:{}",
+                            op_verb(op.kind),
+                            self.obj_label(op.obj),
+                            op.loc.file(),
+                            op.loc.line()
+                        ),
+                        None => format!("T{t} {name} (no pending op)"),
+                    }
+                })
+                .collect();
+            self.fail(format!("deadlock: {}", blocked.join("; ")), prev);
+            return None;
+        }
+        let sigs: Vec<Sig> = enabled
+            .iter()
+            .map(|&t| sig_of(self.threads[t].pending.as_ref().unwrap()))
+            .collect();
+        let prev_enabled = enabled.contains(&prev);
+        if self.pos < self.replay.len() {
+            let node = self.replay[self.pos].clone();
+            let ENode::Sched {
+                enabled: e2,
+                sigs: s2,
+                chosen,
+                sleep,
+                ..
+            } = node
+            else {
+                self.nondet = Some(
+                    "replay divergence: expected a data decision, hit a schedule point".into(),
+                );
+                self.mode = Mode::Fail;
+                return None;
+            };
+            if e2 != enabled || s2 != sigs {
+                self.nondet = Some(format!(
+                    "replay divergence at decision {}: enabled set changed \
+                     (harness is nondeterministic between runs)",
+                    self.pos
+                ));
+                self.mode = Mode::Fail;
+                return None;
+            }
+            let ci = enabled.iter().position(|&t| t == chosen).unwrap();
+            let csig = sigs[ci];
+            self.sleep_now = sleep
+                .iter()
+                .copied()
+                .filter(|&u| {
+                    u != chosen
+                        && e2
+                            .iter()
+                            .position(|&x| x == u)
+                            .map(|i| indep(s2[i], csig))
+                            .unwrap_or(true)
+                })
+                .collect();
+            if prev_enabled && chosen != prev {
+                self.preemptions += 1;
+            }
+            self.pos += 1;
+            Some(chosen)
+        } else {
+            let node_sleep = self.sleep_now.clone();
+            let mut order: Vec<usize> = Vec::with_capacity(enabled.len());
+            if prev_enabled {
+                order.push(prev);
+            }
+            order.extend(enabled.iter().copied().filter(|&t| t != prev));
+            let mut chosen = None;
+            for c in order {
+                if node_sleep.contains(&c) {
+                    continue;
+                }
+                if prev_enabled && c != prev && self.preemptions >= self.bound {
+                    self.cut_bound_limited = true;
+                    continue;
+                }
+                chosen = Some(c);
+                break;
+            }
+            let Some(c) = chosen else {
+                // Sleep- or bound-cut leaf: every continuation here is
+                // redundant (or out of budget for this bound).
+                self.pruned = true;
+                self.mode = Mode::Prune;
+                return None;
+            };
+            let ci = enabled.iter().position(|&t| t == c).unwrap();
+            let csig = sigs[ci];
+            self.fresh.push(ENode::Sched {
+                enabled: enabled.clone(),
+                sigs: sigs.clone(),
+                prev,
+                prev_enabled,
+                preempt_before: self.preemptions,
+                sleep: node_sleep.clone(),
+                tried: Vec::new(),
+                chosen: c,
+            });
+            self.sleep_now = node_sleep
+                .into_iter()
+                .filter(|&u| {
+                    u != c
+                        && enabled
+                            .iter()
+                            .position(|&x| x == u)
+                            .map(|i| indep(sigs[i], csig))
+                            .unwrap_or(true)
+                })
+                .collect();
+            if prev_enabled && c != prev {
+                self.preemptions += 1;
+            }
+            self.pos += 1;
+            Some(c)
+        }
+    }
+
+    /// A nested nondeterministic data decision with `n` alternatives
+    /// (used for relaxed-load staleness). Returns the chosen index, or
+    /// `None` if the run is aborting.
+    fn decide_data(&mut self, n: usize) -> Option<usize> {
+        if self.mode != Mode::Run {
+            return None;
+        }
+        if self.pos < self.replay.len() {
+            match self.replay[self.pos] {
+                ENode::Data { n: m, chosen } if m == n => {
+                    self.pos += 1;
+                    Some(chosen)
+                }
+                _ => {
+                    self.nondet = Some(format!(
+                        "replay divergence at decision {}: expected a schedule point, \
+                         hit a data decision",
+                        self.pos
+                    ));
+                    self.mode = Mode::Fail;
+                    None
+                }
+            }
+        } else {
+            self.fresh.push(ENode::Data { n, chosen: 0 });
+            self.pos += 1;
+            Some(0)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The execution: token passing.
+// ---------------------------------------------------------------------------
+
+pub(crate) struct Execution {
+    st: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+fn lock(st: &Mutex<SchedState>) -> MutexGuard<'_, SchedState> {
+    st.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub(crate) enum PointResult {
+    Proceed,
+    Aborted,
+}
+
+impl Execution {
+    /// Registers (or re-resolves) an object id for this execution.
+    fn obj(&self, st: &mut SchedState, cell: &ModelId, kind: &'static str) -> u32 {
+        let gen = st.gen & 0xffff_ffff;
+        // relaxed-ok: the cell is only read/written by the token holder.
+        let v = cell.cell.load(Ordering::Relaxed);
+        if v != 0 && (v >> 32) == gen {
+            return (v as u32) - 1;
+        }
+        let id = st.objects.len() as u32;
+        st.objects.push(ObjState {
+            kind,
+            ..ObjState::default()
+        });
+        cell.cell
+            .store((gen << 32) | u64::from(id + 1), Ordering::Relaxed);
+        id
+    }
+
+    /// The heart of the scheduler: declare `op`, yield, wait for the
+    /// token, perform the op.
+    pub(crate) fn point(&self, me: usize, op: Op) -> PointResult {
+        let mut st = lock(&self.st);
+        if st.mode != Mode::Run {
+            return PointResult::Aborted;
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let cap = st.max_steps;
+            st.fail(
+                format!("step cap of {cap} exceeded (possible livelock or unbounded loop)"),
+                me,
+            );
+            self.cv.notify_all();
+            return PointResult::Aborted;
+        }
+        st.threads[me].pending = Some(op);
+        let Some(chosen) = st.decide(me) else {
+            st.threads[me].pending = None;
+            self.cv.notify_all();
+            return PointResult::Aborted;
+        };
+        st.current = chosen;
+        if chosen != me {
+            self.cv.notify_all();
+            while st.current != me && st.mode == Mode::Run {
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.mode != Mode::Run {
+                st.threads[me].pending = None;
+                return PointResult::Aborted;
+            }
+        }
+        st.perform(me);
+        PointResult::Proceed
+    }
+
+    /// Applies a release-class effect directly, without scheduling. Used
+    /// while unwinding so guard drops never panic and never block.
+    fn release_direct(&self, me: usize, op: Op) {
+        let mut st = lock(&self.st);
+        if st.mode != Mode::Run {
+            return;
+        }
+        st.threads[me].pending = Some(op);
+        st.perform(me);
+        // The release may have enabled a parked thread; if the token
+        // holder is unwinding toward exit it will pass the token there.
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shim entry points (called from the primitive wrappers).
+// ---------------------------------------------------------------------------
+
+/// A resolved (execution, thread, object) triple held by guards so their
+/// drop can issue the matching release op.
+pub(crate) struct ModelRef {
+    pub(crate) exec: Arc<Execution>,
+    pub(crate) me: usize,
+    pub(crate) obj: u32,
+}
+
+/// Declares an acquire-class schedule point on `cell`. Returns `None`
+/// outside a model execution; panics with `ModelAbort` if the
+/// execution is aborting.
+#[track_caller]
+pub(crate) fn acquire_point(
+    cell: &ModelId,
+    kind: OpKind,
+    objkind: &'static str,
+) -> Option<ModelRef> {
+    let loc = Location::caller();
+    // A drop during unwinding (e.g. a permit released by a failing
+    // assert) must not schedule: a second panic here would abort the
+    // process. The real operation still runs via the caller's fallback.
+    if std::thread::panicking() {
+        return None;
+    }
+    let (exec, me) = current()?;
+    let obj = {
+        let mut st = lock(&exec.st);
+        exec.obj(&mut st, cell, objkind)
+    };
+    match exec.point(me, Op::new(obj, kind, loc)) {
+        PointResult::Proceed => Some(ModelRef { exec, me, obj }),
+        PointResult::Aborted => panic::panic_any(ModelAbort),
+    }
+}
+
+/// Declares a release-class schedule point for a guard drop. Never
+/// panics: during unwinding or abort the effect is applied directly (or
+/// skipped) so drops stay safe.
+pub(crate) fn release_point(h: &ModelRef, kind: OpKind, loc: &'static Location<'static>) {
+    let op = Op::new(h.obj, kind, loc);
+    if std::thread::panicking() {
+        h.exec.release_direct(h.me, op);
+        return;
+    }
+    // Proceed or aborted: either way the real unlock already happened.
+    let _ = h.exec.point(h.me, op);
+}
+
+/// Records a store into an atomic object's value history (for the
+/// relaxed-staleness approximation) and annotates the trace step.
+/// `prev` seeds the history on the object's first store, so even the
+/// first relaxed store has a stale alternative.
+pub(crate) fn note_store(h: &ModelRef, prev: u64, val: u64, relaxed: bool) {
+    let mut st = lock(&h.exec.st);
+    if st.mode != Mode::Run {
+        return;
+    }
+    let o = &mut st.objects[h.obj as usize];
+    if o.hist.is_empty() {
+        o.hist.push((prev, false));
+    }
+    if o.hist.len() == 2 {
+        o.hist.remove(0);
+    }
+    o.hist.push((val, relaxed));
+    o.last_writer = Some(h.me);
+    if let Some(s) = st.trace.last_mut() {
+        if s.tid == h.me {
+            s.text.push_str(&format!(" = {val}"));
+        }
+    }
+}
+
+/// Resolves an atomic load: either the latest value (from `real`) or,
+/// when the relaxed-staleness rule applies, possibly the previous value
+/// — a data decision the explorer enumerates.
+pub(crate) fn resolve_load(h: &ModelRef, order: Ordering, real: impl FnOnce() -> u64) -> u64 {
+    let mut st = lock(&h.exec.st);
+    let o = &st.objects[h.obj as usize];
+    let stale_candidate = o.hist.len() == 2
+        && (order == Ordering::Relaxed || o.hist[1].1)
+        && o.last_writer != Some(h.me);
+    let stale_val = if stale_candidate { o.hist[0].0 } else { 0 };
+    let v = real();
+    if !stale_candidate || st.mode != Mode::Run {
+        return v;
+    }
+    match st.decide_data(2) {
+        Some(1) => {
+            if let Some(s) = st.trace.last_mut() {
+                if s.tid == h.me {
+                    s.text
+                        .push_str(&format!(" -> observes stale value {stale_val}"));
+                }
+            }
+            stale_val
+        }
+        Some(_) => v,
+        None => {
+            drop(st);
+            panic::panic_any(ModelAbort)
+        }
+    }
+}
+
+/// Condvar wait: release the paired mutex, park until notified, then
+/// re-acquire. Three schedule points. Returns `false` outside a model
+/// execution (caller uses the real condvar).
+#[track_caller]
+pub(crate) fn condvar_wait(cv_cell: &ModelId, mutex: &ModelRef) -> bool {
+    let loc = Location::caller();
+    let Some((exec, me)) = current() else {
+        return false;
+    };
+    let cv_obj = {
+        let mut st = lock(&exec.st);
+        exec.obj(&mut st, cv_cell, "condvar")
+    };
+    let mut op = Op::new(cv_obj, OpKind::CvWait, loc);
+    op.aux = mutex.obj;
+    if let PointResult::Aborted = exec.point(me, op) {
+        panic::panic_any(ModelAbort)
+    }
+    if let PointResult::Aborted = exec.point(me, Op::new(cv_obj, OpKind::CvWake, loc)) {
+        panic::panic_any(ModelAbort)
+    }
+    if let PointResult::Aborted = exec.point(me, Op::new(mutex.obj, OpKind::MutexLock, loc)) {
+        panic::panic_any(ModelAbort)
+    }
+    true
+}
+
+/// Condvar notify (one/all): a single always-enabled schedule point.
+#[track_caller]
+pub(crate) fn condvar_notify(cv_cell: &ModelId, all: bool) -> bool {
+    let loc = Location::caller();
+    let Some((exec, me)) = current() else {
+        return false;
+    };
+    let cv_obj = {
+        let mut st = lock(&exec.st);
+        exec.obj(&mut st, cv_cell, "condvar")
+    };
+    let kind = if all {
+        OpKind::CvNotifyAll
+    } else {
+        OpKind::CvNotifyOne
+    };
+    if let PointResult::Aborted = exec.point(me, Op::new(cv_obj, kind, loc)) {
+        panic::panic_any(ModelAbort)
+    }
+    true
+}
+
+/// Consumes an armed failpoint token, as a schedule point. Unarmed
+/// checks are free (no point) so production paths stay cheap.
+#[track_caller]
+pub(crate) fn failpoint(name: &str) -> bool {
+    let loc = Location::caller();
+    let Some((exec, me)) = current() else {
+        return false;
+    };
+    let (obj, tag) = {
+        let st = lock(&exec.st);
+        match st.failpoints.get_key_value(name) {
+            Some((k, a)) if a.left > 0 => (a.obj, *k),
+            _ => return false,
+        }
+    };
+    let mut op = Op::new(obj, OpKind::FailHit, loc);
+    op.tag = tag;
+    match exec.point(me, op) {
+        PointResult::Proceed => {
+            let mut st = lock(&exec.st);
+            std::mem::take(&mut st.threads[me].fail_hit)
+        }
+        PointResult::Aborted => panic::panic_any(ModelAbort),
+    }
+}
+
+/// Arms failpoint `name` for the current execution with `count` one-shot
+/// tokens. Panics outside a model execution.
+pub(crate) fn arm_failpoint(name: &'static str, count: usize) {
+    let Some((exec, _)) = current() else {
+        panic!("sdr_sync::fail::arm used outside a model execution");
+    };
+    let mut st = lock(&exec.st);
+    let id = st.objects.len() as u32;
+    st.objects.push(ObjState {
+        kind: "failpoint",
+        ..ObjState::default()
+    });
+    st.failpoints.insert(
+        name,
+        Arm {
+            left: count,
+            obj: id,
+        },
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Thread lifecycle (used by crate::thread).
+// ---------------------------------------------------------------------------
+
+/// Registers a child thread; it starts parked with a pending `Start` op.
+#[track_caller]
+pub(crate) fn register_child(exec: &Arc<Execution>, name: String) -> usize {
+    let loc = Location::caller();
+    let mut st = lock(&exec.st);
+    let tid = st.threads.len();
+    let mut t = Thr::new(name);
+    t.pending = Some(Op::new(START_OBJ, OpKind::Start, loc));
+    st.threads.push(t);
+    st.live += 1;
+    tid
+}
+
+/// Entered at the top of a child OS thread: binds TLS and parks until
+/// the scheduler grants the `Start` op. Panics with `ModelAbort` if
+/// the execution aborted before the thread ever ran.
+pub(crate) fn enter_child(exec: &Arc<Execution>, tid: usize) {
+    set_current(Some((exec.clone(), tid)));
+    let mut st = lock(&exec.st);
+    while st.current != tid && st.mode == Mode::Run {
+        st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+    if st.mode != Mode::Run {
+        st.threads[tid].pending = None;
+        drop(st);
+        panic::panic_any(ModelAbort)
+    }
+    st.perform(tid);
+}
+
+/// Exits a model thread: records a counterexample on panic, passes the
+/// token on normal exit, and completes the execution when the last
+/// thread leaves.
+pub(crate) fn exit_thread(exec: &Arc<Execution>, tid: usize, panic_msg: Option<String>) {
+    let mut st = lock(&exec.st);
+    st.threads[tid].alive = false;
+    st.threads[tid].pending = None;
+    st.live -= 1;
+    if st.mode == Mode::Run {
+        if let Some(msg) = panic_msg {
+            st.fail(msg, tid);
+        } else if st.live > 0 {
+            if let Some(chosen) = st.decide(tid) {
+                st.current = chosen;
+            }
+        } else if st.pos < st.replay.len() {
+            st.nondet = Some(format!(
+                "replay divergence: execution ended after {} decisions, expected {}",
+                st.pos,
+                st.replay.len()
+            ));
+            st.mode = Mode::Fail;
+        }
+    }
+    if st.live == 0 {
+        st.done = true;
+    }
+    exec.cv.notify_all();
+    set_current(None);
+}
+
+// ---------------------------------------------------------------------------
+// The explorer.
+// ---------------------------------------------------------------------------
+
+/// Exploration limits for [`check`].
+#[derive(Clone, Copy, Debug)]
+pub struct ModelOptions {
+    /// Hard cap on the number of executions across all bound iterations.
+    pub max_schedules: u64,
+    /// Largest preemption bound tried by iterative bounding.
+    pub max_preemptions: usize,
+    /// Per-execution schedule-point cap (livelock guard).
+    pub max_steps: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> ModelOptions {
+        ModelOptions {
+            max_schedules: 100_000,
+            max_preemptions: 2,
+            max_steps: 100_000,
+        }
+    }
+}
+
+/// A failing interleaving: the minimal recorded schedule plus the panic
+/// (or deadlock) message that ended it.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The assertion/deadlock/livelock message.
+    pub message: String,
+    /// One line per executed schedule step, in order.
+    pub schedule: Vec<String>,
+    /// Index into `schedule` of the last step the failing thread took
+    /// (the failure happened at or immediately after it).
+    pub failing_step: Option<usize>,
+    /// Number of preemptions in the failing schedule (minimal, because
+    /// bounds are explored iteratively).
+    pub preemptions: usize,
+}
+
+/// The result of exploring a harness.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Executions actually run.
+    pub schedules: u64,
+    /// Runs or branches skipped by sleep-set/bound pruning.
+    pub prunes: u64,
+    /// True when the space was fully explored within the configured
+    /// preemption bound (and budget).
+    pub exhausted: bool,
+    /// True when the whole space was explored and the preemption bound
+    /// never cut anything — the guarantee is then unconditional.
+    pub complete: bool,
+    /// The preemption bound in effect when exploration stopped.
+    pub bound_used: usize,
+    /// The first (minimal-preemption) counterexample, if any.
+    pub counterexample: Option<Counterexample>,
+    /// Set when the harness behaved differently under replay, which
+    /// voids exploration guarantees.
+    pub nondeterminism: Option<String>,
+}
+
+struct RunOutcome {
+    fresh: Vec<ENode>,
+    pruned: bool,
+    cut_bound_limited: bool,
+    failure: Option<Failure>,
+    nondet: Option<String>,
+    trace: Vec<Step>,
+}
+
+fn run_one<F>(f: &Arc<F>, replay: Vec<ENode>, bound: usize, max_steps: usize) -> RunOutcome
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    // relaxed-ok: generation only needs uniqueness, not ordering.
+    let gen = EXEC_GEN.fetch_add(1, Ordering::Relaxed);
+    let exec = Arc::new(Execution {
+        st: Mutex::new(SchedState::new(gen, replay, bound, max_steps)),
+        cv: Condvar::new(),
+    });
+    {
+        let mut st = lock(&exec.st);
+        let mut main = Thr::new("main".into());
+        main.pending = Some(Op::new(START_OBJ, OpKind::Start, Location::caller()));
+        st.threads.push(main);
+        st.live = 1;
+        st.current = 0;
+    }
+    // SeqCst: the activation count gates TLS lookups on every shim op in
+    // the process; keep its edges globally ordered.
+    ACTIVE_EXECUTIONS.fetch_add(1, Ordering::SeqCst);
+    let e2 = exec.clone();
+    let f2 = f.clone();
+    let h = std::thread::Builder::new()
+        .name("sdr-sync-model-main".into())
+        .spawn(move || {
+            set_current(Some((e2.clone(), 0)));
+            {
+                let mut st = lock(&e2.st);
+                st.perform(0);
+            }
+            let r = panic::catch_unwind(AssertUnwindSafe(|| f2()));
+            let msg = match &r {
+                Ok(()) => None,
+                Err(p) => panic_message(&**p),
+            };
+            exit_thread(&e2, 0, msg);
+        })
+        .expect("spawn model main thread");
+    {
+        let mut st = lock(&exec.st);
+        while !st.done {
+            st = exec.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    let _ = h.join();
+    ACTIVE_EXECUTIONS.fetch_sub(1, Ordering::SeqCst);
+    let mut st = lock(&exec.st);
+    RunOutcome {
+        fresh: std::mem::take(&mut st.fresh),
+        pruned: st.pruned,
+        cut_bound_limited: st.cut_bound_limited,
+        failure: st.failure.take(),
+        nondet: st.nondet.take(),
+        trace: std::mem::take(&mut st.trace),
+    }
+}
+
+/// Renders a panic payload; `ModelAbort` teardown panics yield `None`.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> Option<String> {
+    if p.downcast_ref::<ModelAbort>().is_some() {
+        return None;
+    }
+    if let Some(s) = p.downcast_ref::<&str>() {
+        return Some((*s).to_string());
+    }
+    if let Some(s) = p.downcast_ref::<String>() {
+        return Some(s.clone());
+    }
+    Some("panic with non-string payload".to_string())
+}
+
+// The arguments are exactly the fields of one `ENode::Sched`, borrowed
+// piecewise so the caller can keep `&mut` access to `tried`/`chosen`.
+#[allow(clippy::too_many_arguments)]
+fn next_candidate(
+    enabled: &[usize],
+    prev: usize,
+    prev_enabled: bool,
+    preempt_before: usize,
+    sleep: &[usize],
+    tried: &[usize],
+    bound: usize,
+    bound_limited: &mut bool,
+) -> Option<usize> {
+    let mut order: Vec<usize> = Vec::with_capacity(enabled.len());
+    if prev_enabled {
+        order.push(prev);
+    }
+    order.extend(enabled.iter().copied().filter(|&t| t != prev));
+    for c in order {
+        if tried.contains(&c) || sleep.contains(&c) {
+            continue;
+        }
+        if prev_enabled && c != prev && preempt_before >= bound {
+            *bound_limited = true;
+            continue;
+        }
+        return Some(c);
+    }
+    None
+}
+
+/// Explores every interleaving of `f` (up to the options' bounds) and
+/// reports what was found. `f` runs once per schedule and must be
+/// deterministic apart from the shim operations themselves.
+pub fn check<F>(opts: &ModelOptions, f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_panic_hook();
+    let f = Arc::new(f);
+    let mut report = Report::default();
+    let mut budget_out = false;
+    'bounds: for bound in 0..=opts.max_preemptions {
+        report.bound_used = bound;
+        let mut frames: Vec<ENode> = Vec::new();
+        let mut bound_limited_iter = false;
+        'runs: loop {
+            if report.schedules >= opts.max_schedules {
+                budget_out = true;
+                break 'bounds;
+            }
+            let out = run_one(&f, frames.clone(), bound, opts.max_steps);
+            report.schedules += 1;
+            frames.extend(out.fresh);
+            if out.cut_bound_limited {
+                bound_limited_iter = true;
+            }
+            if out.pruned {
+                report.prunes += 1;
+            }
+            if let Some(nd) = out.nondet {
+                report.nondeterminism = Some(nd);
+                break 'bounds;
+            }
+            if let Some(fail) = out.failure {
+                let failing_step = out.trace.iter().rposition(|s| s.tid == fail.failing_tid);
+                report.counterexample = Some(Counterexample {
+                    message: fail.message,
+                    schedule: out.trace.into_iter().map(|s| s.text).collect(),
+                    failing_step,
+                    preemptions: fail.preemptions,
+                });
+                break 'bounds;
+            }
+            // Backtrack to the deepest node with an unexplored choice.
+            loop {
+                match frames.last_mut() {
+                    None => break 'runs,
+                    Some(ENode::Data { n, chosen }) => {
+                        if *chosen + 1 < *n {
+                            *chosen += 1;
+                            continue 'runs;
+                        }
+                        frames.pop();
+                    }
+                    Some(ENode::Sched {
+                        enabled,
+                        prev,
+                        prev_enabled,
+                        preempt_before,
+                        sleep,
+                        tried,
+                        chosen,
+                        ..
+                    }) => {
+                        tried.push(*chosen);
+                        sleep.push(*chosen);
+                        if let Some(c) = next_candidate(
+                            enabled,
+                            *prev,
+                            *prev_enabled,
+                            *preempt_before,
+                            sleep,
+                            tried,
+                            bound,
+                            &mut bound_limited_iter,
+                        ) {
+                            *chosen = c;
+                            continue 'runs;
+                        }
+                        // Count candidates never explored thanks to the
+                        // sleep set (bound cuts are tracked separately).
+                        let skipped = enabled
+                            .iter()
+                            .filter(|t| !tried.contains(t) && sleep.contains(t))
+                            .count();
+                        report.prunes += skipped as u64;
+                        frames.pop();
+                    }
+                }
+            }
+        }
+        // Bound iteration ran to completion.
+        if !bound_limited_iter {
+            report.exhausted = true;
+            report.complete = true;
+            break 'bounds;
+        }
+        report.exhausted = true;
+    }
+    if budget_out || report.nondeterminism.is_some() || report.counterexample.is_some() {
+        report.exhausted = false;
+        report.complete = false;
+    }
+    report
+}
+
+/// Blocks until every thread in `kids` has exited, as a single schedule
+/// point. Quiet outside a model execution or during abort (the caller's
+/// real `join` provides the actual synchronization there).
+#[track_caller]
+pub(crate) fn join_threads(kids: &[usize]) {
+    let loc = Location::caller();
+    if kids.is_empty() {
+        return;
+    }
+    let Some((exec, me)) = current() else {
+        return;
+    };
+    {
+        let mut st = lock(&exec.st);
+        if st.mode != Mode::Run {
+            return;
+        }
+        st.threads[me].joinees = kids.to_vec();
+    }
+    let _ = exec.point(me, Op::new(JOIN_OBJ, OpKind::Join, loc));
+}
+
+// ---------------------------------------------------------------------------
+// Guard plumbing shared with the primitive wrappers.
+// ---------------------------------------------------------------------------
+
+/// Drops a real guard then issues the matching release op; a plain
+/// helper so every guard drop follows the same order (real first, model
+/// second — the token holder is the only runnable thread in between).
+pub(crate) fn drop_guard<G>(
+    real: &mut ManuallyDrop<G>,
+    model: Option<&ModelRef>,
+    kind: OpKind,
+    loc: &'static Location<'static>,
+) {
+    // Safety: called exactly once, from the owning guard's Drop.
+    unsafe { ManuallyDrop::drop(real) };
+    if let Some(h) = model {
+        release_point(h, kind, loc);
+    }
+}

@@ -1,0 +1,64 @@
+//! [`Swap`]: the epoch-publish primitive — an atomically replaceable
+//! `Arc` pointer.
+//!
+//! `load` clones the current `Arc`; `store` replaces it. Publication is
+//! always release/acquire (readers that load the new pointer see
+//! everything written before the store), so the model treats `Swap` as a
+//! single sequentially consistent pointer cell: one schedule point per
+//! load or store, no staleness. The real backend is a std `RwLock`
+//! around the `Arc`, matching the pre-shim implementation.
+
+use std::sync::{Arc, PoisonError, RwLock};
+
+#[cfg(feature = "model")]
+use crate::model;
+
+/// An atomically swappable shared pointer (see module docs).
+pub struct Swap<T> {
+    #[cfg(feature = "model")]
+    mid: model::ModelId,
+    inner: RwLock<Arc<T>>,
+}
+
+impl<T> Swap<T> {
+    /// Creates a new cell holding `value`.
+    pub fn new(value: Arc<T>) -> Swap<T> {
+        Swap {
+            #[cfg(feature = "model")]
+            mid: model::ModelId::new(),
+            inner: RwLock::new(value),
+        }
+    }
+
+    /// Returns a clone of the current pointer (the reader's snapshot
+    /// acquisition).
+    #[track_caller]
+    pub fn load(&self) -> Arc<T> {
+        #[cfg(feature = "model")]
+        let _h = model::acquire_point(&self.mid, model::OpKind::SwapLoad, "swap");
+        Arc::clone(&self.inner.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Atomically publishes `value` as the new current pointer.
+    #[track_caller]
+    pub fn store(&self, value: Arc<T>) {
+        #[cfg(feature = "model")]
+        let _h = model::acquire_point(&self.mid, model::OpKind::SwapStore, "swap");
+        *self.inner.write().unwrap_or_else(PoisonError::into_inner) = value;
+    }
+
+    /// Consumes the cell, returning the held pointer.
+    pub fn into_inner(self) -> Arc<T> {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Swap<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Swap")
+            .field(&self.inner.read().unwrap_or_else(PoisonError::into_inner))
+            .finish()
+    }
+}

@@ -1,0 +1,133 @@
+//! Scoped-thread shim.
+//!
+//! [`scope`] wraps `std::thread::scope`. Outside a model execution it is
+//! a zero-cost pass-through. Inside one, every spawned thread is
+//! registered with the scheduler before its OS thread starts, runs its
+//! body between schedule points like any other model thread, and is
+//! model-joined (a blocking schedule point) before the std scope's own
+//! join — so the scheduler always knows which threads exist and an
+//! unregistered child can never race the model.
+
+#[cfg(feature = "model")]
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+#[cfg(feature = "model")]
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "model")]
+use crate::model;
+
+/// A scope handle mirroring `std::thread::Scope`.
+pub struct Scope<'scope, 'env: 'scope> {
+    std: &'scope std::thread::Scope<'scope, 'env>,
+    #[cfg(feature = "model")]
+    ctl: Option<(Arc<model::Execution>, Mutex<Vec<usize>>)>,
+}
+
+/// Join handle for a thread spawned in a [`Scope`].
+pub struct JoinHandle<'scope, T> {
+    std: std::thread::ScopedJoinHandle<'scope, T>,
+    #[cfg(feature = "model")]
+    model: Option<usize>,
+}
+
+impl<T> JoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result (`Err` when
+    /// it panicked, like `std`).
+    #[track_caller]
+    pub fn join(self) -> std::thread::Result<T> {
+        #[cfg(feature = "model")]
+        if let Some(tid) = self.model {
+            model::join_threads(&[tid]);
+        }
+        self.std.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a thread in the scope, like `std::thread::Scope::spawn`.
+    #[track_caller]
+    pub fn spawn<F, T>(&self, f: F) -> JoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        self.spawn_named("worker".to_string(), f)
+    }
+
+    /// Spawns a named thread in the scope; the name appears in model
+    /// schedule traces.
+    #[track_caller]
+    pub fn spawn_named<F, T>(&self, name: String, f: F) -> JoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        #[cfg(feature = "model")]
+        if let Some((exec, kids)) = &self.ctl {
+            let tid = model::register_child(exec, name);
+            kids.lock().expect("scope child list").push(tid);
+            let e2 = exec.clone();
+            let h = self.std.spawn(move || {
+                // enter_child must sit inside catch_unwind: it panics
+                // with ModelAbort when the run is torn down before this
+                // thread ever got the token, and exit_thread below must
+                // still run so the execution's live count reaches zero.
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    model::enter_child(&e2, tid);
+                    f()
+                }));
+                let msg = match &r {
+                    Ok(_) => None,
+                    Err(p) => model::panic_message(&**p),
+                };
+                model::exit_thread(&e2, tid, msg);
+                match r {
+                    Ok(v) => v,
+                    Err(p) => resume_unwind(p),
+                }
+            });
+            return JoinHandle {
+                std: h,
+                model: Some(tid),
+            };
+        }
+        let _ = name;
+        JoinHandle {
+            std: self.std.spawn(f),
+            #[cfg(feature = "model")]
+            model: None,
+        }
+    }
+}
+
+/// Runs `f` with a [`Scope`] that joins all spawned threads before
+/// returning, like `std::thread::scope`.
+#[track_caller]
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+{
+    #[cfg(feature = "model")]
+    if let Some((exec, _)) = model::current() {
+        return std::thread::scope(move |s| {
+            let wrap = Scope {
+                std: s,
+                ctl: Some((exec, Mutex::new(Vec::new()))),
+            };
+            let out = f(&wrap);
+            // Model-join every child before the std scope's implicit
+            // join so the scheduler sees the barrier.
+            let (_, kids) = wrap.ctl.as_ref().expect("model scope ctl");
+            let kids = kids.lock().expect("scope child list").clone();
+            model::join_threads(&kids);
+            out
+        });
+    }
+    std::thread::scope(|s| {
+        f(&Scope {
+            std: s,
+            #[cfg(feature = "model")]
+            ctl: None,
+        })
+    })
+}

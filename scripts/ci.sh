@@ -22,7 +22,7 @@ run cargo clippy --workspace -- -D warnings
 run env RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps \
   -p sdr-mdm -p sdr-spec -p sdr-lint -p sdr-prover -p sdr-reduce \
   -p sdr-obs -p sdr-query -p sdr-plan -p sdr-storage -p sdr-subcube \
-  -p sdr-workload -p specdr
+  -p sdr-workload -p sdr-sync -p sdr-check -p specdr
 
 # Lint gate: every checked-in example specification must pass
 # `specdr lint` with all rules denied. A warning here is a CI failure —
@@ -36,6 +36,49 @@ for f in examples/specs/*.spec; do
     exit 1
   }
   echo "  $f: $out"
+done
+
+# Model-checker gate: exhaustively explore every concurrency-protocol
+# harness up to its preemption bound and fail on any counterexample.
+# Every protocol line must report "(exhaustive)" — a bound cut or an
+# exhausted budget means the proof no longer covers the state space and
+# is just as much a failure as a counterexample. SDR_CHECK_BUDGET caps
+# the schedule count so a scheduler regression cannot hang CI; the clean
+# harnesses explore a few hundred schedules in well under a second.
+echo "==> specdr check gate (all protocols, budget ${SDR_CHECK_BUDGET:-50000})"
+check_out=$(target/release/specdr check --protocol all \
+              --budget "${SDR_CHECK_BUDGET:-50000}") || {
+  echo "specdr check found protocol counterexamples:" >&2
+  echo "$check_out" >&2
+  exit 1
+}
+echo "$check_out" | sed 's/^/  /'
+protocols=$(echo "$check_out" | grep -c '^check ' || true)
+exhaustive=$(echo "$check_out" | grep -c '(exhaustive)' || true)
+if [ "$protocols" -ne 4 ] || [ "$exhaustive" -ne 4 ]; then
+  echo "specdr check gate: expected 4 exhaustive protocol proofs," >&2
+  echo "  got $protocols protocols / $exhaustive exhaustive" >&2
+  exit 1
+fi
+
+# Mutation gate: each protocol ships a named model-only failpoint that
+# re-introduces the exact bug the protocol prevents. `specdr check
+# --mutate` must catch every one with a rendered C001 counterexample —
+# a seeded bug that survives means the harness lost its teeth.
+echo "==> specdr check mutation gate (every seeded bug must be caught)"
+for m in publish-unlocked skip-rollback skip-wedge gate-toctou; do
+  if out=$(target/release/specdr check --mutate "$m" 2>&1); then
+    echo "mutation gate: seeded bug '$m' was NOT caught:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  if ! echo "$out" | grep -q 'error\[C001\]'; then
+    echo "mutation gate: '$m' failed without a rendered counterexample:" >&2
+    echo "$out" >&2
+    exit 1
+  fi
+  sched=$(echo "$out" | sed -n 's/.*= note: \(minimal schedule:.*\)/\1/p' | head -1)
+  echo "  $m caught: ${sched:-counterexample rendered}"
 done
 
 # Perf smoke under --release: run the E10 operator set (select /
@@ -124,6 +167,19 @@ run cargo test -q --release --test sharding
 # admission control, the corruption/fuzz matrix, and the multi-client
 # socket load generator's torn-read audit.
 run cargo test -q --release --test serve
+
+# Feature hygiene: the production daemon must build without the model-
+# checking scheduler (`check` feature off) — src/lib.rs carries a
+# compile-time assertion that sdr-sync's model backend did not leak into
+# the graph. This build overwrites target/release/specdr, so the serve
+# smoke and loadgen below exercise the model-free binary end to end, and
+# `specdr check` on that binary must refuse to run rather than silently
+# checking nothing.
+run cargo build --release --no-default-features -p specdr
+if target/release/specdr check --protocol serve >/dev/null 2>&1; then
+  echo "feature hygiene: model-free binary still accepts 'specdr check'" >&2
+  exit 1
+fi
 
 # Serve smoke test: boot the daemon on an ephemeral port, compare a wire
 # client's digest against the in-process baseline digest printed in the

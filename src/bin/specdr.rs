@@ -134,6 +134,13 @@ fn main() -> ExitCode {
 }
 
 fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
+    // `--help`/`-h` is accepted by every subcommand, before strict flag
+    // validation, and always succeeds — `specdr check --help` must not
+    // be an "unknown flag" error.
+    if rest.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", USAGE);
+        return Ok(());
+    }
     match cmd {
         "demo" => {
             let opts = Opts::parse(rest, "demo", &[], &[("--metrics", ArgKind::OptValue)])?;
@@ -338,6 +345,18 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
             metrics.emit();
             Ok(())
         }
+        "check" => {
+            let opts = Opts::parse(
+                rest,
+                "check",
+                &["--protocol", "--budget", "--preemptions", "--mutate"],
+                &[("--metrics", ArgKind::OptValue)],
+            )?;
+            let metrics = MetricsOut::from_opts(&opts)?;
+            cmd_check(&opts)?;
+            metrics.emit();
+            Ok(())
+        }
         "help" | "--help" | "-h" => {
             print!("{}", USAGE);
             Ok(())
@@ -347,7 +366,7 @@ fn run_command(cmd: &str, rest: &[String]) -> Result<(), AnyError> {
 }
 
 const USAGE: &str =
-    "usage: specdr <demo|explain|age|profile|lint|simulate|query|stats|checkpoint|recover|concurrent|serve|client|loadgen|help> [options]\n\
+    "usage: specdr <demo|explain|age|profile|lint|check|simulate|query|stats|checkpoint|recover|concurrent|serve|client|loadgen|help> [options]\n\
   demo                        run the paper's ISP example\n\
   explain [--spec-file FILE]  check + explain a reduction specification\n\
   explain --query [--where PRED] [--roll-up LEVELS] [--mode MODE] [--months N]\n\
@@ -386,6 +405,14 @@ const USAGE: &str =
        [--format text|json] [--allow CODE] [--warn CODE] [--deny CODE|warnings]\n\
                               statically analyze a reduction specification;\n\
                               non-zero exit iff a denied finding is present\n\
+  check [--protocol all|epoch|group-commit|shard|serve] [--budget N]\n\
+        [--preemptions P] [--mutate NAME]\n\
+                              model-check the warehouse concurrency protocols:\n\
+                              exhaustively enumerate thread interleavings (up to\n\
+                              P preemptions, at most N schedules per protocol)\n\
+                              and fail with a minimal counterexample schedule on\n\
+                              any contract violation; --mutate arms a seeded\n\
+                              protocol bug that the harness must catch\n\
   concurrent [--seed S] [--readers N] [--steps M] [--queries Q]\n\
                               closed-loop snapshot-isolation driver: N readers\n\
                               query while a seeded writer churns loads, syncs,\n\
@@ -1393,6 +1420,7 @@ fn cmd_concurrent(opts: &Opts) -> Result<(), AnyError> {
 static SERVE_STOP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
 
 extern "C" fn serve_stop_handler(_sig: i32) {
+    // Release: pairs with the serve loop's Acquire poll below.
     SERVE_STOP.store(true, std::sync::atomic::Ordering::Release);
 }
 
@@ -1437,6 +1465,123 @@ fn serve_warehouse(
     Ok((router, now))
 }
 
+/// `specdr check`: model-check the concurrency protocols, rendering any
+/// counterexample as a rustc-style `C001` diagnostic over the failing
+/// schedule.
+#[cfg(feature = "check")]
+fn cmd_check(opts: &Opts) -> Result<(), AnyError> {
+    use sdr_check::{mutation, run, CheckOptions, Protocol};
+
+    let mutate = match opts.value("--mutate") {
+        Some(name) => Some(*mutation(name).ok_or_else(|| {
+            let known: Vec<&str> = sdr_check::MUTATIONS.iter().map(|m| m.name).collect();
+            format!(
+                "unknown mutation `{name}`; expected one of {}",
+                known.join("|")
+            )
+        })?),
+        None => None,
+    };
+    let protocols: Vec<Protocol> = match (mutate, opts.value("--protocol").unwrap_or("all")) {
+        // A mutation targets exactly one harness.
+        (Some(m), _) => vec![m.protocol],
+        (None, "all") => Protocol::ALL.to_vec(),
+        (None, name) => vec![Protocol::parse(name).ok_or_else(|| {
+            format!("unknown protocol `{name}`; expected all|epoch|group-commit|shard|serve")
+        })?],
+    };
+    let co = CheckOptions {
+        budget: opts.value("--budget").unwrap_or("50000").parse()?,
+        preemptions: opts.value("--preemptions").map(str::parse).transpose()?,
+        mutation: mutate.map(|m| m.failpoint),
+    };
+
+    let mut counterexamples = 0usize;
+    for p in protocols {
+        let t = std::time::Instant::now();
+        let r = run(p, &co);
+        let coverage = if r.counterexample.is_some() {
+            "stopped at counterexample"
+        } else if r.complete {
+            "exhaustive"
+        } else if r.exhausted {
+            "exhaustive up to preemption bound"
+        } else {
+            "budget exhausted"
+        };
+        println!(
+            "check {p}: {} schedules explored, {} pruned, preemption bound {} ({coverage}) in {:.1?}",
+            r.schedules,
+            r.prunes,
+            r.bound_used,
+            t.elapsed()
+        );
+        if let Some(n) = &r.nondeterminism {
+            return Err(format!("check {p}: harness is nondeterministic: {n}").into());
+        }
+        if let Some(ce) = &r.counterexample {
+            println!("{}", render_counterexample(p, ce));
+            counterexamples += 1;
+        }
+    }
+    if counterexamples > 0 {
+        return Err(format!(
+            "{counterexamples} protocol counterexample{} found",
+            if counterexamples == 1 { "" } else { "s" }
+        )
+        .into());
+    }
+    Ok(())
+}
+
+/// Renders a counterexample schedule like a lint finding: the schedule
+/// is the "source", the failing step carries the primary span.
+#[cfg(feature = "check")]
+fn render_counterexample(p: sdr_check::Protocol, ce: &sdr_check::Counterexample) -> String {
+    use sdr_lint::{render_text, Code, Diagnostic, Severity};
+    use specdr::spec::SrcSpan;
+
+    let src = ce.schedule.join("\n");
+    let step = ce
+        .failing_step
+        .unwrap_or(ce.schedule.len().saturating_sub(1));
+    // Byte range of the failing step's line within the joined schedule.
+    let start: usize = ce.schedule[..step].iter().map(|l| l.len() + 1).sum();
+    let end = start + ce.schedule.get(step).map_or(0, |l| l.len());
+    let headline = ce.message.lines().next().unwrap_or("protocol violation");
+    let mut d = Diagnostic::new(
+        Code::C001,
+        Severity::Error,
+        format!("protocol `{p}` violated: {headline}"),
+    )
+    .with_primary(
+        SrcSpan { start, end },
+        "the invariant fails after this step",
+    )
+    .with_note(format!("invariant: {}", p.invariant()))
+    .with_note(format!(
+        "minimal schedule: {} step{}, {} preemption{}",
+        ce.schedule.len(),
+        if ce.schedule.len() == 1 { "" } else { "s" },
+        ce.preemptions,
+        if ce.preemptions == 1 { "" } else { "s" },
+    ));
+    for line in ce.message.lines().skip(1) {
+        d = d.with_note(line.trim().to_string());
+    }
+    render_text(&src, "<schedule>", &[d])
+}
+
+/// Without the `check` feature there is no model backend in the binary;
+/// point the user at the dev build instead of failing cryptically.
+#[cfg(not(feature = "check"))]
+fn cmd_check(_opts: &Opts) -> Result<(), AnyError> {
+    Err("this binary was built without the model checker \
+         (feature `check`); rebuild with default features to run \
+         `specdr check`"
+        .into())
+}
+
 fn cmd_serve(opts: &Opts) -> Result<(), AnyError> {
     let shards: usize = opts.value("--shards").unwrap_or("2").parse()?;
     let cap: usize = opts.value("--cap").unwrap_or("64").parse()?;
@@ -1475,6 +1620,7 @@ fn cmd_serve(opts: &Opts) -> Result<(), AnyError> {
         cap
     );
     println!("serve: baseline now={ny}/{nm}/{nd} digest=0x{digest:016x}");
+    // Acquire: pairs with the signal handler's Release store.
     while !SERVE_STOP.load(std::sync::atomic::Ordering::Acquire) {
         std::thread::sleep(std::time::Duration::from_millis(50));
     }

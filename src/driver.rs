@@ -234,6 +234,8 @@ pub fn drive(spec: DataReductionSpec, cfg: &DriveConfig) -> Result<DriveReport, 
                 let mut local = Vec::new();
                 let mut n = 0usize;
                 loop {
+                    // Acquire: pairs with the writer's Release store so a
+                    // reader that sees `done` also sees the final publish.
                     let writer_active = !done.load(Ordering::Acquire);
                     if !writer_active && n >= min_queries {
                         break;
@@ -271,6 +273,8 @@ pub fn drive(spec: DataReductionSpec, cfg: &DriveConfig) -> Result<DriveReport, 
                 }
             }
         }
+        // Release: readers' Acquire loads of `done` must also observe
+        // every version published before the writer finished.
         done.store(true, Ordering::Release);
     });
     if let Some(e) = writer_err.into_inner().unwrap() {
@@ -462,6 +466,7 @@ pub fn drive_socket(
             s.spawn(move || {
                 let mut rng = SplitMix64(seed ^ 0x50C4E7 ^ (c as u64).wrapping_mul(0x9E37_79B9));
                 let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) else {
+                    // relaxed-ok: monotonic error counter, read only after join.
                     transport_errors.fetch_add(1, Ordering::Relaxed);
                     return;
                 };
@@ -469,6 +474,8 @@ pub fn drive_socket(
                 let mut local_lat = Vec::new();
                 let mut n = 0usize;
                 loop {
+                    // Acquire: pairs with the writer's Release store so a
+                    // reader that sees `done` also sees the final publish.
                     let writer_active = !done.load(Ordering::Acquire);
                     if !writer_active && n >= min_queries {
                         break;
@@ -503,16 +510,19 @@ pub fn drive_socket(
                                             digest,
                                         }),
                                         None => {
+                                            // relaxed-ok: monotonic error counter, read only after join.
                                             proto_errors.fetch_add(1, Ordering::Relaxed);
                                         }
                                     }
                                 }
                                 _ => {
+                                    // relaxed-ok: monotonic error counter, read only after join.
                                     proto_errors.fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
                         Err(_) => {
+                            // relaxed-ok: monotonic error counter, read only after join.
                             transport_errors.fetch_add(1, Ordering::Relaxed);
                             break; // the stream is no longer trustworthy
                         }
@@ -536,6 +546,8 @@ pub fn drive_socket(
                 }
             }
         }
+        // Release: readers' Acquire loads of `done` must also observe
+        // every version published before the writer finished.
         done.store(true, Ordering::Release);
     });
     if let Some(e) = writer_err.into_inner().unwrap() {

@@ -45,3 +45,15 @@ pub use sdr_reduce as reduce;
 pub use sdr_storage as storage;
 pub use sdr_subcube as subcube;
 pub use sdr_workload as workload;
+
+/// Feature hygiene: a production build (`--no-default-features`, as used
+/// for `specdr serve` releases) must never carry the model-checking
+/// scheduler — its schedule points would serialize every lock in the
+/// daemon. Cargo unifies features per build graph, so pulling `sdr-check`
+/// in anywhere would silently flip `sdr-sync` to the model backend; this
+/// assertion turns that mistake into a compile error.
+#[cfg(not(feature = "check"))]
+const _: () = assert!(
+    !sdr_sync::MODEL_COMPILED,
+    "the sdr-sync `model` feature leaked into a build without `check`"
+);

@@ -40,8 +40,10 @@
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use sdr_sync::atomic::{AtomicBool, Ordering};
+use sdr_sync::Gate;
 use std::time::{Duration, Instant};
 
 use sdr_mdm::{DayNum, Schema};
@@ -367,6 +369,8 @@ impl ServeHandle {
     }
 
     fn stop(&mut self) {
+        // Release: handlers that observe the flag (Acquire) must also see
+        // every write made before shutdown was requested.
         self.shutdown.store(true, Ordering::Release);
         if let Some(h) = self.accept.take() {
             // Poke the listener so a blocking accept returns.
@@ -389,19 +393,24 @@ pub fn serve(router: Arc<ShardRouter>, cfg: &ServeConfig) -> io::Result<ServeHan
     let listener = TcpListener::bind(&cfg.addr)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let live = Arc::new(AtomicUsize::new(0));
+    let gate = Arc::new(Gate::new(cfg.max_conns));
     let cfg = cfg.clone();
     let stop = Arc::clone(&shutdown);
     let accept = std::thread::spawn(move || {
         for conn in listener.incoming() {
+            // Acquire: pairs with the Release store in `stop` so the
+            // loop sees a consistent shutdown request.
             if stop.load(Ordering::Acquire) {
                 break;
             }
             let Ok(stream) = conn else { continue };
             // Admission control: over the cap, answer with a typed
-            // `busy` frame instead of queueing invisibly.
-            if live.fetch_add(1, Ordering::AcqRel) >= cfg.max_conns {
-                live.fetch_sub(1, Ordering::AcqRel);
+            // `busy` frame instead of queueing invisibly. The permit is
+            // an RAII slot: moved into the handler thread, released on
+            // every exit path (including panics) by its Drop —
+            // `specdr check serve` proves the cap is never exceeded and
+            // no slot leaks.
+            let Some(permit) = gate.try_acquire() else {
                 sdr_obs::inc("serve.rejected");
                 let mut stream = stream;
                 let _ = write_frame(
@@ -409,14 +418,13 @@ pub fn serve(router: Arc<ShardRouter>, cfg: &ServeConfig) -> io::Result<ServeHan
                     &error_payload(ERR_BUSY, "connection cap reached"),
                 );
                 continue;
-            }
+            };
             let router = Arc::clone(&router);
-            let live = Arc::clone(&live);
             let stop = Arc::clone(&stop);
             let timeout = cfg.read_timeout;
             std::thread::spawn(move || {
+                let _permit = permit;
                 let _ = handle_conn(stream, &router, &stop, timeout);
-                live.fetch_sub(1, Ordering::AcqRel);
             });
         }
     });
@@ -439,6 +447,7 @@ fn handle_conn(
     stream.set_read_timeout(Some(timeout))?;
     stream.set_nodelay(true)?;
     loop {
+        // Acquire: pairs with the Release store in `ServeHandle::stop`.
         if stop.load(Ordering::Acquire) {
             return Ok(());
         }

@@ -470,3 +470,82 @@ fn routing_is_deterministic_across_reopen() {
     assert_eq!(router_digests(&reopened), want);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// The wedged-router contract (`specdr check shard` proves the model;
+/// this drives the real filesystem): once a scatter fails after any
+/// shard acknowledged, every mutator is refused with the wedge error
+/// verbatim, queries keep serving the last published epoch, and
+/// `ShardRouter::recover` restores service on the pre-failure state.
+#[test]
+fn failed_scatter_wedges_every_mutator_until_recover() {
+    const WEDGE: &str = "storage: sharded warehouse wedged by a failed scatter; \
+                         drop it and ShardRouter::recover the directory";
+    let (mo, _) = specdr::workload::paper_mo();
+    let base = mo.gather(&[0, 1, 2, 3]);
+    let doomed = mo.gather(&[4, 5, 6]);
+    let day = days_from_civil(2000, 11, 5);
+
+    // Sweep the fault injection point forward until it lands inside the
+    // second scatter's WAL appends (earlier ops fail during create or
+    // the baseline load, which are uniform failures and must not wedge).
+    let mut wedged_cases = 0;
+    for k in 0..80u64 {
+        let dir = tdir(&format!("wedge-{k}"));
+        let fs: Arc<dyn Fs> =
+            FailpointFs::new(RealFs::shared(), 0xA11CE ^ k, k, FaultMode::FailWrite);
+        let Ok(router) = ShardRouter::create_with_fs(paper_spec(), &dir, 2, Arc::clone(&fs)) else {
+            continue;
+        };
+        if router.bulk_load(&base).is_err() {
+            continue;
+        }
+        let reference = router_digests(&router);
+        let epoch0 = router.view_set().epoch();
+        let Err(e) = router.bulk_load(&doomed) else {
+            // The fault lies beyond this scenario's op count; later ks
+            // only move it further out, so the sweep is done.
+            std::fs::remove_dir_all(&dir).ok();
+            break;
+        };
+        let msg = e.to_string();
+        if !msg.contains("recovery required") {
+            continue;
+        }
+        wedged_cases += 1;
+
+        // Every mutator returns the wedge error verbatim.
+        let a1 = parse_action(router.schema(), ACTION_A1).unwrap();
+        for (what, err) in [
+            ("bulk_load", router.bulk_load(&doomed).unwrap_err()),
+            ("sync", router.sync(day).unwrap_err()),
+            ("age", router.age(day).unwrap_err()),
+            ("spec_insert", router.spec_insert(vec![a1]).err().unwrap()),
+            (
+                "spec_delete",
+                router
+                    .spec_delete(&[specdr::spec::ActionId(1)], day)
+                    .unwrap_err(),
+            ),
+        ] {
+            assert_eq!(err.to_string(), WEDGE, "`{what}` missed the wedge guard");
+        }
+
+        // Readers are still served the last published state, unchanged.
+        assert_eq!(router.view_set().epoch(), epoch0);
+        assert_eq!(router_digests(&router), reference);
+
+        // Recovery on the healthy filesystem lands on the pre-failure
+        // state (the half-scattered record was never acknowledged) and
+        // restores write service.
+        drop(router);
+        let (recovered, _report) = ShardRouter::recover(paper_spec(), &dir).unwrap();
+        assert_eq!(router_digests(&recovered), reference);
+        recovered.bulk_load(&doomed).unwrap();
+        recovered.sync(day).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    assert!(
+        wedged_cases >= 1,
+        "the fault sweep never produced a wedged router"
+    );
+}
